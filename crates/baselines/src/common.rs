@@ -1,0 +1,129 @@
+//! Shared baseline infrastructure: the classifier trait, configuration and
+//! small training helpers.
+
+use widen_graph::{HeteroGraph, NodeId};
+use widen_tensor::Tensor;
+
+/// Uniform interface over all comparison methods.
+///
+/// Usage contract: call [`NodeClassifier::fit`] once, then
+/// [`NodeClassifier::predict`] / [`NodeClassifier::embed`] any number of
+/// times. For the inductive protocol, `fit` receives the reduced training
+/// graph and `predict` the full graph — node ids refer to whichever graph is
+/// passed.
+pub trait NodeClassifier: Send {
+    /// Display name (paper's table row label).
+    fn name(&self) -> &'static str;
+
+    /// Trains on `graph` supervised by the labelled `train` nodes.
+    fn fit(&mut self, graph: &HeteroGraph, train: &[NodeId]);
+
+    /// Predicts class indices for `nodes` of `graph`.
+    fn predict(&self, graph: &HeteroGraph, nodes: &[NodeId]) -> Vec<usize>;
+
+    /// Produces node embeddings (`len × d`) for `nodes` of `graph`.
+    fn embed(&self, graph: &HeteroGraph, nodes: &[NodeId]) -> Tensor;
+
+    /// Whether the method can embed nodes unseen during training. Defaults
+    /// to `true`; Node2Vec returns `false` (§4.6 excludes it).
+    fn supports_inductive(&self) -> bool {
+        true
+    }
+}
+
+/// Hyperparameters shared across baselines. Each method interprets the
+/// fields it needs; per-method peculiarities (walk lengths, sample sizes)
+/// have sensible fixed defaults tuned on the validation splits.
+#[derive(Clone, Debug)]
+pub struct BaselineConfig {
+    /// Hidden / embedding dimensionality.
+    pub hidden: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Neighbourhood sample size (SAGE / GAT / HGT).
+    pub sample_size: usize,
+    /// Mini-batch size for sampled methods.
+    pub batch_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            learning_rate: 5e-3,
+            weight_decay: 1e-4,
+            epochs: 30,
+            sample_size: 8,
+            batch_size: 64,
+            seed: 0,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Returns `self` with another seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Gathers raw features of `nodes` into a `(len, d₀)` tensor.
+pub fn gather_features(graph: &HeteroGraph, nodes: &[NodeId]) -> Tensor {
+    let mut out = Tensor::zeros(nodes.len(), graph.feature_dim());
+    for (i, &v) in nodes.iter().enumerate() {
+        out.set_row(i, graph.feature_row(v));
+    }
+    out
+}
+
+/// Integer labels of `nodes`.
+///
+/// # Panics
+/// Panics if any node is unlabelled.
+pub fn gather_labels(graph: &HeteroGraph, nodes: &[NodeId]) -> Vec<usize> {
+    nodes
+        .iter()
+        .map(|&v| graph.label(v).expect("labelled node required") as usize)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widen_data::{acm_like, Scale};
+
+    #[test]
+    fn config_builder() {
+        let c = BaselineConfig::default().with_seed(5);
+        assert_eq!(c.seed, 5);
+        assert!(c.hidden > 0);
+    }
+
+    #[test]
+    fn gather_helpers() {
+        let d = acm_like(Scale::Smoke, 1);
+        let nodes = &d.transductive.train[..4];
+        let x = gather_features(&d.graph, nodes);
+        assert_eq!(x.shape(), (4, d.graph.feature_dim()));
+        let y = gather_labels(&d.graph, nodes);
+        assert_eq!(y.len(), 4);
+        assert!(y.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "labelled node required")]
+    fn gather_labels_rejects_unlabelled() {
+        let d = acm_like(Scale::Smoke, 1);
+        let unlabeled = (0..d.graph.num_nodes() as u32)
+            .find(|&v| d.graph.label(v).is_none())
+            .unwrap();
+        let _ = gather_labels(&d.graph, &[unlabeled]);
+    }
+}

@@ -1,0 +1,214 @@
+//! GAT (Veličković et al., ICLR 2018): attention over sampled
+//! neighbourhoods.
+//!
+//! Single-head additive attention (one attention layer + linear classifier,
+//! the mini-batch "neighbourhood sampling" formulation the paper's §1
+//! describes): `e_u = LeakyReLU(z_v a₁ + z_u a₂)` over the target and its
+//! sampled neighbours, softmax-normalised into aggregation weights.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use widen_graph::{HeteroGraph, NodeId};
+use widen_sampling::{hash_seed, sample_wide};
+use widen_tensor::{xavier_uniform, Adam, Optimizer, ParamId, ParamStore, Tape, Tensor, Var};
+
+use crate::common::{gather_features, gather_labels, BaselineConfig, NodeClassifier};
+use crate::gcn::extract_grads;
+
+/// Single-head GAT with neighbourhood sampling.
+pub struct Gat {
+    config: BaselineConfig,
+    params: ParamStore,
+    ids: Option<GatIds>,
+}
+
+#[derive(Clone, Copy)]
+struct GatIds {
+    w: ParamId,
+    a_self: ParamId,
+    a_neigh: ParamId,
+    clf: ParamId,
+}
+
+struct GatVars {
+    w: Var,
+    a_self: Var,
+    a_neigh: Var,
+    clf: Var,
+}
+
+impl Gat {
+    /// An untrained GAT.
+    pub fn new(config: BaselineConfig) -> Self {
+        Self { config, params: ParamStore::new(), ids: None }
+    }
+
+    fn init(&mut self, graph: &HeteroGraph) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let d0 = graph.feature_dim();
+        let h = self.config.hidden;
+        let c = graph.num_classes();
+        self.params = ParamStore::new();
+        self.ids = Some(GatIds {
+            w: self.params.register("w", xavier_uniform(d0, h, &mut rng)),
+            a_self: self.params.register("a_self", xavier_uniform(h, 1, &mut rng)),
+            a_neigh: self.params.register("a_neigh", xavier_uniform(h, 1, &mut rng)),
+            clf: self.params.register("clf", xavier_uniform(h, c, &mut rng)),
+        });
+    }
+
+    fn insert_vars(&self, tape: &mut Tape) -> GatVars {
+        let ids = self.ids.expect("fitted");
+        GatVars {
+            w: tape.leaf(self.params.get(ids.w).clone()),
+            a_self: tape.leaf(self.params.get(ids.a_self).clone()),
+            a_neigh: tape.leaf(self.params.get(ids.a_neigh).clone()),
+            clf: tape.leaf(self.params.get(ids.clf).clone()),
+        }
+    }
+
+    /// One node's attended representation (`1 × h`).
+    fn forward_node(
+        &self,
+        tape: &mut Tape,
+        graph: &HeteroGraph,
+        node: NodeId,
+        vars: &GatVars,
+        seed: u64,
+    ) -> Var {
+        let mut rng = StdRng::seed_from_u64(hash_seed(seed, &[u64::from(node)]));
+        let wide = sample_wide(graph, node, self.config.sample_size, &mut rng);
+        let ids: Vec<NodeId> = std::iter::once(node)
+            .chain(wide.entries.iter().map(|e| e.node))
+            .collect();
+        let x = tape.leaf(gather_features(graph, &ids));
+        let z = tape.matmul(x, vars.w); // (S+1, h)
+
+        // e_u = LeakyReLU(z_v·a_self + z_u·a_neigh), over u ∈ {v} ∪ N(v).
+        let z_v = tape.select_rows(z, &[0]);
+        let self_score = tape.matmul(z_v, vars.a_self); // (1,1)
+        let neigh_scores = tape.matmul(z, vars.a_neigh); // (S+1,1)
+        let scores_row = tape.transpose(neigh_scores); // (1,S+1)
+        let ones = tape.leaf(Tensor::full(1, ids.len(), 1.0));
+        let self_bcast = tape.mul_scalar_var(ones, self_score);
+        let combined = tape.add(scores_row, self_bcast);
+        let activated = tape.leaky_relu(combined, 0.2);
+        let alpha = tape.softmax_rows(activated); // (1, S+1)
+        let agg = tape.matmul(alpha, z); // (1, h)
+        tape.relu(agg)
+    }
+
+    fn forward_batch(
+        &self,
+        graph: &HeteroGraph,
+        nodes: &[NodeId],
+        seed: u64,
+    ) -> (Tape, Var, Var, GatVars) {
+        let mut tape = Tape::new();
+        let vars = self.insert_vars(&mut tape);
+        let hs: Vec<Var> = nodes
+            .iter()
+            .map(|&v| self.forward_node(&mut tape, graph, v, &vars, seed))
+            .collect();
+        let stacked = tape.vstack(&hs);
+        let logits = tape.matmul(stacked, vars.clf);
+        (tape, stacked, logits, vars)
+    }
+}
+
+impl NodeClassifier for Gat {
+    fn name(&self) -> &'static str {
+        "GAT"
+    }
+
+    fn fit(&mut self, graph: &HeteroGraph, train: &[NodeId]) {
+        self.init(graph);
+        let ids = self.ids.unwrap();
+        let labels = gather_labels(graph, train);
+        let mut opt = Adam::with_lr(self.config.learning_rate, self.config.weight_decay);
+        for epoch in 0..self.config.epochs {
+            for (batch, batch_labels) in train
+                .chunks(self.config.batch_size)
+                .zip(labels.chunks(self.config.batch_size))
+            {
+                let seed = hash_seed(self.config.seed, &[20, epoch as u64]);
+                let (mut tape, _, logits, vars) = self.forward_batch(graph, batch, seed);
+                let loss = tape.softmax_cross_entropy(logits, batch_labels);
+                tape.backward(loss);
+                let grads = extract_grads(
+                    &tape,
+                    &self.params,
+                    &[
+                        (ids.w, vars.w),
+                        (ids.a_self, vars.a_self),
+                        (ids.a_neigh, vars.a_neigh),
+                        (ids.clf, vars.clf),
+                    ],
+                );
+                opt.step(&mut self.params, &grads);
+            }
+        }
+    }
+
+    fn predict(&self, graph: &HeteroGraph, nodes: &[NodeId]) -> Vec<usize> {
+        let (tape, _, logits, _) =
+            self.forward_batch(graph, nodes, hash_seed(self.config.seed, &[97]));
+        let l = tape.value(logits);
+        (0..nodes.len()).map(|i| l.argmax_row(i)).collect()
+    }
+
+    fn embed(&self, graph: &HeteroGraph, nodes: &[NodeId]) -> Tensor {
+        let (tape, emb, _, _) =
+            self.forward_batch(graph, nodes, hash_seed(self.config.seed, &[96]));
+        tape.value(emb).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widen_data::{acm_like, Scale};
+    use widen_eval::micro_f1;
+
+    #[test]
+    fn gat_learns_smoke_acm() {
+        let d = acm_like(Scale::Smoke, 1);
+        let cfg = BaselineConfig { epochs: 25, learning_rate: 1e-2, ..Default::default() };
+        let mut model = Gat::new(cfg);
+        model.fit(&d.graph, &d.transductive.train);
+        let preds = model.predict(&d.graph, &d.transductive.test);
+        let truth = gather_labels(&d.graph, &d.transductive.test);
+        let f1 = micro_f1(&truth, &preds);
+        assert!(f1 > 0.6, "GAT micro-F1 = {f1}");
+    }
+
+    #[test]
+    fn gat_attention_is_probability_weighted() {
+        // Indirect check: embeddings are finite and non-degenerate.
+        let d = acm_like(Scale::Smoke, 2);
+        let mut model = Gat::new(BaselineConfig { epochs: 3, ..Default::default() });
+        model.fit(&d.graph, &d.transductive.train);
+        let emb = model.embed(&d.graph, &d.transductive.test[..8]);
+        assert!(emb.all_finite());
+        assert!(emb.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn gat_handles_isolated_nodes() {
+        // A node with no neighbours still gets a representation (self only).
+        use widen_graph::GraphBuilder;
+        let mut b = GraphBuilder::new(&["x"], &["e"]).with_classes(2);
+        let x = b.node_type("x");
+        let e = b.edge_type("e");
+        let n0 = b.add_node(x, vec![1.0, 0.0], Some(0));
+        let n1 = b.add_node(x, vec![0.0, 1.0], Some(1));
+        let n2 = b.add_node(x, vec![0.5, 0.5], Some(0));
+        b.add_edge(n0, n1, e);
+        let _ = n2; // n2 stays isolated
+        let g = b.build();
+        let mut model = Gat::new(BaselineConfig { epochs: 4, ..Default::default() });
+        model.fit(&g, &[n0, n1, n2]);
+        let preds = model.predict(&g, &[n2]);
+        assert_eq!(preds.len(), 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! HAN (Wang et al., WWW 2019): Heterogeneous Attention Network over
+//! meta-path-induced adjacency matrices with semantic-level attention.
+//!
+//! Meta paths are derived automatically from the schema: for every edge
+//! type `e`, the two-hop composition `Â_e · Â_e` connects nodes of the
+//! labelled type through their shared intermediate (e.g. paper–author–paper
+//! → PAP, paper–subject–paper → PSP on ACM), which is exactly the symmetric
+//! `L–T–L` family HAN uses. Per-meta-path node aggregation uses a
+//! GCN-style propagation with path-specific projections (the common
+//! efficient simplification of HAN's node-level attention); the
+//! semantic-level attention over meta paths follows the original design:
+//! `β = softmax_p(q · tanh(mean(H_p W_s + b))ᵀ)`.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use widen_graph::{EdgeTypeId, HeteroGraph, NodeId};
+use widen_tensor::{
+    xavier_uniform, zeros_init, Adam, CsrMatrix, Optimizer, ParamId, ParamStore, Tape, Tensor,
+    Var,
+};
+
+use crate::common::{gather_labels, BaselineConfig, NodeClassifier};
+use crate::gcn::extract_grads;
+
+/// HAN with auto-derived symmetric meta paths.
+pub struct Han {
+    config: BaselineConfig,
+    params: ParamStore,
+    ids: Option<HanIds>,
+    num_paths: usize,
+}
+
+#[derive(Clone)]
+struct HanIds {
+    /// Path-specific feature projections.
+    path_w: Vec<ParamId>,
+    /// Semantic attention projection `W_s` (`h × h`).
+    sem_w: ParamId,
+    /// Semantic attention bias (`1 × h`).
+    sem_b: ParamId,
+    /// Semantic attention query `q` (`1 × h`).
+    sem_q: ParamId,
+    /// Classifier.
+    clf: ParamId,
+}
+
+impl Han {
+    /// An untrained HAN.
+    pub fn new(config: BaselineConfig) -> Self {
+        Self { config, params: ParamStore::new(), ids: None, num_paths: 0 }
+    }
+
+    /// Meta-path adjacencies `Â_e²` (row-normalised, one per edge type).
+    fn meta_path_adjacencies(graph: &HeteroGraph) -> Vec<Arc<CsrMatrix>> {
+        (0..graph.num_edge_types())
+            .map(|e| {
+                let a = graph.adjacency_of_type(EdgeTypeId(e as u16));
+                Arc::new(a.spspmm(&a).gcn_normalized())
+            })
+            .collect()
+    }
+
+    fn init(&mut self, graph: &HeteroGraph) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let d0 = graph.feature_dim();
+        let h = self.config.hidden;
+        let c = graph.num_classes();
+        self.num_paths = graph.num_edge_types();
+        self.params = ParamStore::new();
+        let path_w = (0..self.num_paths)
+            .map(|p| {
+                self.params
+                    .register(format!("path_w_{p}"), xavier_uniform(d0, h, &mut rng))
+            })
+            .collect();
+        self.ids = Some(HanIds {
+            path_w,
+            sem_w: self.params.register("sem_w", xavier_uniform(h, h, &mut rng)),
+            sem_b: self.params.register("sem_b", zeros_init(1, h)),
+            sem_q: self.params.register("sem_q", xavier_uniform(1, h, &mut rng)),
+            clf: self.params.register("clf", xavier_uniform(h, c, &mut rng)),
+        });
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        graph: &HeteroGraph,
+        metas: &[Arc<CsrMatrix>],
+    ) -> (Var, Var, Vec<(ParamId, Var)>) {
+        let ids = self.ids.clone().expect("fitted");
+        let x = tape.leaf(graph.features().clone());
+        let mut tracked: Vec<(ParamId, Var)> = Vec::new();
+
+        // Per-meta-path node aggregation.
+        let mut path_reprs = Vec::with_capacity(metas.len());
+        for (p, meta) in metas.iter().enumerate() {
+            let w = tape.leaf(self.params.get(ids.path_w[p]).clone());
+            tracked.push((ids.path_w[p], w));
+            let xw = tape.matmul(x, w);
+            let prop = tape.spmm(meta.clone(), xw);
+            path_reprs.push(tape.relu(prop)); // (n, h)
+        }
+
+        // Semantic attention (one weight per meta path).
+        let sem_w = tape.leaf(self.params.get(ids.sem_w).clone());
+        let sem_b = tape.leaf(self.params.get(ids.sem_b).clone());
+        let sem_q = tape.leaf(self.params.get(ids.sem_q).clone());
+        tracked.push((ids.sem_w, sem_w));
+        tracked.push((ids.sem_b, sem_b));
+        tracked.push((ids.sem_q, sem_q));
+
+        let mut scores = Vec::with_capacity(metas.len());
+        for &h_p in &path_reprs {
+            let proj = tape.matmul(h_p, sem_w);
+            let biased = tape.add_row_broadcast(proj, sem_b);
+            let act = tape.tanh(biased);
+            let mean = tape.mean_rows(act); // (1, h)
+            let score = tape.matmul_nt(mean, sem_q); // (1, 1)
+            scores.push(score);
+        }
+        let score_col = tape.vstack(&scores); // (P, 1)
+        let score_row = tape.transpose(score_col); // (1, P)
+        let beta_row = tape.softmax_rows(score_row);
+        let beta_col = tape.transpose(beta_row); // (P, 1)
+
+        let mut fused: Option<Var> = None;
+        for (p, &h_p) in path_reprs.iter().enumerate() {
+            let beta_p = tape.select_rows(beta_col, &[p]);
+            let gated = tape.mul_scalar_var(h_p, beta_p);
+            fused = Some(match fused {
+                Some(acc) => tape.add(acc, gated),
+                None => gated,
+            });
+        }
+        let hidden = fused.expect("at least one meta path");
+
+        let clf = tape.leaf(self.params.get(ids.clf).clone());
+        tracked.push((ids.clf, clf));
+        let logits = tape.matmul(hidden, clf);
+        (hidden, logits, tracked)
+    }
+}
+
+impl NodeClassifier for Han {
+    fn name(&self) -> &'static str {
+        "HAN"
+    }
+
+    fn fit(&mut self, graph: &HeteroGraph, train: &[NodeId]) {
+        self.init(graph);
+        let metas = Self::meta_path_adjacencies(graph);
+        let labels = gather_labels(graph, train);
+        let train_rows: Vec<usize> = train.iter().map(|&v| v as usize).collect();
+        let mut opt = Adam::with_lr(self.config.learning_rate, self.config.weight_decay);
+        for _ in 0..self.config.epochs {
+            let mut tape = Tape::new();
+            let (_, logits, tracked) = self.forward(&mut tape, graph, &metas);
+            let picked = tape.select_rows(logits, &train_rows);
+            let loss = tape.softmax_cross_entropy(picked, &labels);
+            tape.backward(loss);
+            let grads = extract_grads(&tape, &self.params, &tracked);
+            opt.step(&mut self.params, &grads);
+        }
+    }
+
+    fn predict(&self, graph: &HeteroGraph, nodes: &[NodeId]) -> Vec<usize> {
+        let metas = Self::meta_path_adjacencies(graph);
+        let mut tape = Tape::new();
+        let (_, logits, _) = self.forward(&mut tape, graph, &metas);
+        let l = tape.value(logits);
+        nodes.iter().map(|&v| l.argmax_row(v as usize)).collect()
+    }
+
+    fn embed(&self, graph: &HeteroGraph, nodes: &[NodeId]) -> Tensor {
+        let metas = Self::meta_path_adjacencies(graph);
+        let mut tape = Tape::new();
+        let (hidden, _, _) = self.forward(&mut tape, graph, &metas);
+        let rows: Vec<usize> = nodes.iter().map(|&v| v as usize).collect();
+        tape.value(hidden).select_rows(&rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widen_data::{acm_like, Scale};
+    use widen_eval::micro_f1;
+
+    #[test]
+    fn han_learns_smoke_acm() {
+        let d = acm_like(Scale::Smoke, 1);
+        let cfg = BaselineConfig { epochs: 60, learning_rate: 1e-2, ..Default::default() };
+        let mut model = Han::new(cfg);
+        model.fit(&d.graph, &d.transductive.train);
+        let preds = model.predict(&d.graph, &d.transductive.test);
+        let truth = gather_labels(&d.graph, &d.transductive.test);
+        let f1 = micro_f1(&truth, &preds);
+        assert!(f1 > 0.6, "HAN micro-F1 = {f1}");
+    }
+
+    #[test]
+    fn meta_paths_connect_same_type_nodes() {
+        let d = acm_like(Scale::Smoke, 2);
+        let metas = Han::meta_path_adjacencies(&d.graph);
+        assert_eq!(metas.len(), d.graph.num_edge_types());
+        // PAP-style adjacency: papers reached from papers. Pick a labelled
+        // (paper) node with entries and verify two-hop endpoints are papers
+        // too (for paper-author and paper-subject paths both endpoints of
+        // the squared matrix belonging to papers hold by construction —
+        // spot-check that *some* paper-paper connections exist).
+        let paper_nodes = d.graph.labeled_nodes();
+        let pap = &metas[0];
+        let mut hits = 0;
+        for &p in paper_nodes.iter().take(50) {
+            for (q, _) in pap.row_entries(p as usize) {
+                if d.graph.label(q as u32).is_some() && q != p as usize {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits > 0, "meta path should connect distinct papers");
+    }
+
+    #[test]
+    fn semantic_attention_trains() {
+        let d = acm_like(Scale::Smoke, 3);
+        let cfg = BaselineConfig { epochs: 8, learning_rate: 1e-2, ..Default::default() };
+        let mut model = Han::new(cfg);
+        model.fit(&d.graph, &d.transductive.train);
+        let ids = model.ids.clone().unwrap();
+        assert!(model.params.get(ids.sem_q).frobenius_norm() > 0.0);
+        let emb = model.embed(&d.graph, &d.transductive.test[..3]);
+        assert_eq!(emb.shape(), (3, 32));
+    }
+}

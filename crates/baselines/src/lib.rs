@@ -1,0 +1,54 @@
+//! # widen-baselines
+//!
+//! The eight comparison methods of the paper's Table 2/3, implemented from
+//! scratch on the `widen-tensor` substrate:
+//!
+//! | Method | §4.2 description | Implementation notes |
+//! |---|---|---|
+//! | [`Node2Vec`](node2vec::Node2Vec) | random-walk skip-gram | p/q-biased walks, negative sampling, manual SGD; transductive only |
+//! | [`Gcn`](gcn::Gcn) | spectral graph convolutions | 2-layer, `D̂^{-1/2}(A+I)D̂^{-1/2}` propagation, full graph |
+//! | [`FastGcn`](fastgcn::FastGcn) | importance-sampled GCN | per-layer column sampling `q(v) ∝ ‖A·,v‖²` with Monte-Carlo rescaling |
+//! | [`GraphSage`](sage::GraphSage) | sample-and-aggregate | 2-layer mean aggregator, per-node mini-batches |
+//! | [`Gat`](gat::Gat) | neighbourhood attention | additive (LeakyReLU) attention over sampled neighbourhoods |
+//! | [`Gtn`](gtn::Gtn) | learned meta-paths | soft edge-type selection, 2-hop composed propagation |
+//! | [`Han`](han::Han) | meta-path attention | auto-derived `L–T–L` meta-path adjacencies + semantic attention |
+//! | [`Hgt`](hgt::Hgt) | heterogeneous transformer | node-type projections + edge-type key/message transforms |
+//!
+//! All methods implement [`NodeClassifier`], so the experiment harnesses
+//! iterate over them uniformly. Full-graph methods (GCN / FastGCN / GTN /
+//! HAN) support the inductive protocol the way the paper evaluates them
+//! (§4.6): weights are fitted on the reduced training graph, then the
+//! propagation is *recomputed on the full graph* at prediction time.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod common;
+pub mod fastgcn;
+pub mod gat;
+pub mod gcn;
+pub mod gtn;
+pub mod han;
+pub mod hgt;
+pub mod node2vec;
+pub mod sage;
+
+pub use common::{BaselineConfig, NodeClassifier};
+
+/// Instantiates every baseline of Table 2 with a shared configuration.
+///
+/// Order matches the paper's table rows. `Node2Vec` does not support the
+/// inductive protocol (its design "requires all node IDs to be known
+/// beforehand", §4.6) — check [`NodeClassifier::supports_inductive`].
+pub fn all_baselines(config: &BaselineConfig) -> Vec<Box<dyn NodeClassifier>> {
+    vec![
+        Box::new(node2vec::Node2Vec::new(config.clone())),
+        Box::new(gcn::Gcn::new(config.clone())),
+        Box::new(fastgcn::FastGcn::new(config.clone())),
+        Box::new(sage::GraphSage::new(config.clone())),
+        Box::new(gat::Gat::new(config.clone())),
+        Box::new(gtn::Gtn::new(config.clone())),
+        Box::new(han::Han::new(config.clone())),
+        Box::new(hgt::Hgt::new(config.clone())),
+    ]
+}

@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks for the hot kernels: message packaging,
+//! wide/deep attention forward+backward, downsampling decisions, sparse
+//! matmul and neighbourhood sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use widen_core::model::MaskCache;
+use widen_core::{WidenConfig, WidenModel};
+use widen_data::{acm_like, Scale};
+use widen_sampling::{sample_deep, sample_wide};
+use widen_tensor::{CsrMatrix, Tape, Tensor};
+
+fn bench_attention_forward_backward(c: &mut Criterion) {
+    let dataset = acm_like(Scale::Smoke, 1);
+    let mut group = c.benchmark_group("widen_forward_backward");
+    group.sample_size(20);
+    for &d in &[32usize, 64, 128] {
+        let mut cfg = WidenConfig::small();
+        cfg.d = d;
+        cfg.n_w = 10;
+        cfg.n_d = 10;
+        cfg.phi = 2;
+        let model = WidenModel::for_graph(&dataset.graph, cfg);
+        let node = dataset.transductive.train[0];
+        let state = model.sample_state(&dataset.graph, node, 1);
+        let label = dataset.graph.label(node).unwrap() as usize;
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let pv = model.insert_params(&mut tape);
+                let mut masks = MaskCache::new();
+                let fw = model.forward_node(&mut tape, &pv, &dataset.graph, &state, &mut masks);
+                let loss = tape.softmax_cross_entropy(fw.logits, &[label]);
+                tape.backward(loss);
+                std::hint::black_box(tape.grad(fw.logits).is_some())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let dataset = acm_like(Scale::Smoke, 2);
+    let mut group = c.benchmark_group("sampling");
+    group.bench_function("wide_n20", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % dataset.graph.num_nodes() as u32;
+            std::hint::black_box(sample_wide(&dataset.graph, i, 20, &mut rng).len())
+        });
+    });
+    group.bench_function("deep_walk_n20", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % dataset.graph.num_nodes() as u32;
+            std::hint::black_box(sample_deep(&dataset.graph, i, 20, &mut rng).len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let dataset = acm_like(Scale::Smoke, 3);
+    let adj = Arc::new(dataset.graph.adjacency().gcn_normalized());
+    let mut rng = StdRng::seed_from_u64(5);
+    let x = Tensor::randn(dataset.graph.num_nodes(), 64, 0.1, &mut rng);
+    c.bench_function("spmm_full_graph_d64", |b| {
+        b.iter(|| std::hint::black_box(adj.spmm(&x).rows()));
+    });
+    let typed = dataset.graph.adjacency_of_type(widen_graph::EdgeTypeId(0));
+    c.bench_function("spspmm_metapath", |b| {
+        b.iter(|| std::hint::black_box(typed.spspmm(&typed).nnz()));
+    });
+    let _ = CsrMatrix::identity(4);
+}
+
+fn bench_dense_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut group = c.benchmark_group("dense_matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = Tensor::randn(n, n, 0.1, &mut rng);
+        let b_mat = Tensor::randn(n, n, 0.1, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b_mat).rows()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_attention_forward_backward,
+    bench_sampling,
+    bench_spmm,
+    bench_dense_matmul
+);
+criterion_main!(benches);

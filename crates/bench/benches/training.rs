@@ -1,0 +1,71 @@
+//! Criterion benchmarks at training granularity: one full WIDEN epoch with
+//! and without downsampling (quantifying §3.3's efficiency claim), and one
+//! epoch of the sampled baselines for comparison (Figure 4's kernel-level
+//! counterpart).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use widen_baselines::{common::BaselineConfig, gat::Gat, sage::GraphSage, NodeClassifier};
+use widen_core::{Trainer, Variant, WidenConfig, WidenModel};
+use widen_data::{acm_like, Scale};
+
+fn widen_epoch_config(variant: Variant) -> WidenConfig {
+    let mut c = WidenConfig::small();
+    c.d = 32;
+    c.n_w = 10;
+    c.n_d = 10;
+    c.phi = 2;
+    c.epochs = 1;
+    // Loose thresholds so the downsampling path actually executes.
+    c.r_wide = 1.0;
+    c.r_deep = 1.0;
+    c.variant = variant;
+    c
+}
+
+fn bench_widen_epoch(c: &mut Criterion) {
+    let dataset = acm_like(Scale::Smoke, 1);
+    let train: Vec<u32> = dataset.transductive.train.clone();
+    let mut group = c.benchmark_group("widen_epoch");
+    group.sample_size(10);
+    for (label, variant) in [
+        ("attentive_downsampling", Variant::full()),
+        ("no_downsampling", Variant::no_downsampling()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = widen_epoch_config(variant);
+                let model = WidenModel::for_graph(&dataset.graph, cfg);
+                let mut trainer = Trainer::new(model, &dataset.graph, &train);
+                let report = trainer.fit(&train);
+                std::hint::black_box(report.final_loss())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_epoch(c: &mut Criterion) {
+    let dataset = acm_like(Scale::Smoke, 2);
+    let train: Vec<u32> = dataset.transductive.train.clone();
+    let cfg = BaselineConfig { epochs: 1, ..Default::default() };
+    let mut group = c.benchmark_group("baseline_epoch");
+    group.sample_size(10);
+    group.bench_function("graphsage", |b| {
+        b.iter(|| {
+            let mut model = GraphSage::new(cfg.clone());
+            model.fit(&dataset.graph, &train);
+            std::hint::black_box(model.predict(&dataset.graph, &train[..4]).len())
+        });
+    });
+    group.bench_function("gat", |b| {
+        b.iter(|| {
+            let mut model = Gat::new(cfg.clone());
+            model.fit(&dataset.graph, &train);
+            std::hint::black_box(model.predict(&dataset.graph, &train[..4]).len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_widen_epoch, bench_baseline_epoch);
+criterion_main!(benches);

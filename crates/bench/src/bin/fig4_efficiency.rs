@@ -1,0 +1,77 @@
+//! Regenerates **Figure 4** — training efficiency: mean wall-clock time per
+//! training epoch and micro-F1 after exactly 10 epochs, for every method on
+//! the ACM-like and DBLP-like graphs (the paper restricts this test to the
+//! two smaller graphs; most baselines cannot mini-batch Yelp).
+
+use std::time::Instant;
+
+use widen_bench::parse_args;
+use widen_bench::runners::{datasets, table_baseline_config, table_widen_config};
+use widen_baselines::all_baselines;
+use widen_core::{Trainer, WidenModel};
+use widen_eval::micro_f1;
+
+const EPOCHS: usize = 10;
+
+fn main() {
+    let opts = parse_args();
+    println!(
+        "== Figure 4: training efficiency ({:?} scale, {} epochs) ==\n",
+        opts.scale, EPOCHS
+    );
+    let seed = opts.seeds[0];
+    let mut json_rows = Vec::new();
+
+    for dataset in datasets(opts.scale, seed).into_iter().take(2) {
+        println!("--- {} ---", dataset.name);
+        println!("{:<12} {:>16} {:>16}", "Method", "sec/epoch", "F1@10epochs");
+        let train = &dataset.transductive.train;
+        let test = &dataset.transductive.test;
+        let truth: Vec<usize> = test
+            .iter()
+            .map(|&v| dataset.graph.label(v).unwrap() as usize)
+            .collect();
+
+        let mut base_cfg = table_baseline_config(opts.scale).with_seed(seed);
+        base_cfg.epochs = EPOCHS;
+        for mut baseline in all_baselines(&base_cfg) {
+            let start = Instant::now();
+            baseline.fit(&dataset.graph, train);
+            let secs_per_epoch = start.elapsed().as_secs_f64() / EPOCHS as f64;
+            let preds = baseline.predict(&dataset.graph, test);
+            let f1 = micro_f1(&truth, &preds);
+            println!("{:<12} {:>16.4} {:>16.4}", baseline.name(), secs_per_epoch, f1);
+            json_rows.push(serde_json::json!({
+                "dataset": dataset.name,
+                "method": baseline.name(),
+                "secs_per_epoch": secs_per_epoch,
+                "f1_after_10_epochs": f1,
+            }));
+        }
+
+        let mut widen_cfg = table_widen_config(opts.scale).with_seed(seed);
+        widen_cfg.epochs = EPOCHS;
+        let model = WidenModel::for_graph(&dataset.graph, widen_cfg);
+        let mut trainer = Trainer::new(model, &dataset.graph, train);
+        let report = trainer.fit(train);
+        let secs_per_epoch = report.total_secs() / EPOCHS as f64;
+        let model = trainer.into_model();
+        let preds = model.predict(&dataset.graph, test, 0xE7A1);
+        let f1 = micro_f1(&truth, &preds);
+        println!("{:<12} {:>16.4} {:>16.4}", "WIDEN", secs_per_epoch, f1);
+        println!(
+            "             (downsampling: {} wide drops, {} deep prunes, {} relay edges)\n",
+            report.wide_drops, report.deep_drops, report.relay_edges
+        );
+        json_rows.push(serde_json::json!({
+            "dataset": dataset.name,
+            "method": "WIDEN",
+            "secs_per_epoch": secs_per_epoch,
+            "f1_after_10_epochs": f1,
+            "per_epoch_secs": report.epoch_secs,
+            "wide_drops": report.wide_drops,
+            "deep_drops": report.deep_drops,
+        }));
+    }
+    opts.write_json("fig4_efficiency", &serde_json::Value::Array(json_rows));
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Figure 5** — scalability: WIDEN training time on the
+//! Yelp-like graph as the node proportion grows through
+//! {0.2, 0.4, 0.6, 0.8, 1.0}, with a least-squares linearity check
+//! (the paper concludes "approximately linear" dependence).
+
+use widen_bench::parse_args;
+use widen_bench::runners::{datasets, table_widen_config};
+use widen_core::{Trainer, WidenModel};
+use widen_data::subsample_nodes;
+use widen_eval::timing::linear_fit;
+
+const RATIOS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+fn main() {
+    let opts = parse_args();
+    println!("== Figure 5: training-time scalability on yelp-like ({:?} scale) ==\n", opts.scale);
+    let seed = opts.seeds[0];
+    let yelp = datasets(opts.scale, seed).into_iter().nth(2).expect("yelp dataset");
+
+    println!("{:>8} {:>10} {:>12} {:>14}", "ratio", "nodes", "train nodes", "train secs");
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut json_rows = Vec::new();
+    for &ratio in &RATIOS {
+        let sub = subsample_nodes(&yelp.graph, ratio, seed ^ 0x5CA1E);
+        let graph = sub.graph;
+        // Training nodes: same labelled fraction as the full protocol.
+        let labeled = graph.labeled_nodes();
+        let train: Vec<u32> = labeled
+            .iter()
+            .copied()
+            .take((labeled.len() as f64 * 0.2).round() as usize)
+            .collect();
+        let cfg = table_widen_config(opts.scale).with_seed(seed);
+        let model = WidenModel::for_graph(&graph, cfg);
+        let mut trainer = Trainer::new(model, &graph, &train);
+        let report = trainer.fit(&train);
+        let secs = report.total_secs();
+        println!(
+            "{:>8.1} {:>10} {:>12} {:>14.3}",
+            ratio,
+            graph.num_nodes(),
+            train.len(),
+            secs
+        );
+        xs.push(ratio);
+        ys.push(secs);
+        json_rows.push(serde_json::json!({
+            "ratio": ratio,
+            "nodes": graph.num_nodes(),
+            "train_nodes": train.len(),
+            "train_secs": secs,
+        }));
+    }
+
+    let (slope, intercept, r2) = linear_fit(&xs, &ys);
+    println!(
+        "\nlinear fit: time ≈ {slope:.3}·ratio + {intercept:.3}   R² = {r2:.4} \
+         (paper: \"approximately linear\")"
+    );
+    opts.write_json(
+        "fig5_scalability",
+        &serde_json::json!({
+            "points": json_rows,
+            "fit": { "slope": slope, "intercept": intercept, "r2": r2 },
+        }),
+    );
+}

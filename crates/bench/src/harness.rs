@@ -1,0 +1,153 @@
+//! Command-line plumbing shared by the experiment binaries.
+
+use std::path::PathBuf;
+
+use widen_data::Scale;
+
+/// Experiment scale: `smoke` finishes in seconds (CI-sized graphs), `table`
+/// is the committed scale whose outputs EXPERIMENTS.md records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunScale {
+    /// Hundreds of nodes, 2 seeds.
+    Smoke,
+    /// Tens of thousands of nodes, 5 seeds (§4.4: "averaged over 5
+    /// executions").
+    Table,
+}
+
+impl RunScale {
+    /// The matching dataset generation scale.
+    pub fn data_scale(self) -> Scale {
+        match self {
+            RunScale::Smoke => Scale::Smoke,
+            RunScale::Table => Scale::Table,
+        }
+    }
+
+    /// Default number of repeated seeded runs.
+    pub fn default_seeds(self) -> usize {
+        match self {
+            RunScale::Smoke => 2,
+            RunScale::Table => 5,
+        }
+    }
+}
+
+/// Parsed harness options.
+#[derive(Clone, Debug)]
+pub struct HarnessOpts {
+    /// Run scale.
+    pub scale: RunScale,
+    /// Seeds to aggregate over.
+    pub seeds: Vec<u64>,
+    /// Output directory for JSON dumps.
+    pub out_dir: PathBuf,
+}
+
+impl HarnessOpts {
+    /// Writes a JSON value to `<out_dir>/<name>.json`, creating the
+    /// directory if needed.
+    ///
+    /// # Panics
+    /// Panics on IO errors — harnesses should fail loudly.
+    pub fn write_json(&self, name: &str, value: &serde_json::Value) {
+        std::fs::create_dir_all(&self.out_dir).expect("create results dir");
+        let path = self.out_dir.join(format!("{name}.json"));
+        std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialise"))
+            .expect("write results");
+        println!("\n[results written to {}]", path.display());
+    }
+}
+
+/// Parses `--scale smoke|table`, `--seeds N`, `--out DIR` from argv.
+///
+/// # Panics
+/// Panics with a usage message on malformed arguments.
+pub fn parse_args() -> HarnessOpts {
+    parse_args_from(std::env::args().skip(1).collect())
+}
+
+/// Testable argument parser.
+pub fn parse_args_from(args: Vec<String>) -> HarnessOpts {
+    let mut scale = RunScale::Smoke;
+    let mut seeds: Option<usize> = None;
+    let mut out_dir = PathBuf::from("results");
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                scale = match v.as_str() {
+                    "smoke" => RunScale::Smoke,
+                    "table" => RunScale::Table,
+                    other => panic!("unknown scale `{other}` (use smoke|table)"),
+                };
+            }
+            "--seeds" => {
+                let v = it.next().expect("--seeds needs a value");
+                seeds = Some(v.parse().expect("--seeds must be an integer"));
+            }
+            "--out" => {
+                out_dir = PathBuf::from(it.next().expect("--out needs a value"));
+            }
+            other => panic!("unknown argument `{other}` (use --scale/--seeds/--out)"),
+        }
+    }
+    let n_seeds = seeds.unwrap_or_else(|| scale.default_seeds());
+    HarnessOpts {
+        scale,
+        seeds: (0..n_seeds as u64).map(|s| 1000 + s).collect(),
+        out_dir,
+    }
+}
+
+/// Renders a mean as the paper's 4-decimal convention with optional
+/// significance underscores (`_x_` for p < 0.05, `__x__` for p < 0.01,
+/// mirroring the single/double underline of Tables 2–3).
+pub fn render_score(mean: f64, p_value: Option<f64>) -> String {
+    let base = format!("{mean:.4}");
+    match p_value {
+        Some(p) if p < 0.01 => format!("__{base}__"),
+        Some(p) if p < 0.05 => format!("_{base}_"),
+        _ => base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> HarnessOpts {
+        parse_args_from(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn defaults_are_smoke_scale() {
+        let o = opts(&[]);
+        assert_eq!(o.scale, RunScale::Smoke);
+        assert_eq!(o.seeds.len(), 2);
+        assert_eq!(o.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn parses_table_scale_and_seed_count() {
+        let o = opts(&["--scale", "table", "--seeds", "3", "--out", "/tmp/r"]);
+        assert_eq!(o.scale, RunScale::Table);
+        assert_eq!(o.seeds, vec![1000, 1001, 1002]);
+        assert_eq!(o.out_dir, PathBuf::from("/tmp/r"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scale")]
+    fn rejects_bad_scale() {
+        let _ = opts(&["--scale", "galactic"]);
+    }
+
+    #[test]
+    fn score_rendering_marks_significance() {
+        assert_eq!(render_score(0.9269, None), "0.9269");
+        assert_eq!(render_score(0.9269, Some(0.2)), "0.9269");
+        assert_eq!(render_score(0.9269, Some(0.03)), "_0.9269_");
+        assert_eq!(render_score(0.9269, Some(0.005)), "__0.9269__");
+    }
+}

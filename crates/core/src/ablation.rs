@@ -1,0 +1,144 @@
+//! Architectural variants — every row of the paper's Table 4.
+
+/// How a neighbour set is downsampled during training.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DownsampleStrategy {
+    /// Attention-guided argmin drop with the KL trigger (the full model,
+    /// Algorithms 1–3).
+    Attentive,
+    /// Drop a uniformly random entry every epoch (no KL trigger) — the
+    /// "Random Downsampling" ablation rows.
+    Random,
+    /// Never downsample — the "No Downsampling" ablation row.
+    Off,
+}
+
+/// Feature switches for the Table 4 ablations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Variant {
+    /// Enable the wide message-passing branch (Eq. 1, 3).
+    pub use_wide: bool,
+    /// Enable the deep message-passing branch (Eq. 2, 4–5).
+    pub use_deep: bool,
+    /// Enable the successive self-attention (Eq. 4). When disabled, Eq. 5
+    /// attends directly over `M▷` — "an attentive aggregation of all deep
+    /// neighbour nodes w.r.t. the target" (§4.8).
+    pub successive_attention: bool,
+    /// Generate contextualized relay edges (Eq. 8) when pruning deep packs.
+    /// When disabled, deprecated packs are discarded outright (§4.8).
+    pub relay_edges: bool,
+    /// Wide-set downsampling strategy.
+    pub wide_downsampling: DownsampleStrategy,
+    /// Deep-set downsampling strategy.
+    pub deep_downsampling: DownsampleStrategy,
+}
+
+impl Variant {
+    /// The complete model ("Default" row of Table 4).
+    pub fn full() -> Self {
+        Self {
+            use_wide: true,
+            use_deep: true,
+            successive_attention: true,
+            relay_edges: true,
+            wide_downsampling: DownsampleStrategy::Attentive,
+            deep_downsampling: DownsampleStrategy::Attentive,
+        }
+    }
+
+    /// "No Downsampling" row.
+    pub fn no_downsampling() -> Self {
+        Self {
+            wide_downsampling: DownsampleStrategy::Off,
+            deep_downsampling: DownsampleStrategy::Off,
+            ..Self::full()
+        }
+    }
+
+    /// "Removing Wide Neighbors" row.
+    pub fn no_wide() -> Self {
+        Self { use_wide: false, ..Self::full() }
+    }
+
+    /// "Removing Deep Neighbors" row.
+    pub fn no_deep() -> Self {
+        Self { use_deep: false, ..Self::full() }
+    }
+
+    /// "Removing Successive Self-Attention" row.
+    pub fn no_successive_attention() -> Self {
+        Self { successive_attention: false, ..Self::full() }
+    }
+
+    /// "Removing Relay Edges" row.
+    pub fn no_relay_edges() -> Self {
+        Self { relay_edges: false, ..Self::full() }
+    }
+
+    /// "Random Downsampling for W(t)" row.
+    pub fn random_wide_downsampling() -> Self {
+        Self { wide_downsampling: DownsampleStrategy::Random, ..Self::full() }
+    }
+
+    /// "Random Downsampling for D(t)" row.
+    pub fn random_deep_downsampling() -> Self {
+        Self { deep_downsampling: DownsampleStrategy::Random, ..Self::full() }
+    }
+
+    /// All Table 4 rows in paper order, with their printable names.
+    pub fn table4_rows() -> Vec<(&'static str, Variant)> {
+        vec![
+            ("Default", Self::full()),
+            ("No Downsampling", Self::no_downsampling()),
+            ("Removing Wide Neighbors", Self::no_wide()),
+            ("Removing Deep Neighbors", Self::no_deep()),
+            ("Removing Successive Self-Attention", Self::no_successive_attention()),
+            ("Removing Relay Edges", Self::no_relay_edges()),
+            ("Random Downsampling for W(t)", Self::random_wide_downsampling()),
+            ("Random Downsampling for D(t)", Self::random_deep_downsampling()),
+        ]
+    }
+}
+
+impl Default for Variant {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_variant_enables_everything() {
+        let v = Variant::full();
+        assert!(v.use_wide && v.use_deep && v.successive_attention && v.relay_edges);
+        assert_eq!(v.wide_downsampling, DownsampleStrategy::Attentive);
+    }
+
+    #[test]
+    fn table4_covers_all_eight_rows() {
+        let rows = Variant::table4_rows();
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[0].0, "Default");
+        // Each non-default row differs from the default in exactly the
+        // intended switch.
+        assert!(!Variant::no_wide().use_wide);
+        assert!(!Variant::no_deep().use_deep);
+        assert!(!Variant::no_successive_attention().successive_attention);
+        assert!(!Variant::no_relay_edges().relay_edges);
+        assert_eq!(
+            Variant::random_wide_downsampling().wide_downsampling,
+            DownsampleStrategy::Random
+        );
+        assert_eq!(
+            Variant::random_deep_downsampling().deep_downsampling,
+            DownsampleStrategy::Random
+        );
+        assert_eq!(
+            Variant::no_downsampling().deep_downsampling,
+            DownsampleStrategy::Off
+        );
+    }
+}

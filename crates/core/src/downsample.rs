@@ -1,0 +1,242 @@
+//! Active downsampling (§3.3–3.4): Algorithms 1–2, the contextualized
+//! relay edge (Eq. 8) and the KL-divergence trigger (Eq. 9).
+
+use rand::Rng;
+
+use crate::ablation::DownsampleStrategy;
+
+/// What to do with a neighbour set after this epoch's attention pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep the set unchanged.
+    Keep,
+    /// Drop the entry at this local index (0-based, target excluded).
+    Drop(usize),
+}
+
+/// Decides whether to shrink a neighbour set, per Algorithm 3 lines 9–14.
+///
+/// * `attention` — this epoch's distribution over `[m_t ; packs]`
+///   (`len + 1` values, target at index 0).
+/// * `prev_attention` — last epoch's distribution over the *same* set, if
+///   the set is unchanged since (otherwise Eq. 9 defines `KL = +∞` and no
+///   downsampling triggers).
+/// * `len` — current number of neighbour entries (`|W|` or `|D|`).
+/// * `k` — downsampling lower bound (`k∘` / `k▷`).
+/// * `r` — KL threshold (`r∘` / `r▷`).
+/// * `epoch` — 1-based epoch counter; Algorithm 3 requires `z > 1`.
+#[allow(clippy::too_many_arguments)]
+pub fn decide<R: Rng + ?Sized>(
+    strategy: DownsampleStrategy,
+    attention: &[f32],
+    prev_attention: Option<&[f32]>,
+    len: usize,
+    k: usize,
+    r: f64,
+    epoch: usize,
+    rng: &mut R,
+) -> Decision {
+    debug_assert_eq!(attention.len(), len + 1, "attention covers target + neighbours");
+    if len <= k || epoch <= 1 {
+        return Decision::Keep;
+    }
+    match strategy {
+        DownsampleStrategy::Off => Decision::Keep,
+        DownsampleStrategy::Random => {
+            // Ablation: drop one uniformly random neighbour each epoch,
+            // KL trigger removed (§4.8).
+            Decision::Drop(rng.gen_range(0..len))
+        }
+        DownsampleStrategy::Attentive => {
+            let Some(prev) = prev_attention else {
+                return Decision::Keep; // set changed since last epoch ⇒ KL = +∞
+            };
+            if prev.len() != attention.len() {
+                return Decision::Keep;
+            }
+            if kl_divergence(prev, attention) >= r {
+                return Decision::Keep;
+            }
+            // Algorithm 1/2 line 3–4: argmin over neighbour weights,
+            // excluding the target's own weight a_{t,t}.
+            let mut best = 0usize;
+            for i in 1..len {
+                if attention[i + 1] < attention[best + 1] {
+                    best = i;
+                }
+            }
+            Decision::Drop(best)
+        }
+    }
+}
+
+/// Eq. 8's contextualized relay edge: binds the deprecated pack `m_{s'}`
+/// into its successor's edge representation via element-wise max-pooling,
+/// so deleting `v_{s'}` does not break the walk's semantics (Figure 2).
+pub fn relay_edge(successor_edge: &[f32], deprecated_pack: &[f32]) -> Vec<f32> {
+    debug_assert_eq!(successor_edge.len(), deprecated_pack.len());
+    successor_edge
+        .iter()
+        .zip(deprecated_pack)
+        .map(|(&e, &m)| e.max(m))
+        .collect()
+}
+
+/// `KL(p ‖ q)` over attention distributions (Eq. 9). Zero entries on
+/// either side yield `+∞` unless `p_i = 0` (those terms vanish).
+pub fn kl_divergence(p: &[f32], q: &[f32]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    let mut total = 0.0f64;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi <= 0.0 {
+            continue;
+        }
+        if qi <= 0.0 {
+            return f64::INFINITY;
+        }
+        total += f64::from(pi) * (f64::from(pi) / f64::from(qi)).ln();
+    }
+    total.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn keeps_when_at_lower_bound() {
+        let attn = vec![0.25; 4];
+        let d = decide(
+            DownsampleStrategy::Attentive,
+            &attn,
+            Some(&attn.clone()),
+            3,
+            3,
+            1e-1,
+            5,
+            &mut rng(),
+        );
+        assert_eq!(d, Decision::Keep);
+    }
+
+    #[test]
+    fn keeps_in_first_epoch() {
+        let attn = vec![0.2; 5];
+        let d = decide(
+            DownsampleStrategy::Attentive,
+            &attn,
+            Some(&attn.clone()),
+            4,
+            2,
+            1e-1,
+            1,
+            &mut rng(),
+        );
+        assert_eq!(d, Decision::Keep);
+    }
+
+    #[test]
+    fn attentive_drops_argmin_when_kl_small() {
+        // Target weight 0.4, neighbours [0.3, 0.05, 0.25]; argmin = local 1.
+        let attn = vec![0.4, 0.3, 0.05, 0.25];
+        let prev = attn.clone();
+        let d = decide(
+            DownsampleStrategy::Attentive,
+            &attn,
+            Some(&prev),
+            3,
+            1,
+            1e-3,
+            3,
+            &mut rng(),
+        );
+        assert_eq!(d, Decision::Drop(1));
+    }
+
+    #[test]
+    fn attentive_keeps_when_kl_large() {
+        let attn = vec![0.4, 0.3, 0.05, 0.25];
+        let prev = vec![0.1, 0.1, 0.4, 0.4];
+        let d = decide(
+            DownsampleStrategy::Attentive,
+            &attn,
+            Some(&prev),
+            3,
+            1,
+            1e-3,
+            3,
+            &mut rng(),
+        );
+        assert_eq!(d, Decision::Keep);
+    }
+
+    #[test]
+    fn attentive_keeps_without_history() {
+        let attn = vec![0.4, 0.3, 0.05, 0.25];
+        let d = decide(
+            DownsampleStrategy::Attentive,
+            &attn,
+            None,
+            3,
+            1,
+            1e-3,
+            3,
+            &mut rng(),
+        );
+        assert_eq!(d, Decision::Keep);
+    }
+
+    #[test]
+    fn random_drops_without_kl() {
+        let attn = vec![0.25; 5];
+        let d = decide(
+            DownsampleStrategy::Random,
+            &attn,
+            None,
+            4,
+            2,
+            1e-9, // threshold irrelevant for Random
+            2,
+            &mut rng(),
+        );
+        match d {
+            Decision::Drop(i) => assert!(i < 4),
+            Decision::Keep => panic!("random strategy should drop"),
+        }
+    }
+
+    #[test]
+    fn off_never_drops() {
+        let attn = vec![0.2; 6];
+        let d = decide(
+            DownsampleStrategy::Off,
+            &attn,
+            Some(&attn.clone()),
+            5,
+            1,
+            1e3,
+            9,
+            &mut rng(),
+        );
+        assert_eq!(d, Decision::Keep);
+    }
+
+    #[test]
+    fn relay_edge_is_elementwise_max() {
+        let relay = relay_edge(&[1.0, -2.0, 0.5], &[0.5, 3.0, 0.5]);
+        assert_eq!(relay, vec![1.0, 3.0, 0.5]);
+    }
+
+    #[test]
+    fn kl_matches_hand_computation() {
+        let kl = kl_divergence(&[0.9, 0.1], &[0.5, 0.5]);
+        assert!((kl - 0.3680).abs() < 1e-3);
+        assert_eq!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]), f64::INFINITY);
+    }
+}

@@ -1,0 +1,683 @@
+//! The WIDEN model: parameters, the wide/deep attentive forward pass
+//! (Eq. 3–7), the classification head (Eq. 10) and inductive inference.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rustc_hash::FxHashMap;
+use widen_graph::{HeteroGraph, NodeId};
+use widen_sampling::{hash_seed, sample_deep_multi, sample_wide};
+use widen_tensor::{he_normal, xavier_uniform, zeros_init, ParamId, ParamStore, Tape, Tensor, Var};
+
+use crate::config::WidenConfig;
+use crate::packaging::{edge_vocab_size, pack_deep, pack_wide, Packed};
+use crate::state::NodeState;
+
+/// Handles of every trainable tensor.
+#[derive(Clone, Copy)]
+pub struct ParamIds {
+    /// Node feature projection `G_node` (`d₀ × d`).
+    pub g_node: ParamId,
+    /// Edge-type embedding table `G_edge` (`(|E types| + |V types|) × d`,
+    /// self-loop rows appended).
+    pub g_edge: ParamId,
+    /// Wide attention query projection `W_Q∘`.
+    pub wide_q: ParamId,
+    /// Wide attention key projection `W_K∘`.
+    pub wide_k: ParamId,
+    /// Wide attention value projection `W_V∘`.
+    pub wide_v: ParamId,
+    /// Successive attention query projection `W_Q▷` (Eq. 4).
+    pub deep_q1: ParamId,
+    /// Successive attention key projection `W_K▷`.
+    pub deep_k1: ParamId,
+    /// Successive attention value projection `W_V▷`.
+    pub deep_v1: ParamId,
+    /// Deep gather query projection `W_Q▷′` (Eq. 5).
+    pub deep_q2: ParamId,
+    /// Deep gather key projection `W_K▷′`.
+    pub deep_k2: ParamId,
+    /// Deep gather value projection `W_V▷′`.
+    pub deep_v2: ParamId,
+    /// Fusion weight `W` (`2d × d`, Eq. 7).
+    pub fuse_w: ParamId,
+    /// Fusion bias `b` (`1 × d`).
+    pub fuse_b: ParamId,
+    /// Classifier projection `C` (`d × c`, Eq. 10).
+    pub classifier: ParamId,
+}
+
+/// Tape-local variables for the parameters, inserted once per tape.
+#[derive(Clone, Copy)]
+pub struct ParamVars {
+    g_node: Var,
+    g_edge: Var,
+    wide_q: Var,
+    wide_k: Var,
+    wide_v: Var,
+    deep_q1: Var,
+    deep_k1: Var,
+    deep_v1: Var,
+    deep_q2: Var,
+    deep_k2: Var,
+    deep_v2: Var,
+    fuse_w: Var,
+    fuse_b: Var,
+    classifier: Var,
+}
+
+impl ParamVars {
+    /// `(ParamId, Var)` pairs for gradient extraction after backward.
+    pub fn pairs(&self, ids: &ParamIds) -> Vec<(ParamId, Var)> {
+        vec![
+            (ids.g_node, self.g_node),
+            (ids.g_edge, self.g_edge),
+            (ids.wide_q, self.wide_q),
+            (ids.wide_k, self.wide_k),
+            (ids.wide_v, self.wide_v),
+            (ids.deep_q1, self.deep_q1),
+            (ids.deep_k1, self.deep_k1),
+            (ids.deep_v1, self.deep_v1),
+            (ids.deep_q2, self.deep_q2),
+            (ids.deep_k2, self.deep_k2),
+            (ids.deep_v2, self.deep_v2),
+            (ids.fuse_w, self.fuse_w),
+            (ids.fuse_b, self.fuse_b),
+            (ids.classifier, self.classifier),
+        ]
+    }
+}
+
+/// Outputs of one node's forward pass.
+pub struct NodeForward {
+    /// Updated node embedding `v_t'` (`1 × d`, Eq. 7).
+    pub embedding: Var,
+    /// Class logits `v_t'·C` (`1 × c`).
+    pub logits: Var,
+    /// Wide attention distribution (`1 × (|W|+1)`, Eq. 3), when the wide
+    /// branch is enabled.
+    pub wide_attention: Option<Var>,
+    /// Per-φ deep attention distribution (`1 × (|D_φ|+1)`, Eq. 5) and the
+    /// packed matrices (`M▷`, `E▷`) needed for relay-edge computation.
+    pub deep: Vec<DeepForward>,
+}
+
+/// Deep-branch forward artefacts for one walk.
+pub struct DeepForward {
+    /// Attention distribution over `[m_t ; packs]` from Eq. 5.
+    pub attention: Var,
+    /// The pack matrix `M▷`.
+    pub packs: Var,
+    /// The edge-representation matrix `E▷`.
+    pub edges: Var,
+}
+
+/// Caches the causal attention masks Θ (Eq. 6) by matrix size.
+#[derive(Default)]
+pub struct MaskCache {
+    masks: FxHashMap<usize, Arc<Tensor>>,
+}
+
+impl MaskCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `n × n` mask with `θ = 0` for `row ≤ col`, `−∞` otherwise.
+    pub fn get(&mut self, n: usize) -> Arc<Tensor> {
+        self.masks
+            .entry(n)
+            .or_insert_with(|| {
+                let mut m = Tensor::zeros(n, n);
+                for row in 0..n {
+                    for col in 0..row {
+                        m.set(row, col, f32::NEG_INFINITY);
+                    }
+                }
+                Arc::new(m)
+            })
+            .clone()
+    }
+}
+
+/// The WIDEN model: configuration, graph metadata and trainable parameters.
+pub struct WidenModel {
+    /// Hyperparameters.
+    pub config: WidenConfig,
+    /// Trainable parameters.
+    pub params: ParamStore,
+    ids: ParamIds,
+    feature_dim: usize,
+    num_edge_types: usize,
+    num_classes: usize,
+}
+
+impl WidenModel {
+    /// Initialises a model sized for `graph` (feature dimensionality, edge
+    /// vocabulary, class count) with Xavier/He weights seeded from
+    /// `config.seed`.
+    ///
+    /// # Panics
+    /// Panics if the graph has no classes or the config is invalid.
+    pub fn for_graph(graph: &HeteroGraph, config: WidenConfig) -> Self {
+        config.validate();
+        assert!(graph.num_classes() >= 2, "classification needs ≥ 2 classes");
+        let mut rng = StdRng::seed_from_u64(hash_seed(config.seed, &[0xC0FFEE]));
+        let d = config.d;
+        let d0 = graph.feature_dim();
+        let vocab = edge_vocab_size(graph.num_edge_types(), graph.num_node_types());
+        let c = graph.num_classes();
+
+        let mut params = ParamStore::new();
+        let g_node = params.register("g_node", xavier_uniform(d0, d, &mut rng));
+        // Edge embeddings start near one so early packs `v ⊙ e ≈ v` and
+        // training can differentiate relations gradually.
+        let mut edge_init = Tensor::full(vocab, d, 1.0);
+        edge_init.add_scaled(1.0, &Tensor::randn(vocab, d, 0.1, &mut rng));
+        let g_edge = params.register("g_edge", edge_init);
+        let wide_q = params.register("wide_q", xavier_uniform(d, d, &mut rng));
+        let wide_k = params.register("wide_k", xavier_uniform(d, d, &mut rng));
+        let wide_v = params.register("wide_v", xavier_uniform(d, d, &mut rng));
+        let deep_q1 = params.register("deep_q1", xavier_uniform(d, d, &mut rng));
+        let deep_k1 = params.register("deep_k1", xavier_uniform(d, d, &mut rng));
+        let deep_v1 = params.register("deep_v1", xavier_uniform(d, d, &mut rng));
+        let deep_q2 = params.register("deep_q2", xavier_uniform(d, d, &mut rng));
+        let deep_k2 = params.register("deep_k2", xavier_uniform(d, d, &mut rng));
+        let deep_v2 = params.register("deep_v2", xavier_uniform(d, d, &mut rng));
+        let fuse_w = params.register("fuse_w", he_normal(2 * d, d, &mut rng));
+        let fuse_b = params.register("fuse_b", zeros_init(1, d));
+        let classifier = params.register("classifier", xavier_uniform(d, c, &mut rng));
+
+        Self {
+            config,
+            params,
+            ids: ParamIds {
+                g_node,
+                g_edge,
+                wide_q,
+                wide_k,
+                wide_v,
+                deep_q1,
+                deep_k1,
+                deep_v1,
+                deep_q2,
+                deep_k2,
+                deep_v2,
+                fuse_w,
+                fuse_b,
+                classifier,
+            },
+            feature_dim: d0,
+            num_edge_types: graph.num_edge_types(),
+            num_classes: c,
+        }
+    }
+
+    /// Parameter handles.
+    pub fn ids(&self) -> &ParamIds {
+        &self.ids
+    }
+
+    /// Number of classes the classifier head produces.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Total trainable scalar count.
+    pub fn parameter_count(&self) -> usize {
+        self.params.scalar_count()
+    }
+
+    /// Serialises the trained weights into a checkpoint buffer
+    /// (hyperparameters and graph metadata live in code/config, weights in
+    /// the checkpoint).
+    pub fn save_weights(&self) -> bytes::Bytes {
+        widen_tensor::save_params(&self.params)
+    }
+
+    /// Restores weights from a checkpoint produced by
+    /// [`WidenModel::save_weights`]. The model must have been constructed
+    /// with the same configuration and graph metadata.
+    ///
+    /// # Panics
+    /// Panics if the checkpoint's parameter names or shapes do not match
+    /// this model.
+    pub fn load_weights(&mut self, checkpoint: &[u8]) {
+        let loaded = widen_tensor::load_params(checkpoint).expect("valid WIDEN checkpoint");
+        assert_eq!(
+            loaded.len(),
+            self.params.len(),
+            "checkpoint parameter count mismatch"
+        );
+        for (id, name, tensor) in loaded.iter() {
+            let _ = id;
+            let target = self
+                .params
+                .id(name)
+                .unwrap_or_else(|| panic!("checkpoint has unknown parameter `{name}`"));
+            assert_eq!(
+                self.params.get(target).shape(),
+                tensor.shape(),
+                "shape mismatch for `{name}`"
+            );
+            *self.params.get_mut(target) = tensor.clone();
+        }
+    }
+
+    /// Copies the current parameter values onto a tape (once per tape).
+    pub fn insert_params(&self, tape: &mut Tape) -> ParamVars {
+        let p = &self.params;
+        let i = &self.ids;
+        ParamVars {
+            g_node: tape.leaf(p.get(i.g_node).clone()),
+            g_edge: tape.leaf(p.get(i.g_edge).clone()),
+            wide_q: tape.leaf(p.get(i.wide_q).clone()),
+            wide_k: tape.leaf(p.get(i.wide_k).clone()),
+            wide_v: tape.leaf(p.get(i.wide_v).clone()),
+            deep_q1: tape.leaf(p.get(i.deep_q1).clone()),
+            deep_k1: tape.leaf(p.get(i.deep_k1).clone()),
+            deep_v1: tape.leaf(p.get(i.deep_v1).clone()),
+            deep_q2: tape.leaf(p.get(i.deep_q2).clone()),
+            deep_k2: tape.leaf(p.get(i.deep_k2).clone()),
+            deep_v2: tape.leaf(p.get(i.deep_v2).clone()),
+            fuse_w: tape.leaf(p.get(i.fuse_w).clone()),
+            fuse_b: tape.leaf(p.get(i.fuse_b).clone()),
+            classifier: tape.leaf(p.get(i.classifier).clone()),
+        }
+    }
+
+    /// One full wide-and-deep message-passing step for a target node
+    /// (Eq. 1–7 + classification head), honouring the configured
+    /// [`crate::ablation::Variant`].
+    pub fn forward_node(
+        &self,
+        tape: &mut Tape,
+        pv: &ParamVars,
+        graph: &HeteroGraph,
+        state: &NodeState,
+        masks: &mut MaskCache,
+    ) -> NodeForward {
+        assert_eq!(
+            graph.feature_dim(),
+            self.feature_dim,
+            "graph feature dimensionality changed"
+        );
+        let d = self.config.d;
+        let variant = self.config.variant;
+        let inv_sqrt_d = 1.0 / (d as f32).sqrt();
+
+        // Wide branch (Eq. 1, 3).
+        let mut wide_attention = None;
+        let h_wide = if variant.use_wide {
+            let Packed { packs, .. } = pack_wide(
+                tape,
+                graph,
+                &state.wide,
+                pv.g_node,
+                pv.g_edge,
+                self.num_edge_types,
+            );
+            let m_t = tape.select_rows(packs, &[0]);
+            let q = tape.matmul(m_t, pv.wide_q);
+            let k = tape.matmul(packs, pv.wide_k);
+            let scores = tape.matmul_nt(q, k);
+            let scaled = tape.scale(scores, inv_sqrt_d);
+            let attn = tape.softmax_rows(scaled);
+            wide_attention = Some(attn);
+            let values = tape.matmul(packs, pv.wide_v);
+            tape.matmul(attn, values)
+        } else {
+            tape.leaf(Tensor::zeros(1, d))
+        };
+
+        // Deep branch (Eq. 2, 4–6), one pass per sampled walk.
+        let mut deep_outputs = Vec::new();
+        let h_deep = if variant.use_deep && !state.deeps.is_empty() {
+            let mut h_phis = Vec::with_capacity(state.deeps.len());
+            for deep_state in &state.deeps {
+                let Packed { packs, edges } = pack_deep(
+                    tape,
+                    graph,
+                    deep_state,
+                    pv.g_node,
+                    pv.g_edge,
+                    self.num_edge_types,
+                );
+                let rows = deep_state.len() + 1;
+
+                // Eq. 4: successive self-attention with the causal mask Θ.
+                let refined = if variant.successive_attention {
+                    let q1 = tape.matmul(packs, pv.deep_q1);
+                    let k1 = tape.matmul(packs, pv.deep_k1);
+                    let scores = tape.matmul_nt(q1, k1);
+                    let scaled = tape.scale(scores, inv_sqrt_d);
+                    let att = tape.masked_softmax_rows(scaled, masks.get(rows));
+                    let v1 = tape.matmul(packs, pv.deep_v1);
+                    tape.matmul(att, v1)
+                } else {
+                    packs
+                };
+
+                // Eq. 5: gather into the target. The query is the target's
+                // own pack m_t▷, keys come from the refined sequence H▷,
+                // values from the raw packs M▷ (as written in the paper).
+                let m_t = tape.select_rows(packs, &[0]);
+                let q2 = tape.matmul(m_t, pv.deep_q2);
+                let k2 = tape.matmul(refined, pv.deep_k2);
+                let scores2 = tape.matmul_nt(q2, k2);
+                let scaled2 = tape.scale(scores2, inv_sqrt_d);
+                let attn = tape.softmax_rows(scaled2);
+                let v2 = tape.matmul(packs, pv.deep_v2);
+                let h_phi = tape.matmul(attn, v2);
+                h_phis.push(h_phi);
+                deep_outputs.push(DeepForward { attention: attn, packs, edges });
+            }
+            // Average pooling over the Φ walks (Eq. 7).
+            if h_phis.len() == 1 {
+                h_phis[0]
+            } else {
+                let stacked = tape.vstack(&h_phis);
+                tape.mean_rows(stacked)
+            }
+        } else {
+            tape.leaf(Tensor::zeros(1, d))
+        };
+
+        // Eq. 7: fuse, feed-forward, L2 normalise.
+        let concat = tape.hstack(&[h_wide, h_deep]);
+        let ff = tape.matmul(concat, pv.fuse_w);
+        let biased = tape.add_row_broadcast(ff, pv.fuse_b);
+        let activated = tape.relu(biased);
+        let embedding = tape.l2_normalize_rows(activated);
+
+        // Eq. 10 head.
+        let logits = tape.matmul(embedding, pv.classifier);
+
+        NodeForward { embedding, logits, wide_attention, deep: deep_outputs }
+    }
+
+    /// Samples fresh neighbourhoods for a node at inference time (no
+    /// downsampling) — this is what makes WIDEN inductive: unseen nodes are
+    /// embedded purely from their sampled context and the trained weights.
+    pub fn sample_state(&self, graph: &HeteroGraph, node: NodeId, seed: u64) -> NodeState {
+        let mut rng = StdRng::seed_from_u64(hash_seed(seed, &[u64::from(node)]));
+        let wide = sample_wide(graph, node, self.config.n_w, &mut rng);
+        let deeps = sample_deep_multi(graph, node, self.config.n_d, self.config.phi, &mut rng);
+        NodeState::new(wide, deeps)
+    }
+
+    /// Embeds the listed nodes (`len × d`), sampling fresh neighbourhoods
+    /// with `seed`. Parallelised over chunks of nodes.
+    pub fn embed_nodes(&self, graph: &HeteroGraph, nodes: &[NodeId], seed: u64) -> Tensor {
+        let rows = self.forward_many(graph, nodes, seed, |tape, fw| {
+            tape.value(fw.embedding).row(0).to_vec()
+        });
+        let mut out = Tensor::zeros(nodes.len(), self.config.d);
+        for (i, row) in rows.into_iter().enumerate() {
+            out.set_row(i, &row);
+        }
+        out
+    }
+
+    /// Predicts class labels for the listed nodes.
+    pub fn predict(&self, graph: &HeteroGraph, nodes: &[NodeId], seed: u64) -> Vec<usize> {
+        self.forward_many(graph, nodes, seed, |tape, fw| {
+            tape.value(fw.logits).argmax_row(0)
+        })
+    }
+
+    /// Predicts by averaging logits over `rounds` independently sampled
+    /// neighbourhoods per node. Since the forward pass is stochastic in its
+    /// neighbourhood sample, averaging reduces inference variance — the
+    /// usual test-time practice for sampling-based GNNs.
+    pub fn predict_ensemble(
+        &self,
+        graph: &HeteroGraph,
+        nodes: &[NodeId],
+        seed: u64,
+        rounds: usize,
+    ) -> Vec<usize> {
+        assert!(rounds >= 1, "need at least one round");
+        let mut sums: Vec<Vec<f32>> = vec![vec![0.0; self.num_classes]; nodes.len()];
+        for r in 0..rounds as u64 {
+            let logits = self.forward_many(graph, nodes, hash_seed(seed, &[40, r]), |tape, fw| {
+                tape.value(fw.logits).row(0).to_vec()
+            });
+            for (sum, row) in sums.iter_mut().zip(logits) {
+                for (s, v) in sum.iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+        }
+        sums.iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty class set")
+            })
+            .collect()
+    }
+
+    /// Runs inference forward passes for many nodes in parallel chunks,
+    /// extracting an arbitrary value from each [`NodeForward`].
+    fn forward_many<T: Send>(
+        &self,
+        graph: &HeteroGraph,
+        nodes: &[NodeId],
+        seed: u64,
+        extract: impl Fn(&Tape, &NodeForward) -> T + Sync,
+    ) -> Vec<T> {
+        use rayon::prelude::*;
+        let chunk = nodes.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+        nodes
+            .par_chunks(chunk)
+            .flat_map_iter(|chunk_nodes| {
+                let mut tape = Tape::new();
+                let pv = self.insert_params(&mut tape);
+                let mut masks = MaskCache::new();
+                chunk_nodes
+                    .iter()
+                    .map(|&node| {
+                        let state = self.sample_state(graph, node, seed);
+                        let fw = self.forward_node(&mut tape, &pv, graph, &state, &mut masks);
+                        extract(&tape, &fw)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ablation::Variant;
+    use widen_graph::GraphBuilder;
+
+    fn toy_graph() -> HeteroGraph {
+        let mut b = GraphBuilder::new(&["a", "b"], &["ab", "bb"]).with_classes(2);
+        let ta = b.node_type("a");
+        let tb = b.node_type("b");
+        let eab = b.edge_type("ab");
+        let ebb = b.edge_type("bb");
+        let mut ids = Vec::new();
+        for i in 0..6 {
+            let t = if i % 2 == 0 { ta } else { tb };
+            let label = (i % 2 == 0).then_some((i / 3) as u16);
+            ids.push(b.add_node(t, vec![i as f32 * 0.1, 1.0 - i as f32 * 0.1, 0.5], label));
+        }
+        b.add_edge(ids[0], ids[1], eab);
+        b.add_edge(ids[2], ids[1], eab);
+        b.add_edge(ids[1], ids[3], ebb);
+        b.add_edge(ids[3], ids[5], ebb);
+        b.add_edge(ids[4], ids[5], eab);
+        b.add_edge(ids[0], ids[5], eab);
+        b.build()
+    }
+
+    fn small_config() -> WidenConfig {
+        let mut c = WidenConfig::small();
+        c.d = 8;
+        c.n_w = 3;
+        c.n_d = 4;
+        c.phi = 2;
+        c
+    }
+
+    #[test]
+    fn forward_produces_unit_norm_embedding() {
+        let g = toy_graph();
+        let model = WidenModel::for_graph(&g, small_config());
+        let mut tape = Tape::new();
+        let pv = model.insert_params(&mut tape);
+        let mut masks = MaskCache::new();
+        let state = model.sample_state(&g, 0, 7);
+        let fw = model.forward_node(&mut tape, &pv, &g, &state, &mut masks);
+        let emb = tape.value(fw.embedding);
+        assert_eq!(emb.shape(), (1, 8));
+        let norm: f32 = emb.row(0).iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4 || norm == 0.0, "norm = {norm}");
+        let logits = tape.value(fw.logits);
+        assert_eq!(logits.shape(), (1, 2));
+    }
+
+    #[test]
+    fn attention_distributions_are_probabilities() {
+        let g = toy_graph();
+        let model = WidenModel::for_graph(&g, small_config());
+        let mut tape = Tape::new();
+        let pv = model.insert_params(&mut tape);
+        let mut masks = MaskCache::new();
+        let state = model.sample_state(&g, 1, 3);
+        let fw = model.forward_node(&mut tape, &pv, &g, &state, &mut masks);
+        let wide = tape.value(fw.wide_attention.unwrap());
+        assert_eq!(wide.cols(), state.wide.len() + 1);
+        assert!((wide.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        for dfw in &fw.deep {
+            let a = tape.value(dfw.attention);
+            assert!((a.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn variant_no_wide_omits_wide_attention() {
+        let g = toy_graph();
+        let cfg = small_config().with_variant(Variant::no_wide());
+        let model = WidenModel::for_graph(&g, cfg);
+        let mut tape = Tape::new();
+        let pv = model.insert_params(&mut tape);
+        let mut masks = MaskCache::new();
+        let state = model.sample_state(&g, 0, 1);
+        let fw = model.forward_node(&mut tape, &pv, &g, &state, &mut masks);
+        assert!(fw.wide_attention.is_none());
+        assert!(!fw.deep.is_empty());
+    }
+
+    #[test]
+    fn variant_no_deep_omits_deep_outputs() {
+        let g = toy_graph();
+        let cfg = small_config().with_variant(Variant::no_deep());
+        let model = WidenModel::for_graph(&g, cfg);
+        let mut tape = Tape::new();
+        let pv = model.insert_params(&mut tape);
+        let mut masks = MaskCache::new();
+        let state = model.sample_state(&g, 0, 1);
+        let fw = model.forward_node(&mut tape, &pv, &g, &state, &mut masks);
+        assert!(fw.wide_attention.is_some());
+        assert!(fw.deep.is_empty());
+    }
+
+    #[test]
+    fn causal_mask_blocks_backward_attention() {
+        let mut cache = MaskCache::new();
+        let m = cache.get(4);
+        for row in 0..4 {
+            for col in 0..4 {
+                if row <= col {
+                    assert_eq!(m.get(row, col), 0.0);
+                } else {
+                    assert_eq!(m.get(row, col), f32::NEG_INFINITY);
+                }
+            }
+        }
+        // Cache hit returns the same allocation.
+        let m2 = cache.get(4);
+        assert!(Arc::ptr_eq(&m, &m2));
+    }
+
+    #[test]
+    fn embed_and_predict_shapes() {
+        let g = toy_graph();
+        let model = WidenModel::for_graph(&g, small_config());
+        let nodes: Vec<u32> = (0..6).collect();
+        let emb = model.embed_nodes(&g, &nodes, 11);
+        assert_eq!(emb.shape(), (6, 8));
+        assert!(emb.all_finite());
+        let preds = model.predict(&g, &nodes, 11);
+        assert_eq!(preds.len(), 6);
+        assert!(preds.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn inference_is_seed_deterministic() {
+        let g = toy_graph();
+        let model = WidenModel::for_graph(&g, small_config());
+        let nodes: Vec<u32> = (0..6).collect();
+        let a = model.embed_nodes(&g, &nodes, 5);
+        let b = model.embed_nodes(&g, &nodes, 5);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn embeddings_differ_across_nodes() {
+        let g = toy_graph();
+        let model = WidenModel::for_graph(&g, small_config());
+        let emb = model.embed_nodes(&g, &[0, 3], 2);
+        let diff: f32 = emb
+            .row(0)
+            .iter()
+            .zip(emb.row(1))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-4, "distinct nodes should embed differently");
+    }
+
+    #[test]
+    fn parameter_count_is_reported() {
+        let g = toy_graph();
+        let model = WidenModel::for_graph(&g, small_config());
+        // d0=3, d=8, vocab=2+2, c=2:
+        // g_node 24 + g_edge 32 + 9·64 + fuse 128+8 + clf 16 = 784.
+        assert_eq!(model.parameter_count(), 784);
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let g = toy_graph();
+        let model = WidenModel::for_graph(&g, small_config());
+        let mut tape = Tape::new();
+        let pv = model.insert_params(&mut tape);
+        let mut masks = MaskCache::new();
+        let state = model.sample_state(&g, 0, 1);
+        let fw = model.forward_node(&mut tape, &pv, &g, &state, &mut masks);
+        let loss = tape.softmax_cross_entropy(fw.logits, &[0]);
+        tape.backward(loss);
+        for (id, var) in pv.pairs(model.ids()) {
+            let name = model.params.name(id);
+            let grad = tape.grad(var);
+            assert!(grad.is_some(), "no gradient for `{name}`");
+            // ReLU can zero out some paths, but most parameters must
+            // receive non-trivial gradient signal.
+            if ["classifier", "fuse_w", "g_node"].contains(&name) {
+                assert!(
+                    grad.unwrap().frobenius_norm() > 0.0,
+                    "zero gradient for `{name}`"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Heterogeneous message packaging (Eq. 1–2) — `PACK∘` and `PACK▷`.
+//!
+//! A *message pack* is the element-wise interaction `m = v ⊙ e` between a
+//! node representation and the embedding of the edge connecting it towards
+//! the target. The pack matrix stacks the target's own self-loop pack
+//! `m_t = v_t ⊙ e_{t,t}` on top of all neighbour packs.
+
+use widen_graph::HeteroGraph;
+use widen_tensor::{Tape, Tensor, Var};
+
+use crate::state::DeepState;
+use widen_sampling::WideSet;
+
+/// Edge-vocabulary index of a graph edge type.
+///
+/// The model's edge-embedding table `G_edge` holds one row per graph edge
+/// type followed by one learned **self-loop** row per node type (§3.1: "we
+/// also learn a self-loop edge embedding `e_{t,t}` between the same type of
+/// nodes").
+pub fn edge_index(edge_type: u16) -> usize {
+    edge_type as usize
+}
+
+/// Edge-vocabulary index of the self-loop edge for a node type.
+pub fn self_loop_index(num_edge_types: usize, node_type: u16) -> usize {
+    num_edge_types + node_type as usize
+}
+
+/// Size of the model's edge vocabulary.
+pub fn edge_vocab_size(num_edge_types: usize, num_node_types: usize) -> usize {
+    num_edge_types + num_node_types
+}
+
+/// Intermediate results of a `PACK` call that the attention and
+/// downsampling stages consume.
+pub struct Packed {
+    /// The pack matrix `M` (`(|set|+1) × d`): row 0 is `m_t`.
+    pub packs: Var,
+    /// The edge-representation matrix `E` used to build `M` (same shape);
+    /// row `s+1` is the edge representation of local position `s`. Needed
+    /// by Eq. 8's relay computation.
+    pub edges: Var,
+}
+
+/// `PACK∘` (Eq. 1): builds the wide pack matrix for `target` and its
+/// sampled wide neighbours.
+pub fn pack_wide(
+    tape: &mut Tape,
+    graph: &HeteroGraph,
+    wide: &WideSet,
+    g_node: Var,
+    g_edge: Var,
+    num_edge_types: usize,
+) -> Packed {
+    let ids: Vec<u32> = std::iter::once(wide.target)
+        .chain(wide.entries.iter().map(|e| e.node))
+        .collect();
+    let edge_rows: Vec<usize> = std::iter::once(self_loop_index(
+        num_edge_types,
+        graph.node_type(wide.target).0,
+    ))
+    .chain(wide.entries.iter().map(|e| edge_index(e.edge_type)))
+    .collect();
+    pack_from_ids(tape, graph, &ids, &edge_rows, g_node, g_edge)
+}
+
+/// `PACK▷` (Eq. 2): builds the deep pack matrix for one walk, honouring
+/// relay-edge overrides left behind by Algorithm 2.
+pub fn pack_deep(
+    tape: &mut Tape,
+    graph: &HeteroGraph,
+    deep: &DeepState,
+    g_node: Var,
+    g_edge: Var,
+    num_edge_types: usize,
+) -> Packed {
+    let ids: Vec<u32> = std::iter::once(deep.set.target)
+        .chain(deep.set.entries.iter().map(|e| e.node))
+        .collect();
+
+    let features = gather_features(graph, &ids);
+    let x = tape.leaf(features);
+    let v = tape.matmul(x, g_node);
+
+    let has_override = deep.edge_override.iter().any(Option::is_some);
+    let edges = if has_override {
+        // Mixed rows: trainable edge-type embeddings where no relay exists,
+        // constant relay vectors elsewhere.
+        let mut rows: Vec<Var> = Vec::with_capacity(ids.len());
+        let self_loop = self_loop_index(num_edge_types, graph.node_type(deep.set.target).0);
+        rows.push(tape.select_rows(g_edge, &[self_loop]));
+        for (s, entry) in deep.set.entries.iter().enumerate() {
+            match &deep.edge_override[s] {
+                Some(relay) => rows.push(tape.leaf(Tensor::row_vector(relay))),
+                None => rows.push(tape.select_rows(g_edge, &[edge_index(entry.edge_type)])),
+            }
+        }
+        tape.vstack(&rows)
+    } else {
+        let edge_rows: Vec<usize> = std::iter::once(self_loop_index(
+            num_edge_types,
+            graph.node_type(deep.set.target).0,
+        ))
+        .chain(deep.set.entries.iter().map(|e| edge_index(e.edge_type)))
+        .collect();
+        tape.select_rows(g_edge, &edge_rows)
+    };
+
+    let packs = tape.mul(v, edges);
+    Packed { packs, edges }
+}
+
+fn pack_from_ids(
+    tape: &mut Tape,
+    graph: &HeteroGraph,
+    ids: &[u32],
+    edge_rows: &[usize],
+    g_node: Var,
+    g_edge: Var,
+) -> Packed {
+    let x = tape.leaf(gather_features(graph, ids));
+    let v = tape.matmul(x, g_node);
+    let edges = tape.select_rows(g_edge, edge_rows);
+    let packs = tape.mul(v, edges);
+    Packed { packs, edges }
+}
+
+/// Gathers raw feature rows for the listed nodes into a `(len, d₀)` tensor.
+fn gather_features(graph: &HeteroGraph, ids: &[u32]) -> Tensor {
+    let mut out = Tensor::zeros(ids.len(), graph.feature_dim());
+    for (i, &id) in ids.iter().enumerate() {
+        out.set_row(i, graph.feature_row(id));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widen_graph::GraphBuilder;
+    use widen_sampling::{DeepEntry, DeepSet, WideEntry};
+    use widen_tensor::Tensor;
+
+    fn toy_graph() -> HeteroGraph {
+        let mut b = GraphBuilder::new(&["a", "b"], &["ab"]);
+        let ta = b.node_type("a");
+        let tb = b.node_type("b");
+        let e = b.edge_type("ab");
+        let n0 = b.add_node(ta, vec![1.0, 2.0], None);
+        let n1 = b.add_node(tb, vec![3.0, 4.0], None);
+        let n2 = b.add_node(tb, vec![5.0, 6.0], None);
+        b.add_edge(n0, n1, e);
+        b.add_edge(n0, n2, e);
+        b.build()
+    }
+
+    #[test]
+    fn edge_vocabulary_layout() {
+        assert_eq!(edge_index(3), 3);
+        assert_eq!(self_loop_index(4, 2), 6);
+        assert_eq!(edge_vocab_size(4, 3), 7);
+    }
+
+    #[test]
+    fn wide_pack_is_v_odot_e() {
+        let g = toy_graph();
+        let wide = WideSet {
+            target: 0,
+            entries: vec![WideEntry { node: 1, edge_type: 0 }],
+        };
+        let mut tape = Tape::new();
+        // d = 2, identity node projection, distinguishable edge rows.
+        let g_node = tape.leaf(Tensor::eye(2));
+        // Edge vocab: [ab, selfloop-a, selfloop-b].
+        let g_edge = tape.leaf(Tensor::from_rows(&[
+            &[10.0, 10.0], // ab
+            &[1.0, 1.0],   // self-loop a
+            &[2.0, 2.0],   // self-loop b
+        ]));
+        let packed = pack_wide(&mut tape, &g, &wide, g_node, g_edge, 1);
+        let m = tape.value(packed.packs);
+        assert_eq!(m.shape(), (2, 2));
+        // Row 0: v_0 ⊙ selfloop-a = [1,2] ⊙ [1,1].
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        // Row 1: v_1 ⊙ e_ab = [3,4] ⊙ [10,10].
+        assert_eq!(m.row(1), &[30.0, 40.0]);
+    }
+
+    #[test]
+    fn deep_pack_respects_overrides() {
+        let g = toy_graph();
+        let set = DeepSet {
+            target: 0,
+            entries: vec![
+                DeepEntry { node: 1, edge_type: 0 },
+                DeepEntry { node: 2, edge_type: 0 },
+            ],
+        };
+        let mut deep = DeepState::new(set);
+        deep.edge_override[1] = Some(vec![100.0, 100.0]);
+
+        let mut tape = Tape::new();
+        let g_node = tape.leaf(Tensor::eye(2));
+        let g_edge = tape.leaf(Tensor::from_rows(&[
+            &[10.0, 10.0],
+            &[1.0, 1.0],
+            &[2.0, 2.0],
+        ]));
+        let packed = pack_deep(&mut tape, &g, &deep, g_node, g_edge, 1);
+        let m = tape.value(packed.packs);
+        assert_eq!(m.shape(), (3, 2));
+        // Position 0 uses the trainable edge row.
+        assert_eq!(m.row(1), &[30.0, 40.0]);
+        // Position 1 uses the relay override.
+        assert_eq!(m.row(2), &[500.0, 600.0]);
+        // The edge matrix exposes the same representations.
+        let e = tape.value(packed.edges);
+        assert_eq!(e.row(2), &[100.0, 100.0]);
+    }
+
+    #[test]
+    fn empty_sets_pack_only_the_self_message() {
+        let g = toy_graph();
+        let wide = WideSet { target: 2, entries: vec![] };
+        let mut tape = Tape::new();
+        let g_node = tape.leaf(Tensor::eye(2));
+        let g_edge = tape.leaf(Tensor::from_rows(&[
+            &[10.0, 10.0],
+            &[1.0, 1.0],
+            &[2.0, 2.0],
+        ]));
+        let packed = pack_wide(&mut tape, &g, &wide, g_node, g_edge, 1);
+        let m = tape.value(packed.packs);
+        assert_eq!(m.shape(), (1, 2));
+        // v_2 ⊙ selfloop-b = [5,6] ⊙ [2,2].
+        assert_eq!(m.row(0), &[10.0, 12.0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-node training state: sampled neighbour sets, relay-edge overrides,
+//! and the previous epoch's attention distributions for the KL trigger.
+
+use widen_sampling::{DeepSet, WideSet};
+
+/// A deep walk plus its per-position edge representations.
+///
+/// After Algorithm 2 prunes position `s'`, the successor's edge embedding is
+/// replaced by a *contextualized relay edge* (Eq. 8) — a fixed vector
+/// computed from the deprecated pack at prune time. Positions without an
+/// override use the trainable edge-type embedding row.
+#[derive(Clone, Debug)]
+pub struct DeepState {
+    /// The (current, possibly pruned) walk.
+    pub set: DeepSet,
+    /// Parallel to `set.entries`: `Some(relay)` replaces the trainable edge
+    /// embedding at that position. Relay vectors are detached snapshots —
+    /// Algorithm 2 stores concrete pack values, not symbolic expressions.
+    pub edge_override: Vec<Option<Vec<f32>>>,
+    /// Attention distribution over `[m_t ; packs]` from the previous epoch
+    /// (`|set| + 1` entries), if the set is unchanged since then.
+    pub prev_attention: Option<Vec<f32>>,
+}
+
+impl DeepState {
+    /// Wraps a freshly sampled walk.
+    pub fn new(set: DeepSet) -> Self {
+        let n = set.entries.len();
+        Self { set, edge_override: vec![None; n], prev_attention: None }
+    }
+
+    /// Applies the pruning bookkeeping for local index `s'` *after* the
+    /// caller computed (and stored) the relay override on `s' + 1`:
+    /// removes the entry and its override slot, and invalidates the stored
+    /// attention (the set changed, so Eq. 9 yields +∞ next epoch).
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    pub fn prune(&mut self, s: usize) {
+        self.set.remove_local(s);
+        self.edge_override.remove(s);
+        self.prev_attention = None;
+    }
+
+    /// Current walk length `|D(v_t)|`.
+    pub fn len(&self) -> usize {
+        self.set.entries.len()
+    }
+
+    /// Whether the walk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.entries.is_empty()
+    }
+}
+
+/// Full per-target-node state carried across training epochs.
+///
+/// The neighbour sets are sampled **once** before training (Algorithm 3
+/// line 3) and only shrink afterwards; this is what makes consecutive-epoch
+/// attention distributions comparable in Eq. 9.
+#[derive(Clone, Debug)]
+pub struct NodeState {
+    /// The wide neighbour set.
+    pub wide: WideSet,
+    /// Previous epoch's wide attention (`|W| + 1` entries), if comparable.
+    pub prev_wide_attention: Option<Vec<f32>>,
+    /// The Φ deep walks.
+    pub deeps: Vec<DeepState>,
+}
+
+impl NodeState {
+    /// Bundles freshly sampled neighbourhoods.
+    pub fn new(wide: WideSet, deeps: Vec<DeepSet>) -> Self {
+        Self {
+            wide,
+            prev_wide_attention: None,
+            deeps: deeps.into_iter().map(DeepState::new).collect(),
+        }
+    }
+
+    /// Removes wide local index `n`, invalidating the stored attention.
+    pub fn prune_wide(&mut self, n: usize) {
+        self.wide.remove_local(n);
+        self.prev_wide_attention = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widen_sampling::{DeepEntry, WideEntry};
+
+    fn wide(n: usize) -> WideSet {
+        WideSet {
+            target: 0,
+            entries: (0..n)
+                .map(|i| WideEntry { node: i as u32 + 1, edge_type: 0 })
+                .collect(),
+        }
+    }
+
+    fn deep(n: usize) -> DeepSet {
+        DeepSet {
+            target: 0,
+            entries: (0..n)
+                .map(|i| DeepEntry { node: i as u32 + 1, edge_type: 0 })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn prune_wide_invalidates_attention() {
+        let mut state = NodeState::new(wide(5), vec![deep(4)]);
+        state.prev_wide_attention = Some(vec![0.2; 6]);
+        state.prune_wide(1);
+        assert_eq!(state.wide.len(), 4);
+        assert!(state.prev_wide_attention.is_none());
+    }
+
+    #[test]
+    fn deep_prune_removes_override_slot() {
+        let mut d = DeepState::new(deep(4));
+        d.edge_override[2] = Some(vec![1.0]);
+        d.prev_attention = Some(vec![0.25; 5]);
+        d.prune(1);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.edge_override.len(), 3);
+        // The override that was at position 2 is now at position 1.
+        assert!(d.edge_override[1].is_some());
+        assert!(d.prev_attention.is_none());
+    }
+
+    #[test]
+    fn new_states_have_no_history() {
+        let state = NodeState::new(wide(3), vec![deep(2), deep(2)]);
+        assert!(state.prev_wide_attention.is_none());
+        assert_eq!(state.deeps.len(), 2);
+        assert!(state.deeps.iter().all(|d| d.prev_attention.is_none()));
+        assert!(state.deeps.iter().all(|d| d.edge_override.iter().all(Option::is_none)));
+    }
+}

@@ -1,0 +1,567 @@
+//! Training WIDEN (Algorithm 3): mini-batch semi-supervised cross-entropy
+//! with active downsampling.
+//!
+//! Per epoch, every training node is visited once; its forward pass records
+//! the wide/deep attention distributions, which (a) feed the KL trigger
+//! (Eq. 9) against last epoch's distributions and (b) locate the
+//! least-contributing neighbour for the argmin drop (Algorithms 1–2).
+//! Gradient work is parallelised over batch chunks with deterministic
+//! chunk-ordered reduction, so fixed seeds give bit-stable runs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rustc_hash::FxHashMap;
+use widen_graph::{HeteroGraph, NodeId};
+use widen_sampling::hash_seed;
+use widen_tensor::{Adam, Optimizer, Tape, Tensor};
+
+use crate::downsample::{decide, relay_edge, Decision};
+use crate::model::{MaskCache, WidenModel};
+
+/// Per-epoch training telemetry.
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// Mean training cross-entropy per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Wall-clock seconds per epoch.
+    pub epoch_secs: Vec<f64>,
+    /// Wide neighbours dropped by downsampling, cumulative.
+    pub wide_drops: usize,
+    /// Deep packs pruned by downsampling, cumulative.
+    pub deep_drops: usize,
+    /// Relay edges generated while pruning (Eq. 8), cumulative.
+    pub relay_edges: usize,
+}
+
+impl TrainReport {
+    /// Final epoch's mean loss (0 before training).
+    pub fn final_loss(&self) -> f64 {
+        self.epoch_losses.last().copied().unwrap_or(0.0)
+    }
+
+    /// Total training seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.epoch_secs.iter().sum()
+    }
+}
+
+/// Outcome of one node's epoch visit, produced inside parallel chunks and
+/// applied to the persistent state sequentially.
+struct NodeOutcome {
+    node: NodeId,
+    wide_attention: Option<Vec<f32>>,
+    wide_decision: Decision,
+    deep: Vec<DeepOutcome>,
+}
+
+struct DeepOutcome {
+    attention: Vec<f32>,
+    decision: Decision,
+    /// `(position, relay vector)` to install before pruning.
+    relay: Option<(usize, Vec<f32>)>,
+}
+
+/// Drives Algorithm 3 over a training node set.
+pub struct Trainer<'g> {
+    model: WidenModel,
+    graph: &'g HeteroGraph,
+    states: FxHashMap<NodeId, crate::state::NodeState>,
+    optimizer: Adam,
+}
+
+impl<'g> Trainer<'g> {
+    /// Prepares training: samples every node's initial wide/deep
+    /// neighbourhoods (Algorithm 3 line 3) and sets up Adam with the
+    /// configured learning rate and L2 strength.
+    pub fn new(model: WidenModel, graph: &'g HeteroGraph, train_nodes: &[NodeId]) -> Self {
+        let seed = model.config.seed;
+        let mut states = FxHashMap::default();
+        for &node in train_nodes {
+            states.insert(node, model.sample_state(graph, node, hash_seed(seed, &[1])));
+        }
+        let optimizer = Adam::with_lr(model.config.learning_rate, model.config.weight_decay);
+        Self { model, graph, states, optimizer }
+    }
+
+    /// Read access to the model.
+    pub fn model(&self) -> &WidenModel {
+        &self.model
+    }
+
+    /// Consumes the trainer, returning the trained model.
+    pub fn into_model(self) -> WidenModel {
+        self.model
+    }
+
+    /// Current neighbour-set sizes `(Σ|W|, Σ|D| over walks)` across all
+    /// training nodes — used by tests and the efficiency harness to verify
+    /// downsampling actually shrinks the message volume.
+    pub fn neighbor_volume(&self) -> (usize, usize) {
+        let mut wide = 0;
+        let mut deep = 0;
+        for state in self.states.values() {
+            wide += state.wide.len();
+            deep += state.deeps.iter().map(|d| d.len()).sum::<usize>();
+        }
+        (wide, deep)
+    }
+
+    /// Algorithm 3's loop condition is "until `L` converges **or**
+    /// `z = Z`": trains for at most `config.epochs` epochs, stopping early
+    /// once the relative epoch-loss improvement stays below `tol` for
+    /// `patience` consecutive epochs.
+    pub fn fit_until_converged(
+        &mut self,
+        train_nodes: &[NodeId],
+        tol: f64,
+        patience: usize,
+    ) -> TrainReport {
+        assert!(patience >= 1, "patience must be at least 1");
+        self.fit_impl(train_nodes, Some((tol, patience)))
+    }
+
+    /// Runs `config.epochs` training epochs over `train_nodes` (labelled).
+    ///
+    /// # Panics
+    /// Panics if any training node is unlabelled or was not given to
+    /// [`Trainer::new`].
+    pub fn fit(&mut self, train_nodes: &[NodeId]) -> TrainReport {
+        self.fit_impl(train_nodes, None)
+    }
+
+    fn fit_impl(
+        &mut self,
+        train_nodes: &[NodeId],
+        convergence: Option<(f64, usize)>,
+    ) -> TrainReport {
+        let config = self.model.config.clone();
+        let mut report = TrainReport::default();
+        let mut order: Vec<NodeId> = train_nodes.to_vec();
+        for &node in &order {
+            assert!(
+                self.graph.label(node).is_some(),
+                "training node {node} is unlabelled"
+            );
+            assert!(self.states.contains_key(&node), "node {node} missing from trainer");
+        }
+
+        for epoch in 1..=config.epochs {
+            let start = std::time::Instant::now();
+            let mut shuffle_rng = StdRng::seed_from_u64(hash_seed(config.seed, &[2, epoch as u64]));
+            order.shuffle(&mut shuffle_rng);
+
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            for batch in order.chunks(config.batch_size) {
+                let (loss, outcomes) = self.train_batch(batch, epoch);
+                epoch_loss += loss;
+                batches += 1;
+                self.apply_outcomes(outcomes, &mut report);
+            }
+            report.epoch_losses.push(epoch_loss / batches.max(1) as f64);
+            report.epoch_secs.push(start.elapsed().as_secs_f64());
+
+            if let Some((tol, patience)) = convergence {
+                let losses = &report.epoch_losses;
+                if losses.len() > patience {
+                    let converged = (0..patience).all(|k| {
+                        let idx = losses.len() - 1 - k;
+                        let prev = losses[idx - 1];
+                        let curr = losses[idx];
+                        prev - curr < tol * prev.abs().max(1e-12)
+                    });
+                    if converged {
+                        break;
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// One gradient step over a batch; returns the batch loss and the
+    /// downsampling outcomes to apply.
+    fn train_batch(&mut self, batch: &[NodeId], epoch: usize) -> (f64, Vec<NodeOutcome>) {
+        use rayon::prelude::*;
+        let chunk_size = batch.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+        let batch_len = batch.len();
+
+        let chunk_results: Vec<ChunkResult> = batch
+            .par_chunks(chunk_size)
+            .map(|chunk| self.run_chunk(chunk, epoch, batch_len))
+            .collect();
+
+        // Deterministic reduction in chunk order.
+        let mut total_loss = 0.0f64;
+        let mut grads: Vec<(widen_tensor::ParamId, Tensor)> = Vec::new();
+        let mut outcomes = Vec::with_capacity(batch.len());
+        for chunk in chunk_results {
+            total_loss += chunk.loss;
+            if grads.is_empty() {
+                grads = chunk.grads;
+            } else {
+                for ((_, acc), (_, g)) in grads.iter_mut().zip(&chunk.grads) {
+                    acc.add_scaled(1.0, g);
+                }
+            }
+            outcomes.extend(chunk.outcomes);
+        }
+        self.optimizer.step(&mut self.model.params, &grads);
+        (total_loss, outcomes)
+    }
+
+    /// Forward + backward over one chunk of the batch on its own tape.
+    fn run_chunk(&self, chunk: &[NodeId], epoch: usize, batch_len: usize) -> ChunkResult {
+        let config = &self.model.config;
+        let mut tape = Tape::new();
+        let pv = self.model.insert_params(&mut tape);
+        let mut masks = MaskCache::new();
+
+        let mut logit_vars = Vec::with_capacity(chunk.len());
+        let mut labels = Vec::with_capacity(chunk.len());
+        let mut forwards = Vec::with_capacity(chunk.len());
+        for &node in chunk {
+            let state = &self.states[&node];
+            let fw = self.model.forward_node(&mut tape, &pv, self.graph, state, &mut masks);
+            logit_vars.push(fw.logits);
+            labels.push(self.graph.label(node).expect("labelled") as usize);
+            forwards.push((node, fw));
+        }
+
+        let stacked = tape.vstack(&logit_vars);
+        let ce = tape.softmax_cross_entropy(stacked, &labels);
+        // Scale so that summing chunk losses yields the batch mean.
+        let weight = chunk.len() as f32 / batch_len as f32;
+        let loss = tape.scale(ce, weight);
+        tape.backward(loss);
+
+        let grads = pv
+            .pairs(self.model.ids())
+            .into_iter()
+            .map(|(id, var)| {
+                let shape = self.model.params.get(id).shape();
+                let g = tape
+                    .grad(var)
+                    .cloned()
+                    .unwrap_or_else(|| Tensor::zeros(shape.0, shape.1));
+                (id, g)
+            })
+            .collect();
+
+        // Downsampling decisions (Algorithm 3 lines 9–14), computed here so
+        // the pack/edge values needed for relay edges are still on the tape.
+        let mut outcomes = Vec::with_capacity(chunk.len());
+        for (node, fw) in forwards {
+            let state = &self.states[&node];
+            let mut rng =
+                StdRng::seed_from_u64(hash_seed(config.seed, &[3, epoch as u64, u64::from(node)]));
+
+            let (wide_attention, wide_decision) = match fw.wide_attention {
+                Some(attn_var) => {
+                    let attn = tape.value(attn_var).row(0).to_vec();
+                    let decision = decide(
+                        config.variant.wide_downsampling,
+                        &attn,
+                        state.prev_wide_attention.as_deref(),
+                        state.wide.len(),
+                        config.k_wide,
+                        config.r_wide,
+                        epoch,
+                        &mut rng,
+                    );
+                    (Some(attn), decision)
+                }
+                None => (None, Decision::Keep),
+            };
+
+            let mut deep = Vec::with_capacity(fw.deep.len());
+            for (phi, dfw) in fw.deep.iter().enumerate() {
+                let deep_state = &state.deeps[phi];
+                let attn = tape.value(dfw.attention).row(0).to_vec();
+                let decision = decide(
+                    config.variant.deep_downsampling,
+                    &attn,
+                    deep_state.prev_attention.as_deref(),
+                    deep_state.len(),
+                    config.k_deep,
+                    config.r_deep,
+                    epoch,
+                    &mut rng,
+                );
+                let relay = match decision {
+                    Decision::Drop(s)
+                        if config.variant.relay_edges && s + 1 < deep_state.len() =>
+                    {
+                        // Eq. 8: maxpool(e_{s'+1,s'}, m_{s'}); pack row s+1,
+                        // edge row s+2 (row 0 is the target's self loop).
+                        let packs = tape.value(dfw.packs);
+                        let edges = tape.value(dfw.edges);
+                        let relay_vec = relay_edge(edges.row(s + 2), packs.row(s + 1));
+                        Some((s + 1, relay_vec))
+                    }
+                    _ => None,
+                };
+                deep.push(DeepOutcome { attention: attn, decision, relay });
+            }
+            outcomes.push(NodeOutcome { node, wide_attention, wide_decision, deep });
+        }
+
+        ChunkResult { loss: f64::from(tape.value(loss).get(0, 0)), grads, outcomes }
+    }
+
+    /// Applies downsampling outcomes to the persistent per-node states.
+    fn apply_outcomes(&mut self, outcomes: Vec<NodeOutcome>, report: &mut TrainReport) {
+        for outcome in outcomes {
+            let state = self.states.get_mut(&outcome.node).expect("state exists");
+            match outcome.wide_decision {
+                Decision::Drop(n) => {
+                    state.prune_wide(n);
+                    report.wide_drops += 1;
+                }
+                Decision::Keep => state.prev_wide_attention = outcome.wide_attention,
+            }
+            for (phi, deep_outcome) in outcome.deep.into_iter().enumerate() {
+                let deep_state = &mut state.deeps[phi];
+                match deep_outcome.decision {
+                    Decision::Drop(s) => {
+                        if let Some((pos, relay)) = deep_outcome.relay {
+                            deep_state.edge_override[pos] = Some(relay);
+                            report.relay_edges += 1;
+                        }
+                        deep_state.prune(s);
+                        report.deep_drops += 1;
+                    }
+                    Decision::Keep => deep_state.prev_attention = Some(deep_outcome.attention),
+                }
+            }
+        }
+    }
+}
+
+struct ChunkResult {
+    loss: f64,
+    grads: Vec<(widen_tensor::ParamId, Tensor)>,
+    outcomes: Vec<NodeOutcome>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ablation::Variant;
+    use crate::config::WidenConfig;
+    use widen_data::{acm_like, Scale};
+
+    fn tiny_config() -> WidenConfig {
+        let mut c = WidenConfig::small();
+        c.d = 16;
+        c.n_w = 5;
+        c.n_d = 5;
+        c.phi = 2;
+        c.epochs = 6;
+        c.batch_size = 16;
+        c.learning_rate = 5e-3;
+        c.k_wide = 2;
+        c.k_deep = 2;
+        // Generous threshold so downsampling actually fires in few epochs.
+        c.r_wide = 0.5;
+        c.r_deep = 0.5;
+        c
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let dataset = acm_like(Scale::Smoke, 1);
+        let train = &dataset.transductive.train;
+        let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+        let mut trainer = Trainer::new(model, &dataset.graph, train);
+        let report = trainer.fit(train);
+        assert_eq!(report.epoch_losses.len(), 6);
+        let first = report.epoch_losses[0];
+        let last = report.final_loss();
+        assert!(
+            last < first * 0.98,
+            "loss should drop: first = {first}, last = {last}"
+        );
+        assert!(report.total_secs() > 0.0);
+    }
+
+    #[test]
+    fn downsampling_shrinks_neighbor_volume() {
+        let dataset = acm_like(Scale::Smoke, 2);
+        let train = &dataset.transductive.train;
+        let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+        let mut trainer = Trainer::new(model, &dataset.graph, train);
+        let before = trainer.neighbor_volume();
+        let report = trainer.fit(train);
+        let after = trainer.neighbor_volume();
+        assert!(
+            report.wide_drops > 0 || report.deep_drops > 0,
+            "expected some downsampling with a loose threshold"
+        );
+        assert!(after.0 + after.1 < before.0 + before.1);
+    }
+
+    #[test]
+    fn lower_bounds_are_respected() {
+        let dataset = acm_like(Scale::Smoke, 3);
+        let train: Vec<u32> = dataset.transductive.train[..20].to_vec();
+        let mut cfg = tiny_config();
+        cfg.epochs = 12;
+        cfg.r_wide = 10.0; // always trigger
+        cfg.r_deep = 10.0;
+        let model = WidenModel::for_graph(&dataset.graph, cfg.clone());
+        let mut trainer = Trainer::new(model, &dataset.graph, &train);
+        trainer.fit(&train);
+        for state in trainer.states.values() {
+            // Sets that started above the bound must not fall below it.
+            assert!(state.wide.len() >= state.wide.len().min(cfg.k_wide));
+            assert!(state.wide.is_empty() || state.wide.len() >= cfg.k_wide.min(cfg.n_w));
+            for d in &state.deeps {
+                assert!(d.is_empty() || d.len() >= cfg.k_deep.min(cfg.n_d));
+            }
+        }
+    }
+
+    #[test]
+    fn no_downsampling_variant_keeps_sets_intact() {
+        let dataset = acm_like(Scale::Smoke, 4);
+        let train: Vec<u32> = dataset.transductive.train[..20].to_vec();
+        let cfg = tiny_config().with_variant(Variant::no_downsampling());
+        let model = WidenModel::for_graph(&dataset.graph, cfg);
+        let mut trainer = Trainer::new(model, &dataset.graph, &train);
+        let before = trainer.neighbor_volume();
+        let report = trainer.fit(&train);
+        assert_eq!(report.wide_drops, 0);
+        assert_eq!(report.deep_drops, 0);
+        assert_eq!(trainer.neighbor_volume(), before);
+    }
+
+    #[test]
+    fn random_downsampling_drops_every_epoch() {
+        let dataset = acm_like(Scale::Smoke, 5);
+        let train: Vec<u32> = dataset.transductive.train[..10].to_vec();
+        let mut cfg = tiny_config().with_variant(Variant::random_wide_downsampling());
+        cfg.epochs = 4;
+        let model = WidenModel::for_graph(&dataset.graph, cfg);
+        let mut trainer = Trainer::new(model, &dataset.graph, &train);
+        let report = trainer.fit(&train);
+        // Epochs 2..4 each drop one wide neighbour per node (when above k).
+        assert!(report.wide_drops > 0);
+    }
+
+    #[test]
+    fn relay_edges_are_recorded_when_pruning_interior_packs() {
+        let dataset = acm_like(Scale::Smoke, 6);
+        let train: Vec<u32> = dataset.transductive.train[..20].to_vec();
+        let mut cfg = tiny_config();
+        cfg.epochs = 10;
+        cfg.r_deep = 10.0; // aggressive pruning
+        let model = WidenModel::for_graph(&dataset.graph, cfg);
+        let mut trainer = Trainer::new(model, &dataset.graph, &train);
+        let report = trainer.fit(&train);
+        assert!(report.deep_drops > 0);
+        assert!(
+            report.relay_edges > 0,
+            "interior prunes must generate relay edges"
+        );
+        // Some state should carry overrides.
+        let has_override = trainer.states.values().any(|s| {
+            s.deeps
+                .iter()
+                .any(|d| d.edge_override.iter().any(Option::is_some))
+        });
+        assert!(has_override);
+    }
+
+    #[test]
+    fn training_is_seed_deterministic() {
+        let dataset = acm_like(Scale::Smoke, 7);
+        let train: Vec<u32> = dataset.transductive.train[..16].to_vec();
+        let run = |seed: u64| {
+            let cfg = tiny_config().with_seed(seed);
+            let model = WidenModel::for_graph(&dataset.graph, cfg);
+            let mut trainer = Trainer::new(model, &dataset.graph, &train);
+            let report = trainer.fit(&train);
+            (report.epoch_losses.clone(), trainer.into_model())
+        };
+        let (losses_a, model_a) = run(42);
+        let (losses_b, model_b) = run(42);
+        assert_eq!(losses_a, losses_b);
+        let pa = model_a.params.snapshot();
+        let pb = model_b.params.snapshot();
+        for (a, b) in pa.iter().zip(&pb) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+        let (losses_c, _) = run(43);
+        assert_ne!(losses_a, losses_c);
+    }
+
+    #[test]
+    fn convergence_stopping_halts_early() {
+        let dataset = acm_like(Scale::Smoke, 9);
+        let train: Vec<u32> = dataset.transductive.train[..24].to_vec();
+        let mut cfg = tiny_config();
+        cfg.epochs = 60;
+        let model = WidenModel::for_graph(&dataset.graph, cfg);
+        let mut trainer = Trainer::new(model, &dataset.graph, &train);
+        // Very loose tolerance ⇒ "converged" almost immediately.
+        let report = trainer.fit_until_converged(&train, 0.5, 2);
+        assert!(
+            report.epoch_losses.len() < 60,
+            "should stop before the epoch cap, ran {}",
+            report.epoch_losses.len()
+        );
+        assert!(report.epoch_losses.len() >= 3, "patience must be exhausted first");
+    }
+
+    #[test]
+    fn tight_convergence_tolerance_runs_to_cap() {
+        let dataset = acm_like(Scale::Smoke, 10);
+        let train: Vec<u32> = dataset.transductive.train[..16].to_vec();
+        let mut cfg = tiny_config();
+        cfg.epochs = 4;
+        let model = WidenModel::for_graph(&dataset.graph, cfg);
+        let mut trainer = Trainer::new(model, &dataset.graph, &train);
+        // Impossible tolerance ⇒ no early stop.
+        let report = trainer.fit_until_converged(&train, 0.0, 3);
+        assert_eq!(report.epoch_losses.len(), 4);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_predictions() {
+        let dataset = acm_like(Scale::Smoke, 11);
+        let train: Vec<u32> = dataset.transductive.train[..24].to_vec();
+        let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+        let mut trainer = Trainer::new(model, &dataset.graph, &train);
+        trainer.fit(&train);
+        let trained = trainer.into_model();
+        let checkpoint = trained.save_weights();
+        let preds_before = trained.predict(&dataset.graph, &train, 1);
+
+        // A freshly initialised model differs…
+        let mut fresh = WidenModel::for_graph(
+            &dataset.graph,
+            tiny_config().with_seed(999),
+        );
+        let preds_fresh = fresh.predict(&dataset.graph, &train, 1);
+        // …until the checkpoint is restored.
+        fresh.load_weights(&checkpoint);
+        let preds_after = fresh.predict(&dataset.graph, &train, 1);
+        assert_eq!(preds_before, preds_after);
+        assert_ne!(preds_before, preds_fresh, "seeds 0 vs 999 should disagree somewhere");
+    }
+
+    #[test]
+    #[should_panic(expected = "unlabelled")]
+    fn unlabeled_train_node_rejected() {
+        let dataset = acm_like(Scale::Smoke, 8);
+        // Find an unlabelled node (author/subject).
+        let unlabeled = (0..dataset.graph.num_nodes() as u32)
+            .find(|&v| dataset.graph.label(v).is_none())
+            .unwrap();
+        let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+        let mut trainer = Trainer::new(model, &dataset.graph, &[unlabeled]);
+        trainer.fit(&[unlabeled]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Train/validation/test splits for both evaluation protocols (§4.3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use widen_graph::{HeteroGraph, NodeId};
+
+/// Transductive split over the labelled nodes.
+#[derive(Clone, Debug)]
+pub struct Splits {
+    /// Training node ids.
+    pub train: Vec<NodeId>,
+    /// Validation node ids.
+    pub val: Vec<NodeId>,
+    /// Test node ids.
+    pub test: Vec<NodeId>,
+}
+
+impl Splits {
+    /// Random split of a graph's labelled nodes by fractions
+    /// (`train + val ≤ 1`; the remainder is test).
+    ///
+    /// # Panics
+    /// Panics if fractions are out of range or no labelled nodes exist.
+    pub fn random(graph: &HeteroGraph, train_frac: f64, val_frac: f64, seed: u64) -> Self {
+        assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0);
+        let mut labeled = graph.labeled_nodes();
+        assert!(!labeled.is_empty(), "graph has no labelled nodes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        labeled.shuffle(&mut rng);
+        let n = labeled.len();
+        let n_train = ((n as f64 * train_frac).round() as usize).max(1);
+        let n_val = (n as f64 * val_frac).round() as usize;
+        let train = labeled[..n_train].to_vec();
+        let val = labeled[n_train..n_train + n_val].to_vec();
+        let test = labeled[n_train + n_val..].to_vec();
+        Self { train, val, test }
+    }
+
+    /// Total number of split nodes.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// Whether all parts are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Inductive split (§4.3): `test` nodes (20 % of the labelled set) are
+/// **removed from the graph during training**; `train` nodes are the
+/// remaining labelled nodes and supervise training on the reduced graph.
+#[derive(Clone, Debug)]
+pub struct InductiveSplit {
+    /// Labelled nodes available during training.
+    pub train: Vec<NodeId>,
+    /// Held-out labelled nodes, unseen until inference.
+    pub test: Vec<NodeId>,
+}
+
+impl InductiveSplit {
+    /// Randomly holds out `test_frac` of the labelled nodes.
+    ///
+    /// # Panics
+    /// Panics if the fraction leaves either side empty.
+    pub fn random(graph: &HeteroGraph, test_frac: f64, seed: u64) -> Self {
+        let mut labeled = graph.labeled_nodes();
+        let mut rng = StdRng::seed_from_u64(seed);
+        labeled.shuffle(&mut rng);
+        let n_test = (labeled.len() as f64 * test_frac).round() as usize;
+        assert!(n_test > 0 && n_test < labeled.len(), "degenerate inductive split");
+        let test = labeled[..n_test].to_vec();
+        let train = labeled[n_test..].to_vec();
+        Self { train, test }
+    }
+}
+
+/// Deterministically subsets `nodes` to the given fraction — the Table 2
+/// "25 % / 50 % / 75 % / 100 % of training labels" sweeps. A fraction of 1
+/// returns the input unchanged; results are nested (25 % ⊂ 50 % ⊂ 75 %).
+pub fn subset_fraction(nodes: &[NodeId], fraction: f64) -> Vec<NodeId> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+    let keep = ((nodes.len() as f64 * fraction).round() as usize).max(1);
+    nodes[..keep.min(nodes.len())].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sbm::{EdgeTypeSpec, HeteroSbmConfig, NodeTypeSpec};
+
+    fn graph() -> HeteroGraph {
+        HeteroSbmConfig {
+            node_types: vec![
+                NodeTypeSpec::new("x", 100, true),
+                NodeTypeSpec::new("y", 50, false),
+            ],
+            edge_types: vec![EdgeTypeSpec::new("xy", 0, 1, 2.0, 0.5)],
+            num_classes: 2,
+            feature_dim: 4,
+            feature_signal_labeled: 1.0,
+            feature_signal_unlabeled: 1.0,
+            feature_noise: 0.5,
+            hub_fraction: 0.0,
+            informative_fraction: 1.0,
+        }
+        .generate(1)
+    }
+
+    #[test]
+    fn random_split_partitions_labeled_nodes() {
+        let g = graph();
+        let s = Splits::random(&g, 0.2, 0.1, 42);
+        assert_eq!(s.train.len(), 20);
+        assert_eq!(s.val.len(), 10);
+        assert_eq!(s.test.len(), 70);
+        let mut all: Vec<_> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100, "parts are disjoint and cover");
+        for v in all {
+            assert!(g.label(v).is_some());
+        }
+    }
+
+    #[test]
+    fn splits_are_seed_deterministic() {
+        let g = graph();
+        let a = Splits::random(&g, 0.3, 0.1, 7);
+        let b = Splits::random(&g, 0.3, 0.1, 7);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        let c = Splits::random(&g, 0.3, 0.1, 8);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn inductive_split_holds_out_requested_fraction() {
+        let g = graph();
+        let s = InductiveSplit::random(&g, 0.2, 5);
+        assert_eq!(s.test.len(), 20);
+        assert_eq!(s.train.len(), 80);
+        // Disjoint.
+        for t in &s.test {
+            assert!(!s.train.contains(t));
+        }
+    }
+
+    #[test]
+    fn subset_fraction_is_nested_and_sized() {
+        let nodes: Vec<u32> = (0..40).collect();
+        let q25 = subset_fraction(&nodes, 0.25);
+        let q50 = subset_fraction(&nodes, 0.5);
+        let q100 = subset_fraction(&nodes, 1.0);
+        assert_eq!(q25.len(), 10);
+        assert_eq!(q50.len(), 20);
+        assert_eq!(q100.len(), 40);
+        assert_eq!(&q50[..10], &q25[..]);
+    }
+
+    #[test]
+    fn subset_fraction_never_empty() {
+        let nodes: Vec<u32> = (0..5).collect();
+        assert_eq!(subset_fraction(&nodes, 0.01).len(), 1);
+    }
+}

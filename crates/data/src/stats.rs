@@ -1,0 +1,98 @@
+//! Table-1-style dataset statistics.
+
+use crate::Dataset;
+
+/// The statistics the paper reports per dataset (Table 1), collected from a
+/// generated [`Dataset`].
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// `#Nodes`.
+    pub nodes: usize,
+    /// `#Node Types`.
+    pub node_types: usize,
+    /// `#Edges` (logical, undirected).
+    pub edges: usize,
+    /// `#Edge Types`.
+    pub edge_types: usize,
+    /// `#Features` (raw dimensionality d₀).
+    pub features: usize,
+    /// `#Class Labels`.
+    pub class_labels: usize,
+    /// Transductive `#Training/#Validation/#Test` node counts.
+    pub transductive: (usize, usize, usize),
+    /// Inductive `#Training/#Test` node counts.
+    pub inductive: (usize, usize),
+    /// Mean (directed) degree — not in Table 1 but load-bearing for the
+    /// sparsity discussion in §1.
+    pub mean_degree: f64,
+}
+
+impl DatasetStats {
+    /// Collects statistics from a dataset.
+    pub fn collect(dataset: &Dataset) -> Self {
+        let g = &dataset.graph;
+        Self {
+            name: dataset.name.clone(),
+            nodes: g.num_nodes(),
+            node_types: g.num_node_types(),
+            edges: g.num_edges(),
+            edge_types: g.num_edge_types(),
+            features: g.feature_dim(),
+            class_labels: g.num_classes(),
+            transductive: (
+                dataset.transductive.train.len(),
+                dataset.transductive.val.len(),
+                dataset.transductive.test.len(),
+            ),
+            inductive: (dataset.inductive.train.len(), dataset.inductive.test.len()),
+            mean_degree: g.mean_degree(),
+        }
+    }
+
+    /// One formatted row block (matches the layout of Table 1).
+    pub fn render(&self) -> String {
+        format!(
+            "{:<12} #Nodes {:>8}  #NodeTypes {:>2}  #Edges {:>9}  #EdgeTypes {:>2}  \
+             #Features {:>5}  #Classes {:>2}\n\
+             {:<12} transductive train/val/test = {}/{}/{}   inductive train/test = {}/{}   \
+             mean degree = {:.2}",
+            self.name,
+            self.nodes,
+            self.node_types,
+            self.edges,
+            self.edge_types,
+            self.features,
+            self.class_labels,
+            "",
+            self.transductive.0,
+            self.transductive.1,
+            self.transductive.2,
+            self.inductive.0,
+            self.inductive.1,
+            self.mean_degree,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{acm_like, Scale};
+
+    #[test]
+    fn stats_are_consistent_with_graph() {
+        let d = acm_like(Scale::Smoke, 1);
+        let s = d.stats();
+        assert_eq!(s.nodes, d.graph.num_nodes());
+        assert_eq!(s.edges, d.graph.num_edges());
+        assert_eq!(s.node_types, 3);
+        assert_eq!(
+            s.transductive.0 + s.transductive.1 + s.transductive.2,
+            d.graph.labeled_nodes().len()
+        );
+        let rendered = s.render();
+        assert!(rendered.contains("acm-like"));
+        assert!(rendered.contains("#Nodes"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Node-proportion subsampling — the workload behind Figure 5's scalability
+//! sweep (training time vs. {0.2, 0.4, 0.6, 0.8, 1.0} of the graph).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use widen_graph::{HeteroGraph, InducedSubgraph};
+
+/// Returns the subgraph induced by a random `ratio` fraction of nodes,
+/// sampled uniformly **within each node type** so the heterogeneous schema
+/// survives subsampling (a plain uniform sample can wipe out small types
+/// like `conference`).
+///
+/// # Panics
+/// Panics unless `0 < ratio ≤ 1`.
+pub fn subsample_nodes(graph: &HeteroGraph, ratio: f64, seed: u64) -> InducedSubgraph {
+    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keep = Vec::new();
+    for t in 0..graph.num_node_types() {
+        let mut nodes = graph.nodes_of_type(widen_graph::NodeTypeId(t as u16));
+        nodes.shuffle(&mut rng);
+        let take = ((nodes.len() as f64 * ratio).round() as usize).max(1).min(nodes.len());
+        keep.extend_from_slice(&nodes[..take]);
+    }
+    keep.sort_unstable();
+    graph.induced_subgraph(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{yelp_like, Scale};
+
+    #[test]
+    fn subsample_keeps_every_type() {
+        let d = yelp_like(Scale::Smoke, 1);
+        let sub = subsample_nodes(&d.graph, 0.2, 42).graph;
+        let counts = sub.node_type_counts();
+        assert_eq!(counts.len(), 4);
+        for c in counts {
+            assert!(c >= 1);
+        }
+    }
+
+    #[test]
+    fn subsample_size_scales_with_ratio() {
+        let d = yelp_like(Scale::Smoke, 1);
+        let s02 = subsample_nodes(&d.graph, 0.2, 1).graph.num_nodes() as f64;
+        let s08 = subsample_nodes(&d.graph, 0.8, 1).graph.num_nodes() as f64;
+        let full = d.graph.num_nodes() as f64;
+        assert!((s02 / full - 0.2).abs() < 0.05);
+        assert!((s08 / full - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn full_ratio_is_identity_sized() {
+        let d = yelp_like(Scale::Smoke, 2);
+        let sub = subsample_nodes(&d.graph, 1.0, 3).graph;
+        assert_eq!(sub.num_nodes(), d.graph.num_nodes());
+        assert_eq!(sub.num_edges(), d.graph.num_edges());
+    }
+
+    #[test]
+    fn labels_survive_subsampling() {
+        let d = yelp_like(Scale::Smoke, 3);
+        let sub = subsample_nodes(&d.graph, 0.5, 4).graph;
+        assert!(!sub.labeled_nodes().is_empty());
+    }
+}

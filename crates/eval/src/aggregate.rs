@@ -1,0 +1,78 @@
+//! Aggregation of repeated seeded runs (§4.4: "all effectiveness results are
+//! averaged over 5 executions").
+
+/// Mean ± standard deviation over a set of run scores, keeping the raw
+/// samples for downstream paired t-tests.
+#[derive(Clone, Debug)]
+pub struct RunAggregate {
+    /// Raw per-run scores, in run order.
+    pub samples: Vec<f64>,
+}
+
+impl RunAggregate {
+    /// Wraps raw run scores.
+    pub fn new(samples: Vec<f64>) -> Self {
+        Self { samples }
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether there are no runs.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Unbiased sample standard deviation (0 with fewer than 2 runs).
+    pub fn std(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / (self.samples.len() as f64 - 1.0);
+        var.sqrt()
+    }
+
+    /// `"0.9269 ± 0.0021"`-style rendering.
+    pub fn render(&self) -> String {
+        format!("{:.4} ± {:.4}", self.mean(), self.std())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let agg = RunAggregate::new(vec![1.0, 2.0, 3.0]);
+        assert!((agg.mean() - 2.0).abs() < 1e-12);
+        assert!((agg.std() - 1.0).abs() < 1e-12);
+        assert_eq!(agg.len(), 3);
+    }
+
+    #[test]
+    fn singleton_has_zero_std() {
+        let agg = RunAggregate::new(vec![5.0]);
+        assert_eq!(agg.std(), 0.0);
+        assert_eq!(agg.mean(), 5.0);
+    }
+
+    #[test]
+    fn render_formats() {
+        let agg = RunAggregate::new(vec![0.9, 0.92]);
+        assert_eq!(agg.render(), "0.9100 ± 0.0141");
+    }
+}

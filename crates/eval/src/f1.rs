@@ -1,0 +1,106 @@
+//! Micro/macro-averaged F1 scores — the classification metric of Tables 2–4.
+
+/// `num_classes × num_classes` confusion matrix; `m[true][pred]` counts.
+///
+/// # Panics
+/// Panics if inputs differ in length or contain out-of-range classes.
+pub fn confusion_matrix(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(y_true.len(), y_pred.len(), "label vectors must align");
+    let mut m = vec![vec![0usize; num_classes]; num_classes];
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        assert!(t < num_classes && p < num_classes, "class out of range");
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Micro-averaged F1.
+///
+/// For single-label multi-class classification, micro-F1 aggregates TP/FP/FN
+/// over classes; TP = number correct and FP = FN = number wrong, so it
+/// reduces to overall accuracy — the convention the paper follows (§4.3
+/// "micro-averaged F1 score").
+pub fn micro_f1(y_true: &[usize], y_pred: &[usize]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "label vectors must align");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let correct = y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count();
+    correct as f64 / y_true.len() as f64
+}
+
+/// Macro-averaged F1: the unweighted mean of per-class F1 scores. Classes
+/// absent from both truth and prediction contribute F1 = 0.
+pub fn macro_f1(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> f64 {
+    let m = confusion_matrix(y_true, y_pred, num_classes);
+    let mut total = 0.0;
+    for (c, row) in m.iter().enumerate() {
+        let tp = row[c] as f64;
+        let fp: f64 = (0..num_classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
+        let fn_: f64 = row
+            .iter()
+            .enumerate()
+            .filter(|&(p, _)| p != c)
+            .map(|(_, &v)| v as f64)
+            .sum();
+        let denom = 2.0 * tp + fp + fn_;
+        if denom > 0.0 {
+            total += 2.0 * tp / denom;
+        }
+    }
+    total / num_classes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let y = vec![0, 1, 2, 1, 0];
+        assert_eq!(micro_f1(&y, &y), 1.0);
+        assert_eq!(macro_f1(&y, &y, 3), 1.0);
+    }
+
+    #[test]
+    fn micro_f1_is_accuracy_for_single_label() {
+        let y_true = vec![0, 0, 1, 1];
+        let y_pred = vec![0, 1, 1, 1];
+        assert!((micro_f1(&y_true, &y_pred) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_penalises_missed_minority_class() {
+        // Class 1 never predicted.
+        let y_true = vec![0, 0, 0, 1];
+        let y_pred = vec![0, 0, 0, 0];
+        let micro = micro_f1(&y_true, &y_pred);
+        let macro_ = macro_f1(&y_true, &y_pred, 2);
+        assert!((micro - 0.75).abs() < 1e-12);
+        // Class 0: F1 = 2*3/(2*3+1) = 6/7; class 1: 0 ⇒ macro = 3/7.
+        assert!((macro_ - 3.0 / 7.0).abs() < 1e-12);
+        assert!(macro_ < micro);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 2], &[0, 1, 2, 2], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[1][2], 1);
+        assert_eq!(m[2][2], 1);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn empty_inputs_yield_zero() {
+        assert_eq!(micro_f1(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_rejected() {
+        let _ = micro_f1(&[0], &[0, 1]);
+    }
+}

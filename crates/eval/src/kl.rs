@@ -1,0 +1,75 @@
+//! Kullback–Leibler divergence between attention distributions — the
+//! downsampling trigger of Eq. 9.
+
+/// `KL(p ‖ q) = Σ p_i ln(p_i / q_i)`.
+///
+/// Matches Eq. 9's convention: `p` is the *previous* epoch's attention
+/// distribution, `q` the current one. Terms with `p_i = 0` contribute zero;
+/// a `q_i = 0` against `p_i > 0` yields `+∞` (no overlap ⇒ maximal
+/// information gain ⇒ never triggers downsampling), which is also the value
+/// Eq. 9 assigns when the neighbour sets differ.
+///
+/// # Panics
+/// Panics if the distributions have different lengths.
+pub fn kl_divergence(p: &[f32], q: &[f32]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let mut total = 0.0f64;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi <= 0.0 {
+            continue;
+        }
+        if qi <= 0.0 {
+            return f64::INFINITY;
+        }
+        total += f64::from(pi) * (f64::from(pi) / f64::from(qi)).ln();
+    }
+    total.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_kl() {
+        let p = [0.25, 0.25, 0.5];
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn kl_is_positive_for_different_distributions() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        let kl = kl_divergence(&p, &q);
+        assert!(kl > 0.0);
+        // Hand computation: 0.9 ln(1.8) + 0.1 ln(0.2) ≈ 0.368.
+        assert!((kl - 0.3680).abs() < 1e-3);
+    }
+
+    #[test]
+    fn kl_is_asymmetric() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        assert!((kl_divergence(&p, &q) - kl_divergence(&q, &p)).abs() > 1e-3);
+    }
+
+    #[test]
+    fn zero_q_support_gives_infinity() {
+        assert_eq!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_p_terms_are_skipped() {
+        let kl = kl_divergence(&[0.0, 1.0], &[0.5, 0.5]);
+        assert!((kl - std::f64::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn near_identical_distributions_small_kl() {
+        // The trigger regime: after the model stabilises, consecutive-epoch
+        // attention barely moves and KL drops below r = 1e-3.
+        let p = [0.30, 0.30, 0.40];
+        let q = [0.301, 0.299, 0.40];
+        assert!(kl_divergence(&p, &q) < 1e-3);
+    }
+}

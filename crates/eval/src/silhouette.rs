@@ -1,0 +1,118 @@
+//! Silhouette score — quantifies Figure 3's qualitative "clear cluster
+//! boundaries" claim about inductively learned embeddings.
+
+use widen_tensor::Tensor;
+
+/// Mean silhouette coefficient over all points.
+///
+/// For each point: `s = (b − a) / max(a, b)` with `a` the mean distance to
+/// its own cluster and `b` the smallest mean distance to another cluster.
+/// Points in singleton clusters score 0 by convention. Values near +1 mean
+/// tight, well-separated clusters; near 0, overlapping; negative, likely
+/// mis-assigned.
+///
+/// # Panics
+/// Panics if rows and labels disagree, or fewer than 2 clusters are present.
+pub fn silhouette_score(embeddings: &Tensor, labels: &[usize]) -> f64 {
+    let n = embeddings.rows();
+    assert_eq!(n, labels.len(), "one label per embedding row");
+    let num_clusters = labels.iter().max().map_or(0, |m| m + 1);
+    let mut cluster_sizes = vec![0usize; num_clusters];
+    for &l in labels {
+        cluster_sizes[l] += 1;
+    }
+    assert!(
+        cluster_sizes.iter().filter(|&&s| s > 0).count() >= 2,
+        "silhouette needs at least two non-empty clusters"
+    );
+
+    let mut total = 0.0f64;
+    let mut dist_sums = vec![0.0f64; num_clusters];
+    for i in 0..n {
+        dist_sums.iter_mut().for_each(|d| *d = 0.0);
+        let xi = embeddings.row(i);
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let mut d = 0.0f64;
+            for (a, b) in xi.iter().zip(embeddings.row(j)) {
+                let diff = f64::from(a - b);
+                d += diff * diff;
+            }
+            dist_sums[labels[j]] += d.sqrt();
+        }
+        let own = labels[i];
+        if cluster_sizes[own] <= 1 {
+            continue; // singleton ⇒ s = 0
+        }
+        let a = dist_sums[own] / (cluster_sizes[own] - 1) as f64;
+        let mut b = f64::INFINITY;
+        for (c, &size) in cluster_sizes.iter().enumerate() {
+            if c != own && size > 0 {
+                b = b.min(dist_sums[c] / size as f64);
+            }
+        }
+        total += (b - a) / a.max(b);
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + 0.01 * i as f32, 0.0]);
+            labels.push(0);
+            pts.push(vec![10.0 + 0.01 * i as f32, 10.0]);
+            labels.push(1);
+        }
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let t = Tensor::from_rows(&rows);
+        let s = silhouette_score(&t, &labels);
+        assert!(s > 0.95, "score = {s}");
+    }
+
+    #[test]
+    fn random_overlap_scores_near_zero() {
+        // Two interleaved clusters on the same line.
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![i as f32, 0.0]);
+            labels.push(i % 2);
+        }
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let t = Tensor::from_rows(&rows);
+        let s = silhouette_score(&t, &labels);
+        assert!(s.abs() < 0.3, "score = {s}");
+    }
+
+    #[test]
+    fn swapped_labels_score_negative() {
+        let pts = [
+            [0.0f32, 0.0],
+            [0.1, 0.0],
+            [10.0, 0.0],
+            [10.1, 0.0],
+        ];
+        let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let t = Tensor::from_rows(&rows);
+        // Deliberately mis-assign: pair each point with the far cluster.
+        let labels = vec![0, 1, 0, 1];
+        let s = silhouette_score(&t, &labels);
+        assert!(s < 0.0, "score = {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two non-empty clusters")]
+    fn single_cluster_rejected() {
+        let t = Tensor::from_rows(&[&[0.0], &[1.0]]);
+        let _ = silhouette_score(&t, &[0, 0]);
+    }
+}

@@ -1,0 +1,375 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008) — Figure 3's visualisation
+//! of inductively learned embeddings.
+//!
+//! This is the O(n²) exact formulation with PCA initialisation, per-point
+//! perplexity calibration via binary search, early exaggeration, and
+//! momentum gradient descent. The paper plots at most 1 000 points per
+//! dataset, well inside exact t-SNE's comfortable range.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use widen_tensor::Tensor;
+
+/// t-SNE hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions (typ. 5–50).
+    pub perplexity: f64,
+    /// Total gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Iterations with early exaggeration (P × 4).
+    pub exaggeration_iters: usize,
+    /// RNG seed (PCA fallback jitter).
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 30.0,
+            iterations: 400,
+            learning_rate: 100.0,
+            exaggeration_iters: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// Embeds `data` (`n × d`) into 2-D.
+///
+/// # Panics
+/// Panics if `n < 4` or the perplexity is infeasible (`n ≤ 3·perplexity` is
+/// clamped instead of panicking).
+pub fn tsne(data: &Tensor, config: &TsneConfig) -> Tensor {
+    let n = data.rows();
+    assert!(n >= 4, "t-SNE needs at least 4 points");
+    let perplexity = config.perplexity.min((n as f64 - 1.0) / 3.0).max(2.0);
+
+    // Pairwise squared Euclidean distances in the input space.
+    let d2 = pairwise_sq_dists(data);
+
+    // Per-point precision calibration to the target perplexity.
+    let p_cond = calibrate(&d2, perplexity);
+
+    // Symmetrise and normalise: p_ij = (p_{j|i} + p_{i|j}) / 2n.
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            p[i * n + j] = (p_cond[i * n + j] + p_cond[j * n + i]) / (2.0 * n as f64);
+        }
+    }
+    let p_sum: f64 = p.iter().sum();
+    for v in &mut p {
+        *v = (*v / p_sum).max(1e-12);
+    }
+
+    // PCA init (scaled small, as in the reference implementation).
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y = pca_2d(data, &mut rng);
+    let scale = 1e-2 / y.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1e-6);
+    y.scale_inplace(scale);
+
+    let mut velocity = vec![0.0f64; n * 2];
+    let mut gains = vec![1.0f64; n * 2];
+
+    for iter in 0..config.iterations {
+        let exaggeration = if iter < config.exaggeration_iters { 4.0 } else { 1.0 };
+        let momentum = if iter < 250 { 0.5 } else { 0.8 };
+
+        // Low-dimensional affinities (Student-t kernel).
+        let mut q_num = vec![0.0f64; n * n];
+        let mut q_sum = 0.0f64;
+        for i in 0..n {
+            let yi = y.row(i);
+            for j in i + 1..n {
+                let yj = y.row(j);
+                let dx = f64::from(yi[0] - yj[0]);
+                let dy = f64::from(yi[1] - yj[1]);
+                let num = 1.0 / (1.0 + dx * dx + dy * dy);
+                q_num[i * n + j] = num;
+                q_num[j * n + i] = num;
+                q_sum += 2.0 * num;
+            }
+        }
+        let q_sum = q_sum.max(1e-12);
+
+        // Gradient: 4 Σ_j (p_ij·ex − q_ij) num_ij (y_i − y_j).
+        for i in 0..n {
+            let mut gx = 0.0f64;
+            let mut gy = 0.0f64;
+            let yi0 = f64::from(y.row(i)[0]);
+            let yi1 = f64::from(y.row(i)[1]);
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let num = q_num[i * n + j];
+                let q = (num / q_sum).max(1e-12);
+                let mult = (p[i * n + j] * exaggeration - q) * num;
+                gx += mult * (yi0 - f64::from(y.row(j)[0]));
+                gy += mult * (yi1 - f64::from(y.row(j)[1]));
+            }
+            for (k, g) in [(0usize, 4.0 * gx), (1usize, 4.0 * gy)] {
+                let idx = i * 2 + k;
+                // Adaptive gains (Jacobs) as in the reference code.
+                let same_sign = g.signum() == velocity[idx].signum();
+                gains[idx] = if same_sign {
+                    (gains[idx] * 0.8).max(0.01)
+                } else {
+                    gains[idx] + 0.2
+                };
+                velocity[idx] =
+                    momentum * velocity[idx] - config.learning_rate * gains[idx] * g;
+            }
+        }
+        for i in 0..n {
+            let row = y.row_mut(i);
+            row[0] += velocity[i * 2] as f32;
+            row[1] += velocity[i * 2 + 1] as f32;
+        }
+        // Re-centre to remove drift.
+        let (mut mx, mut my) = (0.0f64, 0.0f64);
+        for i in 0..n {
+            mx += f64::from(y.row(i)[0]);
+            my += f64::from(y.row(i)[1]);
+        }
+        mx /= n as f64;
+        my /= n as f64;
+        for i in 0..n {
+            let row = y.row_mut(i);
+            row[0] -= mx as f32;
+            row[1] -= my as f32;
+        }
+    }
+    y
+}
+
+fn pairwise_sq_dists(data: &Tensor) -> Vec<f64> {
+    let n = data.rows();
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let mut d = 0.0f64;
+            for (a, b) in data.row(i).iter().zip(data.row(j)) {
+                let diff = f64::from(a - b);
+                d += diff * diff;
+            }
+            d2[i * n + j] = d;
+            d2[j * n + i] = d;
+        }
+    }
+    d2
+}
+
+/// Binary-searches each point's Gaussian precision β so the conditional
+/// distribution hits the target perplexity; returns row-normalised
+/// `p_{j|i}`.
+fn calibrate(d2: &[f64], perplexity: f64) -> Vec<f64> {
+    let n = (d2.len() as f64).sqrt() as usize;
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let mut beta = 1.0f64;
+        let mut beta_min = f64::NEG_INFINITY;
+        let mut beta_max = f64::INFINITY;
+        for _ in 0..50 {
+            // Compute entropy at current beta.
+            let mut sum = 0.0f64;
+            let mut weighted = 0.0f64;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = (-beta * d2[i * n + j]).exp();
+                sum += w;
+                weighted += w * d2[i * n + j];
+            }
+            let sum = sum.max(1e-300);
+            let entropy = beta * weighted / sum + sum.ln();
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_min = beta;
+                beta = if beta_max.is_infinite() { beta * 2.0 } else { (beta + beta_max) / 2.0 };
+            } else {
+                beta_max = beta;
+                beta = if beta_min.is_infinite() { beta / 2.0 } else { (beta + beta_min) / 2.0 };
+            }
+        }
+        let mut sum = 0.0f64;
+        for j in 0..n {
+            if i != j {
+                let w = (-beta * d2[i * n + j]).exp();
+                p[i * n + j] = w;
+                sum += w;
+            }
+        }
+        let sum = sum.max(1e-300);
+        for j in 0..n {
+            p[i * n + j] /= sum;
+        }
+    }
+    p
+}
+
+/// Projects onto the top-2 principal components (power iteration with
+/// deflation on the d×d covariance).
+fn pca_2d(data: &Tensor, rng: &mut StdRng) -> Tensor {
+    let n = data.rows();
+    let d = data.cols();
+    // Centre.
+    let mut mean = vec![0.0f64; d];
+    for i in 0..n {
+        for (m, &v) in mean.iter_mut().zip(data.row(i)) {
+            *m += f64::from(v);
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    // Covariance (d × d).
+    let mut cov = vec![0.0f64; d * d];
+    for i in 0..n {
+        let row = data.row(i);
+        for a in 0..d {
+            let xa = f64::from(row[a]) - mean[a];
+            for b in a..d {
+                let xb = f64::from(row[b]) - mean[b];
+                cov[a * d + b] += xa * xb;
+            }
+        }
+    }
+    for a in 0..d {
+        for b in 0..a {
+            cov[a * d + b] = cov[b * d + a];
+        }
+    }
+
+    let mut components: Vec<Vec<f64>> = Vec::new();
+    for _ in 0..2 {
+        let mut v: Vec<f64> = (0..d).map(|_| rand::Rng::gen_range(rng, -1.0..1.0)).collect();
+        for _ in 0..100 {
+            // Deflate previously found components.
+            for c in &components {
+                let dot: f64 = v.iter().zip(c).map(|(a, b)| a * b).sum();
+                for (vi, ci) in v.iter_mut().zip(c) {
+                    *vi -= dot * ci;
+                }
+            }
+            let mut next = vec![0.0f64; d];
+            for a in 0..d {
+                let mut acc = 0.0;
+                for b in 0..d {
+                    acc += cov[a * d + b] * v[b];
+                }
+                next[a] = acc;
+            }
+            let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-12 {
+                break;
+            }
+            for x in &mut next {
+                *x /= norm;
+            }
+            v = next;
+        }
+        components.push(v);
+    }
+
+    let mut out = Tensor::zeros(n, 2);
+    for i in 0..n {
+        let row = data.row(i);
+        for (k, comp) in components.iter().enumerate() {
+            let mut acc = 0.0f64;
+            for a in 0..d {
+                acc += (f64::from(row[a]) - mean[a]) * comp[a];
+            }
+            out.set(i, k, acc as f32);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Three well-separated Gaussian blobs in 10-D.
+    fn blobs(per_cluster: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3usize {
+            for _ in 0..per_cluster {
+                let mut row = vec![0.0f32; 10];
+                for (k, x) in row.iter_mut().enumerate() {
+                    let centre = if k % 3 == c { 8.0 } else { 0.0 };
+                    *x = centre + rng.gen_range(-0.5..0.5);
+                }
+                rows.push(row);
+                labels.push(c);
+            }
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Tensor::from_rows(&refs), labels)
+    }
+
+    #[test]
+    fn tsne_preserves_blob_structure() {
+        let (data, labels) = blobs(20, 1);
+        let config = TsneConfig { iterations: 250, ..TsneConfig::default() };
+        let y = tsne(&data, &config);
+        assert_eq!(y.shape(), (60, 2));
+        assert!(y.all_finite());
+        // The 2-D embedding should keep the clusters separable.
+        let s = crate::silhouette_score(&y, &labels);
+        assert!(s > 0.5, "silhouette of t-SNE output = {s}");
+    }
+
+    #[test]
+    fn tsne_is_deterministic_for_fixed_seed() {
+        let (data, _) = blobs(8, 2);
+        let config = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        let a = tsne(&data, &config);
+        let b = tsne(&data, &config);
+        assert!(a.max_abs_diff(&b) == 0.0);
+    }
+
+    #[test]
+    fn calibration_hits_target_perplexity() {
+        let (data, _) = blobs(10, 3);
+        let d2 = pairwise_sq_dists(&data);
+        let perp = 10.0;
+        let p = calibrate(&d2, perp);
+        let n = data.rows();
+        for i in 0..n.min(5) {
+            // Shannon entropy of row i should be ≈ ln(perplexity).
+            let h: f64 = (0..n)
+                .filter(|&j| j != i && p[i * n + j] > 0.0)
+                .map(|j| -p[i * n + j] * p[i * n + j].ln())
+                .sum();
+            assert!((h - perp.ln()).abs() < 0.05, "row {i}: H = {h}");
+        }
+    }
+
+    #[test]
+    fn pca_separates_blobs_linearly() {
+        let (data, labels) = blobs(15, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let y = pca_2d(&data, &mut rng);
+        let s = crate::silhouette_score(&y, &labels);
+        assert!(s > 0.4, "silhouette of PCA projection = {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 points")]
+    fn too_few_points_rejected() {
+        let data = Tensor::zeros(3, 2);
+        let _ = tsne(&data, &TsneConfig::default());
+    }
+}

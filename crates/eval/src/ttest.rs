@@ -1,0 +1,206 @@
+//! Paired Student t-test — the significance machinery behind the
+//! underscores in Tables 2 and 3 (`p < 0.05` / `p < 0.01`).
+//!
+//! The t CDF is evaluated through the regularised incomplete beta function
+//! (continued fraction, Lentz's algorithm), the standard numerical recipe.
+
+/// Outcome of a paired t-test.
+#[derive(Clone, Copy, Debug)]
+pub struct TTestResult {
+    /// The t statistic (mean difference over its standard error).
+    pub t: f64,
+    /// Degrees of freedom (`n − 1`).
+    pub df: usize,
+    /// Two-tailed p-value.
+    pub p_value: f64,
+}
+
+impl TTestResult {
+    /// True if significant at the given two-tailed level (e.g. 0.05).
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-tailed paired t-test of `a` against `b` (e.g. WIDEN's five run scores
+/// vs. the best baseline's five run scores).
+///
+/// Returns `p = 1` when the differences are identically zero (no evidence).
+///
+/// # Panics
+/// Panics unless both samples have the same length ≥ 2.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> TTestResult {
+    assert_eq!(a.len(), b.len(), "paired samples must align");
+    let n = a.len();
+    assert!(n >= 2, "need at least two pairs");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean = diffs.iter().sum::<f64>() / n as f64;
+    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    let df = n - 1;
+    if var == 0.0 {
+        let p = if mean == 0.0 { 1.0 } else { 0.0 };
+        return TTestResult { t: if mean == 0.0 { 0.0 } else { f64::INFINITY }, df, p_value: p };
+    }
+    let se = (var / n as f64).sqrt();
+    let t = mean / se;
+    let p_value = 2.0 * student_t_sf(t.abs(), df as f64);
+    TTestResult { t, df, p_value: p_value.clamp(0.0, 1.0) }
+}
+
+/// Survival function `P(T > t)` of Student's t with `df` degrees of freedom,
+/// for `t ≥ 0`.
+fn student_t_sf(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    0.5 * incomplete_beta_regularized(0.5 * df, 0.5, x)
+}
+
+/// Regularised incomplete beta `I_x(a, b)`.
+fn incomplete_beta_regularized(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta).exp();
+    // `front` is symmetric under (a, b, x) → (b, a, 1−x), so both branches
+    // can share it.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (Lentz's method).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)`.
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COEFFS {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        // Γ(0.5) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_sf_matches_reference_values() {
+        // scipy.stats.t.sf(2.0, 10) = 0.036694...
+        assert!((student_t_sf(2.0, 10.0) - 0.036694).abs() < 1e-4);
+        // t.sf(1.0, 4) = 0.186950...
+        assert!((student_t_sf(1.0, 4.0) - 0.186950).abs() < 1e-4);
+        // t.sf(0, df) = 0.5.
+        assert!((student_t_sf(0.0, 7.0) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn clear_difference_is_significant() {
+        let a = [0.92, 0.93, 0.91, 0.94, 0.92];
+        let b = [0.85, 0.86, 0.84, 0.85, 0.86];
+        let r = paired_t_test(&a, &b);
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+        assert!(r.t > 0.0);
+        assert!(r.significant_at(0.05));
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = [0.9, 0.91, 0.92];
+        let r = paired_t_test(&a, &a);
+        assert_eq!(r.p_value, 1.0);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn noisy_overlap_is_not_significant() {
+        let a = [0.90, 0.80, 0.95, 0.78, 0.88];
+        let b = [0.89, 0.84, 0.90, 0.82, 0.85];
+        let r = paired_t_test(&a, &b);
+        assert!(r.p_value > 0.05, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn symmetric_two_tailed() {
+        let a = [0.8, 0.82, 0.81, 0.83];
+        let b = [0.9, 0.92, 0.91, 0.93];
+        let r1 = paired_t_test(&a, &b);
+        let r2 = paired_t_test(&b, &a);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+        assert!((r1.t + r2.t).abs() < 1e-12);
+    }
+}

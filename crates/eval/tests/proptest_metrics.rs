@@ -1,0 +1,81 @@
+//! Property-based tests of the evaluation metrics.
+
+use proptest::prelude::*;
+use widen_eval::{kl_divergence, macro_f1, micro_f1, paired_t_test, RunAggregate};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn micro_f1_bounds_and_extremes(
+        labels in prop::collection::vec(0usize..4, 1..60),
+        flips in prop::collection::vec(any::<bool>(), 1..60),
+    ) {
+        let preds: Vec<usize> = labels
+            .iter()
+            .zip(flips.iter().cycle())
+            .map(|(&l, &flip)| if flip { (l + 1) % 4 } else { l })
+            .collect();
+        let f1 = micro_f1(&labels, &preds);
+        prop_assert!((0.0..=1.0).contains(&f1));
+        // Exact prediction ⇒ 1.
+        prop_assert_eq!(micro_f1(&labels, &labels), 1.0);
+        // f1 equals fraction of unflipped positions.
+        let expected = labels
+            .iter()
+            .zip(flips.iter().cycle())
+            .filter(|(_, &flip)| !flip)
+            .count() as f64 / labels.len() as f64;
+        prop_assert!((f1 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_never_exceeds_one(
+        pairs in prop::collection::vec((0usize..3, 0usize..3), 2..50),
+    ) {
+        let labels: Vec<usize> = pairs.iter().map(|&(l, _)| l).collect();
+        let preds: Vec<usize> = pairs.iter().map(|&(_, p)| p).collect();
+        let m = macro_f1(&labels, &preds, 3);
+        prop_assert!((0.0..=1.0).contains(&m));
+    }
+
+    #[test]
+    fn kl_nonnegative_and_zero_iff_equal(
+        raw in prop::collection::vec(0.05f32..5.0, 2..10),
+    ) {
+        // Normalise to a distribution.
+        let sum: f32 = raw.iter().sum();
+        let p: Vec<f32> = raw.iter().map(|x| x / sum).collect();
+        prop_assert!(kl_divergence(&p, &p).abs() < 1e-9);
+        // Perturb.
+        let mut q = p.clone();
+        q[0] = (q[0] + 0.1).min(0.9);
+        let qsum: f32 = q.iter().sum();
+        for x in &mut q { *x /= qsum; }
+        let kl = kl_divergence(&p, &q);
+        prop_assert!(kl >= 0.0);
+    }
+
+    #[test]
+    fn t_test_p_value_in_unit_interval(
+        samples in prop::collection::vec((0.0f64..1.0, -0.01f64..0.01), 3..10),
+        delta in -0.2f64..0.2,
+    ) {
+        let a: Vec<f64> = samples.iter().map(|&(x, _)| x).collect();
+        let b: Vec<f64> = samples.iter().map(|&(x, j)| x + delta + j).collect();
+        let r = paired_t_test(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        prop_assert_eq!(r.df, a.len() - 1);
+    }
+
+    #[test]
+    fn aggregate_mean_bounded_by_samples(
+        samples in prop::collection::vec(-10.0f64..10.0, 1..20),
+    ) {
+        let agg = RunAggregate::new(samples.clone());
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(agg.mean() >= min - 1e-9 && agg.mean() <= max + 1e-9);
+        prop_assert!(agg.std() >= 0.0);
+    }
+}

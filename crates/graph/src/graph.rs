@@ -1,0 +1,239 @@
+//! The core heterogeneous graph type.
+
+use widen_tensor::{CsrMatrix, Tensor};
+
+/// Global node index (Definition 2's `i ∈ [1, |V|]`, zero-based here).
+pub type NodeId = u32;
+
+/// Identifier of a node type (e.g. *paper*, *author*, *conference*).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeTypeId(pub u16);
+
+/// Identifier of an edge type / relation (e.g. *paper-author*).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EdgeTypeId(pub u16);
+
+/// An immutable heterogeneous graph `G = {V, E}` (Definition 1).
+///
+/// Nodes carry a type, a dense feature row and an optional class label;
+/// edges carry a type. Adjacency is CSR with parallel neighbour / edge-type
+/// arrays, so a node's typed neighbourhood is two contiguous slices —
+/// exactly what the wide/deep samplers need on their hot path.
+#[derive(Clone)]
+pub struct HeteroGraph {
+    pub(crate) node_types: Vec<u16>,
+    pub(crate) node_type_names: Vec<String>,
+    pub(crate) edge_type_names: Vec<String>,
+    pub(crate) indptr: Vec<usize>,
+    pub(crate) neighbors: Vec<NodeId>,
+    pub(crate) edge_types: Vec<u16>,
+    pub(crate) features: Tensor,
+    pub(crate) labels: Vec<Option<u16>>,
+    pub(crate) num_classes: usize,
+}
+
+impl HeteroGraph {
+    /// Number of nodes `|V|`.
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of *stored directed* edges. For the default undirected
+    /// construction this is twice the logical edge count.
+    pub fn num_directed_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Number of logical (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Number of node types.
+    pub fn num_node_types(&self) -> usize {
+        self.node_type_names.len()
+    }
+
+    /// Number of edge types.
+    pub fn num_edge_types(&self) -> usize {
+        self.edge_type_names.len()
+    }
+
+    /// Number of classification classes (0 if unlabelled).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Raw feature dimensionality `d₀`.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Type of node `v`.
+    #[inline]
+    pub fn node_type(&self, v: NodeId) -> NodeTypeId {
+        NodeTypeId(self.node_types[v as usize])
+    }
+
+    /// Human-readable name of a node type.
+    pub fn node_type_name(&self, t: NodeTypeId) -> &str {
+        &self.node_type_names[t.0 as usize]
+    }
+
+    /// Human-readable name of an edge type.
+    pub fn edge_type_name(&self, t: EdgeTypeId) -> &str {
+        &self.edge_type_names[t.0 as usize]
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.indptr[v as usize + 1] - self.indptr[v as usize]
+    }
+
+    /// Neighbour ids of `v` (parallel to [`HeteroGraph::edge_types_of`]).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.indptr[v as usize]..self.indptr[v as usize + 1]]
+    }
+
+    /// Edge types of `v`'s incident edges (parallel to
+    /// [`HeteroGraph::neighbors`]).
+    #[inline]
+    pub fn edge_types_of(&self, v: NodeId) -> &[u16] {
+        &self.edge_types[self.indptr[v as usize]..self.indptr[v as usize + 1]]
+    }
+
+    /// The edge type connecting `v` to its `k`-th neighbour.
+    #[inline]
+    pub fn edge_type_at(&self, v: NodeId, k: usize) -> EdgeTypeId {
+        EdgeTypeId(self.edge_types_of(v)[k])
+    }
+
+    /// Raw feature row of node `v`.
+    #[inline]
+    pub fn feature_row(&self, v: NodeId) -> &[f32] {
+        self.features.row(v as usize)
+    }
+
+    /// Full `|V| × d₀` feature matrix.
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    /// Class label of node `v`, if labelled.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> Option<u16> {
+        self.labels[v as usize]
+    }
+
+    /// All labelled node ids, in ascending order.
+    pub fn labeled_nodes(&self) -> Vec<NodeId> {
+        (0..self.num_nodes() as NodeId)
+            .filter(|&v| self.labels[v as usize].is_some())
+            .collect()
+    }
+
+    /// Node ids of the given type, ascending.
+    pub fn nodes_of_type(&self, t: NodeTypeId) -> Vec<NodeId> {
+        (0..self.num_nodes() as NodeId)
+            .filter(|&v| self.node_types[v as usize] == t.0)
+            .collect()
+    }
+
+    /// Counts of nodes per type.
+    pub fn node_type_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_node_types()];
+        for &t in &self.node_types {
+            counts[t as usize] += 1;
+        }
+        counts
+    }
+
+    /// Counts of stored directed edges per edge type.
+    pub fn edge_type_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_edge_types()];
+        for &t in &self.edge_types {
+            counts[t as usize] += 1;
+        }
+        counts
+    }
+
+    /// Homogeneous binary adjacency (all edge types collapsed) as CSR.
+    pub fn adjacency(&self) -> CsrMatrix {
+        let n = self.num_nodes();
+        let mut triplets = Vec::with_capacity(self.neighbors.len());
+        for v in 0..n {
+            for &u in self.neighbors(v as NodeId) {
+                triplets.push((v, u as usize, 1.0));
+            }
+        }
+        CsrMatrix::from_coo(n, n, &triplets)
+    }
+
+    /// `|V| × |V|` binary adjacency restricted to one edge type
+    /// (GTN's relation-specific adjacency stack, HAN's meta-path factors).
+    pub fn adjacency_of_type(&self, t: EdgeTypeId) -> CsrMatrix {
+        let n = self.num_nodes();
+        let mut triplets = Vec::new();
+        for v in 0..n {
+            let types = self.edge_types_of(v as NodeId);
+            for (k, &u) in self.neighbors(v as NodeId).iter().enumerate() {
+                if types[k] == t.0 {
+                    triplets.push((v, u as usize, 1.0));
+                }
+            }
+        }
+        CsrMatrix::from_coo(n, n, &triplets)
+    }
+
+    /// Mean degree across all nodes.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Internal consistency check (used by tests and debug builds).
+    ///
+    /// # Panics
+    /// Panics on any structural violation.
+    pub fn validate(&self) {
+        let n = self.num_nodes();
+        assert_eq!(self.indptr.len(), n + 1, "indptr length");
+        assert_eq!(self.neighbors.len(), self.edge_types.len(), "parallel arrays");
+        assert_eq!(*self.indptr.last().unwrap(), self.neighbors.len(), "indptr tail");
+        assert_eq!(self.features.rows(), n, "feature rows");
+        assert_eq!(self.labels.len(), n, "label rows");
+        for w in self.indptr.windows(2) {
+            assert!(w[0] <= w[1], "indptr monotone");
+        }
+        for &u in &self.neighbors {
+            assert!((u as usize) < n, "neighbour in range");
+        }
+        for &t in &self.node_types {
+            assert!((t as usize) < self.node_type_names.len(), "node type in range");
+        }
+        for &t in &self.edge_types {
+            assert!((t as usize) < self.edge_type_names.len(), "edge type in range");
+        }
+        for l in self.labels.iter().flatten() {
+            assert!((*l as usize) < self.num_classes, "label in range");
+        }
+    }
+}
+
+impl std::fmt::Debug for HeteroGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeteroGraph")
+            .field("nodes", &self.num_nodes())
+            .field("directed_edges", &self.num_directed_edges())
+            .field("node_types", &self.node_type_names)
+            .field("edge_types", &self.edge_type_names)
+            .field("feature_dim", &self.feature_dim())
+            .field("classes", &self.num_classes)
+            .finish()
+    }
+}

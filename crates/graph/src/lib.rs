@@ -1,0 +1,25 @@
+//! # widen-graph
+//!
+//! Heterogeneous graph storage for the WIDEN reproduction: typed nodes and
+//! edges in CSR form (Definition 1 of the paper), dense node features,
+//! optional class labels, induced subgraphs for the inductive protocol, typed
+//! adjacency extraction for the meta-path baselines (GTN / HAN), and a greedy
+//! edge-cut partitioner standing in for Metis.
+//!
+//! The representation is undirected-by-convention: builders insert both edge
+//! directions (with the same edge type) unless told otherwise, matching how
+//! the paper treats citation/review graphs during message passing.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod builder;
+mod graph;
+pub mod io;
+pub mod partition;
+mod subgraph;
+
+pub use builder::GraphBuilder;
+pub use graph::{EdgeTypeId, HeteroGraph, NodeId, NodeTypeId};
+pub use io::{read_tsv, write_tsv, GraphIoError};
+pub use subgraph::{InducedSubgraph, NodeMapping};

@@ -1,0 +1,212 @@
+//! Greedy BFS edge-cut partitioning — the Metis stand-in.
+//!
+//! The paper uses Metis only to let full-graph baselines (GCN, GAT, HAN, …)
+//! iterate over subgraphs of the million-scale Yelp graph (§4.4). Any
+//! partitioner with a reasonably low edge cut exercises that code path, so we
+//! implement the classic two-phase heuristic: BFS growth into balanced parts
+//! followed by boundary refinement that moves nodes to the neighbouring part
+//! holding the majority of their edges when balance permits.
+
+use crate::graph::{HeteroGraph, NodeId};
+
+/// A `k`-way node partition.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// `assignment[v]` = part id of node `v`.
+    pub assignment: Vec<u32>,
+    /// Number of parts.
+    pub k: usize,
+}
+
+impl Partition {
+    /// Node ids of part `p`, ascending.
+    pub fn part(&self, p: u32) -> Vec<NodeId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == p)
+            .map(|(v, _)| v as NodeId)
+            .collect()
+    }
+
+    /// Sizes of all parts.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &a in &self.assignment {
+            sizes[a as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Number of (undirected) edges crossing part boundaries.
+pub fn edge_cut(graph: &HeteroGraph, partition: &Partition) -> usize {
+    let mut cut = 0usize;
+    for v in 0..graph.num_nodes() as NodeId {
+        for &u in graph.neighbors(v) {
+            if partition.assignment[v as usize] != partition.assignment[u as usize] {
+                cut += 1;
+            }
+        }
+    }
+    cut / 2
+}
+
+/// Greedily partitions `graph` into `k` balanced parts.
+///
+/// Phase 1 grows parts by BFS from unassigned seeds until each reaches
+/// `⌈n/k⌉` nodes. Phase 2 runs `refinement_passes` sweeps moving boundary
+/// nodes to the adjacent part holding most of their edges, subject to a
+/// 10 % balance slack.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > |V|`.
+pub fn greedy_bfs(graph: &HeteroGraph, k: usize, refinement_passes: usize) -> Partition {
+    let n = graph.num_nodes();
+    assert!(k >= 1, "k must be positive");
+    assert!(k <= n, "more parts than nodes");
+    let cap = n.div_ceil(k);
+
+    let mut assignment: Vec<u32> = vec![u32::MAX; n];
+    let mut part_sizes = vec![0usize; k];
+    let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
+    let mut next_seed: NodeId = 0;
+    let mut current: u32 = 0;
+
+    let mut assigned = 0usize;
+    while assigned < n {
+        if queue.is_empty() {
+            // Find the next unassigned seed; open a new part if the current
+            // one is full.
+            while (next_seed as usize) < n && assignment[next_seed as usize] != u32::MAX {
+                next_seed += 1;
+            }
+            if part_sizes[current as usize] >= cap && (current as usize) < k - 1 {
+                current += 1;
+            }
+            queue.push_back(next_seed);
+        }
+        let Some(v) = queue.pop_front() else { continue };
+        if assignment[v as usize] != u32::MAX {
+            continue;
+        }
+        if part_sizes[current as usize] >= cap && (current as usize) < k - 1 {
+            current += 1;
+            queue.clear();
+            queue.push_back(v);
+            continue;
+        }
+        assignment[v as usize] = current;
+        part_sizes[current as usize] += 1;
+        assigned += 1;
+        for &u in graph.neighbors(v) {
+            if assignment[u as usize] == u32::MAX {
+                queue.push_back(u);
+            }
+        }
+    }
+
+    // Phase 2: boundary refinement.
+    let slack = cap + cap / 10 + 1;
+    let mut gains = vec![0usize; k];
+    for _ in 0..refinement_passes {
+        let mut moved = false;
+        for v in 0..n {
+            let home = assignment[v] as usize;
+            if part_sizes[home] <= 1 {
+                continue;
+            }
+            gains.iter_mut().for_each(|g| *g = 0);
+            for &u in graph.neighbors(v as NodeId) {
+                gains[assignment[u as usize] as usize] += 1;
+            }
+            let (best, &best_gain) = gains
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, g)| *g)
+                .expect("k >= 1");
+            if best != home && best_gain > gains[home] && part_sizes[best] < slack {
+                assignment[v] = best as u32;
+                part_sizes[home] -= 1;
+                part_sizes[best] += 1;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    Partition { assignment, k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Two dense cliques joined by one bridge edge.
+    fn two_cliques(size: usize) -> HeteroGraph {
+        let mut b = GraphBuilder::new(&["x"], &["e"]);
+        let x = b.node_type("x");
+        let e = b.edge_type("e");
+        let ids: Vec<_> = (0..2 * size).map(|_| b.add_node(x, vec![], None)).collect();
+        for c in 0..2 {
+            for i in 0..size {
+                for j in i + 1..size {
+                    b.add_edge(ids[c * size + i], ids[c * size + j], e);
+                }
+            }
+        }
+        b.add_edge(ids[0], ids[size], e);
+        b.build()
+    }
+
+    #[test]
+    fn partitions_cover_all_nodes() {
+        let g = two_cliques(10);
+        let p = greedy_bfs(&g, 4, 2);
+        assert!(p.assignment.iter().all(|&a| (a as usize) < 4));
+        assert_eq!(p.sizes().iter().sum::<usize>(), g.num_nodes());
+    }
+
+    #[test]
+    fn two_way_split_finds_the_bridge() {
+        let g = two_cliques(12);
+        let p = greedy_bfs(&g, 2, 3);
+        // A perfect split cuts exactly the single bridge edge.
+        assert_eq!(edge_cut(&g, &p), 1, "sizes = {:?}", p.sizes());
+        let sizes = p.sizes();
+        assert_eq!(sizes, vec![12, 12]);
+    }
+
+    #[test]
+    fn refinement_does_not_unbalance() {
+        let g = two_cliques(10);
+        let p = greedy_bfs(&g, 5, 5);
+        let sizes = p.sizes();
+        let cap = g.num_nodes().div_ceil(5);
+        for s in sizes {
+            assert!(s <= cap + cap / 10 + 1);
+            assert!(s >= 1);
+        }
+    }
+
+    #[test]
+    fn single_part_has_zero_cut() {
+        let g = two_cliques(4);
+        let p = greedy_bfs(&g, 1, 1);
+        assert_eq!(edge_cut(&g, &p), 0);
+    }
+
+    #[test]
+    fn part_listing_matches_assignment() {
+        let g = two_cliques(5);
+        let p = greedy_bfs(&g, 2, 2);
+        for part_id in 0..2u32 {
+            for v in p.part(part_id) {
+                assert_eq!(p.assignment[v as usize], part_id);
+            }
+        }
+    }
+}

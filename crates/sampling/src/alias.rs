@@ -1,0 +1,138 @@
+//! Walker's alias method for O(1) weighted sampling.
+//!
+//! Used by the Node2Vec baseline (p/q-biased transition distributions) and
+//! by FastGCN (layer-wise importance sampling `q(v) ∝ ‖A·,v‖²`).
+
+use rand::Rng;
+
+/// A pre-processed discrete distribution supporting O(1) draws.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/NaN value, or sums
+    /// to zero.
+    pub fn new(weights: &[f32]) -> Self {
+        assert!(!weights.is_empty(), "empty weight vector");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "weights must be finite and ≥ 0");
+                f64::from(w)
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights
+            .iter()
+            .map(|&w| f64::from(w) * n as f64 / total)
+            .collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers default to probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index according to the weights.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [1.0, 3.0, 6.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f32 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = counts[i] as f32 / n as f32;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "category {i}: expected {expected}, observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_drawn() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_category_always_drawn() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(table.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn all_zero_weights_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weights_rejected() {
+        let _ = AliasTable::new(&[1.0, -1.0]);
+    }
+}

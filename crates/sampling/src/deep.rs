@@ -1,0 +1,172 @@
+//! Deep neighbour sets — random-walk sequences (Definition 3).
+
+use rand::Rng;
+use widen_graph::{HeteroGraph, NodeId};
+
+/// One hop of a deep walk: the node `v_s` plus the type of the edge that led
+/// to it from its predecessor (`e_{s,s-1}` of Eq. 2; for `s = 1` the
+/// predecessor is the target itself, `e_{1,0} = e_{1,t}`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeepEntry {
+    /// Global node index of `v_s`.
+    pub node: NodeId,
+    /// Edge type of `(v_s, v_{s-1})` in the walk.
+    pub edge_type: u16,
+}
+
+/// The deep neighbour node set `D(v_t)` of Definition 3: a random walk of
+/// (up to) `N_d` steps starting from — but excluding — the target.
+///
+/// The vector position of an entry is its local index `s` (zero-based; the
+/// paper's `s = 1` is position 0). Walks stop early at isolated nodes, so
+/// `len() ≤ N_d`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeepSet {
+    /// The walk's start node `v_t` (never contained in `entries`).
+    pub target: NodeId,
+    /// Walk sequence in visit order.
+    pub entries: Vec<DeepEntry>,
+}
+
+impl DeepSet {
+    /// Current sequence length `|D(v_t)|`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the walk is empty (isolated target).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes the entry at local index `s`, shifting later locals down —
+    /// the relabelling loop of Algorithm 2 (lines 8–11). The relay-edge
+    /// update (Eq. 8) happens at the message-pack level before this call.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    pub fn remove_local(&mut self, s: usize) -> DeepEntry {
+        assert!(s < self.entries.len(), "local index out of range");
+        self.entries.remove(s)
+    }
+}
+
+/// Performs one uniform random walk of length `n_d` from `target`
+/// (Definition 3). The walk may revisit nodes (including the target); it
+/// terminates early only when it reaches an isolated node.
+pub fn sample_deep<R: Rng + ?Sized>(
+    graph: &HeteroGraph,
+    target: NodeId,
+    n_d: usize,
+    rng: &mut R,
+) -> DeepSet {
+    let mut entries = Vec::with_capacity(n_d);
+    let mut current = target;
+    for _ in 0..n_d {
+        let degree = graph.degree(current);
+        if degree == 0 {
+            break;
+        }
+        let k = rng.gen_range(0..degree);
+        let next = graph.neighbors(current)[k];
+        let edge_type = graph.edge_types_of(current)[k];
+        entries.push(DeepEntry { node: next, edge_type });
+        current = next;
+    }
+    DeepSet { target, entries }
+}
+
+/// Samples `phi` independent deep walks for the same target (the paper's
+/// `Φ ≥ 1` deep neighbour sets whose representations are average-pooled in
+/// Eq. 7).
+pub fn sample_deep_multi<R: Rng + ?Sized>(
+    graph: &HeteroGraph,
+    target: NodeId,
+    n_d: usize,
+    phi: usize,
+    rng: &mut R,
+) -> Vec<DeepSet> {
+    (0..phi).map(|_| sample_deep(graph, target, n_d, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use widen_graph::GraphBuilder;
+
+    /// 0 - 1 - 2 - 3 path with alternating edge types.
+    fn path() -> HeteroGraph {
+        let mut b = GraphBuilder::new(&["x"], &["a", "b"]);
+        let x = b.node_type("x");
+        let ea = b.edge_type("a");
+        let eb = b.edge_type("b");
+        let ids: Vec<_> = (0..4).map(|_| b.add_node(x, vec![], None)).collect();
+        b.add_edge(ids[0], ids[1], ea);
+        b.add_edge(ids[1], ids[2], eb);
+        b.add_edge(ids[2], ids[3], ea);
+        b.build()
+    }
+
+    #[test]
+    fn walk_is_connected_and_types_match() {
+        let g = path();
+        let mut rng = StdRng::seed_from_u64(1);
+        let walk = sample_deep(&g, 0, 10, &mut rng);
+        assert_eq!(walk.len(), 10);
+        let mut prev = 0u32;
+        for e in &walk.entries {
+            // Each step must be a genuine edge from `prev`.
+            let pos = g
+                .neighbors(prev)
+                .iter()
+                .position(|&u| u == e.node)
+                .expect("walk step must follow an edge");
+            assert_eq!(g.edge_types_of(prev)[pos], e.edge_type);
+            prev = e.node;
+        }
+    }
+
+    #[test]
+    fn first_hop_leaves_the_target() {
+        let g = path();
+        let mut rng = StdRng::seed_from_u64(2);
+        let walk = sample_deep(&g, 0, 3, &mut rng);
+        assert_eq!(walk.entries[0].node, 1, "node 0's only neighbour is 1");
+        assert_eq!(walk.entries[0].edge_type, 0);
+    }
+
+    #[test]
+    fn isolated_target_gives_empty_walk() {
+        let mut b = GraphBuilder::new(&["x"], &["e"]);
+        let x = b.node_type("x");
+        b.add_node(x, vec![], None);
+        let g = b.build();
+        let walk = sample_deep(&g, 0, 5, &mut StdRng::seed_from_u64(3));
+        assert!(walk.is_empty());
+    }
+
+    #[test]
+    fn multi_walks_are_independent_but_deterministic() {
+        let g = path();
+        let walks_a = sample_deep_multi(&g, 1, 6, 4, &mut StdRng::seed_from_u64(4));
+        let walks_b = sample_deep_multi(&g, 1, 6, 4, &mut StdRng::seed_from_u64(4));
+        assert_eq!(walks_a.len(), 4);
+        assert_eq!(walks_a, walks_b);
+        // With 4 walks of length 6 from a degree-2 node, at least two should
+        // differ for this seed.
+        assert!(walks_a.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn remove_local_relabels() {
+        let g = path();
+        let mut walk = sample_deep(&g, 0, 5, &mut StdRng::seed_from_u64(5));
+        let before = walk.entries.clone();
+        walk.remove_local(1);
+        assert_eq!(walk.len(), 4);
+        assert_eq!(walk.entries[0], before[0]);
+        assert_eq!(walk.entries[1], before[2]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Wide neighbour sets (Definition 2).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use widen_graph::{HeteroGraph, NodeId};
+
+/// One wide neighbour: its global node id plus the type of the edge
+/// connecting it to the target (`e_{n,t}` in Eq. 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WideEntry {
+    /// Global node index `i` of Definition 2.
+    pub node: NodeId,
+    /// Type of the edge between this neighbour and the target.
+    pub edge_type: u16,
+}
+
+/// The wide neighbour node set `W(v_t)` of Definition 2.
+///
+/// The vector position of an entry **is** its local index `n` (zero-based);
+/// downsampling removes one entry and thereby renumbers all later locals,
+/// exactly as Algorithm 1's relabelling loop does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WideSet {
+    /// The target node `v_t` (never contained in `entries`).
+    pub target: NodeId,
+    /// Sampled first-order neighbours in local-index order.
+    pub entries: Vec<WideEntry>,
+}
+
+impl WideSet {
+    /// Current set size `|W(v_t)|`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty (isolated target).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes the entry at local index `n`, shifting later locals down —
+    /// the index-relabelling step of Algorithm 1 (lines 5–8).
+    ///
+    /// # Panics
+    /// Panics if `n` is out of range.
+    pub fn remove_local(&mut self, n: usize) -> WideEntry {
+        assert!(n < self.entries.len(), "local index out of range");
+        self.entries.remove(n)
+    }
+}
+
+/// Uniformly samples `n_w` first-order neighbours of `target` (Definition 2).
+///
+/// If the target's degree is at least `n_w`, sampling is **without**
+/// replacement (a subset); otherwise neighbours are drawn **with**
+/// replacement up to `n_w`, the standard GraphSAGE convention for sparse
+/// graphs. An isolated target yields an empty set, which the model handles
+/// by packing only the self message.
+pub fn sample_wide<R: Rng + ?Sized>(
+    graph: &HeteroGraph,
+    target: NodeId,
+    n_w: usize,
+    rng: &mut R,
+) -> WideSet {
+    let degree = graph.degree(target);
+    let neighbors = graph.neighbors(target);
+    let edge_types = graph.edge_types_of(target);
+    let mut entries = Vec::with_capacity(n_w.min(degree.max(n_w)));
+    if degree == 0 || n_w == 0 {
+        return WideSet { target, entries };
+    }
+    if degree <= n_w {
+        // Take all, then top up with replacement if strictly fewer.
+        for k in 0..degree {
+            entries.push(WideEntry { node: neighbors[k], edge_type: edge_types[k] });
+        }
+        while entries.len() < n_w {
+            let k = rng.gen_range(0..degree);
+            entries.push(WideEntry { node: neighbors[k], edge_type: edge_types[k] });
+        }
+    } else {
+        // Without replacement: partial Fisher–Yates over positions.
+        let mut positions: Vec<usize> = (0..degree).collect();
+        positions.partial_shuffle(rng, n_w);
+        for &k in positions.iter().take(n_w) {
+            entries.push(WideEntry { node: neighbors[k], edge_type: edge_types[k] });
+        }
+    }
+    WideSet { target, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use widen_graph::GraphBuilder;
+
+    /// Star graph: node 0 in the centre with `leaves` leaves, alternating
+    /// edge types.
+    fn star(leaves: usize) -> HeteroGraph {
+        let mut b = GraphBuilder::new(&["hub", "leaf"], &["a", "b"]);
+        let hub_t = b.node_type("hub");
+        let leaf_t = b.node_type("leaf");
+        let ea = b.edge_type("a");
+        let eb = b.edge_type("b");
+        let hub = b.add_node(hub_t, vec![], None);
+        for i in 0..leaves {
+            let l = b.add_node(leaf_t, vec![], None);
+            b.add_edge(hub, l, if i % 2 == 0 { ea } else { eb });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn samples_without_replacement_when_degree_suffices() {
+        let g = star(30);
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = sample_wide(&g, 0, 10, &mut rng);
+        assert_eq!(w.len(), 10);
+        let mut nodes: Vec<_> = w.entries.iter().map(|e| e.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 10, "no duplicates expected");
+        assert!(!nodes.contains(&0), "target excluded");
+    }
+
+    #[test]
+    fn tops_up_with_replacement_when_degree_short() {
+        let g = star(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = sample_wide(&g, 0, 8, &mut rng);
+        assert_eq!(w.len(), 8);
+        // All entries are genuine neighbours.
+        for e in &w.entries {
+            assert!(e.node >= 1 && e.node <= 3);
+        }
+    }
+
+    #[test]
+    fn isolated_node_yields_empty_set() {
+        let mut b = GraphBuilder::new(&["x"], &["e"]);
+        let x = b.node_type("x");
+        b.add_node(x, vec![], None);
+        let g = b.build();
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = sample_wide(&g, 0, 5, &mut rng);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn edge_types_follow_sampled_neighbors() {
+        let g = star(10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = sample_wide(&g, 0, 10, &mut rng);
+        for e in &w.entries {
+            // Leaf ids start at 1; even leaf index (id-1) → type a (0).
+            let expected = if (e.node - 1) % 2 == 0 { 0 } else { 1 };
+            assert_eq!(e.edge_type, expected);
+        }
+    }
+
+    #[test]
+    fn remove_local_shifts_later_entries() {
+        let g = star(6);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut w = sample_wide(&g, 0, 6, &mut rng);
+        let before = w.entries.clone();
+        let removed = w.remove_local(2);
+        assert_eq!(removed, before[2]);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.entries[2], before[3], "locals after n' shift down by one");
+        assert_eq!(w.entries[..2], before[..2], "locals before n' unchanged");
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let g = star(20);
+        let a = sample_wide(&g, 0, 7, &mut StdRng::seed_from_u64(9));
+        let b = sample_wide(&g, 0, 7, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

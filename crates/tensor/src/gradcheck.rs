@@ -1,0 +1,428 @@
+//! Finite-difference gradient checking used across the test suites.
+//!
+//! Every differentiable op in this crate — and the composite WIDEN blocks in
+//! `widen-core` — is validated against central differences. f32 arithmetic
+//! limits attainable precision, so the checker uses a combined
+//! absolute/relative tolerance.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+/// Result of a gradient check: the largest combined-tolerance violation.
+#[derive(Debug)]
+pub struct GradCheckReport {
+    /// Largest `|analytic − numeric| / max(1, |numeric|)` observed.
+    pub max_violation: f32,
+    /// Where it occurred: (input index, element index).
+    pub worst: (usize, usize),
+}
+
+/// Checks analytic gradients of `build` against central finite differences.
+///
+/// `build` must construct the full forward computation from the leaf vars it
+/// is handed (one per entry of `inputs`, same order) and return a **scalar**
+/// output var. It must be deterministic.
+///
+/// Returns a report; use [`assert_grads_close`] in tests.
+pub fn check_gradients(
+    inputs: &[Tensor],
+    build: impl Fn(&mut Tape, &[Var]) -> Var,
+    eps: f32,
+) -> GradCheckReport {
+    // Analytic pass.
+    let mut tape = Tape::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+    let out = build(&mut tape, &vars);
+    tape.backward(out);
+    let analytic: Vec<Tensor> = vars
+        .iter()
+        .zip(inputs)
+        .map(|(v, t)| {
+            tape.grad(*v)
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(t.rows(), t.cols()))
+        })
+        .collect();
+
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let mut tape = Tape::new();
+        let vars: Vec<Var> = perturbed.iter().map(|t| tape.leaf(t.clone())).collect();
+        let out = build(&mut tape, &vars);
+        tape.value(out).get(0, 0)
+    };
+
+    let mut report = GradCheckReport { max_violation: 0.0, worst: (0, 0) };
+    let mut work: Vec<Tensor> = inputs.to_vec();
+    for (i, input) in inputs.iter().enumerate() {
+        for e in 0..input.len() {
+            let orig = input.as_slice()[e];
+            work[i].as_mut_slice()[e] = orig + eps;
+            let plus = eval(&work);
+            work[i].as_mut_slice()[e] = orig - eps;
+            let minus = eval(&work);
+            work[i].as_mut_slice()[e] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let a = analytic[i].as_slice()[e];
+            let violation = (a - numeric).abs() / numeric.abs().max(1.0);
+            if violation > report.max_violation {
+                report.max_violation = violation;
+                report.worst = (i, e);
+            }
+        }
+    }
+    report
+}
+
+/// Asserts the analytic/numeric agreement is within `tol`.
+///
+/// # Panics
+/// Panics with a located diagnostic on failure.
+pub fn assert_grads_close(
+    inputs: &[Tensor],
+    build: impl Fn(&mut Tape, &[Var]) -> Var,
+    tol: f32,
+) {
+    let report = check_gradients(inputs, build, 1e-2);
+    assert!(
+        report.max_violation < tol,
+        "gradient mismatch {:.3e} at input {} element {} (tol {:.1e})",
+        report.max_violation,
+        report.worst.0,
+        report.worst.1,
+        tol
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn randn(r: usize, c: usize, rng: &mut StdRng) -> Tensor {
+        Tensor::randn(r, c, 0.5, rng)
+    }
+
+    #[test]
+    fn matmul_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(3, 4, &mut r), randn(4, 2, &mut r)];
+        assert_grads_close(
+            &inputs,
+            |t, v| {
+                let c = t.matmul(v[0], v[1]);
+                t.sum(c)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn matmul_nt_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(3, 4, &mut r), randn(5, 4, &mut r)];
+        assert_grads_close(
+            &inputs,
+            |t, v| {
+                let c = t.matmul_nt(v[0], v[1]);
+                let sq = t.mul(c, c);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn elementwise_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(2, 3, &mut r), randn(2, 3, &mut r)];
+        assert_grads_close(
+            &inputs,
+            |t, v| {
+                let m = t.mul(v[0], v[1]);
+                let a = t.add(m, v[0]);
+                let s = t.sub(a, v[1]);
+                t.sum(s)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn broadcast_scale_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(4, 3, &mut r), randn(1, 3, &mut r)];
+        assert_grads_close(
+            &inputs,
+            |t, v| {
+                let b = t.add_row_broadcast(v[0], v[1]);
+                let s = t.scale(b, 0.7);
+                let sq = t.mul(s, s);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn activation_grads() {
+        let mut r = rng();
+        // Offset away from the ReLU kink for finite differences.
+        let mut a = randn(3, 3, &mut r);
+        for x in a.as_mut_slice() {
+            if x.abs() < 0.1 {
+                *x += 0.2;
+            }
+        }
+        let inputs = vec![a];
+        assert_grads_close(
+            &inputs,
+            |t, v| {
+                let r1 = t.relu(v[0]);
+                let r2 = t.leaky_relu(v[0], 0.2);
+                let r3 = t.tanh(v[0]);
+                let s1 = t.add(r1, r2);
+                let s2 = t.add(s1, r3);
+                t.sum(s2)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn softmax_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(3, 5, &mut r)];
+        assert_grads_close(
+            &inputs,
+            |t, v| {
+                let s = t.softmax_rows(v[0]);
+                let sq = t.mul(s, s);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn masked_softmax_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(4, 4, &mut r)];
+        let mut mask = Tensor::zeros(4, 4);
+        for row in 0..4 {
+            for col in 0..4 {
+                if row > col {
+                    mask.set(row, col, f32::NEG_INFINITY);
+                }
+            }
+        }
+        let mask = Arc::new(mask);
+        assert_grads_close(
+            &inputs,
+            move |t, v| {
+                let s = t.masked_softmax_rows(v[0], mask.clone());
+                let sq = t.mul(s, s);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn stack_select_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(2, 3, &mut r), randn(3, 3, &mut r)];
+        assert_grads_close(
+            &inputs,
+            |t, v| {
+                let st = t.vstack(&[v[0], v[1]]);
+                let sel = t.select_rows(st, &[0, 4, 2, 2]);
+                let sq = t.mul(sel, sel);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn hstack_mean_rows_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(3, 2, &mut r), randn(3, 4, &mut r)];
+        assert_grads_close(
+            &inputs,
+            |t, v| {
+                let h = t.hstack(&[v[0], v[1]]);
+                let m = t.mean_rows(h);
+                let sq = t.mul(m, m);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn l2_normalize_grads() {
+        let mut r = rng();
+        // Keep rows clearly away from zero norm.
+        let mut a = randn(3, 4, &mut r);
+        for x in a.as_mut_slice() {
+            *x += 1.0;
+        }
+        let target = randn(3, 4, &mut r);
+        let inputs = vec![a, target];
+        assert_grads_close(
+            &inputs,
+            |t, v| {
+                let n = t.l2_normalize_rows(v[0]);
+                let d = t.sub(n, v[1]);
+                let sq = t.mul(d, d);
+                t.sum(sq)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn cross_entropy_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(4, 3, &mut r)];
+        assert_grads_close(
+            &inputs,
+            |t, v| t.softmax_cross_entropy(v[0], &[0, 2, 1, 1]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn maxpool2_grads() {
+        let mut r = rng();
+        // Separate the operands to keep finite differences off the tie point.
+        let mut a = randn(2, 4, &mut r);
+        let mut b = randn(2, 4, &mut r);
+        for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_mut_slice()) {
+            if (*x - *y).abs() < 0.1 {
+                *x += 0.3;
+            }
+        }
+        let inputs = vec![a, b];
+        assert_grads_close(
+            &inputs,
+            |t, v| {
+                let m = t.maxpool2(v[0], v[1]);
+                let sq = t.mul(m, m);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn transpose_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(3, 5, &mut r), randn(3, 5, &mut r)];
+        assert_grads_close(
+            &inputs,
+            |t, v| {
+                let tr = t.transpose(v[0]);
+                let back = t.transpose(tr);
+                let d = t.sub(back, v[1]);
+                let sq = t.mul(d, d);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn mul_scalar_var_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(3, 4, &mut r), randn(1, 1, &mut r)];
+        assert_grads_close(
+            &inputs,
+            |t, v| {
+                let scaled = t.mul_scalar_var(v[0], v[1]);
+                let sq = t.mul(scaled, scaled);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn soft_selection_block_grads() {
+        // GTN-style: softmax over channel logits gates two matrices.
+        let mut r = rng();
+        let inputs = vec![randn(1, 2, &mut r), randn(3, 3, &mut r), randn(3, 3, &mut r)];
+        assert_grads_close(
+            &inputs,
+            |t, v| {
+                let sm = t.softmax_rows(v[0]);
+                let col = t.transpose(sm);
+                let s0 = t.select_rows(col, &[0]);
+                let s1 = t.select_rows(col, &[1]);
+                let g0 = t.mul_scalar_var(v[1], s0);
+                let g1 = t.mul_scalar_var(v[2], s1);
+                let mix = t.add(g0, g1);
+                let sq = t.mul(mix, mix);
+                t.sum(sq)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn spmm_grads() {
+        use crate::sparse::CsrMatrix;
+        let mut r = rng();
+        let csr = Arc::new(CsrMatrix::from_coo(
+            3,
+            3,
+            &[(0, 1, 2.0), (1, 0, 1.0), (1, 2, -1.5), (2, 2, 0.5)],
+        ));
+        let inputs = vec![randn(3, 4, &mut r)];
+        assert_grads_close(
+            &inputs,
+            move |t, v| {
+                let y = t.spmm(csr.clone(), v[0]);
+                let sq = t.mul(y, y);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn deep_composite_attention_block_grads() {
+        // A miniature of the WIDEN wide-attention block (Eq. 3).
+        let mut r = rng();
+        let d = 4;
+        let inputs = vec![
+            randn(5, d, &mut r),  // pack matrix M
+            randn(d, d, &mut r),  // W_Q
+            randn(d, d, &mut r),  // W_K
+            randn(d, d, &mut r),  // W_V
+        ];
+        assert_grads_close(
+            &inputs,
+            move |t, v| {
+                let m = v[0];
+                let q_all = t.matmul(m, v[1]);
+                let q = t.select_rows(q_all, &[0]);
+                let k = t.matmul(m, v[2]);
+                let scores = t.matmul_nt(q, k);
+                let scaled = t.scale(scores, 1.0 / (d as f32).sqrt());
+                let att = t.softmax_rows(scaled);
+                let vals = t.matmul(m, v[3]);
+                let h = t.matmul(att, vals);
+                let sq = t.mul(h, h);
+                t.sum(sq)
+            },
+            4e-2,
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Weight initialisation schemes.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform initialisation: `U(−a, a)` with
+/// `a = √(6 / (fan_in + fan_out))`. The default for attention projection
+/// matrices (`W_Q`, `W_K`, `W_V`) and linear layers.
+pub fn xavier_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Tensor::rand_uniform(rows, cols, -a, a, rng)
+}
+
+/// He/Kaiming normal initialisation: `N(0, √(2/fan_in))` — used ahead of
+/// ReLU layers (Eq. 7's feed-forward).
+pub fn he_normal<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / rows as f32).sqrt();
+    Tensor::randn(rows, cols, std, rng)
+}
+
+/// Plain Gaussian initialisation with the given standard deviation
+/// (embedding tables).
+pub fn normal<R: Rng + ?Sized>(rows: usize, cols: usize, std: f32, rng: &mut R) -> Tensor {
+    Tensor::randn(rows, cols, std, rng)
+}
+
+/// All-zeros initialisation (biases).
+pub fn zeros_init(rows: usize, cols: usize) -> Tensor {
+    Tensor::zeros(rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = xavier_uniform(64, 64, &mut rng);
+        let bound = (6.0 / 128.0f32).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= bound));
+        // Not degenerate.
+        assert!(t.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let t = he_normal(512, 64, &mut rng);
+        let std = (t.as_slice().iter().map(|x| x * x).sum::<f32>() / t.len() as f32).sqrt();
+        let expected = (2.0 / 512.0f32).sqrt();
+        assert!((std - expected).abs() / expected < 0.15);
+    }
+
+    #[test]
+    fn init_is_seed_deterministic() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(9));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn zeros_init_is_zero() {
+        assert_eq!(zeros_init(2, 2).sum(), 0.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Differentiable operator definitions and their backward rules.
+
+use std::sync::Arc;
+
+use crate::sparse::CsrMatrix;
+use crate::tape::Var;
+use crate::tensor::Tensor;
+
+/// The operator that produced a tape node.
+///
+/// Each variant stores the [`Var`] handles of its inputs plus any
+/// non-differentiable configuration (masks, indices, constants). The set is
+/// intentionally exactly the vocabulary required by WIDEN (Eq. 1–10) and the
+/// eight baselines — nothing speculative.
+#[derive(Clone)]
+pub enum Op {
+    /// Input value (constant or parameter); gradients accumulate but nothing
+    /// propagates further.
+    Leaf,
+    /// `A · B`.
+    MatMul(Var, Var),
+    /// `A · Bᵀ` (attention scores `Q·Kᵀ` without materialising a transpose).
+    MatMulNt(Var, Var),
+    /// Element-wise sum of two same-shape tensors.
+    Add(Var, Var),
+    /// Element-wise difference.
+    Sub(Var, Var),
+    /// Element-wise product — the paper's `⊙` message-packaging operator.
+    Mul(Var, Var),
+    /// `A + 1·b`: adds a `1 × c` row vector to every row of `A` (bias of Eq. 7).
+    AddRowBroadcast(Var, Var),
+    /// Scalar multiple (`1/√d` attention scaling, `1/Φ` averaging).
+    Scale(Var, f32),
+    /// Rectified linear unit.
+    Relu(Var),
+    /// Leaky ReLU with the given negative slope (GAT baseline).
+    LeakyRelu(Var, f32),
+    /// Hyperbolic tangent.
+    Tanh(Var),
+    /// Row-wise softmax.
+    SoftmaxRows(Var),
+    /// Row-wise softmax of `A + Θ` where `Θ` is a constant additive mask
+    /// (Eq. 4/6 — the successive-attention causal mask).
+    MaskedSoftmaxRows(Var, Arc<Tensor>),
+    /// Vertical stack of the operands (builds message-pack matrices).
+    VStack(Vec<Var>),
+    /// Horizontal concatenation (Eq. 7's `[h∘ ; h▷]`).
+    HStack(Vec<Var>),
+    /// Gathers the listed rows; gradient scatter-adds back.
+    SelectRows(Var, Arc<[usize]>),
+    /// Sum of all elements, producing `1 × 1`.
+    Sum(Var),
+    /// Column-wise mean over rows, producing `1 × c` (Φ-averaging of Eq. 7).
+    MeanRows(Var),
+    /// Row-wise L2 normalisation (Eq. 7's `h/‖h‖`).
+    L2NormalizeRows(Var),
+    /// Mean softmax cross-entropy against integer class labels (Eq. 10).
+    SoftmaxCrossEntropy(Var, Arc<[usize]>),
+    /// Element-wise maximum of two tensors (Eq. 8's relay-edge `maxpool`).
+    MaxPool2(Var, Var),
+    /// `S · B` for a constant sparse CSR matrix `S` (GCN-family baselines).
+    Spmm(Arc<CsrMatrix>, Var),
+    /// Transposed copy (GTN/HAN semantic-attention plumbing).
+    Transpose(Var),
+    /// `A · s` where `s` is a `1 × 1` variable — scalar gating with gradient
+    /// to the scalar (GTN's soft edge-type selection, HAN's semantic
+    /// attention weights).
+    MulScalarVar(Var, Var),
+}
+
+impl Op {
+    /// Input variables of this op (configuration tensors excluded).
+    pub fn inputs(&self) -> Vec<Var> {
+        match self {
+            Op::Leaf => vec![],
+            Op::MatMul(a, b)
+            | Op::MatMulNt(a, b)
+            | Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::AddRowBroadcast(a, b)
+            | Op::MaxPool2(a, b) => vec![*a, *b],
+            Op::Scale(a, _)
+            | Op::Relu(a)
+            | Op::LeakyRelu(a, _)
+            | Op::Tanh(a)
+            | Op::SoftmaxRows(a)
+            | Op::MaskedSoftmaxRows(a, _)
+            | Op::SelectRows(a, _)
+            | Op::Sum(a)
+            | Op::MeanRows(a)
+            | Op::L2NormalizeRows(a)
+            | Op::SoftmaxCrossEntropy(a, _)
+            | Op::Spmm(_, a)
+            | Op::Transpose(a) => vec![*a],
+            Op::MulScalarVar(a, s) => vec![*a, *s],
+            Op::VStack(parts) | Op::HStack(parts) => parts.clone(),
+        }
+    }
+}
+
+/// Accumulates `delta` into `grads[var]`, allocating on first touch.
+pub(crate) fn accumulate(grads: &mut [Option<Tensor>], var: Var, delta: &Tensor) {
+    match &mut grads[var.index()] {
+        Some(g) => g.add_scaled(1.0, delta),
+        slot @ None => *slot = Some(delta.clone()),
+    }
+}
+
+/// Propagates `grad_out` (gradient w.r.t. this node's output) to the inputs.
+///
+/// `values[i]` is the forward value of tape node `i`; `out_value` is this
+/// node's own forward value (several rules reuse it — softmax, tanh, L2).
+pub(crate) fn backward_step(
+    op: &Op,
+    out_value: &Tensor,
+    grad_out: &Tensor,
+    values: &[Tensor],
+    grads: &mut [Option<Tensor>],
+) {
+    match op {
+        Op::Leaf => {}
+        Op::MatMul(a, b) => {
+            let da = grad_out.matmul_nt(&values[b.index()]);
+            let db = values[a.index()].matmul_tn(grad_out);
+            accumulate(grads, *a, &da);
+            accumulate(grads, *b, &db);
+        }
+        Op::MatMulNt(a, b) => {
+            // C = A·Bᵀ ⇒ dA = G·B, dB = Gᵀ·A.
+            let da = grad_out.matmul(&values[b.index()]);
+            let db = grad_out.matmul_tn(&values[a.index()]);
+            accumulate(grads, *a, &da);
+            accumulate(grads, *b, &db);
+        }
+        Op::Add(a, b) => {
+            accumulate(grads, *a, grad_out);
+            accumulate(grads, *b, grad_out);
+        }
+        Op::Sub(a, b) => {
+            accumulate(grads, *a, grad_out);
+            let neg = grad_out.map(|x| -x);
+            accumulate(grads, *b, &neg);
+        }
+        Op::Mul(a, b) => {
+            let da = grad_out.zip_map(&values[b.index()], |g, v| g * v);
+            let db = grad_out.zip_map(&values[a.index()], |g, v| g * v);
+            accumulate(grads, *a, &da);
+            accumulate(grads, *b, &db);
+        }
+        Op::AddRowBroadcast(a, b) => {
+            accumulate(grads, *a, grad_out);
+            let mut db = Tensor::zeros(1, grad_out.cols());
+            for r in 0..grad_out.rows() {
+                db.add_scaled(1.0, &Tensor::row_vector(grad_out.row(r)));
+            }
+            accumulate(grads, *b, &db);
+        }
+        Op::Scale(a, alpha) => {
+            let da = grad_out.map(|g| g * alpha);
+            accumulate(grads, *a, &da);
+        }
+        Op::Relu(a) => {
+            let da = grad_out.zip_map(out_value, |g, y| if y > 0.0 { g } else { 0.0 });
+            accumulate(grads, *a, &da);
+        }
+        Op::LeakyRelu(a, slope) => {
+            let input = &values[a.index()];
+            let da = grad_out.zip_map(input, |g, x| if x > 0.0 { g } else { g * slope });
+            accumulate(grads, *a, &da);
+        }
+        Op::Tanh(a) => {
+            let da = grad_out.zip_map(out_value, |g, y| g * (1.0 - y * y));
+            accumulate(grads, *a, &da);
+        }
+        Op::SoftmaxRows(a) | Op::MaskedSoftmaxRows(a, _) => {
+            // dx = s ⊙ (g − ⟨g, s⟩) per row; additive masks are constant.
+            let mut da = Tensor::zeros(grad_out.rows(), grad_out.cols());
+            for r in 0..grad_out.rows() {
+                let s = out_value.row(r);
+                let g = grad_out.row(r);
+                let inner: f32 = s.iter().zip(g).map(|(&si, &gi)| si * gi).sum();
+                let dr = da.row_mut(r);
+                for i in 0..s.len() {
+                    dr[i] = s[i] * (g[i] - inner);
+                }
+            }
+            accumulate(grads, *a, &da);
+        }
+        Op::VStack(parts) => {
+            let mut row = 0;
+            for p in parts {
+                let part_rows = values[p.index()].rows();
+                let cols = grad_out.cols();
+                let mut dp = Tensor::zeros(part_rows, cols);
+                for r in 0..part_rows {
+                    dp.set_row(r, grad_out.row(row + r));
+                }
+                accumulate(grads, *p, &dp);
+                row += part_rows;
+            }
+        }
+        Op::HStack(parts) => {
+            let rows = grad_out.rows();
+            let mut col = 0;
+            for p in parts {
+                let part_cols = values[p.index()].cols();
+                let mut dp = Tensor::zeros(rows, part_cols);
+                for r in 0..rows {
+                    let src = &grad_out.row(r)[col..col + part_cols];
+                    dp.row_mut(r).copy_from_slice(src);
+                }
+                accumulate(grads, *p, &dp);
+                col += part_cols;
+            }
+        }
+        Op::SelectRows(a, indices) => {
+            let src = &values[a.index()];
+            let mut da = Tensor::zeros(src.rows(), src.cols());
+            for (i, &idx) in indices.iter().enumerate() {
+                let dr = da.row_mut(idx);
+                let g = grad_out.row(i);
+                for c in 0..g.len() {
+                    dr[c] += g[c];
+                }
+            }
+            accumulate(grads, *a, &da);
+        }
+        Op::Sum(a) => {
+            let g = grad_out.get(0, 0);
+            let src = &values[a.index()];
+            let da = Tensor::full(src.rows(), src.cols(), g);
+            accumulate(grads, *a, &da);
+        }
+        Op::MeanRows(a) => {
+            let src = &values[a.index()];
+            let scale = 1.0 / src.rows() as f32;
+            let mut da = Tensor::zeros(src.rows(), src.cols());
+            for r in 0..src.rows() {
+                let dr = da.row_mut(r);
+                let g = grad_out.row(0);
+                for c in 0..g.len() {
+                    dr[c] = g[c] * scale;
+                }
+            }
+            accumulate(grads, *a, &da);
+        }
+        Op::L2NormalizeRows(a) => {
+            // y = x/‖x‖ ⇒ dx = (g − ⟨g, y⟩·y)/‖x‖; zero rows get zero grad.
+            let input = &values[a.index()];
+            let mut da = Tensor::zeros(input.rows(), input.cols());
+            for r in 0..input.rows() {
+                let x = input.row(r);
+                let norm = x.iter().map(|v| v * v).sum::<f32>().sqrt();
+                if norm == 0.0 {
+                    continue;
+                }
+                let y = out_value.row(r);
+                let g = grad_out.row(r);
+                let inner: f32 = g.iter().zip(y).map(|(&gi, &yi)| gi * yi).sum();
+                let dr = da.row_mut(r);
+                for i in 0..x.len() {
+                    dr[i] = (g[i] - inner * y[i]) / norm;
+                }
+            }
+            accumulate(grads, *a, &da);
+        }
+        Op::SoftmaxCrossEntropy(a, labels) => {
+            let logits = &values[a.index()];
+            let g = grad_out.get(0, 0) / logits.rows() as f32;
+            let probs = logits.softmax_rows();
+            let mut da = Tensor::zeros(logits.rows(), logits.cols());
+            for r in 0..logits.rows() {
+                let p = probs.row(r);
+                let dr = da.row_mut(r);
+                for c in 0..p.len() {
+                    let target = if c == labels[r] { 1.0 } else { 0.0 };
+                    dr[c] = (p[c] - target) * g;
+                }
+            }
+            accumulate(grads, *a, &da);
+        }
+        Op::MaxPool2(a, b) => {
+            let va = &values[a.index()];
+            let vb = &values[b.index()];
+            let mut da = Tensor::zeros(va.rows(), va.cols());
+            let mut db = Tensor::zeros(vb.rows(), vb.cols());
+            for i in 0..va.len() {
+                let g = grad_out.as_slice()[i];
+                if va.as_slice()[i] >= vb.as_slice()[i] {
+                    da.as_mut_slice()[i] = g;
+                } else {
+                    db.as_mut_slice()[i] = g;
+                }
+            }
+            accumulate(grads, *a, &da);
+            accumulate(grads, *b, &db);
+        }
+        Op::Spmm(csr, b) => {
+            // C = S·B ⇒ dB = Sᵀ·G.
+            let db = csr.spmm_transposed(grad_out);
+            accumulate(grads, *b, &db);
+        }
+        Op::Transpose(a) => {
+            let da = grad_out.transpose();
+            accumulate(grads, *a, &da);
+        }
+        Op::MulScalarVar(a, s) => {
+            let scalar = values[s.index()].get(0, 0);
+            let da = grad_out.map(|g| g * scalar);
+            let ds_val: f32 = grad_out
+                .as_slice()
+                .iter()
+                .zip(values[a.index()].as_slice())
+                .map(|(&g, &v)| g * v)
+                .sum();
+            accumulate(grads, *a, &da);
+            accumulate(grads, *s, &Tensor::from_vec(1, 1, vec![ds_val]));
+        }
+    }
+}

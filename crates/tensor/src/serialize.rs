@@ -1,0 +1,164 @@
+//! Binary (de)serialisation of parameter stores — model checkpointing.
+//!
+//! Format (little-endian, versioned):
+//!
+//! ```text
+//! magic  "WDN1"            4 bytes
+//! count  u32               number of parameters
+//! per parameter:
+//!   name_len u32, name utf-8 bytes
+//!   rows u32, cols u32
+//!   rows*cols f32 values
+//! ```
+//!
+//! The format is intentionally simple and self-describing; loading
+//! validates the magic, name uniqueness and buffer sizes, so a truncated
+//! or corrupted checkpoint fails loudly instead of yielding garbage
+//! weights.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"WDN1";
+
+/// Serialisation errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The buffer does not start with the expected magic bytes.
+    BadMagic,
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A parameter name was not valid UTF-8.
+    BadName,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a WIDEN checkpoint (bad magic)"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadName => write!(f, "parameter name is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serialises a parameter store into a checkpoint buffer.
+pub fn save_params(params: &ParamStore) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + params.scalar_count() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(params.len() as u32);
+    for (_, name, tensor) in params.iter() {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+        buf.put_u32_le(tensor.rows() as u32);
+        buf.put_u32_le(tensor.cols() as u32);
+        for &v in tensor.as_slice() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialises a checkpoint into a fresh parameter store.
+///
+/// # Errors
+/// Returns a [`CheckpointError`] on malformed input.
+pub fn load_params(mut data: &[u8]) -> Result<ParamStore, CheckpointError> {
+    if data.len() < 8 || &data[..4] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    data.advance(4);
+    let count = data.get_u32_le() as usize;
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        if data.remaining() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let name_len = data.get_u32_le() as usize;
+        if data.remaining() < name_len {
+            return Err(CheckpointError::Truncated);
+        }
+        let name = std::str::from_utf8(&data[..name_len])
+            .map_err(|_| CheckpointError::BadName)?
+            .to_string();
+        data.advance(name_len);
+        if data.remaining() < 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let rows = data.get_u32_le() as usize;
+        let cols = data.get_u32_le() as usize;
+        let scalars = rows * cols;
+        if data.remaining() < scalars * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut values = Vec::with_capacity(scalars);
+        for _ in 0..scalars {
+            values.push(data.get_f32_le());
+        }
+        store.register(name, Tensor::from_vec(rows, cols, values));
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut store = ParamStore::new();
+        store.register("alpha", Tensor::from_rows(&[&[1.0, -2.5], &[3.5, 0.0]]));
+        store.register("β-weights", Tensor::row_vector(&[0.125]));
+        store
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let store = sample_store();
+        let bytes = save_params(&store);
+        let loaded = load_params(&bytes).expect("valid checkpoint");
+        assert_eq!(loaded.len(), store.len());
+        for (id, name, tensor) in store.iter() {
+            let lid = loaded.id(name).expect("name survives");
+            assert_eq!(loaded.get(lid).as_slice(), tensor.as_slice());
+            assert_eq!(loaded.get(lid).shape(), tensor.shape());
+            let _ = id;
+        }
+        // Insertion order preserved (optimizer-state alignment).
+        let names_a: Vec<&str> = store.iter().map(|(_, n, _)| n).collect();
+        let names_b: Vec<&str> = loaded.iter().map(|(_, n, _)| n).collect();
+        assert_eq!(names_a, names_b);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            load_params(b"NOPE1234"),
+            Err(CheckpointError::BadMagic)
+        ));
+        assert!(matches!(load_params(b""), Err(CheckpointError::BadMagic)));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_boundary() {
+        let bytes = save_params(&sample_store());
+        for cut in [5, 9, 12, bytes.len() - 1] {
+            let result = load_params(&bytes[..cut]);
+            assert!(
+                result.is_err(),
+                "cut at {cut} of {} should fail",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let store = ParamStore::new();
+        let loaded = load_params(&save_params(&store)).unwrap();
+        assert!(loaded.is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! Reverse-mode autograd tape.
+
+use std::sync::Arc;
+
+use crate::op::{backward_step, Op};
+use crate::sparse::CsrMatrix;
+use crate::tensor::Tensor;
+
+/// Handle to a node on a [`Tape`].
+///
+/// `Var`s are only meaningful for the tape that issued them; mixing handles
+/// across tapes is a logic error caught by shape asserts at best.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Var(u32);
+
+impl Var {
+    /// Index of the node on its tape.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single-use computation record.
+///
+/// Typical training-step usage: create a tape, insert the current parameter
+/// values as leaves, build the forward computation through the op methods,
+/// call [`Tape::backward`] on the scalar loss, read gradients back with
+/// [`Tape::grad`], then drop the tape.
+///
+/// Ops, values and gradients live in parallel arrays so the backward sweep
+/// can read values while writing gradients without cloning.
+#[derive(Default)]
+pub struct Tape {
+    ops: Vec<Op>,
+    values: Vec<Tensor>,
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> Var {
+        debug_assert!(value.all_finite(), "non-finite forward value");
+        let id = Var(self.ops.len() as u32);
+        self.ops.push(op);
+        self.values.push(value);
+        id
+    }
+
+    /// Inserts an input tensor (constant or parameter copy).
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(Op::Leaf, value)
+    }
+
+    /// Forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.values[v.index()]
+    }
+
+    /// Gradient of the most recent [`Tape::backward`] target w.r.t. `v`,
+    /// or `None` if the node did not participate / backward has not run.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.index()).and_then(|g| g.as_ref())
+    }
+
+    /// `A · B`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), value)
+    }
+
+    /// `A · Bᵀ`.
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul_nt(self.value(b));
+        self.push(Op::MatMulNt(a, b), value)
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip_map(self.value(b), |x, y| x + y);
+        self.push(Op::Add(a, b), value)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip_map(self.value(b), |x, y| x - y);
+        self.push(Op::Sub(a, b), value)
+    }
+
+    /// Element-wise product (the paper's `⊙`).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip_map(self.value(b), |x, y| x * y);
+        self.push(Op::Mul(a, b), value)
+    }
+
+    /// Adds row vector `b` (`1 × c`) to every row of `a`.
+    pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(vb.rows(), 1, "broadcast operand must be a row vector");
+        assert_eq!(va.cols(), vb.cols(), "broadcast width mismatch");
+        let mut value = va.clone();
+        for r in 0..value.rows() {
+            let row = value.row_mut(r);
+            for (x, &bv) in row.iter_mut().zip(vb.row(0)) {
+                *x += bv;
+            }
+        }
+        self.push(Op::AddRowBroadcast(a, b), value)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let value = self.value(a).map(|x| x * alpha);
+        self.push(Op::Scale(a, alpha), value)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a), value)
+    }
+
+    /// Leaky ReLU.
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let value = self.value(a).map(|x| if x > 0.0 { x } else { x * slope });
+        self.push(Op::LeakyRelu(a, slope), value)
+    }
+
+    /// tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(Op::Tanh(a), value)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let value = self.value(a).softmax_rows();
+        self.push(Op::SoftmaxRows(a), value)
+    }
+
+    /// Row-wise softmax of `a + mask`, with `mask` a constant additive
+    /// attention mask (entries `0` or `-∞`, Eq. 6).
+    pub fn masked_softmax_rows(&mut self, a: Var, mask: Arc<Tensor>) -> Var {
+        let va = self.value(a);
+        assert_eq!(va.shape(), mask.shape(), "mask shape mismatch");
+        let value = va.zip_map(&mask, |x, m| x + m).softmax_rows();
+        self.push(Op::MaskedSoftmaxRows(a, mask), value)
+    }
+
+    /// Vertical stack.
+    pub fn vstack(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|p| self.value(*p)).collect();
+        let value = Tensor::vstack(&tensors);
+        self.push(Op::VStack(parts.to_vec()), value)
+    }
+
+    /// Horizontal concatenation.
+    pub fn hstack(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|p| self.value(*p)).collect();
+        let value = Tensor::hstack(&tensors);
+        self.push(Op::HStack(parts.to_vec()), value)
+    }
+
+    /// Gathers rows `indices` of `a`.
+    pub fn select_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let value = self.value(a).select_rows(indices);
+        self.push(Op::SelectRows(a, Arc::from(indices)), value)
+    }
+
+    /// Sum of all elements (`1 × 1`).
+    pub fn sum(&mut self, a: Var) -> Var {
+        let value = Tensor::from_vec(1, 1, vec![self.value(a).sum()]);
+        self.push(Op::Sum(a), value)
+    }
+
+    /// Column-wise mean over rows (`1 × c`).
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let va = self.value(a);
+        let mut out = Tensor::zeros(1, va.cols());
+        for r in 0..va.rows() {
+            out.add_scaled(1.0, &Tensor::row_vector(va.row(r)));
+        }
+        out.scale_inplace(1.0 / va.rows() as f32);
+        self.push(Op::MeanRows(a), out)
+    }
+
+    /// Row-wise L2 normalisation.
+    pub fn l2_normalize_rows(&mut self, a: Var) -> Var {
+        let value = self.value(a).l2_normalize_rows();
+        self.push(Op::L2NormalizeRows(a), value)
+    }
+
+    /// Mean softmax cross-entropy of `logits` against integer `labels`
+    /// (one label per row). Returns a `1 × 1` loss.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
+        let v = self.value(logits);
+        assert_eq!(v.rows(), labels.len(), "one label per logits row");
+        let mut total = 0.0f64;
+        for (r, &label) in labels.iter().enumerate() {
+            assert!(label < v.cols(), "label {label} out of range");
+            let row = v.row(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let logsum: f32 = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+            total += f64::from(logsum - row[label]);
+        }
+        let value = Tensor::from_vec(1, 1, vec![(total / labels.len() as f64) as f32]);
+        self.push(Op::SoftmaxCrossEntropy(logits, Arc::from(labels)), value)
+    }
+
+    /// Element-wise maximum (Eq. 8's relay-edge maxpool).
+    pub fn maxpool2(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip_map(self.value(b), f32::max);
+        self.push(Op::MaxPool2(a, b), value)
+    }
+
+    /// `S · B` for a constant sparse matrix `S`.
+    pub fn spmm(&mut self, csr: Arc<CsrMatrix>, b: Var) -> Var {
+        let value = csr.spmm(self.value(b));
+        self.push(Op::Spmm(csr, b), value)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let value = self.value(a).transpose();
+        self.push(Op::Transpose(a), value)
+    }
+
+    /// `A · s` for a `1 × 1` scalar variable `s`, with gradient flowing to
+    /// both operands (GTN's soft edge-type selection weights).
+    pub fn mul_scalar_var(&mut self, a: Var, s: Var) -> Var {
+        assert_eq!(self.value(s).shape(), (1, 1), "scalar operand must be 1×1");
+        let scalar = self.value(s).get(0, 0);
+        let value = self.value(a).map(|x| x * scalar);
+        self.push(Op::MulScalarVar(a, s), value)
+    }
+
+    /// Sums a non-empty list of same-shape variables.
+    pub fn add_n(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "add_n of nothing");
+        let mut acc = parts[0];
+        for &p in &parts[1..] {
+            acc = self.add(acc, p);
+        }
+        acc
+    }
+
+    /// Runs reverse-mode differentiation from scalar node `loss`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 × 1`.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward target must be scalar"
+        );
+        self.grads = (0..self.ops.len()).map(|_| None).collect();
+        self.grads[loss.index()] = Some(Tensor::from_vec(1, 1, vec![1.0]));
+
+        for idx in (0..self.ops.len()).rev() {
+            let Some(grad_out) = self.grads[idx].take() else {
+                continue;
+            };
+            backward_step(
+                &self.ops[idx],
+                &self.values[idx],
+                &grad_out,
+                &self.values,
+                &mut self.grads,
+            );
+            self.grads[idx] = Some(grad_out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_through_matmul_chain() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = tape.leaf(Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+        let c = tape.matmul(a, b);
+        let loss = tape.sum(c);
+        tape.backward(loss);
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[1.0; 4]);
+        // dB = Aᵀ·1 = column sums of A.
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn grad_absent_for_unused_nodes() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::row_vector(&[1.0]));
+        let unused = tape.leaf(Tensor::row_vector(&[9.0]));
+        let loss = tape.sum(a);
+        tape.backward(loss);
+        assert!(tape.grad(unused).is_none());
+        assert!(tape.grad(a).is_some());
+    }
+
+    #[test]
+    fn gradients_accumulate_across_reuse() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::row_vector(&[2.0]));
+        let doubled = tape.add(a, a);
+        let loss = tape.sum(doubled);
+        tape.backward(loss);
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn cross_entropy_value_matches_manual() {
+        let mut tape = Tape::new();
+        let logits = tape.leaf(Tensor::from_rows(&[&[0.0, 0.0], &[10.0, 0.0]]));
+        let loss = tape.softmax_cross_entropy(logits, &[0, 0]);
+        // Row 0: -ln(0.5); row 1: ≈ 0; mean ≈ ln(2)/2.
+        let expected = 0.5 * std::f32::consts::LN_2;
+        assert!((tape.value(loss).get(0, 0) - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward target must be scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::zeros(2, 2));
+        tape.backward(a);
+    }
+
+    #[test]
+    fn masked_softmax_blocks_future_positions() {
+        let mut tape = Tape::new();
+        let scores = tape.leaf(Tensor::from_rows(&[&[1.0, 5.0], &[1.0, 5.0]]));
+        // Causal mask per Eq. 6: θ = 0 if row ≤ col else −∞.
+        let mask = Tensor::from_rows(&[&[0.0, 0.0], &[f32::NEG_INFINITY, 0.0]]);
+        let att = tape.masked_softmax_rows(scores, Arc::new(mask));
+        let v = tape.value(att);
+        // Row 1 can only attend to position 1.
+        assert!((v.get(1, 0)).abs() < 1e-6);
+        assert!((v.get(1, 1) - 1.0).abs() < 1e-6);
+        // Row 0 attends to both.
+        assert!(v.get(0, 0) > 0.0 && v.get(0, 1) > 0.0);
+    }
+}

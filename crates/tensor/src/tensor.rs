@@ -1,0 +1,664 @@
+//! Dense row-major 2-D tensor.
+
+use rand::Rng;
+use rand_distr::{Distribution, StandardNormal};
+
+/// A dense, row-major matrix of `f32`.
+///
+/// All values in the WIDEN model are 2-D: node embeddings are `1 × d` row
+/// vectors (the paper's convention), message-pack matrices are
+/// `(|set|+1) × d`, and attention score matrices are square. Keeping the
+/// representation strictly 2-D removes an entire class of broadcasting bugs.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// A `rows × cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// A `rows × cols` tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { data: vec![value; rows * cols], rows, cols }
+    }
+
+    /// A `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Builds a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/buffer mismatch");
+        Self { data, rows, cols }
+    }
+
+    /// Builds a tensor from row slices (test-friendly constructor).
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows needs at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self { data, rows: rows.len(), cols }
+    }
+
+    /// A `1 × n` row vector.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Samples i.i.d. standard-normal entries scaled by `std`.
+    pub fn randn<R: Rng + ?Sized>(rows: usize, cols: usize, std: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| {
+                let z: f32 = StandardNormal.sample(rng);
+                z * std
+            })
+            .collect();
+        Self { data, rows, cols }
+    }
+
+    /// Samples i.i.d. uniform entries in `[lo, hi)`.
+    pub fn rand_uniform<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        lo: f32,
+        hi: f32,
+        rng: &mut R,
+    ) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+        Self { data, rows, cols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable flat row-major view.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies `src` into row `r`.
+    pub fn set_row(&mut self, r: usize, src: &[f32]) {
+        assert_eq!(src.len(), self.cols, "row length mismatch");
+        self.row_mut(r).copy_from_slice(src);
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// Uses an i-k-j loop order (good cache behaviour for row-major data)
+    /// and parallelises over output rows via rayon once the work is large
+    /// enough to amortise the fork-join overhead.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        let work = m * k * n;
+        if work >= PAR_MATMUL_THRESHOLD && m > 1 {
+            use rayon::prelude::*;
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, out_row)| {
+                    matmul_row(self.row(i), &other.data, n, out_row);
+                });
+        } else {
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                matmul_row(a_row, &other.data, n, out_row);
+            }
+        }
+        out
+    }
+
+    /// Matrix product with transposed right operand: `self · otherᵀ`.
+    ///
+    /// This is the attention-score kernel `Q · Kᵀ`; computing it directly
+    /// avoids materialising the transpose.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(m, n);
+        let work = m * k * n;
+        if work >= PAR_MATMUL_THRESHOLD && m > 1 {
+            use rayon::prelude::*;
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, out_row)| {
+                    let a_row = self.row(i);
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        *o = dot(a_row, other.row(j));
+                    }
+                });
+        } else {
+            for i in 0..m {
+                let a_row = self.row(i);
+                for j in 0..n {
+                    out.data[i * n + j] = dot(a_row, other.row(j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product with transposed left operand: `selfᵀ · other`.
+    ///
+    /// This is the gradient kernel `Aᵀ · G` used throughout backward passes.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.cols, self.rows, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        // Accumulate rank-1 updates; row-major friendly for `other`.
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a != 0.0 {
+                    let out_row = &mut out.data[i * n..(i + 1) * n];
+                    axpy(a, b_row, out_row);
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// Element-wise combine with another same-shape tensor.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// In-place `self += alpha * other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        axpy(alpha, &other.data, &mut self.data);
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale_inplace(&mut self, alpha: f32) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Index of the maximum entry in row `r`.
+    pub fn argmax_row(&self, r: usize) -> usize {
+        let row = self.row(r);
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Index of the minimum entry in row `r`.
+    pub fn argmin_row(&self, r: usize) -> usize {
+        let row = self.row(r);
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate() {
+            if v < row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Gathers the listed rows into a new tensor (duplicates allowed).
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(indices.len(), self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows, "row index {idx} out of bounds");
+            out.set_row(i, self.row(idx));
+        }
+        out
+    }
+
+    /// Stacks tensors vertically. All operands must share a column count.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or column counts differ.
+    pub fn vstack(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "vstack of nothing");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Tensor { data, rows, cols }
+    }
+
+    /// Concatenates tensors horizontally. All operands must share a row count.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn hstack(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "hstack of nothing");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Tensor::zeros(rows, cols);
+        for r in 0..rows {
+            let mut offset = 0;
+            for p in parts {
+                assert_eq!(p.rows, rows, "hstack row mismatch");
+                out.data[r * cols + offset..r * cols + offset + p.cols]
+                    .copy_from_slice(p.row(r));
+                offset += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Row-wise softmax (numerically stabilised).
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            softmax_inplace(out.row_mut(r));
+        }
+        out
+    }
+
+    /// L2-normalises every row; zero rows are left untouched.
+    pub fn l2_normalize_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                for x in row.iter_mut() {
+                    *x /= norm;
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute element-wise difference against another tensor.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// True if all entries are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+/// Work threshold (m·k·n) above which matmul parallelises over rows.
+const PAR_MATMUL_THRESHOLD: usize = 64 * 64 * 64;
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+#[inline]
+fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for i in 0..x.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+#[inline]
+fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    for (p, &a) in a_row.iter().enumerate() {
+        if a != 0.0 {
+            let b_row = &b[p * n..(p + 1) * n];
+            axpy(a, b_row, out_row);
+        }
+    }
+}
+
+/// Numerically-stable in-place softmax over a slice.
+pub(crate) fn softmax_inplace(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        // Entire row masked out; define the result as uniform to stay finite.
+        let u = 1.0 / row.len() as f32;
+        for x in row.iter_mut() {
+            *x = u;
+        }
+        return;
+    }
+    let mut sum = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in row.iter_mut() {
+        *x /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(t.shape(), (2, 2));
+        assert_eq!(t.get(1, 0), 3.0);
+        assert_eq!(t.row(0), &[1.0, 2.0]);
+        assert_eq!(Tensor::eye(3).get(2, 2), 1.0);
+        assert_eq!(Tensor::eye(3).get(2, 1), 0.0);
+        assert_eq!(Tensor::full(2, 2, 7.0).sum(), 28.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/buffer mismatch")]
+    fn from_vec_rejects_bad_shape() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(5, 5, 1.0, &mut rng);
+        let c = a.matmul(&Tensor::eye(5));
+        assert!(a.max_abs_diff(&c) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::randn(3, 7, 1.0, &mut rng);
+        let b = Tensor::randn(4, 7, 1.0, &mut rng);
+        let direct = a.matmul_nt(&b);
+        let explicit = a.matmul(&b.transpose());
+        assert!(direct.max_abs_diff(&explicit) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::randn(7, 3, 1.0, &mut rng);
+        let b = Tensor::randn(7, 4, 1.0, &mut rng);
+        let direct = a.matmul_tn(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert!(direct.max_abs_diff(&explicit) < 1e-5);
+    }
+
+    #[test]
+    fn large_matmul_parallel_path_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Tensor::randn(80, 70, 0.5, &mut rng);
+        let b = Tensor::randn(70, 90, 0.5, &mut rng);
+        let c = a.matmul(&b);
+        // Cross-check a few entries against scalar dot products.
+        for &(i, j) in &[(0, 0), (17, 33), (79, 89)] {
+            let expected: f32 = (0..70).map(|k| a.get(i, k) * b.get(k, j)).sum();
+            assert!((c.get(i, j) - expected).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 100.0]]);
+        let s = t.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        assert!(s.get(0, 2) > s.get(0, 1) && s.get(0, 1) > s.get(0, 0));
+        assert!(s.get(1, 2) > 0.999);
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_is_uniform() {
+        let mut row = vec![f32::NEG_INFINITY; 4];
+        softmax_inplace(&mut row);
+        for &x in &row {
+            assert!((x - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn l2_normalize_rows_gives_unit_rows() {
+        let t = Tensor::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        let n = t.l2_normalize_rows();
+        assert!((n.get(0, 0) - 0.6).abs() < 1e-6);
+        assert!((n.get(0, 1) - 0.8).abs() < 1e-6);
+        // Zero row untouched, no NaN.
+        assert_eq!(n.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn select_rows_gathers_with_duplicates() {
+        let t = Tensor::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let g = t.select_rows(&[2, 0, 2]);
+        assert_eq!(g.as_slice(), &[3.0, 3.0, 1.0, 1.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn vstack_and_hstack_shapes() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let v = Tensor::vstack(&[&a, &b]);
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(2), &[5.0, 6.0]);
+
+        let c = Tensor::from_rows(&[&[9.0]]);
+        let h = Tensor::hstack(&[&a, &c]);
+        assert_eq!(h.shape(), (1, 3));
+        assert_eq!(h.row(0), &[1.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn argminmax_rows() {
+        let t = Tensor::from_rows(&[&[0.3, 0.1, 0.6]]);
+        assert_eq!(t.argmax_row(0), 2);
+        assert_eq!(t.argmin_row(0), 1);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::randn(4, 9, 1.0, &mut rng);
+        assert!(a.max_abs_diff(&a.transpose().transpose()) < 1e-9);
+    }
+
+    #[test]
+    fn add_scaled_and_scale_inplace() {
+        let mut a = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[10.0, 20.0]]);
+        a.add_scaled(0.5, &b);
+        assert_eq!(a.as_slice(), &[6.0, 12.0]);
+        a.scale_inplace(2.0);
+        assert_eq!(a.as_slice(), &[12.0, 24.0]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Edge-case tests for autograd ops that the main gradcheck suite touches
+//! only incidentally: single-operand stacks, add_n folding, broadcast
+//! gradients, scalar gating and mixed-op DAGs.
+
+use std::sync::Arc;
+use widen_tensor::{CsrMatrix, Tape, Tensor};
+
+#[test]
+fn vstack_of_one_behaves_like_identity() {
+    let mut tape = Tape::new();
+    let a = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0]]));
+    let v = tape.vstack(&[a]);
+    assert_eq!(tape.value(v).as_slice(), &[1.0, 2.0]);
+    let loss = tape.sum(v);
+    tape.backward(loss);
+    assert_eq!(tape.grad(a).unwrap().as_slice(), &[1.0, 1.0]);
+}
+
+#[test]
+fn add_n_folds_multiple_operands() {
+    let mut tape = Tape::new();
+    let parts: Vec<_> = (1..=4)
+        .map(|k| tape.leaf(Tensor::row_vector(&[k as f32])))
+        .collect();
+    let total = tape.add_n(&parts);
+    assert_eq!(tape.value(total).get(0, 0), 10.0);
+    let loss = tape.sum(total);
+    tape.backward(loss);
+    for p in parts {
+        assert_eq!(tape.grad(p).unwrap().get(0, 0), 1.0);
+    }
+}
+
+#[test]
+fn row_broadcast_gradient_sums_over_rows() {
+    let mut tape = Tape::new();
+    let a = tape.leaf(Tensor::zeros(3, 2));
+    let b = tape.leaf(Tensor::row_vector(&[1.0, -1.0]));
+    let out = tape.add_row_broadcast(a, b);
+    let loss = tape.sum(out);
+    tape.backward(loss);
+    // b receives one unit of gradient per row of a.
+    assert_eq!(tape.grad(b).unwrap().as_slice(), &[3.0, 3.0]);
+}
+
+#[test]
+fn leaky_relu_passes_scaled_negatives() {
+    let mut tape = Tape::new();
+    let a = tape.leaf(Tensor::row_vector(&[-2.0, 3.0]));
+    let out = tape.leaky_relu(a, 0.1);
+    let v = tape.value(out);
+    assert!((v.get(0, 0) + 0.2).abs() < 1e-6);
+    assert_eq!(v.get(0, 1), 3.0);
+    let loss = tape.sum(out);
+    tape.backward(loss);
+    let g = tape.grad(a).unwrap();
+    assert!((g.get(0, 0) - 0.1).abs() < 1e-6);
+    assert_eq!(g.get(0, 1), 1.0);
+}
+
+#[test]
+fn mul_scalar_var_gates_and_routes_gradient() {
+    let mut tape = Tape::new();
+    let a = tape.leaf(Tensor::row_vector(&[2.0, 4.0]));
+    let s = tape.leaf(Tensor::from_vec(1, 1, vec![0.5]));
+    let out = tape.mul_scalar_var(a, s);
+    assert_eq!(tape.value(out).as_slice(), &[1.0, 2.0]);
+    let loss = tape.sum(out);
+    tape.backward(loss);
+    assert_eq!(tape.grad(a).unwrap().as_slice(), &[0.5, 0.5]);
+    // ds = Σ a = 6.
+    assert_eq!(tape.grad(s).unwrap().get(0, 0), 6.0);
+}
+
+#[test]
+fn select_rows_accumulates_duplicate_gradients() {
+    let mut tape = Tape::new();
+    let a = tape.leaf(Tensor::from_rows(&[&[1.0], &[2.0]]));
+    // Row 0 selected twice: its gradient must double.
+    let sel = tape.select_rows(a, &[0, 0, 1]);
+    let loss = tape.sum(sel);
+    tape.backward(loss);
+    assert_eq!(tape.grad(a).unwrap().as_slice(), &[2.0, 1.0]);
+}
+
+#[test]
+fn spmm_with_empty_rows_is_well_defined() {
+    let csr = Arc::new(CsrMatrix::from_coo(3, 2, &[(0, 1, 2.0)]));
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::from_rows(&[&[1.0], &[5.0]]));
+    let y = tape.spmm(csr, x);
+    let v = tape.value(y);
+    assert_eq!(v.as_slice(), &[10.0, 0.0, 0.0]);
+    let loss = tape.sum(y);
+    tape.backward(loss);
+    // Only column 1 of x feeds the output.
+    assert_eq!(tape.grad(x).unwrap().as_slice(), &[0.0, 2.0]);
+}
+
+#[test]
+fn mixed_dag_with_shared_subexpression() {
+    // y = relu(W x); loss = Σ(y ⊙ y) + Σ y — y is used twice.
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::from_rows(&[&[1.0], &[1.0]]));
+    let w = tape.leaf(Tensor::from_rows(&[&[2.0, -1.0]]));
+    let wx = tape.matmul(w, x); // (1,1) = 1.0
+    let y = tape.relu(wx);
+    let sq = tape.mul(y, y);
+    let s1 = tape.sum(sq);
+    let s2 = tape.sum(y);
+    let loss = tape.add(s1, s2);
+    tape.backward(loss);
+    // dy = 2y + 1 = 3; dW = dy·xᵀ through relu (active).
+    let gw = tape.grad(w).unwrap();
+    assert_eq!(gw.as_slice(), &[3.0, 3.0]);
+}
+
+#[test]
+fn tanh_saturates_gradient() {
+    let mut tape = Tape::new();
+    let a = tape.leaf(Tensor::row_vector(&[10.0, 0.0]));
+    let t = tape.tanh(a);
+    let loss = tape.sum(t);
+    tape.backward(loss);
+    let g = tape.grad(a).unwrap();
+    assert!(g.get(0, 0) < 1e-6, "saturated region has ~zero gradient");
+    assert!((g.get(0, 1) - 1.0).abs() < 1e-6, "origin has unit gradient");
+}
+
+#[test]
+fn masked_softmax_gradient_ignores_masked_positions() {
+    let mut tape = Tape::new();
+    let scores = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0, 3.0]]));
+    let mut mask = Tensor::zeros(1, 3);
+    mask.set(0, 2, f32::NEG_INFINITY);
+    let att = tape.masked_softmax_rows(scores, Arc::new(mask));
+    // Gradient of the *masked* output entry w.r.t. scores must be zero and
+    // the masked probability itself must be zero.
+    assert!(tape.value(att).get(0, 2) < 1e-9);
+    let picked = tape.select_rows(att, &[0]);
+    let loss = tape.sum(picked);
+    tape.backward(loss);
+    // Σ softmax = 1 identically ⇒ gradient ≈ 0 everywhere.
+    let g = tape.grad(scores).unwrap();
+    assert!(g.frobenius_norm() < 1e-6);
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the tensor algebra and autograd invariants.
+
+use proptest::prelude::*;
+use widen_tensor::{load_params, save_params, CsrMatrix, ParamStore, Tape, Tensor};
+
+fn small_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_tensor(3, 4),
+        b in small_tensor(4, 2),
+        c in small_tensor(4, 2),
+    ) {
+        // A(B + C) = AB + AC
+        let bc = b.zip_map(&c, |x, y| x + y);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.add_scaled(1.0, &a.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        a in small_tensor(3, 5),
+        b in small_tensor(5, 2),
+    ) {
+        // (AB)ᵀ = BᵀAᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(row in prop::collection::vec(-5.0f32..5.0, 1..12)) {
+        let t = Tensor::row_vector(&row);
+        let shifted = t.map(|x| x + 2.5);
+        let a = t.softmax_rows();
+        let b = shifted.softmax_rows();
+        prop_assert!(a.max_abs_diff(&b) < 1e-5);
+        let sum: f32 = a.row(0).iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn l2_normalized_rows_have_unit_norm(t in small_tensor(4, 6)) {
+        let n = t.l2_normalize_rows();
+        for r in 0..4 {
+            let orig_norm: f32 = t.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+            let norm: f32 = n.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+            if orig_norm > 1e-3 {
+                prop_assert!((norm - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_agrees_with_dense_matmul(
+        triplets in prop::collection::vec((0usize..5, 0usize..5, -2.0f32..2.0), 0..15),
+        x in small_tensor(5, 3),
+    ) {
+        let csr = CsrMatrix::from_coo(5, 5, &triplets);
+        let sparse = csr.spmm(&x);
+        let dense = csr.to_dense().matmul(&x);
+        prop_assert!(sparse.max_abs_diff(&dense) < 1e-4);
+    }
+
+    #[test]
+    fn spspmm_agrees_with_dense(
+        ta in prop::collection::vec((0usize..4, 0usize..4, -2.0f32..2.0), 0..10),
+        tb in prop::collection::vec((0usize..4, 0usize..4, -2.0f32..2.0), 0..10),
+    ) {
+        let a = CsrMatrix::from_coo(4, 4, &ta);
+        let b = CsrMatrix::from_coo(4, 4, &tb);
+        let sparse = a.spspmm(&b).to_dense();
+        let dense = a.to_dense().matmul(&b.to_dense());
+        prop_assert!(sparse.max_abs_diff(&dense) < 1e-4);
+    }
+
+    #[test]
+    fn autograd_sum_of_mul_matches_manual(
+        a in small_tensor(2, 3),
+        b in small_tensor(2, 3),
+    ) {
+        // d/dA Σ (A ⊙ B) = B.
+        let mut tape = Tape::new();
+        let va = tape.leaf(a.clone());
+        let vb = tape.leaf(b.clone());
+        let m = tape.mul(va, vb);
+        let loss = tape.sum(m);
+        tape.backward(loss);
+        let ga = tape.grad(va).unwrap();
+        prop_assert!(ga.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_lossless(
+        w1 in small_tensor(2, 4),
+        w2 in small_tensor(3, 1),
+    ) {
+        let mut store = ParamStore::new();
+        store.register("w1", w1.clone());
+        store.register("w2", w2.clone());
+        let loaded = load_params(&save_params(&store)).unwrap();
+        prop_assert_eq!(loaded.get(loaded.id("w1").unwrap()).as_slice(), w1.as_slice());
+        prop_assert_eq!(loaded.get(loaded.id("w2").unwrap()).as_slice(), w2.as_slice());
+    }
+
+    #[test]
+    fn gcn_normalization_bounds_spectrum(
+        triplets in prop::collection::vec((0usize..6, 0usize..6, 1.0f32..1.0001), 1..15),
+    ) {
+        // Symmetrise first.
+        let mut sym = Vec::new();
+        for &(r, c, v) in &triplets {
+            if r != c {
+                sym.push((r, c, v));
+                sym.push((c, r, v));
+            }
+        }
+        prop_assume!(!sym.is_empty());
+        let adj = CsrMatrix::from_coo(6, 6, &sym).gcn_normalized();
+        // Rows of D^{-1/2}(A+I)D^{-1/2} sum to at most ~1 + ε when the
+        // graph is regular-ish; in general all entries are in (0, 1].
+        for r in 0..6 {
+            for (_, v) in adj.row_entries(r) {
+                prop_assert!(v > 0.0 && v <= 1.0 + 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Integration: every baseline honours the shared `NodeClassifier`
+//! protocol on a real generated dataset, transductively and (where
+//! supported) inductively.
+
+use widen::baselines::{all_baselines, BaselineConfig};
+use widen::data::{acm_like, Scale};
+use widen::eval::micro_f1;
+use widen::graph::NodeId;
+
+fn config() -> BaselineConfig {
+    BaselineConfig { epochs: 8, learning_rate: 1e-2, ..Default::default() }
+}
+
+#[test]
+fn all_baselines_fit_predict_and_embed() {
+    let dataset = acm_like(Scale::Smoke, 31);
+    let train = &dataset.transductive.train;
+    let test: Vec<NodeId> = dataset.transductive.test[..40].to_vec();
+    let truth: Vec<usize> = test
+        .iter()
+        .map(|&v| dataset.graph.label(v).unwrap() as usize)
+        .collect();
+    for mut baseline in all_baselines(&config()) {
+        baseline.fit(&dataset.graph, train);
+        let preds = baseline.predict(&dataset.graph, &test);
+        assert_eq!(preds.len(), test.len(), "{}", baseline.name());
+        assert!(
+            preds.iter().all(|&p| p < dataset.graph.num_classes()),
+            "{} emitted an out-of-range class",
+            baseline.name()
+        );
+        let f1 = micro_f1(&truth, &preds);
+        assert!(
+            f1 > 0.34,
+            "{} is at or below chance: {f1}",
+            baseline.name()
+        );
+        let emb = baseline.embed(&dataset.graph, &test[..5]);
+        assert_eq!(emb.rows(), 5, "{}", baseline.name());
+        assert!(emb.all_finite(), "{}", baseline.name());
+    }
+}
+
+#[test]
+fn exactly_one_baseline_is_transductive_only() {
+    let methods = all_baselines(&config());
+    let transductive_only: Vec<&str> = methods
+        .iter()
+        .filter(|m| !m.supports_inductive())
+        .map(|m| m.name())
+        .collect();
+    assert_eq!(transductive_only, vec!["Node2Vec"], "§4.6 excludes exactly Node2Vec");
+}
+
+#[test]
+fn inductive_capable_baselines_handle_unseen_nodes() {
+    let dataset = acm_like(Scale::Smoke, 32);
+    let reduced = dataset.graph.without_nodes(&dataset.inductive.test);
+    let train: Vec<NodeId> = dataset
+        .inductive
+        .train
+        .iter()
+        .filter_map(|&v| reduced.mapping.to_new(v))
+        .collect();
+    for mut baseline in all_baselines(&config()) {
+        if !baseline.supports_inductive() {
+            continue;
+        }
+        baseline.fit(&reduced.graph, &train);
+        let preds = baseline.predict(&dataset.graph, &dataset.inductive.test);
+        assert_eq!(
+            preds.len(),
+            dataset.inductive.test.len(),
+            "{} failed on unseen nodes",
+            baseline.name()
+        );
+    }
+}
+
+#[test]
+fn baseline_count_matches_table2_rows() {
+    // Table 2 lists eight baselines plus WIDEN.
+    assert_eq!(all_baselines(&config()).len(), 8);
+}

@@ -1,0 +1,97 @@
+//! Integration: the inductive protocol (§4.3/4.6) — held-out nodes are
+//! absent from the training graph and embedded only at inference time.
+
+use widen::core::{Trainer, WidenConfig, WidenModel};
+use widen::data::{acm_like, Scale};
+use widen::eval::{micro_f1, silhouette_score};
+use widen::graph::NodeId;
+
+fn fast_config() -> WidenConfig {
+    let mut c = WidenConfig::small();
+    c.epochs = 15;
+    c.n_w = 12;
+    c.n_d = 10;
+    c.phi = 3;
+    c.weight_decay = 0.01;
+    c
+}
+
+#[test]
+fn inductive_nodes_are_truly_unseen_yet_classified_well() {
+    let dataset = acm_like(Scale::Smoke, 21);
+    let held_out = &dataset.inductive.test;
+    let reduced = dataset.graph.without_nodes(held_out);
+
+    // Sanity: the held-out nodes really are not in the training graph.
+    assert_eq!(
+        reduced.graph.num_nodes(),
+        dataset.graph.num_nodes() - held_out.len()
+    );
+    for &v in held_out {
+        assert!(reduced.mapping.to_new(v).is_none());
+    }
+
+    let train: Vec<NodeId> = dataset
+        .inductive
+        .train
+        .iter()
+        .filter_map(|&v| reduced.mapping.to_new(v))
+        .collect();
+    let model = WidenModel::for_graph(&reduced.graph, fast_config());
+    let mut trainer = Trainer::new(model, &reduced.graph, &train);
+    trainer.fit(&train);
+    let model = trainer.into_model();
+
+    let preds = model.predict_ensemble(&dataset.graph, held_out, 3, 3);
+    let truth: Vec<usize> = held_out
+        .iter()
+        .map(|&v| dataset.graph.label(v).unwrap() as usize)
+        .collect();
+    let f1 = micro_f1(&truth, &preds);
+    assert!(f1 > 0.6, "inductive micro-F1 = {f1}");
+}
+
+#[test]
+fn inductive_embeddings_cluster_by_class() {
+    // The quantitative core of Figure 3.
+    let dataset = acm_like(Scale::Smoke, 22);
+    let held_out = &dataset.inductive.test;
+    let reduced = dataset.graph.without_nodes(held_out);
+    let train: Vec<NodeId> = dataset
+        .inductive
+        .train
+        .iter()
+        .filter_map(|&v| reduced.mapping.to_new(v))
+        .collect();
+    let model = WidenModel::for_graph(&reduced.graph, fast_config());
+    let mut trainer = Trainer::new(model, &reduced.graph, &train);
+    trainer.fit(&train);
+    let model = trainer.into_model();
+
+    let emb = model.embed_nodes(&dataset.graph, held_out, 5);
+    let labels: Vec<usize> = held_out
+        .iter()
+        .map(|&v| dataset.graph.label(v).unwrap() as usize)
+        .collect();
+    let sil = silhouette_score(&emb, &labels);
+    assert!(sil > 0.1, "inductive embedding silhouette = {sil}");
+}
+
+#[test]
+fn untrained_model_embeds_but_classifies_at_chance_level() {
+    // Inductive embedding works even before training (it is purely
+    // structural), but classification should be poor — confirming training
+    // actually contributes.
+    let dataset = acm_like(Scale::Smoke, 23);
+    let model = WidenModel::for_graph(&dataset.graph, fast_config());
+    let test = &dataset.transductive.test;
+    let preds = model.predict(&dataset.graph, test, 3);
+    let truth: Vec<usize> = test
+        .iter()
+        .map(|&v| dataset.graph.label(v).unwrap() as usize)
+        .collect();
+    let f1 = micro_f1(&truth, &preds);
+    assert!(f1 < 0.6, "untrained model unexpectedly accurate: {f1}");
+    let emb = model.embed_nodes(&dataset.graph, &test[..8], 3);
+    assert!(emb.all_finite());
+}

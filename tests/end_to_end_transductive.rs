@@ -1,0 +1,94 @@
+//! Integration: full transductive pipeline across crates — generate a
+//! heterogeneous dataset, train WIDEN, evaluate with the metrics crate.
+
+use widen::core::{Trainer, WidenConfig, WidenModel};
+use widen::data::{acm_like, dblp_like, subset_fraction, yelp_like, Dataset, Scale};
+use widen::eval::micro_f1;
+
+fn train_and_score(dataset: &Dataset, mut config: WidenConfig) -> f64 {
+    config.weight_decay = 0.01;
+    let model = WidenModel::for_graph(&dataset.graph, config);
+    let train = &dataset.transductive.train;
+    let mut trainer = Trainer::new(model, &dataset.graph, train);
+    trainer.fit(train);
+    let model = trainer.into_model();
+    let test = &dataset.transductive.test;
+    let preds = model.predict_ensemble(&dataset.graph, test, 0xE7A1, 3);
+    let truth: Vec<usize> = test
+        .iter()
+        .map(|&v| dataset.graph.label(v).unwrap() as usize)
+        .collect();
+    micro_f1(&truth, &preds)
+}
+
+fn fast_config() -> WidenConfig {
+    let mut c = WidenConfig::small();
+    c.epochs = 15;
+    c.n_w = 12;
+    c.n_d = 10;
+    c.phi = 3;
+    c
+}
+
+#[test]
+fn widen_beats_chance_clearly_on_all_three_datasets() {
+    for (dataset, chance) in [
+        (acm_like(Scale::Smoke, 11), 1.0 / 3.0),
+        (dblp_like(Scale::Smoke, 11), 0.25),
+        (yelp_like(Scale::Smoke, 11), 1.0 / 3.0),
+    ] {
+        let f1 = train_and_score(&dataset, fast_config());
+        assert!(
+            f1 > chance + 0.3,
+            "{}: micro-F1 {f1} too close to chance {chance}",
+            dataset.name
+        );
+    }
+}
+
+#[test]
+fn more_labels_do_not_hurt_much() {
+    // The Table 2 label-fraction trend: 100% of labels should be at least
+    // as good as 25% up to a small noise margin.
+    let dataset = acm_like(Scale::Smoke, 12);
+    let config = fast_config();
+    let run = |frac: f64| {
+        let train = subset_fraction(&dataset.transductive.train, frac);
+        let model = WidenModel::for_graph(&dataset.graph, config.clone());
+        let mut trainer = Trainer::new(model, &dataset.graph, &train);
+        trainer.fit(&train);
+        let model = trainer.into_model();
+        let preds = model.predict_ensemble(&dataset.graph, &dataset.transductive.test, 1, 3);
+        let truth: Vec<usize> = dataset
+            .transductive
+            .test
+            .iter()
+            .map(|&v| dataset.graph.label(v).unwrap() as usize)
+            .collect();
+        micro_f1(&truth, &preds)
+    };
+    let quarter = run(0.25);
+    let full = run(1.0);
+    assert!(
+        full > quarter - 0.05,
+        "full labels ({full}) should not underperform quarter labels ({quarter})"
+    );
+}
+
+#[test]
+fn validation_split_is_usable_for_model_selection() {
+    let dataset = acm_like(Scale::Smoke, 13);
+    let config = fast_config();
+    let model = WidenModel::for_graph(&dataset.graph, config);
+    let mut trainer = Trainer::new(model, &dataset.graph, &dataset.transductive.train);
+    trainer.fit(&dataset.transductive.train);
+    let model = trainer.into_model();
+    let val = &dataset.transductive.val;
+    let preds = model.predict(&dataset.graph, val, 2);
+    let truth: Vec<usize> = val
+        .iter()
+        .map(|&v| dataset.graph.label(v).unwrap() as usize)
+        .collect();
+    // Validation accuracy should track test-level performance.
+    assert!(micro_f1(&truth, &preds) > 0.5);
+}

@@ -1,0 +1,165 @@
+//! Cross-crate property-based tests (proptest) on the library's core
+//! invariants: sampling structure, downsampling index bookkeeping,
+//! attention normalisation and graph round-trips under random inputs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use widen::core::{Trainer, WidenConfig, WidenModel};
+use widen::data::{EdgeTypeSpec, HeteroSbmConfig, NodeTypeSpec};
+use widen::graph::HeteroGraph;
+use widen::sampling::{sample_deep, sample_wide};
+
+fn arbitrary_graph(nodes: usize, classes: usize, seed: u64) -> HeteroGraph {
+    HeteroSbmConfig {
+        node_types: vec![
+            NodeTypeSpec::new("a", nodes / 2 + 2, true),
+            NodeTypeSpec::new("b", nodes / 2 + 2, false),
+        ],
+        edge_types: vec![
+            EdgeTypeSpec::new("ab", 0, 1, 2.0, 0.6),
+            EdgeTypeSpec::new("bb", 1, 1, 1.5, 0.5),
+        ],
+        num_classes: classes,
+        feature_dim: 8,
+        feature_signal_labeled: 0.3,
+        feature_signal_unlabeled: 0.5,
+        feature_noise: 1.0,
+        hub_fraction: 0.1,
+        informative_fraction: 0.8,
+    }
+    .generate(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn wide_samples_are_genuine_neighbors(
+        seed in 0u64..500,
+        n_w in 1usize..24,
+        node_pick in 0usize..1000,
+    ) {
+        let graph = arbitrary_graph(40, 2, seed);
+        let node = (node_pick % graph.num_nodes()) as u32;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wide = sample_wide(&graph, node, n_w, &mut rng);
+        // Size contract.
+        if graph.degree(node) == 0 {
+            prop_assert!(wide.is_empty());
+        } else {
+            prop_assert_eq!(wide.len(), n_w);
+        }
+        // Every entry is a real neighbour with the right edge type.
+        for e in &wide.entries {
+            let pos = graph
+                .neighbors(node)
+                .iter()
+                .position(|&u| u == e.node);
+            prop_assert!(pos.is_some());
+            // The (neighbour, edge type) pair must exist among the node's
+            // incident edges (parallel edges of different types allowed).
+            let found = graph
+                .neighbors(node)
+                .iter()
+                .zip(graph.edge_types_of(node))
+                .any(|(&u, &t)| u == e.node && t == e.edge_type);
+            prop_assert!(found);
+        }
+    }
+
+    #[test]
+    fn deep_walks_are_connected_paths(
+        seed in 0u64..500,
+        n_d in 1usize..30,
+        node_pick in 0usize..1000,
+    ) {
+        let graph = arbitrary_graph(40, 2, seed);
+        let node = (node_pick % graph.num_nodes()) as u32;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD);
+        let walk = sample_deep(&graph, node, n_d, &mut rng);
+        prop_assert!(walk.len() <= n_d);
+        let mut prev = node;
+        for e in &walk.entries {
+            let found = graph
+                .neighbors(prev)
+                .iter()
+                .zip(graph.edge_types_of(prev))
+                .any(|(&u, &t)| u == e.node && t == e.edge_type);
+            prop_assert!(found, "walk step not an edge");
+            prev = e.node;
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_node_payloads(
+        seed in 0u64..200,
+        keep_ratio in 0.2f64..0.9,
+    ) {
+        let graph = arbitrary_graph(40, 2, seed);
+        let keep: Vec<u32> = (0..graph.num_nodes() as u32)
+            .filter(|&v| (u64::from(v).wrapping_mul(2654435761) % 1000) as f64 / 1000.0 < keep_ratio)
+            .collect();
+        prop_assume!(!keep.is_empty());
+        let sub = graph.induced_subgraph(&keep);
+        for (new, &old) in keep.iter().enumerate() {
+            prop_assert_eq!(sub.graph.feature_row(new as u32), graph.feature_row(old));
+            prop_assert_eq!(sub.graph.label(new as u32), graph.label(old));
+            prop_assert_eq!(sub.graph.node_type(new as u32), graph.node_type(old));
+        }
+        // Degrees never grow.
+        for (new, &old) in keep.iter().enumerate() {
+            prop_assert!(sub.graph.degree(new as u32) <= graph.degree(old));
+        }
+    }
+
+    #[test]
+    fn forward_embeddings_are_unit_or_zero_norm(
+        seed in 0u64..100,
+    ) {
+        let graph = arbitrary_graph(30, 2, seed);
+        let mut config = WidenConfig::small();
+        config.d = 8;
+        config.n_w = 4;
+        config.n_d = 4;
+        config.phi = 2;
+        config.seed = seed;
+        let model = WidenModel::for_graph(&graph, config);
+        let nodes: Vec<u32> = (0..graph.num_nodes().min(6) as u32).collect();
+        let emb = model.embed_nodes(&graph, &nodes, seed);
+        for r in 0..emb.rows() {
+            let norm: f32 = emb.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+            prop_assert!(
+                norm < 1.0 + 1e-3,
+                "row norm {} exceeds 1 (Eq. 7 normalises)", norm
+            );
+        }
+    }
+}
+
+#[test]
+fn training_respects_downsampling_floor_under_aggressive_thresholds() {
+    // Deterministic stress of Algorithm 3's lower bounds: with r = ∞-like
+    // thresholds, every epoch prunes until k is reached but never below.
+    let graph = arbitrary_graph(60, 2, 9);
+    let train: Vec<u32> = graph.labeled_nodes().into_iter().take(20).collect();
+    let mut config = WidenConfig::small();
+    config.d = 8;
+    config.n_w = 6;
+    config.n_d = 6;
+    config.phi = 2;
+    config.epochs = 15;
+    config.r_wide = f64::MAX;
+    config.r_deep = f64::MAX;
+    config.k_wide = 2;
+    config.k_deep = 2;
+    let model = WidenModel::for_graph(&graph, config);
+    let mut trainer = Trainer::new(model, &graph, &train);
+    trainer.fit(&train);
+    let (wide_total, deep_total) = trainer.neighbor_volume();
+    // 20 nodes × k=2 minimum (isolated nodes may hold less).
+    assert!(wide_total <= 20 * 6);
+    assert!(deep_total <= 20 * 2 * 6);
+    // With 15 epochs and aggressive triggering, most sets must be at floor.
+    assert!(wide_total <= 20 * 3, "wide sets should be near the k=2 floor: {wide_total}");
+}
