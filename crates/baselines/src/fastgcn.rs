@@ -33,7 +33,13 @@ pub struct FastGcn {
 impl FastGcn {
     /// An untrained FastGCN with graph-scaled per-layer samples.
     pub fn new(config: BaselineConfig) -> Self {
-        Self { config, params: ParamStore::new(), w1: None, w2: None, layer_sample: None }
+        Self {
+            config,
+            params: ParamStore::new(),
+            w1: None,
+            w2: None,
+            layer_sample: None,
+        }
     }
 
     fn layer_sample_for(&self, n: usize) -> usize {
@@ -171,7 +177,11 @@ mod tests {
     #[test]
     fn fastgcn_learns_smoke_acm() {
         let d = acm_like(Scale::Smoke, 1);
-        let cfg = BaselineConfig { epochs: 40, learning_rate: 1e-2, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 40,
+            learning_rate: 1e-2,
+            ..Default::default()
+        };
         let mut model = FastGcn::new(cfg);
         model.fit(&d.graph, &d.transductive.train);
         let preds = model.predict(&d.graph, &d.transductive.test);
@@ -201,7 +211,10 @@ mod tests {
     #[test]
     fn fastgcn_embed_shape() {
         let d = acm_like(Scale::Smoke, 3);
-        let mut model = FastGcn::new(BaselineConfig { epochs: 2, ..Default::default() });
+        let mut model = FastGcn::new(BaselineConfig {
+            epochs: 2,
+            ..Default::default()
+        });
         model.fit(&d.graph, &d.transductive.train);
         let emb = model.embed(&d.graph, &d.transductive.test[..4]);
         assert_eq!(emb.shape(), (4, 32));

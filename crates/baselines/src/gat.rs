@@ -40,7 +40,11 @@ struct GatVars {
 impl Gat {
     /// An untrained GAT.
     pub fn new(config: BaselineConfig) -> Self {
-        Self { config, params: ParamStore::new(), ids: None }
+        Self {
+            config,
+            params: ParamStore::new(),
+            ids: None,
+        }
     }
 
     fn init(&mut self, graph: &HeteroGraph) {
@@ -51,8 +55,12 @@ impl Gat {
         self.params = ParamStore::new();
         self.ids = Some(GatIds {
             w: self.params.register("w", xavier_uniform(d0, h, &mut rng)),
-            a_self: self.params.register("a_self", xavier_uniform(h, 1, &mut rng)),
-            a_neigh: self.params.register("a_neigh", xavier_uniform(h, 1, &mut rng)),
+            a_self: self
+                .params
+                .register("a_self", xavier_uniform(h, 1, &mut rng)),
+            a_neigh: self
+                .params
+                .register("a_neigh", xavier_uniform(h, 1, &mut rng)),
             clf: self.params.register("clf", xavier_uniform(h, c, &mut rng)),
         });
     }
@@ -173,7 +181,11 @@ mod tests {
     #[test]
     fn gat_learns_smoke_acm() {
         let d = acm_like(Scale::Smoke, 1);
-        let cfg = BaselineConfig { epochs: 25, learning_rate: 1e-2, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 25,
+            learning_rate: 1e-2,
+            ..Default::default()
+        };
         let mut model = Gat::new(cfg);
         model.fit(&d.graph, &d.transductive.train);
         let preds = model.predict(&d.graph, &d.transductive.test);
@@ -186,7 +198,10 @@ mod tests {
     fn gat_attention_is_probability_weighted() {
         // Indirect check: embeddings are finite and non-degenerate.
         let d = acm_like(Scale::Smoke, 2);
-        let mut model = Gat::new(BaselineConfig { epochs: 3, ..Default::default() });
+        let mut model = Gat::new(BaselineConfig {
+            epochs: 3,
+            ..Default::default()
+        });
         model.fit(&d.graph, &d.transductive.train);
         let emb = model.embed(&d.graph, &d.transductive.test[..8]);
         assert!(emb.all_finite());
@@ -206,7 +221,10 @@ mod tests {
         b.add_edge(n0, n1, e);
         let _ = n2; // n2 stays isolated
         let g = b.build();
-        let mut model = Gat::new(BaselineConfig { epochs: 4, ..Default::default() });
+        let mut model = Gat::new(BaselineConfig {
+            epochs: 4,
+            ..Default::default()
+        });
         model.fit(&g, &[n0, n1, n2]);
         let preds = model.predict(&g, &[n2]);
         assert_eq!(preds.len(), 1);

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use widen_graph::{HeteroGraph, NodeId};
-use widen_tensor::{xavier_uniform, Adam, CsrMatrix, Optimizer, ParamId, ParamStore, Tape, Tensor, Var};
+use widen_tensor::{
+    xavier_uniform, Adam, CsrMatrix, Optimizer, ParamId, ParamStore, Tape, Tensor, Var,
+};
 
 use crate::common::{gather_labels, BaselineConfig, NodeClassifier};
 
@@ -28,7 +30,12 @@ struct Forward {
 impl Gcn {
     /// An untrained GCN.
     pub fn new(config: BaselineConfig) -> Self {
-        Self { config, params: ParamStore::new(), w1: None, w2: None }
+        Self {
+            config,
+            params: ParamStore::new(),
+            w1: None,
+            w2: None,
+        }
     }
 
     fn init(&mut self, graph: &HeteroGraph) {
@@ -50,7 +57,12 @@ impl Gcn {
         let hidden = tape.relu(prop1);
         let hw = tape.matmul(hidden, w2);
         let logits = tape.spmm(adj.clone(), hw);
-        Forward { hidden, logits, w1, w2 }
+        Forward {
+            hidden,
+            logits,
+            w1,
+            w2,
+        }
     }
 
     fn normalized_adjacency(graph: &HeteroGraph) -> Arc<CsrMatrix> {
@@ -128,7 +140,11 @@ mod tests {
     #[test]
     fn gcn_learns_smoke_acm() {
         let d = acm_like(Scale::Smoke, 1);
-        let cfg = BaselineConfig { epochs: 60, learning_rate: 1e-2, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 60,
+            learning_rate: 1e-2,
+            ..Default::default()
+        };
         let mut gcn = Gcn::new(cfg);
         gcn.fit(&d.graph, &d.transductive.train);
         let preds = gcn.predict(&d.graph, &d.transductive.test);
@@ -140,7 +156,10 @@ mod tests {
     #[test]
     fn gcn_embeddings_have_hidden_width() {
         let d = acm_like(Scale::Smoke, 2);
-        let mut gcn = Gcn::new(BaselineConfig { epochs: 3, ..Default::default() });
+        let mut gcn = Gcn::new(BaselineConfig {
+            epochs: 3,
+            ..Default::default()
+        });
         gcn.fit(&d.graph, &d.transductive.train);
         let emb = gcn.embed(&d.graph, &d.transductive.test[..5]);
         assert_eq!(emb.shape(), (5, 32));
@@ -158,7 +177,11 @@ mod tests {
             .iter()
             .filter_map(|&v| reduced.mapping.to_new(v))
             .collect();
-        let cfg = BaselineConfig { epochs: 20, learning_rate: 1e-2, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 20,
+            learning_rate: 1e-2,
+            ..Default::default()
+        };
         let mut gcn = Gcn::new(cfg);
         gcn.fit(&reduced.graph, &train_new);
         let preds = gcn.predict(&d.graph, &d.inductive.test);

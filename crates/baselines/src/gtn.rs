@@ -14,7 +14,9 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use widen_graph::{EdgeTypeId, HeteroGraph, NodeId};
-use widen_tensor::{xavier_uniform, Adam, CsrMatrix, Optimizer, ParamId, ParamStore, Tape, Tensor, Var};
+use widen_tensor::{
+    xavier_uniform, Adam, CsrMatrix, Optimizer, ParamId, ParamStore, Tape, Tensor, Var,
+};
 
 use crate::common::{gather_labels, BaselineConfig, NodeClassifier};
 use crate::gcn::extract_grads;
@@ -46,7 +48,11 @@ struct GtnVars {
 impl Gtn {
     /// An untrained GTN.
     pub fn new(config: BaselineConfig) -> Self {
-        Self { config, params: ParamStore::new(), ids: None }
+        Self {
+            config,
+            params: ParamStore::new(),
+            ids: None,
+        }
     }
 
     fn init(&mut self, graph: &HeteroGraph) {
@@ -67,19 +73,20 @@ impl Gtn {
     /// Row-normalised typed adjacency stack `{Â₁ … Â_E, I}`.
     fn adjacency_stack(graph: &HeteroGraph) -> Vec<Arc<CsrMatrix>> {
         let mut stack: Vec<Arc<CsrMatrix>> = (0..graph.num_edge_types())
-            .map(|e| Arc::new(graph.adjacency_of_type(EdgeTypeId(e as u16)).row_normalized()))
+            .map(|e| {
+                Arc::new(
+                    graph
+                        .adjacency_of_type(EdgeTypeId(e as u16))
+                        .row_normalized(),
+                )
+            })
             .collect();
         stack.push(Arc::new(CsrMatrix::identity(graph.num_nodes())));
         stack
     }
 
     /// Soft-selected propagation: `Σ_e softmax(sel)_e · (Â_e · X)`.
-    fn soft_propagate(
-        tape: &mut Tape,
-        stack: &[Arc<CsrMatrix>],
-        sel: Var,
-        x: Var,
-    ) -> Var {
+    fn soft_propagate(tape: &mut Tape, stack: &[Arc<CsrMatrix>], sel: Var, x: Var) -> Var {
         let sm = tape.softmax_rows(sel); // (1, E+1)
         let col = tape.transpose(sm); // (E+1, 1)
         let mut acc: Option<Var> = None;
@@ -177,7 +184,11 @@ mod tests {
     #[test]
     fn gtn_learns_smoke_acm() {
         let d = acm_like(Scale::Smoke, 1);
-        let cfg = BaselineConfig { epochs: 60, learning_rate: 1e-2, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 60,
+            learning_rate: 1e-2,
+            ..Default::default()
+        };
         let mut model = Gtn::new(cfg);
         model.fit(&d.graph, &d.transductive.train);
         let preds = model.predict(&d.graph, &d.transductive.test);
@@ -189,13 +200,20 @@ mod tests {
     #[test]
     fn selection_weights_receive_gradient() {
         let d = acm_like(Scale::Smoke, 2);
-        let cfg = BaselineConfig { epochs: 10, learning_rate: 1e-2, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 10,
+            learning_rate: 1e-2,
+            ..Default::default()
+        };
         let mut model = Gtn::new(cfg);
         model.fit(&d.graph, &d.transductive.train);
         let ids = model.ids.unwrap();
         // Trained selection logits should have moved off their zero init.
         let sel1 = model.params.get(ids.sel1);
-        assert!(sel1.frobenius_norm() > 0.0, "edge-type selection never trained");
+        assert!(
+            sel1.frobenius_norm() > 0.0,
+            "edge-type selection never trained"
+        );
     }
 
     #[test]

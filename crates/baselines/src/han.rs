@@ -17,8 +17,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use widen_graph::{EdgeTypeId, HeteroGraph, NodeId};
 use widen_tensor::{
-    xavier_uniform, zeros_init, Adam, CsrMatrix, Optimizer, ParamId, ParamStore, Tape, Tensor,
-    Var,
+    xavier_uniform, zeros_init, Adam, CsrMatrix, Optimizer, ParamId, ParamStore, Tape, Tensor, Var,
 };
 
 use crate::common::{gather_labels, BaselineConfig, NodeClassifier};
@@ -49,7 +48,12 @@ struct HanIds {
 impl Han {
     /// An untrained HAN.
     pub fn new(config: BaselineConfig) -> Self {
-        Self { config, params: ParamStore::new(), ids: None, num_paths: 0 }
+        Self {
+            config,
+            params: ParamStore::new(),
+            ids: None,
+            num_paths: 0,
+        }
     }
 
     /// Meta-path adjacencies `Â_e²` (row-normalised, one per edge type).
@@ -77,9 +81,13 @@ impl Han {
             .collect();
         self.ids = Some(HanIds {
             path_w,
-            sem_w: self.params.register("sem_w", xavier_uniform(h, h, &mut rng)),
+            sem_w: self
+                .params
+                .register("sem_w", xavier_uniform(h, h, &mut rng)),
             sem_b: self.params.register("sem_b", zeros_init(1, h)),
-            sem_q: self.params.register("sem_q", xavier_uniform(1, h, &mut rng)),
+            sem_q: self
+                .params
+                .register("sem_q", xavier_uniform(1, h, &mut rng)),
             clf: self.params.register("clf", xavier_uniform(h, c, &mut rng)),
         });
     }
@@ -192,7 +200,11 @@ mod tests {
     #[test]
     fn han_learns_smoke_acm() {
         let d = acm_like(Scale::Smoke, 1);
-        let cfg = BaselineConfig { epochs: 60, learning_rate: 1e-2, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 60,
+            learning_rate: 1e-2,
+            ..Default::default()
+        };
         let mut model = Han::new(cfg);
         model.fit(&d.graph, &d.transductive.train);
         let preds = model.predict(&d.graph, &d.transductive.test);
@@ -227,7 +239,11 @@ mod tests {
     #[test]
     fn semantic_attention_trains() {
         let d = acm_like(Scale::Smoke, 3);
-        let cfg = BaselineConfig { epochs: 8, learning_rate: 1e-2, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 8,
+            learning_rate: 1e-2,
+            ..Default::default()
+        };
         let mut model = Han::new(cfg);
         model.fit(&d.graph, &d.transductive.train);
         let ids = model.ids.clone().unwrap();

@@ -62,7 +62,11 @@ struct HgtVars {
 impl Hgt {
     /// An untrained HGT.
     pub fn new(config: BaselineConfig) -> Self {
-        Self { config, params: ParamStore::new(), ids: None }
+        Self {
+            config,
+            params: ParamStore::new(),
+            ids: None,
+        }
     }
 
     fn init(&mut self, graph: &HeteroGraph) {
@@ -71,9 +75,12 @@ impl Hgt {
         let h = self.config.hidden;
         let c = graph.num_classes();
         self.params = ParamStore::new();
-        let reg_many = |prefix: &str, count: usize, rows: usize, cols: usize,
-                            params: &mut ParamStore,
-                            rng: &mut StdRng| {
+        let reg_many = |prefix: &str,
+                        count: usize,
+                        rows: usize,
+                        cols: usize,
+                        params: &mut ParamStore,
+                        rng: &mut StdRng| {
             (0..count)
                 .map(|i| params.register(format!("{prefix}_{i}"), xavier_uniform(rows, cols, rng)))
                 .collect::<Vec<_>>()
@@ -85,23 +92,55 @@ impl Hgt {
         let w_v = reg_many("w_v", t, d0, h, &mut self.params, &mut rng);
         let w_att = reg_many("w_att", e, h, h, &mut self.params, &mut rng);
         let w_msg = reg_many("w_msg", e, h, h, &mut self.params, &mut rng);
-        let w_out = self.params.register("w_out", xavier_uniform(h, h, &mut rng));
-        let w_self = self.params.register("w_self", xavier_uniform(d0, h, &mut rng));
+        let w_out = self
+            .params
+            .register("w_out", xavier_uniform(h, h, &mut rng));
+        let w_self = self
+            .params
+            .register("w_self", xavier_uniform(d0, h, &mut rng));
         let clf = self.params.register("clf", xavier_uniform(h, c, &mut rng));
-        self.ids = Some(HgtIds { w_q, w_k, w_v, w_att, w_msg, w_out, w_self, clf });
+        self.ids = Some(HgtIds {
+            w_q,
+            w_k,
+            w_v,
+            w_att,
+            w_msg,
+            w_out,
+            w_self,
+            clf,
+        });
     }
 
     fn insert_vars(&self, tape: &mut Tape) -> HgtVars {
         let ids = self.ids.clone().expect("fitted");
-        let leaf = |tape: &mut Tape, id: ParamId, params: &ParamStore| {
-            tape.leaf(params.get(id).clone())
-        };
+        let leaf =
+            |tape: &mut Tape, id: ParamId, params: &ParamStore| tape.leaf(params.get(id).clone());
         HgtVars {
-            w_q: ids.w_q.iter().map(|&i| leaf(tape, i, &self.params)).collect(),
-            w_k: ids.w_k.iter().map(|&i| leaf(tape, i, &self.params)).collect(),
-            w_v: ids.w_v.iter().map(|&i| leaf(tape, i, &self.params)).collect(),
-            w_att: ids.w_att.iter().map(|&i| leaf(tape, i, &self.params)).collect(),
-            w_msg: ids.w_msg.iter().map(|&i| leaf(tape, i, &self.params)).collect(),
+            w_q: ids
+                .w_q
+                .iter()
+                .map(|&i| leaf(tape, i, &self.params))
+                .collect(),
+            w_k: ids
+                .w_k
+                .iter()
+                .map(|&i| leaf(tape, i, &self.params))
+                .collect(),
+            w_v: ids
+                .w_v
+                .iter()
+                .map(|&i| leaf(tape, i, &self.params))
+                .collect(),
+            w_att: ids
+                .w_att
+                .iter()
+                .map(|&i| leaf(tape, i, &self.params))
+                .collect(),
+            w_msg: ids
+                .w_msg
+                .iter()
+                .map(|&i| leaf(tape, i, &self.params))
+                .collect(),
             w_out: leaf(tape, ids.w_out, &self.params),
             w_self: leaf(tape, ids.w_self, &self.params),
             clf: leaf(tape, ids.clf, &self.params),
@@ -180,8 +219,16 @@ impl Hgt {
             keys.push(k);
             msgs.push(m);
         }
-        let k_all = if keys.len() == 1 { keys[0] } else { tape.vstack(&keys) };
-        let m_all = if msgs.len() == 1 { msgs[0] } else { tape.vstack(&msgs) };
+        let k_all = if keys.len() == 1 {
+            keys[0]
+        } else {
+            tape.vstack(&keys)
+        };
+        let m_all = if msgs.len() == 1 {
+            msgs[0]
+        } else {
+            tape.vstack(&msgs)
+        };
         let scores = tape.matmul_nt(q, k_all);
         let scaled = tape.scale(scores, 1.0 / (self.config.hidden as f32).sqrt());
         let alpha = tape.softmax_rows(scaled);
@@ -256,7 +303,11 @@ mod tests {
     #[test]
     fn hgt_learns_smoke_acm() {
         let d = acm_like(Scale::Smoke, 1);
-        let cfg = BaselineConfig { epochs: 25, learning_rate: 1e-2, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 25,
+            learning_rate: 1e-2,
+            ..Default::default()
+        };
         let mut model = Hgt::new(cfg);
         model.fit(&d.graph, &d.transductive.train);
         let preds = model.predict(&d.graph, &d.transductive.test);
@@ -268,7 +319,10 @@ mod tests {
     #[test]
     fn hgt_has_type_specific_parameters() {
         let d = acm_like(Scale::Smoke, 2);
-        let mut model = Hgt::new(BaselineConfig { epochs: 1, ..Default::default() });
+        let mut model = Hgt::new(BaselineConfig {
+            epochs: 1,
+            ..Default::default()
+        });
         model.fit(&d.graph, &d.transductive.train);
         let ids = model.ids.clone().unwrap();
         assert_eq!(ids.w_q.len(), d.graph.num_node_types());
@@ -285,7 +339,11 @@ mod tests {
             .iter()
             .filter_map(|&v| reduced.mapping.to_new(v))
             .collect();
-        let cfg = BaselineConfig { epochs: 12, learning_rate: 1e-2, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 12,
+            learning_rate: 1e-2,
+            ..Default::default()
+        };
         let mut model = Hgt::new(cfg);
         model.fit(&reduced.graph, &train_new);
         let preds = model.predict(&d.graph, &d.inductive.test);

@@ -237,7 +237,10 @@ mod tests {
     #[test]
     fn node2vec_learns_smoke_acm() {
         let d = acm_like(Scale::Smoke, 1);
-        let cfg = BaselineConfig { epochs: 3, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 3,
+            ..Default::default()
+        };
         let mut model = Node2Vec::new(cfg);
         model.fit(&d.graph, &d.transductive.train);
         let preds = model.predict(&d.graph, &d.transductive.test);

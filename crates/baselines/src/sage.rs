@@ -26,7 +26,11 @@ pub struct GraphSage {
 impl GraphSage {
     /// An untrained GraphSAGE.
     pub fn new(config: BaselineConfig) -> Self {
-        Self { config, params: ParamStore::new(), ids: None }
+        Self {
+            config,
+            params: ParamStore::new(),
+            ids: None,
+        }
     }
 
     fn init(&mut self, graph: &HeteroGraph) {
@@ -35,8 +39,12 @@ impl GraphSage {
         let h = self.config.hidden;
         let c = graph.num_classes();
         self.params = ParamStore::new();
-        let w1 = self.params.register("w1", xavier_uniform(2 * d0, h, &mut rng));
-        let w2 = self.params.register("w2", xavier_uniform(2 * h, h, &mut rng));
+        let w1 = self
+            .params
+            .register("w1", xavier_uniform(2 * d0, h, &mut rng));
+        let w2 = self
+            .params
+            .register("w2", xavier_uniform(2 * h, h, &mut rng));
         let clf = self.params.register("clf", xavier_uniform(h, c, &mut rng));
         self.ids = Some((w1, w2, clf));
     }
@@ -149,8 +157,7 @@ impl NodeClassifier for GraphSage {
                 .zip(labels.chunks(self.config.batch_size))
             {
                 let seed = hash_seed(self.config.seed, &[10, epoch as u64]);
-                let (mut tape, _, logits, [w1, w2, clf]) =
-                    self.forward_batch(graph, batch, seed);
+                let (mut tape, _, logits, [w1, w2, clf]) = self.forward_batch(graph, batch, seed);
                 let loss = tape.softmax_cross_entropy(logits, batch_labels);
                 tape.backward(loss);
                 let grads = extract_grads(
@@ -186,7 +193,11 @@ mod tests {
     #[test]
     fn sage_learns_smoke_acm() {
         let d = acm_like(Scale::Smoke, 1);
-        let cfg = BaselineConfig { epochs: 25, learning_rate: 1e-2, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 25,
+            learning_rate: 1e-2,
+            ..Default::default()
+        };
         let mut model = GraphSage::new(cfg);
         model.fit(&d.graph, &d.transductive.train);
         let preds = model.predict(&d.graph, &d.transductive.test);
@@ -198,7 +209,10 @@ mod tests {
     #[test]
     fn sage_embeddings_are_unit_norm() {
         let d = acm_like(Scale::Smoke, 2);
-        let mut model = GraphSage::new(BaselineConfig { epochs: 2, ..Default::default() });
+        let mut model = GraphSage::new(BaselineConfig {
+            epochs: 2,
+            ..Default::default()
+        });
         model.fit(&d.graph, &d.transductive.train);
         let emb = model.embed(&d.graph, &d.transductive.test[..6]);
         assert_eq!(emb.shape(), (6, 32));
@@ -218,7 +232,11 @@ mod tests {
             .iter()
             .filter_map(|&v| reduced.mapping.to_new(v))
             .collect();
-        let cfg = BaselineConfig { epochs: 15, learning_rate: 1e-2, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 15,
+            learning_rate: 1e-2,
+            ..Default::default()
+        };
         let mut model = GraphSage::new(cfg);
         model.fit(&reduced.graph, &train_new);
         // Predict unseen nodes on the full graph.

@@ -47,7 +47,10 @@ fn bench_widen_epoch(c: &mut Criterion) {
 fn bench_baseline_epoch(c: &mut Criterion) {
     let dataset = acm_like(Scale::Smoke, 2);
     let train: Vec<u32> = dataset.transductive.train.clone();
-    let cfg = BaselineConfig { epochs: 1, ..Default::default() };
+    let cfg = BaselineConfig {
+        epochs: 1,
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("baseline_epoch");
     group.sample_size(10);
     group.bench_function("graphsage", |b| {

@@ -37,10 +37,13 @@ fn main() {
         ("base", Box::new(|_c: &mut widen_core::WidenConfig| {})),
         ("wd01", Box::new(|c| c.weight_decay = 0.01)),
         ("wd05", Box::new(|c| c.weight_decay = 0.05)),
-        ("wd01+ep50", Box::new(|c| {
-            c.weight_decay = 0.01;
-            c.epochs = 50;
-        })),
+        (
+            "wd01+ep50",
+            Box::new(|c| {
+                c.weight_decay = 0.01;
+                c.epochs = 50;
+            }),
+        ),
     ];
     for dataset in datasets(opts.scale, seed) {
         print!("{:<12}", dataset.name);

@@ -14,7 +14,10 @@ use widen_graph::NodeId;
 
 fn main() {
     let opts = parse_args();
-    println!("== Figure 3: t-SNE of inductive embeddings ({:?} scale) ==\n", opts.scale);
+    println!(
+        "== Figure 3: t-SNE of inductive embeddings ({:?} scale) ==\n",
+        opts.scale
+    );
     let seed = opts.seeds[0];
     let mut json = serde_json::Map::new();
 
@@ -47,7 +50,11 @@ fn main() {
 
         let coords = tsne(
             &embeddings,
-            &TsneConfig { iterations: 300, seed, ..TsneConfig::default() },
+            &TsneConfig {
+                iterations: 300,
+                seed,
+                ..TsneConfig::default()
+            },
         );
         let sil_embedding = silhouette_score(&embeddings, &labels);
         let sil_2d = silhouette_score(&coords, &labels);

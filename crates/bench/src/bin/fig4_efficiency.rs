@@ -5,10 +5,10 @@
 
 use std::time::Instant;
 
+use widen_baselines::all_baselines;
 use widen_bench::parse_args;
 use widen_bench::runners::{datasets, table_baseline_config, table_widen_config};
-use widen_baselines::all_baselines;
-use widen_core::{Trainer, WidenModel};
+use widen_core::{Execution, Trainer, WidenModel};
 use widen_eval::micro_f1;
 
 const EPOCHS: usize = 10;
@@ -40,7 +40,12 @@ fn main() {
             let secs_per_epoch = start.elapsed().as_secs_f64() / EPOCHS as f64;
             let preds = baseline.predict(&dataset.graph, test);
             let f1 = micro_f1(&truth, &preds);
-            println!("{:<12} {:>16.4} {:>16.4}", baseline.name(), secs_per_epoch, f1);
+            println!(
+                "{:<12} {:>16.4} {:>16.4}",
+                baseline.name(),
+                secs_per_epoch,
+                f1
+            );
             json_rows.push(serde_json::json!({
                 "dataset": dataset.name,
                 "method": baseline.name(),
@@ -71,6 +76,22 @@ fn main() {
             "per_epoch_secs": report.epoch_secs,
             "wide_drops": report.wide_drops,
             "deep_drops": report.deep_drops,
+        }));
+
+        // Same model on the retained per-node oracle engine, so the batched
+        // engine's speedup stays visible at whole-epoch granularity.
+        let mut oracle_cfg = table_widen_config(opts.scale).with_seed(seed);
+        oracle_cfg.epochs = EPOCHS;
+        oracle_cfg.execution = Execution::PerNode;
+        let model = WidenModel::for_graph(&dataset.graph, oracle_cfg);
+        let mut trainer = Trainer::new(model, &dataset.graph, train);
+        let report = trainer.fit(train);
+        let oracle_secs = report.total_secs() / EPOCHS as f64;
+        println!("{:<12} {:>16.4} {:>16}", "WIDEN(node)", oracle_secs, "—");
+        json_rows.push(serde_json::json!({
+            "dataset": dataset.name,
+            "method": "WIDEN(per-node)",
+            "secs_per_epoch": oracle_secs,
         }));
     }
     opts.write_json("fig4_efficiency", &serde_json::Value::Array(json_rows));

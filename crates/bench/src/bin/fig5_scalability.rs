@@ -13,11 +13,20 @@ const RATIOS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
 
 fn main() {
     let opts = parse_args();
-    println!("== Figure 5: training-time scalability on yelp-like ({:?} scale) ==\n", opts.scale);
+    println!(
+        "== Figure 5: training-time scalability on yelp-like ({:?} scale) ==\n",
+        opts.scale
+    );
     let seed = opts.seeds[0];
-    let yelp = datasets(opts.scale, seed).into_iter().nth(2).expect("yelp dataset");
+    let yelp = datasets(opts.scale, seed)
+        .into_iter()
+        .nth(2)
+        .expect("yelp dataset");
 
-    println!("{:>8} {:>10} {:>12} {:>14}", "ratio", "nodes", "train nodes", "train secs");
+    println!(
+        "{:>8} {:>10} {:>12} {:>14}",
+        "ratio", "nodes", "train nodes", "train secs"
+    );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     let mut json_rows = Vec::new();

@@ -19,12 +19,7 @@ fn main() {
     // run stays seconds-fast; table scale follows the paper's grids.
     let (d_grid, nw_grid, nd_grid, phi_grid): (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>) =
         match opts.scale {
-            RunScale::Smoke => (
-                vec![16, 32, 64],
-                vec![1, 5, 10],
-                vec![1, 5, 10],
-                vec![2, 4],
-            ),
+            RunScale::Smoke => (vec![16, 32, 64], vec![1, 5, 10], vec![1, 5, 10], vec![2, 4]),
             // The paper's full grids reach d = 256 and Φ = 10; on this
             // single-core CPU budget we sweep the informative prefix of
             // each grid (the curve shapes are established well before the

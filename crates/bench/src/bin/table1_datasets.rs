@@ -4,7 +4,10 @@ use widen_bench::{parse_args, RunScale};
 
 fn main() {
     let opts = parse_args();
-    println!("== Table 1: dataset statistics ({:?} scale) ==\n", opts.scale);
+    println!(
+        "== Table 1: dataset statistics ({:?} scale) ==\n",
+        opts.scale
+    );
     let seed = opts.seeds[0];
     let mut rows = Vec::new();
     for dataset in widen_bench::runners::datasets(opts.scale, seed) {

@@ -3,13 +3,13 @@
 //! training labels, with paired t-tests of WIDEN against the best baseline
 //! per column (underscored when p < 0.05, double-underscored when p < 0.01).
 
+use widen_baselines::all_baselines;
 use widen_bench::harness::render_score;
 use widen_bench::runners::{
     datasets, run_baseline_transductive, run_widen_transductive, table_baseline_config,
     table_widen_config,
 };
 use widen_bench::{parse_args, RunScale};
-use widen_baselines::all_baselines;
 use widen_data::subset_fraction;
 use widen_eval::{paired_t_test, RunAggregate};
 
@@ -52,8 +52,7 @@ fn main() {
                     if baseline.name() == "GTN" && skip_gtn_here {
                         continue;
                     }
-                    let f1 =
-                        run_baseline_transductive(baseline.as_mut(), &dataset, &train, test);
+                    let f1 = run_baseline_transductive(baseline.as_mut(), &dataset, &train, test);
                     scores[m_idx][f_idx].push(f1);
                 }
                 let widen_cfg = table_widen_config(opts.scale).with_seed(seed);
@@ -107,11 +106,7 @@ fn main() {
 }
 
 /// The per-seed scores of the best (by mean) non-WIDEN method in a column.
-fn best_baseline(
-    scores: &[Vec<Vec<f64>>],
-    f_idx: usize,
-    widen_idx: usize,
-) -> Option<Vec<f64>> {
+fn best_baseline(scores: &[Vec<Vec<f64>>], f_idx: usize, widen_idx: usize) -> Option<Vec<f64>> {
     scores
         .iter()
         .enumerate()

@@ -4,13 +4,13 @@
 //! §4.6); every other method fits on the reduced graph and predicts on the
 //! full one.
 
+use widen_baselines::all_baselines;
 use widen_bench::harness::render_score;
+use widen_bench::parse_args;
 use widen_bench::runners::{
     datasets, run_baseline_inductive, run_widen_inductive, table_baseline_config,
     table_widen_config,
 };
-use widen_bench::parse_args;
-use widen_baselines::all_baselines;
 use widen_eval::{paired_t_test, RunAggregate};
 
 fn main() {
@@ -39,8 +39,7 @@ fn main() {
     for &seed in &opts.seeds {
         for (d_idx, dataset) in datasets(opts.scale, seed).into_iter().enumerate() {
             let mut m_idx = 0;
-            for mut baseline in all_baselines(&table_baseline_config(opts.scale).with_seed(seed))
-            {
+            for mut baseline in all_baselines(&table_baseline_config(opts.scale).with_seed(seed)) {
                 if !baseline.supports_inductive() {
                     continue;
                 }

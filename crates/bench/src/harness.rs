@@ -53,8 +53,11 @@ impl HarnessOpts {
     pub fn write_json(&self, name: &str, value: &serde_json::Value) {
         std::fs::create_dir_all(&self.out_dir).expect("create results dir");
         let path = self.out_dir.join(format!("{name}.json"));
-        std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialise"))
-            .expect("write results");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(value).expect("serialise"),
+        )
+        .expect("write results");
         println!("\n[results written to {}]", path.display());
     }
 }

@@ -27,6 +27,6 @@ pub mod runners;
 
 pub use harness::{parse_args, HarnessOpts, RunScale};
 pub use runners::{
-    run_baseline_inductive, run_baseline_transductive, run_widen_inductive,
-    run_widen_transductive, table_baseline_config, table_widen_config,
+    run_baseline_inductive, run_baseline_transductive, run_widen_inductive, run_widen_transductive,
+    table_baseline_config, table_widen_config,
 };

@@ -57,32 +57,50 @@ impl Variant {
 
     /// "Removing Wide Neighbors" row.
     pub fn no_wide() -> Self {
-        Self { use_wide: false, ..Self::full() }
+        Self {
+            use_wide: false,
+            ..Self::full()
+        }
     }
 
     /// "Removing Deep Neighbors" row.
     pub fn no_deep() -> Self {
-        Self { use_deep: false, ..Self::full() }
+        Self {
+            use_deep: false,
+            ..Self::full()
+        }
     }
 
     /// "Removing Successive Self-Attention" row.
     pub fn no_successive_attention() -> Self {
-        Self { successive_attention: false, ..Self::full() }
+        Self {
+            successive_attention: false,
+            ..Self::full()
+        }
     }
 
     /// "Removing Relay Edges" row.
     pub fn no_relay_edges() -> Self {
-        Self { relay_edges: false, ..Self::full() }
+        Self {
+            relay_edges: false,
+            ..Self::full()
+        }
     }
 
     /// "Random Downsampling for W(t)" row.
     pub fn random_wide_downsampling() -> Self {
-        Self { wide_downsampling: DownsampleStrategy::Random, ..Self::full() }
+        Self {
+            wide_downsampling: DownsampleStrategy::Random,
+            ..Self::full()
+        }
     }
 
     /// "Random Downsampling for D(t)" row.
     pub fn random_deep_downsampling() -> Self {
-        Self { deep_downsampling: DownsampleStrategy::Random, ..Self::full() }
+        Self {
+            deep_downsampling: DownsampleStrategy::Random,
+            ..Self::full()
+        }
     }
 
     /// All Table 4 rows in paper order, with their printable names.
@@ -92,10 +110,19 @@ impl Variant {
             ("No Downsampling", Self::no_downsampling()),
             ("Removing Wide Neighbors", Self::no_wide()),
             ("Removing Deep Neighbors", Self::no_deep()),
-            ("Removing Successive Self-Attention", Self::no_successive_attention()),
+            (
+                "Removing Successive Self-Attention",
+                Self::no_successive_attention(),
+            ),
             ("Removing Relay Edges", Self::no_relay_edges()),
-            ("Random Downsampling for W(t)", Self::random_wide_downsampling()),
-            ("Random Downsampling for D(t)", Self::random_deep_downsampling()),
+            (
+                "Random Downsampling for W(t)",
+                Self::random_wide_downsampling(),
+            ),
+            (
+                "Random Downsampling for D(t)",
+                Self::random_deep_downsampling(),
+            ),
         ]
     }
 }

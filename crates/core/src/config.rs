@@ -2,6 +2,24 @@
 
 use crate::ablation::Variant;
 
+/// Which forward-pass engine training and inference run on.
+///
+/// Both engines compute the same model (Eq. 1–7, 10); they differ only in
+/// how the work is laid out. [`Execution::Batched`] is the default;
+/// [`Execution::PerNode`] survives as the differential-testing oracle the
+/// batched engine is verified against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Execution {
+    /// One fused forward pass per chunk: a single Q/K/V projection matmul
+    /// per attention branch, ragged/padded softmax over all nodes' score
+    /// rows at once, batched fusion and classification.
+    #[default]
+    Batched,
+    /// The original one-tape-subgraph-per-node path (slower; kept as the
+    /// reference implementation).
+    PerNode,
+}
+
 /// All WIDEN hyperparameters.
 ///
 /// [`WidenConfig::paper`] reproduces the unified setting of §4.4:
@@ -39,6 +57,8 @@ pub struct WidenConfig {
     pub seed: u64,
     /// Architectural variant (Table 4 ablations); default is the full model.
     pub variant: Variant,
+    /// Forward-pass engine (batched by default; per-node as oracle).
+    pub execution: Execution,
 }
 
 impl WidenConfig {
@@ -59,6 +79,7 @@ impl WidenConfig {
             epochs: 30,
             seed: 0,
             variant: Variant::full(),
+            execution: Execution::default(),
         }
     }
 
@@ -80,6 +101,7 @@ impl WidenConfig {
             epochs: 12,
             seed: 0,
             variant: Variant::full(),
+            execution: Execution::default(),
         }
     }
 
@@ -95,6 +117,12 @@ impl WidenConfig {
         self
     }
 
+    /// Returns `self` with a different forward-pass engine.
+    pub fn with_execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -102,7 +130,10 @@ impl WidenConfig {
     pub fn validate(&self) {
         assert!(self.d > 0, "latent dimension must be positive");
         assert!(self.phi >= 1, "Φ ≥ 1 deep walks required (Eq. 7)");
-        assert!(self.k_wide >= 1 && self.k_deep >= 1, "lower bounds must be ≥ 1 (§3.4)");
+        assert!(
+            self.k_wide >= 1 && self.k_deep >= 1,
+            "lower bounds must be ≥ 1 (§3.4)"
+        );
         assert!(self.batch_size >= 1 && self.epochs >= 1);
         assert!(
             self.variant.use_wide || self.variant.use_deep,
@@ -133,6 +164,15 @@ mod tests {
     fn builders_chain() {
         let c = WidenConfig::small().with_seed(9);
         assert_eq!(c.seed, 9);
+        c.validate();
+    }
+
+    #[test]
+    fn batched_execution_is_the_default() {
+        assert_eq!(WidenConfig::paper().execution, Execution::Batched);
+        assert_eq!(WidenConfig::small().execution, Execution::Batched);
+        let c = WidenConfig::small().with_execution(Execution::PerNode);
+        assert_eq!(c.execution, Execution::PerNode);
         c.validate();
     }
 

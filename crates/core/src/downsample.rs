@@ -36,7 +36,11 @@ pub fn decide<R: Rng + ?Sized>(
     epoch: usize,
     rng: &mut R,
 ) -> Decision {
-    debug_assert_eq!(attention.len(), len + 1, "attention covers target + neighbours");
+    debug_assert_eq!(
+        attention.len(),
+        len + 1,
+        "attention covers target + neighbours"
+    );
     if len <= k || epoch <= 1 {
         return Decision::Keep;
     }

@@ -38,7 +38,7 @@ pub mod trainer;
 pub mod unsupervised;
 
 pub use ablation::{DownsampleStrategy, Variant};
-pub use config::WidenConfig;
+pub use config::{Execution, WidenConfig};
 pub use model::WidenModel;
 pub use state::{DeepState, NodeState};
 pub use trainer::{TrainReport, Trainer};

@@ -10,7 +10,7 @@ use widen_graph::{HeteroGraph, NodeId};
 use widen_sampling::{hash_seed, sample_deep_multi, sample_wide};
 use widen_tensor::{he_normal, xavier_uniform, zeros_init, ParamId, ParamStore, Tape, Tensor, Var};
 
-use crate::config::WidenConfig;
+use crate::config::{Execution, WidenConfig};
 use crate::packaging::{edge_vocab_size, pack_deep, pack_wide, Packed};
 use crate::state::NodeState;
 
@@ -113,10 +113,56 @@ pub struct DeepForward {
     pub edges: Var,
 }
 
+/// Outputs of one batched forward pass over a chunk of nodes
+/// ([`WidenModel::forward_batch`]). Row `i` of every per-node tensor
+/// corresponds to the `i`-th state handed in.
+pub struct BatchForward {
+    /// Updated node embeddings (`B × d`, Eq. 7).
+    pub embeddings: Var,
+    /// Class logits (`B × c`, Eq. 10).
+    pub logits: Var,
+    /// Wide-branch artefacts, when the wide branch is enabled.
+    pub wide: Option<WideBatch>,
+    /// Deep-branch artefacts, when the deep branch ran for ≥ 1 walk.
+    pub deep: Option<DeepBatch>,
+}
+
+/// Batched wide-attention artefacts (Eq. 3).
+pub struct WideBatch {
+    /// Padded attention matrix (`B × L_max`); row `i`'s valid prefix has
+    /// `lens[i]` entries (`|W_i| + 1`, self pack first), the rest is
+    /// exactly zero.
+    pub attention: Var,
+    /// Per-node valid attention lengths.
+    pub lens: Vec<usize>,
+}
+
+/// Batched deep-branch artefacts (Eq. 4–6), plus the node→row-range maps
+/// that keep downsampling outcomes (Algorithms 1–2, Eq. 8 relays)
+/// extractable per node from the flat tensors.
+pub struct DeepBatch {
+    /// Padded Eq. 5 attention matrix (`#walks × L_max`); row `w`'s valid
+    /// prefix has `walk_spans[w].1` entries.
+    pub attention: Var,
+    /// Flat raw pack matrix `M▷` (all walks concatenated).
+    pub packs: Var,
+    /// Flat edge-representation matrix `E▷` (same layout).
+    pub edges: Var,
+    /// Walk → `(start, len)` row range into `packs` / `edges`.
+    pub walk_spans: Vec<(usize, usize)>,
+    /// Node → `(first walk index, walk count)`; a node's walks are
+    /// consecutive in `walk_spans` / `attention` rows.
+    pub node_walks: Vec<(usize, usize)>,
+}
+
 /// Caches the causal attention masks Θ (Eq. 6) by matrix size.
+///
+/// Interior-mutable and `Sync`, so one cache can be built once and shared
+/// read-mostly across a whole training epoch (and across rayon chunk
+/// workers) instead of being rebuilt per chunk.
 #[derive(Default)]
 pub struct MaskCache {
-    masks: FxHashMap<usize, Arc<Tensor>>,
+    masks: std::sync::RwLock<FxHashMap<usize, Arc<Tensor>>>,
 }
 
 impl MaskCache {
@@ -126,18 +172,21 @@ impl MaskCache {
     }
 
     /// The `n × n` mask with `θ = 0` for `row ≤ col`, `−∞` otherwise.
-    pub fn get(&mut self, n: usize) -> Arc<Tensor> {
+    pub fn get(&self, n: usize) -> Arc<Tensor> {
+        if let Some(m) = self.masks.read().expect("mask cache poisoned").get(&n) {
+            return m.clone();
+        }
+        let mut m = Tensor::zeros(n, n);
+        for row in 0..n {
+            for col in 0..row {
+                m.set(row, col, f32::NEG_INFINITY);
+            }
+        }
         self.masks
+            .write()
+            .expect("mask cache poisoned")
             .entry(n)
-            .or_insert_with(|| {
-                let mut m = Tensor::zeros(n, n);
-                for row in 0..n {
-                    for col in 0..row {
-                        m.set(row, col, f32::NEG_INFINITY);
-                    }
-                }
-                Arc::new(m)
-            })
+            .or_insert_with(|| Arc::new(m))
             .clone()
     }
 }
@@ -297,7 +346,7 @@ impl WidenModel {
         pv: &ParamVars,
         graph: &HeteroGraph,
         state: &NodeState,
-        masks: &mut MaskCache,
+        masks: &MaskCache,
     ) -> NodeForward {
         assert_eq!(
             graph.feature_dim(),
@@ -372,7 +421,11 @@ impl WidenModel {
                 let v2 = tape.matmul(packs, pv.deep_v2);
                 let h_phi = tape.matmul(attn, v2);
                 h_phis.push(h_phi);
-                deep_outputs.push(DeepForward { attention: attn, packs, edges });
+                deep_outputs.push(DeepForward {
+                    attention: attn,
+                    packs,
+                    edges,
+                });
             }
             // Average pooling over the Φ walks (Eq. 7).
             if h_phis.len() == 1 {
@@ -395,7 +448,187 @@ impl WidenModel {
         // Eq. 10 head.
         let logits = tape.matmul(embedding, pv.classifier);
 
-        NodeForward { embedding, logits, wide_attention, deep: deep_outputs }
+        NodeForward {
+            embedding,
+            logits,
+            wide_attention,
+            deep: deep_outputs,
+        }
+    }
+
+    /// Batched forward pass over a whole chunk of nodes (Eq. 1–7 + head).
+    ///
+    /// Computes exactly what [`WidenModel::forward_node`] computes per
+    /// node, but with one pack assembly, one Q/K/V projection matmul per
+    /// attention branch and one padded softmax per branch for the whole
+    /// chunk. The attention kernels reuse the same scalar `dot`/`axpy`
+    /// reductions in the same order as the per-node path, so the two
+    /// engines agree to f32 round-off (the differential tests pin this).
+    ///
+    /// The Eq. 4 causal mask needs no mask tensor here: each pack row's
+    /// key segment simply *starts at itself* and runs to the end of its
+    /// walk, which encodes `θ = −∞` for earlier positions structurally.
+    ///
+    /// # Panics
+    /// Panics if `states` is empty or the graph's feature width changed.
+    pub fn forward_batch(
+        &self,
+        tape: &mut Tape,
+        pv: &ParamVars,
+        graph: &HeteroGraph,
+        states: &[&NodeState],
+    ) -> BatchForward {
+        assert!(!states.is_empty(), "forward_batch needs at least one node");
+        assert_eq!(
+            graph.feature_dim(),
+            self.feature_dim,
+            "graph feature dimensionality changed"
+        );
+        let b = states.len();
+        let d = self.config.d;
+        let variant = self.config.variant;
+        let inv_sqrt_d = 1.0 / (d as f32).sqrt();
+
+        // Wide branch (Eq. 1, 3): one flat pack matrix, per-node spans.
+        let mut wide_batch = None;
+        let h_wide = if variant.use_wide {
+            let wides: Vec<&widen_sampling::WideSet> = states.iter().map(|s| &s.wide).collect();
+            let batch = crate::packaging::pack_wide_batch(
+                tape,
+                graph,
+                &wides,
+                pv.g_node,
+                pv.g_edge,
+                self.num_edge_types,
+            );
+            let lens: Vec<usize> = batch.spans.iter().map(|&(_, len)| len).collect();
+            let q_rows: Vec<usize> = batch.spans.iter().map(|&(start, _)| start).collect();
+            let m_t = tape.gather_rows(batch.packs, &q_rows);
+            let q = tape.matmul(m_t, pv.wide_q);
+            // K/V projections run once per unique (node, edge) pair.
+            let k = batch.project(tape, pv.wide_k);
+            let values = batch.project(tape, pv.wide_v);
+            let spans: Arc<[(usize, usize)]> = batch.spans.into();
+            let scores = tape.padded_segment_scores(q, k, spans.clone());
+            let scaled = tape.scale(scores, inv_sqrt_d);
+            let attn = tape.padded_softmax_rows(scaled, lens.clone().into());
+            let h = tape.segment_weighted_sum(attn, values, spans);
+            wide_batch = Some(WideBatch {
+                attention: attn,
+                lens,
+            });
+            h
+        } else {
+            tape.leaf(Tensor::zeros(b, d))
+        };
+
+        // Deep branch (Eq. 2, 4–6): all walks of all nodes in one flat
+        // matrix, walk-major and grouped by node.
+        let mut deep_batch = None;
+        let h_deep = if variant.use_deep && states.iter().any(|s| !s.deeps.is_empty()) {
+            let mut walks: Vec<&crate::state::DeepState> = Vec::new();
+            let mut node_walks = Vec::with_capacity(b);
+            for s in states {
+                node_walks.push((walks.len(), s.deeps.len()));
+                walks.extend(s.deeps.iter());
+            }
+            let batch = crate::packaging::pack_deep_batch(
+                tape,
+                graph,
+                &walks,
+                pv.g_node,
+                pv.g_edge,
+                self.num_edge_types,
+            );
+            let crate::packaging::PackedBatch {
+                packs,
+                edges,
+                unique_packs,
+                flat_index,
+                spans: walk_spans,
+            } = batch;
+            let total_rows: usize = walk_spans.iter().map(|&(_, len)| len).sum();
+            // Raw-pack projections run on unique rows, then broadcast back.
+            let project = |tape: &mut Tape, w| {
+                let unique = tape.matmul(unique_packs, w);
+                tape.gather_rows(unique, &flat_index)
+            };
+
+            // Eq. 4: causal successive attention. Every pack row queries
+            // the suffix of its own walk (itself + later positions).
+            let refined = if variant.successive_attention {
+                let mut row_spans = Vec::with_capacity(total_rows);
+                let mut row_lens = Vec::with_capacity(total_rows);
+                for &(start, len) in &walk_spans {
+                    for r in 0..len {
+                        row_spans.push((start + r, len - r));
+                        row_lens.push(len - r);
+                    }
+                }
+                let row_spans: Arc<[(usize, usize)]> = row_spans.into();
+                let q1 = project(tape, pv.deep_q1);
+                let k1 = project(tape, pv.deep_k1);
+                let scores = tape.padded_segment_scores(q1, k1, row_spans.clone());
+                let scaled = tape.scale(scores, inv_sqrt_d);
+                let att = tape.padded_softmax_rows(scaled, row_lens.into());
+                let v1 = project(tape, pv.deep_v1);
+                tape.segment_weighted_sum(att, v1, row_spans)
+            } else {
+                packs
+            };
+
+            // Eq. 5: gather into each walk's target — query is the walk's
+            // own m_t▷ row, keys from the refined sequence H▷, values
+            // from the raw packs M▷. The refined rows are position-specific
+            // (no dedup possible); the raw-pack values are not.
+            let m_rows: Vec<usize> = walk_spans.iter().map(|&(start, _)| start).collect();
+            let lens: Vec<usize> = walk_spans.iter().map(|&(_, len)| len).collect();
+            let spans: Arc<[(usize, usize)]> = walk_spans.clone().into();
+            let m_t = tape.gather_rows(packs, &m_rows);
+            let q2 = tape.matmul(m_t, pv.deep_q2);
+            let k2 = if variant.successive_attention {
+                tape.matmul(refined, pv.deep_k2)
+            } else {
+                project(tape, pv.deep_k2)
+            };
+            let scores2 = tape.padded_segment_scores(q2, k2, spans.clone());
+            let scaled2 = tape.scale(scores2, inv_sqrt_d);
+            let attn = tape.padded_softmax_rows(scaled2, lens.into());
+            let v2 = project(tape, pv.deep_v2);
+            let h_phi = tape.segment_weighted_sum(attn, v2, spans);
+
+            // Φ-averaging (Eq. 7); nodes without walks get zero rows.
+            let phi_spans: Arc<[(usize, usize)]> = node_walks.clone().into();
+            let h = tape.segment_mean_rows(h_phi, phi_spans);
+            deep_batch = Some(DeepBatch {
+                attention: attn,
+                packs,
+                edges,
+                walk_spans,
+                node_walks,
+            });
+            h
+        } else {
+            tape.leaf(Tensor::zeros(b, d))
+        };
+
+        // Eq. 7: fuse, feed-forward, L2 normalise — already row-wise, so
+        // the per-node ops batch as-is.
+        let concat = tape.hstack(&[h_wide, h_deep]);
+        let ff = tape.matmul(concat, pv.fuse_w);
+        let biased = tape.add_row_broadcast(ff, pv.fuse_b);
+        let activated = tape.relu(biased);
+        let embeddings = tape.l2_normalize_rows(activated);
+
+        // Eq. 10 head.
+        let logits = tape.matmul(embeddings, pv.classifier);
+
+        BatchForward {
+            embeddings,
+            logits,
+            wide: wide_batch,
+            deep: deep_batch,
+        }
     }
 
     /// Samples fresh neighbourhoods for a node at inference time (no
@@ -409,11 +642,11 @@ impl WidenModel {
     }
 
     /// Embeds the listed nodes (`len × d`), sampling fresh neighbourhoods
-    /// with `seed`. Parallelised over chunks of nodes.
+    /// with `seed`. Parallelised over chunks of nodes; each chunk runs one
+    /// fused [`WidenModel::forward_batch`] (or per-node passes when the
+    /// config selects [`Execution::PerNode`]).
     pub fn embed_nodes(&self, graph: &HeteroGraph, nodes: &[NodeId], seed: u64) -> Tensor {
-        let rows = self.forward_many(graph, nodes, seed, |tape, fw| {
-            tape.value(fw.embedding).row(0).to_vec()
-        });
+        let rows = self.infer_rows(graph, nodes, seed, InferOutput::Embedding);
         let mut out = Tensor::zeros(nodes.len(), self.config.d);
         for (i, row) in rows.into_iter().enumerate() {
             out.set_row(i, &row);
@@ -423,9 +656,10 @@ impl WidenModel {
 
     /// Predicts class labels for the listed nodes.
     pub fn predict(&self, graph: &HeteroGraph, nodes: &[NodeId], seed: u64) -> Vec<usize> {
-        self.forward_many(graph, nodes, seed, |tape, fw| {
-            tape.value(fw.logits).argmax_row(0)
-        })
+        self.infer_rows(graph, nodes, seed, InferOutput::Logits)
+            .iter()
+            .map(|row| argmax(row))
+            .collect()
     }
 
     /// Predicts by averaging logits over `rounds` independently sampled
@@ -442,54 +676,89 @@ impl WidenModel {
         assert!(rounds >= 1, "need at least one round");
         let mut sums: Vec<Vec<f32>> = vec![vec![0.0; self.num_classes]; nodes.len()];
         for r in 0..rounds as u64 {
-            let logits = self.forward_many(graph, nodes, hash_seed(seed, &[40, r]), |tape, fw| {
-                tape.value(fw.logits).row(0).to_vec()
-            });
+            let logits =
+                self.infer_rows(graph, nodes, hash_seed(seed, &[40, r]), InferOutput::Logits);
             for (sum, row) in sums.iter_mut().zip(logits) {
                 for (s, v) in sum.iter_mut().zip(row) {
                     *s += v;
                 }
             }
         }
-        sums.iter()
-            .map(|row| {
-                row.iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
-                    .map(|(i, _)| i)
-                    .expect("non-empty class set")
-            })
-            .collect()
+        sums.iter().map(|row| argmax(row)).collect()
     }
 
-    /// Runs inference forward passes for many nodes in parallel chunks,
-    /// extracting an arbitrary value from each [`NodeForward`].
-    fn forward_many<T: Send>(
+    /// Runs inference forward passes for many nodes in parallel chunks and
+    /// returns one embedding or logits row per node. Each chunk runs on the
+    /// engine selected by [`WidenConfig::execution`].
+    fn infer_rows(
         &self,
         graph: &HeteroGraph,
         nodes: &[NodeId],
         seed: u64,
-        extract: impl Fn(&Tape, &NodeForward) -> T + Sync,
-    ) -> Vec<T> {
+        output: InferOutput,
+    ) -> Vec<Vec<f32>> {
         use rayon::prelude::*;
-        let chunk = nodes.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+        let chunk = nodes
+            .len()
+            .div_ceil(rayon::current_num_threads().max(1))
+            .max(1);
         nodes
             .par_chunks(chunk)
             .flat_map_iter(|chunk_nodes| {
                 let mut tape = Tape::new();
                 let pv = self.insert_params(&mut tape);
-                let mut masks = MaskCache::new();
-                chunk_nodes
-                    .iter()
-                    .map(|&node| {
-                        let state = self.sample_state(graph, node, seed);
-                        let fw = self.forward_node(&mut tape, &pv, graph, &state, &mut masks);
-                        extract(&tape, &fw)
-                    })
-                    .collect::<Vec<_>>()
+                match self.config.execution {
+                    Execution::Batched => {
+                        let states: Vec<NodeState> = chunk_nodes
+                            .iter()
+                            .map(|&node| self.sample_state(graph, node, seed))
+                            .collect();
+                        let refs: Vec<&NodeState> = states.iter().collect();
+                        let fw = self.forward_batch(&mut tape, &pv, graph, &refs);
+                        let var = match output {
+                            InferOutput::Embedding => fw.embeddings,
+                            InferOutput::Logits => fw.logits,
+                        };
+                        let out = tape.value(var);
+                        (0..chunk_nodes.len())
+                            .map(|i| out.row(i).to_vec())
+                            .collect::<Vec<_>>()
+                    }
+                    Execution::PerNode => {
+                        let masks = MaskCache::new();
+                        chunk_nodes
+                            .iter()
+                            .map(|&node| {
+                                let state = self.sample_state(graph, node, seed);
+                                let fw = self.forward_node(&mut tape, &pv, graph, &state, &masks);
+                                let var = match output {
+                                    InferOutput::Embedding => fw.embedding,
+                                    InferOutput::Logits => fw.logits,
+                                };
+                                tape.value(var).row(0).to_vec()
+                            })
+                            .collect::<Vec<_>>()
+                    }
+                }
             })
             .collect()
     }
+}
+
+/// Which tensor [`WidenModel::infer_rows`] extracts per node.
+#[derive(Clone, Copy)]
+enum InferOutput {
+    Embedding,
+    Logits,
+}
+
+/// Index of the largest entry (ties break toward the first).
+fn argmax(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .expect("non-empty class set")
 }
 
 #[cfg(test)]
@@ -534,9 +803,9 @@ mod tests {
         let model = WidenModel::for_graph(&g, small_config());
         let mut tape = Tape::new();
         let pv = model.insert_params(&mut tape);
-        let mut masks = MaskCache::new();
+        let masks = MaskCache::new();
         let state = model.sample_state(&g, 0, 7);
-        let fw = model.forward_node(&mut tape, &pv, &g, &state, &mut masks);
+        let fw = model.forward_node(&mut tape, &pv, &g, &state, &masks);
         let emb = tape.value(fw.embedding);
         assert_eq!(emb.shape(), (1, 8));
         let norm: f32 = emb.row(0).iter().map(|x| x * x).sum::<f32>().sqrt();
@@ -551,9 +820,9 @@ mod tests {
         let model = WidenModel::for_graph(&g, small_config());
         let mut tape = Tape::new();
         let pv = model.insert_params(&mut tape);
-        let mut masks = MaskCache::new();
+        let masks = MaskCache::new();
         let state = model.sample_state(&g, 1, 3);
-        let fw = model.forward_node(&mut tape, &pv, &g, &state, &mut masks);
+        let fw = model.forward_node(&mut tape, &pv, &g, &state, &masks);
         let wide = tape.value(fw.wide_attention.unwrap());
         assert_eq!(wide.cols(), state.wide.len() + 1);
         assert!((wide.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
@@ -570,9 +839,9 @@ mod tests {
         let model = WidenModel::for_graph(&g, cfg);
         let mut tape = Tape::new();
         let pv = model.insert_params(&mut tape);
-        let mut masks = MaskCache::new();
+        let masks = MaskCache::new();
         let state = model.sample_state(&g, 0, 1);
-        let fw = model.forward_node(&mut tape, &pv, &g, &state, &mut masks);
+        let fw = model.forward_node(&mut tape, &pv, &g, &state, &masks);
         assert!(fw.wide_attention.is_none());
         assert!(!fw.deep.is_empty());
     }
@@ -584,16 +853,16 @@ mod tests {
         let model = WidenModel::for_graph(&g, cfg);
         let mut tape = Tape::new();
         let pv = model.insert_params(&mut tape);
-        let mut masks = MaskCache::new();
+        let masks = MaskCache::new();
         let state = model.sample_state(&g, 0, 1);
-        let fw = model.forward_node(&mut tape, &pv, &g, &state, &mut masks);
+        let fw = model.forward_node(&mut tape, &pv, &g, &state, &masks);
         assert!(fw.wide_attention.is_some());
         assert!(fw.deep.is_empty());
     }
 
     #[test]
     fn causal_mask_blocks_backward_attention() {
-        let mut cache = MaskCache::new();
+        let cache = MaskCache::new();
         let m = cache.get(4);
         for row in 0..4 {
             for col in 0..4 {
@@ -661,9 +930,9 @@ mod tests {
         let model = WidenModel::for_graph(&g, small_config());
         let mut tape = Tape::new();
         let pv = model.insert_params(&mut tape);
-        let mut masks = MaskCache::new();
+        let masks = MaskCache::new();
         let state = model.sample_state(&g, 0, 1);
-        let fw = model.forward_node(&mut tape, &pv, &g, &state, &mut masks);
+        let fw = model.forward_node(&mut tape, &pv, &g, &state, &masks);
         let loss = tape.softmax_cross_entropy(fw.logits, &[0]);
         tape.backward(loss);
         for (id, var) in pv.pairs(model.ids()) {
@@ -679,5 +948,160 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Runs both engines over the same states and asserts logits agree to
+    /// `1e-5`, embeddings to `1e-5` and every parameter gradient (under an
+    /// identical cross-entropy loss) to `1e-4`.
+    fn assert_engines_agree(g: &HeteroGraph, cfg: WidenConfig, states: &[NodeState]) {
+        let model = WidenModel::for_graph(g, cfg);
+        let refs: Vec<&NodeState> = states.iter().collect();
+        let labels: Vec<usize> = (0..states.len()).map(|i| i % 2).collect();
+
+        // Oracle: per-node forward passes, logits vstacked for the loss.
+        let mut tape_a = Tape::new();
+        let pv_a = model.insert_params(&mut tape_a);
+        let masks = MaskCache::new();
+        let mut logit_vars = Vec::new();
+        let mut emb_rows = Vec::new();
+        let mut wide_rows: Vec<Option<Vec<f32>>> = Vec::new();
+        let mut deep_rows: Vec<Vec<Vec<f32>>> = Vec::new();
+        for state in &refs {
+            let fw = model.forward_node(&mut tape_a, &pv_a, g, state, &masks);
+            logit_vars.push(fw.logits);
+            emb_rows.push(tape_a.value(fw.embedding).row(0).to_vec());
+            wide_rows.push(fw.wide_attention.map(|v| tape_a.value(v).row(0).to_vec()));
+            deep_rows.push(
+                fw.deep
+                    .iter()
+                    .map(|d| tape_a.value(d.attention).row(0).to_vec())
+                    .collect(),
+            );
+        }
+        let stacked = tape_a.vstack(&logit_vars);
+        let loss_a = tape_a.softmax_cross_entropy(stacked, &labels);
+        tape_a.backward(loss_a);
+
+        // Batched engine under the identical loss.
+        let mut tape_b = Tape::new();
+        let pv_b = model.insert_params(&mut tape_b);
+        let fw = model.forward_batch(&mut tape_b, &pv_b, g, &refs);
+        let loss_b = tape_b.softmax_cross_entropy(fw.logits, &labels);
+        tape_b.backward(loss_b);
+
+        let logits_a = tape_a.value(stacked);
+        let logits_b = tape_b.value(fw.logits);
+        assert!(
+            logits_a.max_abs_diff(logits_b) <= 1e-5,
+            "logits diverge: {}",
+            logits_a.max_abs_diff(logits_b)
+        );
+        let emb_b = tape_b.value(fw.embeddings);
+        for (i, row) in emb_rows.iter().enumerate() {
+            for (j, (a, b)) in row.iter().zip(emb_b.row(i)).enumerate() {
+                assert!((a - b).abs() <= 1e-5, "embedding [{i},{j}]: {a} vs {b}");
+            }
+        }
+
+        // The downsampling inputs — attention rows — must agree too.
+        for (i, want) in wide_rows.iter().enumerate() {
+            match (want, &fw.wide) {
+                (Some(row), Some(wb)) => {
+                    let got = &tape_b.value(wb.attention).row(i)[..wb.lens[i]];
+                    assert_eq!(row.len(), got.len());
+                    for (a, b) in row.iter().zip(got) {
+                        assert!((a - b).abs() <= 1e-5, "wide attn: {a} vs {b}");
+                    }
+                }
+                (None, None) => {}
+                _ => panic!("wide branch presence differs between engines"),
+            }
+        }
+        if let Some(db) = &fw.deep {
+            for (i, walks) in deep_rows.iter().enumerate() {
+                let (first, count) = db.node_walks[i];
+                assert_eq!(walks.len(), count);
+                for (phi, row) in walks.iter().enumerate() {
+                    let (_, wlen) = db.walk_spans[first + phi];
+                    let got = &tape_b.value(db.attention).row(first + phi)[..wlen];
+                    assert_eq!(row.len(), got.len());
+                    for (a, b) in row.iter().zip(got) {
+                        assert!((a - b).abs() <= 1e-5, "deep attn: {a} vs {b}");
+                    }
+                }
+            }
+        }
+
+        let mut checked = 0;
+        for ((id, var_a), (_, var_b)) in pv_a
+            .pairs(model.ids())
+            .into_iter()
+            .zip(pv_b.pairs(model.ids()))
+        {
+            let name = model.params.name(id);
+            let shape = model.params.get(id).shape();
+            let zero = Tensor::zeros(shape.0, shape.1);
+            let ga = tape_a.grad(var_a).unwrap_or(&zero);
+            let gb = tape_b.grad(var_b).unwrap_or(&zero);
+            let diff = ga.max_abs_diff(gb);
+            assert!(diff <= 1e-4, "gradient for `{name}` diverges by {diff}");
+            checked += 1;
+        }
+        assert_eq!(checked, 14);
+    }
+
+    fn sampled_states(g: &HeteroGraph, model_cfg: &WidenConfig, seed: u64) -> Vec<NodeState> {
+        let model = WidenModel::for_graph(g, model_cfg.clone());
+        (0..g.num_nodes() as u32)
+            .map(|v| model.sample_state(g, v, seed))
+            .collect()
+    }
+
+    #[test]
+    fn batched_engine_matches_per_node_oracle_full_variant() {
+        let g = toy_graph();
+        let cfg = small_config();
+        let states = sampled_states(&g, &cfg, 7);
+        assert_engines_agree(&g, cfg, &states);
+    }
+
+    #[test]
+    fn batched_engine_matches_oracle_without_successive_attention() {
+        let g = toy_graph();
+        let cfg = small_config().with_variant(Variant::no_successive_attention());
+        let states = sampled_states(&g, &cfg, 8);
+        assert_engines_agree(&g, cfg, &states);
+    }
+
+    #[test]
+    fn batched_engine_matches_oracle_wide_only_and_deep_only() {
+        let g = toy_graph();
+        for variant in [Variant::no_deep(), Variant::no_wide()] {
+            let cfg = small_config().with_variant(variant);
+            let states = sampled_states(&g, &cfg, 9);
+            assert_engines_agree(&g, cfg, &states);
+        }
+    }
+
+    #[test]
+    fn batched_engine_matches_oracle_with_relay_overrides() {
+        let g = toy_graph();
+        let cfg = small_config();
+        let mut states = sampled_states(&g, &cfg, 10);
+        // Install a relay override (Eq. 8 outcome) on every walk that has
+        // at least one hop, like downsampling would.
+        let d = g.feature_dim().max(cfg.d);
+        let mut installed = 0;
+        for state in &mut states {
+            for deep in &mut state.deeps {
+                if !deep.is_empty() {
+                    let relay: Vec<f32> = (0..cfg.d).map(|k| 0.1 + k as f32 / d as f32).collect();
+                    deep.edge_override[0] = Some(relay);
+                    installed += 1;
+                }
+            }
+        }
+        assert!(installed > 0, "toy graph must produce at least one walk");
+        assert_engines_agree(&g, cfg, &states);
     }
 }

@@ -5,6 +5,7 @@
 //! the target. The pack matrix stacks the target's own self-loop pack
 //! `m_t = v_t ⊙ e_{t,t}` on top of all neighbour packs.
 
+use rustc_hash::FxHashMap;
 use widen_graph::HeteroGraph;
 use widen_tensor::{Tape, Tensor, Var};
 
@@ -110,6 +111,209 @@ pub fn pack_deep(
     Packed { packs, edges }
 }
 
+/// Batched `PACK` output: one flat pack/edge matrix for many wide sets or
+/// deep walks, plus the per-unit row spans needed to address it.
+///
+/// A pack row is fully determined by its `(node, edge-vocab-row)` pair, and
+/// those pairs repeat heavily inside a chunk, so the batch is assembled in
+/// two layers: `unique_packs` holds each distinct pair once, and the flat
+/// matrices are cheap [`Tape::gather_rows`] views of it. Projection matmuls
+/// should run on `unique_packs` (via [`PackedBatch::project`]) — that is
+/// where the batched engine's FLOP savings over the per-node path live.
+pub struct PackedBatch {
+    /// Flat pack matrix (`(Σ(|set_i|+1)) × d`); each unit's rows are
+    /// consecutive with its own `m_t` first.
+    pub packs: Var,
+    /// Flat edge-representation matrix (same shape); unit-local row `s+1`
+    /// is the edge representation of local position `s` (Eq. 8 relays).
+    pub edges: Var,
+    /// Deduplicated pack matrix (`U × d`): one row per distinct
+    /// `(node, edge-row)` pair (relay-overridden rows are never shared).
+    pub unique_packs: Var,
+    /// Flat row → `unique_packs` row: `packs[r] == unique_packs[flat_index[r]]`.
+    pub flat_index: Vec<usize>,
+    /// Per-unit `(start, len)` row ranges into `packs` / `edges`. This is
+    /// the node→row-range (or walk→row-range) map that keeps downsampling
+    /// outcomes extractable per node from the batched tensors.
+    pub spans: Vec<(usize, usize)>,
+}
+
+impl PackedBatch {
+    /// Projects the packs through `weight` (`d × d'`), computing the matmul
+    /// once per unique row and broadcasting back to the flat layout.
+    pub fn project(&self, tape: &mut Tape, weight: Var) -> Var {
+        let unique = tape.matmul(self.unique_packs, weight);
+        tape.gather_rows(unique, &self.flat_index)
+    }
+}
+
+/// Batched `PACK∘` (Eq. 1): assembles the wide pack matrices of a whole
+/// chunk into one flat tensor — a single feature gather and one `G_node`
+/// projection matmul over the *unique* `(node, edge-row)` pairs, then a
+/// cheap row gather back into the flat layout.
+pub fn pack_wide_batch(
+    tape: &mut Tape,
+    graph: &HeteroGraph,
+    wides: &[&WideSet],
+    g_node: Var,
+    g_edge: Var,
+    num_edge_types: usize,
+) -> PackedBatch {
+    let total: usize = wides.iter().map(|w| w.entries.len() + 1).sum();
+    let mut ids = Vec::with_capacity(total);
+    let mut edge_rows = Vec::with_capacity(total);
+    let mut spans = Vec::with_capacity(wides.len());
+    for wide in wides {
+        spans.push((ids.len(), wide.entries.len() + 1));
+        ids.push(wide.target);
+        edge_rows.push(self_loop_index(
+            num_edge_types,
+            graph.node_type(wide.target).0,
+        ));
+        for e in &wide.entries {
+            ids.push(e.node);
+            edge_rows.push(edge_index(e.edge_type));
+        }
+    }
+    assemble_batch(tape, graph, &ids, &edge_rows, &[], g_node, g_edge, spans)
+}
+
+/// Batched `PACK▷` (Eq. 2) over many walks (typically walk-major, grouped
+/// by target node). Relay-edge overrides are honoured without splitting
+/// the batch: overridden rows are masked out of the `G_edge` gather (so no
+/// gradient reaches the table there) and re-filled from a constant tensor
+/// holding the relay vectors.
+pub fn pack_deep_batch(
+    tape: &mut Tape,
+    graph: &HeteroGraph,
+    deeps: &[&DeepState],
+    g_node: Var,
+    g_edge: Var,
+    num_edge_types: usize,
+) -> PackedBatch {
+    let total: usize = deeps.iter().map(|d| d.len() + 1).sum();
+    let mut ids = Vec::with_capacity(total);
+    let mut edge_rows = Vec::with_capacity(total);
+    let mut spans = Vec::with_capacity(deeps.len());
+    let mut overrides: Vec<(usize, &[f32])> = Vec::new();
+    for deep in deeps {
+        spans.push((ids.len(), deep.len() + 1));
+        ids.push(deep.set.target);
+        edge_rows.push(self_loop_index(
+            num_edge_types,
+            graph.node_type(deep.set.target).0,
+        ));
+        for (s, entry) in deep.set.entries.iter().enumerate() {
+            if let Some(relay) = &deep.edge_override[s] {
+                overrides.push((ids.len(), relay));
+                // The gathered row is zero-masked below; index 0 is a
+                // placeholder keeping the gather rectangular.
+                edge_rows.push(0);
+            } else {
+                edge_rows.push(edge_index(entry.edge_type));
+            }
+            ids.push(entry.node);
+        }
+    }
+
+    assemble_batch(
+        tape, graph, &ids, &edge_rows, &overrides, g_node, g_edge, spans,
+    )
+}
+
+/// Shared batch assembly with two-level deduplication.
+///
+/// Flat row `r` is the pack `v(ids[r]) ⊙ e(edge_rows[r])`, so it is fully
+/// determined by its `(node, edge-row)` pair — except at relay-override
+/// positions, whose edge vectors are walk-specific constants. The assembler
+/// therefore computes each distinct pair once (`unique_packs`), gives every
+/// override position a private unique row, and reconstitutes the flat
+/// matrices with [`Tape::gather_rows`]. Node features repeat even more than
+/// pairs do, so the `d₀`-wide `G_node` projection additionally runs on the
+/// distinct node set only. Every flat row is a bitwise copy of the value the
+/// undeduplicated assembly would produce: identical inputs flow through the
+/// identical kernels, just once per distinct row.
+#[allow(clippy::too_many_arguments)]
+fn assemble_batch(
+    tape: &mut Tape,
+    graph: &HeteroGraph,
+    ids: &[u32],
+    edge_rows: &[usize],
+    overrides: &[(usize, &[f32])],
+    g_node: Var,
+    g_edge: Var,
+    spans: Vec<(usize, usize)>,
+) -> PackedBatch {
+    let override_at: FxHashMap<usize, &[f32]> =
+        overrides.iter().map(|&(row, relay)| (row, relay)).collect();
+
+    let mut slot: FxHashMap<(u32, usize), usize> = FxHashMap::default();
+    let mut u_ids: Vec<u32> = Vec::new();
+    let mut u_edge_rows: Vec<usize> = Vec::new();
+    let mut u_overrides: Vec<(usize, &[f32])> = Vec::new();
+    let mut flat_index: Vec<usize> = Vec::with_capacity(ids.len());
+    for (r, (&id, &edge_row)) in ids.iter().zip(edge_rows).enumerate() {
+        let u = if let Some(&relay) = override_at.get(&r) {
+            let u = u_ids.len();
+            u_ids.push(id);
+            u_edge_rows.push(edge_row);
+            u_overrides.push((u, relay));
+            u
+        } else {
+            *slot.entry((id, edge_row)).or_insert_with(|| {
+                u_ids.push(id);
+                u_edge_rows.push(edge_row);
+                u_ids.len() - 1
+            })
+        };
+        flat_index.push(u);
+    }
+    let unique = u_ids.len();
+
+    let mut node_slot: FxHashMap<u32, usize> = FxHashMap::default();
+    let mut unique_nodes: Vec<u32> = Vec::new();
+    let node_of: Vec<usize> = u_ids
+        .iter()
+        .map(|&id| {
+            *node_slot.entry(id).or_insert_with(|| {
+                unique_nodes.push(id);
+                unique_nodes.len() - 1
+            })
+        })
+        .collect();
+
+    let x = tape.leaf(gather_features(graph, &unique_nodes));
+    let projected = tape.matmul(x, g_node);
+    let v = tape.gather_rows(projected, &node_of);
+
+    let gathered = tape.gather_rows(g_edge, &u_edge_rows);
+    let edges_unique = if u_overrides.is_empty() {
+        gathered
+    } else {
+        let d = tape.value(gathered).cols();
+        let mut mask = Tensor::full(unique, d, 1.0);
+        let mut constants = Tensor::zeros(unique, d);
+        for &(row, relay) in &u_overrides {
+            mask.row_mut(row).fill(0.0);
+            constants.set_row(row, relay);
+        }
+        let mask = tape.leaf(mask);
+        let constants = tape.leaf(constants);
+        let kept = tape.mul(gathered, mask);
+        tape.add(kept, constants)
+    };
+    let unique_packs = tape.mul(v, edges_unique);
+    let packs = tape.gather_rows(unique_packs, &flat_index);
+    let edges = tape.gather_rows(edges_unique, &flat_index);
+    PackedBatch {
+        packs,
+        edges,
+        unique_packs,
+        flat_index,
+        spans,
+    }
+}
+
 fn pack_from_ids(
     tape: &mut Tape,
     graph: &HeteroGraph,
@@ -166,7 +370,10 @@ mod tests {
         let g = toy_graph();
         let wide = WideSet {
             target: 0,
-            entries: vec![WideEntry { node: 1, edge_type: 0 }],
+            entries: vec![WideEntry {
+                node: 1,
+                edge_type: 0,
+            }],
         };
         let mut tape = Tape::new();
         // d = 2, identity node projection, distinguishable edge rows.
@@ -192,8 +399,14 @@ mod tests {
         let set = DeepSet {
             target: 0,
             entries: vec![
-                DeepEntry { node: 1, edge_type: 0 },
-                DeepEntry { node: 2, edge_type: 0 },
+                DeepEntry {
+                    node: 1,
+                    edge_type: 0,
+                },
+                DeepEntry {
+                    node: 2,
+                    edge_type: 0,
+                },
             ],
         };
         let mut deep = DeepState::new(set);
@@ -219,9 +432,126 @@ mod tests {
     }
 
     #[test]
+    fn wide_batch_matches_per_node_packs() {
+        let g = toy_graph();
+        let w0 = WideSet {
+            target: 0,
+            entries: vec![
+                WideEntry {
+                    node: 1,
+                    edge_type: 0,
+                },
+                WideEntry {
+                    node: 2,
+                    edge_type: 0,
+                },
+            ],
+        };
+        let w1 = WideSet {
+            target: 2,
+            entries: vec![],
+        };
+        let mut tape = Tape::new();
+        let g_node = tape.leaf(Tensor::eye(2));
+        let g_edge = tape.leaf(Tensor::from_rows(&[
+            &[10.0, 10.0],
+            &[1.0, 1.0],
+            &[2.0, 2.0],
+        ]));
+        let batch = pack_wide_batch(&mut tape, &g, &[&w0, &w1], g_node, g_edge, 1);
+        assert_eq!(batch.spans, vec![(0, 3), (3, 1)]);
+        let flat = tape.value(batch.packs).clone();
+        assert_eq!(flat.shape(), (4, 2));
+        for (wide, &(start, len)) in [&w0, &w1].iter().zip(&batch.spans) {
+            let single = pack_wide(&mut tape, &g, wide, g_node, g_edge, 1);
+            let m = tape.value(single.packs);
+            assert_eq!(m.rows(), len);
+            for r in 0..len {
+                assert_eq!(flat.row(start + r), m.row(r), "row {r} of span {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_batch_matches_per_walk_packs_with_overrides() {
+        let g = toy_graph();
+        let set = |entries: Vec<DeepEntry>| DeepSet { target: 0, entries };
+        let mut d0 = DeepState::new(set(vec![
+            DeepEntry {
+                node: 1,
+                edge_type: 0,
+            },
+            DeepEntry {
+                node: 2,
+                edge_type: 0,
+            },
+        ]));
+        d0.edge_override[1] = Some(vec![100.0, 100.0]);
+        let d1 = DeepState::new(set(vec![DeepEntry {
+            node: 2,
+            edge_type: 0,
+        }]));
+
+        let mut tape = Tape::new();
+        let g_node = tape.leaf(Tensor::eye(2));
+        let g_edge = tape.leaf(Tensor::from_rows(&[
+            &[10.0, 10.0],
+            &[1.0, 1.0],
+            &[2.0, 2.0],
+        ]));
+        let batch = pack_deep_batch(&mut tape, &g, &[&d0, &d1], g_node, g_edge, 1);
+        assert_eq!(batch.spans, vec![(0, 3), (3, 2)]);
+        let flat_packs = tape.value(batch.packs).clone();
+        let flat_edges = tape.value(batch.edges).clone();
+        for (deep, &(start, len)) in [&d0, &d1].iter().zip(&batch.spans) {
+            let single = pack_deep(&mut tape, &g, deep, g_node, g_edge, 1);
+            let m = tape.value(single.packs);
+            let e = tape.value(single.edges);
+            for r in 0..len {
+                assert_eq!(flat_packs.row(start + r), m.row(r));
+                assert_eq!(flat_edges.row(start + r), e.row(r));
+            }
+        }
+        // The override row shows the relay vector, not the table row.
+        assert_eq!(flat_edges.row(2), &[100.0, 100.0]);
+    }
+
+    #[test]
+    fn deep_batch_override_blocks_gradient_to_edge_table() {
+        let g = toy_graph();
+        let mut d0 = DeepState::new(DeepSet {
+            target: 0,
+            entries: vec![DeepEntry {
+                node: 1,
+                edge_type: 0,
+            }],
+        });
+        d0.edge_override[0] = Some(vec![2.0, 2.0]);
+        let mut tape = Tape::new();
+        let g_node = tape.leaf(Tensor::eye(2));
+        let g_edge = tape.leaf(Tensor::from_rows(&[
+            &[10.0, 10.0],
+            &[1.0, 1.0],
+            &[2.0, 2.0],
+        ]));
+        let batch = pack_deep_batch(&mut tape, &g, &[&d0], g_node, g_edge, 1);
+        let loss = tape.sum(batch.packs);
+        tape.backward(loss);
+        let de = tape.grad(g_edge).unwrap();
+        // Row 0 was the masked placeholder for the overridden position —
+        // no gradient may leak through it; the self-loop row (1) must
+        // still receive gradient.
+        assert_eq!(de.row(0), &[0.0, 0.0]);
+        assert!(de.row(1).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
     fn empty_sets_pack_only_the_self_message() {
         let g = toy_graph();
-        let wide = WideSet { target: 2, entries: vec![] };
+        let wide = WideSet {
+            target: 2,
+            entries: vec![],
+        };
         let mut tape = Tape::new();
         let g_node = tape.leaf(Tensor::eye(2));
         let g_edge = tape.leaf(Tensor::from_rows(&[

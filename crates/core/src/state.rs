@@ -26,7 +26,11 @@ impl DeepState {
     /// Wraps a freshly sampled walk.
     pub fn new(set: DeepSet) -> Self {
         let n = set.entries.len();
-        Self { set, edge_override: vec![None; n], prev_attention: None }
+        Self {
+            set,
+            edge_override: vec![None; n],
+            prev_attention: None,
+        }
     }
 
     /// Applies the pruning bookkeeping for local index `s'` *after* the
@@ -94,7 +98,10 @@ mod tests {
         WideSet {
             target: 0,
             entries: (0..n)
-                .map(|i| WideEntry { node: i as u32 + 1, edge_type: 0 })
+                .map(|i| WideEntry {
+                    node: i as u32 + 1,
+                    edge_type: 0,
+                })
                 .collect(),
         }
     }
@@ -103,7 +110,10 @@ mod tests {
         DeepSet {
             target: 0,
             entries: (0..n)
-                .map(|i| DeepEntry { node: i as u32 + 1, edge_type: 0 })
+                .map(|i| DeepEntry {
+                    node: i as u32 + 1,
+                    edge_type: 0,
+                })
                 .collect(),
         }
     }
@@ -136,6 +146,9 @@ mod tests {
         assert!(state.prev_wide_attention.is_none());
         assert_eq!(state.deeps.len(), 2);
         assert!(state.deeps.iter().all(|d| d.prev_attention.is_none()));
-        assert!(state.deeps.iter().all(|d| d.edge_override.iter().all(Option::is_none)));
+        assert!(state
+            .deeps
+            .iter()
+            .all(|d| d.edge_override.iter().all(Option::is_none)));
     }
 }

@@ -16,8 +16,10 @@ use widen_graph::{HeteroGraph, NodeId};
 use widen_sampling::hash_seed;
 use widen_tensor::{Adam, Optimizer, Tape, Tensor};
 
+use crate::config::Execution;
 use crate::downsample::{decide, relay_edge, Decision};
-use crate::model::{MaskCache, WidenModel};
+use crate::model::{MaskCache, ParamVars, WidenModel};
+use crate::state::NodeState;
 
 /// Per-epoch training telemetry.
 #[derive(Clone, Debug, Default)]
@@ -66,7 +68,7 @@ struct DeepOutcome {
 pub struct Trainer<'g> {
     model: WidenModel,
     graph: &'g HeteroGraph,
-    states: FxHashMap<NodeId, crate::state::NodeState>,
+    states: FxHashMap<NodeId, NodeState>,
     optimizer: Adam,
 }
 
@@ -81,7 +83,12 @@ impl<'g> Trainer<'g> {
             states.insert(node, model.sample_state(graph, node, hash_seed(seed, &[1])));
         }
         let optimizer = Adam::with_lr(model.config.learning_rate, model.config.weight_decay);
-        Self { model, graph, states, optimizer }
+        Self {
+            model,
+            graph,
+            states,
+            optimizer,
+        }
     }
 
     /// Read access to the model.
@@ -143,8 +150,17 @@ impl<'g> Trainer<'g> {
                 self.graph.label(node).is_some(),
                 "training node {node} is unlabelled"
             );
-            assert!(self.states.contains_key(&node), "node {node} missing from trainer");
+            assert!(
+                self.states.contains_key(&node),
+                "node {node} missing from trainer"
+            );
         }
+
+        // One shared, read-mostly mask cache for the whole fit: every Θ is
+        // built at most once instead of once per chunk per batch per epoch.
+        // (Only the per-node oracle engine consults it; the batched engine
+        // encodes causality in its key spans.)
+        let masks = MaskCache::new();
 
         for epoch in 1..=config.epochs {
             let start = std::time::Instant::now();
@@ -154,7 +170,7 @@ impl<'g> Trainer<'g> {
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;
             for batch in order.chunks(config.batch_size) {
-                let (loss, outcomes) = self.train_batch(batch, epoch);
+                let (loss, outcomes) = self.train_batch(batch, epoch, &masks);
                 epoch_loss += loss;
                 batches += 1;
                 self.apply_outcomes(outcomes, &mut report);
@@ -182,17 +198,27 @@ impl<'g> Trainer<'g> {
 
     /// One gradient step over a batch; returns the batch loss and the
     /// downsampling outcomes to apply.
-    fn train_batch(&mut self, batch: &[NodeId], epoch: usize) -> (f64, Vec<NodeOutcome>) {
+    fn train_batch(
+        &mut self,
+        batch: &[NodeId],
+        epoch: usize,
+        masks: &MaskCache,
+    ) -> (f64, Vec<NodeOutcome>) {
         use rayon::prelude::*;
-        let chunk_size = batch.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+        let chunk_size = batch
+            .len()
+            .div_ceil(rayon::current_num_threads().max(1))
+            .max(1);
         let batch_len = batch.len();
 
         let chunk_results: Vec<ChunkResult> = batch
             .par_chunks(chunk_size)
-            .map(|chunk| self.run_chunk(chunk, epoch, batch_len))
+            .map(|chunk| self.run_chunk(chunk, epoch, batch_len, masks))
             .collect();
 
-        // Deterministic reduction in chunk order.
+        // Deterministic reduction in chunk order. Every chunk extracts its
+        // gradients from the same `ParamVars::pairs` order, which the
+        // positional zip below silently relies on — assert it in debug.
         let mut total_loss = 0.0f64;
         let mut grads: Vec<(widen_tensor::ParamId, Tensor)> = Vec::new();
         let mut outcomes = Vec::with_capacity(batch.len());
@@ -201,7 +227,12 @@ impl<'g> Trainer<'g> {
             if grads.is_empty() {
                 grads = chunk.grads;
             } else {
-                for ((_, acc), (_, g)) in grads.iter_mut().zip(&chunk.grads) {
+                debug_assert_eq!(grads.len(), chunk.grads.len());
+                for ((acc_id, acc), (g_id, g)) in grads.iter_mut().zip(&chunk.grads) {
+                    debug_assert_eq!(
+                        acc_id, g_id,
+                        "gradient reduction requires identical ParamId order across chunks"
+                    );
                     acc.add_scaled(1.0, g);
                 }
             }
@@ -211,19 +242,151 @@ impl<'g> Trainer<'g> {
         (total_loss, outcomes)
     }
 
-    /// Forward + backward over one chunk of the batch on its own tape.
-    fn run_chunk(&self, chunk: &[NodeId], epoch: usize, batch_len: usize) -> ChunkResult {
+    /// Forward + backward over one chunk of the batch on its own tape,
+    /// dispatched to the engine the config selects.
+    fn run_chunk(
+        &self,
+        chunk: &[NodeId],
+        epoch: usize,
+        batch_len: usize,
+        masks: &MaskCache,
+    ) -> ChunkResult {
+        match self.model.config.execution {
+            Execution::Batched => self.run_chunk_batched(chunk, epoch, batch_len),
+            Execution::PerNode => self.run_chunk_per_node(chunk, epoch, batch_len, masks),
+        }
+    }
+
+    /// Batched engine: one fused [`WidenModel::forward_batch`] for the whole
+    /// chunk. Downsampling still sees exactly the per-node artefacts it
+    /// needs — attention rows come out of the padded matrices via the
+    /// node→row-range maps, and relay packs/edges (Eq. 8) are read from the
+    /// flat `M▷`/`E▷` through each walk's span.
+    fn run_chunk_batched(&self, chunk: &[NodeId], epoch: usize, batch_len: usize) -> ChunkResult {
         let config = &self.model.config;
         let mut tape = Tape::new();
         let pv = self.model.insert_params(&mut tape);
-        let mut masks = MaskCache::new();
+
+        let states: Vec<&NodeState> = chunk.iter().map(|&node| &self.states[&node]).collect();
+        let labels: Vec<usize> = chunk
+            .iter()
+            .map(|&node| self.graph.label(node).expect("labelled") as usize)
+            .collect();
+        let fw = self
+            .model
+            .forward_batch(&mut tape, &pv, self.graph, &states);
+
+        let ce = tape.softmax_cross_entropy(fw.logits, &labels);
+        // Scale so that summing chunk losses yields the batch mean.
+        let weight = chunk.len() as f32 / batch_len as f32;
+        let loss = tape.scale(ce, weight);
+        tape.backward(loss);
+
+        let grads = self.extract_grads(&tape, &pv);
+
+        // Downsampling decisions (Algorithm 3 lines 9–14), computed here so
+        // the pack/edge values needed for relay edges are still on the tape.
+        let mut outcomes = Vec::with_capacity(chunk.len());
+        for (i, &node) in chunk.iter().enumerate() {
+            let state = states[i];
+            let mut rng =
+                StdRng::seed_from_u64(hash_seed(config.seed, &[3, epoch as u64, u64::from(node)]));
+
+            let (wide_attention, wide_decision) = match &fw.wide {
+                Some(wb) => {
+                    let attn = tape.value(wb.attention).row(i)[..wb.lens[i]].to_vec();
+                    let decision = decide(
+                        config.variant.wide_downsampling,
+                        &attn,
+                        state.prev_wide_attention.as_deref(),
+                        state.wide.len(),
+                        config.k_wide,
+                        config.r_wide,
+                        epoch,
+                        &mut rng,
+                    );
+                    (Some(attn), decision)
+                }
+                None => (None, Decision::Keep),
+            };
+
+            let mut deep = Vec::new();
+            if let Some(db) = &fw.deep {
+                let (first_walk, walk_count) = db.node_walks[i];
+                deep.reserve(walk_count);
+                for phi in 0..walk_count {
+                    let walk = first_walk + phi;
+                    let (wstart, wlen) = db.walk_spans[walk];
+                    let deep_state = &state.deeps[phi];
+                    let attn = tape.value(db.attention).row(walk)[..wlen].to_vec();
+                    let decision = decide(
+                        config.variant.deep_downsampling,
+                        &attn,
+                        deep_state.prev_attention.as_deref(),
+                        deep_state.len(),
+                        config.k_deep,
+                        config.r_deep,
+                        epoch,
+                        &mut rng,
+                    );
+                    let relay = match decision {
+                        Decision::Drop(s)
+                            if config.variant.relay_edges && s + 1 < deep_state.len() =>
+                        {
+                            // Eq. 8: maxpool(e_{s'+1,s'}, m_{s'}); within the
+                            // walk, pack row s+1 and edge row s+2 (row 0 is
+                            // the target's self loop) — offset by the walk's
+                            // start row in the flat matrices.
+                            let packs = tape.value(db.packs);
+                            let edges = tape.value(db.edges);
+                            let relay_vec =
+                                relay_edge(edges.row(wstart + s + 2), packs.row(wstart + s + 1));
+                            Some((s + 1, relay_vec))
+                        }
+                        _ => None,
+                    };
+                    deep.push(DeepOutcome {
+                        attention: attn,
+                        decision,
+                        relay,
+                    });
+                }
+            }
+            outcomes.push(NodeOutcome {
+                node,
+                wide_attention,
+                wide_decision,
+                deep,
+            });
+        }
+
+        ChunkResult {
+            loss: f64::from(tape.value(loss).get(0, 0)),
+            grads,
+            outcomes,
+        }
+    }
+
+    /// Per-node oracle engine: the original one-subgraph-at-a-time path.
+    fn run_chunk_per_node(
+        &self,
+        chunk: &[NodeId],
+        epoch: usize,
+        batch_len: usize,
+        masks: &MaskCache,
+    ) -> ChunkResult {
+        let config = &self.model.config;
+        let mut tape = Tape::new();
+        let pv = self.model.insert_params(&mut tape);
 
         let mut logit_vars = Vec::with_capacity(chunk.len());
         let mut labels = Vec::with_capacity(chunk.len());
         let mut forwards = Vec::with_capacity(chunk.len());
         for &node in chunk {
             let state = &self.states[&node];
-            let fw = self.model.forward_node(&mut tape, &pv, self.graph, state, &mut masks);
+            let fw = self
+                .model
+                .forward_node(&mut tape, &pv, self.graph, state, masks);
             logit_vars.push(fw.logits);
             labels.push(self.graph.label(node).expect("labelled") as usize);
             forwards.push((node, fw));
@@ -236,18 +399,7 @@ impl<'g> Trainer<'g> {
         let loss = tape.scale(ce, weight);
         tape.backward(loss);
 
-        let grads = pv
-            .pairs(self.model.ids())
-            .into_iter()
-            .map(|(id, var)| {
-                let shape = self.model.params.get(id).shape();
-                let g = tape
-                    .grad(var)
-                    .cloned()
-                    .unwrap_or_else(|| Tensor::zeros(shape.0, shape.1));
-                (id, g)
-            })
-            .collect();
+        let grads = self.extract_grads(&tape, &pv);
 
         // Downsampling decisions (Algorithm 3 lines 9–14), computed here so
         // the pack/edge values needed for relay edges are still on the tape.
@@ -290,9 +442,7 @@ impl<'g> Trainer<'g> {
                     &mut rng,
                 );
                 let relay = match decision {
-                    Decision::Drop(s)
-                        if config.variant.relay_edges && s + 1 < deep_state.len() =>
-                    {
+                    Decision::Drop(s) if config.variant.relay_edges && s + 1 < deep_state.len() => {
                         // Eq. 8: maxpool(e_{s'+1,s'}, m_{s'}); pack row s+1,
                         // edge row s+2 (row 0 is the target's self loop).
                         let packs = tape.value(dfw.packs);
@@ -302,12 +452,42 @@ impl<'g> Trainer<'g> {
                     }
                     _ => None,
                 };
-                deep.push(DeepOutcome { attention: attn, decision, relay });
+                deep.push(DeepOutcome {
+                    attention: attn,
+                    decision,
+                    relay,
+                });
             }
-            outcomes.push(NodeOutcome { node, wide_attention, wide_decision, deep });
+            outcomes.push(NodeOutcome {
+                node,
+                wide_attention,
+                wide_decision,
+                deep,
+            });
         }
 
-        ChunkResult { loss: f64::from(tape.value(loss).get(0, 0)), grads, outcomes }
+        ChunkResult {
+            loss: f64::from(tape.value(loss).get(0, 0)),
+            grads,
+            outcomes,
+        }
+    }
+
+    /// Pulls every parameter gradient off the tape in the canonical
+    /// [`ParamVars::pairs`] order (zero tensors where a parameter was
+    /// unused, e.g. ablated branches).
+    fn extract_grads(&self, tape: &Tape, pv: &ParamVars) -> Vec<(widen_tensor::ParamId, Tensor)> {
+        pv.pairs(self.model.ids())
+            .into_iter()
+            .map(|(id, var)| {
+                let shape = self.model.params.get(id).shape();
+                let g = tape
+                    .grad(var)
+                    .cloned()
+                    .unwrap_or_else(|| Tensor::zeros(shape.0, shape.1));
+                (id, g)
+            })
+            .collect()
     }
 
     /// Applies downsampling outcomes to the persistent per-node states.
@@ -512,7 +692,10 @@ mod tests {
             "should stop before the epoch cap, ran {}",
             report.epoch_losses.len()
         );
-        assert!(report.epoch_losses.len() >= 3, "patience must be exhausted first");
+        assert!(
+            report.epoch_losses.len() >= 3,
+            "patience must be exhausted first"
+        );
     }
 
     #[test]
@@ -540,16 +723,16 @@ mod tests {
         let preds_before = trained.predict(&dataset.graph, &train, 1);
 
         // A freshly initialised model differs…
-        let mut fresh = WidenModel::for_graph(
-            &dataset.graph,
-            tiny_config().with_seed(999),
-        );
+        let mut fresh = WidenModel::for_graph(&dataset.graph, tiny_config().with_seed(999));
         let preds_fresh = fresh.predict(&dataset.graph, &train, 1);
         // …until the checkpoint is restored.
         fresh.load_weights(&checkpoint);
         let preds_after = fresh.predict(&dataset.graph, &train, 1);
         assert_eq!(preds_before, preds_after);
-        assert_ne!(preds_before, preds_fresh, "seeds 0 vs 999 should disagree somewhere");
+        assert_ne!(
+            preds_before, preds_fresh,
+            "seeds 0 vs 999 should disagree somewhere"
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ use widen_graph::{HeteroGraph, NodeId};
 use widen_sampling::{hash_seed, sample_deep};
 use widen_tensor::{Adam, Optimizer, Tape};
 
+use crate::config::Execution;
 use crate::model::{MaskCache, WidenModel};
 use crate::trainer::TrainReport;
 
@@ -36,7 +37,11 @@ pub struct UnsupervisedConfig {
 
 impl Default for UnsupervisedConfig {
     fn default() -> Self {
-        Self { positive_walk_length: 3, temperature: 0.2, epochs: 10 }
+        Self {
+            positive_walk_length: 3,
+            temperature: 0.2,
+            epochs: 10,
+        }
     }
 }
 
@@ -56,11 +61,12 @@ pub fn fit_unsupervised(
     let mut report = TrainReport::default();
     let mut optimizer = Adam::with_lr(model_config.learning_rate, model_config.weight_decay);
     let mut order: Vec<NodeId> = nodes.to_vec();
+    // Shared across all epochs; only the per-node oracle engine reads it.
+    let masks = MaskCache::new();
 
     for epoch in 1..=config.epochs {
         let start = std::time::Instant::now();
-        let mut rng =
-            StdRng::seed_from_u64(hash_seed(model_config.seed, &[50, epoch as u64]));
+        let mut rng = StdRng::seed_from_u64(hash_seed(model_config.seed, &[50, epoch as u64]));
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
@@ -71,27 +77,50 @@ pub fn fit_unsupervised(
             }
             let mut tape = Tape::new();
             let pv = model.insert_params(&mut tape);
-            let mut masks = MaskCache::new();
 
-            let mut anchor_embs = Vec::with_capacity(batch.len());
-            let mut positive_embs = Vec::with_capacity(batch.len());
+            // Sample anchor/positive states first (rng order fixed), then
+            // run the engine the config selects over all of them.
+            let mut anchor_states = Vec::with_capacity(batch.len());
+            let mut positive_states = Vec::with_capacity(batch.len());
             for &u in batch {
                 let positive = sample_positive(graph, u, config.positive_walk_length, &mut rng);
-                let state_u =
-                    model.sample_state(graph, u, hash_seed(model_config.seed, &[51, epoch as u64]));
-                let state_v = model.sample_state(
+                anchor_states.push(model.sample_state(
+                    graph,
+                    u,
+                    hash_seed(model_config.seed, &[51, epoch as u64]),
+                ));
+                positive_states.push(model.sample_state(
                     graph,
                     positive,
                     hash_seed(model_config.seed, &[52, epoch as u64]),
-                );
-                let fw_u = model.forward_node(&mut tape, &pv, graph, &state_u, &mut masks);
-                let fw_v = model.forward_node(&mut tape, &pv, graph, &state_v, &mut masks);
-                anchor_embs.push(fw_u.embedding);
-                positive_embs.push(fw_v.embedding);
+                ));
             }
 
-            let z_u = tape.vstack(&anchor_embs);
-            let z_v = tape.vstack(&positive_embs);
+            let (z_u, z_v) = match model_config.execution {
+                Execution::Batched => {
+                    // One fused forward over anchors then positives; the
+                    // first `B` embedding rows are Z_u, the rest Z_v.
+                    let states: Vec<&crate::state::NodeState> =
+                        anchor_states.iter().chain(positive_states.iter()).collect();
+                    let fw = model.forward_batch(&mut tape, &pv, graph, &states);
+                    let anchor_rows: Vec<usize> = (0..batch.len()).collect();
+                    let positive_rows: Vec<usize> = (batch.len()..2 * batch.len()).collect();
+                    let z_u = tape.gather_rows(fw.embeddings, &anchor_rows);
+                    let z_v = tape.gather_rows(fw.embeddings, &positive_rows);
+                    (z_u, z_v)
+                }
+                Execution::PerNode => {
+                    let mut anchor_embs = Vec::with_capacity(batch.len());
+                    let mut positive_embs = Vec::with_capacity(batch.len());
+                    for (state_u, state_v) in anchor_states.iter().zip(&positive_states) {
+                        let fw_u = model.forward_node(&mut tape, &pv, graph, state_u, &masks);
+                        let fw_v = model.forward_node(&mut tape, &pv, graph, state_v, &masks);
+                        anchor_embs.push(fw_u.embedding);
+                        positive_embs.push(fw_v.embedding);
+                    }
+                    (tape.vstack(&anchor_embs), tape.vstack(&positive_embs))
+                }
+            };
             let sims = tape.matmul_nt(z_u, z_v);
             let scaled = tape.scale(sims, 1.0 / config.temperature);
             let labels: Vec<usize> = (0..batch.len()).collect();
@@ -157,7 +186,10 @@ mod tests {
             &mut model,
             &dataset.graph,
             &nodes[..120],
-            &UnsupervisedConfig { epochs: 6, ..Default::default() },
+            &UnsupervisedConfig {
+                epochs: 6,
+                ..Default::default()
+            },
         );
         assert_eq!(report.epoch_losses.len(), 6);
         let first = report.epoch_losses[0];
@@ -179,7 +211,10 @@ mod tests {
             &mut model,
             &dataset.graph,
             &nodes,
-            &UnsupervisedConfig { epochs: 8, ..Default::default() },
+            &UnsupervisedConfig {
+                epochs: 8,
+                ..Default::default()
+            },
         );
         let probe: Vec<u32> = nodes[..90].to_vec();
         let emb = model.embed_nodes(&dataset.graph, &probe, 3);

@@ -112,8 +112,15 @@ fn random_downsampling_ignores_kl_threshold() {
 
     let (aw, ad) = run(DownsampleStrategy::Attentive);
     let (rw, rd) = run(DownsampleStrategy::Random);
-    assert_eq!((aw, ad), (0, 0), "impossible threshold must block attentive drops");
-    assert!(rw > 0 && rd > 0, "random downsampling must drop regardless of KL");
+    assert_eq!(
+        (aw, ad),
+        (0, 0),
+        "impossible threshold must block attentive drops"
+    );
+    assert!(
+        rw > 0 && rd > 0,
+        "random downsampling must drop regardless of KL"
+    );
 }
 
 #[test]

@@ -118,7 +118,12 @@ fn build(name: &str, config: HeteroSbmConfig, seed: u64) -> Dataset {
     let graph = config.generate(seed);
     let transductive = Splits::random(&graph, 0.2, 0.1, seed ^ 0xA5A5_5A5A);
     let inductive = InductiveSplit::random(&graph, 0.2, seed ^ 0x0F0F_F0F0);
-    Dataset { name: name.to_string(), graph, transductive, inductive }
+    Dataset {
+        name: name.to_string(),
+        graph,
+        transductive,
+        inductive,
+    }
 }
 
 #[cfg(test)]
@@ -143,7 +148,10 @@ mod tests {
         assert_eq!(d.graph.num_classes(), 4);
         // Authors are labelled, not papers.
         let first_author = d.graph.labeled_nodes()[0];
-        assert_eq!(d.graph.node_type_name(d.graph.node_type(first_author)), "author");
+        assert_eq!(
+            d.graph.node_type_name(d.graph.node_type(first_author)),
+            "author"
+        );
     }
 
     #[test]

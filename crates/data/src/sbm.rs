@@ -19,7 +19,11 @@ pub struct NodeTypeSpec {
 impl NodeTypeSpec {
     /// Convenience constructor.
     pub fn new(name: &str, count: usize, labeled: bool) -> Self {
-        Self { name: name.to_string(), count, labeled }
+        Self {
+            name: name.to_string(),
+            count,
+            labeled,
+        }
     }
 }
 
@@ -43,7 +47,13 @@ pub struct EdgeTypeSpec {
 impl EdgeTypeSpec {
     /// Convenience constructor.
     pub fn new(name: &str, src: usize, dst: usize, mean_degree: f32, homophily: f32) -> Self {
-        Self { name: name.to_string(), src, dst, mean_degree, homophily }
+        Self {
+            name: name.to_string(),
+            src,
+            dst,
+            mean_degree,
+            homophily,
+        }
     }
 }
 
@@ -276,7 +286,10 @@ mod tests {
         // Most subjects should have a clearly dominant class.
         let mut dominant = 0usize;
         let mut total = 0usize;
-        for counts in subject_class_counts.iter().filter(|c| c.iter().sum::<usize>() >= 3) {
+        for counts in subject_class_counts
+            .iter()
+            .filter(|c| c.iter().sum::<usize>() >= 3)
+        {
             total += 1;
             let sum: usize = counts.iter().sum();
             let max = *counts.iter().max().unwrap();

@@ -69,7 +69,10 @@ impl InductiveSplit {
         let mut rng = StdRng::seed_from_u64(seed);
         labeled.shuffle(&mut rng);
         let n_test = (labeled.len() as f64 * test_frac).round() as usize;
-        assert!(n_test > 0 && n_test < labeled.len(), "degenerate inductive split");
+        assert!(
+            n_test > 0 && n_test < labeled.len(),
+            "degenerate inductive split"
+        );
         let test = labeled[..n_test].to_vec();
         let train = labeled[n_test..].to_vec();
         Self { train, test }

@@ -20,7 +20,9 @@ pub fn subsample_nodes(graph: &HeteroGraph, ratio: f64, seed: u64) -> InducedSub
     for t in 0..graph.num_node_types() {
         let mut nodes = graph.nodes_of_type(widen_graph::NodeTypeId(t as u16));
         nodes.shuffle(&mut rng);
-        let take = ((nodes.len() as f64 * ratio).round() as usize).max(1).min(nodes.len());
+        let take = ((nodes.len() as f64 * ratio).round() as usize)
+            .max(1)
+            .min(nodes.len());
         keep.extend_from_slice(&nodes[..take]);
     }
     keep.sort_unstable();

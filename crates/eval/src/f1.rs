@@ -36,7 +36,10 @@ pub fn macro_f1(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> f64 {
     let mut total = 0.0;
     for (c, row) in m.iter().enumerate() {
         let tp = row[c] as f64;
-        let fp: f64 = (0..num_classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
+        let fp: f64 = (0..num_classes)
+            .filter(|&t| t != c)
+            .map(|t| m[t][c] as f64)
+            .sum();
         let fn_: f64 = row
             .iter()
             .enumerate()

@@ -95,12 +95,7 @@ mod tests {
 
     #[test]
     fn swapped_labels_score_negative() {
-        let pts = [
-            [0.0f32, 0.0],
-            [0.1, 0.0],
-            [10.0, 0.0],
-            [10.1, 0.0],
-        ];
+        let pts = [[0.0f32, 0.0], [0.1, 0.0], [10.0, 0.0], [10.1, 0.0]];
         let rows: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
         let t = Tensor::from_rows(&rows);
         // Deliberately mis-assign: pair each point with the far cluster.

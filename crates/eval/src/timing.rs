@@ -21,7 +21,10 @@ impl Default for Stopwatch {
 impl Stopwatch {
     /// A stopped stopwatch with no laps.
     pub fn new() -> Self {
-        Self { laps: Vec::new(), current: None }
+        Self {
+            laps: Vec::new(),
+            current: None,
+        }
     }
 
     /// Starts (or restarts) the current lap.
@@ -88,7 +91,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64, f64) {
     assert!(sxx > 0.0, "x values are constant");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     (slope, intercept, r2)
 }
 

@@ -68,14 +68,22 @@ pub fn tsne(data: &Tensor, config: &TsneConfig) -> Tensor {
     // PCA init (scaled small, as in the reference implementation).
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut y = pca_2d(data, &mut rng);
-    let scale = 1e-2 / y.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1e-6);
+    let scale = 1e-2
+        / y.as_slice()
+            .iter()
+            .fold(0.0f32, |m, v| m.max(v.abs()))
+            .max(1e-6);
     y.scale_inplace(scale);
 
     let mut velocity = vec![0.0f64; n * 2];
     let mut gains = vec![1.0f64; n * 2];
 
     for iter in 0..config.iterations {
-        let exaggeration = if iter < config.exaggeration_iters { 4.0 } else { 1.0 };
+        let exaggeration = if iter < config.exaggeration_iters {
+            4.0
+        } else {
+            1.0
+        };
         let momentum = if iter < 250 { 0.5 } else { 0.8 };
 
         // Low-dimensional affinities (Student-t kernel).
@@ -120,8 +128,7 @@ pub fn tsne(data: &Tensor, config: &TsneConfig) -> Tensor {
                 } else {
                     gains[idx] + 0.2
                 };
-                velocity[idx] =
-                    momentum * velocity[idx] - config.learning_rate * gains[idx] * g;
+                velocity[idx] = momentum * velocity[idx] - config.learning_rate * gains[idx] * g;
             }
         }
         for i in 0..n {
@@ -194,10 +201,18 @@ fn calibrate(d2: &[f64], perplexity: f64) -> Vec<f64> {
             }
             if diff > 0.0 {
                 beta_min = beta;
-                beta = if beta_max.is_infinite() { beta * 2.0 } else { (beta + beta_max) / 2.0 };
+                beta = if beta_max.is_infinite() {
+                    beta * 2.0
+                } else {
+                    (beta + beta_max) / 2.0
+                };
             } else {
                 beta_max = beta;
-                beta = if beta_min.is_infinite() { beta / 2.0 } else { (beta + beta_min) / 2.0 };
+                beta = if beta_min.is_infinite() {
+                    beta / 2.0
+                } else {
+                    (beta + beta_min) / 2.0
+                };
             }
         }
         let mut sum = 0.0f64;
@@ -251,7 +266,9 @@ fn pca_2d(data: &Tensor, rng: &mut StdRng) -> Tensor {
 
     let mut components: Vec<Vec<f64>> = Vec::new();
     for _ in 0..2 {
-        let mut v: Vec<f64> = (0..d).map(|_| rand::Rng::gen_range(rng, -1.0..1.0)).collect();
+        let mut v: Vec<f64> = (0..d)
+            .map(|_| rand::Rng::gen_range(rng, -1.0..1.0))
+            .collect();
         for _ in 0..100 {
             // Deflate previously found components.
             for c in &components {
@@ -322,7 +339,10 @@ mod tests {
     #[test]
     fn tsne_preserves_blob_structure() {
         let (data, labels) = blobs(20, 1);
-        let config = TsneConfig { iterations: 250, ..TsneConfig::default() };
+        let config = TsneConfig {
+            iterations: 250,
+            ..TsneConfig::default()
+        };
         let y = tsne(&data, &config);
         assert_eq!(y.shape(), (60, 2));
         assert!(y.all_finite());
@@ -334,7 +354,10 @@ mod tests {
     #[test]
     fn tsne_is_deterministic_for_fixed_seed() {
         let (data, _) = blobs(8, 2);
-        let config = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        let config = TsneConfig {
+            iterations: 50,
+            ..TsneConfig::default()
+        };
         let a = tsne(&data, &config);
         let b = tsne(&data, &config);
         assert!(a.max_abs_diff(&b) == 0.0);

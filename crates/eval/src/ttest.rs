@@ -39,12 +39,20 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> TTestResult {
     let df = n - 1;
     if var == 0.0 {
         let p = if mean == 0.0 { 1.0 } else { 0.0 };
-        return TTestResult { t: if mean == 0.0 { 0.0 } else { f64::INFINITY }, df, p_value: p };
+        return TTestResult {
+            t: if mean == 0.0 { 0.0 } else { f64::INFINITY },
+            df,
+            p_value: p,
+        };
     }
     let se = (var / n as f64).sqrt();
     let t = mean / se;
     let p_value = 2.0 * student_t_sf(t.abs(), df as f64);
-    TTestResult { t, df, p_value: p_value.clamp(0.0, 1.0) }
+    TTestResult {
+        t,
+        df,
+        p_value: p_value.clamp(0.0, 1.0),
+    }
 }
 
 /// Survival function `P(T > t)` of Student's t with `df` degrees of freedom,

@@ -137,9 +137,8 @@ impl GraphBuilder {
 
         // Expand to directed half-edges, dedup on (src, dst, type).
         let mut seen: FxHashSet<(NodeId, NodeId, u16)> = FxHashSet::default();
-        let mut half: Vec<(NodeId, NodeId, u16)> = Vec::with_capacity(
-            self.edges.len() * if self.undirected { 2 } else { 1 },
-        );
+        let mut half: Vec<(NodeId, NodeId, u16)> =
+            Vec::with_capacity(self.edges.len() * if self.undirected { 2 } else { 1 });
         for &(a, b, t) in &self.edges {
             if seen.insert((a, b, t)) {
                 half.push((a, b, t));
@@ -187,11 +186,8 @@ mod tests {
 
     fn tiny() -> HeteroGraph {
         // author0 — paper1 — conf2, author3 — paper1
-        let mut b = GraphBuilder::new(
-            &["author", "paper", "conf"],
-            &["writes", "appears-in"],
-        )
-        .with_classes(2);
+        let mut b = GraphBuilder::new(&["author", "paper", "conf"], &["writes", "appears-in"])
+            .with_classes(2);
         let author = b.node_type("author");
         let paper = b.node_type("paper");
         let conf = b.node_type("conf");

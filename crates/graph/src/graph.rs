@@ -203,8 +203,16 @@ impl HeteroGraph {
     pub fn validate(&self) {
         let n = self.num_nodes();
         assert_eq!(self.indptr.len(), n + 1, "indptr length");
-        assert_eq!(self.neighbors.len(), self.edge_types.len(), "parallel arrays");
-        assert_eq!(*self.indptr.last().unwrap(), self.neighbors.len(), "indptr tail");
+        assert_eq!(
+            self.neighbors.len(),
+            self.edge_types.len(),
+            "parallel arrays"
+        );
+        assert_eq!(
+            *self.indptr.last().unwrap(),
+            self.neighbors.len(),
+            "indptr tail"
+        );
         assert_eq!(self.features.rows(), n, "feature rows");
         assert_eq!(self.labels.len(), n, "label rows");
         for w in self.indptr.windows(2) {
@@ -214,10 +222,16 @@ impl HeteroGraph {
             assert!((u as usize) < n, "neighbour in range");
         }
         for &t in &self.node_types {
-            assert!((t as usize) < self.node_type_names.len(), "node type in range");
+            assert!(
+                (t as usize) < self.node_type_names.len(),
+                "node type in range"
+            );
         }
         for &t in &self.edge_types {
-            assert!((t as usize) < self.edge_type_names.len(), "edge type in range");
+            assert!(
+                (t as usize) < self.edge_type_names.len(),
+                "edge type in range"
+            );
         }
         for l in self.labels.iter().flatten() {
             assert!((*l as usize) < self.num_classes, "label in range");

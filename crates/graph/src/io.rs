@@ -53,10 +53,18 @@ impl From<std::io::Error> for GraphIoError {
 /// Propagates writer IO errors.
 pub fn write_tsv<W: Write>(graph: &HeteroGraph, mut out: W) -> Result<(), GraphIoError> {
     let node_types: Vec<String> = (0..graph.num_node_types())
-        .map(|t| graph.node_type_name(crate::NodeTypeId(t as u16)).to_string())
+        .map(|t| {
+            graph
+                .node_type_name(crate::NodeTypeId(t as u16))
+                .to_string()
+        })
         .collect();
     let edge_types: Vec<String> = (0..graph.num_edge_types())
-        .map(|t| graph.edge_type_name(crate::EdgeTypeId(t as u16)).to_string())
+        .map(|t| {
+            graph
+                .edge_type_name(crate::EdgeTypeId(t as u16))
+                .to_string()
+        })
         .collect();
     writeln!(out, "#node_types\t{}", node_types.join("\t"))?;
     writeln!(out, "#edge_types\t{}", edge_types.join("\t"))?;
@@ -122,9 +130,8 @@ pub fn read_tsv<R: BufRead>(reader: R) -> Result<HeteroGraph, GraphIoError> {
                     if node_types.is_empty() || edge_types.is_empty() {
                         return Err(parse(line_no, "headers must precede nodes"));
                     }
-                    builder = Some(
-                        GraphBuilder::new(&node_types, &edge_types).with_classes(classes),
-                    );
+                    builder =
+                        Some(GraphBuilder::new(&node_types, &edge_types).with_classes(classes));
                 }
                 let b = builder.as_mut().expect("initialised above");
                 if fields.len() != 5 {

@@ -49,7 +49,10 @@ impl HeteroGraph {
         let mut old_to_new: Vec<Option<NodeId>> = vec![None; n_old];
         for (new, &old) in keep.iter().enumerate() {
             assert!((old as usize) < n_old, "keep id out of range");
-            assert!(old_to_new[old as usize].is_none(), "duplicate keep id {old}");
+            assert!(
+                old_to_new[old as usize].is_none(),
+                "duplicate keep id {old}"
+            );
             old_to_new[old as usize] = Some(new as NodeId);
         }
 
@@ -92,7 +95,10 @@ impl HeteroGraph {
         graph.validate();
         InducedSubgraph {
             graph,
-            mapping: NodeMapping { new_to_old: keep.to_vec(), old_to_new },
+            mapping: NodeMapping {
+                new_to_old: keep.to_vec(),
+                old_to_new,
+            },
         }
     }
 

@@ -70,7 +70,10 @@ pub fn sample_deep<R: Rng + ?Sized>(
         let k = rng.gen_range(0..degree);
         let next = graph.neighbors(current)[k];
         let edge_type = graph.edge_types_of(current)[k];
-        entries.push(DeepEntry { node: next, edge_type });
+        entries.push(DeepEntry {
+            node: next,
+            edge_type,
+        });
         current = next;
     }
     DeepSet { target, entries }
@@ -86,7 +89,9 @@ pub fn sample_deep_multi<R: Rng + ?Sized>(
     phi: usize,
     rng: &mut R,
 ) -> Vec<DeepSet> {
-    (0..phi).map(|_| sample_deep(graph, target, n_d, rng)).collect()
+    (0..phi)
+        .map(|_| sample_deep(graph, target, n_d, rng))
+        .collect()
 }
 
 #[cfg(test)]

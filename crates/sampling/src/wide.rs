@@ -72,18 +72,27 @@ pub fn sample_wide<R: Rng + ?Sized>(
     if degree <= n_w {
         // Take all, then top up with replacement if strictly fewer.
         for k in 0..degree {
-            entries.push(WideEntry { node: neighbors[k], edge_type: edge_types[k] });
+            entries.push(WideEntry {
+                node: neighbors[k],
+                edge_type: edge_types[k],
+            });
         }
         while entries.len() < n_w {
             let k = rng.gen_range(0..degree);
-            entries.push(WideEntry { node: neighbors[k], edge_type: edge_types[k] });
+            entries.push(WideEntry {
+                node: neighbors[k],
+                edge_type: edge_types[k],
+            });
         }
     } else {
         // Without replacement: partial Fisher–Yates over positions.
         let mut positions: Vec<usize> = (0..degree).collect();
         positions.partial_shuffle(rng, n_w);
         for &k in positions.iter().take(n_w) {
-            entries.push(WideEntry { node: neighbors[k], edge_type: edge_types[k] });
+            entries.push(WideEntry {
+                node: neighbors[k],
+                edge_type: edge_types[k],
+            });
         }
     }
     WideSet { target, entries }

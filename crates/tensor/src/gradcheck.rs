@@ -51,7 +51,10 @@ pub fn check_gradients(
         tape.value(out).get(0, 0)
     };
 
-    let mut report = GradCheckReport { max_violation: 0.0, worst: (0, 0) };
+    let mut report = GradCheckReport {
+        max_violation: 0.0,
+        worst: (0, 0),
+    };
     let mut work: Vec<Tensor> = inputs.to_vec();
     for (i, input) in inputs.iter().enumerate() {
         for e in 0..input.len() {
@@ -77,11 +80,7 @@ pub fn check_gradients(
 ///
 /// # Panics
 /// Panics with a located diagnostic on failure.
-pub fn assert_grads_close(
-    inputs: &[Tensor],
-    build: impl Fn(&mut Tape, &[Var]) -> Var,
-    tol: f32,
-) {
+pub fn assert_grads_close(inputs: &[Tensor], build: impl Fn(&mut Tape, &[Var]) -> Var, tol: f32) {
     let report = check_gradients(inputs, build, 1e-2);
     assert!(
         report.max_violation < tol,
@@ -357,7 +356,11 @@ mod tests {
     fn soft_selection_block_grads() {
         // GTN-style: softmax over channel logits gates two matrices.
         let mut r = rng();
-        let inputs = vec![randn(1, 2, &mut r), randn(3, 3, &mut r), randn(3, 3, &mut r)];
+        let inputs = vec![
+            randn(1, 2, &mut r),
+            randn(3, 3, &mut r),
+            randn(3, 3, &mut r),
+        ];
         assert_grads_close(
             &inputs,
             |t, v| {
@@ -372,6 +375,149 @@ mod tests {
                 t.sum(sq)
             },
             3e-2,
+        );
+    }
+
+    #[test]
+    fn gather_rows_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(4, 3, &mut r)];
+        assert_grads_close(
+            &inputs,
+            |t, v| {
+                // Duplicate index exercises the scatter-add accumulation.
+                let g = t.gather_rows(v[0], &[2, 0, 2, 3]);
+                let sq = t.mul(g, g);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn padded_segment_scores_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(3, 4, &mut r), randn(6, 4, &mut r)];
+        let spans: Arc<[(usize, usize)]> = Arc::from(vec![(0, 2), (2, 4), (4, 1)]);
+        assert_grads_close(
+            &inputs,
+            move |t, v| {
+                let s = t.padded_segment_scores(v[0], v[1], spans.clone());
+                let sq = t.mul(s, s);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn padded_softmax_rows_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(3, 5, &mut r)];
+        let lens: Arc<[usize]> = Arc::from(vec![5, 3, 1]);
+        assert_grads_close(
+            &inputs,
+            move |t, v| {
+                let s = t.padded_softmax_rows(v[0], lens.clone());
+                let sq = t.mul(s, s);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn segment_weighted_sum_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(2, 3, &mut r), randn(5, 4, &mut r)];
+        let spans: Arc<[(usize, usize)]> = Arc::from(vec![(0, 3), (3, 2)]);
+        assert_grads_close(
+            &inputs,
+            move |t, v| {
+                let s = t.segment_weighted_sum(v[0], v[1], spans.clone());
+                let sq = t.mul(s, s);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn segment_mean_rows_grads() {
+        let mut r = rng();
+        let inputs = vec![randn(6, 3, &mut r)];
+        // Includes an empty span (zero row, zero gradient).
+        let spans: Arc<[(usize, usize)]> = Arc::from(vec![(0, 4), (4, 0), (4, 2)]);
+        assert_grads_close(
+            &inputs,
+            move |t, v| {
+                let m = t.segment_mean_rows(v[0], spans.clone());
+                let sq = t.mul(m, m);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn batched_attention_block_grads() {
+        // The batched wide-attention block (Eq. 3) end to end: shared
+        // Q/K/V projections, ragged scores over per-node spans, padded
+        // softmax, segment-weighted value sum.
+        let mut r = rng();
+        let d = 4;
+        let inputs = vec![
+            randn(7, d, &mut r), // flat pack matrix: spans (0,3) and (3,4)
+            randn(d, d, &mut r), // W_Q
+            randn(d, d, &mut r), // W_K
+            randn(d, d, &mut r), // W_V
+        ];
+        let spans: Arc<[(usize, usize)]> = Arc::from(vec![(0, 3), (3, 4)]);
+        let lens: Arc<[usize]> = Arc::from(vec![3, 4]);
+        assert_grads_close(
+            &inputs,
+            move |t, v| {
+                let packs = v[0];
+                let m_t = t.gather_rows(packs, &[0, 3]);
+                let q = t.matmul(m_t, v[1]);
+                let k = t.matmul(packs, v[2]);
+                let scores = t.padded_segment_scores(q, k, spans.clone());
+                let scaled = t.scale(scores, 1.0 / (d as f32).sqrt());
+                let att = t.padded_softmax_rows(scaled, lens.clone());
+                let vals = t.matmul(packs, v[3]);
+                let h = t.segment_weighted_sum(att, vals, spans.clone());
+                let sq = t.mul(h, h);
+                t.sum(sq)
+            },
+            4e-2,
+        );
+    }
+
+    #[test]
+    fn causal_suffix_attention_grads() {
+        // The batched Eq. 4 layout: overlapping suffix spans — every row
+        // attends to itself and all later rows of its own walk.
+        let mut r = rng();
+        let d = 3;
+        let inputs = vec![
+            randn(4, d, &mut r),
+            randn(d, d, &mut r),
+            randn(d, d, &mut r),
+        ];
+        let spans: Arc<[(usize, usize)]> = Arc::from(vec![(0, 4), (1, 3), (2, 2), (3, 1)]);
+        let lens: Arc<[usize]> = Arc::from(vec![4, 3, 2, 1]);
+        assert_grads_close(
+            &inputs,
+            move |t, v| {
+                let q = t.matmul(v[0], v[1]);
+                let k = t.matmul(v[0], v[2]);
+                let scores = t.padded_segment_scores(q, k, spans.clone());
+                let att = t.padded_softmax_rows(scores, lens.clone());
+                let h = t.segment_weighted_sum(att, v[0], spans.clone());
+                let sq = t.mul(h, h);
+                t.sum(sq)
+            },
+            4e-2,
         );
     }
 
@@ -402,10 +548,10 @@ mod tests {
         let mut r = rng();
         let d = 4;
         let inputs = vec![
-            randn(5, d, &mut r),  // pack matrix M
-            randn(d, d, &mut r),  // W_Q
-            randn(d, d, &mut r),  // W_K
-            randn(d, d, &mut r),  // W_V
+            randn(5, d, &mut r), // pack matrix M
+            randn(d, d, &mut r), // W_Q
+            randn(d, d, &mut r), // W_K
+            randn(d, d, &mut r), // W_V
         ];
         assert_grads_close(
             &inputs,

@@ -66,6 +66,20 @@ pub enum Op {
     /// to the scalar (GTN's soft edge-type selection, HAN's semantic
     /// attention weights).
     MulScalarVar(Var, Var),
+    /// Ragged attention scores `(Q, K, spans)`: row `i` of the padded
+    /// output holds `⟨q_i, k_{start_i + j}⟩` for `j < len_i` (batched
+    /// Eq. 3/4/5 score kernel). Padding columns carry no gradient.
+    PaddedSegmentScores(Var, Var, Arc<[(usize, usize)]>),
+    /// Row-wise softmax over the first `lens[r]` columns; padding columns
+    /// are exactly zero (segment/ragged masked softmax of the batched
+    /// attention path).
+    PaddedSoftmaxRows(Var, Arc<[usize]>),
+    /// `(W, V, spans)`: per-row weighted sum `Σ_j w_{ij} · v_{start_i + j}`
+    /// of value segments (batched `attn · V`).
+    SegmentWeightedSum(Var, Var, Arc<[(usize, usize)]>),
+    /// Per-span mean of input rows (batched Φ-averaging of Eq. 7);
+    /// zero-length spans produce zero rows.
+    SegmentMeanRows(Var, Arc<[(usize, usize)]>),
 }
 
 impl Op {
@@ -92,8 +106,11 @@ impl Op {
             | Op::L2NormalizeRows(a)
             | Op::SoftmaxCrossEntropy(a, _)
             | Op::Spmm(_, a)
-            | Op::Transpose(a) => vec![*a],
+            | Op::Transpose(a)
+            | Op::PaddedSoftmaxRows(a, _)
+            | Op::SegmentMeanRows(a, _) => vec![*a],
             Op::MulScalarVar(a, s) => vec![*a, *s],
+            Op::PaddedSegmentScores(a, b, _) | Op::SegmentWeightedSum(a, b, _) => vec![*a, *b],
             Op::VStack(parts) | Op::HStack(parts) => parts.clone(),
         }
     }
@@ -303,6 +320,95 @@ pub(crate) fn backward_step(
         }
         Op::Transpose(a) => {
             let da = grad_out.transpose();
+            accumulate(grads, *a, &da);
+        }
+        Op::PaddedSegmentScores(q, k, spans) => {
+            // out[i][j] = ⟨q_i, k_{start+j}⟩ ⇒
+            //   dq_i += Σ_j g[i][j]·k_{start+j},  dk_{start+j} += g[i][j]·q_i.
+            let vq = &values[q.index()];
+            let vk = &values[k.index()];
+            let mut dq = Tensor::zeros(vq.rows(), vq.cols());
+            let mut dk = Tensor::zeros(vk.rows(), vk.cols());
+            for (i, &(start, len)) in spans.iter().enumerate() {
+                let g = grad_out.row(i);
+                let q_row = vq.row(i);
+                for (j, &gij) in g.iter().enumerate().take(len) {
+                    if gij == 0.0 {
+                        continue;
+                    }
+                    let k_row = vk.row(start + j);
+                    let dq_row = dq.row_mut(i);
+                    for c in 0..dq_row.len() {
+                        dq_row[c] += gij * k_row[c];
+                    }
+                    let dk_row = dk.row_mut(start + j);
+                    for c in 0..dk_row.len() {
+                        dk_row[c] += gij * q_row[c];
+                    }
+                }
+            }
+            accumulate(grads, *q, &dq);
+            accumulate(grads, *k, &dk);
+        }
+        Op::PaddedSoftmaxRows(a, lens) => {
+            // Softmax backward restricted to each row's valid prefix;
+            // padding columns have zero output and get zero gradient.
+            let mut da = Tensor::zeros(grad_out.rows(), grad_out.cols());
+            for (r, &len) in lens.iter().enumerate() {
+                let s = &out_value.row(r)[..len];
+                let g = &grad_out.row(r)[..len];
+                let inner: f32 = s.iter().zip(g).map(|(&si, &gi)| si * gi).sum();
+                let dr = &mut da.row_mut(r)[..len];
+                for i in 0..len {
+                    dr[i] = s[i] * (g[i] - inner);
+                }
+            }
+            accumulate(grads, *a, &da);
+        }
+        Op::SegmentWeightedSum(w, v, spans) => {
+            // out_i = Σ_j w[i][j]·v_{start+j} ⇒
+            //   dw[i][j] = ⟨g_i, v_{start+j}⟩,  dv_{start+j} += w[i][j]·g_i.
+            let vw = &values[w.index()];
+            let vv = &values[v.index()];
+            let mut dw = Tensor::zeros(vw.rows(), vw.cols());
+            let mut dv = Tensor::zeros(vv.rows(), vv.cols());
+            for (i, &(start, len)) in spans.iter().enumerate() {
+                let g = grad_out.row(i);
+                for j in 0..len {
+                    let v_row = vv.row(start + j);
+                    let mut acc = 0.0f32;
+                    for c in 0..g.len() {
+                        acc += g[c] * v_row[c];
+                    }
+                    dw.set(i, j, acc);
+                    let wij = vw.get(i, j);
+                    if wij != 0.0 {
+                        let dv_row = dv.row_mut(start + j);
+                        for c in 0..g.len() {
+                            dv_row[c] += wij * g[c];
+                        }
+                    }
+                }
+            }
+            accumulate(grads, *w, &dw);
+            accumulate(grads, *v, &dv);
+        }
+        Op::SegmentMeanRows(a, spans) => {
+            let src = &values[a.index()];
+            let mut da = Tensor::zeros(src.rows(), src.cols());
+            for (i, &(start, len)) in spans.iter().enumerate() {
+                if len == 0 {
+                    continue;
+                }
+                let scale = 1.0 / len as f32;
+                let g = grad_out.row(i);
+                for r in start..start + len {
+                    let dr = da.row_mut(r);
+                    for c in 0..g.len() {
+                        dr[c] += g[c] * scale;
+                    }
+                }
+            }
             accumulate(grads, *a, &da);
         }
         Op::MulScalarVar(a, s) => {

@@ -75,7 +75,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -89,12 +95,19 @@ pub struct Adam {
 impl Adam {
     /// Adam with the given configuration.
     pub fn new(cfg: AdamConfig) -> Self {
-        Self { cfg, state: Vec::new() }
+        Self {
+            cfg,
+            state: Vec::new(),
+        }
     }
 
     /// Adam with default moments and the given learning rate / decay.
     pub fn with_lr(lr: f32, weight_decay: f32) -> Self {
-        Self::new(AdamConfig { lr, weight_decay, ..AdamConfig::default() })
+        Self::new(AdamConfig {
+            lr,
+            weight_decay,
+            ..AdamConfig::default()
+        })
     }
 }
 

@@ -104,7 +104,11 @@ impl ParamStore {
     /// # Panics
     /// Panics if the snapshot does not match the store's layout.
     pub fn restore(&mut self, snapshot: &[Tensor]) {
-        assert_eq!(snapshot.len(), self.tensors.len(), "snapshot layout mismatch");
+        assert_eq!(
+            snapshot.len(),
+            self.tensors.len(),
+            "snapshot layout mismatch"
+        );
         for (dst, src) in self.tensors.iter_mut().zip(snapshot) {
             assert_eq!(dst.shape(), src.shape(), "snapshot shape mismatch");
             *dst = src.clone();

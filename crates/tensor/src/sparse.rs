@@ -46,7 +46,13 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// The `n × n` identity as CSR.
@@ -175,7 +181,13 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
-        CsrMatrix { rows: self.rows, cols: other.cols, indptr, indices, values }
+        CsrMatrix {
+            rows: self.rows,
+            cols: other.cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Transposed copy.
@@ -210,7 +222,10 @@ impl CsrMatrix {
     /// # Panics
     /// Panics unless square.
     pub fn gcn_normalized(&self) -> CsrMatrix {
-        assert_eq!(self.rows, self.cols, "gcn normalisation needs a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "gcn normalisation needs a square matrix"
+        );
         let n = self.rows;
         let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(self.nnz() + n);
         for r in 0..n {
@@ -297,11 +312,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn sample() -> CsrMatrix {
-        CsrMatrix::from_coo(
-            3,
-            3,
-            &[(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0), (2, 2, 4.0)],
-        )
+        CsrMatrix::from_coo(3, 3, &[(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0), (2, 2, 4.0)])
     }
 
     #[test]

@@ -181,6 +181,52 @@ impl Tape {
         self.push(Op::SelectRows(a, Arc::from(indices)), value)
     }
 
+    /// Batched embedding lookup: gathers rows `indices` of `a` (duplicates
+    /// allowed), with the gradient scatter-adding back into the source
+    /// rows. Identical semantics to [`Tape::select_rows`]; this name is
+    /// the batched-execution vocabulary's entry point (one lookup for a
+    /// whole chunk instead of one per node).
+    pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        self.select_rows(a, indices)
+    }
+
+    /// Ragged attention scores: row `i` of the padded output holds
+    /// `⟨q_i, k_{start_i + j}⟩` for `j < len_i`, where
+    /// `(start_i, len_i) = spans[i]` indexes rows of `k`. Padding columns
+    /// are zero and receive no gradient. Spans may overlap (the causal
+    /// suffix layout of Eq. 4 relies on this); gradients accumulate.
+    pub fn padded_segment_scores(&mut self, q: Var, k: Var, spans: Arc<[(usize, usize)]>) -> Var {
+        let value = self.value(q).padded_segment_scores(self.value(k), &spans);
+        self.push(Op::PaddedSegmentScores(q, k, spans), value)
+    }
+
+    /// Segment/ragged masked softmax: row-wise softmax over the first
+    /// `lens[r]` columns of a padded score matrix; padding columns of the
+    /// result are **exactly** zero (they hold no attention mass).
+    ///
+    /// # Panics
+    /// Panics if `lens.len()` differs from the row count or a length
+    /// exceeds the width.
+    pub fn padded_softmax_rows(&mut self, a: Var, lens: Arc<[usize]>) -> Var {
+        let value = self.value(a).padded_softmax_rows(&lens);
+        self.push(Op::PaddedSoftmaxRows(a, lens), value)
+    }
+
+    /// Per-row weighted sum of value segments: treating `a` as padded
+    /// attention weights, computes `out_i = Σ_j a[i][j] · v_{start_i + j}`
+    /// (the batched `attn · V` reduction).
+    pub fn segment_weighted_sum(&mut self, a: Var, v: Var, spans: Arc<[(usize, usize)]>) -> Var {
+        let value = self.value(a).segment_weighted_sum(self.value(v), &spans);
+        self.push(Op::SegmentWeightedSum(a, v, spans), value)
+    }
+
+    /// Per-span mean over rows of `a` (batched Φ-averaging); zero-length
+    /// spans yield zero rows.
+    pub fn segment_mean_rows(&mut self, a: Var, spans: Arc<[(usize, usize)]>) -> Var {
+        let value = self.value(a).segment_mean_rows(&spans);
+        self.push(Op::SegmentMeanRows(a, spans), value)
+    }
+
     /// Sum of all elements (`1 × 1`).
     pub fn sum(&mut self, a: Var) -> Var {
         let value = Tensor::from_vec(1, 1, vec![self.value(a).sum()]);

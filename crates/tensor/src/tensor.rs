@@ -29,12 +29,20 @@ impl std::fmt::Debug for Tensor {
 impl Tensor {
     /// A `rows × cols` tensor of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { data: vec![0.0; rows * cols], rows, cols }
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// A `rows × cols` tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { data: vec![value; rows * cols], rows, cols }
+        Self {
+            data: vec![value; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// A `n × n` identity matrix.
@@ -67,7 +75,11 @@ impl Tensor {
             assert_eq!(r.len(), cols, "ragged rows");
             data.extend_from_slice(r);
         }
-        Self { data, rows: rows.len(), cols }
+        Self {
+            data,
+            rows: rows.len(),
+            cols,
+        }
     }
 
     /// A `1 × n` row vector.
@@ -184,7 +196,8 @@ impl Tensor {
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -216,7 +229,8 @@ impl Tensor {
     /// avoids materialising the transpose.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_nt shape mismatch: {:?} x {:?}ᵀ",
             self.shape(),
             other.shape()
@@ -251,7 +265,8 @@ impl Tensor {
     /// This is the gradient kernel `Aᵀ · G` used throughout backward passes.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "matmul_tn shape mismatch: {:?}ᵀ x {:?}",
             self.shape(),
             other.shape()
@@ -411,9 +426,122 @@ impl Tensor {
             let mut offset = 0;
             for p in parts {
                 assert_eq!(p.rows, rows, "hstack row mismatch");
-                out.data[r * cols + offset..r * cols + offset + p.cols]
-                    .copy_from_slice(p.row(r));
+                out.data[r * cols + offset..r * cols + offset + p.cols].copy_from_slice(p.row(r));
                 offset += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Ragged attention scores against per-row key segments.
+    ///
+    /// `self` is a `B × d` query matrix; `keys` is a flat `R × d` matrix
+    /// holding the concatenated key rows of every segment. For each query
+    /// row `i` with segment `(start, len) = spans[i]`, writes
+    /// `out[i][j] = ⟨q_i, keys[start + j]⟩` for `j < len` into a padded
+    /// `B × L_max` output (`L_max = max len`, at least 1). Padding columns
+    /// are zero and carry no gradient.
+    ///
+    /// Uses the same scalar `dot` kernel as [`Tensor::matmul_nt`], so a
+    /// segment's scores are bit-identical to the per-segment `Q·Kᵀ` they
+    /// replace.
+    ///
+    /// # Panics
+    /// Panics if `spans.len() != self.rows()`, a span overruns `keys`, or
+    /// the key width differs from the query width.
+    pub fn padded_segment_scores(&self, keys: &Tensor, spans: &[(usize, usize)]) -> Tensor {
+        assert_eq!(spans.len(), self.rows, "one span per query row");
+        assert_eq!(self.cols, keys.cols, "query/key width mismatch");
+        let l_max = spans.iter().map(|&(_, len)| len).max().unwrap_or(0).max(1);
+        let mut out = Tensor::zeros(self.rows, l_max);
+        for (i, &(start, len)) in spans.iter().enumerate() {
+            assert!(start + len <= keys.rows, "span overruns key matrix");
+            let q_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate().take(len) {
+                *o = dot(q_row, keys.row(start + j));
+            }
+        }
+        out
+    }
+
+    /// Row-wise softmax over the first `lens[r]` columns of each row; the
+    /// remaining (padding) columns are **exactly** zero. A row with length
+    /// 0 is all-zero.
+    ///
+    /// Runs the same stabilised kernel as [`Tensor::softmax_rows`] on each
+    /// valid prefix, so results match an unpadded per-segment softmax
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if `lens.len() != self.rows()` or any length exceeds the
+    /// column count.
+    pub fn padded_softmax_rows(&self, lens: &[usize]) -> Tensor {
+        assert_eq!(lens.len(), self.rows, "one length per row");
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        for (r, &len) in lens.iter().enumerate() {
+            assert!(
+                len <= self.cols,
+                "row length {len} exceeds width {}",
+                self.cols
+            );
+            let valid = &mut out.row_mut(r)[..len];
+            valid.copy_from_slice(&self.row(r)[..len]);
+            softmax_inplace(valid);
+        }
+        out
+    }
+
+    /// Per-row weighted sum of a value segment: treating `self` as padded
+    /// `B × L_max` weights with per-row segments `spans` into the flat
+    /// `R × d` matrix `values`, computes
+    /// `out[i] = Σ_j self[i][j] · values[start_i + j]` (`j < len_i`).
+    ///
+    /// Accumulates with the same `axpy` kernel and segment order as the
+    /// row-wise [`Tensor::matmul`], preserving bitwise parity with the
+    /// per-segment `attn · V` products it batches.
+    ///
+    /// # Panics
+    /// Panics on span/shape mismatches.
+    pub fn segment_weighted_sum(&self, values: &Tensor, spans: &[(usize, usize)]) -> Tensor {
+        assert_eq!(spans.len(), self.rows, "one span per weight row");
+        let mut out = Tensor::zeros(self.rows, values.cols);
+        for (i, &(start, len)) in spans.iter().enumerate() {
+            assert!(len <= self.cols, "span length exceeds weight width");
+            assert!(start + len <= values.rows, "span overruns value matrix");
+            let w = &self.data[i * self.cols..i * self.cols + len];
+            let out_row = &mut out.data[i * values.cols..(i + 1) * values.cols];
+            for (j, &a) in w.iter().enumerate() {
+                if a != 0.0 {
+                    axpy(a, values.row(start + j), out_row);
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-segment mean of rows: `out[i] = mean(self[start_i .. start_i+len_i])`.
+    /// Zero-length segments produce zero rows.
+    ///
+    /// Matches the accumulate-then-scale order of the tape's `mean_rows`,
+    /// so a single-segment call reproduces it bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if a span overruns the matrix.
+    pub fn segment_mean_rows(&self, spans: &[(usize, usize)]) -> Tensor {
+        let mut out = Tensor::zeros(spans.len(), self.cols);
+        for (i, &(start, len)) in spans.iter().enumerate() {
+            if len == 0 {
+                continue;
+            }
+            assert!(start + len <= self.rows, "span overruns matrix");
+            let out_row = &mut out.data[i * self.cols..(i + 1) * self.cols];
+            for r in start..start + len {
+                axpy(1.0, self.row(r), out_row);
+            }
+            let inv = 1.0 / len as f32;
+            for x in out_row.iter_mut() {
+                *x *= inv;
             }
         }
         out
@@ -650,6 +778,66 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let a = Tensor::randn(4, 9, 1.0, &mut rng);
         assert!(a.max_abs_diff(&a.transpose().transpose()) < 1e-9);
+    }
+
+    #[test]
+    fn padded_segment_scores_match_per_segment_matmul_nt() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let q = Tensor::randn(2, 3, 1.0, &mut rng);
+        let keys = Tensor::randn(5, 3, 1.0, &mut rng);
+        let spans = [(0usize, 2usize), (2, 3)];
+        let scores = q.padded_segment_scores(&keys, &spans);
+        assert_eq!(scores.shape(), (2, 3));
+        // Row 0: keys 0..2, padding col exactly zero.
+        let q0 = Tensor::row_vector(q.row(0));
+        let k0 = keys.select_rows(&[0, 1]);
+        let expect0 = q0.matmul_nt(&k0);
+        assert_eq!(&scores.row(0)[..2], expect0.row(0));
+        assert_eq!(scores.get(0, 2), 0.0);
+        // Row 1: keys 2..5.
+        let q1 = Tensor::row_vector(q.row(1));
+        let k1 = keys.select_rows(&[2, 3, 4]);
+        let expect1 = q1.matmul_nt(&k1);
+        assert_eq!(scores.row(1), expect1.row(0));
+    }
+
+    #[test]
+    fn padded_softmax_rows_zero_mass_on_padding() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0, 99.0], &[3.0, 4.0, 5.0], &[7.0, 8.0, 9.0]]);
+        let s = t.padded_softmax_rows(&[2, 3, 0]);
+        // Valid prefixes are proper distributions.
+        assert!((s.row(0)[..2].iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!((s.row(1).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        // Padding / empty rows are exactly zero — not merely small.
+        assert_eq!(s.get(0, 2), 0.0);
+        assert_eq!(s.row(2), &[0.0, 0.0, 0.0]);
+        // Prefix softmax agrees bitwise with the unpadded kernel.
+        let full = Tensor::row_vector(&[1.0, 2.0]).softmax_rows();
+        assert_eq!(&s.row(0)[..2], full.row(0));
+    }
+
+    #[test]
+    fn segment_weighted_sum_matches_per_segment_matmul() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let values = Tensor::randn(5, 4, 1.0, &mut rng);
+        let w = Tensor::from_rows(&[&[0.25, 0.75, 0.0], &[0.2, 0.3, 0.5]]);
+        let spans = [(0usize, 2usize), (2, 3)];
+        let out = w.segment_weighted_sum(&values, &spans);
+        let w0 = Tensor::row_vector(&[0.25, 0.75]);
+        let expect0 = w0.matmul(&values.select_rows(&[0, 1]));
+        assert_eq!(out.row(0), expect0.row(0));
+        let w1 = Tensor::row_vector(&[0.2, 0.3, 0.5]);
+        let expect1 = w1.matmul(&values.select_rows(&[2, 3, 4]));
+        assert_eq!(out.row(1), expect1.row(0));
+    }
+
+    #[test]
+    fn segment_mean_rows_averages_and_zeroes_empty() {
+        let t = Tensor::from_rows(&[&[1.0, 3.0], &[3.0, 5.0], &[10.0, 20.0]]);
+        let out = t.segment_mean_rows(&[(0, 2), (2, 1), (0, 0)]);
+        assert_eq!(out.row(0), &[2.0, 4.0]);
+        assert_eq!(out.row(1), &[10.0, 20.0]);
+        assert_eq!(out.row(2), &[0.0, 0.0]);
     }
 
     #[test]

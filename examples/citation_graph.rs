@@ -23,7 +23,11 @@ fn main() {
     // Sweep label fractions like Table 2's 25/50/75/100% columns.
     for frac in [0.25, 0.5, 1.0] {
         let train = subset_fraction(train_full, frac);
-        println!("--- {:.0}% of training labels ({} nodes) ---", frac * 100.0, train.len());
+        println!(
+            "--- {:.0}% of training labels ({} nodes) ---",
+            frac * 100.0,
+            train.len()
+        );
 
         // WIDEN.
         let mut config = WidenConfig::small();
@@ -40,7 +44,11 @@ fn main() {
         );
 
         // Baselines sharing the budget.
-        let cfg = BaselineConfig { epochs: 12, learning_rate: 1e-2, ..Default::default() };
+        let cfg = BaselineConfig {
+            epochs: 12,
+            learning_rate: 1e-2,
+            ..Default::default()
+        };
         let mut methods: Vec<Box<dyn NodeClassifier>> = vec![
             Box::new(Gcn::new(cfg.clone())),
             Box::new(GraphSage::new(cfg.clone())),

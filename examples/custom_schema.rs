@@ -57,7 +57,10 @@ fn main() {
         &mut model,
         &graph,
         &nodes,
-        &UnsupervisedConfig { epochs: 8, ..Default::default() },
+        &UnsupervisedConfig {
+            epochs: 8,
+            ..Default::default()
+        },
     );
     println!(
         "contrastive loss: {:.4} -> {:.4} over {} epochs",

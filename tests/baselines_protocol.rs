@@ -8,7 +8,11 @@ use widen::eval::micro_f1;
 use widen::graph::NodeId;
 
 fn config() -> BaselineConfig {
-    BaselineConfig { epochs: 8, learning_rate: 1e-2, ..Default::default() }
+    BaselineConfig {
+        epochs: 8,
+        learning_rate: 1e-2,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -30,11 +34,7 @@ fn all_baselines_fit_predict_and_embed() {
             baseline.name()
         );
         let f1 = micro_f1(&truth, &preds);
-        assert!(
-            f1 > 0.34,
-            "{} is at or below chance: {f1}",
-            baseline.name()
-        );
+        assert!(f1 > 0.34, "{} is at or below chance: {f1}", baseline.name());
         let emb = baseline.embed(&dataset.graph, &test[..5]);
         assert_eq!(emb.rows(), 5, "{}", baseline.name());
         assert!(emb.all_finite(), "{}", baseline.name());
@@ -49,7 +49,11 @@ fn exactly_one_baseline_is_transductive_only() {
         .filter(|m| !m.supports_inductive())
         .map(|m| m.name())
         .collect();
-    assert_eq!(transductive_only, vec!["Node2Vec"], "§4.6 excludes exactly Node2Vec");
+    assert_eq!(
+        transductive_only,
+        vec!["Node2Vec"],
+        "§4.6 excludes exactly Node2Vec"
+    );
 }
 
 #[test]

@@ -1,0 +1,146 @@
+//! Differential tests pinning the batched execution engine to the per-node
+//! oracle: identical logits (≤ 1e-5), identical parameter gradients under
+//! the same loss (≤ 1e-4), identical predictions at inference time, and a
+//! stable ParamId order for the positional chunk-gradient reduction.
+
+use widen::core::model::MaskCache;
+use widen::core::{Execution, NodeState, Trainer, WidenConfig, WidenModel};
+use widen::data::{acm_like, Scale};
+use widen::graph::HeteroGraph;
+use widen::tensor::{Tape, Tensor};
+
+fn tiny_config() -> WidenConfig {
+    let mut c = WidenConfig::small();
+    c.d = 16;
+    c.n_w = 5;
+    c.n_d = 5;
+    c.phi = 2;
+    c.epochs = 3;
+    c.batch_size = 16;
+    c
+}
+
+fn sample_states(model: &WidenModel, graph: &HeteroGraph, nodes: &[u32]) -> Vec<NodeState> {
+    nodes
+        .iter()
+        .map(|&v| model.sample_state(graph, v, 5))
+        .collect()
+}
+
+#[test]
+fn batched_logits_and_gradients_match_per_node_oracle() {
+    let dataset = acm_like(Scale::Smoke, 21);
+    let nodes: Vec<u32> = dataset.graph.labeled_nodes()[..24].to_vec();
+    let labels: Vec<usize> = nodes
+        .iter()
+        .map(|&v| dataset.graph.label(v).unwrap() as usize)
+        .collect();
+    let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+    let states = sample_states(&model, &dataset.graph, &nodes);
+    let refs: Vec<&NodeState> = states.iter().collect();
+
+    // Per-node oracle.
+    let mut tape_a = Tape::new();
+    let pv_a = model.insert_params(&mut tape_a);
+    let masks = MaskCache::new();
+    let logit_vars: Vec<_> = refs
+        .iter()
+        .map(|state| {
+            model
+                .forward_node(&mut tape_a, &pv_a, &dataset.graph, state, &masks)
+                .logits
+        })
+        .collect();
+    let stacked = tape_a.vstack(&logit_vars);
+    let loss_a = tape_a.softmax_cross_entropy(stacked, &labels);
+    tape_a.backward(loss_a);
+
+    // Batched engine.
+    let mut tape_b = Tape::new();
+    let pv_b = model.insert_params(&mut tape_b);
+    let fw = model.forward_batch(&mut tape_b, &pv_b, &dataset.graph, &refs);
+    let loss_b = tape_b.softmax_cross_entropy(fw.logits, &labels);
+    tape_b.backward(loss_b);
+
+    let diff = tape_a.value(stacked).max_abs_diff(tape_b.value(fw.logits));
+    assert!(diff <= 1e-5, "logits diverge by {diff}");
+    let loss_gap = (tape_a.value(loss_a).get(0, 0) - tape_b.value(loss_b).get(0, 0)).abs();
+    assert!(loss_gap <= 1e-5, "losses diverge by {loss_gap}");
+
+    for ((id, var_a), (_, var_b)) in pv_a
+        .pairs(model.ids())
+        .into_iter()
+        .zip(pv_b.pairs(model.ids()))
+    {
+        let name = model.params.name(id);
+        let shape = model.params.get(id).shape();
+        let zero = Tensor::zeros(shape.0, shape.1);
+        let ga = tape_a.grad(var_a).unwrap_or(&zero);
+        let gb = tape_b.grad(var_b).unwrap_or(&zero);
+        let gap = ga.max_abs_diff(gb);
+        assert!(gap <= 1e-4, "gradient for `{name}` diverges by {gap}");
+    }
+}
+
+#[test]
+fn engines_predict_identically_after_training() {
+    let dataset = acm_like(Scale::Smoke, 22);
+    let train: Vec<u32> = dataset.transductive.train[..32].to_vec();
+    let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+    let mut trainer = Trainer::new(model, &dataset.graph, &train);
+    trainer.fit(&train);
+    let mut model = trainer.into_model();
+
+    let probe: Vec<u32> = dataset.transductive.test[..24].to_vec();
+    assert_eq!(model.config.execution, Execution::Batched);
+    let preds_batched = model.predict(&dataset.graph, &probe, 9);
+    let emb_batched = model.embed_nodes(&dataset.graph, &probe, 9);
+
+    model.config.execution = Execution::PerNode;
+    let preds_oracle = model.predict(&dataset.graph, &probe, 9);
+    let emb_oracle = model.embed_nodes(&dataset.graph, &probe, 9);
+
+    assert_eq!(preds_batched, preds_oracle);
+    assert!(
+        emb_batched.max_abs_diff(&emb_oracle) <= 1e-5,
+        "inductive embeddings diverge by {}",
+        emb_batched.max_abs_diff(&emb_oracle)
+    );
+}
+
+#[test]
+fn per_node_training_stays_available_behind_the_flag() {
+    let dataset = acm_like(Scale::Smoke, 23);
+    let train: Vec<u32> = dataset.transductive.train[..16].to_vec();
+    let cfg = tiny_config().with_execution(Execution::PerNode);
+    let model = WidenModel::for_graph(&dataset.graph, cfg);
+    let mut trainer = Trainer::new(model, &dataset.graph, &train);
+    let report = trainer.fit(&train);
+    assert_eq!(report.epoch_losses.len(), 3);
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn chunk_gradient_param_order_is_stable_across_tapes() {
+    // The trainer's chunk-gradient reduction zips gradient vectors from
+    // different tapes positionally; this pins the contract that
+    // `ParamVars::pairs` yields the same ParamId sequence on every tape.
+    let dataset = acm_like(Scale::Smoke, 24);
+    let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+    let mut tape_a = Tape::new();
+    let mut tape_b = Tape::new();
+    let pv_a = model.insert_params(&mut tape_a);
+    let pv_b = model.insert_params(&mut tape_b);
+    let ids_a: Vec<_> = pv_a
+        .pairs(model.ids())
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect();
+    let ids_b: Vec<_> = pv_b
+        .pairs(model.ids())
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect();
+    assert_eq!(ids_a, ids_b);
+    assert_eq!(ids_a.len(), 14, "every trainable parameter participates");
+}

@@ -54,10 +54,7 @@ fn dataset_generation_is_independent_of_global_state() {
     let b = yelp_like(Scale::Smoke, 42);
     assert_eq!(a.graph.num_directed_edges(), b.graph.num_directed_edges());
     assert_eq!(a.transductive.train, b.transductive.train);
-    assert_eq!(
-        a.graph.features().as_slice(),
-        b.graph.features().as_slice()
-    );
+    assert_eq!(a.graph.features().as_slice(), b.graph.features().as_slice());
 }
 
 #[test]

@@ -135,6 +135,37 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn padded_softmax_puts_exactly_zero_mass_on_padding(
+        seed in 0u64..500,
+        rows in 1usize..8,
+        cols in 1usize..12,
+    ) {
+        // The batched attention engine relies on padding columns carrying
+        // *bit-exact* zero weight so padded rows reduce identically to
+        // their per-node counterparts.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scores = widen::tensor::Tensor::randn(rows, cols, 2.0, &mut rng);
+        let lens: Vec<usize> = (0..rows)
+            .map(|r| 1 + (seed as usize + 3 * r) % cols)
+            .collect();
+        let soft = scores.padded_softmax_rows(&lens);
+        for r in 0..rows {
+            let row = soft.row(r);
+            // Valid prefix: a probability distribution.
+            let mass: f32 = row[..lens[r]].iter().sum();
+            prop_assert!((mass - 1.0).abs() < 1e-5, "valid mass {mass} ≠ 1");
+            prop_assert!(row[..lens[r]].iter().all(|&p| p >= 0.0));
+            // Padding: exactly 0.0, not merely small.
+            for (c, &p) in row.iter().enumerate().skip(lens[r]) {
+                prop_assert!(
+                    p == 0.0 && p.is_sign_positive(),
+                    "padding [{r},{c}] carries mass {p}"
+                );
+            }
+        }
+    }
 }
 
 #[test]
@@ -161,5 +192,8 @@ fn training_respects_downsampling_floor_under_aggressive_thresholds() {
     assert!(wide_total <= 20 * 6);
     assert!(deep_total <= 20 * 2 * 6);
     // With 15 epochs and aggressive triggering, most sets must be at floor.
-    assert!(wide_total <= 20 * 3, "wide sets should be near the k=2 floor: {wide_total}");
+    assert!(
+        wide_total <= 20 * 3,
+        "wide sets should be near the k=2 floor: {wide_total}"
+    );
 }

@@ -1,0 +1,55 @@
+//! Offline stand-in for `rand_distr`: just [`StandardNormal`] and the
+//! re-exported [`Distribution`] trait, which is all the workspace uses.
+//!
+//! Sampling uses the Box–Muller transform rather than upstream's
+//! ziggurat tables, so exact values differ from the real crate while the
+//! distribution itself is identical.
+
+#![deny(missing_docs)]
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardNormal;
+
+impl StandardNormal {
+    /// One Box–Muller draw in `f64`.
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // u1 in (0, 1] so ln(u1) is finite; u2 in [0, 1).
+        let u1 = 1.0 - (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Self::draw(rng)
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        Self::draw(rng) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn moments_are_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+        assert!(xs.iter().all(|x| x.is_finite()));
+    }
+}

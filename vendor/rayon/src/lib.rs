@@ -1,0 +1,113 @@
+//! Offline stand-in for `rayon`: the `par_*` entry points the workspace
+//! uses, executed **sequentially**.
+//!
+//! The target machine exposes a single core, so a sequential fallback
+//! costs nothing while keeping call sites identical to real rayon. The
+//! `par_*` methods simply return std iterators; adapters like `map`,
+//! `enumerate`, `for_each`, `collect` are then the std ones, and
+//! rayon-only adapters (`flat_map_iter`) are provided by a blanket
+//! extension trait in [`prelude`].
+
+#![deny(missing_docs)]
+
+/// Number of worker threads "in the pool" — the machine's available
+/// parallelism, for code that sizes chunks by thread count.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Sequential drop-ins for `rayon::prelude`.
+pub mod prelude {
+    /// `par_chunks` / `par_windows` style views of immutable slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `rayon`'s `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// `par_chunks_mut` style views of mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    /// Rayon-only iterator adapters, defined on every std iterator so
+    /// chains written against `ParallelIterator` keep compiling.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        /// Rayon's `flat_map_iter`: identical to std `flat_map` here.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_matches_chunks() {
+        let v: Vec<u32> = (0..10).collect();
+        let seq: Vec<Vec<u32>> = v.par_chunks(3).map(|c| c.to_vec()).collect();
+        assert_eq!(
+            seq,
+            vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8], vec![9]]
+        );
+    }
+
+    #[test]
+    fn par_chunks_mut_mutates_in_place() {
+        let mut v = vec![1u32; 6];
+        v.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x += i as u32;
+            }
+        });
+        assert_eq!(v, vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let out: Vec<u32> = [1u32, 2]
+            .iter()
+            .flat_map_iter(|&x| vec![x, x * 10])
+            .collect();
+        assert_eq!(out, vec![1, 10, 2, 20]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

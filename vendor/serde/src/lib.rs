@@ -1,0 +1,16 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace declares `serde` as an (optional, never-enabled)
+//! dependency of `widen-tensor` and a direct dependency of
+//! `widen-bench`, but no code path currently uses serde traits — JSON
+//! output goes through the vendored `serde_json::Value` directly. This
+//! stub exists so those declarations resolve offline; the marker traits
+//! below keep any future `T: Serialize` bounds compilable.
+
+#![deny(missing_docs)]
+
+/// Marker for serializable types (no-op stub).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no-op stub).
+pub trait Deserialize<'de> {}

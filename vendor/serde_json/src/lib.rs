@@ -1,0 +1,414 @@
+//! Offline stand-in for `serde_json`: the [`Value`] tree, the [`json!`]
+//! macro, and [`to_string_pretty`] — the surface the bench harness uses
+//! to emit machine-readable result rows.
+//!
+//! Divergences from upstream: the object [`Map`] preserves insertion
+//! order (upstream's default sorts keys), numbers are stored as `f64`,
+//! and there is no deserialization.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integral values print without
+    /// a decimal point).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+/// A JSON object: string keys to values, insertion-ordered.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `value` under `key`, replacing and returning any
+    /// previous value for that key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// Serialization error. The stub serializer cannot actually fail; the
+/// type exists so call sites keep their `Result` handling.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into a [`Value`], used by the [`json!`] macro. Taking
+/// `&self` mirrors upstream `json!`, which serializes interpolated
+/// expressions by reference (so `json!({"xs": xs})` does not move `xs`).
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! impl_to_json_number {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+impl_to_json_number!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+/// Builds a [`Value`] from JSON-shaped syntax, interpolating Rust
+/// expressions by reference. Subset of upstream `json!`: object values
+/// may be nested `{...}` / `[...]` literals or plain expressions, but
+/// not expressions that *start* with a brace or bracket.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($entries:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_entries!(map; $($entries)*);
+        $crate::Value::Object(map)
+    }};
+    ([ $($elems:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut items: Vec<$crate::Value> = Vec::new();
+        $crate::json_elems!(items; $($elems)*);
+        $crate::Value::Array(items)
+    }};
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+}
+
+/// Internal: munches `key: value` pairs for [`json!`] objects.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_entries {
+    ($map:ident;) => {};
+    ($map:ident; $key:tt : null $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::Value::Null);
+        $crate::json_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:tt : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:tt : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:tt : $value:expr , $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $crate::ToJson::to_json(&$value));
+        $crate::json_entries!($map; $($rest)*);
+    };
+    ($map:ident; $key:tt : $value:expr) => {
+        $map.insert(($key).to_string(), $crate::ToJson::to_json(&$value));
+    };
+}
+
+/// Internal: munches elements for [`json!`] arrays.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_elems {
+    ($items:ident;) => {};
+    ($items:ident; null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $crate::json_elems!($items; $($($rest)*)?);
+    };
+    ($items:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_elems!($items; $($($rest)*)?);
+    };
+    ($items:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_elems!($items; $($($rest)*)?);
+    };
+    ($items:ident; $value:expr , $($rest:tt)*) => {
+        $items.push($crate::ToJson::to_json(&$value));
+        $crate::json_elems!($items; $($rest)*);
+    };
+    ($items:ident; $value:expr) => {
+        $items.push($crate::ToJson::to_json(&$value));
+    };
+}
+
+/// Serializes `value` as pretty-printed JSON with 2-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as compact single-line JSON.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&mut out, value);
+    Ok(out)
+}
+
+impl fmt::Display for Value {
+    /// Compact single-line JSON, so `println!("{}", json!({...}))` emits
+    /// one machine-readable row.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(&mut out, self);
+        f.write_str(&out)
+    }
+}
+
+fn write_compact(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_compact(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent + 1);
+                write_value(out, item, indent + 1);
+            }
+            newline_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_value(out, v, indent + 1);
+            }
+            newline_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    use fmt::Write;
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; upstream errors, we degrade to null.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        write!(out, "{}", n as i64).expect("write to String");
+    } else {
+        write!(out, "{n}").expect("write to String");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let xs = vec![1.5f64, 2.0];
+        let name = String::from("acm");
+        let v = json!({
+            "dataset": name,
+            "count": 3usize,
+            "ok": true,
+            "series": xs,
+            "fit": { "slope": 0.5, "r2": 0.99 },
+        });
+        match &v {
+            Value::Object(m) => {
+                assert_eq!(m.get("dataset"), Some(&Value::String("acm".into())));
+                assert_eq!(m.get("count"), Some(&Value::Number(3.0)));
+                assert!(matches!(m.get("fit"), Some(Value::Object(_))));
+                assert_eq!(
+                    m.get("series"),
+                    Some(&Value::Array(vec![Value::Number(1.5), Value::Number(2.0)]))
+                );
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        // Interpolation borrows: `xs` and `name` stay usable. (Checked
+        // by the `json!` above compiling with these later uses.)
+        assert_eq!(xs.len(), 2);
+        assert_eq!(name, "acm");
+    }
+
+    #[test]
+    fn pretty_printing_is_valid_json() {
+        let v = json!({ "a": 1, "b": [true, null, "x\"y"], "c": {} });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\": 1"));
+        assert!(s.contains("\\\"")); // escaped quote survived
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn integral_floats_print_without_decimal() {
+        let mut s = String::new();
+        write_number(&mut s, 10_000.0);
+        assert_eq!(s, "10000");
+        s.clear();
+        write_number(&mut s, 0.25);
+        assert_eq!(s, "0.25");
+        s.clear();
+        write_number(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+}
