@@ -1,0 +1,179 @@
+//! `serve_throughput` — the serving-layer headline number: requests/sec of
+//! the micro-batched server versus batch-size-1 serving (every job its own
+//! forward pass), measured with 8 concurrent clients hammering one
+//! in-process server. Coalescing is purely a throughput knob — answers are
+//! bit-identical either way — so the speedup is the whole story.
+
+use std::thread;
+use std::time::Instant;
+
+use widen_bench::parse_args;
+use widen_core::{WidenConfig, WidenModel};
+use widen_data::acm_like;
+use widen_serve::{Client, ModelRegistry, ServeConfig, Server};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 12;
+const NODES_PER_REQUEST: u32 = 8;
+const ENSEMBLE_ROUNDS: u32 = 2;
+
+fn model_config(seed: u64) -> WidenConfig {
+    // Paper-sized model: wide/deep neighbourhoods big enough that the
+    // batched engine's deduplicated projections have overlap to exploit.
+    WidenConfig::paper().with_seed(seed)
+}
+
+struct ModeResult {
+    label: &'static str,
+    elapsed_secs: f64,
+    requests: u64,
+    rps: f64,
+    jobs: u64,
+    batches: u64,
+    dedup_hits: u64,
+    cache_hits: u64,
+}
+
+fn run_mode(
+    label: &'static str,
+    graph: &widen_graph::HeteroGraph,
+    config: &WidenConfig,
+    checkpoint: &[u8],
+    max_batch: usize,
+) -> ModeResult {
+    let registry = ModelRegistry::from_checkpoint(graph.clone(), config.clone(), checkpoint)
+        .expect("bench checkpoint loads");
+    // Full server in both modes — embedding cache included — so the only
+    // thing the comparison varies is the coalescing window.
+    let serve_config = ServeConfig {
+        workers: 1,
+        max_batch,
+        max_wait_us: 300,
+        queue_depth: 4096,
+        request_timeout_ms: 60_000,
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind(registry, serve_config, "127.0.0.1:0").expect("bind server");
+    let addr = handle.local_addr();
+    let num_nodes = graph.num_nodes() as u32;
+
+    let start = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_t| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for r in 0..REQUESTS_PER_CLIENT {
+                    // Hot-key skew: every client asks about the same
+                    // trending node window per round — the workload
+                    // micro-batching (coalescing + singleflight dedup)
+                    // exists for. Batch-size-1 serving must recompute each
+                    // copy; a coalescing window computes it once.
+                    let base = (r as u32 * 4) % (num_nodes - NODES_PER_REQUEST).min(32);
+                    let nodes: Vec<u32> = (base..base + NODES_PER_REQUEST).collect();
+                    let seed = r as u64;
+                    // Alternate workloads so both job kinds get coalesced.
+                    if r % 2 == 0 {
+                        let rows = client.embed(&nodes, seed).expect("embed");
+                        assert_eq!(rows.len(), nodes.len());
+                    } else {
+                        let labels = client
+                            .classify(&nodes, seed, ENSEMBLE_ROUNDS)
+                            .expect("classify");
+                        assert_eq!(labels.len(), nodes.len());
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("bench client panicked");
+    }
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    let stats = handle.shutdown();
+
+    ModeResult {
+        label,
+        elapsed_secs,
+        requests: stats.requests,
+        rps: stats.requests as f64 / elapsed_secs,
+        jobs: stats.jobs,
+        batches: stats.batches,
+        dedup_hits: stats.dedup_hits,
+        cache_hits: stats.cache_hits,
+    }
+}
+
+fn mode_json(m: &ModeResult, max_batch: usize) -> serde_json::Value {
+    serde_json::json!({
+        "mode": m.label,
+        "max_batch": max_batch,
+        "elapsed_secs": m.elapsed_secs,
+        "requests": m.requests,
+        "requests_per_sec": m.rps,
+        "jobs": m.jobs,
+        "fused_batches": m.batches,
+        "mean_batch_size": m.jobs as f64 / m.batches.max(1) as f64,
+        "dedup_hits": m.dedup_hits,
+        "cache_hits": m.cache_hits,
+    })
+}
+
+fn main() {
+    let opts = parse_args();
+    let seed = opts.seeds[0];
+    println!(
+        "== Serving throughput: micro-batched vs batch-size-1 ({:?} scale) ==",
+        opts.scale
+    );
+    println!(
+        "   {CLIENTS} concurrent clients × {REQUESTS_PER_CLIENT} requests × {NODES_PER_REQUEST} nodes\n"
+    );
+
+    let dataset = acm_like(opts.scale.data_scale(), seed);
+    let config = model_config(seed);
+    let model = WidenModel::for_graph(&dataset.graph, config.clone());
+    let checkpoint = model.save_weights();
+
+    const MICRO_BATCH: usize = 32;
+    let batch1 = run_mode("batch-1", &dataset.graph, &config, &checkpoint, 1);
+    let micro = run_mode(
+        "micro-batched",
+        &dataset.graph,
+        &config,
+        &checkpoint,
+        MICRO_BATCH,
+    );
+
+    println!(
+        "{:<14} {:>10} {:>12} {:>10} {:>10} {:>12} {:>8} {:>8}",
+        "Mode", "requests", "elapsed(s)", "req/s", "batches", "mean batch", "dedup", "cached"
+    );
+    for m in [&batch1, &micro] {
+        println!(
+            "{:<14} {:>10} {:>12.3} {:>10.1} {:>10} {:>12.2} {:>8} {:>8}",
+            m.label,
+            m.requests,
+            m.elapsed_secs,
+            m.rps,
+            m.batches,
+            m.jobs as f64 / m.batches.max(1) as f64,
+            m.dedup_hits,
+            m.cache_hits,
+        );
+    }
+    let speedup = micro.rps / batch1.rps;
+    println!("\nmicro-batched speedup: {speedup:.2}× requests/sec");
+
+    opts.write_json(
+        "BENCH_serve",
+        &serde_json::json!({
+            "scale": format!("{:?}", opts.scale),
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "nodes_per_request": NODES_PER_REQUEST,
+            "ensemble_rounds": ENSEMBLE_ROUNDS,
+            "modes": [mode_json(&batch1, 1), mode_json(&micro, MICRO_BATCH)],
+            "speedup_requests_per_sec": speedup,
+        }),
+    );
+}

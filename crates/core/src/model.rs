@@ -8,7 +8,9 @@ use rand::SeedableRng;
 use rustc_hash::FxHashMap;
 use widen_graph::{HeteroGraph, NodeId};
 use widen_sampling::{hash_seed, sample_deep_multi, sample_wide};
-use widen_tensor::{he_normal, xavier_uniform, zeros_init, ParamId, ParamStore, Tape, Tensor, Var};
+use widen_tensor::{
+    he_normal, xavier_uniform, zeros_init, CheckpointError, ParamId, ParamStore, Tape, Tensor, Var,
+};
 
 use crate::config::{Execution, WidenConfig};
 use crate::packaging::{edge_vocab_size, pack_deep, pack_wide, Packed};
@@ -290,28 +292,52 @@ impl WidenModel {
     /// [`WidenModel::save_weights`]. The model must have been constructed
     /// with the same configuration and graph metadata.
     ///
-    /// # Panics
-    /// Panics if the checkpoint's parameter names or shapes do not match
-    /// this model.
-    pub fn load_weights(&mut self, checkpoint: &[u8]) {
-        let loaded = widen_tensor::load_params(checkpoint).expect("valid WIDEN checkpoint");
-        assert_eq!(
-            loaded.len(),
-            self.params.len(),
-            "checkpoint parameter count mismatch"
-        );
-        for (id, name, tensor) in loaded.iter() {
-            let _ = id;
+    /// Validation is all-or-nothing: the checkpoint is fully checked
+    /// (decode, parameter count, names, shapes) before any parameter is
+    /// written, so a failed load leaves the model untouched.
+    ///
+    /// # Errors
+    /// Returns a [`CheckpointError`] when the buffer is malformed or does
+    /// not match this model's parameter layout. Never panics on bad input —
+    /// this is the path servers load untrusted checkpoints through.
+    pub fn try_load_weights(&mut self, checkpoint: &[u8]) -> Result<(), CheckpointError> {
+        let loaded = widen_tensor::load_params(checkpoint)?;
+        if loaded.len() != self.params.len() {
+            return Err(CheckpointError::CountMismatch {
+                expected: self.params.len(),
+                found: loaded.len(),
+            });
+        }
+        let mut targets = Vec::with_capacity(loaded.len());
+        for (_, name, tensor) in loaded.iter() {
             let target = self
                 .params
                 .id(name)
-                .unwrap_or_else(|| panic!("checkpoint has unknown parameter `{name}`"));
-            assert_eq!(
-                self.params.get(target).shape(),
-                tensor.shape(),
-                "shape mismatch for `{name}`"
-            );
+                .ok_or_else(|| CheckpointError::UnknownParam(name.to_string()))?;
+            if self.params.get(target).shape() != tensor.shape() {
+                return Err(CheckpointError::ShapeMismatch {
+                    name: name.to_string(),
+                    expected: self.params.get(target).shape(),
+                    found: tensor.shape(),
+                });
+            }
+            targets.push(target);
+        }
+        for ((_, _, tensor), target) in loaded.iter().zip(targets) {
             *self.params.get_mut(target) = tensor.clone();
+        }
+        Ok(())
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`WidenModel::try_load_weights`] for offline tooling.
+    ///
+    /// # Panics
+    /// Panics if the checkpoint is malformed or its parameter names or
+    /// shapes do not match this model.
+    pub fn load_weights(&mut self, checkpoint: &[u8]) {
+        if let Err(err) = self.try_load_weights(checkpoint) {
+            panic!("valid WIDEN checkpoint: {err}");
         }
     }
 
@@ -685,6 +711,102 @@ impl WidenModel {
             }
         }
         sums.iter().map(|row| argmax(row)).collect()
+    }
+
+    /// Embeds a coalesced batch of serving requests in one fused forward
+    /// pass. Unlike [`WidenModel::embed_nodes`], every item carries its own
+    /// sampling seed, so requests from different clients (different seeds)
+    /// can share one [`WidenModel::forward_batch`] chunk. Item `i`'s row is
+    /// bit-identical to `embed_nodes(graph, &[node_i], seed_i)` regardless
+    /// of what else is in the batch: every batched op is row- or
+    /// segment-local.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty.
+    pub fn embed_requests(&self, graph: &HeteroGraph, items: &[(NodeId, u64)]) -> Tensor {
+        assert!(!items.is_empty(), "embed_requests needs at least one item");
+        let rows = self.request_rows(graph, items, InferOutput::Embedding);
+        let mut out = Tensor::zeros(items.len(), self.config.d);
+        for (i, row) in rows.into_iter().enumerate() {
+            out.set_row(i, &row);
+        }
+        out
+    }
+
+    /// Ensemble logits for a coalesced batch of serving requests: per item,
+    /// the logits summed over `rounds` independently sampled neighbourhoods
+    /// — the same accumulation [`WidenModel::predict_ensemble`] computes
+    /// internally, so `argmax` of row `i` equals
+    /// `predict_ensemble(graph, &[node_i], seed_i, rounds)[0]`.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty or `rounds` is zero.
+    pub fn ensemble_logits(
+        &self,
+        graph: &HeteroGraph,
+        items: &[(NodeId, u64)],
+        rounds: usize,
+    ) -> Tensor {
+        assert!(!items.is_empty(), "ensemble_logits needs at least one item");
+        assert!(rounds >= 1, "need at least one round");
+        let mut sums = Tensor::zeros(items.len(), self.num_classes);
+        for r in 0..rounds as u64 {
+            let round_items: Vec<(NodeId, u64)> = items
+                .iter()
+                .map(|&(node, seed)| (node, hash_seed(seed, &[40, r])))
+                .collect();
+            let rows = self.request_rows(graph, &round_items, InferOutput::Logits);
+            for (i, row) in rows.iter().enumerate() {
+                for (j, v) in row.iter().enumerate() {
+                    sums.set(i, j, sums.get(i, j) + v);
+                }
+            }
+        }
+        sums
+    }
+
+    /// One forward pass over `(node, seed)` items on the configured engine,
+    /// returning one output row per item. Runs as a single chunk — request
+    /// batches are already server-sized.
+    fn request_rows(
+        &self,
+        graph: &HeteroGraph,
+        items: &[(NodeId, u64)],
+        output: InferOutput,
+    ) -> Vec<Vec<f32>> {
+        let mut tape = Tape::new();
+        let pv = self.insert_params(&mut tape);
+        match self.config.execution {
+            Execution::Batched => {
+                let states: Vec<NodeState> = items
+                    .iter()
+                    .map(|&(node, seed)| self.sample_state(graph, node, seed))
+                    .collect();
+                let refs: Vec<&NodeState> = states.iter().collect();
+                let fw = self.forward_batch(&mut tape, &pv, graph, &refs);
+                let var = match output {
+                    InferOutput::Embedding => fw.embeddings,
+                    InferOutput::Logits => fw.logits,
+                };
+                let out = tape.value(var);
+                (0..items.len()).map(|i| out.row(i).to_vec()).collect()
+            }
+            Execution::PerNode => {
+                let masks = MaskCache::new();
+                items
+                    .iter()
+                    .map(|&(node, seed)| {
+                        let state = self.sample_state(graph, node, seed);
+                        let fw = self.forward_node(&mut tape, &pv, graph, &state, &masks);
+                        let var = match output {
+                            InferOutput::Embedding => fw.embedding,
+                            InferOutput::Logits => fw.logits,
+                        };
+                        tape.value(var).row(0).to_vec()
+                    })
+                    .collect()
+            }
+        }
     }
 
     /// Runs inference forward passes for many nodes in parallel chunks and
@@ -1103,5 +1225,100 @@ mod tests {
         }
         assert!(installed > 0, "toy graph must produce at least one walk");
         assert_engines_agree(&g, cfg, &states);
+    }
+
+    #[test]
+    fn try_load_weights_round_trips_and_validates() {
+        let g = toy_graph();
+        let mut model = WidenModel::for_graph(&g, small_config());
+        let checkpoint = model.save_weights();
+        let mut other = WidenModel::for_graph(&g, small_config().with_seed(99));
+        other.try_load_weights(&checkpoint).expect("valid load");
+        for (id, name, tensor) in model.params.iter() {
+            let _ = id;
+            let oid = other.params.id(name).unwrap();
+            assert_eq!(other.params.get(oid).as_slice(), tensor.as_slice());
+        }
+
+        // Structural garbage is an error, not a panic.
+        assert!(matches!(
+            model.try_load_weights(b"not a checkpoint"),
+            Err(CheckpointError::BadMagic)
+        ));
+        assert!(model
+            .try_load_weights(&checkpoint[..checkpoint.len() / 2])
+            .is_err());
+
+        // A layout mismatch (differently-sized model) is an error, and a
+        // failed load leaves the target parameters untouched.
+        let mut big_cfg = small_config();
+        big_cfg.d = 16;
+        let mut big = WidenModel::for_graph(&g, big_cfg);
+        let before = big.params.snapshot();
+        assert!(matches!(
+            big.try_load_weights(&checkpoint),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
+        for ((_, _, t), old) in big.params.iter().zip(&before) {
+            assert_eq!(t.as_slice(), old.as_slice(), "failed load must not mutate");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "valid WIDEN checkpoint")]
+    fn load_weights_wrapper_panics_on_garbage() {
+        let g = toy_graph();
+        let mut model = WidenModel::for_graph(&g, small_config());
+        model.load_weights(b"garbage");
+    }
+
+    #[test]
+    fn request_rows_are_invariant_to_batch_composition() {
+        // The serving batcher coalesces jobs from unrelated requests into
+        // one forward_batch; a node's output must not depend on its batch
+        // neighbours, bit for bit.
+        let g = toy_graph();
+        let model = WidenModel::for_graph(&g, small_config());
+        let items: Vec<(u32, u64)> = vec![(0, 7), (3, 9), (5, 7), (1, 1234)];
+        let together = model.embed_requests(&g, &items);
+        for (i, &item) in items.iter().enumerate() {
+            let alone = model.embed_requests(&g, &[item]);
+            assert_eq!(
+                together.row(i),
+                alone.row(0),
+                "row {i} changed with batch composition"
+            );
+        }
+        let logits_together = model.ensemble_logits(&g, &items, 3);
+        for (i, &item) in items.iter().enumerate() {
+            let alone = model.ensemble_logits(&g, &[item], 3);
+            assert_eq!(logits_together.row(i), alone.row(0));
+        }
+    }
+
+    #[test]
+    fn ensemble_logits_argmax_matches_predict_ensemble() {
+        let g = toy_graph();
+        let model = WidenModel::for_graph(&g, small_config());
+        let nodes: Vec<u32> = (0..6).collect();
+        for seed in [3u64, 11] {
+            let serial = model.predict_ensemble(&g, &nodes, seed, 2);
+            let items: Vec<(u32, u64)> = nodes.iter().map(|&n| (n, seed)).collect();
+            let logits = model.ensemble_logits(&g, &items, 2);
+            let via_requests: Vec<usize> =
+                (0..items.len()).map(|i| argmax(logits.row(i))).collect();
+            assert_eq!(serial, via_requests);
+        }
+    }
+
+    #[test]
+    fn embed_requests_matches_embed_nodes() {
+        let g = toy_graph();
+        let model = WidenModel::for_graph(&g, small_config());
+        let nodes: Vec<u32> = vec![0, 2, 4];
+        let bulk = model.embed_nodes(&g, &nodes, 13);
+        let items: Vec<(u32, u64)> = nodes.iter().map(|&n| (n, 13)).collect();
+        let via_requests = model.embed_requests(&g, &items);
+        assert_eq!(bulk.max_abs_diff(&via_requests), 0.0);
     }
 }

@@ -1,0 +1,351 @@
+//! Micro-batching worker: pulls per-node jobs off the shared queue,
+//! coalesces them into chunks (up to `max_batch` jobs or `max_wait_us`
+//! after the first), and answers each chunk with one fused
+//! [`widen_core::WidenModel::forward_batch`]-backed call.
+//!
+//! Correctness rests on the engine's batch-composition invariance (pinned
+//! by a `widen-core` test): a node's output row is bit-identical no matter
+//! which other jobs happen to share its chunk, so coalescing is purely a
+//! throughput optimisation and responses equal serial single-request
+//! answers exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{Receiver, RecvTimeoutError};
+
+use crate::cache::{EmbedCache, EmbedKey};
+use crate::error::ServeError;
+use crate::registry::ModelRegistry;
+
+/// What one coalescable unit of work computes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum JobKind {
+    /// One embedding row.
+    Embed,
+    /// One ensemble-classified label.
+    Classify {
+        /// Ensemble rounds.
+        rounds: u32,
+    },
+}
+
+/// The result a job sends back to its connection handler.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JobOutput {
+    /// Embedding row (`d` values).
+    Embedding(Vec<f32>),
+    /// Predicted class label.
+    Label(u32),
+}
+
+/// One node of one request, queued for a batcher worker.
+pub(crate) struct Job {
+    pub kind: JobKind,
+    pub node: u32,
+    pub seed: u64,
+    /// Absolute deadline; expired jobs are answered with
+    /// [`ServeError::DeadlineExceeded`] instead of being computed.
+    pub deadline: Instant,
+    /// Position within the originating request.
+    pub slot: usize,
+    /// Per-request reply channel.
+    pub reply: mpsc::Sender<(usize, Result<JobOutput, ServeError>)>,
+}
+
+/// Coalescing knobs.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BatchPolicy {
+    pub max_batch: usize,
+    pub max_wait: Duration,
+}
+
+/// Worker-side throughput counters (shared, lock-free).
+#[derive(Default)]
+pub(crate) struct WorkerStats {
+    pub jobs: AtomicU64,
+    pub batches: AtomicU64,
+    pub deadline_drops: AtomicU64,
+    /// Jobs answered by another identical job's computation (singleflight
+    /// dedup within a coalescing window).
+    pub dedup_hits: AtomicU64,
+}
+
+/// Runs one batcher worker until the job channel disconnects. On
+/// shutdown the channel keeps yielding queued jobs until empty — that is
+/// the drain guarantee: every accepted job is answered before the worker
+/// exits.
+pub(crate) fn run_worker(
+    registry: Arc<ModelRegistry>,
+    cache: Arc<EmbedCache>,
+    rx: Receiver<Job>,
+    policy: BatchPolicy,
+    stats: Arc<WorkerStats>,
+) {
+    loop {
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return, // disconnected and fully drained
+        };
+        let mut jobs = vec![first];
+        if policy.max_batch > 1 {
+            let window_end = Instant::now() + policy.max_wait;
+            while jobs.len() < policy.max_batch {
+                match rx.recv_deadline(window_end) {
+                    Ok(job) => jobs.push(job),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        process_batch(&registry, &cache, jobs, &stats);
+    }
+}
+
+/// Answers every job in `jobs`: expired ones with an error, embed jobs
+/// from the cache when possible, the rest through one fused model call
+/// per distinct [`JobKind`].
+fn process_batch(
+    registry: &ModelRegistry,
+    cache: &EmbedCache,
+    jobs: Vec<Job>,
+    stats: &WorkerStats,
+) {
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    stats.jobs.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    let now = Instant::now();
+    let ckpt = registry.checkpoint_hash();
+
+    // (kind → pending jobs) grouping. Kinds in a window are few; a Vec
+    // scan beats hashing.
+    let mut groups: Vec<(JobKind, Vec<Job>)> = Vec::new();
+    for job in jobs {
+        if job.deadline < now {
+            stats.deadline_drops.fetch_add(1, Ordering::Relaxed);
+            reply(&job, Err(ServeError::DeadlineExceeded));
+            continue;
+        }
+        if job.kind == JobKind::Embed {
+            let key = EmbedKey {
+                node: job.node,
+                checkpoint_hash: ckpt,
+                seed: job.seed,
+            };
+            if let Some(row) = cache.get(&key) {
+                reply(&job, Ok(JobOutput::Embedding(row)));
+                continue;
+            }
+        }
+        match groups.iter_mut().find(|(kind, _)| *kind == job.kind) {
+            Some((_, group)) => group.push(job),
+            None => groups.push((job.kind, vec![job])),
+        }
+    }
+
+    for (kind, group) in groups {
+        // Singleflight dedup: identical `(node, seed)` jobs in one window
+        // sample and compute once and fan the row out to every subscriber.
+        // Exact by construction — duplicates would have produced
+        // bit-identical rows anyway (same sampled state, same weights).
+        let mut items: Vec<(u32, u64)> = Vec::with_capacity(group.len());
+        let mut row_of: Vec<usize> = Vec::with_capacity(group.len());
+        for job in &group {
+            let key = (job.node, job.seed);
+            match items.iter().position(|&u| u == key) {
+                Some(i) => {
+                    stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    row_of.push(i);
+                }
+                None => {
+                    items.push(key);
+                    row_of.push(items.len() - 1);
+                }
+            }
+        }
+        match kind {
+            JobKind::Embed => {
+                let rows = registry.model().embed_requests(registry.graph(), &items);
+                for (job, &i) in group.iter().zip(&row_of) {
+                    let row = rows.row(i).to_vec();
+                    cache.insert(
+                        EmbedKey {
+                            node: job.node,
+                            checkpoint_hash: ckpt,
+                            seed: job.seed,
+                        },
+                        row.clone(),
+                    );
+                    reply(job, Ok(JobOutput::Embedding(row)));
+                }
+            }
+            JobKind::Classify { rounds } => {
+                let logits =
+                    registry
+                        .model()
+                        .ensemble_logits(registry.graph(), &items, rounds as usize);
+                for (job, &i) in group.iter().zip(&row_of) {
+                    let label = argmax(logits.row(i)) as u32;
+                    reply(job, Ok(JobOutput::Label(label)));
+                }
+            }
+        }
+    }
+}
+
+fn reply(job: &Job, result: Result<JobOutput, ServeError>) {
+    // A dead handler (client gone) just means nobody is listening; the
+    // send failing is fine.
+    let _ = job.reply.send((job.slot, result));
+}
+
+/// Index of the largest entry, ties toward the first — matches
+/// `WidenModel::predict_ensemble`'s tie-breaking exactly.
+fn argmax(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .expect("non-empty class set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widen_core::{WidenConfig, WidenModel};
+    use widen_data::{acm_like, Scale};
+
+    fn tiny_registry() -> Arc<ModelRegistry> {
+        let dataset = acm_like(Scale::Smoke, 5);
+        let mut cfg = WidenConfig::small();
+        cfg.d = 8;
+        cfg.n_w = 4;
+        cfg.n_d = 4;
+        cfg.phi = 1;
+        let model = WidenModel::for_graph(&dataset.graph, cfg);
+        Arc::new(ModelRegistry::from_model(dataset.graph, model))
+    }
+
+    fn job(
+        kind: JobKind,
+        node: u32,
+        seed: u64,
+        slot: usize,
+        tx: &mpsc::Sender<(usize, Result<JobOutput, ServeError>)>,
+    ) -> Job {
+        Job {
+            kind,
+            node,
+            seed,
+            deadline: Instant::now() + Duration::from_secs(5),
+            slot,
+            reply: tx.clone(),
+        }
+    }
+
+    #[test]
+    fn mixed_batch_answers_every_job_correctly() {
+        let registry = tiny_registry();
+        let cache = Arc::new(EmbedCache::new(16));
+        let stats = WorkerStats::default();
+        let (tx, rx) = mpsc::channel();
+        let jobs = vec![
+            job(JobKind::Embed, 0, 7, 0, &tx),
+            job(JobKind::Classify { rounds: 2 }, 1, 7, 1, &tx),
+            job(JobKind::Embed, 2, 9, 2, &tx),
+        ];
+        process_batch(&registry, &cache, jobs, &stats);
+        let mut results: Vec<_> = (0..3).map(|_| rx.recv().unwrap()).collect();
+        results.sort_by_key(|(slot, _)| *slot);
+
+        let want_emb0 = registry.model().embed_requests(registry.graph(), &[(0, 7)]);
+        match &results[0].1 {
+            Ok(JobOutput::Embedding(row)) => assert_eq!(row.as_slice(), want_emb0.row(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        let want_label = registry
+            .model()
+            .predict_ensemble(registry.graph(), &[1], 7, 2)[0] as u32;
+        match &results[1].1 {
+            Ok(JobOutput::Label(l)) => assert_eq!(*l, want_label),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(&results[2].1, Ok(JobOutput::Embedding(_))));
+        assert_eq!(stats.jobs.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn second_identical_embed_is_served_from_cache() {
+        let registry = tiny_registry();
+        let cache = Arc::new(EmbedCache::new(16));
+        let stats = WorkerStats::default();
+        let (tx, rx) = mpsc::channel();
+        process_batch(
+            &registry,
+            &cache,
+            vec![job(JobKind::Embed, 3, 11, 0, &tx)],
+            &stats,
+        );
+        let first = rx.recv().unwrap().1.unwrap();
+        process_batch(
+            &registry,
+            &cache,
+            vec![job(JobKind::Embed, 3, 11, 0, &tx)],
+            &stats,
+        );
+        let second = rx.recv().unwrap().1.unwrap();
+        assert_eq!(first, second);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn duplicate_jobs_share_one_computation() {
+        let registry = tiny_registry();
+        let cache = Arc::new(EmbedCache::new(0));
+        let stats = WorkerStats::default();
+        let (tx, rx) = mpsc::channel();
+        // Three identical classify jobs + one identical embed pair.
+        let jobs = vec![
+            job(JobKind::Classify { rounds: 2 }, 4, 13, 0, &tx),
+            job(JobKind::Classify { rounds: 2 }, 4, 13, 1, &tx),
+            job(JobKind::Classify { rounds: 2 }, 4, 13, 2, &tx),
+            job(JobKind::Embed, 6, 13, 3, &tx),
+            job(JobKind::Embed, 6, 13, 4, &tx),
+        ];
+        process_batch(&registry, &cache, jobs, &stats);
+        let mut results: Vec<_> = (0..5).map(|_| rx.recv().unwrap()).collect();
+        results.sort_by_key(|(slot, _)| *slot);
+
+        let want_label = registry
+            .model()
+            .predict_ensemble(registry.graph(), &[4], 13, 2)[0] as u32;
+        for (_, r) in &results[..3] {
+            assert_eq!(r, &Ok(JobOutput::Label(want_label)));
+        }
+        let want_row = registry
+            .model()
+            .embed_requests(registry.graph(), &[(6, 13)]);
+        for (_, r) in &results[3..] {
+            match r {
+                Ok(JobOutput::Embedding(row)) => assert_eq!(row.as_slice(), want_row.row(0)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // 2 duplicate classifies + 1 duplicate embed were fanned out.
+        assert_eq!(stats.dedup_hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn expired_jobs_get_deadline_errors_without_compute() {
+        let registry = tiny_registry();
+        let cache = Arc::new(EmbedCache::new(16));
+        let stats = WorkerStats::default();
+        let (tx, rx) = mpsc::channel();
+        let mut expired = job(JobKind::Embed, 0, 1, 0, &tx);
+        expired.deadline = Instant::now() - Duration::from_millis(1);
+        process_batch(&registry, &cache, vec![expired], &stats);
+        assert_eq!(rx.recv().unwrap().1, Err(ServeError::DeadlineExceeded));
+        assert_eq!(stats.deadline_drops.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Bounded LRU cache for served embeddings.
+//!
+//! Keyed by `(node, checkpoint_hash, seed)` — the full determinism
+//! contract of an embedding request. The checkpoint hash (FNV-1a over the
+//! exact checkpoint bytes, see [`widen_tensor::digest64`]) makes entries
+//! from a previous model generation unreachable without an explicit flush:
+//! swap the registry, and every old key simply stops being asked for.
+
+use std::hash::Hash;
+
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// An O(1) least-recently-used map: intrusive doubly-linked list over a
+/// slab, with an `FxHashMap` index. Capacity 0 disables caching entirely.
+pub struct Lru<K, V> {
+    map: FxHashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    cap: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> Lru<K, V> {
+    /// A cache holding at most `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            map: FxHashMap::default(),
+            slab: Vec::with_capacity(cap.min(1024)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            cap,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        if idx != self.head {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(&self.slab[idx].value)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when full. A zero-capacity cache drops everything.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            if idx != self.head {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return;
+        }
+        if self.map.len() >= self.cap {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
+        }
+        let idx = if let Some(idx) = self.free.pop() {
+            self.slab[idx] = Entry {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            };
+            idx
+        } else {
+            self.slab.push(Entry {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+}
+
+/// Cache key: the complete identity of a served embedding.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EmbedKey {
+    /// Target node.
+    pub node: u32,
+    /// [`widen_tensor::digest64`] of the model's checkpoint bytes.
+    pub checkpoint_hash: u64,
+    /// Neighbourhood sampling seed.
+    pub seed: u64,
+}
+
+/// Hit/miss counters, exported through server stats.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the model.
+    pub misses: u64,
+}
+
+/// Thread-safe embedding cache shared by all batcher workers.
+pub struct EmbedCache {
+    inner: Mutex<(Lru<EmbedKey, Vec<f32>>, CacheStats)>,
+}
+
+impl EmbedCache {
+    /// A cache holding at most `cap` embeddings (0 disables caching).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new((Lru::new(cap), CacheStats::default())),
+        }
+    }
+
+    /// Cached embedding for `key`, if present.
+    pub fn get(&self, key: &EmbedKey) -> Option<Vec<f32>> {
+        let mut guard = self.inner.lock();
+        let (lru, stats) = &mut *guard;
+        match lru.get(key) {
+            Some(v) => {
+                stats.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores an embedding.
+    pub fn insert(&self, key: EmbedKey, value: Vec<f32>) {
+        self.inner.lock().0.insert(key, value);
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().1
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().0.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = Lru::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.get(&"a"), Some(&1)); // promote a
+        lru.insert("c", 3); // evicts b
+        assert_eq!(lru.get(&"b"), None);
+        assert_eq!(lru.get(&"a"), Some(&1));
+        assert_eq!(lru.get(&"c"), Some(&3));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn refresh_updates_value_and_recency() {
+        let mut lru = Lru::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        lru.insert("a", 10); // refresh: a becomes MRU
+        lru.insert("c", 3); // evicts b
+        assert_eq!(lru.get(&"a"), Some(&10));
+        assert_eq!(lru.get(&"b"), None);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut lru = Lru::new(0);
+        lru.insert("a", 1);
+        assert_eq!(lru.get(&"a"), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn slab_reuse_keeps_len_bounded() {
+        let mut lru = Lru::new(3);
+        for i in 0..100u32 {
+            lru.insert(i, i * 2);
+        }
+        assert_eq!(lru.len(), 3);
+        for i in 97..100 {
+            assert_eq!(lru.get(&i), Some(&(i * 2)));
+        }
+    }
+
+    #[test]
+    fn embed_cache_counts_hits_and_misses() {
+        let cache = EmbedCache::new(8);
+        let key = EmbedKey {
+            node: 1,
+            checkpoint_hash: 0xAB,
+            seed: 7,
+        };
+        assert!(cache.get(&key).is_none());
+        cache.insert(key, vec![1.0, 2.0]);
+        assert_eq!(cache.get(&key), Some(vec![1.0, 2.0]));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // A different checkpoint generation misses.
+        let other = EmbedKey {
+            checkpoint_hash: 0xCD,
+            ..key
+        };
+        assert!(cache.get(&other).is_none());
+    }
+}

@@ -1,0 +1,164 @@
+//! Blocking client for the WIDEN serving protocol.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::error::ServeError;
+use crate::protocol::{decode_response, encode_request, FrameReader, Request, Response, WireError};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent bytes that do not decode.
+    Wire(WireError),
+    /// The server answered with an error response.
+    Server(ServeError),
+    /// The server answered with the wrong response shape or id.
+    Mismatch(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Mismatch(what) => write!(f, "response mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a serving instance. One request is in flight
+/// at a time; responses are matched back by request id.
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server, e.g. `Client::connect(handle.local_addr())`.
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // Far beyond any server deadline; guards against a hung peer.
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(Self {
+            stream,
+            reader: FrameReader::new(),
+            next_id: 1,
+        })
+    }
+
+    /// Requests embeddings for `nodes` sampled with `seed`; returns one
+    /// `d`-dimensional row per node, in request order.
+    ///
+    /// # Errors
+    /// Returns a [`ClientError`] on transport failure or a server-reported
+    /// error (overload, deadline, bad request, shutdown).
+    pub fn embed(&mut self, nodes: &[u32], seed: u64) -> Result<Vec<Vec<f32>>, ClientError> {
+        let id = self.fresh_id();
+        let response = self.call(&Request::Embed {
+            id,
+            seed,
+            nodes: nodes.to_vec(),
+        })?;
+        match response {
+            Response::Embeddings {
+                id: rid,
+                dim,
+                values,
+            } => {
+                if rid != id {
+                    return Err(ClientError::Mismatch("response id"));
+                }
+                let dim = dim as usize;
+                if dim == 0 || values.len() != nodes.len() * dim {
+                    if nodes.is_empty() && values.is_empty() {
+                        return Ok(Vec::new());
+                    }
+                    return Err(ClientError::Mismatch("embedding shape"));
+                }
+                Ok(values.chunks_exact(dim).map(<[f32]>::to_vec).collect())
+            }
+            Response::Error { code, message, .. } => {
+                Err(ClientError::Server(ServeError::from_code(code, message)))
+            }
+            Response::Classes { .. } => Err(ClientError::Mismatch("expected embeddings")),
+        }
+    }
+
+    /// Requests ensemble-classified labels for `nodes`; equals the serial
+    /// `predict_ensemble(graph, nodes, seed, rounds)` answer.
+    ///
+    /// # Errors
+    /// Returns a [`ClientError`] on transport failure or a server-reported
+    /// error.
+    pub fn classify(
+        &mut self,
+        nodes: &[u32],
+        seed: u64,
+        rounds: u32,
+    ) -> Result<Vec<u32>, ClientError> {
+        let id = self.fresh_id();
+        let response = self.call(&Request::Classify {
+            id,
+            seed,
+            rounds,
+            nodes: nodes.to_vec(),
+        })?;
+        match response {
+            Response::Classes { id: rid, labels } => {
+                if rid != id {
+                    return Err(ClientError::Mismatch("response id"));
+                }
+                if labels.len() != nodes.len() {
+                    return Err(ClientError::Mismatch("label count"));
+                }
+                Ok(labels)
+            }
+            Response::Error { code, message, .. } => {
+                Err(ClientError::Server(ServeError::from_code(code, message)))
+            }
+            Response::Embeddings { .. } => Err(ClientError::Mismatch("expected classes")),
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.stream.write_all(&encode_request(request))?;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            if let Some(body) = self.reader.next_frame().map_err(ClientError::Wire)? {
+                return decode_response(&body).map_err(ClientError::Wire);
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                )));
+            }
+            self.reader.push(&buf[..n]);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # widen-serve
+//!
+//! A concurrent, micro-batched inference service over the WIDEN batched
+//! execution engine — the paper's inductive-inference story (RQ2) turned
+//! into an online system: a request names unseen nodes and a sampling
+//! seed, the server embeds or classifies them from freshly sampled
+//! neighbourhoods and the trained weights.
+//!
+//! Pieces:
+//!
+//! * [`ModelRegistry`] — checkpoint-backed model bundle loaded through the
+//!   fallible `try_load_weights` path; its checkpoint digest doubles as
+//!   the cache generation id.
+//! * micro-batching queue ([`ServeConfig::max_batch`] /
+//!   [`ServeConfig::max_wait_us`]) — concurrent requests from different
+//!   clients coalesce into one fused `forward_batch` /
+//!   ensemble-logits call, so server throughput inherits the batched
+//!   engine's win. Batch-composition invariance (a per-node output is
+//!   bit-identical regardless of its chunk neighbours) makes this purely a
+//!   throughput knob.
+//! * [`protocol`] — a length-prefixed binary wire protocol (magic,
+//!   version, request id, node ids, seed) with a defensive incremental
+//!   [`protocol::FrameReader`].
+//! * [`EmbedCache`] — bounded LRU keyed `(node, checkpoint_hash, seed)`.
+//! * [`Server`] / [`Client`] — std-TCP threads; bounded-queue
+//!   backpressure (`Overloaded`), per-request deadlines
+//!   (`DeadlineExceeded`), and graceful drain-on-shutdown (every accepted
+//!   request is answered before threads exit).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use widen_core::{WidenConfig, WidenModel};
+//! use widen_serve::{Client, ModelRegistry, ServeConfig, Server};
+//! # fn demo(graph: widen_graph::HeteroGraph, checkpoint: &[u8]) -> Result<(), Box<dyn std::error::Error>> {
+//! let registry = ModelRegistry::from_checkpoint(graph, WidenConfig::paper(), checkpoint)?;
+//! let handle = Server::bind(registry, ServeConfig::default(), "127.0.0.1:0")?;
+//! let mut client = Client::connect(handle.local_addr())?;
+//! let labels = client.classify(&[42, 7], /*seed=*/ 1, /*rounds=*/ 3)?;
+//! let rows = client.embed(&[42], 1)?;
+//! # let _ = (labels, rows);
+//! handle.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod batcher;
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use cache::{CacheStats, EmbedCache, EmbedKey};
+pub use client::{Client, ClientError};
+pub use error::ServeError;
+pub use protocol::{Request, Response, WireError};
+pub use registry::ModelRegistry;
+pub use server::{ServeConfig, ServeStats, Server, ServerHandle};

@@ -1,0 +1,582 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! len   u32 LE            body length (excluding this prefix), ≤ MAX_FRAME_LEN
+//! body:
+//!   magic   "WSV1"        4 bytes
+//!   version u16 LE        protocol version (1)
+//!   type    u8            message discriminant
+//!   id      u64 LE        request id, echoed in the response
+//!   ...                   type-specific payload, see below
+//! ```
+//!
+//! | type | message  | payload |
+//! |---|---|---|
+//! | 1 | Embed request    | `seed u64, count u32, count × node u32` |
+//! | 2 | Classify request | `seed u64, rounds u32, count u32, count × node u32` |
+//! | 3 | Embeddings       | `rows u32, cols u32, rows·cols × f32` |
+//! | 4 | Classes          | `count u32, count × label u32` |
+//! | 5 | Error            | `code u8, msg_len u32, msg utf-8` |
+//!
+//! Decoding is fully defensive: declared lengths are validated against the
+//! remaining bytes *before* any allocation, oversized frames are rejected
+//! at the length prefix, and trailing bytes inside a body are an error —
+//! a malformed peer can never panic the other side.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::error::ServeError;
+
+/// Frame body magic.
+pub const MAGIC: [u8; 4] = *b"WSV1";
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+/// Hard upper bound on a frame body; larger length prefixes are rejected
+/// without buffering.
+pub const MAX_FRAME_LEN: usize = 1 << 22;
+/// Upper bound on node ids per request — keeps one request from occupying
+/// a whole batch window forever.
+pub const MAX_NODES_PER_REQUEST: usize = 4096;
+
+const TYPE_EMBED: u8 = 1;
+const TYPE_CLASSIFY: u8 = 2;
+const TYPE_EMBEDDINGS: u8 = 3;
+const TYPE_CLASSES: u8 = 4;
+const TYPE_ERROR: u8 = 5;
+
+/// Wire-level decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The declared body length.
+        declared: usize,
+    },
+    /// The body does not start with [`MAGIC`].
+    BadMagic,
+    /// The body's version is not [`VERSION`].
+    BadVersion(u16),
+    /// Unknown message type discriminant.
+    BadType(u8),
+    /// The body ended before the declared content, declared counts exceed
+    /// limits, or trailing bytes remain.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Oversized { declared } => {
+                write!(f, "frame of {declared} bytes exceeds {MAX_FRAME_LEN}")
+            }
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadType(t) => write!(f, "unknown message type {t}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Embed each node from a neighbourhood sampled with `seed`.
+    Embed {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+        /// Sampling seed (determinism contract: same node + seed + weights
+        /// → bit-identical embedding).
+        seed: u64,
+        /// Nodes to embed.
+        nodes: Vec<u32>,
+    },
+    /// Classify each node by `rounds`-fold ensemble logits.
+    Classify {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+        /// Sampling seed.
+        seed: u64,
+        /// Ensemble rounds (≥ 1).
+        rounds: u32,
+        /// Nodes to classify.
+        nodes: Vec<u32>,
+    },
+}
+
+impl Request {
+    /// The request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Embed { id, .. } | Request::Classify { id, .. } => *id,
+        }
+    }
+
+    /// The nodes the request touches.
+    pub fn nodes(&self) -> &[u32] {
+        match self {
+            Request::Embed { nodes, .. } | Request::Classify { nodes, .. } => nodes,
+        }
+    }
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// One embedding row per requested node, in request order.
+    Embeddings {
+        /// Echoed request id.
+        id: u64,
+        /// Embedding dimensionality.
+        dim: u32,
+        /// Row-major `rows × dim` values.
+        values: Vec<f32>,
+    },
+    /// One class label per requested node, in request order.
+    Classes {
+        /// Echoed request id.
+        id: u64,
+        /// Predicted labels.
+        labels: Vec<u32>,
+    },
+    /// The request failed.
+    Error {
+        /// Echoed request id (0 when the id could not be decoded).
+        id: u64,
+        /// Stable [`ServeError`] code.
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Builds an error response from a [`ServeError`].
+    pub fn from_error(id: u64, err: &ServeError) -> Self {
+        Response::Error {
+            id,
+            code: err.code(),
+            message: err.message().to_string(),
+        }
+    }
+}
+
+fn frame(body: BytesMut) -> Vec<u8> {
+    let mut out = BytesMut::with_capacity(4 + body.len());
+    out.put_u32_le(body.len() as u32);
+    out.put_slice(&body);
+    out.freeze().to_vec()
+}
+
+fn body_header(msg_type: u8, id: u64, payload_hint: usize) -> BytesMut {
+    let mut b = BytesMut::with_capacity(15 + payload_hint);
+    b.put_slice(&MAGIC);
+    b.put_u16_le(VERSION);
+    b.put_slice(&[msg_type]);
+    b.put_u64_le(id);
+    b
+}
+
+/// Encodes a request into a complete frame (length prefix included).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Embed { id, seed, nodes } => {
+            let mut b = body_header(TYPE_EMBED, *id, 12 + nodes.len() * 4);
+            b.put_u64_le(*seed);
+            b.put_u32_le(nodes.len() as u32);
+            for &n in nodes {
+                b.put_u32_le(n);
+            }
+            frame(b)
+        }
+        Request::Classify {
+            id,
+            seed,
+            rounds,
+            nodes,
+        } => {
+            let mut b = body_header(TYPE_CLASSIFY, *id, 16 + nodes.len() * 4);
+            b.put_u64_le(*seed);
+            b.put_u32_le(*rounds);
+            b.put_u32_le(nodes.len() as u32);
+            for &n in nodes {
+                b.put_u32_le(n);
+            }
+            frame(b)
+        }
+    }
+}
+
+/// Encodes a response into a complete frame (length prefix included).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Embeddings { id, dim, values } => {
+            let mut b = body_header(TYPE_EMBEDDINGS, *id, 8 + values.len() * 4);
+            let rows = if *dim == 0 {
+                0
+            } else {
+                values.len() as u32 / dim
+            };
+            b.put_u32_le(rows);
+            b.put_u32_le(*dim);
+            for &v in values {
+                b.put_f32_le(v);
+            }
+            frame(b)
+        }
+        Response::Classes { id, labels } => {
+            let mut b = body_header(TYPE_CLASSES, *id, 4 + labels.len() * 4);
+            b.put_u32_le(labels.len() as u32);
+            for &l in labels {
+                b.put_u32_le(l);
+            }
+            frame(b)
+        }
+        Response::Error { id, code, message } => {
+            let mut b = body_header(TYPE_ERROR, *id, 5 + message.len());
+            b.put_slice(&[*code]);
+            b.put_u32_le(message.len() as u32);
+            b.put_slice(message.as_bytes());
+            frame(b)
+        }
+    }
+}
+
+/// Bounds-checked sequential reader over a frame body.
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.data.len() < n {
+            return Err(WireError::Malformed(what));
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn u32_vec(&mut self, count: usize, what: &'static str) -> Result<Vec<u32>, WireError> {
+        let raw = self.take(
+            count.checked_mul(4).ok_or(WireError::Malformed(what))?,
+            what,
+        )?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.data.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+fn decode_header<'a>(body: &'a [u8]) -> Result<(u8, u64, Reader<'a>), WireError> {
+    let mut r = Reader { data: body };
+    if r.take(4, "magic")? != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = r.u16("version")?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let msg_type = r.u8("type")?;
+    let id = r.u64("id")?;
+    Ok((msg_type, id, r))
+}
+
+fn decode_nodes(r: &mut Reader<'_>) -> Result<Vec<u32>, WireError> {
+    let count = r.u32("node count")? as usize;
+    if count > MAX_NODES_PER_REQUEST {
+        return Err(WireError::Malformed("too many nodes in one request"));
+    }
+    r.u32_vec(count, "node ids")
+}
+
+/// Decodes a request body (the frame *without* its length prefix).
+///
+/// # Errors
+/// Returns a [`WireError`] on any malformation; never panics.
+pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
+    let (msg_type, id, mut r) = decode_header(body)?;
+    match msg_type {
+        TYPE_EMBED => {
+            let seed = r.u64("seed")?;
+            let nodes = decode_nodes(&mut r)?;
+            r.finish()?;
+            Ok(Request::Embed { id, seed, nodes })
+        }
+        TYPE_CLASSIFY => {
+            let seed = r.u64("seed")?;
+            let rounds = r.u32("rounds")?;
+            if rounds == 0 {
+                return Err(WireError::Malformed("zero ensemble rounds"));
+            }
+            let nodes = decode_nodes(&mut r)?;
+            r.finish()?;
+            Ok(Request::Classify {
+                id,
+                seed,
+                rounds,
+                nodes,
+            })
+        }
+        other => Err(WireError::BadType(other)),
+    }
+}
+
+/// Decodes a response body (the frame *without* its length prefix).
+///
+/// # Errors
+/// Returns a [`WireError`] on any malformation; never panics.
+pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
+    let (msg_type, id, mut r) = decode_header(body)?;
+    match msg_type {
+        TYPE_EMBEDDINGS => {
+            let rows = r.u32("rows")? as usize;
+            let cols = r.u32("cols")? as usize;
+            let scalars = rows.checked_mul(cols).ok_or(WireError::Malformed("size"))?;
+            let raw = r.take(
+                scalars.checked_mul(4).ok_or(WireError::Malformed("size"))?,
+                "embedding values",
+            )?;
+            r.finish()?;
+            let values = raw
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            Ok(Response::Embeddings {
+                id,
+                dim: cols as u32,
+                values,
+            })
+        }
+        TYPE_CLASSES => {
+            let count = r.u32("label count")? as usize;
+            if count > MAX_NODES_PER_REQUEST {
+                return Err(WireError::Malformed("too many labels"));
+            }
+            let labels = r.u32_vec(count, "labels")?;
+            r.finish()?;
+            Ok(Response::Classes { id, labels })
+        }
+        TYPE_ERROR => {
+            let code = r.u8("error code")?;
+            let msg_len = r.u32("message length")? as usize;
+            if msg_len > MAX_FRAME_LEN {
+                return Err(WireError::Malformed("oversized error message"));
+            }
+            let raw = r.take(msg_len, "message")?;
+            r.finish()?;
+            let message = std::str::from_utf8(raw)
+                .map_err(|_| WireError::Malformed("non-utf8 message"))?
+                .to_string();
+            Ok(Response::Error { id, code, message })
+        }
+        other => Err(WireError::BadType(other)),
+    }
+}
+
+/// Incremental frame assembler: feed arbitrarily-split byte chunks in,
+/// take whole frame bodies out. Used by both server and client to handle
+/// TCP's stream semantics.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily to keep pushes O(n).
+    pos: usize,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact once the dead prefix dominates, amortising to O(1)/byte.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame body, if one is fully buffered.
+    ///
+    /// # Errors
+    /// [`WireError::Oversized`] as soon as a length prefix exceeds
+    /// [`MAX_FRAME_LEN`] — the connection should be dropped, since framing
+    /// can no longer be trusted.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let declared = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
+        if declared > MAX_FRAME_LEN {
+            return Err(WireError::Oversized { declared });
+        }
+        if avail.len() < 4 + declared {
+            return Ok(None);
+        }
+        let body = avail[4..4 + declared].to_vec();
+        self.pos += 4 + declared;
+        Ok(Some(body))
+    }
+
+    /// Bytes buffered but not yet consumed (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let reqs = [
+            Request::Embed {
+                id: 42,
+                seed: 7,
+                nodes: vec![0, 1, 99],
+            },
+            Request::Classify {
+                id: u64::MAX,
+                seed: 0,
+                rounds: 3,
+                nodes: vec![5],
+            },
+        ];
+        for req in &reqs {
+            let wire = encode_request(req);
+            let mut fr = FrameReader::new();
+            fr.push(&wire);
+            let body = fr.next_frame().unwrap().expect("complete frame");
+            assert_eq!(&decode_request(&body).unwrap(), req);
+            assert!(fr.next_frame().unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let resps = [
+            Response::Embeddings {
+                id: 1,
+                dim: 2,
+                values: vec![0.5, -1.25, 3.0, 0.0],
+            },
+            Response::Classes {
+                id: 2,
+                labels: vec![0, 1, 1],
+            },
+            Response::Error {
+                id: 3,
+                code: 2,
+                message: "deadline exceeded".into(),
+            },
+        ];
+        for resp in &resps {
+            let wire = encode_response(resp);
+            let mut fr = FrameReader::new();
+            fr.push(&wire);
+            let body = fr.next_frame().unwrap().unwrap();
+            assert_eq!(&decode_response(&body).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn split_reads_reassemble() {
+        let wire = encode_request(&Request::Embed {
+            id: 9,
+            seed: 3,
+            nodes: (0..50).collect(),
+        });
+        let mut fr = FrameReader::new();
+        for b in &wire {
+            assert!(fr.next_frame().unwrap().is_none() || fr.pending() == 0);
+            fr.push(std::slice::from_ref(b));
+        }
+        let body = fr.next_frame().unwrap().expect("assembled from bytes");
+        assert!(matches!(
+            decode_request(&body).unwrap(),
+            Request::Embed { id: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut fr = FrameReader::new();
+        fr.push(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(matches!(fr.next_frame(), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn malformed_bodies_error_not_panic() {
+        // Truncations at every prefix of a valid body.
+        let wire = encode_request(&Request::Classify {
+            id: 1,
+            seed: 2,
+            rounds: 2,
+            nodes: vec![1, 2, 3],
+        });
+        let body = &wire[4..];
+        for cut in 0..body.len() {
+            assert!(decode_request(&body[..cut]).is_err(), "cut {cut}");
+        }
+        // Declared node count far beyond the actual bytes.
+        let mut b = body.to_vec();
+        let count_off = 4 + 2 + 1 + 8 + 8 + 4;
+        b[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&b).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_version_type_rejected() {
+        let wire = encode_request(&Request::Embed {
+            id: 1,
+            seed: 1,
+            nodes: vec![],
+        });
+        let mut body = wire[4..].to_vec();
+        let mut bad_magic = body.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(decode_request(&bad_magic), Err(WireError::BadMagic));
+        let mut bad_version = body.clone();
+        bad_version[4] = 0xFF;
+        assert!(matches!(
+            decode_request(&bad_version),
+            Err(WireError::BadVersion(_))
+        ));
+        body[6] = 77;
+        assert_eq!(decode_request(&body), Err(WireError::BadType(77)));
+    }
+}

@@ -1,0 +1,127 @@
+//! Checkpoint-backed model registry: the immutable bundle of graph,
+//! configuration and restored weights every worker thread reads from.
+
+use widen_core::{WidenConfig, WidenModel};
+use widen_graph::HeteroGraph;
+use widen_tensor::{digest64, CheckpointError};
+
+/// An immutable, shareable serving model: graph metadata + configuration
+/// + weights restored through the fallible checkpoint path.
+///
+/// The registry is constructed once and only ever read afterwards, so it
+/// can sit behind a plain `Arc` with no locking on the hot path.
+pub struct ModelRegistry {
+    model: WidenModel,
+    graph: HeteroGraph,
+    checkpoint_hash: u64,
+}
+
+impl ModelRegistry {
+    /// Builds a registry by constructing a model for `graph`/`config` and
+    /// restoring `checkpoint` through
+    /// [`WidenModel::try_load_weights`].
+    ///
+    /// # Errors
+    /// Returns the [`CheckpointError`] when the checkpoint is corrupt or
+    /// does not match the model layout — malformed input never panics the
+    /// server.
+    pub fn from_checkpoint(
+        graph: HeteroGraph,
+        config: WidenConfig,
+        checkpoint: &[u8],
+    ) -> Result<Self, CheckpointError> {
+        let mut model = WidenModel::for_graph(&graph, config);
+        model.try_load_weights(checkpoint)?;
+        Ok(Self {
+            checkpoint_hash: digest64(checkpoint),
+            model,
+            graph,
+        })
+    }
+
+    /// Wraps an already-built model (e.g. freshly trained in-process). The
+    /// checkpoint hash is derived from the model's serialised weights so
+    /// cache keys stay consistent with
+    /// [`ModelRegistry::from_checkpoint`].
+    pub fn from_model(graph: HeteroGraph, model: WidenModel) -> Self {
+        let checkpoint_hash = digest64(&model.save_weights());
+        Self {
+            model,
+            graph,
+            checkpoint_hash,
+        }
+    }
+
+    /// The serving model.
+    pub fn model(&self) -> &WidenModel {
+        &self.model
+    }
+
+    /// The graph requests resolve node ids against.
+    pub fn graph(&self) -> &HeteroGraph {
+        &self.graph
+    }
+
+    /// FNV-1a digest of the checkpoint bytes — the cache-key generation id.
+    pub fn checkpoint_hash(&self) -> u64 {
+        self.checkpoint_hash
+    }
+
+    /// Whether `node` exists in the served graph.
+    pub fn contains_node(&self, node: u32) -> bool {
+        (node as usize) < self.graph.num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widen_data::{acm_like, Scale};
+
+    fn tiny_config() -> WidenConfig {
+        let mut c = WidenConfig::small();
+        c.d = 8;
+        c.n_w = 4;
+        c.n_d = 4;
+        c.phi = 1;
+        c
+    }
+
+    #[test]
+    fn checkpoint_round_trip_through_registry() {
+        let dataset = acm_like(Scale::Smoke, 3);
+        let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+        let checkpoint = model.save_weights();
+        let registry =
+            ModelRegistry::from_checkpoint(dataset.graph.clone(), tiny_config(), &checkpoint)
+                .expect("valid checkpoint");
+        assert_eq!(registry.checkpoint_hash(), digest64(&checkpoint));
+        // Weights actually restored: embeddings agree bit-for-bit.
+        let a = model.embed_nodes(&dataset.graph, &[0, 1], 5);
+        let b = registry.model().embed_nodes(registry.graph(), &[0, 1], 5);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        assert!(registry.contains_node(0));
+        assert!(!registry.contains_node(u32::MAX));
+    }
+
+    #[test]
+    fn malformed_checkpoint_is_an_error_not_a_panic() {
+        let dataset = acm_like(Scale::Smoke, 3);
+        let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+        let mut checkpoint = model.save_weights().to_vec();
+        checkpoint[20] ^= 0xFF;
+        let result = ModelRegistry::from_checkpoint(dataset.graph, tiny_config(), &checkpoint);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn from_model_hash_matches_from_checkpoint() {
+        let dataset = acm_like(Scale::Smoke, 4);
+        let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+        let checkpoint = model.save_weights();
+        let via_model = ModelRegistry::from_model(dataset.graph.clone(), model);
+        let via_ckpt =
+            ModelRegistry::from_checkpoint(dataset.graph, tiny_config(), &checkpoint).unwrap();
+        assert_eq!(via_model.checkpoint_hash(), via_ckpt.checkpoint_hash());
+    }
+}

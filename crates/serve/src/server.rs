@@ -1,0 +1,447 @@
+//! The TCP front-end: accepts connections, decodes request frames, fans
+//! each request out into per-node jobs on the shared micro-batch queue,
+//! and writes back one response frame per request.
+//!
+//! Threading model (all std threads, no async runtime):
+//!
+//! ```text
+//! acceptor ──spawns──▶ one handler per connection ──jobs──▶ bounded MPMC queue
+//!                                                              │
+//!                      handler ◀─── per-request mpsc ─── batcher workers (×W)
+//! ```
+//!
+//! Shutdown is graceful by construction: the acceptor stops first, handlers
+//! finish the request they are on and answer anything still buffered, and
+//! the workers keep draining the job queue until it is empty before
+//! exiting — an accepted request is never dropped without a response.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{bounded, Sender, TrySendError};
+use parking_lot::Mutex;
+
+use crate::batcher::{run_worker, BatchPolicy, Job, JobKind, JobOutput, WorkerStats};
+use crate::cache::EmbedCache;
+use crate::error::ServeError;
+use crate::protocol::{decode_request, encode_response, FrameReader, Request, Response};
+use crate::registry::ModelRegistry;
+
+/// Tunables for one server instance.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Batcher worker threads pulling from the shared queue.
+    pub workers: usize,
+    /// Maximum jobs coalesced into one fused forward pass. `1` disables
+    /// micro-batching (the baseline the throughput bench compares against).
+    pub max_batch: usize,
+    /// How long the first job in a window waits for company, in µs.
+    pub max_wait_us: u64,
+    /// Bounded job-queue depth; a full queue answers `Overloaded`
+    /// (backpressure) instead of buffering without limit.
+    pub queue_depth: usize,
+    /// Per-request deadline in ms; jobs not answered in time get
+    /// `DeadlineExceeded`.
+    pub request_timeout_ms: u64,
+    /// LRU embedding-cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            max_batch: 32,
+            max_wait_us: 500,
+            queue_depth: 1024,
+            request_timeout_ms: 5_000,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Counter snapshot returned by [`ServerHandle::stats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Requests fully answered (success or error).
+    pub requests: u64,
+    /// Per-node jobs processed by the batchers.
+    pub jobs: u64,
+    /// Fused batches executed; `jobs / batches` is the achieved mean
+    /// batch size.
+    pub batches: u64,
+    /// Jobs answered with `DeadlineExceeded` instead of being computed.
+    pub deadline_drops: u64,
+    /// Jobs answered by an identical job's computation in the same window
+    /// (singleflight dedup).
+    pub dedup_hits: u64,
+    /// Embedding-cache hits.
+    pub cache_hits: u64,
+    /// Embedding-cache misses.
+    pub cache_misses: u64,
+}
+
+struct Shared {
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    cache: Arc<EmbedCache>,
+    worker_stats: Arc<WorkerStats>,
+    registry: Arc<ModelRegistry>,
+    request_timeout: Duration,
+}
+
+/// The in-process inference server.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), spawns the
+    /// acceptor and `config.workers` batcher threads, and returns a handle
+    /// for stats and shutdown.
+    ///
+    /// # Errors
+    /// Propagates socket-binding failures.
+    pub fn bind(
+        registry: ModelRegistry,
+        config: ServeConfig,
+        addr: &str,
+    ) -> std::io::Result<ServerHandle> {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.max_batch >= 1, "max_batch must be ≥ 1");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+
+        let registry = Arc::new(registry);
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            cache: Arc::new(EmbedCache::new(config.cache_capacity)),
+            worker_stats: Arc::new(WorkerStats::default()),
+            registry: registry.clone(),
+            request_timeout: Duration::from_millis(config.request_timeout_ms),
+        });
+
+        let (job_tx, job_rx) = bounded::<Job>(config.queue_depth);
+        let policy = BatchPolicy {
+            max_batch: config.max_batch,
+            max_wait: Duration::from_micros(config.max_wait_us),
+        };
+        let workers: Vec<JoinHandle<()>> = (0..config.workers)
+            .map(|i| {
+                let registry = registry.clone();
+                let cache = shared.cache.clone();
+                let rx = job_rx.clone();
+                let stats = shared.worker_stats.clone();
+                std::thread::Builder::new()
+                    .name(format!("widen-batcher-{i}"))
+                    .spawn(move || run_worker(registry, cache, rx, policy, stats))
+                    .expect("spawn worker")
+            })
+            .collect();
+        drop(job_rx);
+
+        let acceptor = {
+            let shared = shared.clone();
+            let job_tx = job_tx.clone();
+            std::thread::Builder::new()
+                .name("widen-acceptor".into())
+                .spawn(move || accept_loop(listener, shared, job_tx))
+                .expect("spawn acceptor")
+        };
+
+        Ok(ServerHandle {
+            addr: local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            job_tx: Some(job_tx),
+        })
+    }
+}
+
+/// Running-server handle: address, live stats, graceful shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    job_tx: Option<Sender<Job>>,
+}
+
+impl ServerHandle {
+    /// The bound address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the throughput and cache counters.
+    pub fn stats(&self) -> ServeStats {
+        let cache = self.shared.cache.stats();
+        ServeStats {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            jobs: self.shared.worker_stats.jobs.load(Ordering::Relaxed),
+            batches: self.shared.worker_stats.batches.load(Ordering::Relaxed),
+            deadline_drops: self
+                .shared
+                .worker_stats
+                .deadline_drops
+                .load(Ordering::Relaxed),
+            dedup_hits: self.shared.worker_stats.dedup_hits.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+        }
+    }
+
+    /// Stops accepting, drains every in-flight request to a response, and
+    /// joins all threads. Idempotent via [`Drop`].
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_in_place();
+        self.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = acceptor.join();
+        // No new handlers can appear now; join the existing ones. They
+        // finish whatever requests they have outstanding first (workers
+        // are still running and draining).
+        let conns: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.conns.lock());
+        for conn in conns {
+            let _ = conn.join();
+        }
+        // All handler-side senders are gone; dropping ours disconnects the
+        // queue. Workers drain what is left, answer it, then exit.
+        drop(self.job_tx.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, job_tx: Sender<Job>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let handler = {
+            let shared = shared.clone();
+            let job_tx = job_tx.clone();
+            std::thread::Builder::new()
+                .name("widen-conn".into())
+                .spawn(move || handle_connection(stream, shared, job_tx))
+                .expect("spawn handler")
+        };
+        shared.conns.lock().push(handler);
+    }
+}
+
+/// Reads frames off one connection until EOF, error, or drain-complete
+/// shutdown. Every fully received request is answered, shutdown or not.
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>, job_tx: Sender<Job>) {
+    let _ = stream.set_nodelay(true);
+    // Short read timeout so the loop can notice the shutdown flag.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 16 * 1024];
+    let mut draining = false;
+    loop {
+        // Answer everything already buffered before reading more.
+        loop {
+            match reader.next_frame() {
+                Ok(Some(body)) => {
+                    if !handle_frame(&body, &mut stream, &shared, &job_tx) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    // Framing is no longer trustworthy: best-effort error
+                    // reply, then drop the connection.
+                    let resp = Response::from_error(0, &ServeError::BadRequest(err.to_string()));
+                    let _ = stream.write_all(&encode_response(&resp));
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // client hung up
+            Ok(n) => reader.push(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    if draining {
+                        return;
+                    }
+                    // One more read pass to catch bytes that raced the
+                    // shutdown flag, then exit on the next quiet timeout.
+                    draining = true;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decodes and fully answers one request frame. Returns `false` when the
+/// connection should close.
+fn handle_frame(
+    body: &[u8],
+    stream: &mut TcpStream,
+    shared: &Shared,
+    job_tx: &Sender<Job>,
+) -> bool {
+    let request = match decode_request(body) {
+        Ok(req) => req,
+        Err(err) => {
+            let resp = Response::from_error(0, &ServeError::BadRequest(err.to_string()));
+            let _ = stream.write_all(&encode_response(&resp));
+            return false;
+        }
+    };
+    let response = answer_request(&request, shared, job_tx);
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    stream.write_all(&encode_response(&response)).is_ok()
+}
+
+fn answer_request(request: &Request, shared: &Shared, job_tx: &Sender<Job>) -> Response {
+    let id = request.id();
+    if let Some(&bad) = request
+        .nodes()
+        .iter()
+        .find(|&&n| !shared.registry.contains_node(n))
+    {
+        return Response::from_error(
+            id,
+            &ServeError::BadRequest(format!("node {bad} outside the served graph")),
+        );
+    }
+    let d = shared.registry.model().config.d as u32;
+    if request.nodes().is_empty() {
+        return match request {
+            Request::Embed { .. } => Response::Embeddings {
+                id,
+                dim: d,
+                values: Vec::new(),
+            },
+            Request::Classify { .. } => Response::Classes {
+                id,
+                labels: Vec::new(),
+            },
+        };
+    }
+
+    let (kind, seed) = match request {
+        Request::Embed { seed, .. } => (JobKind::Embed, *seed),
+        Request::Classify { seed, rounds, .. } => (JobKind::Classify { rounds: *rounds }, *seed),
+    };
+    let deadline = Instant::now() + shared.request_timeout;
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let mut enqueued = 0usize;
+    let mut enqueue_failure: Option<ServeError> = None;
+    for (slot, &node) in request.nodes().iter().enumerate() {
+        let job = Job {
+            kind,
+            node,
+            seed,
+            deadline,
+            slot,
+            reply: reply_tx.clone(),
+        };
+        match job_tx.try_send(job) {
+            Ok(()) => enqueued += 1,
+            Err(TrySendError::Full(_)) => {
+                enqueue_failure = Some(ServeError::Overloaded);
+                break;
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                enqueue_failure = Some(ServeError::ShuttingDown);
+                break;
+            }
+        }
+    }
+    drop(reply_tx);
+
+    // Collect every enqueued job's answer — even when part of the request
+    // failed to enqueue, the queued jobs still compute and must be reaped.
+    let mut results: Vec<Option<Result<JobOutput, ServeError>>> = vec![None; request.nodes().len()];
+    let reap_deadline = deadline + Duration::from_millis(250);
+    for _ in 0..enqueued {
+        let remaining = reap_deadline.saturating_duration_since(Instant::now());
+        match reply_rx.recv_timeout(remaining) {
+            Ok((slot, result)) => results[slot] = Some(result),
+            Err(_) => {
+                return Response::from_error(id, &ServeError::DeadlineExceeded);
+            }
+        }
+    }
+    if let Some(err) = enqueue_failure {
+        return Response::from_error(id, &err);
+    }
+    if let Some(err) = results
+        .iter()
+        .filter_map(|r| r.as_ref().and_then(|r| r.as_ref().err()))
+        .next()
+    {
+        return Response::from_error(id, err);
+    }
+
+    match request {
+        Request::Embed { .. } => {
+            let mut values = Vec::with_capacity(request.nodes().len() * d as usize);
+            for result in results {
+                match result {
+                    Some(Ok(JobOutput::Embedding(row))) => values.extend_from_slice(&row),
+                    _ => {
+                        return Response::from_error(
+                            id,
+                            &ServeError::Internal("job answered with wrong output kind".into()),
+                        )
+                    }
+                }
+            }
+            Response::Embeddings { id, dim: d, values }
+        }
+        Request::Classify { .. } => {
+            let mut labels = Vec::with_capacity(request.nodes().len());
+            for result in results {
+                match result {
+                    Some(Ok(JobOutput::Label(label))) => labels.push(label),
+                    _ => {
+                        return Response::from_error(
+                            id,
+                            &ServeError::Internal("job answered with wrong output kind".into()),
+                        )
+                    }
+                }
+            }
+            Response::Classes { id, labels }
+        }
+    }
+}

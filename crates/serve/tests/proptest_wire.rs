@@ -1,0 +1,156 @@
+//! Property tests of the serving wire protocol: frame encode/decode
+//! roundtrips survive arbitrary split-read boundaries, oversized length
+//! prefixes are rejected at the prefix, and mutated bodies never panic
+//! the decoder.
+
+use proptest::prelude::*;
+use widen_serve::protocol::{
+    decode_request, decode_response, encode_request, encode_response, FrameReader, MAX_FRAME_LEN,
+};
+use widen_serve::{Request, Response, WireError};
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+        1u32..9,
+        prop::collection::vec(any::<u32>(), 0..40),
+    )
+        .prop_map(|(id, seed, embed, rounds, nodes)| {
+            if embed {
+                Request::Embed { id, seed, nodes }
+            } else {
+                Request::Classify {
+                    id,
+                    seed,
+                    rounds,
+                    nodes,
+                }
+            }
+        })
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    (
+        any::<u64>(),
+        0usize..3,
+        1u32..7,
+        prop::collection::vec(-10.0f32..10.0, 0..36),
+        prop::collection::vec(any::<u32>(), 0..12),
+    )
+        .prop_map(|(id, kind, dim, values, labels)| match kind {
+            0 => {
+                // Trim the flat values to a whole number of `dim`-wide rows.
+                let rows = values.len() / dim as usize;
+                Response::Embeddings {
+                    id,
+                    dim,
+                    values: values[..rows * dim as usize].to_vec(),
+                }
+            }
+            1 => Response::Classes { id, labels },
+            _ => Response::Error {
+                id,
+                code: (dim % 5) as u8 + 1,
+                message: format!("error detail {id}"),
+            },
+        })
+}
+
+/// Feeds `wire` into a FrameReader in chunks whose sizes cycle through
+/// `cuts`, draining every completed frame along the way.
+fn reassemble(wire: &[u8], cuts: &[usize]) -> Result<Vec<Vec<u8>>, WireError> {
+    let mut fr = FrameReader::new();
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    let mut k = 0usize;
+    while pos < wire.len() {
+        let step = cuts[k % cuts.len()].min(wire.len() - pos);
+        k += 1;
+        fr.push(&wire[pos..pos + step]);
+        pos += step;
+        while let Some(body) = fr.next_frame()? {
+            frames.push(body);
+        }
+    }
+    assert_eq!(fr.pending(), 0, "no partial frame may remain");
+    Ok(frames)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn requests_roundtrip_across_arbitrary_split_reads(
+        reqs in prop::collection::vec(request_strategy(), 1..5),
+        cuts in prop::collection::vec(1usize..17, 1..8),
+    ) {
+        let wire: Vec<u8> = reqs.iter().flat_map(encode_request).collect();
+        let frames = reassemble(&wire, &cuts).expect("well-formed stream");
+        prop_assert_eq!(frames.len(), reqs.len());
+        for (body, req) in frames.iter().zip(&reqs) {
+            prop_assert_eq!(&decode_request(body).expect("body decodes"), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_bit_exactly(
+        resps in prop::collection::vec(response_strategy(), 1..5),
+        cuts in prop::collection::vec(1usize..17, 1..8),
+    ) {
+        let wire: Vec<u8> = resps.iter().flat_map(encode_response).collect();
+        let frames = reassemble(&wire, &cuts).expect("well-formed stream");
+        prop_assert_eq!(frames.len(), resps.len());
+        for (body, resp) in frames.iter().zip(&resps) {
+            let decoded = decode_response(body).expect("body decodes");
+            if let (
+                Response::Embeddings { values: a, .. },
+                Response::Embeddings { values: b, .. },
+            ) = (&decoded, resp)
+            {
+                // f32 payloads must survive the wire bit-for-bit.
+                let a_bits: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+                let b_bits: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(a_bits, b_bits);
+            }
+            prop_assert_eq!(&decoded, resp);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_at_the_prefix(
+        excess in 1u32..100_000,
+        garbage in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut fr = FrameReader::new();
+        fr.push(&(MAX_FRAME_LEN as u32 + excess).to_le_bytes());
+        fr.push(&garbage);
+        prop_assert!(matches!(fr.next_frame(), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn mutated_bodies_never_panic_the_decoders(
+        req in request_strategy(),
+        raw_offset in 0usize..1_000_000,
+        mask in 1usize..256,
+        raw_cut in 0usize..1_000_000,
+    ) {
+        let wire = encode_request(&req);
+        let body = &wire[4..];
+        // Single-byte flip: may still decode (payload bytes are free-form,
+        // and a type flip can land on the other valid discriminant), but
+        // must never panic; magic/version flips are always errors.
+        let mut flipped = body.to_vec();
+        let offset = raw_offset % flipped.len();
+        flipped[offset] ^= mask as u8;
+        let outcome = decode_request(&flipped);
+        if offset < 6 {
+            prop_assert!(outcome.is_err(), "header flip at {offset} must not decode");
+        }
+        // Truncation at every possible boundary is an error, never a panic.
+        let cut = raw_cut % body.len();
+        prop_assert!(decode_request(&body[..cut]).is_err());
+        prop_assert!(decode_response(&body[..cut]).is_err());
+    }
+}

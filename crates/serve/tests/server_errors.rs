@@ -1,0 +1,211 @@
+//! Deterministic end-to-end exercises of the server's error and cache
+//! paths: bad nodes, empty requests, backpressure, deadlines, malformed
+//! frames, and repeat-request cache hits.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use widen_core::{WidenConfig, WidenModel};
+use widen_data::{acm_like, Scale};
+use widen_serve::protocol::{decode_response, encode_request, FrameReader};
+use widen_serve::{
+    Client, ClientError, ModelRegistry, Request, Response, ServeConfig, ServeError, Server,
+};
+
+fn tiny_config() -> WidenConfig {
+    let mut c = WidenConfig::small();
+    c.d = 8;
+    c.n_w = 4;
+    c.n_d = 4;
+    c.phi = 1;
+    c
+}
+
+fn tiny_registry(seed: u64) -> ModelRegistry {
+    let dataset = acm_like(Scale::Smoke, seed);
+    let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+    ModelRegistry::from_model(dataset.graph, model)
+}
+
+#[test]
+fn unknown_node_is_a_bad_request() {
+    let handle = Server::bind(tiny_registry(50), ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let err = client.classify(&[u32::MAX], 1, 2).unwrap_err();
+    assert!(
+        matches!(err, ClientError::Server(ServeError::BadRequest(_))),
+        "got {err:?}"
+    );
+    // The connection stays usable after a request-level error.
+    let labels = client.classify(&[0, 1], 1, 2).unwrap();
+    assert_eq!(labels.len(), 2);
+    handle.shutdown();
+}
+
+#[test]
+fn empty_requests_answer_immediately() {
+    let handle = Server::bind(tiny_registry(51), ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    assert!(client.embed(&[], 1).unwrap().is_empty());
+    assert!(client.classify(&[], 1, 2).unwrap().is_empty());
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_answers_overloaded() {
+    // A zero-depth queue can never accept a job, so every non-empty
+    // request deterministically hits the backpressure path.
+    let config = ServeConfig {
+        queue_depth: 0,
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind(tiny_registry(52), config, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let err = client.classify(&[0, 1], 1, 2).unwrap_err();
+    assert!(
+        matches!(err, ClientError::Server(ServeError::Overloaded)),
+        "got {err:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn expired_deadline_answers_deadline_exceeded() {
+    // A zero-millisecond budget has always elapsed by the time a worker
+    // dequeues the job, so the deadline path fires deterministically.
+    let config = ServeConfig {
+        request_timeout_ms: 0,
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind(tiny_registry(53), config, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let err = client.classify(&[0, 1, 2], 1, 2).unwrap_err();
+    assert!(
+        matches!(err, ClientError::Server(ServeError::DeadlineExceeded)),
+        "got {err:?}"
+    );
+    let stats = handle.shutdown();
+    assert!(stats.deadline_drops >= 1);
+}
+
+#[test]
+fn malformed_frame_gets_an_error_then_close() {
+    let handle = Server::bind(tiny_registry(54), ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    // Valid length prefix, garbage body (wrong magic).
+    let body = b"NOPE-this-is-not-a-frame";
+    stream
+        .write_all(&(body.len() as u32).to_le_bytes())
+        .unwrap();
+    stream.write_all(body).unwrap();
+
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 4096];
+    let response = loop {
+        if let Some(frame) = reader.next_frame().unwrap() {
+            break decode_response(&frame).unwrap();
+        }
+        let n = stream.read(&mut buf).unwrap();
+        assert!(n > 0, "server must answer before closing");
+        reader.push(&buf[..n]);
+    };
+    match response {
+        Response::Error { id, code, .. } => {
+            assert_eq!(id, 0, "undecodable request ids echo as 0");
+            assert_eq!(code, ServeError::BadRequest(String::new()).code());
+        }
+        other => panic!("expected an error response, got {other:?}"),
+    }
+    // The server then drops the connection: EOF.
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e) => panic!("expected clean EOF, got {e}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn repeated_embeds_hit_the_cache_bit_identically() {
+    let handle = Server::bind(tiny_registry(55), ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let nodes = [0u32, 1, 2, 3];
+
+    let first = client.embed(&nodes, 9).unwrap();
+    let after_first = handle.stats();
+    assert_eq!(after_first.cache_hits, 0);
+    assert_eq!(after_first.cache_misses, nodes.len() as u64);
+
+    let second = client.embed(&nodes, 9).unwrap();
+    let after_second = handle.stats();
+    assert_eq!(after_second.cache_hits, nodes.len() as u64);
+    for (a, b) in first.iter().zip(&second) {
+        let a_bits: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+        let b_bits: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a_bits, b_bits, "cached rows must be bit-identical");
+    }
+
+    // A different seed is a different cache key, not a stale hit.
+    let other_seed = client.embed(&nodes, 10).unwrap();
+    assert_ne!(first, other_seed, "different seed should resample");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_frame_closes_the_connection() {
+    let handle = Server::bind(tiny_registry(56), ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    stream.write_all(&[0u8; 64]).unwrap();
+    // The server answers with a BadRequest error frame and/or closes; it
+    // must not hang. Read until EOF.
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn requests_after_shutdown_are_refused() {
+    let handle = Server::bind(tiny_registry(57), ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    assert_eq!(client.classify(&[0], 1, 1).unwrap().len(), 1);
+    let stats = handle.shutdown();
+    assert_eq!(stats.requests, 1);
+    // The connection died with the server: the next call must error, not
+    // hang or fabricate an answer.
+    assert!(client.classify(&[0], 1, 1).is_err());
+}
+
+#[test]
+fn valid_requests_roundtrip_raw_frames() {
+    // Drive the wire protocol by hand (no Client) to pin the framing.
+    let handle = Server::bind(tiny_registry(58), ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    let request = Request::Classify {
+        id: 77,
+        seed: 3,
+        rounds: 2,
+        nodes: vec![0, 1],
+    };
+    stream.write_all(&encode_request(&request)).unwrap();
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 4096];
+    let response = loop {
+        if let Some(frame) = reader.next_frame().unwrap() {
+            break decode_response(&frame).unwrap();
+        }
+        let n = stream.read(&mut buf).unwrap();
+        assert!(n > 0);
+        reader.push(&buf[..n]);
+    };
+    match response {
+        Response::Classes { id, labels } => {
+            assert_eq!(id, 77);
+            assert_eq!(labels.len(), 2);
+        }
+        other => panic!("expected classes, got {other:?}"),
+    }
+    handle.shutdown();
+}

@@ -46,7 +46,7 @@ pub use init::{he_normal, normal, xavier_uniform, zeros_init};
 pub use op::Op;
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
-pub use serialize::{load_params, save_params, CheckpointError};
+pub use serialize::{digest64, load_params, save_params, CheckpointError};
 pub use sparse::CsrMatrix;
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

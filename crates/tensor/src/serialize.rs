@@ -3,28 +3,39 @@
 //! Format (little-endian, versioned):
 //!
 //! ```text
-//! magic  "WDN1"            4 bytes
-//! count  u32               number of parameters
+//! magic    "WDN2"            4 bytes
+//! count    u32               number of parameters
 //! per parameter:
 //!   name_len u32, name utf-8 bytes
 //!   rows u32, cols u32
 //!   rows*cols f32 values
+//! checksum u64               FNV-1a over every byte between magic and
+//!                            checksum
 //! ```
 //!
 //! The format is intentionally simple and self-describing; loading
-//! validates the magic, name uniqueness and buffer sizes, so a truncated
-//! or corrupted checkpoint fails loudly instead of yielding garbage
-//! weights.
+//! validates the magic, the trailing checksum, name uniqueness and buffer
+//! sizes with checked arithmetic, so a truncated or corrupted checkpoint
+//! fails loudly — with an [`Err`], never a panic — instead of yielding
+//! garbage weights. The checksum makes *any* single-byte corruption
+//! detectable, including flips inside the f32 payload that would otherwise
+//! parse cleanly into wrong values.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::params::ParamStore;
 use crate::tensor::Tensor;
 
-const MAGIC: &[u8; 4] = b"WDN1";
+const MAGIC: &[u8; 4] = b"WDN2";
+/// Bytes of fixed framing: magic + trailing checksum.
+const FOOTER_LEN: usize = 8;
 
 /// Serialisation errors.
-#[derive(Debug, PartialEq, Eq)]
+///
+/// The first four variants describe malformed buffers; the remaining ones
+/// describe a well-formed checkpoint that does not match the model it is
+/// being loaded into (see `WidenModel::try_load_weights` in `widen-core`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
     /// The buffer does not start with the expected magic bytes.
     BadMagic,
@@ -32,6 +43,28 @@ pub enum CheckpointError {
     Truncated,
     /// A parameter name was not valid UTF-8.
     BadName,
+    /// The trailing checksum does not match the content (bit corruption),
+    /// or parsing left unconsumed bytes.
+    Corrupted,
+    /// The checkpoint holds a different number of parameters than the
+    /// target model.
+    CountMismatch {
+        /// Parameters the model expects.
+        expected: usize,
+        /// Parameters the checkpoint holds.
+        found: usize,
+    },
+    /// The checkpoint names a parameter the target model does not have.
+    UnknownParam(String),
+    /// A parameter's stored shape differs from the model's.
+    ShapeMismatch {
+        /// The offending parameter.
+        name: String,
+        /// Shape the model expects.
+        expected: (usize, usize),
+        /// Shape the checkpoint holds.
+        found: (usize, usize),
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -40,15 +73,42 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadMagic => write!(f, "not a WIDEN checkpoint (bad magic)"),
             CheckpointError::Truncated => write!(f, "checkpoint truncated"),
             CheckpointError::BadName => write!(f, "parameter name is not valid UTF-8"),
+            CheckpointError::Corrupted => write!(f, "checkpoint corrupted (checksum mismatch)"),
+            CheckpointError::CountMismatch { expected, found } => write!(
+                f,
+                "checkpoint holds {found} parameters, model expects {expected}"
+            ),
+            CheckpointError::UnknownParam(name) => {
+                write!(f, "checkpoint has unknown parameter `{name}`")
+            }
+            CheckpointError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shape mismatch for `{name}`: checkpoint {found:?}, model {expected:?}"
+            ),
         }
     }
 }
 
 impl std::error::Error for CheckpointError {}
 
+/// 64-bit FNV-1a digest, used for the checkpoint checksum and as the
+/// cache/registry identity of a checkpoint's exact byte content.
+pub fn digest64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Serialises a parameter store into a checkpoint buffer.
 pub fn save_params(params: &ParamStore) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + params.scalar_count() * 4);
+    let mut buf = BytesMut::with_capacity(24 + params.scalar_count() * 4);
     buf.put_slice(MAGIC);
     buf.put_u32_le(params.len() as u32);
     for (_, name, tensor) in params.iter() {
@@ -60,18 +120,32 @@ pub fn save_params(params: &ParamStore) -> Bytes {
             buf.put_f32_le(v);
         }
     }
+    let checksum = digest64(&buf[4..]);
+    buf.put_u64_le(checksum);
     buf.freeze()
 }
 
 /// Deserialises a checkpoint into a fresh parameter store.
 ///
 /// # Errors
-/// Returns a [`CheckpointError`] on malformed input.
-pub fn load_params(mut data: &[u8]) -> Result<ParamStore, CheckpointError> {
-    if data.len() < 8 || &data[..4] != MAGIC {
+/// Returns a [`CheckpointError`] on malformed input. Never panics: sizes
+/// are validated with checked arithmetic and the trailing checksum rejects
+/// arbitrary byte corruption before any content is interpreted.
+pub fn load_params(data: &[u8]) -> Result<ParamStore, CheckpointError> {
+    if data.len() < 4 || &data[..4] != MAGIC {
         return Err(CheckpointError::BadMagic);
     }
-    data.advance(4);
+    if data.len() < 4 + 4 + FOOTER_LEN {
+        return Err(CheckpointError::Truncated);
+    }
+    let payload = &data[4..data.len() - FOOTER_LEN];
+    let mut stored = [0u8; FOOTER_LEN];
+    stored.copy_from_slice(&data[data.len() - FOOTER_LEN..]);
+    if digest64(payload) != u64::from_le_bytes(stored) {
+        return Err(CheckpointError::Corrupted);
+    }
+
+    let mut data = payload;
     let count = data.get_u32_le() as usize;
     let mut store = ParamStore::new();
     for _ in 0..count {
@@ -91,15 +165,25 @@ pub fn load_params(mut data: &[u8]) -> Result<ParamStore, CheckpointError> {
         }
         let rows = data.get_u32_le() as usize;
         let cols = data.get_u32_le() as usize;
-        let scalars = rows * cols;
-        if data.remaining() < scalars * 4 {
+        let byte_len = rows
+            .checked_mul(cols)
+            .and_then(|scalars| scalars.checked_mul(4))
+            .ok_or(CheckpointError::Truncated)?;
+        if data.remaining() < byte_len {
             return Err(CheckpointError::Truncated);
         }
+        let scalars = rows * cols;
         let mut values = Vec::with_capacity(scalars);
         for _ in 0..scalars {
             values.push(data.get_f32_le());
         }
+        if store.id(&name).is_some() {
+            return Err(CheckpointError::Corrupted);
+        }
         store.register(name, Tensor::from_vec(rows, cols, values));
+    }
+    if data.remaining() != 0 {
+        return Err(CheckpointError::Corrupted);
     }
     Ok(store)
 }
@@ -140,12 +224,17 @@ mod tests {
             Err(CheckpointError::BadMagic)
         ));
         assert!(matches!(load_params(b""), Err(CheckpointError::BadMagic)));
+        // The previous format version is rejected, not misread.
+        assert!(matches!(
+            load_params(b"WDN1\x00\x00\x00\x00"),
+            Err(CheckpointError::BadMagic)
+        ));
     }
 
     #[test]
     fn truncation_rejected_at_every_boundary() {
         let bytes = save_params(&sample_store());
-        for cut in [5, 9, 12, bytes.len() - 1] {
+        for cut in 0..bytes.len() {
             let result = load_params(&bytes[..cut]);
             assert!(
                 result.is_err(),
@@ -156,9 +245,30 @@ mod tests {
     }
 
     #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = save_params(&sample_store());
+        for offset in 0..bytes.len() {
+            let mut mutated = bytes.to_vec();
+            mutated[offset] ^= 0x40;
+            assert!(
+                load_params(&mutated).is_err(),
+                "flip at {offset} of {} should fail",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
     fn empty_store_round_trips() {
         let store = ParamStore::new();
         let loaded = load_params(&save_params(&store)).unwrap();
         assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        assert_eq!(digest64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(digest64(b"a"), digest64(b"b"));
+        assert_eq!(digest64(b"widen"), digest64(b"widen"));
     }
 }

@@ -1,0 +1,86 @@
+//! Property tests of the checkpoint serializer: `save_params ∘ load_params`
+//! preserves names, shapes, and values bit-exactly, while *any* corruption —
+//! truncation at an arbitrary offset, an arbitrary single-byte flip, or
+//! trailing garbage — surfaces as `Err`, never a panic.
+
+use proptest::prelude::*;
+use widen_tensor::{load_params, save_params, ParamStore, Tensor};
+
+/// A small random ParamStore: 1–4 named parameters with 1×1 … 5×5 shapes.
+fn store_strategy() -> impl Strategy<Value = ParamStore> {
+    (
+        prop::collection::vec((1usize..6, 1usize..6), 1..5),
+        prop::collection::vec(-4.0f32..4.0, 64),
+    )
+        .prop_map(|(shapes, pool)| {
+            let mut store = ParamStore::new();
+            let mut k = 0usize;
+            for (i, (rows, cols)) in shapes.into_iter().enumerate() {
+                let data: Vec<f32> = (0..rows * cols)
+                    .map(|_| {
+                        let v = pool[k % pool.len()];
+                        k += 1;
+                        v
+                    })
+                    .collect();
+                store.register(format!("param.{i}"), Tensor::from_vec(rows, cols, data));
+            }
+            store
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_preserves_names_shapes_values_exactly(store in store_strategy()) {
+        let bytes = save_params(&store);
+        let loaded = load_params(&bytes).expect("valid checkpoint loads");
+        prop_assert_eq!(loaded.len(), store.len());
+        for ((_, name_a, t_a), (_, name_b, t_b)) in store.iter().zip(loaded.iter()) {
+            prop_assert_eq!(name_a, name_b);
+            prop_assert_eq!(t_a.shape(), t_b.shape());
+            let (rows, cols) = t_a.shape();
+            for r in 0..rows {
+                for c in 0..cols {
+                    // Bit-exact, not approximate: checkpoints are identity.
+                    prop_assert_eq!(t_a.get(r, c).to_bits(), t_b.get(r, c).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_any_offset_errors_without_panic(
+        store in store_strategy(),
+        raw_cut in 0usize..1_000_000,
+    ) {
+        let bytes = save_params(&store);
+        let cut = raw_cut % bytes.len();
+        prop_assert!(load_params(&bytes[..cut]).is_err(), "cut at {cut} must not load");
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_rejected(
+        store in store_strategy(),
+        raw_offset in 0usize..1_000_000,
+        mask in 1usize..256,
+    ) {
+        let bytes = save_params(&store);
+        let mut corrupt = bytes.to_vec();
+        let offset = raw_offset % corrupt.len();
+        corrupt[offset] ^= mask as u8;
+        prop_assert!(
+            load_params(&corrupt).is_err(),
+            "flip of byte {offset} by {mask:#x} must not load"
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(store in store_strategy(), extra in 1usize..24) {
+        let bytes = save_params(&store);
+        let mut padded = bytes.to_vec();
+        padded.extend(std::iter::repeat_n(0xAB, extra));
+        prop_assert!(load_params(&padded).is_err());
+    }
+}

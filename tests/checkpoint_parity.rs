@@ -1,0 +1,103 @@
+//! Checkpoint parity: a trained model saved with `save_weights` and
+//! restored into a freshly constructed model must be indistinguishable at
+//! inference time — ensemble logits bit-identical, predictions equal —
+//! and the fallible load path must reject mismatched layouts cleanly.
+
+use widen::core::{Trainer, WidenConfig, WidenModel};
+use widen::data::{acm_like, Scale};
+use widen::serve::ModelRegistry;
+use widen::tensor::CheckpointError;
+
+fn tiny_config() -> WidenConfig {
+    let mut c = WidenConfig::small();
+    c.d = 16;
+    c.n_w = 5;
+    c.n_d = 5;
+    c.phi = 2;
+    c.epochs = 2;
+    c.batch_size = 16;
+    c
+}
+
+#[test]
+fn restored_model_is_bit_identical_at_inference() {
+    let dataset = acm_like(Scale::Smoke, 31);
+    let train: Vec<u32> = dataset.transductive.train[..32].to_vec();
+    let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+    let mut trainer = Trainer::new(model, &dataset.graph, &train);
+    trainer.fit(&train);
+    let trained = trainer.into_model();
+
+    let checkpoint = trained.save_weights();
+    let mut restored = WidenModel::for_graph(&dataset.graph, tiny_config());
+    restored
+        .try_load_weights(&checkpoint)
+        .expect("trained checkpoint loads into a fresh model");
+
+    let probe: Vec<u32> = dataset.transductive.test[..16].to_vec();
+    let items: Vec<(u32, u64)> = probe.iter().map(|&v| (v, 17)).collect();
+
+    // Bit-identical summed ensemble logits, not just close ones.
+    let logits_a = trained.ensemble_logits(&dataset.graph, &items, 3);
+    let logits_b = restored.ensemble_logits(&dataset.graph, &items, 3);
+    assert_eq!(
+        logits_a.max_abs_diff(&logits_b),
+        0.0,
+        "restored ensemble logits must match bit-for-bit"
+    );
+
+    // And therefore identical ensemble predictions and embeddings.
+    let preds_a = trained.predict_ensemble(&dataset.graph, &probe, 17, 3);
+    let preds_b = restored.predict_ensemble(&dataset.graph, &probe, 17, 3);
+    assert_eq!(preds_a, preds_b);
+    let emb_a = trained.embed_nodes(&dataset.graph, &probe, 17);
+    let emb_b = restored.embed_nodes(&dataset.graph, &probe, 17);
+    assert_eq!(emb_a.max_abs_diff(&emb_b), 0.0);
+}
+
+#[test]
+fn registry_load_matches_direct_load() {
+    let dataset = acm_like(Scale::Smoke, 32);
+    let train: Vec<u32> = dataset.transductive.train[..16].to_vec();
+    let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+    let mut trainer = Trainer::new(model, &dataset.graph, &train);
+    trainer.fit(&train);
+    let trained = trainer.into_model();
+    let checkpoint = trained.save_weights();
+
+    let registry =
+        ModelRegistry::from_checkpoint(dataset.graph.clone(), tiny_config(), &checkpoint)
+            .expect("checkpoint loads through the registry");
+    let probe: Vec<u32> = dataset.transductive.test[..8].to_vec();
+    let items: Vec<(u32, u64)> = probe.iter().map(|&v| (v, 5)).collect();
+    let logits_a = trained.ensemble_logits(&dataset.graph, &items, 2);
+    let logits_b = registry
+        .model()
+        .ensemble_logits(registry.graph(), &items, 2);
+    assert_eq!(logits_a.max_abs_diff(&logits_b), 0.0);
+}
+
+#[test]
+fn layout_mismatches_are_errors_not_panics() {
+    let dataset = acm_like(Scale::Smoke, 33);
+    let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+    let checkpoint = model.save_weights();
+
+    // Different latent dimension → shape mismatch on load.
+    let mut wider = tiny_config();
+    wider.d = 24;
+    let mut other = WidenModel::for_graph(&dataset.graph, wider);
+    match other.try_load_weights(&checkpoint) {
+        Err(CheckpointError::ShapeMismatch { .. }) => {}
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+
+    // Corrupt bytes → error, and the target model keeps serving.
+    let mut corrupt = checkpoint.to_vec();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    let mut fresh = WidenModel::for_graph(&dataset.graph, tiny_config());
+    assert!(fresh.try_load_weights(&corrupt).is_err());
+    let preds = fresh.predict(&dataset.graph, &dataset.transductive.test[..4], 1);
+    assert_eq!(preds.len(), 4);
+}

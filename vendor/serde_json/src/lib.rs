@@ -161,9 +161,12 @@ macro_rules! json {
         $crate::Value::Object(map)
     }};
     ([ $($elems:tt)* ]) => {{
-        #[allow(unused_mut)]
-        let mut items: Vec<$crate::Value> = Vec::new();
-        $crate::json_elems!(items; $($elems)*);
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let items = {
+            let mut items: Vec<$crate::Value> = Vec::new();
+            $crate::json_elems!(items; $($elems)*);
+            items
+        };
         $crate::Value::Array(items)
     }};
     ($other:expr) => { $crate::ToJson::to_json(&$other) };
