@@ -213,8 +213,8 @@ mod tests {
         // A node with no neighbours still gets a representation (self only).
         use widen_graph::GraphBuilder;
         let mut b = GraphBuilder::new(&["x"], &["e"]).with_classes(2);
-        let x = b.node_type("x");
-        let e = b.edge_type("e");
+        let x = b.node_type("x").unwrap();
+        let e = b.edge_type("e").unwrap();
         let n0 = b.add_node(x, vec![1.0, 0.0], Some(0));
         let n1 = b.add_node(x, vec![0.0, 1.0], Some(1));
         let n2 = b.add_node(x, vec![0.5, 0.5], Some(0));

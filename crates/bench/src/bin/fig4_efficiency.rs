@@ -58,6 +58,10 @@ fn main() {
         widen_cfg.epochs = EPOCHS;
         let model = WidenModel::for_graph(&dataset.graph, widen_cfg);
         let mut trainer = Trainer::new(model, &dataset.graph, train);
+        if let Some(path) = opts.metrics_out_for(&dataset.name) {
+            trainer.set_metrics_out(&path).expect("open metrics trace");
+            println!("             (per-epoch metrics -> {})", path.display());
+        }
         let report = trainer.fit(train);
         let secs_per_epoch = report.total_secs() / EPOCHS as f64;
         let model = trainer.into_model();

@@ -1,0 +1,53 @@
+//! CI smoke check for the observability surface: starts an in-process
+//! serving instance, drives a few requests through a real TCP client, then
+//! issues a `Stats` request and asserts the returned snapshot carries live
+//! counters from both the server registry and the ambient process registry.
+
+use widen_core::{WidenConfig, WidenModel};
+use widen_data::{acm_like, Scale};
+use widen_serve::{Client, ModelRegistry, ServeConfig, Server};
+
+fn main() {
+    let dataset = acm_like(Scale::Smoke, 7);
+    let mut cfg = WidenConfig::small();
+    cfg.d = 8;
+    cfg.n_w = 4;
+    cfg.n_d = 4;
+    cfg.phi = 1;
+    let model = WidenModel::for_graph(&dataset.graph, cfg);
+    let registry = ModelRegistry::from_model(dataset.graph, model);
+    let handle = Server::bind(registry, ServeConfig::default(), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let nodes: Vec<u32> = (0..8).collect();
+    client.embed(&nodes, 1).expect("embed");
+    client.embed(&nodes, 1).expect("embed (cached)");
+    client.classify(&nodes, 1, 2).expect("classify");
+
+    let text = client.stats().expect("stats");
+    println!("{text}");
+    assert!(text.starts_with("{\"server\":{"), "unexpected shape");
+    for key in [
+        "serve_requests_total",
+        "serve_jobs_total",
+        "serve_batches_total",
+        "serve_cache_hits_total",
+        "serve_batch_size",
+        "sampling_wide_set_size",
+        "sampling_deep_walk_len",
+    ] {
+        assert!(text.contains(key), "stats snapshot missing `{key}`");
+    }
+    assert!(
+        text.contains("\"serve_requests_total\":3"),
+        "counters must be live, not zeroed"
+    );
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.requests, 4, "3 data requests + 1 stats request");
+    assert_eq!(stats.cache_hits, nodes.len() as u64);
+    println!(
+        "serve stats smoke: OK ({} requests, {} jobs, {} batches, {} cache hits)",
+        stats.requests, stats.jobs, stats.batches, stats.cache_hits
+    );
+}

@@ -5,6 +5,11 @@ use rand::Rng;
 
 use crate::ablation::DownsampleStrategy;
 
+// Single source of truth for Eq. 9's divergence: the smoothed, always-finite
+// implementation in `widen-eval` (an unchanged-set comparison can still see
+// vanished slots when attention collapses to one-hot mid-training).
+pub use widen_eval::kl_divergence;
+
 /// What to do with a neighbour set after this epoch's attention pass.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Decision {
@@ -19,8 +24,8 @@ pub enum Decision {
 /// * `attention` — this epoch's distribution over `[m_t ; packs]`
 ///   (`len + 1` values, target at index 0).
 /// * `prev_attention` — last epoch's distribution over the *same* set, if
-///   the set is unchanged since (otherwise Eq. 9 defines `KL = +∞` and no
-///   downsampling triggers).
+///   the set is unchanged since (otherwise Eq. 9 treats the divergence as
+///   unbounded and no downsampling triggers).
 /// * `len` — current number of neighbour entries (`|W|` or `|D|`).
 /// * `k` — downsampling lower bound (`k∘` / `k▷`).
 /// * `r` — KL threshold (`r∘` / `r▷`).
@@ -36,30 +41,51 @@ pub fn decide<R: Rng + ?Sized>(
     epoch: usize,
     rng: &mut R,
 ) -> Decision {
+    decide_with_kl(strategy, attention, prev_attention, len, k, r, epoch, rng).0
+}
+
+/// Like [`decide`], but also returns the Eq. 9 divergence when one was
+/// actually evaluated (`Attentive` strategy with comparable history), so
+/// the trainer can surface per-epoch KL trigger values without recomputing
+/// them.
+#[allow(clippy::too_many_arguments)]
+pub fn decide_with_kl<R: Rng + ?Sized>(
+    strategy: DownsampleStrategy,
+    attention: &[f32],
+    prev_attention: Option<&[f32]>,
+    len: usize,
+    k: usize,
+    r: f64,
+    epoch: usize,
+    rng: &mut R,
+) -> (Decision, Option<f64>) {
     debug_assert_eq!(
         attention.len(),
         len + 1,
         "attention covers target + neighbours"
     );
     if len <= k || epoch <= 1 {
-        return Decision::Keep;
+        return (Decision::Keep, None);
     }
     match strategy {
-        DownsampleStrategy::Off => Decision::Keep,
+        DownsampleStrategy::Off => (Decision::Keep, None),
         DownsampleStrategy::Random => {
             // Ablation: drop one uniformly random neighbour each epoch,
             // KL trigger removed (§4.8).
-            Decision::Drop(rng.gen_range(0..len))
+            (Decision::Drop(rng.gen_range(0..len)), None)
         }
         DownsampleStrategy::Attentive => {
             let Some(prev) = prev_attention else {
-                return Decision::Keep; // set changed since last epoch ⇒ KL = +∞
+                // Set changed since last epoch ⇒ divergence is undefined
+                // over mismatched supports; never trigger.
+                return (Decision::Keep, None);
             };
             if prev.len() != attention.len() {
-                return Decision::Keep;
+                return (Decision::Keep, None);
             }
-            if kl_divergence(prev, attention) >= r {
-                return Decision::Keep;
+            let kl = kl_divergence(prev, attention);
+            if kl >= r {
+                return (Decision::Keep, Some(kl));
             }
             // Algorithm 1/2 line 3–4: argmin over neighbour weights,
             // excluding the target's own weight a_{t,t}.
@@ -69,7 +95,7 @@ pub fn decide<R: Rng + ?Sized>(
                     best = i;
                 }
             }
-            Decision::Drop(best)
+            (Decision::Drop(best), Some(kl))
         }
     }
 }
@@ -84,23 +110,6 @@ pub fn relay_edge(successor_edge: &[f32], deprecated_pack: &[f32]) -> Vec<f32> {
         .zip(deprecated_pack)
         .map(|(&e, &m)| e.max(m))
         .collect()
-}
-
-/// `KL(p ‖ q)` over attention distributions (Eq. 9). Zero entries on
-/// either side yield `+∞` unless `p_i = 0` (those terms vanish).
-pub fn kl_divergence(p: &[f32], q: &[f32]) -> f64 {
-    debug_assert_eq!(p.len(), q.len());
-    let mut total = 0.0f64;
-    for (&pi, &qi) in p.iter().zip(q) {
-        if pi <= 0.0 {
-            continue;
-        }
-        if qi <= 0.0 {
-            return f64::INFINITY;
-        }
-        total += f64::from(pi) * (f64::from(pi) / f64::from(qi)).ln();
-    }
-    total.max(0.0)
 }
 
 #[cfg(test)]
@@ -241,6 +250,77 @@ mod tests {
     fn kl_matches_hand_computation() {
         let kl = kl_divergence(&[0.9, 0.1], &[0.5, 0.5]);
         assert!((kl - 0.3680).abs() < 1e-3);
-        assert_eq!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]), f64::INFINITY);
+        // Regression: a vanished slot used to return +∞ and poison any
+        // aggregate built from trigger values; it must now be large (far
+        // above the paper's r = 1e-3, so disjoint support still never
+        // triggers downsampling) but finite.
+        let no_overlap = kl_divergence(&[0.5, 0.5], &[1.0, 0.0]);
+        assert!(no_overlap.is_finite());
+        assert!(no_overlap > 1.0);
+    }
+
+    #[test]
+    fn decide_with_kl_reports_trigger_value() {
+        let attn = vec![0.4, 0.3, 0.05, 0.25];
+        let prev = attn.clone();
+        let (d, kl) = decide_with_kl(
+            DownsampleStrategy::Attentive,
+            &attn,
+            Some(&prev),
+            3,
+            1,
+            1e-3,
+            3,
+            &mut rng(),
+        );
+        assert_eq!(d, Decision::Drop(1));
+        let kl = kl.expect("attentive path with history evaluates Eq. 9");
+        assert!(kl.is_finite() && kl < 1e-3);
+        // Keep path still reports the divergence it compared.
+        let far = vec![0.1, 0.1, 0.4, 0.4];
+        let (d, kl) = decide_with_kl(
+            DownsampleStrategy::Attentive,
+            &attn,
+            Some(&far),
+            3,
+            1,
+            1e-3,
+            3,
+            &mut rng(),
+        );
+        assert_eq!(d, Decision::Keep);
+        assert!(kl.expect("evaluated").is_finite());
+        // No history ⇒ no KL evaluated.
+        let (_, kl) = decide_with_kl(
+            DownsampleStrategy::Attentive,
+            &attn,
+            None,
+            3,
+            1,
+            1e-3,
+            3,
+            &mut rng(),
+        );
+        assert!(kl.is_none());
+    }
+
+    #[test]
+    fn attentive_survives_one_hot_collapse() {
+        // Regression for the Eq. 9 trigger: attention collapsing to one-hot
+        // between epochs used to make KL infinite (or NaN through 0·ln 0),
+        // wedging the trigger. The smoothed divergence is huge ⇒ Keep.
+        let prev = vec![0.25, 0.25, 0.25, 0.25];
+        let attn = vec![0.0, 1.0, 0.0, 0.0];
+        let d = decide(
+            DownsampleStrategy::Attentive,
+            &attn,
+            Some(&prev),
+            3,
+            1,
+            1e-3,
+            4,
+            &mut rng(),
+        );
+        assert_eq!(d, Decision::Keep);
     }
 }

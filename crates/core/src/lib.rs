@@ -41,5 +41,5 @@ pub use ablation::{DownsampleStrategy, Variant};
 pub use config::{Execution, WidenConfig};
 pub use model::WidenModel;
 pub use state::{DeepState, NodeState};
-pub use trainer::{TrainReport, Trainer};
+pub use trainer::{EpochStats, TrainReport, Trainer};
 pub use unsupervised::{fit_unsupervised, UnsupervisedConfig};

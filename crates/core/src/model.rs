@@ -891,10 +891,10 @@ mod tests {
 
     fn toy_graph() -> HeteroGraph {
         let mut b = GraphBuilder::new(&["a", "b"], &["ab", "bb"]).with_classes(2);
-        let ta = b.node_type("a");
-        let tb = b.node_type("b");
-        let eab = b.edge_type("ab");
-        let ebb = b.edge_type("bb");
+        let ta = b.node_type("a").unwrap();
+        let tb = b.node_type("b").unwrap();
+        let eab = b.edge_type("ab").unwrap();
+        let ebb = b.edge_type("bb").unwrap();
         let mut ids = Vec::new();
         for i in 0..6 {
             let t = if i % 2 == 0 { ta } else { tb };

@@ -5,12 +5,43 @@
 //! the target. The pack matrix stacks the target's own self-loop pack
 //! `m_t = v_t ⊙ e_{t,t}` on top of all neighbour packs.
 
+use std::sync::{Arc, OnceLock};
+
 use rustc_hash::FxHashMap;
 use widen_graph::HeteroGraph;
+use widen_obs::{Counter, Stopwatch};
 use widen_tensor::{Tape, Tensor, Var};
 
 use crate::state::DeepState;
 use widen_sampling::WideSet;
+
+/// Packaging-phase wall clock, accumulated on [`widen_obs::Registry::global`]
+/// because `PACK` runs deep inside the forward pass, where no owned registry
+/// is threaded through. Chunks run in parallel, so the total can exceed
+/// elapsed wall time — it is CPU-time-shaped, which is what the per-epoch
+/// phase breakdown wants anyway.
+fn packaging_counters() -> &'static (Arc<Counter>, Arc<Counter>) {
+    static HANDLES: OnceLock<(Arc<Counter>, Arc<Counter>)> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let reg = widen_obs::Registry::global();
+        (
+            reg.counter("core_packaging_nanos_total"),
+            reg.counter("core_packaging_calls_total"),
+        )
+    })
+}
+
+/// Current value of the global packaging-nanos counter; the trainer diffs
+/// this across an epoch to report the packaging phase.
+pub fn packaging_nanos_total() -> u64 {
+    packaging_counters().0.get()
+}
+
+fn record_packaging(sw: &Stopwatch) {
+    let (nanos, calls) = packaging_counters();
+    sw.record_nanos(nanos);
+    calls.inc();
+}
 
 /// Edge-vocabulary index of a graph edge type.
 ///
@@ -53,6 +84,7 @@ pub fn pack_wide(
     g_edge: Var,
     num_edge_types: usize,
 ) -> Packed {
+    let sw = Stopwatch::start();
     let ids: Vec<u32> = std::iter::once(wide.target)
         .chain(wide.entries.iter().map(|e| e.node))
         .collect();
@@ -62,7 +94,9 @@ pub fn pack_wide(
     ))
     .chain(wide.entries.iter().map(|e| edge_index(e.edge_type)))
     .collect();
-    pack_from_ids(tape, graph, &ids, &edge_rows, g_node, g_edge)
+    let packed = pack_from_ids(tape, graph, &ids, &edge_rows, g_node, g_edge);
+    record_packaging(&sw);
+    packed
 }
 
 /// `PACK▷` (Eq. 2): builds the deep pack matrix for one walk, honouring
@@ -75,6 +109,7 @@ pub fn pack_deep(
     g_edge: Var,
     num_edge_types: usize,
 ) -> Packed {
+    let sw = Stopwatch::start();
     let ids: Vec<u32> = std::iter::once(deep.set.target)
         .chain(deep.set.entries.iter().map(|e| e.node))
         .collect();
@@ -108,6 +143,7 @@ pub fn pack_deep(
     };
 
     let packs = tape.mul(v, edges);
+    record_packaging(&sw);
     Packed { packs, edges }
 }
 
@@ -159,6 +195,7 @@ pub fn pack_wide_batch(
     g_edge: Var,
     num_edge_types: usize,
 ) -> PackedBatch {
+    let sw = Stopwatch::start();
     let total: usize = wides.iter().map(|w| w.entries.len() + 1).sum();
     let mut ids = Vec::with_capacity(total);
     let mut edge_rows = Vec::with_capacity(total);
@@ -175,7 +212,9 @@ pub fn pack_wide_batch(
             edge_rows.push(edge_index(e.edge_type));
         }
     }
-    assemble_batch(tape, graph, &ids, &edge_rows, &[], g_node, g_edge, spans)
+    let batch = assemble_batch(tape, graph, &ids, &edge_rows, &[], g_node, g_edge, spans);
+    record_packaging(&sw);
+    batch
 }
 
 /// Batched `PACK▷` (Eq. 2) over many walks (typically walk-major, grouped
@@ -191,6 +230,7 @@ pub fn pack_deep_batch(
     g_edge: Var,
     num_edge_types: usize,
 ) -> PackedBatch {
+    let sw = Stopwatch::start();
     let total: usize = deeps.iter().map(|d| d.len() + 1).sum();
     let mut ids = Vec::with_capacity(total);
     let mut edge_rows = Vec::with_capacity(total);
@@ -216,9 +256,11 @@ pub fn pack_deep_batch(
         }
     }
 
-    assemble_batch(
+    let batch = assemble_batch(
         tape, graph, &ids, &edge_rows, &overrides, g_node, g_edge, spans,
-    )
+    );
+    record_packaging(&sw);
+    batch
 }
 
 /// Shared batch assembly with two-level deduplication.
@@ -347,9 +389,9 @@ mod tests {
 
     fn toy_graph() -> HeteroGraph {
         let mut b = GraphBuilder::new(&["a", "b"], &["ab"]);
-        let ta = b.node_type("a");
-        let tb = b.node_type("b");
-        let e = b.edge_type("ab");
+        let ta = b.node_type("a").unwrap();
+        let tb = b.node_type("b").unwrap();
+        let e = b.edge_type("ab").unwrap();
         let n0 = b.add_node(ta, vec![1.0, 2.0], None);
         let n1 = b.add_node(tb, vec![3.0, 4.0], None);
         let n2 = b.add_node(tb, vec![5.0, 6.0], None);

@@ -8,16 +8,20 @@
 //! Gradient work is parallelised over batch chunks with deterministic
 //! chunk-ordered reduction, so fixed seeds give bit-stable runs.
 
+use std::path::Path;
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rustc_hash::FxHashMap;
 use widen_graph::{HeteroGraph, NodeId};
+use widen_obs::{Counter, Event, JsonlSink, Registry, Stopwatch};
 use widen_sampling::hash_seed;
 use widen_tensor::{Adam, Optimizer, Tape, Tensor};
 
 use crate::config::Execution;
-use crate::downsample::{decide, relay_edge, Decision};
+use crate::downsample::{decide_with_kl, relay_edge, Decision};
 use crate::model::{MaskCache, ParamVars, WidenModel};
 use crate::state::NodeState;
 
@@ -28,12 +32,48 @@ pub struct TrainReport {
     pub epoch_losses: Vec<f64>,
     /// Wall-clock seconds per epoch.
     pub epoch_secs: Vec<f64>,
+    /// Per-epoch downsampling and Eq. 9 trigger telemetry.
+    pub epoch_stats: Vec<EpochStats>,
     /// Wide neighbours dropped by downsampling, cumulative.
     pub wide_drops: usize,
     /// Deep packs pruned by downsampling, cumulative.
     pub deep_drops: usize,
     /// Relay edges generated while pruning (Eq. 8), cumulative.
     pub relay_edges: usize,
+}
+
+/// One epoch's downsampling decisions and Eq. 9 trigger values.
+#[derive(Clone, Debug, Default)]
+pub struct EpochStats {
+    /// Number of Eq. 9 KL evaluations (attentive sets with usable history).
+    pub kl_count: u64,
+    /// Mean of the evaluated KL trigger values, if any were evaluated.
+    pub kl_mean: Option<f64>,
+    /// Minimum evaluated KL trigger value, if any.
+    pub kl_min: Option<f64>,
+    /// Wide sets kept this epoch.
+    pub wide_keeps: u64,
+    /// Wide neighbours dropped this epoch.
+    pub wide_drops: u64,
+    /// Deep walks kept this epoch.
+    pub deep_keeps: u64,
+    /// Deep packs pruned this epoch.
+    pub deep_drops: u64,
+    /// Relay edges installed this epoch (Eq. 8).
+    pub relay_edges: u64,
+}
+
+impl EpochStats {
+    fn observe_kl(&mut self, kl: Option<f64>) {
+        if let Some(kl) = kl {
+            self.kl_count += 1;
+            let mean = self.kl_mean.get_or_insert(0.0);
+            // Streaming mean; counts stay small enough for exact f64 sums,
+            // but the incremental form avoids a separate accumulator.
+            *mean += (kl - *mean) / self.kl_count as f64;
+            self.kl_min = Some(self.kl_min.map_or(kl, |m| m.min(kl)));
+        }
+    }
 }
 
 impl TrainReport {
@@ -54,14 +94,41 @@ struct NodeOutcome {
     node: NodeId,
     wide_attention: Option<Vec<f32>>,
     wide_decision: Decision,
+    /// Eq. 9 value evaluated for the wide set, when the trigger ran.
+    wide_kl: Option<f64>,
     deep: Vec<DeepOutcome>,
 }
 
 struct DeepOutcome {
     attention: Vec<f32>,
     decision: Decision,
+    /// Eq. 9 value evaluated for this walk, when the trigger ran.
+    kl: Option<f64>,
     /// `(position, relay vector)` to install before pruning.
     relay: Option<(usize, Vec<f32>)>,
+}
+
+/// Phase-timing counters, one set per trainer (on its own registry).
+/// Chunk phases accumulate from parallel workers, so forward/backward nanos
+/// are summed-across-threads CPU-ish time rather than wall time.
+struct PhaseCounters {
+    forward: Arc<Counter>,
+    backward: Arc<Counter>,
+    optim: Arc<Counter>,
+    downsample: Arc<Counter>,
+    epochs: Arc<Counter>,
+}
+
+impl PhaseCounters {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            forward: registry.counter("core_forward_nanos_total"),
+            backward: registry.counter("core_backward_nanos_total"),
+            optim: registry.counter("core_optim_nanos_total"),
+            downsample: registry.counter("core_downsample_nanos_total"),
+            epochs: registry.counter("core_epochs_total"),
+        }
+    }
 }
 
 /// Drives Algorithm 3 over a training node set.
@@ -70,6 +137,9 @@ pub struct Trainer<'g> {
     graph: &'g HeteroGraph,
     states: FxHashMap<NodeId, NodeState>,
     optimizer: Adam,
+    metrics: Registry,
+    phase: PhaseCounters,
+    sink: Option<JsonlSink>,
 }
 
 impl<'g> Trainer<'g> {
@@ -83,17 +153,42 @@ impl<'g> Trainer<'g> {
             states.insert(node, model.sample_state(graph, node, hash_seed(seed, &[1])));
         }
         let optimizer = Adam::with_lr(model.config.learning_rate, model.config.weight_decay);
+        let metrics = Registry::new();
+        let phase = PhaseCounters::new(&metrics);
         Self {
             model,
             graph,
             states,
             optimizer,
+            metrics,
+            phase,
+            sink: None,
         }
     }
 
     /// Read access to the model.
     pub fn model(&self) -> &WidenModel {
         &self.model
+    }
+
+    /// This trainer's metric registry (phase timings, epoch counter).
+    /// Per-instance so concurrent trainers — and tests — never share state;
+    /// packaging time lives on [`Registry::global`] instead (see
+    /// [`crate::packaging::packaging_nanos_total`]).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Streams one JSONL record per epoch (event `"epoch"`: loss, wall
+    /// seconds, Eq. 9 KL trigger stats, keep/drop counts, phase nanos) to
+    /// `path`, truncating any existing file. This is the trainer half of
+    /// the `--metrics-out` flag.
+    ///
+    /// # Errors
+    /// Propagates file-creation failures.
+    pub fn set_metrics_out<P: AsRef<Path>>(&mut self, path: P) -> std::io::Result<()> {
+        self.sink = Some(JsonlSink::create(path)?);
+        Ok(())
     }
 
     /// Consumes the trainer, returning the trained model.
@@ -163,20 +258,27 @@ impl<'g> Trainer<'g> {
         let masks = MaskCache::new();
 
         for epoch in 1..=config.epochs {
-            let start = std::time::Instant::now();
+            let start = Stopwatch::start();
+            let phase_before = self.phase_snapshot();
             let mut shuffle_rng = StdRng::seed_from_u64(hash_seed(config.seed, &[2, epoch as u64]));
             order.shuffle(&mut shuffle_rng);
 
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;
+            let mut stats = EpochStats::default();
             for batch in order.chunks(config.batch_size) {
                 let (loss, outcomes) = self.train_batch(batch, epoch, &masks);
                 epoch_loss += loss;
                 batches += 1;
-                self.apply_outcomes(outcomes, &mut report);
+                self.apply_outcomes(outcomes, &mut report, &mut stats);
             }
-            report.epoch_losses.push(epoch_loss / batches.max(1) as f64);
-            report.epoch_secs.push(start.elapsed().as_secs_f64());
+            let mean_loss = epoch_loss / batches.max(1) as f64;
+            let secs = start.elapsed_secs();
+            self.phase.epochs.inc();
+            self.emit_epoch_record(epoch, mean_loss, secs, &stats, &phase_before);
+            report.epoch_losses.push(mean_loss);
+            report.epoch_secs.push(secs);
+            report.epoch_stats.push(stats);
 
             if let Some((tol, patience)) = convergence {
                 let losses = &report.epoch_losses;
@@ -194,6 +296,58 @@ impl<'g> Trainer<'g> {
             }
         }
         report
+    }
+
+    /// Cumulative `[forward, backward, optim, downsample, packaging]` nanos;
+    /// diffed across an epoch for the per-epoch phase breakdown.
+    fn phase_snapshot(&self) -> [u64; 5] {
+        [
+            self.phase.forward.get(),
+            self.phase.backward.get(),
+            self.phase.optim.get(),
+            self.phase.downsample.get(),
+            crate::packaging::packaging_nanos_total(),
+        ]
+    }
+
+    /// Writes the epoch's JSONL record, if a sink is configured. Metric IO
+    /// must never take down training, so failures only warn.
+    fn emit_epoch_record(
+        &self,
+        epoch: usize,
+        loss: f64,
+        secs: f64,
+        stats: &EpochStats,
+        phase_before: &[u64; 5],
+    ) {
+        let Some(sink) = &self.sink else { return };
+        let after = self.phase_snapshot();
+        let delta = |i: usize| after[i].saturating_sub(phase_before[i]);
+        let event = Event::new("epoch")
+            .u64("epoch", epoch as u64)
+            .f64("loss", loss)
+            .f64("secs", secs)
+            .u64("kl_count", stats.kl_count)
+            // Non-finite f64s render as JSON null, so "no KL evaluated"
+            // surfaces as kl_mean/kl_min: null rather than a fake 0.
+            .f64("kl_mean", stats.kl_mean.unwrap_or(f64::NAN))
+            .f64("kl_min", stats.kl_min.unwrap_or(f64::NAN))
+            .u64("wide_keeps", stats.wide_keeps)
+            .u64("wide_drops", stats.wide_drops)
+            .u64("deep_keeps", stats.deep_keeps)
+            .u64("deep_drops", stats.deep_drops)
+            .u64("relay_edges", stats.relay_edges)
+            .u64("packaging_nanos", delta(4))
+            .u64("forward_nanos", delta(0))
+            .u64("backward_nanos", delta(1))
+            .u64("optim_nanos", delta(2))
+            .u64("downsample_nanos", delta(3));
+        if let Err(e) = sink.emit(&event) {
+            eprintln!(
+                "warning: failed to write metrics record to {}: {e}",
+                sink.path().display()
+            );
+        }
     }
 
     /// One gradient step over a batch; returns the batch loss and the
@@ -238,7 +392,9 @@ impl<'g> Trainer<'g> {
             }
             outcomes.extend(chunk.outcomes);
         }
+        let sw = Stopwatch::start();
         self.optimizer.step(&mut self.model.params, &grads);
+        sw.record_nanos(&self.phase.optim);
         (total_loss, outcomes)
     }
 
@@ -264,6 +420,7 @@ impl<'g> Trainer<'g> {
     /// flat `M▷`/`E▷` through each walk's span.
     fn run_chunk_batched(&self, chunk: &[NodeId], epoch: usize, batch_len: usize) -> ChunkResult {
         let config = &self.model.config;
+        let sw = Stopwatch::start();
         let mut tape = Tape::new();
         let pv = self.model.insert_params(&mut tape);
 
@@ -280,22 +437,26 @@ impl<'g> Trainer<'g> {
         // Scale so that summing chunk losses yields the batch mean.
         let weight = chunk.len() as f32 / batch_len as f32;
         let loss = tape.scale(ce, weight);
-        tape.backward(loss);
+        sw.record_nanos(&self.phase.forward);
 
+        let sw = Stopwatch::start();
+        tape.backward(loss);
         let grads = self.extract_grads(&tape, &pv);
+        sw.record_nanos(&self.phase.backward);
 
         // Downsampling decisions (Algorithm 3 lines 9–14), computed here so
         // the pack/edge values needed for relay edges are still on the tape.
+        let sw = Stopwatch::start();
         let mut outcomes = Vec::with_capacity(chunk.len());
         for (i, &node) in chunk.iter().enumerate() {
             let state = states[i];
             let mut rng =
                 StdRng::seed_from_u64(hash_seed(config.seed, &[3, epoch as u64, u64::from(node)]));
 
-            let (wide_attention, wide_decision) = match &fw.wide {
+            let (wide_attention, wide_decision, wide_kl) = match &fw.wide {
                 Some(wb) => {
                     let attn = tape.value(wb.attention).row(i)[..wb.lens[i]].to_vec();
-                    let decision = decide(
+                    let (decision, kl) = decide_with_kl(
                         config.variant.wide_downsampling,
                         &attn,
                         state.prev_wide_attention.as_deref(),
@@ -305,9 +466,9 @@ impl<'g> Trainer<'g> {
                         epoch,
                         &mut rng,
                     );
-                    (Some(attn), decision)
+                    (Some(attn), decision, kl)
                 }
-                None => (None, Decision::Keep),
+                None => (None, Decision::Keep, None),
             };
 
             let mut deep = Vec::new();
@@ -319,7 +480,7 @@ impl<'g> Trainer<'g> {
                     let (wstart, wlen) = db.walk_spans[walk];
                     let deep_state = &state.deeps[phi];
                     let attn = tape.value(db.attention).row(walk)[..wlen].to_vec();
-                    let decision = decide(
+                    let (decision, kl) = decide_with_kl(
                         config.variant.deep_downsampling,
                         &attn,
                         deep_state.prev_attention.as_deref(),
@@ -348,6 +509,7 @@ impl<'g> Trainer<'g> {
                     deep.push(DeepOutcome {
                         attention: attn,
                         decision,
+                        kl,
                         relay,
                     });
                 }
@@ -356,9 +518,11 @@ impl<'g> Trainer<'g> {
                 node,
                 wide_attention,
                 wide_decision,
+                wide_kl,
                 deep,
             });
         }
+        sw.record_nanos(&self.phase.downsample);
 
         ChunkResult {
             loss: f64::from(tape.value(loss).get(0, 0)),
@@ -376,6 +540,7 @@ impl<'g> Trainer<'g> {
         masks: &MaskCache,
     ) -> ChunkResult {
         let config = &self.model.config;
+        let sw = Stopwatch::start();
         let mut tape = Tape::new();
         let pv = self.model.insert_params(&mut tape);
 
@@ -397,22 +562,26 @@ impl<'g> Trainer<'g> {
         // Scale so that summing chunk losses yields the batch mean.
         let weight = chunk.len() as f32 / batch_len as f32;
         let loss = tape.scale(ce, weight);
-        tape.backward(loss);
+        sw.record_nanos(&self.phase.forward);
 
+        let sw = Stopwatch::start();
+        tape.backward(loss);
         let grads = self.extract_grads(&tape, &pv);
+        sw.record_nanos(&self.phase.backward);
 
         // Downsampling decisions (Algorithm 3 lines 9–14), computed here so
         // the pack/edge values needed for relay edges are still on the tape.
+        let sw = Stopwatch::start();
         let mut outcomes = Vec::with_capacity(chunk.len());
         for (node, fw) in forwards {
             let state = &self.states[&node];
             let mut rng =
                 StdRng::seed_from_u64(hash_seed(config.seed, &[3, epoch as u64, u64::from(node)]));
 
-            let (wide_attention, wide_decision) = match fw.wide_attention {
+            let (wide_attention, wide_decision, wide_kl) = match fw.wide_attention {
                 Some(attn_var) => {
                     let attn = tape.value(attn_var).row(0).to_vec();
-                    let decision = decide(
+                    let (decision, kl) = decide_with_kl(
                         config.variant.wide_downsampling,
                         &attn,
                         state.prev_wide_attention.as_deref(),
@@ -422,16 +591,16 @@ impl<'g> Trainer<'g> {
                         epoch,
                         &mut rng,
                     );
-                    (Some(attn), decision)
+                    (Some(attn), decision, kl)
                 }
-                None => (None, Decision::Keep),
+                None => (None, Decision::Keep, None),
             };
 
             let mut deep = Vec::with_capacity(fw.deep.len());
             for (phi, dfw) in fw.deep.iter().enumerate() {
                 let deep_state = &state.deeps[phi];
                 let attn = tape.value(dfw.attention).row(0).to_vec();
-                let decision = decide(
+                let (decision, kl) = decide_with_kl(
                     config.variant.deep_downsampling,
                     &attn,
                     deep_state.prev_attention.as_deref(),
@@ -455,6 +624,7 @@ impl<'g> Trainer<'g> {
                 deep.push(DeepOutcome {
                     attention: attn,
                     decision,
+                    kl,
                     relay,
                 });
             }
@@ -462,9 +632,11 @@ impl<'g> Trainer<'g> {
                 node,
                 wide_attention,
                 wide_decision,
+                wide_kl,
                 deep,
             });
         }
+        sw.record_nanos(&self.phase.downsample);
 
         ChunkResult {
             loss: f64::from(tape.value(loss).get(0, 0)),
@@ -490,29 +662,47 @@ impl<'g> Trainer<'g> {
             .collect()
     }
 
-    /// Applies downsampling outcomes to the persistent per-node states.
-    fn apply_outcomes(&mut self, outcomes: Vec<NodeOutcome>, report: &mut TrainReport) {
+    /// Applies downsampling outcomes to the persistent per-node states,
+    /// folding each decision (and any evaluated Eq. 9 value) into the
+    /// epoch's telemetry.
+    fn apply_outcomes(
+        &mut self,
+        outcomes: Vec<NodeOutcome>,
+        report: &mut TrainReport,
+        stats: &mut EpochStats,
+    ) {
         for outcome in outcomes {
             let state = self.states.get_mut(&outcome.node).expect("state exists");
+            stats.observe_kl(outcome.wide_kl);
             match outcome.wide_decision {
                 Decision::Drop(n) => {
                     state.prune_wide(n);
                     report.wide_drops += 1;
+                    stats.wide_drops += 1;
                 }
-                Decision::Keep => state.prev_wide_attention = outcome.wide_attention,
+                Decision::Keep => {
+                    state.prev_wide_attention = outcome.wide_attention;
+                    stats.wide_keeps += 1;
+                }
             }
             for (phi, deep_outcome) in outcome.deep.into_iter().enumerate() {
                 let deep_state = &mut state.deeps[phi];
+                stats.observe_kl(deep_outcome.kl);
                 match deep_outcome.decision {
                     Decision::Drop(s) => {
                         if let Some((pos, relay)) = deep_outcome.relay {
                             deep_state.edge_override[pos] = Some(relay);
                             report.relay_edges += 1;
+                            stats.relay_edges += 1;
                         }
                         deep_state.prune(s);
                         report.deep_drops += 1;
+                        stats.deep_drops += 1;
                     }
-                    Decision::Keep => deep_state.prev_attention = Some(deep_outcome.attention),
+                    Decision::Keep => {
+                        deep_state.prev_attention = Some(deep_outcome.attention);
+                        stats.deep_keeps += 1;
+                    }
                 }
             }
         }
@@ -733,6 +923,66 @@ mod tests {
             preds_before, preds_fresh,
             "seeds 0 vs 999 should disagree somewhere"
         );
+    }
+
+    #[test]
+    fn metrics_out_writes_one_record_per_epoch() {
+        let dataset = acm_like(Scale::Smoke, 12);
+        let train: Vec<u32> = dataset.transductive.train[..20].to_vec();
+        let cfg = tiny_config();
+        let epochs = cfg.epochs;
+        let model = WidenModel::for_graph(&dataset.graph, cfg);
+        let mut trainer = Trainer::new(model, &dataset.graph, &train);
+        let path = std::env::temp_dir().join(format!(
+            "widen-trainer-metrics-{}.jsonl",
+            std::process::id()
+        ));
+        trainer.set_metrics_out(&path).unwrap();
+        let report = trainer.fit(&train);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), epochs, "one JSONL record per epoch");
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with("{\"event\":\"epoch\""));
+            assert!(line.contains(&format!("\"epoch\":{}", i + 1)));
+            for field in [
+                "\"loss\":",
+                "\"kl_count\":",
+                "\"kl_mean\":",
+                "\"kl_min\":",
+                "\"wide_keeps\":",
+                "\"wide_drops\":",
+                "\"deep_keeps\":",
+                "\"deep_drops\":",
+                "\"packaging_nanos\":",
+                "\"forward_nanos\":",
+                "\"backward_nanos\":",
+                "\"optim_nanos\":",
+                "\"downsample_nanos\":",
+            ] {
+                assert!(line.contains(field), "record {i} missing {field}: {line}");
+            }
+        }
+        // The report mirrors the file: per-epoch stats with Eq. 9 values
+        // once history exists (epoch 1 never evaluates KL).
+        assert_eq!(report.epoch_stats.len(), epochs);
+        assert_eq!(report.epoch_stats[0].kl_count, 0);
+        assert!(report.epoch_stats[1..].iter().any(|s| s.kl_count > 0));
+        for s in &report.epoch_stats[1..] {
+            if let Some(kl) = s.kl_mean {
+                assert!(kl.is_finite() && kl >= 0.0);
+            }
+        }
+        let drops: u64 = report.epoch_stats.iter().map(|s| s.wide_drops).sum();
+        assert_eq!(drops as usize, report.wide_drops);
+        // Phase counters accumulated on the trainer's own registry.
+        let snap = trainer.metrics().snapshot();
+        assert_eq!(snap.counter("core_epochs_total"), Some(epochs as u64));
+        assert!(snap.counter("core_forward_nanos_total").unwrap() > 0);
+        assert!(snap.counter("core_backward_nanos_total").unwrap() > 0);
+        assert!(snap.counter("core_optim_nanos_total").unwrap() > 0);
     }
 
     #[test]

@@ -68,9 +68,9 @@ fn deep_branch_alone_supports_isolated_wide_sets() {
     // A node whose only connectivity is via the walk start (degree 1):
     // both branches must cope with tiny neighbourhoods.
     let mut b = GraphBuilder::new(&["x", "y"], &["xy"]).with_classes(2);
-    let x = b.node_type("x");
-    let y = b.node_type("y");
-    let e = b.edge_type("xy");
+    let x = b.node_type("x").unwrap();
+    let y = b.node_type("y").unwrap();
+    let e = b.edge_type("xy").unwrap();
     let n0 = b.add_node(x, vec![1.0, 0.0], Some(0));
     let n1 = b.add_node(y, vec![0.0, 1.0], None);
     let n2 = b.add_node(x, vec![0.9, 0.1], Some(1));

@@ -124,7 +124,7 @@ impl HeteroSbmConfig {
         let mut type_offsets = Vec::with_capacity(self.node_types.len());
         for spec in &self.node_types {
             type_offsets.push(latent.len() as u32);
-            let tid = builder.node_type(&spec.name);
+            let tid = builder.node_type(&spec.name).expect("declared above");
             for _ in 0..spec.count {
                 let class = rng.gen_range(0..self.num_classes) as u16;
                 latent.push(class);
@@ -162,7 +162,7 @@ impl HeteroSbmConfig {
 
         // Wire edges.
         for (ei, espec) in self.edge_types.iter().enumerate() {
-            let etid = builder.edge_type(edge_names[ei]);
+            let etid = builder.edge_type(edge_names[ei]).expect("declared above");
             let src_offset = type_offsets[espec.src];
             for k in 0..self.node_types[espec.src].count {
                 let src = src_offset + k as u32;

@@ -57,6 +57,33 @@ proptest! {
     }
 
     #[test]
+    fn kl_finite_for_all_probability_vectors(
+        raw_p in prop::collection::vec(0.0f32..5.0, 2..12),
+        raw_q in prop::collection::vec(0.0f32..5.0, 2..12),
+        hot in 0usize..12,
+    ) {
+        // Truncate to a common length, keeping zero entries — the
+        // regression regime where q_i = 0 used to yield inf/NaN.
+        let len = raw_p.len().min(raw_q.len());
+        let p = &raw_p[..len];
+        let q = &raw_q[..len];
+        let kl = kl_divergence(p, q);
+        prop_assert!(kl.is_finite(), "KL(p‖q) must be finite, got {kl}");
+        prop_assert!(kl >= 0.0, "KL(p‖q) must be non-negative, got {kl}");
+        // One-hot against the raw vector — maximal support mismatch.
+        let mut one_hot = vec![0.0f32; len];
+        one_hot[hot % len] = 1.0;
+        let kl_hot = kl_divergence(&one_hot, q);
+        prop_assert!(kl_hot.is_finite() && kl_hot >= 0.0);
+        let kl_hot_rev = kl_divergence(p, &one_hot);
+        prop_assert!(kl_hot_rev.is_finite() && kl_hot_rev >= 0.0);
+        // Zero-mass vector: smoothing makes it uniform, never NaN.
+        let zeros = vec![0.0f32; len];
+        let kl_zero = kl_divergence(&zeros, q);
+        prop_assert!(kl_zero.is_finite() && kl_zero >= 0.0);
+    }
+
+    #[test]
     fn t_test_p_value_in_unit_interval(
         samples in prop::collection::vec((0.0f64..1.0, -0.01f64..0.01), 3..10),
         delta in -0.2f64..0.2,

@@ -5,6 +5,30 @@ use widen_tensor::Tensor;
 
 use crate::graph::{EdgeTypeId, HeteroGraph, NodeId, NodeTypeId};
 
+/// A name lookup against the builder's declared type vocabularies failed.
+///
+/// Unknown names used to panic, which turned a malformed input file into a
+/// process abort; callers that parse external data (TSV readers, presets)
+/// now get a typed error they can surface with the offending name intact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuilderError {
+    /// The node type name was not declared in [`GraphBuilder::new`].
+    UnknownNodeType(String),
+    /// The edge type name was not declared in [`GraphBuilder::new`].
+    UnknownEdgeType(String),
+}
+
+impl std::fmt::Display for BuilderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownNodeType(name) => write!(f, "unknown node type `{name}`"),
+            Self::UnknownEdgeType(name) => write!(f, "unknown edge type `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for BuilderError {}
+
 /// Incremental, validated builder for [`HeteroGraph`].
 ///
 /// Declares type vocabularies up front, then nodes, then edges; `build()`
@@ -52,28 +76,26 @@ impl GraphBuilder {
 
     /// Handle for a node type name.
     ///
-    /// # Panics
-    /// Panics if the name was not declared.
-    pub fn node_type(&self, name: &str) -> NodeTypeId {
-        let idx = self
-            .node_type_names
+    /// # Errors
+    /// [`BuilderError::UnknownNodeType`] if the name was not declared.
+    pub fn node_type(&self, name: &str) -> Result<NodeTypeId, BuilderError> {
+        self.node_type_names
             .iter()
             .position(|n| n == name)
-            .unwrap_or_else(|| panic!("unknown node type `{name}`"));
-        NodeTypeId(idx as u16)
+            .map(|idx| NodeTypeId(idx as u16))
+            .ok_or_else(|| BuilderError::UnknownNodeType(name.to_string()))
     }
 
     /// Handle for an edge type name.
     ///
-    /// # Panics
-    /// Panics if the name was not declared.
-    pub fn edge_type(&self, name: &str) -> EdgeTypeId {
-        let idx = self
-            .edge_type_names
+    /// # Errors
+    /// [`BuilderError::UnknownEdgeType`] if the name was not declared.
+    pub fn edge_type(&self, name: &str) -> Result<EdgeTypeId, BuilderError> {
+        self.edge_type_names
             .iter()
             .position(|n| n == name)
-            .unwrap_or_else(|| panic!("unknown edge type `{name}`"));
-        EdgeTypeId(idx as u16)
+            .map(|idx| EdgeTypeId(idx as u16))
+            .ok_or_else(|| BuilderError::UnknownEdgeType(name.to_string()))
     }
 
     /// Adds a node; returns its id. Feature rows must share one length.
@@ -188,11 +210,11 @@ mod tests {
         // author0 — paper1 — conf2, author3 — paper1
         let mut b = GraphBuilder::new(&["author", "paper", "conf"], &["writes", "appears-in"])
             .with_classes(2);
-        let author = b.node_type("author");
-        let paper = b.node_type("paper");
-        let conf = b.node_type("conf");
-        let writes = b.edge_type("writes");
-        let appears = b.edge_type("appears-in");
+        let author = b.node_type("author").unwrap();
+        let paper = b.node_type("paper").unwrap();
+        let conf = b.node_type("conf").unwrap();
+        let writes = b.edge_type("writes").unwrap();
+        let appears = b.edge_type("appears-in").unwrap();
         let a0 = b.add_node(author, vec![1.0, 0.0], Some(0));
         let p1 = b.add_node(paper, vec![0.0, 1.0], None);
         let c2 = b.add_node(conf, vec![0.5, 0.5], None);
@@ -234,8 +256,8 @@ mod tests {
     #[test]
     fn duplicate_edges_are_deduped() {
         let mut b = GraphBuilder::new(&["x"], &["e"]).with_classes(1);
-        let x = b.node_type("x");
-        let e = b.edge_type("e");
+        let x = b.node_type("x").unwrap();
+        let e = b.edge_type("e").unwrap();
         let n0 = b.add_node(x, vec![0.0], Some(0));
         let n1 = b.add_node(x, vec![0.0], Some(0));
         b.add_edge(n0, n1, e);
@@ -267,11 +289,32 @@ mod tests {
     }
 
     #[test]
+    fn unknown_type_names_return_typed_errors() {
+        // Regression: these lookups used to panic, so a single bad type
+        // name in user-supplied data aborted the whole process.
+        let b = GraphBuilder::new(&["author"], &["writes"]);
+        assert_eq!(
+            b.node_type("reviewer"),
+            Err(BuilderError::UnknownNodeType("reviewer".into()))
+        );
+        assert_eq!(
+            b.edge_type("cites"),
+            Err(BuilderError::UnknownEdgeType("cites".into()))
+        );
+        let err = b.node_type("reviewer").unwrap_err();
+        assert_eq!(err.to_string(), "unknown node type `reviewer`");
+        assert_eq!(
+            b.edge_type("cites").unwrap_err().to_string(),
+            "unknown edge type `cites`"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "self-loops")]
     fn self_loops_rejected() {
         let mut b = GraphBuilder::new(&["x"], &["e"]);
-        let x = b.node_type("x");
-        let e = b.edge_type("e");
+        let x = b.node_type("x").unwrap();
+        let e = b.edge_type("e").unwrap();
         let n0 = b.add_node(x, vec![], None);
         b.add_edge(n0, n0, e);
     }
@@ -280,7 +323,7 @@ mod tests {
     #[should_panic(expected = "feature dim mismatch")]
     fn ragged_features_rejected() {
         let mut b = GraphBuilder::new(&["x"], &["e"]);
-        let x = b.node_type("x");
+        let x = b.node_type("x").unwrap();
         b.add_node(x, vec![1.0], None);
         b.add_node(x, vec![1.0, 2.0], None);
     }
@@ -288,8 +331,8 @@ mod tests {
     #[test]
     fn directed_mode_stores_single_direction() {
         let mut b = GraphBuilder::new(&["x"], &["e"]).directed();
-        let x = b.node_type("x");
-        let e = b.edge_type("e");
+        let x = b.node_type("x").unwrap();
+        let e = b.edge_type("e").unwrap();
         let n0 = b.add_node(x, vec![], None);
         let n1 = b.add_node(x, vec![], None);
         b.add_edge(n0, n1, e);

@@ -144,7 +144,9 @@ pub fn read_tsv<R: BufRead>(reader: R) -> Result<HeteroGraph, GraphIoError> {
                     return Err(parse(line_no, "node ids must be dense and ordered"));
                 }
                 expected_id += 1;
-                let ntype = b.node_type(fields[2]);
+                let ntype = b
+                    .node_type(fields[2])
+                    .map_err(|e| parse(line_no, &e.to_string()))?;
                 let label = match fields[3] {
                     "-" => None,
                     s => Some(s.parse().map_err(|_| parse(line_no, "bad label"))?),
@@ -172,7 +174,9 @@ pub fn read_tsv<R: BufRead>(reader: R) -> Result<HeteroGraph, GraphIoError> {
                 let dst: u32 = fields[2]
                     .parse()
                     .map_err(|_| parse(line_no, "bad edge dst"))?;
-                let etype = b.edge_type(fields[3]);
+                let etype = b
+                    .edge_type(fields[3])
+                    .map_err(|e| parse(line_no, &e.to_string()))?;
                 b.add_edge(src, dst, etype);
             }
             other => return Err(parse(line_no, &format!("unknown record `{other}`"))),
@@ -190,9 +194,9 @@ mod tests {
 
     fn sample() -> HeteroGraph {
         let mut b = GraphBuilder::new(&["paper", "author"], &["writes"]).with_classes(2);
-        let p = b.node_type("paper");
-        let a = b.node_type("author");
-        let w = b.edge_type("writes");
+        let p = b.node_type("paper").unwrap();
+        let a = b.node_type("author").unwrap();
+        let w = b.edge_type("writes").unwrap();
         let n0 = b.add_node(p, vec![0.5, -1.25], Some(1));
         let n1 = b.add_node(a, vec![2.0, 0.0], None);
         let n2 = b.add_node(p, vec![0.0, 3.5], Some(0));
@@ -240,6 +244,29 @@ mod tests {
             Err(GraphIoError::Parse(line, msg)) => {
                 assert_eq!(line, 4);
                 assert!(msg.contains("dense"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_type_names_are_located_not_panics() {
+        // Regression: a node or edge line naming an undeclared type used to
+        // panic inside GraphBuilder, aborting on hostile input files.
+        let doc = "#node_types\tx\n#edge_types\te\n#classes\t1\nN\t0\tbogus\t-\t1.0\n";
+        match read_tsv(std::io::Cursor::new(doc)) {
+            Err(GraphIoError::Parse(line, msg)) => {
+                assert_eq!(line, 4);
+                assert!(msg.contains("bogus"), "message names the type: {msg}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let doc = "#node_types\tx\n#edge_types\te\n#classes\t1\n\
+                   N\t0\tx\t-\t1.0\nN\t1\tx\t-\t2.0\nE\t0\t1\tnope\n";
+        match read_tsv(std::io::Cursor::new(doc)) {
+            Err(GraphIoError::Parse(line, msg)) => {
+                assert_eq!(line, 6);
+                assert!(msg.contains("nope"), "message names the type: {msg}");
             }
             other => panic!("expected parse error, got {other:?}"),
         }

@@ -19,7 +19,7 @@ pub mod io;
 pub mod partition;
 mod subgraph;
 
-pub use builder::GraphBuilder;
+pub use builder::{BuilderError, GraphBuilder};
 pub use graph::{EdgeTypeId, HeteroGraph, NodeId, NodeTypeId};
 pub use io::{read_tsv, write_tsv, GraphIoError};
 pub use subgraph::{InducedSubgraph, NodeMapping};

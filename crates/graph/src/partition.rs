@@ -148,8 +148,8 @@ mod tests {
     /// Two dense cliques joined by one bridge edge.
     fn two_cliques(size: usize) -> HeteroGraph {
         let mut b = GraphBuilder::new(&["x"], &["e"]);
-        let x = b.node_type("x");
-        let e = b.edge_type("e");
+        let x = b.node_type("x").unwrap();
+        let e = b.edge_type("e").unwrap();
         let ids: Vec<_> = (0..2 * size).map(|_| b.add_node(x, vec![], None)).collect();
         for c in 0..2 {
             for i in 0..size {

@@ -120,8 +120,8 @@ mod tests {
 
     fn path_graph(n: usize) -> HeteroGraph {
         let mut b = GraphBuilder::new(&["x"], &["e"]).with_classes(2);
-        let x = b.node_type("x");
-        let e = b.edge_type("e");
+        let x = b.node_type("x").unwrap();
+        let e = b.edge_type("e").unwrap();
         let ids: Vec<_> = (0..n)
             .map(|i| b.add_node(x, vec![i as f32], Some((i % 2) as u16)))
             .collect();

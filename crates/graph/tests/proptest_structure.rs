@@ -6,9 +6,9 @@ use widen_graph::{partition, GraphBuilder, HeteroGraph};
 /// Builds a random two-type graph from generated edge pairs.
 fn build(n_a: usize, n_b: usize, pairs: &[(usize, usize)]) -> HeteroGraph {
     let mut b = GraphBuilder::new(&["a", "b"], &["ab"]).with_classes(2);
-    let ta = b.node_type("a");
-    let tb = b.node_type("b");
-    let e = b.edge_type("ab");
+    let ta = b.node_type("a").unwrap();
+    let tb = b.node_type("b").unwrap();
+    let e = b.edge_type("ab").unwrap();
     let mut ids = Vec::new();
     for i in 0..n_a {
         ids.push(b.add_node(ta, vec![i as f32], Some((i % 2) as u16)));

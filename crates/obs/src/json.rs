@@ -1,0 +1,66 @@
+//! Minimal JSON emission helpers shared by snapshots and the JSONL sink.
+//!
+//! Deliberately write-only: the workspace's JSON *parsing* needs live in
+//! the vendored `serde_json` stub; this crate only ever produces machine
+//! lines, so a few escape-aware `push` helpers keep it dependency-free.
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+pub fn push_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite f64 in shortest-round-trip form; non-finite values
+/// become `null` (JSON has no NaN/∞).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render_str(s: &str) -> String {
+        let mut out = String::new();
+        push_string(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(render_str("plain"), "\"plain\"");
+        assert_eq!(render_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(render_str("line\nbreak\t"), "\"line\\nbreak\\t\"");
+        assert_eq!(render_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_render_shortest_and_null_non_finite() {
+        let mut out = String::new();
+        push_f64(&mut out, 1.0);
+        out.push(',');
+        push_f64(&mut out, 0.25);
+        out.push(',');
+        push_f64(&mut out, f64::NAN);
+        out.push(',');
+        push_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "1,0.25,null,null");
+    }
+}

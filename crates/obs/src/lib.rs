@@ -1,0 +1,42 @@
+//! # widen-obs
+//!
+//! The observability layer of the WIDEN stack: every runtime signal the
+//! trainer, the serving layer, and the samplers expose flows through the
+//! primitives in this crate.
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free atomic instruments for totals and
+//!   levels (requests served, queue depth).
+//! * [`Histogram`] — fixed-bucket distribution with atomic buckets, count
+//!   and sum (fused batch sizes, coalescing waits, sampled set sizes).
+//! * [`Stopwatch`] / [`ScopedTimer`] — wall-clock phase timing; scoped
+//!   timers record into a histogram on drop.
+//! * [`Registry`] — named get-or-create instrument store with
+//!   deterministic, name-sorted [`Snapshot`]s that render to JSON (this is
+//!   what the serving protocol's `Stats` op returns).
+//! * [`JsonlSink`] / [`Event`] — structured trace channel: one event per
+//!   line of JSON, used by `--metrics-out` training runs.
+//!
+//! Two registry scopes exist by convention: subsystems with a clear owner
+//! (one server, one trainer) hold their **own** [`Registry`] so concurrent
+//! instances — and tests — never share counters, while ambient library
+//! layers (sampling) record into [`Registry::global`]. Metric names follow
+//! `<layer>_<subject>[_<unit>][_total]`; see DESIGN.md for the full
+//! scheme.
+//!
+//! The crate has **no dependencies** (std only), in keeping with the
+//! workspace's vendored-stub policy: anything may depend on it, including
+//! the lowest layers, without enlarging the offline dependency surface.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod sink;
+pub mod timer;
+
+pub use metrics::{buckets, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{Registry, Snapshot};
+pub use sink::{Event, JsonlSink, Value};
+pub use timer::{ScopedTimer, Stopwatch, Unit};

@@ -1,0 +1,300 @@
+//! Lock-free metric instruments: [`Counter`], [`Gauge`], [`Histogram`].
+//!
+//! Every instrument is a thin wrapper over std atomics — recording a value
+//! is a handful of relaxed atomic operations, cheap enough for per-node
+//! and per-request hot paths. Handles are shared as `Arc`s handed out by a
+//! [`crate::Registry`]; cloning a handle never copies state.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Monotonically increasing counter (events, totals, accumulated nanos).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depths, live set sizes).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket histogram with upper-bound (`≤ bound`) bucket semantics.
+///
+/// A value `v` lands in the first bucket whose bound satisfies
+/// `v <= bound`; values above the last bound land in the overflow bucket.
+/// Bucket counts, the observation count, and the running sum are all
+/// atomics, so concurrent `observe` calls never lock. The sum is stored as
+/// f64 bits behind a CAS loop — still lock-free.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+/// Point-in-time copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds, ascending; parallel to `buckets`.
+    pub bounds: Vec<f64>,
+    /// Observations with `v <= bounds[i]` (and `> bounds[i-1]`).
+    pub buckets: Vec<u64>,
+    /// Observations above the last bound.
+    pub overflow: u64,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty, non-finite, or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        for pair in bounds.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "histogram bounds must be strictly ascending"
+            );
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation. Non-finite values are counted in the
+    /// overflow bucket and excluded from the sum.
+    pub fn observe(&self, v: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        match self.bounds.iter().position(|&b| v <= b) {
+            Some(i) if v.is_finite() => {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                self.overflow.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if v.is_finite() {
+            let mut current = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(current) + v).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => current = actual,
+                }
+            }
+        }
+    }
+
+    /// The configured upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Copies the current state out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            overflow: self.overflow.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Ready-made bucket ladders for the workspace's common shapes.
+pub mod buckets {
+    /// Small integer counts: neighbour-set sizes, fused batch sizes.
+    pub const SMALL_COUNTS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+    /// Microsecond latencies: coalescing waits, queue residency.
+    pub const LATENCY_US: &[f64] = &[
+        50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 50_000.0, 250_000.0,
+    ];
+    /// Second-scale durations: epoch phases, end-to-end runs.
+    pub const DURATION_SECS: &[f64] = &[0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_sum_exactly() {
+        let c = Arc::new(Counter::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(0.5); // ≤ 1 → bucket 0
+        h.observe(1.0); // boundary value goes to its own bucket
+        h.observe(1.0001); // just above → bucket 1
+        h.observe(2.0); // bucket 1
+        h.observe(4.0); // bucket 2
+        h.observe(4.0001); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![2, 2, 1]);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.count, 6);
+        assert!((s.sum - 12.5002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_handles_non_finite_values() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.overflow, 2);
+        assert_eq!(s.sum, 0.0);
+    }
+
+    #[test]
+    fn concurrent_histogram_observations_count_exactly() {
+        let h = Arc::new(Histogram::new(buckets::SMALL_COUNTS));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..5_000 {
+                        h.observe(f64::from((t * 5_000 + i) % 200));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 20_000);
+        assert_eq!(s.buckets.iter().sum::<u64>() + s.overflow, 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn snapshot_mean() {
+        let h = Histogram::new(&[10.0]);
+        assert_eq!(h.snapshot().mean(), 0.0);
+        h.observe(2.0);
+        h.observe(4.0);
+        assert!((h.snapshot().mean() - 3.0).abs() < 1e-12);
+    }
+}

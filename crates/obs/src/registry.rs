@@ -1,0 +1,250 @@
+//! Named metric registry with deterministic JSON snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Get-or-create registry of named instruments.
+///
+/// Registration takes a mutex, but that happens once per metric name per
+/// holder — callers cache the returned `Arc` handle and then record through
+/// atomics only. Names follow the `<layer>_<subject>[_<unit>][_total]`
+/// scheme documented in DESIGN.md.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide shared registry. Library layers without an obvious
+    /// owner (e.g. sampling) record here; owned subsystems (a server, a
+    /// trainer) should prefer their own instance so tests stay isolated.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Handle for the counter `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` is registered with a different kind"),
+        }
+    }
+
+    /// Handle for the gauge `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` is registered with a different kind"),
+        }
+    }
+
+    /// Handle for the histogram `name`, creating it with `bounds` on first
+    /// use (later calls ignore `bounds` and return the existing instrument).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric `{name}` is registered with a different kind"),
+        }
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().expect("registry poisoned");
+        let mut snap = Snapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// Deterministically ordered (name-sorted) copy of a registry's state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, state)` per histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Whether nothing was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Value of a counter by name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of a gauge by name, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// State of a histogram by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Renders the snapshot as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::push_string(&mut out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::push_string(&mut out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::push_string(&mut out, name);
+            out.push_str(":{\"buckets\":[");
+            for (j, (&le, &n)) in h.bounds.iter().zip(&h.buckets).enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                crate::json::push_f64(&mut out, le);
+                out.push(',');
+                out.push_str(&n.to_string());
+                out.push(']');
+            }
+            out.push_str("],\"overflow\":");
+            out.push_str(&h.overflow.to_string());
+            out.push_str(",\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"sum\":");
+            crate::json::push_f64(&mut out, h.sum);
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_instrument() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total");
+        let b = reg.counter("x_total");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.snapshot().counter("x_total"), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_are_programmer_errors() {
+        let reg = Registry::new();
+        let _ = reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_json_renders() {
+        let reg = Registry::new();
+        reg.counter("b_total").add(2);
+        reg.counter("a_total").add(1);
+        reg.gauge("depth").set(-3);
+        reg.histogram("sizes", &[1.0, 2.0]).observe(1.5);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a_total", "b_total"]
+        );
+        let json = snap.to_json();
+        assert!(json.contains("\"a_total\":1"));
+        assert!(json.contains("\"depth\":-3"));
+        assert!(json.contains("\"sizes\":{\"buckets\":[[1,0],[2,1]]"));
+        assert!(json.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn empty_snapshot_reports_empty() {
+        assert!(Registry::new().snapshot().is_empty());
+        assert_eq!(
+            Registry::new().snapshot().to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a: *const Registry = Registry::global();
+        let b: *const Registry = Registry::global();
+        assert!(std::ptr::eq(a, b));
+    }
+}

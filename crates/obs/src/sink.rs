@@ -1,0 +1,178 @@
+//! Structured JSONL event sink.
+//!
+//! One [`Event`] becomes one line of JSON, written and flushed atomically
+//! under a mutex — safe to share across trainer threads, cheap at the
+//! once-per-epoch / once-per-run rates it is meant for (this is the trace
+//! channel, not the hot-path counter channel).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::json;
+
+/// A field value in an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite renders as `null`).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// An ordered bag of named fields, rendered as one JSON object with the
+/// event name first: `{"event":"epoch","epoch":3,...}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    name: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// A new event of the given kind.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds an unsigned integer field.
+    #[must_use]
+    pub fn u64(mut self, key: &str, v: u64) -> Self {
+        self.fields.push((key.to_string(), Value::U64(v)));
+        self
+    }
+
+    /// Adds a signed integer field.
+    #[must_use]
+    pub fn i64(mut self, key: &str, v: i64) -> Self {
+        self.fields.push((key.to_string(), Value::I64(v)));
+        self
+    }
+
+    /// Adds a float field.
+    #[must_use]
+    pub fn f64(mut self, key: &str, v: f64) -> Self {
+        self.fields.push((key.to_string(), Value::F64(v)));
+        self
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn str(mut self, key: &str, v: &str) -> Self {
+        self.fields
+            .push((key.to_string(), Value::Str(v.to_string())));
+        self
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn bool(mut self, key: &str, v: bool) -> Self {
+        self.fields.push((key.to_string(), Value::Bool(v)));
+        self
+    }
+
+    /// Renders the event as a single JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 16);
+        out.push_str("{\"event\":");
+        json::push_string(&mut out, &self.name);
+        for (key, value) in &self.fields {
+            out.push(',');
+            json::push_string(&mut out, key);
+            out.push(':');
+            match value {
+                Value::U64(v) => out.push_str(&v.to_string()),
+                Value::I64(v) => out.push_str(&v.to_string()),
+                Value::F64(v) => json::push_f64(&mut out, *v),
+                Value::Str(v) => json::push_string(&mut out, v),
+                Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Append-only JSONL file: one [`Event`] per line, flushed per emit so a
+/// crashed or killed run still leaves every completed record on disk.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and returns a sink writing to it.
+    ///
+    /// # Errors
+    /// Propagates file-creation failures.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(Self {
+            out: Mutex::new(BufWriter::new(file)),
+            path,
+        })
+    }
+
+    /// The file this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Writes one event as one line and flushes. IO failures are reported
+    /// but must not take down the instrumented computation.
+    ///
+    /// # Errors
+    /// Propagates write failures.
+    pub fn emit(&self, event: &Event) -> std::io::Result<()> {
+        let mut out = self.out.lock().expect("sink poisoned");
+        out.write_all(event.to_json().as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_in_insertion_order() {
+        let e = Event::new("epoch")
+            .u64("epoch", 3)
+            .f64("loss", 0.5)
+            .f64("kl", f64::NAN)
+            .str("dataset", "acm")
+            .i64("delta", -2)
+            .bool("converged", false);
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"epoch\",\"epoch\":3,\"loss\":0.5,\"kl\":null,\
+             \"dataset\":\"acm\",\"delta\":-2,\"converged\":false}"
+        );
+    }
+
+    #[test]
+    fn sink_writes_one_line_per_event() {
+        let path =
+            std::env::temp_dir().join(format!("widen-obs-sink-test-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).unwrap();
+        for i in 0..4u64 {
+            sink.emit(&Event::new("tick").u64("i", i)).unwrap();
+        }
+        let text = std::fs::read_to_string(sink.path()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[2], "{\"event\":\"tick\",\"i\":2}");
+        std::fs::remove_file(&path).ok();
+    }
+}

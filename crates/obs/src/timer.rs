@@ -1,0 +1,125 @@
+//! Scoped wall-clock timing.
+
+use std::time::Instant;
+
+use crate::metrics::{Counter, Histogram};
+
+/// A started wall clock. Thin wrapper over [`Instant`] with the
+/// conversions the metric layers need.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Elapsed whole nanoseconds, saturating at `u64::MAX`.
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Elapsed whole microseconds, saturating at `u64::MAX`.
+    pub fn elapsed_micros(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Adds the elapsed nanoseconds to a counter (the accumulate-then-read
+    /// pattern used for phase timings shared across worker threads).
+    pub fn record_nanos(&self, counter: &Counter) {
+        counter.add(self.elapsed_nanos());
+    }
+}
+
+/// Records a duration into a histogram when dropped.
+///
+/// ```
+/// # use widen_obs::{Histogram, ScopedTimer, Unit};
+/// let hist = Histogram::new(&[0.1, 1.0]);
+/// {
+///     let _t = ScopedTimer::new(&hist, Unit::Seconds);
+///     // ... timed work ...
+/// } // observation recorded here
+/// assert_eq!(hist.snapshot().count, 1);
+/// ```
+pub struct ScopedTimer<'a> {
+    hist: &'a Histogram,
+    unit: Unit,
+    watch: Stopwatch,
+}
+
+/// Which unit a [`ScopedTimer`] records in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Seconds as f64.
+    Seconds,
+    /// Whole microseconds.
+    Micros,
+}
+
+impl<'a> ScopedTimer<'a> {
+    /// Starts a timer that reports into `hist` on drop.
+    pub fn new(hist: &'a Histogram, unit: Unit) -> Self {
+        Self {
+            hist,
+            unit,
+            watch: Stopwatch::start(),
+        }
+    }
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        let v = match self.unit {
+            Unit::Seconds => self.watch.elapsed_secs(),
+            Unit::Micros => self.watch.elapsed_micros() as f64,
+        };
+        self.hist.observe(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_something() {
+        let w = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(w.elapsed_secs() >= 0.002);
+        assert!(w.elapsed_nanos() >= 2_000_000);
+        assert!(w.elapsed_micros() >= 2_000);
+    }
+
+    #[test]
+    fn stopwatch_accumulates_into_counter() {
+        let c = Counter::new();
+        let w = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        w.record_nanos(&c);
+        w.record_nanos(&c);
+        assert!(c.get() >= 2_000_000);
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let hist = Histogram::new(&[1_000.0, 1_000_000.0]);
+        {
+            let _t = ScopedTimer::new(&hist, Unit::Micros);
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        let s = hist.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.sum >= 100.0);
+    }
+}

@@ -1,7 +1,19 @@
 //! Deep neighbour sets — random-walk sequences (Definition 3).
 
+use std::sync::{Arc, OnceLock};
+
 use rand::Rng;
 use widen_graph::{HeteroGraph, NodeId};
+use widen_obs::{buckets, Histogram};
+
+/// Ambient-scope instrument: realised walk lengths (`≤ N_d`; shorter when
+/// a walk dead-ends), recorded into the process-global registry.
+fn deep_len_hist() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        widen_obs::Registry::global().histogram("sampling_deep_walk_len", buckets::SMALL_COUNTS)
+    })
+}
 
 /// One hop of a deep walk: the node `v_s` plus the type of the edge that led
 /// to it from its predecessor (`e_{s,s-1}` of Eq. 2; for `s = 1` the
@@ -76,6 +88,7 @@ pub fn sample_deep<R: Rng + ?Sized>(
         });
         current = next;
     }
+    deep_len_hist().observe(entries.len() as f64);
     DeepSet { target, entries }
 }
 
@@ -104,9 +117,9 @@ mod tests {
     /// 0 - 1 - 2 - 3 path with alternating edge types.
     fn path() -> HeteroGraph {
         let mut b = GraphBuilder::new(&["x"], &["a", "b"]);
-        let x = b.node_type("x");
-        let ea = b.edge_type("a");
-        let eb = b.edge_type("b");
+        let x = b.node_type("x").unwrap();
+        let ea = b.edge_type("a").unwrap();
+        let eb = b.edge_type("b").unwrap();
         let ids: Vec<_> = (0..4).map(|_| b.add_node(x, vec![], None)).collect();
         b.add_edge(ids[0], ids[1], ea);
         b.add_edge(ids[1], ids[2], eb);
@@ -145,7 +158,7 @@ mod tests {
     #[test]
     fn isolated_target_gives_empty_walk() {
         let mut b = GraphBuilder::new(&["x"], &["e"]);
-        let x = b.node_type("x");
+        let x = b.node_type("x").unwrap();
         b.add_node(x, vec![], None);
         let g = b.build();
         let walk = sample_deep(&g, 0, 5, &mut StdRng::seed_from_u64(3));
@@ -162,6 +175,15 @@ mod tests {
         // With 4 walks of length 6 from a degree-2 node, at least two should
         // differ for this seed.
         assert!(walks_a.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn sampling_records_walk_lengths_in_the_global_registry() {
+        let before = deep_len_hist().snapshot().count;
+        let g = path();
+        let walk = sample_deep(&g, 0, 5, &mut StdRng::seed_from_u64(12));
+        assert_eq!(walk.len(), 5);
+        assert!(deep_len_hist().snapshot().count >= before + 1);
     }
 
     #[test]

@@ -1,8 +1,20 @@
 //! Wide neighbour sets (Definition 2).
 
+use std::sync::{Arc, OnceLock};
+
 use rand::seq::SliceRandom;
 use rand::Rng;
 use widen_graph::{HeteroGraph, NodeId};
+use widen_obs::{buckets, Histogram};
+
+/// Ambient-scope instrument (see the `widen-obs` scoping convention):
+/// sampled wide-set sizes, recorded into the process-global registry.
+fn wide_size_hist() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        widen_obs::Registry::global().histogram("sampling_wide_set_size", buckets::SMALL_COUNTS)
+    })
+}
 
 /// One wide neighbour: its global node id plus the type of the edge
 /// connecting it to the target (`e_{n,t}` in Eq. 1).
@@ -67,6 +79,7 @@ pub fn sample_wide<R: Rng + ?Sized>(
     let edge_types = graph.edge_types_of(target);
     let mut entries = Vec::with_capacity(n_w.min(degree.max(n_w)));
     if degree == 0 || n_w == 0 {
+        wide_size_hist().observe(0.0);
         return WideSet { target, entries };
     }
     if degree <= n_w {
@@ -95,6 +108,7 @@ pub fn sample_wide<R: Rng + ?Sized>(
             });
         }
     }
+    wide_size_hist().observe(entries.len() as f64);
     WideSet { target, entries }
 }
 
@@ -109,10 +123,10 @@ mod tests {
     /// edge types.
     fn star(leaves: usize) -> HeteroGraph {
         let mut b = GraphBuilder::new(&["hub", "leaf"], &["a", "b"]);
-        let hub_t = b.node_type("hub");
-        let leaf_t = b.node_type("leaf");
-        let ea = b.edge_type("a");
-        let eb = b.edge_type("b");
+        let hub_t = b.node_type("hub").unwrap();
+        let leaf_t = b.node_type("leaf").unwrap();
+        let ea = b.edge_type("a").unwrap();
+        let eb = b.edge_type("b").unwrap();
         let hub = b.add_node(hub_t, vec![], None);
         for i in 0..leaves {
             let l = b.add_node(leaf_t, vec![], None);
@@ -149,7 +163,7 @@ mod tests {
     #[test]
     fn isolated_node_yields_empty_set() {
         let mut b = GraphBuilder::new(&["x"], &["e"]);
-        let x = b.node_type("x");
+        let x = b.node_type("x").unwrap();
         b.add_node(x, vec![], None);
         let g = b.build();
         let mut rng = StdRng::seed_from_u64(3);
@@ -180,6 +194,14 @@ mod tests {
         assert_eq!(w.len(), 5);
         assert_eq!(w.entries[2], before[3], "locals after n' shift down by one");
         assert_eq!(w.entries[..2], before[..2], "locals before n' unchanged");
+    }
+
+    #[test]
+    fn sampling_records_set_sizes_in_the_global_registry() {
+        let before = wide_size_hist().snapshot().count;
+        let g = star(5);
+        let _ = sample_wide(&g, 0, 4, &mut StdRng::seed_from_u64(11));
+        assert!(wide_size_hist().snapshot().count >= before + 1);
     }
 
     #[test]

@@ -9,12 +9,12 @@
 //! throughput optimisation and responses equal serial single-request
 //! answers exactly.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{Receiver, RecvTimeoutError};
+use widen_obs::{buckets, Counter, Gauge, Histogram, Registry};
 
 use crate::cache::{EmbedCache, EmbedKey};
 use crate::error::ServeError;
@@ -62,15 +62,36 @@ pub(crate) struct BatchPolicy {
     pub max_wait: Duration,
 }
 
-/// Worker-side throughput counters (shared, lock-free).
-#[derive(Default)]
+/// Worker-side throughput instruments: handles into the server's metric
+/// registry, shared by every worker and lock-free to record.
 pub(crate) struct WorkerStats {
-    pub jobs: AtomicU64,
-    pub batches: AtomicU64,
-    pub deadline_drops: AtomicU64,
+    pub jobs: Arc<Counter>,
+    pub batches: Arc<Counter>,
+    pub deadline_drops: Arc<Counter>,
     /// Jobs answered by another identical job's computation (singleflight
     /// dedup within a coalescing window).
-    pub dedup_hits: AtomicU64,
+    pub dedup_hits: Arc<Counter>,
+    /// Fused-batch sizes (jobs per `process_batch` call).
+    pub batch_size: Arc<Histogram>,
+    /// How long the first job of each window waited for company, in µs.
+    pub batch_wait_us: Arc<Histogram>,
+    /// Job-queue depth sampled as each coalescing window opens.
+    pub queue_depth: Arc<Gauge>,
+}
+
+impl WorkerStats {
+    /// Registers (or re-binds) the `serve_*` instruments in `metrics`.
+    pub fn new(metrics: &Registry) -> Self {
+        Self {
+            jobs: metrics.counter("serve_jobs_total"),
+            batches: metrics.counter("serve_batches_total"),
+            deadline_drops: metrics.counter("serve_deadline_drops_total"),
+            dedup_hits: metrics.counter("serve_dedup_hits_total"),
+            batch_size: metrics.histogram("serve_batch_size", buckets::SMALL_COUNTS),
+            batch_wait_us: metrics.histogram("serve_batch_wait_us", buckets::LATENCY_US),
+            queue_depth: metrics.gauge("serve_queue_depth"),
+        }
+    }
 }
 
 /// Runs one batcher worker until the job channel disconnects. On
@@ -89,9 +110,11 @@ pub(crate) fn run_worker(
             Ok(job) => job,
             Err(_) => return, // disconnected and fully drained
         };
+        stats.queue_depth.set(rx.len() as i64);
+        let window_start = Instant::now();
         let mut jobs = vec![first];
         if policy.max_batch > 1 {
-            let window_end = Instant::now() + policy.max_wait;
+            let window_end = window_start + policy.max_wait;
             while jobs.len() < policy.max_batch {
                 match rx.recv_deadline(window_end) {
                     Ok(job) => jobs.push(job),
@@ -100,6 +123,9 @@ pub(crate) fn run_worker(
                 }
             }
         }
+        stats
+            .batch_wait_us
+            .observe(window_start.elapsed().as_micros() as f64);
         process_batch(&registry, &cache, jobs, &stats);
     }
 }
@@ -113,8 +139,9 @@ fn process_batch(
     jobs: Vec<Job>,
     stats: &WorkerStats,
 ) {
-    stats.batches.fetch_add(1, Ordering::Relaxed);
-    stats.jobs.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    stats.batches.inc();
+    stats.jobs.add(jobs.len() as u64);
+    stats.batch_size.observe(jobs.len() as f64);
     let now = Instant::now();
     let ckpt = registry.checkpoint_hash();
 
@@ -123,7 +150,7 @@ fn process_batch(
     let mut groups: Vec<(JobKind, Vec<Job>)> = Vec::new();
     for job in jobs {
         if job.deadline < now {
-            stats.deadline_drops.fetch_add(1, Ordering::Relaxed);
+            stats.deadline_drops.inc();
             reply(&job, Err(ServeError::DeadlineExceeded));
             continue;
         }
@@ -155,7 +182,7 @@ fn process_batch(
             let key = (job.node, job.seed);
             match items.iter().position(|&u| u == key) {
                 Some(i) => {
-                    stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    stats.dedup_hits.inc();
                     row_of.push(i);
                 }
                 None => {
@@ -248,7 +275,7 @@ mod tests {
     fn mixed_batch_answers_every_job_correctly() {
         let registry = tiny_registry();
         let cache = Arc::new(EmbedCache::new(16));
-        let stats = WorkerStats::default();
+        let stats = WorkerStats::new(&Registry::new());
         let (tx, rx) = mpsc::channel();
         let jobs = vec![
             job(JobKind::Embed, 0, 7, 0, &tx),
@@ -272,14 +299,14 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(matches!(&results[2].1, Ok(JobOutput::Embedding(_))));
-        assert_eq!(stats.jobs.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.jobs.get(), 3);
     }
 
     #[test]
     fn second_identical_embed_is_served_from_cache() {
         let registry = tiny_registry();
         let cache = Arc::new(EmbedCache::new(16));
-        let stats = WorkerStats::default();
+        let stats = WorkerStats::new(&Registry::new());
         let (tx, rx) = mpsc::channel();
         process_batch(
             &registry,
@@ -303,7 +330,7 @@ mod tests {
     fn duplicate_jobs_share_one_computation() {
         let registry = tiny_registry();
         let cache = Arc::new(EmbedCache::new(0));
-        let stats = WorkerStats::default();
+        let stats = WorkerStats::new(&Registry::new());
         let (tx, rx) = mpsc::channel();
         // Three identical classify jobs + one identical embed pair.
         let jobs = vec![
@@ -333,19 +360,19 @@ mod tests {
             }
         }
         // 2 duplicate classifies + 1 duplicate embed were fanned out.
-        assert_eq!(stats.dedup_hits.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.dedup_hits.get(), 3);
     }
 
     #[test]
     fn expired_jobs_get_deadline_errors_without_compute() {
         let registry = tiny_registry();
         let cache = Arc::new(EmbedCache::new(16));
-        let stats = WorkerStats::default();
+        let stats = WorkerStats::new(&Registry::new());
         let (tx, rx) = mpsc::channel();
         let mut expired = job(JobKind::Embed, 0, 1, 0, &tx);
         expired.deadline = Instant::now() - Duration::from_millis(1);
         process_batch(&registry, &cache, vec![expired], &stats);
         assert_eq!(rx.recv().unwrap().1, Err(ServeError::DeadlineExceeded));
-        assert_eq!(stats.deadline_drops.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.deadline_drops.get(), 1);
     }
 }

@@ -7,9 +7,11 @@
 //! swap the registry, and every old key simply stops being asked for.
 
 use std::hash::Hash;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
+use widen_obs::{Counter, Registry};
 
 const NIL: usize = usize::MAX;
 
@@ -160,6 +162,7 @@ pub struct CacheStats {
 /// Thread-safe embedding cache shared by all batcher workers.
 pub struct EmbedCache {
     inner: Mutex<(Lru<EmbedKey, Vec<f32>>, CacheStats)>,
+    counters: Option<(Arc<Counter>, Arc<Counter>)>,
 }
 
 impl EmbedCache {
@@ -167,6 +170,19 @@ impl EmbedCache {
     pub fn new(cap: usize) -> Self {
         Self {
             inner: Mutex::new((Lru::new(cap), CacheStats::default())),
+            counters: None,
+        }
+    }
+
+    /// Like [`EmbedCache::new`], but mirrors hits and misses into
+    /// `metrics` as `serve_cache_hits_total` / `serve_cache_misses_total`.
+    pub fn with_metrics(cap: usize, metrics: &Registry) -> Self {
+        Self {
+            counters: Some((
+                metrics.counter("serve_cache_hits_total"),
+                metrics.counter("serve_cache_misses_total"),
+            )),
+            ..Self::new(cap)
         }
     }
 
@@ -174,16 +190,19 @@ impl EmbedCache {
     pub fn get(&self, key: &EmbedKey) -> Option<Vec<f32>> {
         let mut guard = self.inner.lock();
         let (lru, stats) = &mut *guard;
-        match lru.get(key) {
-            Some(v) => {
-                stats.hits += 1;
-                Some(v.clone())
-            }
-            None => {
-                stats.misses += 1;
-                None
-            }
+        let hit = lru.get(key).cloned();
+        if hit.is_some() {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
         }
+        drop(guard);
+        match (&hit, &self.counters) {
+            (Some(_), Some((hits, _))) => hits.inc(),
+            (None, Some((_, misses))) => misses.inc(),
+            _ => {}
+        }
+        hit
     }
 
     /// Stores an embedding.

@@ -98,7 +98,7 @@ impl Client {
             Response::Error { code, message, .. } => {
                 Err(ClientError::Server(ServeError::from_code(code, message)))
             }
-            Response::Classes { .. } => Err(ClientError::Mismatch("expected embeddings")),
+            _ => Err(ClientError::Mismatch("expected embeddings")),
         }
     }
 
@@ -134,7 +134,32 @@ impl Client {
             Response::Error { code, message, .. } => {
                 Err(ClientError::Server(ServeError::from_code(code, message)))
             }
-            Response::Embeddings { .. } => Err(ClientError::Mismatch("expected classes")),
+            _ => Err(ClientError::Mismatch("expected classes")),
+        }
+    }
+
+    /// Requests the server's live metrics snapshot: a JSON object with a
+    /// `server` section (request/job/batch/cache counters, batch-size and
+    /// wait histograms) and a `process` section (ambient sampling and
+    /// packaging instruments).
+    ///
+    /// # Errors
+    /// Returns a [`ClientError`] on transport failure or a server-reported
+    /// error.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let id = self.fresh_id();
+        let response = self.call(&Request::Stats { id })?;
+        match response {
+            Response::Stats { id: rid, text } => {
+                if rid != id {
+                    return Err(ClientError::Mismatch("response id"));
+                }
+                Ok(text)
+            }
+            Response::Error { code, message, .. } => {
+                Err(ClientError::Server(ServeError::from_code(code, message)))
+            }
+            _ => Err(ClientError::Mismatch("expected stats")),
         }
     }
 

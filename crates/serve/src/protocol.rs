@@ -19,6 +19,8 @@
 //! | 3 | Embeddings       | `rows u32, cols u32, rows·cols × f32` |
 //! | 4 | Classes          | `count u32, count × label u32` |
 //! | 5 | Error            | `code u8, msg_len u32, msg utf-8` |
+//! | 6 | Stats request    | (header only) |
+//! | 7 | Stats            | `msg_len u32, JSON snapshot utf-8` |
 //!
 //! Decoding is fully defensive: declared lengths are validated against the
 //! remaining bytes *before* any allocation, oversized frames are rejected
@@ -45,6 +47,8 @@ const TYPE_CLASSIFY: u8 = 2;
 const TYPE_EMBEDDINGS: u8 = 3;
 const TYPE_CLASSES: u8 = 4;
 const TYPE_ERROR: u8 = 5;
+const TYPE_STATS: u8 = 6;
+const TYPE_STATS_TEXT: u8 = 7;
 
 /// Wire-level decode failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,20 +109,26 @@ pub enum Request {
         /// Nodes to classify.
         nodes: Vec<u32>,
     },
+    /// Fetch the server's live metrics snapshot.
+    Stats {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+    },
 }
 
 impl Request {
     /// The request id.
     pub fn id(&self) -> u64 {
         match self {
-            Request::Embed { id, .. } | Request::Classify { id, .. } => *id,
+            Request::Embed { id, .. } | Request::Classify { id, .. } | Request::Stats { id } => *id,
         }
     }
 
-    /// The nodes the request touches.
+    /// The nodes the request touches (empty for `Stats`).
     pub fn nodes(&self) -> &[u32] {
         match self {
             Request::Embed { nodes, .. } | Request::Classify { nodes, .. } => nodes,
+            Request::Stats { .. } => &[],
         }
     }
 }
@@ -150,6 +160,13 @@ pub enum Response {
         code: u8,
         /// Human-readable detail.
         message: String,
+    },
+    /// Live metrics snapshot, as the registry's JSON rendering.
+    Stats {
+        /// Echoed request id.
+        id: u64,
+        /// JSON text (see `widen_obs::Snapshot::to_json`).
+        text: String,
     },
 }
 
@@ -207,6 +224,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
             frame(b)
         }
+        Request::Stats { id } => frame(body_header(TYPE_STATS, *id, 0)),
     }
 }
 
@@ -240,6 +258,24 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             b.put_slice(&[*code]);
             b.put_u32_le(message.len() as u32);
             b.put_slice(message.as_bytes());
+            frame(b)
+        }
+        Response::Stats { id, text } => {
+            // Snapshots are bounded by the (small, fixed) metric population,
+            // but the frame cap is the wire contract — truncate at a char
+            // boundary rather than emit an unsendable frame.
+            let budget = MAX_FRAME_LEN - 19 - 4;
+            let mut text = text.as_str();
+            if text.len() > budget {
+                let mut cut = budget;
+                while !text.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                text = &text[..cut];
+            }
+            let mut b = body_header(TYPE_STATS_TEXT, *id, 4 + text.len());
+            b.put_u32_le(text.len() as u32);
+            b.put_slice(text.as_bytes());
             frame(b)
         }
     }
@@ -346,6 +382,10 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
                 nodes,
             })
         }
+        TYPE_STATS => {
+            r.finish()?;
+            Ok(Request::Stats { id })
+        }
         other => Err(WireError::BadType(other)),
     }
 }
@@ -397,6 +437,18 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
                 .map_err(|_| WireError::Malformed("non-utf8 message"))?
                 .to_string();
             Ok(Response::Error { id, code, message })
+        }
+        TYPE_STATS_TEXT => {
+            let msg_len = r.u32("stats length")? as usize;
+            if msg_len > MAX_FRAME_LEN {
+                return Err(WireError::Malformed("oversized stats text"));
+            }
+            let raw = r.take(msg_len, "stats text")?;
+            r.finish()?;
+            let text = std::str::from_utf8(raw)
+                .map_err(|_| WireError::Malformed("non-utf8 stats text"))?
+                .to_string();
+            Ok(Response::Stats { id, text })
         }
         other => Err(WireError::BadType(other)),
     }
@@ -475,6 +527,7 @@ mod tests {
                 rounds: 3,
                 nodes: vec![5],
             },
+            Request::Stats { id: 77 },
         ];
         for req in &reqs {
             let wire = encode_request(req);
@@ -502,6 +555,11 @@ mod tests {
                 id: 3,
                 code: 2,
                 message: "deadline exceeded".into(),
+            },
+            Response::Stats {
+                id: 4,
+                text: "{\"counters\":{\"serve_jobs_total\":12},\"gauges\":{},\"histograms\":{}}"
+                    .into(),
             },
         ];
         for resp in &resps {
@@ -557,6 +615,35 @@ mod tests {
         let count_off = 4 + 2 + 1 + 8 + 8 + 4;
         b[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_request(&b).is_err());
+    }
+
+    #[test]
+    fn stats_request_rejects_payload_bytes() {
+        let wire = encode_request(&Request::Stats { id: 5 });
+        let mut body = wire[4..].to_vec();
+        body.push(0); // a Stats request is header-only
+        assert_eq!(
+            decode_request(&body),
+            Err(WireError::Malformed("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn oversized_stats_text_is_truncated_to_fit_the_frame_cap() {
+        let resp = Response::Stats {
+            id: 1,
+            text: "x".repeat(MAX_FRAME_LEN * 2),
+        };
+        let wire = encode_response(&resp);
+        let declared = u32::from_le_bytes(wire[..4].try_into().unwrap()) as usize;
+        assert!(declared <= MAX_FRAME_LEN);
+        let mut fr = FrameReader::new();
+        fr.push(&wire);
+        let body = fr.next_frame().unwrap().expect("frame fits the cap");
+        assert!(matches!(
+            decode_response(&body).unwrap(),
+            Response::Stats { id: 1, .. }
+        ));
     }
 
     #[test]

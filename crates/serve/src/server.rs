@@ -17,13 +17,14 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
+use widen_obs::{Counter, Registry as MetricsRegistry};
 
 use crate::batcher::{run_worker, BatchPolicy, Job, JobKind, JobOutput, WorkerStats};
 use crate::cache::EmbedCache;
@@ -87,7 +88,11 @@ pub struct ServeStats {
 
 struct Shared {
     shutdown: AtomicBool,
-    requests: AtomicU64,
+    /// This server's own metric registry (isolated per instance, see the
+    /// scoping convention in `widen-obs`); the `Stats` wire op renders it.
+    metrics: Arc<MetricsRegistry>,
+    /// `serve_requests_total` — requests fully answered, success or error.
+    requests: Arc<Counter>,
     conns: Mutex<Vec<JoinHandle<()>>>,
     cache: Arc<EmbedCache>,
     worker_stats: Arc<WorkerStats>,
@@ -116,14 +121,16 @@ impl Server {
         let local_addr = listener.local_addr()?;
 
         let registry = Arc::new(registry);
+        let metrics = Arc::new(MetricsRegistry::new());
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
-            requests: AtomicU64::new(0),
+            requests: metrics.counter("serve_requests_total"),
             conns: Mutex::new(Vec::new()),
-            cache: Arc::new(EmbedCache::new(config.cache_capacity)),
-            worker_stats: Arc::new(WorkerStats::default()),
+            cache: Arc::new(EmbedCache::with_metrics(config.cache_capacity, &metrics)),
+            worker_stats: Arc::new(WorkerStats::new(&metrics)),
             registry: registry.clone(),
             request_timeout: Duration::from_millis(config.request_timeout_ms),
+            metrics,
         });
 
         let (job_tx, job_rx) = bounded::<Job>(config.queue_depth);
@@ -183,18 +190,20 @@ impl ServerHandle {
     pub fn stats(&self) -> ServeStats {
         let cache = self.shared.cache.stats();
         ServeStats {
-            requests: self.shared.requests.load(Ordering::Relaxed),
-            jobs: self.shared.worker_stats.jobs.load(Ordering::Relaxed),
-            batches: self.shared.worker_stats.batches.load(Ordering::Relaxed),
-            deadline_drops: self
-                .shared
-                .worker_stats
-                .deadline_drops
-                .load(Ordering::Relaxed),
-            dedup_hits: self.shared.worker_stats.dedup_hits.load(Ordering::Relaxed),
+            requests: self.shared.requests.get(),
+            jobs: self.shared.worker_stats.jobs.get(),
+            batches: self.shared.worker_stats.batches.get(),
+            deadline_drops: self.shared.worker_stats.deadline_drops.get(),
+            dedup_hits: self.shared.worker_stats.dedup_hits.get(),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
         }
+    }
+
+    /// The server's metric registry — every `serve_*` instrument,
+    /// including the histograms the scalar [`ServeStats`] cannot carry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
     }
 
     /// Stops accepting, drains every in-flight request to a response, and
@@ -326,12 +335,18 @@ fn handle_frame(
         }
     };
     let response = answer_request(&request, shared, job_tx);
-    shared.requests.fetch_add(1, Ordering::Relaxed);
+    shared.requests.inc();
     stream.write_all(&encode_response(&response)).is_ok()
 }
 
 fn answer_request(request: &Request, shared: &Shared, job_tx: &Sender<Job>) -> Response {
     let id = request.id();
+    if let Request::Stats { .. } = request {
+        return Response::Stats {
+            id,
+            text: stats_text(shared),
+        };
+    }
     if let Some(&bad) = request
         .nodes()
         .iter()
@@ -354,12 +369,14 @@ fn answer_request(request: &Request, shared: &Shared, job_tx: &Sender<Job>) -> R
                 id,
                 labels: Vec::new(),
             },
+            Request::Stats { .. } => unreachable!("stats answered above"),
         };
     }
 
     let (kind, seed) = match request {
         Request::Embed { seed, .. } => (JobKind::Embed, *seed),
         Request::Classify { seed, rounds, .. } => (JobKind::Classify { rounds: *rounds }, *seed),
+        Request::Stats { .. } => unreachable!("stats answered above"),
     };
     let deadline = Instant::now() + shared.request_timeout;
     let (reply_tx, reply_rx) = mpsc::channel();
@@ -443,5 +460,17 @@ fn answer_request(request: &Request, shared: &Shared, job_tx: &Sender<Job>) -> R
             }
             Response::Classes { id, labels }
         }
+        Request::Stats { .. } => unreachable!("stats answered above"),
     }
+}
+
+/// Renders the `Stats` payload: the server's own registry plus the
+/// process-global ambient registry (sampling, packaging) as one JSON
+/// object — `{"server":{...},"process":{...}}`.
+fn stats_text(shared: &Shared) -> String {
+    format!(
+        "{{\"server\":{},\"process\":{}}}",
+        shared.metrics.snapshot().to_json(),
+        MetricsRegistry::global().snapshot().to_json()
+    )
 }

@@ -123,6 +123,58 @@ fn concurrent_clients_get_the_serial_answers() {
     assert_eq!(stats.deadline_drops, 0);
 }
 
+#[test]
+fn stats_op_reports_live_counters() {
+    let fx = fixture(62);
+    let checkpoint = fx.model.save_weights();
+    let registry = ModelRegistry::from_checkpoint(fx.graph.clone(), tiny_config(), &checkpoint)
+        .expect("checkpoint loads");
+    let handle = Server::bind(registry, ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let nodes: Vec<u32> = (0..5).collect();
+    client.embed(&nodes, 3).expect("embed succeeds");
+    client.embed(&nodes, 3).expect("cached embed succeeds");
+    client.classify(&nodes, 3, 2).expect("classify succeeds");
+
+    let text = client.stats().expect("stats succeeds");
+    assert!(
+        text.starts_with("{\"server\":{"),
+        "unexpected shape: {text}"
+    );
+    assert!(
+        text.contains("\"process\":{"),
+        "missing process section: {text}"
+    );
+    for key in [
+        "serve_requests_total",
+        "serve_jobs_total",
+        "serve_batches_total",
+        "serve_cache_hits_total",
+        "serve_cache_misses_total",
+        "serve_batch_size",
+        "serve_batch_wait_us",
+        "serve_queue_depth",
+    ] {
+        assert!(text.contains(key), "stats payload missing `{key}`: {text}");
+    }
+    // The snapshot is rendered while the Stats request itself is being
+    // answered, so exactly the three data requests are counted in it.
+    assert!(
+        text.contains("\"serve_requests_total\":3"),
+        "live counter not reflected: {text}"
+    );
+
+    let snap = handle.metrics().snapshot();
+    assert_eq!(snap.counter("serve_requests_total"), Some(4));
+    assert_eq!(snap.counter("serve_jobs_total"), Some(15));
+    // The repeated embed hits the cache for every node of the request.
+    assert_eq!(snap.counter("serve_cache_hits_total"), Some(5));
+    let sizes = snap.histogram("serve_batch_size").expect("histogram");
+    assert!(sizes.count >= 1 && sizes.count == snap.counter("serve_batches_total").unwrap());
+    handle.shutdown();
+}
+
 /// Distinct, overlapping node sets so concurrent requests share cache and
 /// batch space without being identical.
 fn nodes_for(thread: usize, request: usize) -> Vec<u32> {
