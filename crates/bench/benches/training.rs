@@ -1,7 +1,9 @@
 //! Criterion benchmarks at training granularity: one full WIDEN epoch with
-//! and without downsampling (quantifying §3.3's efficiency claim), and one
+//! and without downsampling (quantifying §3.3's efficiency claim), one
 //! epoch of the sampled baselines for comparison (Figure 4's kernel-level
-//! counterpart).
+//! counterpart), and an A/B of the per-op autograd profiler — `profiler_off`
+//! must match the pre-profiler tape (the disabled path is one null check
+//! per op), with `profiler_on` quantifying the opt-in cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use widen_baselines::{common::BaselineConfig, gat::Gat, sage::GraphSage, NodeClassifier};
@@ -44,6 +46,26 @@ fn bench_widen_epoch(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_profiler_overhead(c: &mut Criterion) {
+    let dataset = acm_like(Scale::Smoke, 3);
+    let train: Vec<u32> = dataset.transductive.train.clone();
+    let mut group = c.benchmark_group("widen_epoch_profiler");
+    group.sample_size(10);
+    for (label, profiling) in [("profiler_off", false), ("profiler_on", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = widen_epoch_config(Variant::full());
+                let model = WidenModel::for_graph(&dataset.graph, cfg);
+                let mut trainer = Trainer::new(model, &dataset.graph, &train);
+                trainer.set_profiling(profiling);
+                let report = trainer.fit(&train);
+                std::hint::black_box(report.final_loss())
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_baseline_epoch(c: &mut Criterion) {
     let dataset = acm_like(Scale::Smoke, 2);
     let train: Vec<u32> = dataset.transductive.train.clone();
@@ -70,5 +92,10 @@ fn bench_baseline_epoch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_widen_epoch, bench_baseline_epoch);
+criterion_group!(
+    benches,
+    bench_widen_epoch,
+    bench_profiler_overhead,
+    bench_baseline_epoch
+);
 criterion_main!(benches);

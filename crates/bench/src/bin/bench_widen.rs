@@ -1,0 +1,124 @@
+//! `bench_widen` — one consolidated performance snapshot of the repo,
+//! written to `BENCH_widen.json` (in the working directory — run from the
+//! repo root to refresh the committed copy). Three headline numbers:
+//!
+//! 1. **training**: wall-clock per epoch on the paper configuration, plus
+//!    the profiler's forward/backward split and FLOP estimate;
+//! 2. **batched engine**: per-op self-time of the fused forward/backward
+//!    from the autograd profiler (matmul share, top op);
+//! 3. **serving**: requests/sec of the micro-batched server under
+//!    concurrent load, with the mean fused batch size.
+
+use std::thread;
+use std::time::Instant;
+
+use widen_bench::parse_args;
+use widen_core::{Trainer, WidenConfig, WidenModel};
+use widen_data::acm_like;
+use widen_serve::{Client, ModelRegistry, ServeConfig, Server};
+use widen_tensor::ProfileReport;
+
+const EPOCHS: usize = 2;
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 8;
+const NODES_PER_REQUEST: u32 = 8;
+
+fn main() {
+    let opts = parse_args();
+    let seed = opts.seeds[0];
+    println!("== bench_widen: consolidated performance snapshot ==\n");
+
+    // --- training + engine profile on the paper config ------------------
+    let dataset = acm_like(opts.scale.data_scale(), seed);
+    let mut cfg = WidenConfig::paper().with_seed(seed);
+    cfg.epochs = EPOCHS;
+    let train = &dataset.transductive.train;
+    let model = WidenModel::for_graph(&dataset.graph, cfg.clone());
+    let mut trainer = Trainer::new(model, &dataset.graph, train);
+    trainer.set_profiling(true);
+    let report = trainer.fit(train);
+    let secs_per_epoch = report.total_secs() / EPOCHS as f64;
+
+    let mut profile = ProfileReport::default();
+    for p in &report.epoch_profiles {
+        profile.merge(p);
+    }
+    println!(
+        "training: {:.4} s/epoch on the paper config ({} epochs)",
+        secs_per_epoch, EPOCHS
+    );
+    println!("{}", profile.render_table(5));
+
+    // --- serving throughput ----------------------------------------------
+    let model = trainer.into_model();
+    let checkpoint = model.save_weights();
+    let registry = ModelRegistry::from_checkpoint(dataset.graph.clone(), cfg, &checkpoint)
+        .expect("bench checkpoint loads");
+    let handle = Server::bind(registry, ServeConfig::default(), "127.0.0.1:0").expect("bind");
+    let addr = handle.local_addr();
+    let num_nodes = dataset.graph.num_nodes() as u32;
+    let start = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let base = (r as u32 * 4) % (num_nodes - NODES_PER_REQUEST).min(32);
+                    let nodes: Vec<u32> = (base..base + NODES_PER_REQUEST).collect();
+                    let rows = client.embed(&nodes, r as u64).expect("embed");
+                    assert_eq!(rows.len(), nodes.len());
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("bench client panicked");
+    }
+    let serve_secs = start.elapsed().as_secs_f64();
+    let stats = handle.shutdown();
+    let rps = stats.requests as f64 / serve_secs;
+    println!(
+        "serving: {:.1} req/s ({} requests, mean batch {:.2}, {} cache hits)",
+        rps,
+        stats.requests,
+        stats.jobs as f64 / stats.batches.max(1) as f64,
+        stats.cache_hits
+    );
+
+    let top = profile.top_k(1);
+    let snapshot = serde_json::json!({
+        "scale": format!("{:?}", opts.scale),
+        "seed": seed,
+        "training": {
+            "config": "paper",
+            "epochs": EPOCHS,
+            "secs_per_epoch": secs_per_epoch,
+            "per_epoch_secs": report.epoch_secs,
+        },
+        "engine": {
+            "fwd_ms": profile.fwd_nanos_total as f64 / 1e6,
+            "bwd_ms": profile.bwd_nanos_total as f64 / 1e6,
+            "est_gflop": profile.total_flops() as f64 / 1e9,
+            "top_op": top.first().map(|o| o.name).unwrap_or(""),
+            "top_op_share": top.first().map(|o| {
+                o.total_nanos() as f64
+                    / (profile.fwd_nanos_total + profile.bwd_nanos_total).max(1) as f64
+            }).unwrap_or(0.0),
+        },
+        "serving": {
+            "clients": CLIENTS,
+            "requests": stats.requests,
+            "requests_per_sec": rps,
+            "mean_batch_size": stats.jobs as f64 / stats.batches.max(1) as f64,
+            "dedup_hits": stats.dedup_hits,
+            "cache_hits": stats.cache_hits,
+        },
+    });
+    let path = "BENCH_widen.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&snapshot).expect("serialise"),
+    )
+    .expect("write BENCH_widen.json");
+    println!("\n[snapshot written to {path}]");
+}

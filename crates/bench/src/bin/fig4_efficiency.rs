@@ -10,6 +10,7 @@ use widen_bench::parse_args;
 use widen_bench::runners::{datasets, table_baseline_config, table_widen_config};
 use widen_core::{Execution, Trainer, WidenModel};
 use widen_eval::micro_f1;
+use widen_tensor::ProfileReport;
 
 const EPOCHS: usize = 10;
 
@@ -58,6 +59,7 @@ fn main() {
         widen_cfg.epochs = EPOCHS;
         let model = WidenModel::for_graph(&dataset.graph, widen_cfg);
         let mut trainer = Trainer::new(model, &dataset.graph, train);
+        trainer.set_profiling(true);
         if let Some(path) = opts.metrics_out_for(&dataset.name) {
             trainer.set_metrics_out(&path).expect("open metrics trace");
             println!("             (per-epoch metrics -> {})", path.display());
@@ -72,6 +74,16 @@ fn main() {
             "             (downsampling: {} wide drops, {} deep prunes, {} relay edges)\n",
             report.wide_drops, report.deep_drops, report.relay_edges
         );
+        // Per-op autograd breakdown across all profiled epochs — where the
+        // WIDEN epoch time above actually goes.
+        let mut profile = ProfileReport::default();
+        for epoch_profile in &report.epoch_profiles {
+            profile.merge(epoch_profile);
+        }
+        if !profile.is_empty() {
+            println!("WIDEN per-op profile (top 8 by self-time, all epochs):");
+            println!("{}", profile.render_table(8));
+        }
         json_rows.push(serde_json::json!({
             "dataset": dataset.name,
             "method": "WIDEN",
@@ -80,6 +92,19 @@ fn main() {
             "per_epoch_secs": report.epoch_secs,
             "wide_drops": report.wide_drops,
             "deep_drops": report.deep_drops,
+            "profile": {
+                "fwd_ms": profile.fwd_nanos_total as f64 / 1e6,
+                "bwd_ms": profile.bwd_nanos_total as f64 / 1e6,
+                "est_gflop": profile.total_flops() as f64 / 1e9,
+                "top_ops": profile.top_k(8).iter().map(|o| serde_json::json!({
+                    "op": o.name,
+                    "count": o.count,
+                    "fwd_ms": o.fwd_nanos as f64 / 1e6,
+                    "bwd_ms": o.bwd_nanos as f64 / 1e6,
+                    "est_gflop": o.flops as f64 / 1e9,
+                    "last_shape": o.last_shape,
+                })).collect::<Vec<_>>(),
+            },
         }));
 
         // Same model on the retained per-node oracle engine, so the batched

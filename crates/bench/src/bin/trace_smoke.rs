@@ -1,0 +1,117 @@
+//! `trace_smoke` — CI gate for the observability stack. Runs two
+//! profiled and traced training epochs, exports the span tree as a Chrome
+//! trace_event file and re-validates it with the strict parser, then
+//! spins up a server, sends one traced request, and checks the wire span
+//! summary is structurally sound (children inside the request span).
+//! Exits non-zero on any violation, so the workflow fails loudly when an
+//! instrumentation change breaks the trace format.
+
+use widen_bench::parse_args;
+use widen_core::{Trainer, WidenConfig, WidenModel};
+use widen_data::{acm_like, Scale};
+use widen_obs::{render_tree, validate_chrome_trace, write_chrome_trace, Tracer};
+use widen_serve::{Client, ModelRegistry, ServeConfig, Server, WireSpan};
+
+const EPOCHS: usize = 2;
+
+fn main() {
+    let opts = parse_args();
+    let seed = opts.seeds[0];
+    println!("== trace_smoke: profiled training + traced serving ==\n");
+    std::fs::create_dir_all(&opts.out_dir).expect("create results dir");
+
+    // --- profiled + traced training -------------------------------------
+    let dataset = acm_like(Scale::Smoke, seed);
+    let mut cfg = WidenConfig::small().with_seed(seed);
+    cfg.epochs = EPOCHS;
+    let train = &dataset.transductive.train;
+    let model = WidenModel::for_graph(&dataset.graph, cfg);
+    let mut trainer = Trainer::new(model, &dataset.graph, train);
+    let tracer = Tracer::new(seed);
+    trainer.set_tracer(tracer.clone());
+    trainer.set_profiling(true);
+    let report = trainer.fit(train);
+
+    assert_eq!(
+        report.epoch_profiles.len(),
+        EPOCHS,
+        "one op profile per epoch"
+    );
+    for (epoch, profile) in report.epoch_profiles.iter().enumerate() {
+        assert!(!profile.is_empty(), "epoch {epoch} recorded no ops");
+        assert!(profile.total_flops() > 0, "epoch {epoch} estimated 0 FLOPs");
+    }
+    println!("training profile (epoch 0, top 5 ops):");
+    println!("{}", report.epoch_profiles[0].render_table(5));
+
+    let spans = tracer.drain();
+    let epoch_roots = spans
+        .iter()
+        .filter(|s| s.name == "core.trainer.epoch")
+        .count();
+    assert_eq!(epoch_roots, EPOCHS, "one epoch root span per epoch");
+    if let Some(root) = spans.iter().find(|s| s.name == "core.trainer.epoch") {
+        println!("epoch 0 span tree:");
+        print!("{}", render_tree(&spans, root.trace));
+    }
+
+    let trace_path = opts.out_dir.join("trace_smoke.trace.json");
+    write_chrome_trace(&trace_path, &spans).expect("write chrome trace");
+    let text = std::fs::read_to_string(&trace_path).expect("read trace back");
+    let events = validate_chrome_trace(&text).expect("exported trace must validate");
+    assert_eq!(events, spans.len(), "one trace event per span");
+    println!(
+        "chrome trace: {} events valid -> {}\n",
+        events,
+        trace_path.display()
+    );
+
+    // --- traced serve request -------------------------------------------
+    let model = trainer.into_model();
+    let checkpoint = model.save_weights();
+    let registry =
+        ModelRegistry::from_checkpoint(dataset.graph.clone(), model.config.clone(), &checkpoint)
+            .expect("registry from fresh checkpoint");
+    let slow_log = opts.out_dir.join("trace_smoke.slowlog.jsonl");
+    let config = ServeConfig {
+        // Threshold of 1ms guarantees the slow-request path exercises too.
+        slow_request_ms: 1,
+        slow_log_path: Some(slow_log.clone()),
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind(registry, config, "127.0.0.1:0").expect("bind server");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    client.set_tracing(true);
+    let rows = client.embed(&[0], seed).expect("traced embed");
+    assert_eq!(rows.len(), 1);
+
+    let summary = client.last_trace().expect("server returned a span summary");
+    let root = &summary.spans[0];
+    assert_eq!(root.name, "serve.server.request");
+    assert_eq!(root.parent, WireSpan::ROOT);
+    let children = &summary.spans[1..];
+    assert!(!children.is_empty(), "request recorded no child spans");
+    let child_sum: u64 = children.iter().map(|s| s.dur_ns).sum();
+    assert!(
+        child_sum <= root.dur_ns,
+        "children ({child_sum}ns) exceed the request span ({}ns)",
+        root.dur_ns
+    );
+    println!("serve span summary (trace {:016x}):", summary.trace_id);
+    for span in &summary.spans {
+        let indent = if span.parent == WireSpan::ROOT {
+            ""
+        } else {
+            "  "
+        };
+        println!(
+            "{indent}{} @{:.3}ms {:.3}ms",
+            span.name,
+            span.start_ns as f64 / 1e6,
+            span.dur_ns as f64 / 1e6
+        );
+    }
+    handle.shutdown();
+
+    println!("\ntrace_smoke: OK");
+}

@@ -16,9 +16,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rustc_hash::FxHashMap;
 use widen_graph::{HeteroGraph, NodeId};
-use widen_obs::{Counter, Event, JsonlSink, Registry, Stopwatch};
+use widen_obs::{Counter, Event, JsonlSink, Registry, SpanId, Stopwatch, TraceId, Tracer};
 use widen_sampling::hash_seed;
-use widen_tensor::{Adam, Optimizer, Tape, Tensor};
+use widen_tensor::{Adam, Optimizer, ProfileReport, Tape, Tensor};
 
 use crate::config::Execution;
 use crate::downsample::{decide_with_kl, relay_edge, Decision};
@@ -34,6 +34,9 @@ pub struct TrainReport {
     pub epoch_secs: Vec<f64>,
     /// Per-epoch downsampling and Eq. 9 trigger telemetry.
     pub epoch_stats: Vec<EpochStats>,
+    /// Per-epoch aggregated op profiles (one per epoch when
+    /// [`Trainer::set_profiling`] is on, empty otherwise).
+    pub epoch_profiles: Vec<ProfileReport>,
     /// Wide neighbours dropped by downsampling, cumulative.
     pub wide_drops: usize,
     /// Deep packs pruned by downsampling, cumulative.
@@ -61,6 +64,19 @@ pub struct EpochStats {
     pub deep_drops: u64,
     /// Relay edges installed this epoch (Eq. 8).
     pub relay_edges: u64,
+    /// Batches whose gradient health was evaluated (finite gradients).
+    pub grad_batches: u64,
+    /// Mean of per-batch global gradient L2 norms, if any batch was finite.
+    pub grad_norm_mean: Option<f64>,
+    /// Largest per-parameter `max|g|` seen this epoch.
+    pub grad_max_abs: f64,
+    /// Name of the parameter holding [`EpochStats::grad_max_abs`].
+    pub grad_max_param: String,
+    /// Batches whose reduced gradients contained NaN/Inf.
+    pub nonfinite_batches: u64,
+    /// Optimizer steps skipped because of non-finite gradients (only with
+    /// [`Trainer::set_skip_nonfinite_steps`]).
+    pub skipped_steps: u64,
 }
 
 impl EpochStats {
@@ -72,6 +88,18 @@ impl EpochStats {
             // but the incremental form avoids a separate accumulator.
             *mean += (kl - *mean) / self.kl_count as f64;
             self.kl_min = Some(self.kl_min.map_or(kl, |m| m.min(kl)));
+        }
+    }
+
+    fn observe_grads(&mut self, norm: f64, max_abs: f64, max_param: Option<&str>) {
+        self.grad_batches += 1;
+        let mean = self.grad_norm_mean.get_or_insert(0.0);
+        *mean += (norm - *mean) / self.grad_batches as f64;
+        if max_abs > self.grad_max_abs {
+            self.grad_max_abs = max_abs;
+            if let Some(name) = max_param {
+                self.grad_max_param = name.to_string();
+            }
         }
     }
 }
@@ -117,6 +145,8 @@ struct PhaseCounters {
     optim: Arc<Counter>,
     downsample: Arc<Counter>,
     epochs: Arc<Counter>,
+    nonfinite: Arc<Counter>,
+    skipped: Arc<Counter>,
 }
 
 impl PhaseCounters {
@@ -127,6 +157,8 @@ impl PhaseCounters {
             optim: registry.counter("core_optim_nanos_total"),
             downsample: registry.counter("core_downsample_nanos_total"),
             epochs: registry.counter("core_epochs_total"),
+            nonfinite: registry.counter("core_nonfinite_batches_total"),
+            skipped: registry.counter("core_skipped_steps_total"),
         }
     }
 }
@@ -140,6 +172,9 @@ pub struct Trainer<'g> {
     metrics: Registry,
     phase: PhaseCounters,
     sink: Option<JsonlSink>,
+    tracer: Option<Tracer>,
+    profiling: bool,
+    skip_nonfinite_steps: bool,
 }
 
 impl<'g> Trainer<'g> {
@@ -163,6 +198,9 @@ impl<'g> Trainer<'g> {
             metrics,
             phase,
             sink: None,
+            tracer: None,
+            profiling: false,
+            skip_nonfinite_steps: false,
         }
     }
 
@@ -189,6 +227,31 @@ impl<'g> Trainer<'g> {
     pub fn set_metrics_out<P: AsRef<Path>>(&mut self, path: P) -> std::io::Result<()> {
         self.sink = Some(JsonlSink::create(path)?);
         Ok(())
+    }
+
+    /// Records per-epoch span trees into `tracer`: one
+    /// `core.trainer.epoch` root per epoch with chunk-level
+    /// forward/backward/downsample children (recorded from rayon workers),
+    /// an optimizer-step span, and a synthetic packaging span from the
+    /// packaging counter delta.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Turns on per-op tape profiling: every chunk's tape records op
+    /// timings and FLOP estimates, merged into one [`ProfileReport`] per
+    /// epoch (see [`TrainReport::epoch_profiles`] and the `op_profile`
+    /// JSONL events next to the epoch records).
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// When on, a batch whose reduced gradients contain NaN/Inf skips the
+    /// optimizer step instead of corrupting the weights. Off by default:
+    /// the event is always recorded (counter + JSONL), but stepping
+    /// through is the historical behaviour and stays the default.
+    pub fn set_skip_nonfinite_steps(&mut self, on: bool) {
+        self.skip_nonfinite_steps = on;
     }
 
     /// Consumes the trainer, returning the trained model.
@@ -260,22 +323,53 @@ impl<'g> Trainer<'g> {
         for epoch in 1..=config.epochs {
             let start = Stopwatch::start();
             let phase_before = self.phase_snapshot();
+            let epoch_span = self.tracer.as_ref().map(|t| t.span("core.trainer.epoch"));
+            let ctx = epoch_span.as_ref().and_then(|s| s.trace().zip(s.id()));
+            let epoch_start_ns = match (&self.tracer, ctx) {
+                (Some(t), Some(_)) => Some(t.now_ns()),
+                _ => None,
+            };
             let mut shuffle_rng = StdRng::seed_from_u64(hash_seed(config.seed, &[2, epoch as u64]));
             order.shuffle(&mut shuffle_rng);
 
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;
             let mut stats = EpochStats::default();
+            let mut epoch_profile: Option<ProfileReport> = None;
             for batch in order.chunks(config.batch_size) {
-                let (loss, outcomes) = self.train_batch(batch, epoch, &masks);
+                let (loss, outcomes) =
+                    self.train_batch(batch, epoch, &masks, ctx, &mut stats, &mut epoch_profile);
                 epoch_loss += loss;
                 batches += 1;
                 self.apply_outcomes(outcomes, &mut report, &mut stats);
             }
+            // Packaging runs inside forward on worker threads and only
+            // surfaces as a global counter; synthesise its epoch share as a
+            // span so the trace shows all four phases.
+            if let (Some(tracer), Some((trace, parent)), Some(start_ns)) =
+                (&self.tracer, ctx, epoch_start_ns)
+            {
+                let pack =
+                    crate::packaging::packaging_nanos_total().saturating_sub(phase_before[4]);
+                if pack > 0 {
+                    tracer.record_complete(
+                        trace,
+                        Some(parent),
+                        "core.packaging.pack",
+                        start_ns,
+                        pack,
+                    );
+                }
+            }
+            drop(epoch_span);
             let mean_loss = epoch_loss / batches.max(1) as f64;
             let secs = start.elapsed_secs();
             self.phase.epochs.inc();
             self.emit_epoch_record(epoch, mean_loss, secs, &stats, &phase_before);
+            if let Some(profile) = epoch_profile {
+                self.emit_op_profile(epoch, &profile);
+                report.epoch_profiles.push(profile);
+            }
             report.epoch_losses.push(mean_loss);
             report.epoch_secs.push(secs);
             report.epoch_stats.push(stats);
@@ -296,6 +390,20 @@ impl<'g> Trainer<'g> {
             }
         }
         report
+    }
+
+    /// Opens a named child span of the epoch span, when both a tracer and
+    /// an epoch context exist. Usable from rayon workers: parenting is
+    /// explicit, not thread-local.
+    fn trace_span(
+        &self,
+        ctx: Option<(TraceId, SpanId)>,
+        name: &'static str,
+    ) -> Option<widen_obs::Span> {
+        match (&self.tracer, ctx) {
+            (Some(t), Some((trace, parent))) => Some(t.child_span(trace, parent, name)),
+            _ => None,
+        }
     }
 
     /// Cumulative `[forward, backward, optim, downsample, packaging]` nanos;
@@ -341,7 +449,13 @@ impl<'g> Trainer<'g> {
             .u64("forward_nanos", delta(0))
             .u64("backward_nanos", delta(1))
             .u64("optim_nanos", delta(2))
-            .u64("downsample_nanos", delta(3));
+            .u64("downsample_nanos", delta(3))
+            // Gradient health: NaN renders as null when no batch was finite.
+            .f64("grad_norm", stats.grad_norm_mean.unwrap_or(f64::NAN))
+            .f64("grad_max_abs", stats.grad_max_abs)
+            .str("grad_max_param", &stats.grad_max_param)
+            .u64("nonfinite_batches", stats.nonfinite_batches)
+            .u64("skipped_steps", stats.skipped_steps);
         if let Err(e) = sink.emit(&event) {
             eprintln!(
                 "warning: failed to write metrics record to {}: {e}",
@@ -350,13 +464,42 @@ impl<'g> Trainer<'g> {
         }
     }
 
+    /// Writes the epoch's top-k op-profile rows as `op_profile` JSONL
+    /// events next to the epoch record. Same never-fail policy as
+    /// [`Trainer::emit_epoch_record`].
+    fn emit_op_profile(&self, epoch: usize, profile: &ProfileReport) {
+        const TOP_K: usize = 8;
+        let Some(sink) = &self.sink else { return };
+        for op in profile.top_k(TOP_K) {
+            let event = Event::new("op_profile")
+                .u64("epoch", epoch as u64)
+                .str("op", op.name)
+                .u64("count", op.count)
+                .u64("fwd_nanos", op.fwd_nanos)
+                .u64("bwd_nanos", op.bwd_nanos)
+                .u64("flops", op.flops)
+                .str("shape", &op.last_shape);
+            if let Err(e) = sink.emit(&event) {
+                eprintln!(
+                    "warning: failed to write op_profile record to {}: {e}",
+                    sink.path().display()
+                );
+                break;
+            }
+        }
+    }
+
     /// One gradient step over a batch; returns the batch loss and the
-    /// downsampling outcomes to apply.
+    /// downsampling outcomes to apply. Gradient health (norm, max|g|,
+    /// NaN/Inf) is evaluated on the reduced gradients before stepping.
     fn train_batch(
         &mut self,
         batch: &[NodeId],
         epoch: usize,
         masks: &MaskCache,
+        ctx: Option<(TraceId, SpanId)>,
+        stats: &mut EpochStats,
+        epoch_profile: &mut Option<ProfileReport>,
     ) -> (f64, Vec<NodeOutcome>) {
         use rayon::prelude::*;
         let chunk_size = batch
@@ -367,7 +510,7 @@ impl<'g> Trainer<'g> {
 
         let chunk_results: Vec<ChunkResult> = batch
             .par_chunks(chunk_size)
-            .map(|chunk| self.run_chunk(chunk, epoch, batch_len, masks))
+            .map(|chunk| self.run_chunk(chunk, epoch, batch_len, masks, ctx))
             .collect();
 
         // Deterministic reduction in chunk order. Every chunk extracts its
@@ -390,11 +533,67 @@ impl<'g> Trainer<'g> {
                     acc.add_scaled(1.0, g);
                 }
             }
+            if let Some(profile) = chunk.profile {
+                match epoch_profile {
+                    Some(acc) => acc.merge(&profile),
+                    None => *epoch_profile = Some(profile),
+                }
+            }
             outcomes.extend(chunk.outcomes);
         }
-        let sw = Stopwatch::start();
-        self.optimizer.step(&mut self.model.params, &grads);
-        sw.record_nanos(&self.phase.optim);
+
+        // Gradient health: one pass over the reduced gradients — same
+        // order of work as the optimizer step it guards.
+        let mut sq_sum = 0.0f64;
+        let mut max_abs = 0.0f32;
+        let mut max_param: Option<widen_tensor::ParamId> = None;
+        let mut finite = true;
+        for (id, g) in &grads {
+            let mut local_max = 0.0f32;
+            for &v in g.as_slice() {
+                if !v.is_finite() {
+                    finite = false;
+                }
+                let a = v.abs();
+                if a > local_max {
+                    local_max = a;
+                }
+                sq_sum += f64::from(v) * f64::from(v);
+            }
+            if local_max > max_abs {
+                max_abs = local_max;
+                max_param = Some(*id);
+            }
+        }
+        let skip = !finite && self.skip_nonfinite_steps;
+        if finite {
+            stats.observe_grads(
+                sq_sum.sqrt(),
+                f64::from(max_abs),
+                max_param.map(|id| self.model.params.name(id)),
+            );
+        } else {
+            stats.nonfinite_batches += 1;
+            self.phase.nonfinite.inc();
+            if skip {
+                stats.skipped_steps += 1;
+                self.phase.skipped.inc();
+            }
+            if let Some(sink) = &self.sink {
+                let _ = sink.emit(
+                    &Event::new("nonfinite_grad")
+                        .u64("epoch", epoch as u64)
+                        .u64("batch_size", batch.len() as u64)
+                        .bool("step_skipped", skip),
+                );
+            }
+        }
+        if !skip {
+            let _optim_span = self.trace_span(ctx, "core.trainer.optim");
+            let sw = Stopwatch::start();
+            self.optimizer.step(&mut self.model.params, &grads);
+            sw.record_nanos(&self.phase.optim);
+        }
         (total_loss, outcomes)
     }
 
@@ -406,10 +605,11 @@ impl<'g> Trainer<'g> {
         epoch: usize,
         batch_len: usize,
         masks: &MaskCache,
+        ctx: Option<(TraceId, SpanId)>,
     ) -> ChunkResult {
         match self.model.config.execution {
-            Execution::Batched => self.run_chunk_batched(chunk, epoch, batch_len),
-            Execution::PerNode => self.run_chunk_per_node(chunk, epoch, batch_len, masks),
+            Execution::Batched => self.run_chunk_batched(chunk, epoch, batch_len, ctx),
+            Execution::PerNode => self.run_chunk_per_node(chunk, epoch, batch_len, masks, ctx),
         }
     }
 
@@ -418,10 +618,20 @@ impl<'g> Trainer<'g> {
     /// needs — attention rows come out of the padded matrices via the
     /// node→row-range maps, and relay packs/edges (Eq. 8) are read from the
     /// flat `M▷`/`E▷` through each walk's span.
-    fn run_chunk_batched(&self, chunk: &[NodeId], epoch: usize, batch_len: usize) -> ChunkResult {
+    fn run_chunk_batched(
+        &self,
+        chunk: &[NodeId],
+        epoch: usize,
+        batch_len: usize,
+        ctx: Option<(TraceId, SpanId)>,
+    ) -> ChunkResult {
         let config = &self.model.config;
+        let span = self.trace_span(ctx, "core.trainer.forward");
         let sw = Stopwatch::start();
         let mut tape = Tape::new();
+        if self.profiling {
+            tape.enable_profiling();
+        }
         let pv = self.model.insert_params(&mut tape);
 
         let states: Vec<&NodeState> = chunk.iter().map(|&node| &self.states[&node]).collect();
@@ -438,14 +648,18 @@ impl<'g> Trainer<'g> {
         let weight = chunk.len() as f32 / batch_len as f32;
         let loss = tape.scale(ce, weight);
         sw.record_nanos(&self.phase.forward);
+        drop(span);
 
+        let span = self.trace_span(ctx, "core.trainer.backward");
         let sw = Stopwatch::start();
         tape.backward(loss);
         let grads = self.extract_grads(&tape, &pv);
         sw.record_nanos(&self.phase.backward);
+        drop(span);
 
         // Downsampling decisions (Algorithm 3 lines 9–14), computed here so
         // the pack/edge values needed for relay edges are still on the tape.
+        let span = self.trace_span(ctx, "core.trainer.downsample");
         let sw = Stopwatch::start();
         let mut outcomes = Vec::with_capacity(chunk.len());
         for (i, &node) in chunk.iter().enumerate() {
@@ -523,11 +737,13 @@ impl<'g> Trainer<'g> {
             });
         }
         sw.record_nanos(&self.phase.downsample);
+        drop(span);
 
         ChunkResult {
             loss: f64::from(tape.value(loss).get(0, 0)),
             grads,
             outcomes,
+            profile: tape.take_profile(),
         }
     }
 
@@ -538,10 +754,15 @@ impl<'g> Trainer<'g> {
         epoch: usize,
         batch_len: usize,
         masks: &MaskCache,
+        ctx: Option<(TraceId, SpanId)>,
     ) -> ChunkResult {
         let config = &self.model.config;
+        let span = self.trace_span(ctx, "core.trainer.forward");
         let sw = Stopwatch::start();
         let mut tape = Tape::new();
+        if self.profiling {
+            tape.enable_profiling();
+        }
         let pv = self.model.insert_params(&mut tape);
 
         let mut logit_vars = Vec::with_capacity(chunk.len());
@@ -563,14 +784,18 @@ impl<'g> Trainer<'g> {
         let weight = chunk.len() as f32 / batch_len as f32;
         let loss = tape.scale(ce, weight);
         sw.record_nanos(&self.phase.forward);
+        drop(span);
 
+        let span = self.trace_span(ctx, "core.trainer.backward");
         let sw = Stopwatch::start();
         tape.backward(loss);
         let grads = self.extract_grads(&tape, &pv);
         sw.record_nanos(&self.phase.backward);
+        drop(span);
 
         // Downsampling decisions (Algorithm 3 lines 9–14), computed here so
         // the pack/edge values needed for relay edges are still on the tape.
+        let span = self.trace_span(ctx, "core.trainer.downsample");
         let sw = Stopwatch::start();
         let mut outcomes = Vec::with_capacity(chunk.len());
         for (node, fw) in forwards {
@@ -637,11 +862,13 @@ impl<'g> Trainer<'g> {
             });
         }
         sw.record_nanos(&self.phase.downsample);
+        drop(span);
 
         ChunkResult {
             loss: f64::from(tape.value(loss).get(0, 0)),
             grads,
             outcomes,
+            profile: tape.take_profile(),
         }
     }
 
@@ -713,6 +940,8 @@ struct ChunkResult {
     loss: f64,
     grads: Vec<(widen_tensor::ParamId, Tensor)>,
     outcomes: Vec<NodeOutcome>,
+    /// Per-chunk op profile when [`Trainer::set_profiling`] is on.
+    profile: Option<ProfileReport>,
 }
 
 #[cfg(test)]
@@ -961,6 +1190,11 @@ mod tests {
                 "\"backward_nanos\":",
                 "\"optim_nanos\":",
                 "\"downsample_nanos\":",
+                "\"grad_norm\":",
+                "\"grad_max_abs\":",
+                "\"grad_max_param\":",
+                "\"nonfinite_batches\":",
+                "\"skipped_steps\":",
             ] {
                 assert!(line.contains(field), "record {i} missing {field}: {line}");
             }
@@ -983,6 +1217,74 @@ mod tests {
         assert!(snap.counter("core_forward_nanos_total").unwrap() > 0);
         assert!(snap.counter("core_backward_nanos_total").unwrap() > 0);
         assert!(snap.counter("core_optim_nanos_total").unwrap() > 0);
+    }
+
+    #[test]
+    fn tracing_and_profiling_capture_epoch_structure() {
+        use widen_obs::{span_tree, Tracer};
+        let dataset = acm_like(Scale::Smoke, 13);
+        let train: Vec<u32> = dataset.transductive.train[..20].to_vec();
+        let mut cfg = tiny_config();
+        cfg.epochs = 2;
+        let model = WidenModel::for_graph(&dataset.graph, cfg);
+        let mut trainer = Trainer::new(model, &dataset.graph, &train);
+        let tracer = Tracer::new(99);
+        trainer.set_tracer(tracer.clone());
+        trainer.set_profiling(true);
+        let report = trainer.fit(&train);
+
+        // One merged op profile per epoch, naming real tensor ops with
+        // time and FLOPs.
+        assert_eq!(report.epoch_profiles.len(), 2);
+        for profile in &report.epoch_profiles {
+            assert!(!profile.is_empty());
+            assert!(profile.fwd_nanos_total > 0);
+            assert!(profile.bwd_nanos_total > 0);
+            assert!(profile.total_flops() > 0);
+            let top = profile.top_k(3);
+            assert!(!top.is_empty());
+            assert!(profile.ops.iter().any(|o| o.name == "matmul"));
+        }
+
+        // Gradient health observed on every (finite) batch.
+        for stats in &report.epoch_stats {
+            assert!(stats.grad_batches > 0);
+            let norm = stats.grad_norm_mean.expect("finite batches");
+            assert!(norm.is_finite() && norm > 0.0);
+            assert!(stats.grad_max_abs > 0.0);
+            assert!(!stats.grad_max_param.is_empty());
+            assert_eq!(stats.nonfinite_batches, 0);
+            assert_eq!(stats.skipped_steps, 0);
+        }
+
+        // The trace holds one epoch root per epoch, each with
+        // forward/backward/optim children (cross-thread parenting).
+        let records = tracer.drain();
+        let epoch_roots: Vec<_> = records
+            .iter()
+            .filter(|r| r.name == "core.trainer.epoch")
+            .collect();
+        assert_eq!(epoch_roots.len(), 2);
+        for root in &epoch_roots {
+            let tree = span_tree(&records, root.trace);
+            assert_eq!(tree.len(), 1, "epoch root is the only root");
+            let child_names: Vec<&str> = tree[0]
+                .children
+                .iter()
+                .map(|c| records[c.index].name.as_str())
+                .collect();
+            for needed in [
+                "core.trainer.forward",
+                "core.trainer.backward",
+                "core.trainer.downsample",
+                "core.trainer.optim",
+            ] {
+                assert!(
+                    child_names.contains(&needed),
+                    "epoch span missing child {needed}: {child_names:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   what the serving protocol's `Stats` op returns).
 //! * [`JsonlSink`] / [`Event`] — structured trace channel: one event per
 //!   line of JSON, used by `--metrics-out` training runs.
+//! * [`Tracer`] / [`Span`] — hierarchical span tracing with RAII guards,
+//!   parent links, and JSONL / Chrome `trace_event` exporters (open the
+//!   latter in Perfetto); zero-cost when disabled.
 //!
 //! Two registry scopes exist by convention: subsystems with a clear owner
 //! (one server, one trainer) hold their **own** [`Registry`] so concurrent
@@ -35,8 +38,13 @@ pub mod metrics;
 pub mod registry;
 pub mod sink;
 pub mod timer;
+pub mod trace;
 
 pub use metrics::{buckets, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{Registry, Snapshot};
 pub use sink::{Event, JsonlSink, Value};
 pub use timer::{ScopedTimer, Stopwatch, Unit};
+pub use trace::{
+    chrome_trace_json, render_tree, span_tree, validate_chrome_trace, write_chrome_trace, Span,
+    SpanId, SpanRecord, TraceId, Tracer,
+};

@@ -1,0 +1,87 @@
+//! Property tests of the Chrome trace exporter: whatever spans a tracer
+//! records — hostile names full of quotes, backslashes and control
+//! characters, arbitrary timestamps, deep parent chains — the exported
+//! JSON must satisfy the strict [`validate_chrome_trace`] parser (one
+//! complete `X` event per span, finite numeric fields, non-decreasing
+//! timestamps) and never panic.
+
+use proptest::prelude::*;
+use widen_obs::{chrome_trace_json, span_tree, validate_chrome_trace, Tracer};
+
+/// Maps raw bytes onto a palette biased toward JSON-hostile characters.
+fn name_from(codes: &[u8]) -> String {
+    const PALETTE: [char; 16] = [
+        '"', '\\', '\n', '\t', '\r', '\u{0}', '\u{1f}', '{', '}', '[', 'é', '✓', 'a', '.', ' ', '/',
+    ];
+    codes
+        .iter()
+        .map(|&c| PALETTE[c as usize % PALETTE.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exported_chrome_trace_always_validates(
+        seed in any::<u64>(),
+        spans in prop::collection::vec(
+            (
+                prop::collection::vec(any::<u8>(), 0..24), // name bytes
+                any::<u32>(),                              // start offset
+                any::<u32>(),                              // duration
+                any::<bool>(),                             // chain to previous span?
+            ),
+            0..40,
+        ),
+    ) {
+        let tracer = Tracer::new(seed);
+        let trace = tracer.start_trace();
+        let mut prev = None;
+        for (codes, start, dur, chain) in &spans {
+            let parent = if *chain { prev } else { None };
+            prev = Some(tracer.record_complete(
+                trace,
+                parent,
+                &name_from(codes),
+                u64::from(*start),
+                u64::from(*dur),
+            ));
+        }
+        let records = tracer.drain();
+        prop_assert_eq!(records.len(), spans.len());
+
+        let json = chrome_trace_json(&records);
+        let events = validate_chrome_trace(&json);
+        prop_assert!(events.is_ok(), "rejected: {:?}", events);
+        prop_assert_eq!(events.unwrap(), spans.len());
+
+        // The tree reconstruction never loses spans: every record appears
+        // exactly once across the forest.
+        let forest = span_tree(&records, trace);
+        fn count(nodes: &[widen_obs::trace::SpanNode]) -> usize {
+            nodes.iter().map(|n| 1 + count(&n.children)).sum()
+        }
+        prop_assert_eq!(count(&forest), spans.len());
+    }
+
+    #[test]
+    fn validator_never_panics_on_mutated_documents(
+        seed in any::<u64>(),
+        flips in prop::collection::vec((any::<u32>(), any::<u8>()), 1..8),
+    ) {
+        let tracer = Tracer::new(seed);
+        let trace = tracer.start_trace();
+        tracer.record_complete(trace, None, "core.trainer.epoch", 5, 100);
+        tracer.record_complete(trace, None, "weird \"name\"\\", 10, 20);
+        let mut json = chrome_trace_json(&tracer.drain()).into_bytes();
+        for (pos, byte) in &flips {
+            let i = *pos as usize % json.len();
+            json[i] = *byte;
+        }
+        // Outcome may be Ok (benign flip) or Err — it must simply not panic.
+        if let Ok(text) = String::from_utf8(json) {
+            let _ = validate_chrome_trace(&text);
+        }
+    }
+}

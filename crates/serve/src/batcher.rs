@@ -16,9 +16,50 @@ use std::time::{Duration, Instant};
 use crossbeam_channel::{Receiver, RecvTimeoutError};
 use widen_obs::{buckets, Counter, Gauge, Histogram, Registry};
 
+use parking_lot::Mutex;
+
 use crate::cache::{EmbedCache, EmbedKey};
 use crate::error::ServeError;
+use crate::protocol::WireSpan;
 use crate::registry::ModelRegistry;
+
+/// Per-request tracing state, shared between the connection handler (which
+/// opens the request span and assembles the wire summary) and the batcher
+/// workers (which record child spans as the request's jobs move through
+/// the pipeline). Span times are nanosecond offsets from `start`, matching
+/// the [`WireSpan`] encoding; every recorded span carries `parent == 0`,
+/// the root's index in the final summary.
+pub(crate) struct RequestTrace {
+    /// When the request span opened (frame decoded).
+    pub start: Instant,
+    /// Client-chosen trace id, echoed in the summary.
+    pub trace_id: u64,
+    /// Child spans, in recording order.
+    pub spans: Mutex<Vec<WireSpan>>,
+}
+
+impl RequestTrace {
+    pub fn new(trace_id: u64) -> Self {
+        Self {
+            start: Instant::now(),
+            trace_id,
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records one child span covering `[from, to]`, clamped to the
+    /// request span's own origin.
+    pub fn record(&self, name: &str, from: Instant, to: Instant) {
+        let start_ns = from.saturating_duration_since(self.start).as_nanos() as u64;
+        let dur_ns = to.saturating_duration_since(from).as_nanos() as u64;
+        self.spans.lock().push(WireSpan {
+            name: name.to_string(),
+            parent: 0,
+            start_ns,
+            dur_ns,
+        });
+    }
+}
 
 /// What one coalescable unit of work computes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -53,6 +94,11 @@ pub(crate) struct Job {
     pub slot: usize,
     /// Per-request reply channel.
     pub reply: mpsc::Sender<(usize, Result<JobOutput, ServeError>)>,
+    /// When the job entered the queue (queue-wait span start).
+    pub enqueued_at: Instant,
+    /// Tracing state of the originating request, if the client asked for
+    /// a span summary. `None` keeps the fast path span-free.
+    pub trace: Option<Arc<RequestTrace>>,
 }
 
 /// Coalescing knobs.
@@ -113,14 +159,28 @@ pub(crate) fn run_worker(
         stats.queue_depth.set(rx.len() as i64);
         let window_start = Instant::now();
         let mut jobs = vec![first];
+        let mut pulled_at = vec![window_start];
         if policy.max_batch > 1 {
             let window_end = window_start + policy.max_wait;
             while jobs.len() < policy.max_batch {
                 match rx.recv_deadline(window_end) {
-                    Ok(job) => jobs.push(job),
+                    Ok(job) => {
+                        jobs.push(job);
+                        pulled_at.push(Instant::now());
+                    }
                     Err(RecvTimeoutError::Timeout) => break,
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
+            }
+        }
+        let window_close = Instant::now();
+        // Per traced job: queue-wait (enqueue → pull), then coalesce
+        // (pull → window close) — sequential by construction, so a
+        // request's child spans never overlap.
+        for (job, &pulled) in jobs.iter().zip(&pulled_at) {
+            if let Some(trace) = &job.trace {
+                trace.record("serve.batcher.queue_wait", job.enqueued_at, pulled);
+                trace.record("serve.batcher.coalesce", pulled, window_close);
             }
         }
         stats
@@ -160,7 +220,12 @@ fn process_batch(
                 checkpoint_hash: ckpt,
                 seed: job.seed,
             };
-            if let Some(row) = cache.get(&key) {
+            let lookup_start = job.trace.as_ref().map(|_| Instant::now());
+            let hit = cache.get(&key);
+            if let (Some(trace), Some(t0)) = (&job.trace, lookup_start) {
+                trace.record("serve.batcher.cache_lookup", t0, Instant::now());
+            }
+            if let Some(row) = hit {
                 reply(&job, Ok(JobOutput::Embedding(row)));
                 continue;
             }
@@ -191,9 +256,16 @@ fn process_batch(
                 }
             }
         }
+        let forward_start = Instant::now();
         match kind {
             JobKind::Embed => {
                 let rows = registry.model().embed_requests(registry.graph(), &items);
+                let forward_end = Instant::now();
+                for job in &group {
+                    if let Some(trace) = &job.trace {
+                        trace.record("serve.batcher.forward_batch", forward_start, forward_end);
+                    }
+                }
                 for (job, &i) in group.iter().zip(&row_of) {
                     let row = rows.row(i).to_vec();
                     cache.insert(
@@ -212,6 +284,12 @@ fn process_batch(
                     registry
                         .model()
                         .ensemble_logits(registry.graph(), &items, rounds as usize);
+                let forward_end = Instant::now();
+                for job in &group {
+                    if let Some(trace) = &job.trace {
+                        trace.record("serve.batcher.forward_batch", forward_start, forward_end);
+                    }
+                }
                 for (job, &i) in group.iter().zip(&row_of) {
                     let label = argmax(logits.row(i)) as u32;
                     reply(job, Ok(JobOutput::Label(label)));
@@ -268,7 +346,31 @@ mod tests {
             deadline: Instant::now() + Duration::from_secs(5),
             slot,
             reply: tx.clone(),
+            enqueued_at: Instant::now(),
+            trace: None,
         }
+    }
+
+    #[test]
+    fn traced_jobs_record_lookup_and_forward_spans() {
+        let registry = tiny_registry();
+        let cache = Arc::new(EmbedCache::new(16));
+        let stats = WorkerStats::new(&Registry::new());
+        let (tx, rx) = mpsc::channel();
+        let trace = Arc::new(RequestTrace::new(0xABCD));
+        let mut traced = job(JobKind::Embed, 0, 7, 0, &tx);
+        traced.trace = Some(trace.clone());
+        process_batch(&registry, &cache, vec![traced], &stats);
+        rx.recv().unwrap().1.unwrap();
+        let spans = trace.spans.lock();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["serve.batcher.cache_lookup", "serve.batcher.forward_batch"]
+        );
+        // Offsets are relative to the request start and sequential.
+        assert!(spans[0].start_ns + spans[0].dur_ns <= spans[1].start_ns);
+        assert!(spans.iter().all(|s| s.parent == 0));
     }
 
     #[test]

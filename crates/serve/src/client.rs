@@ -4,8 +4,13 @@ use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use widen_obs::Tracer;
+
 use crate::error::ServeError;
-use crate::protocol::{decode_response, encode_request, FrameReader, Request, Response, WireError};
+use crate::protocol::{
+    decode_response_ext, encode_request, encode_request_traced, FrameReader, Request, Response,
+    SpanSummary, TraceContext, WireError,
+};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -45,6 +50,13 @@ pub struct Client {
     stream: TcpStream,
     reader: FrameReader,
     next_id: u64,
+    /// When set, every request carries a trace context (version-2 frames)
+    /// and the server's span summary lands in `last_trace`.
+    tracing: bool,
+    /// Deterministic trace-id source; disabled so it records nothing
+    /// client-side, it only mints ids.
+    tracer: Tracer,
+    last_trace: Option<SpanSummary>,
 }
 
 impl Client {
@@ -61,7 +73,26 @@ impl Client {
             stream,
             reader: FrameReader::new(),
             next_id: 1,
+            tracing: false,
+            tracer: Tracer::disabled(0x5EED_7ACE),
+            last_trace: None,
         })
+    }
+
+    /// Toggles request tracing. While on, each call sends a version-2
+    /// frame with a fresh trace id and [`Client::last_trace`] holds the
+    /// span summary the server returned for the most recent call.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.last_trace = None;
+        }
+    }
+
+    /// The server-side span summary of the most recent traced call, if
+    /// the server returned one.
+    pub fn last_trace(&self) -> Option<&SpanSummary> {
+        self.last_trace.as_ref()
     }
 
     /// Requests embeddings for `nodes` sampled with `seed`; returns one
@@ -170,11 +201,23 @@ impl Client {
     }
 
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.stream.write_all(&encode_request(request))?;
+        let wire = if self.tracing {
+            let trace = TraceContext {
+                trace_id: self.tracer.start_trace().0,
+            };
+            encode_request_traced(request, &trace)
+        } else {
+            encode_request(request)
+        };
+        self.stream.write_all(&wire)?;
         let mut buf = [0u8; 16 * 1024];
         loop {
             if let Some(body) = self.reader.next_frame().map_err(ClientError::Wire)? {
-                return decode_response(&body).map_err(ClientError::Wire);
+                let (response, summary) = decode_response_ext(&body).map_err(ClientError::Wire)?;
+                if self.tracing {
+                    self.last_trace = summary;
+                }
+                return Ok(response);
             }
             let n = self.stream.read(&mut buf)?;
             if n == 0 {

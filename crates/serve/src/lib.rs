@@ -26,6 +26,13 @@
 //!   backpressure (`Overloaded`), per-request deadlines
 //!   (`DeadlineExceeded`), and graceful drain-on-shutdown (every accepted
 //!   request is answered before threads exit).
+//! * trace-context extension — version-2 frames carry a client trace id
+//!   ([`Client::set_tracing`]); the server opens a request span, records
+//!   queue-wait / coalesce / cache-lookup / forward-batch child spans,
+//!   and returns the span tree on the response
+//!   ([`Client::last_trace`]). Requests slower than
+//!   [`ServeConfig::slow_request_ms`] are counted and logged with their
+//!   span tree. Version-1 peers interoperate unchanged.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +65,6 @@ pub mod server;
 pub use cache::{CacheStats, EmbedCache, EmbedKey};
 pub use client::{Client, ClientError};
 pub use error::ServeError;
-pub use protocol::{Request, Response, WireError};
+pub use protocol::{Request, Response, SpanSummary, TraceContext, WireError, WireSpan};
 pub use registry::ModelRegistry;
 pub use server::{ServeConfig, ServeStats, Server, ServerHandle};

@@ -26,6 +26,29 @@
 //! remaining bytes *before* any allocation, oversized frames are rejected
 //! at the length prefix, and trailing bytes inside a body are an error —
 //! a malformed peer can never panic the other side.
+//!
+//! ## Trace-context extension (version 2)
+//!
+//! Plain frames carry version 1 and are bit-identical to the original
+//! protocol. A peer that wants distributed tracing emits version 2: the
+//! same body as version 1 followed by a trailing extension block:
+//!
+//! ```text
+//! ext_flags u8              bit 0 = trace extension present; other bits
+//!                           are reserved and rejected as malformed
+//! -- request trace ext (flag bit 0) --
+//! trace_id  u64 LE          client-chosen trace id
+//! -- response trace ext (flag bit 0) --
+//! trace_id  u64 LE          echoed trace id
+//! count     u16 LE          spans (≤ MAX_SPANS_PER_SUMMARY); span 0 is
+//!                           the request root
+//! count × { name_len u8, name utf-8, parent u16 LE (0xFFFF = root),
+//!           start_ns u64 LE, dur_ns u64 LE }
+//! ```
+//!
+//! Version-1 peers never see version-2 frames (the server only answers in
+//! kind), and both decoders here accept either version, so old and new
+//! binaries interoperate on the same port.
 
 use bytes::{BufMut, BytesMut};
 
@@ -35,6 +58,12 @@ use crate::error::ServeError;
 pub const MAGIC: [u8; 4] = *b"WSV1";
 /// Current protocol version.
 pub const VERSION: u16 = 1;
+/// Version carried by frames with a trailing trace-context extension.
+pub const VERSION_TRACED: u16 = 2;
+/// Upper bound on spans in one response summary.
+pub const MAX_SPANS_PER_SUMMARY: usize = 1024;
+/// Extension flag: trace context present.
+const EXT_TRACE: u8 = 1;
 /// Hard upper bound on a frame body; larger length prefixes are rejected
 /// without buffering.
 pub const MAX_FRAME_LEN: usize = 1 << 22;
@@ -181,6 +210,42 @@ impl Response {
     }
 }
 
+/// Client-chosen trace context attached to a version-2 request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id the server's spans will be filed under.
+    pub trace_id: u64,
+}
+
+/// One server-side span, relative to the summary it travels in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Span name (`layer.component.op`), ≤ 255 bytes on the wire.
+    pub name: String,
+    /// Index of the parent span within the summary; `u16::MAX` for roots.
+    pub parent: u16,
+    /// Start offset in nanoseconds since the request span opened.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl WireSpan {
+    /// Sentinel parent index marking a root span.
+    pub const ROOT: u16 = u16::MAX;
+}
+
+/// Server-side span tree attached to a version-2 response. Span 0 is the
+/// request root (`serve.server.request`); children reference parents by
+/// index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Echoed trace id from the request's [`TraceContext`].
+    pub trace_id: u64,
+    /// Spans, root first.
+    pub spans: Vec<WireSpan>,
+}
+
 fn frame(body: BytesMut) -> Vec<u8> {
     let mut out = BytesMut::with_capacity(4 + body.len());
     out.put_u32_le(body.len() as u32);
@@ -188,26 +253,25 @@ fn frame(body: BytesMut) -> Vec<u8> {
     out.freeze().to_vec()
 }
 
-fn body_header(msg_type: u8, id: u64, payload_hint: usize) -> BytesMut {
+fn body_header(version: u16, msg_type: u8, id: u64, payload_hint: usize) -> BytesMut {
     let mut b = BytesMut::with_capacity(15 + payload_hint);
     b.put_slice(&MAGIC);
-    b.put_u16_le(VERSION);
+    b.put_u16_le(version);
     b.put_slice(&[msg_type]);
     b.put_u64_le(id);
     b
 }
 
-/// Encodes a request into a complete frame (length prefix included).
-pub fn encode_request(req: &Request) -> Vec<u8> {
+fn request_body(req: &Request, version: u16) -> BytesMut {
     match req {
         Request::Embed { id, seed, nodes } => {
-            let mut b = body_header(TYPE_EMBED, *id, 12 + nodes.len() * 4);
+            let mut b = body_header(version, TYPE_EMBED, *id, 12 + nodes.len() * 4);
             b.put_u64_le(*seed);
             b.put_u32_le(nodes.len() as u32);
             for &n in nodes {
                 b.put_u32_le(n);
             }
-            frame(b)
+            b
         }
         Request::Classify {
             id,
@@ -215,24 +279,79 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             rounds,
             nodes,
         } => {
-            let mut b = body_header(TYPE_CLASSIFY, *id, 16 + nodes.len() * 4);
+            let mut b = body_header(version, TYPE_CLASSIFY, *id, 16 + nodes.len() * 4);
             b.put_u64_le(*seed);
             b.put_u32_le(*rounds);
             b.put_u32_le(nodes.len() as u32);
             for &n in nodes {
                 b.put_u32_le(n);
             }
-            frame(b)
+            b
         }
-        Request::Stats { id } => frame(body_header(TYPE_STATS, *id, 0)),
+        Request::Stats { id } => body_header(version, TYPE_STATS, *id, 0),
     }
 }
 
+/// Encodes a request into a complete frame (length prefix included).
+/// Bit-identical to the pre-extension protocol (version 1).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    frame(request_body(req, VERSION))
+}
+
+/// Encodes a version-2 request frame carrying a trace context. Servers
+/// that understand the extension answer with a span summary; the response
+/// is otherwise identical to the plain one.
+pub fn encode_request_traced(req: &Request, trace: &TraceContext) -> Vec<u8> {
+    let mut b = request_body(req, VERSION_TRACED);
+    b.put_slice(&[EXT_TRACE]);
+    b.put_u64_le(trace.trace_id);
+    frame(b)
+}
+
 /// Encodes a response into a complete frame (length prefix included).
+/// Bit-identical to the pre-extension protocol (version 1).
 pub fn encode_response(resp: &Response) -> Vec<u8> {
+    frame(response_body(resp, VERSION))
+}
+
+/// Encodes a version-2 response frame with the server's span summary
+/// appended. Spans beyond [`MAX_SPANS_PER_SUMMARY`] are dropped, names
+/// are truncated to 255 bytes at a char boundary, and if the extension
+/// would push the body over [`MAX_FRAME_LEN`] the whole summary is
+/// dropped and a plain version-1 frame is emitted instead — the frame is
+/// always sendable.
+pub fn encode_response_traced(resp: &Response, summary: &SpanSummary) -> Vec<u8> {
+    let mut b = response_body(resp, VERSION_TRACED);
+    let count = summary.spans.len().min(MAX_SPANS_PER_SUMMARY);
+    let ext_max = 1 + 8 + 2 + count * (1 + 255 + 2 + 8 + 8);
+    if b.len() + ext_max > MAX_FRAME_LEN {
+        return frame(response_body(resp, VERSION));
+    }
+    b.put_slice(&[EXT_TRACE]);
+    b.put_u64_le(summary.trace_id);
+    b.put_u16_le(count as u16);
+    for span in &summary.spans[..count] {
+        let mut name = span.name.as_str();
+        if name.len() > 255 {
+            let mut cut = 255;
+            while !name.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            name = &name[..cut];
+        }
+        b.put_slice(&[name.len() as u8]);
+        b.put_slice(name.as_bytes());
+        b.put_u16_le(span.parent);
+        b.put_u64_le(span.start_ns);
+        b.put_u64_le(span.dur_ns);
+    }
+    frame(b)
+}
+
+fn response_body(resp: &Response, version: u16) -> BytesMut {
     match resp {
         Response::Embeddings { id, dim, values } => {
-            let mut b = body_header(TYPE_EMBEDDINGS, *id, 8 + values.len() * 4);
+            let mut b = body_header(version, TYPE_EMBEDDINGS, *id, 8 + values.len() * 4);
             let rows = if *dim == 0 {
                 0
             } else {
@@ -243,22 +362,22 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             for &v in values {
                 b.put_f32_le(v);
             }
-            frame(b)
+            b
         }
         Response::Classes { id, labels } => {
-            let mut b = body_header(TYPE_CLASSES, *id, 4 + labels.len() * 4);
+            let mut b = body_header(version, TYPE_CLASSES, *id, 4 + labels.len() * 4);
             b.put_u32_le(labels.len() as u32);
             for &l in labels {
                 b.put_u32_le(l);
             }
-            frame(b)
+            b
         }
         Response::Error { id, code, message } => {
-            let mut b = body_header(TYPE_ERROR, *id, 5 + message.len());
+            let mut b = body_header(version, TYPE_ERROR, *id, 5 + message.len());
             b.put_slice(&[*code]);
             b.put_u32_le(message.len() as u32);
             b.put_slice(message.as_bytes());
-            frame(b)
+            b
         }
         Response::Stats { id, text } => {
             // Snapshots are bounded by the (small, fixed) metric population,
@@ -273,10 +392,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 }
                 text = &text[..cut];
             }
-            let mut b = body_header(TYPE_STATS_TEXT, *id, 4 + text.len());
+            let mut b = body_header(version, TYPE_STATS_TEXT, *id, 4 + text.len());
             b.put_u32_le(text.len() as u32);
             b.put_slice(text.as_bytes());
-            frame(b)
+            b
         }
     }
 }
@@ -332,18 +451,18 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn decode_header<'a>(body: &'a [u8]) -> Result<(u8, u64, Reader<'a>), WireError> {
+fn decode_header<'a>(body: &'a [u8]) -> Result<(u16, u8, u64, Reader<'a>), WireError> {
     let mut r = Reader { data: body };
     if r.take(4, "magic")? != MAGIC {
         return Err(WireError::BadMagic);
     }
     let version = r.u16("version")?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_TRACED {
         return Err(WireError::BadVersion(version));
     }
     let msg_type = r.u8("type")?;
     let id = r.u64("id")?;
-    Ok((msg_type, id, r))
+    Ok((version, msg_type, id, r))
 }
 
 fn decode_nodes(r: &mut Reader<'_>) -> Result<Vec<u32>, WireError> {
@@ -354,18 +473,41 @@ fn decode_nodes(r: &mut Reader<'_>) -> Result<Vec<u32>, WireError> {
     r.u32_vec(count, "node ids")
 }
 
-/// Decodes a request body (the frame *without* its length prefix).
+/// Reads the version-2 extension flags byte; version-1 bodies have none.
+/// Returns whether the trace extension follows.
+fn ext_flags(version: u16, r: &mut Reader<'_>) -> Result<bool, WireError> {
+    if version == VERSION {
+        return Ok(false);
+    }
+    let flags = r.u8("ext flags")?;
+    if flags & !EXT_TRACE != 0 {
+        return Err(WireError::Malformed("unknown extension flags"));
+    }
+    Ok(flags & EXT_TRACE != 0)
+}
+
+/// Decodes a request body (the frame *without* its length prefix),
+/// dropping any trace context. Accepts versions 1 and 2.
 ///
 /// # Errors
 /// Returns a [`WireError`] on any malformation; never panics.
 pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
-    let (msg_type, id, mut r) = decode_header(body)?;
-    match msg_type {
+    decode_request_ext(body).map(|(req, _)| req)
+}
+
+/// Decodes a request body along with its optional trace context.
+/// Version-1 bodies and version-2 bodies without the trace flag yield
+/// `None`.
+///
+/// # Errors
+/// Returns a [`WireError`] on any malformation; never panics.
+pub fn decode_request_ext(body: &[u8]) -> Result<(Request, Option<TraceContext>), WireError> {
+    let (version, msg_type, id, mut r) = decode_header(body)?;
+    let req = match msg_type {
         TYPE_EMBED => {
             let seed = r.u64("seed")?;
             let nodes = decode_nodes(&mut r)?;
-            r.finish()?;
-            Ok(Request::Embed { id, seed, nodes })
+            Request::Embed { id, seed, nodes }
         }
         TYPE_CLASSIFY => {
             let seed = r.u64("seed")?;
@@ -374,29 +516,45 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
                 return Err(WireError::Malformed("zero ensemble rounds"));
             }
             let nodes = decode_nodes(&mut r)?;
-            r.finish()?;
-            Ok(Request::Classify {
+            Request::Classify {
                 id,
                 seed,
                 rounds,
                 nodes,
-            })
+            }
         }
-        TYPE_STATS => {
-            r.finish()?;
-            Ok(Request::Stats { id })
-        }
-        other => Err(WireError::BadType(other)),
-    }
+        TYPE_STATS => Request::Stats { id },
+        other => return Err(WireError::BadType(other)),
+    };
+    let trace = if ext_flags(version, &mut r)? {
+        Some(TraceContext {
+            trace_id: r.u64("trace id")?,
+        })
+    } else {
+        None
+    };
+    r.finish()?;
+    Ok((req, trace))
 }
 
-/// Decodes a response body (the frame *without* its length prefix).
+/// Decodes a response body (the frame *without* its length prefix),
+/// dropping any span summary. Accepts versions 1 and 2.
 ///
 /// # Errors
 /// Returns a [`WireError`] on any malformation; never panics.
 pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
-    let (msg_type, id, mut r) = decode_header(body)?;
-    match msg_type {
+    decode_response_ext(body).map(|(resp, _)| resp)
+}
+
+/// Decodes a response body along with its optional span summary.
+/// Version-1 bodies and version-2 bodies without the trace flag yield
+/// `None`.
+///
+/// # Errors
+/// Returns a [`WireError`] on any malformation; never panics.
+pub fn decode_response_ext(body: &[u8]) -> Result<(Response, Option<SpanSummary>), WireError> {
+    let (version, msg_type, id, mut r) = decode_header(body)?;
+    let resp = match msg_type {
         TYPE_EMBEDDINGS => {
             let rows = r.u32("rows")? as usize;
             let cols = r.u32("cols")? as usize;
@@ -405,16 +563,15 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
                 scalars.checked_mul(4).ok_or(WireError::Malformed("size"))?,
                 "embedding values",
             )?;
-            r.finish()?;
             let values = raw
                 .chunks_exact(4)
                 .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
                 .collect();
-            Ok(Response::Embeddings {
+            Response::Embeddings {
                 id,
                 dim: cols as u32,
                 values,
-            })
+            }
         }
         TYPE_CLASSES => {
             let count = r.u32("label count")? as usize;
@@ -422,8 +579,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
                 return Err(WireError::Malformed("too many labels"));
             }
             let labels = r.u32_vec(count, "labels")?;
-            r.finish()?;
-            Ok(Response::Classes { id, labels })
+            Response::Classes { id, labels }
         }
         TYPE_ERROR => {
             let code = r.u8("error code")?;
@@ -432,11 +588,10 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
                 return Err(WireError::Malformed("oversized error message"));
             }
             let raw = r.take(msg_len, "message")?;
-            r.finish()?;
             let message = std::str::from_utf8(raw)
                 .map_err(|_| WireError::Malformed("non-utf8 message"))?
                 .to_string();
-            Ok(Response::Error { id, code, message })
+            Response::Error { id, code, message }
         }
         TYPE_STATS_TEXT => {
             let msg_len = r.u32("stats length")? as usize;
@@ -444,14 +599,49 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
                 return Err(WireError::Malformed("oversized stats text"));
             }
             let raw = r.take(msg_len, "stats text")?;
-            r.finish()?;
             let text = std::str::from_utf8(raw)
                 .map_err(|_| WireError::Malformed("non-utf8 stats text"))?
                 .to_string();
-            Ok(Response::Stats { id, text })
+            Response::Stats { id, text }
         }
-        other => Err(WireError::BadType(other)),
+        other => return Err(WireError::BadType(other)),
+    };
+    let summary = if ext_flags(version, &mut r)? {
+        Some(decode_summary(&mut r)?)
+    } else {
+        None
+    };
+    r.finish()?;
+    Ok((resp, summary))
+}
+
+fn decode_summary(r: &mut Reader<'_>) -> Result<SpanSummary, WireError> {
+    let trace_id = r.u64("trace id")?;
+    let count = r.u16("span count")? as usize;
+    if count > MAX_SPANS_PER_SUMMARY {
+        return Err(WireError::Malformed("too many spans"));
     }
+    let mut spans = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = r.u8("span name length")? as usize;
+        let raw = r.take(name_len, "span name")?;
+        let name = std::str::from_utf8(raw)
+            .map_err(|_| WireError::Malformed("non-utf8 span name"))?
+            .to_string();
+        let parent = r.u16("span parent")?;
+        if parent != WireSpan::ROOT && parent as usize >= count {
+            return Err(WireError::Malformed("span parent out of range"));
+        }
+        let start_ns = r.u64("span start")?;
+        let dur_ns = r.u64("span duration")?;
+        spans.push(WireSpan {
+            name,
+            parent,
+            start_ns,
+            dur_ns,
+        });
+    }
+    Ok(SpanSummary { trace_id, spans })
 }
 
 /// Incremental frame assembler: feed arbitrarily-split byte chunks in,
@@ -644,6 +834,172 @@ mod tests {
             decode_response(&body).unwrap(),
             Response::Stats { id: 1, .. }
         ));
+    }
+
+    #[test]
+    fn traced_request_round_trips_and_plain_decoder_drops_the_context() {
+        let req = Request::Embed {
+            id: 8,
+            seed: 5,
+            nodes: vec![1, 2],
+        };
+        let trace = TraceContext {
+            trace_id: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        let wire = encode_request_traced(&req, &trace);
+        let body = &wire[4..];
+        assert_eq!(&body[4..6], &VERSION_TRACED.to_le_bytes());
+        let (back, ctx) = decode_request_ext(body).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(ctx, Some(trace));
+        // The version-1 decoder path still accepts the frame, minus the ext.
+        assert_eq!(decode_request(body).unwrap(), req);
+    }
+
+    #[test]
+    fn traced_response_round_trips_span_summary() {
+        let resp = Response::Classes {
+            id: 3,
+            labels: vec![1, 0],
+        };
+        let summary = SpanSummary {
+            trace_id: 42,
+            spans: vec![
+                WireSpan {
+                    name: "serve.server.request".into(),
+                    parent: WireSpan::ROOT,
+                    start_ns: 0,
+                    dur_ns: 900,
+                },
+                WireSpan {
+                    name: "serve.batcher.forward_batch".into(),
+                    parent: 0,
+                    start_ns: 100,
+                    dur_ns: 700,
+                },
+            ],
+        };
+        let wire = encode_response_traced(&resp, &summary);
+        let (back, got) = decode_response_ext(&wire[4..]).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(got, Some(summary));
+        // Plain decoder interoperability.
+        assert_eq!(decode_response(&wire[4..]).unwrap(), resp);
+    }
+
+    #[test]
+    fn plain_frames_stay_bit_identical_version_one() {
+        let wire = encode_request(&Request::Stats { id: 1 });
+        assert_eq!(&wire[4..][4..6], &VERSION.to_le_bytes());
+        let wire = encode_response(&Response::Classes {
+            id: 1,
+            labels: vec![2],
+        });
+        assert_eq!(&wire[4..][4..6], &VERSION.to_le_bytes());
+        // And version-1 bodies pass through the ext decoders with no context.
+        let (_, ctx) = decode_request_ext(&encode_request(&Request::Stats { id: 1 })[4..]).unwrap();
+        assert!(ctx.is_none());
+        let (_, summary) = decode_response_ext(&wire[4..]).unwrap();
+        assert!(summary.is_none());
+    }
+
+    #[test]
+    fn extension_malformations_rejected() {
+        let req = Request::Stats { id: 9 };
+        let trace = TraceContext { trace_id: 7 };
+        let good = encode_request_traced(&req, &trace);
+        let body = good[4..].to_vec();
+
+        // Unknown extension flag bits.
+        let mut bad_flags = body.clone();
+        let flags_off = body.len() - 9;
+        bad_flags[flags_off] |= 0x80;
+        assert_eq!(
+            decode_request_ext(&bad_flags),
+            Err(WireError::Malformed("unknown extension flags"))
+        );
+
+        // Truncated trace id.
+        assert!(decode_request_ext(&body[..body.len() - 1]).is_err());
+
+        // Trailing bytes after a complete extension.
+        let mut trailing = body.clone();
+        trailing.push(0);
+        assert_eq!(
+            decode_request_ext(&trailing),
+            Err(WireError::Malformed("trailing bytes"))
+        );
+
+        // Version 2 with no extension byte at all.
+        let plain = encode_request(&req);
+        let mut v2_no_ext = plain[4..].to_vec();
+        v2_no_ext[4..6].copy_from_slice(&VERSION_TRACED.to_le_bytes());
+        assert!(decode_request_ext(&v2_no_ext).is_err());
+
+        // Response summary with an out-of-range parent index.
+        let resp = Response::Classes {
+            id: 1,
+            labels: vec![0],
+        };
+        let summary = SpanSummary {
+            trace_id: 1,
+            spans: vec![WireSpan {
+                name: "serve.server.request".into(),
+                parent: 5,
+                start_ns: 0,
+                dur_ns: 1,
+            }],
+        };
+        let wire = encode_response_traced(&resp, &summary);
+        assert_eq!(
+            decode_response_ext(&wire[4..]),
+            Err(WireError::Malformed("span parent out of range"))
+        );
+    }
+
+    #[test]
+    fn oversized_summary_falls_back_to_a_plain_frame() {
+        // A Stats payload near the frame cap leaves no room for the ext.
+        let resp = Response::Stats {
+            id: 6,
+            text: "y".repeat(MAX_FRAME_LEN),
+        };
+        let summary = SpanSummary {
+            trace_id: 3,
+            spans: vec![WireSpan {
+                name: "serve.server.request".into(),
+                parent: WireSpan::ROOT,
+                start_ns: 0,
+                dur_ns: 10,
+            }],
+        };
+        let wire = encode_response_traced(&resp, &summary);
+        let declared = u32::from_le_bytes(wire[..4].try_into().unwrap()) as usize;
+        assert!(declared <= MAX_FRAME_LEN);
+        assert_eq!(&wire[4..][4..6], &VERSION.to_le_bytes());
+        let (_, got) = decode_response_ext(&wire[4..]).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn long_span_names_truncate_at_a_char_boundary() {
+        let resp = Response::Classes {
+            id: 2,
+            labels: vec![0],
+        };
+        let summary = SpanSummary {
+            trace_id: 9,
+            spans: vec![WireSpan {
+                name: "é".repeat(200), // 400 bytes of two-byte chars
+                parent: WireSpan::ROOT,
+                start_ns: 0,
+                dur_ns: 5,
+            }],
+        };
+        let wire = encode_response_traced(&resp, &summary);
+        let (_, got) = decode_response_ext(&wire[4..]).unwrap();
+        let got = got.unwrap();
+        assert_eq!(got.spans[0].name, "é".repeat(127));
     }
 
     #[test]

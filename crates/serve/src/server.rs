@@ -17,6 +17,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -24,16 +25,19 @@ use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
-use widen_obs::{Counter, Registry as MetricsRegistry};
+use widen_obs::{Counter, Event, JsonlSink, Registry as MetricsRegistry};
 
-use crate::batcher::{run_worker, BatchPolicy, Job, JobKind, JobOutput, WorkerStats};
+use crate::batcher::{run_worker, BatchPolicy, Job, JobKind, JobOutput, RequestTrace, WorkerStats};
 use crate::cache::EmbedCache;
 use crate::error::ServeError;
-use crate::protocol::{decode_request, encode_response, FrameReader, Request, Response};
+use crate::protocol::{
+    decode_request_ext, encode_response, encode_response_traced, FrameReader, Request, Response,
+    SpanSummary, WireSpan,
+};
 use crate::registry::ModelRegistry;
 
 /// Tunables for one server instance.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Batcher worker threads pulling from the shared queue.
     pub workers: usize,
@@ -50,6 +54,13 @@ pub struct ServeConfig {
     pub request_timeout_ms: u64,
     /// LRU embedding-cache entries (0 disables the cache).
     pub cache_capacity: usize,
+    /// Requests slower than this many milliseconds are counted in
+    /// `serve_slow_requests_total` and logged with their span tree.
+    /// `0` disables slow-request logging entirely.
+    pub slow_request_ms: u64,
+    /// Where slow-request records go as JSONL; `None` falls back to
+    /// stderr. Ignored while `slow_request_ms` is 0.
+    pub slow_log_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +72,8 @@ impl Default for ServeConfig {
             queue_depth: 1024,
             request_timeout_ms: 5_000,
             cache_capacity: 4096,
+            slow_request_ms: 0,
+            slow_log_path: None,
         }
     }
 }
@@ -93,11 +106,18 @@ struct Shared {
     metrics: Arc<MetricsRegistry>,
     /// `serve_requests_total` — requests fully answered, success or error.
     requests: Arc<Counter>,
+    /// `serve_slow_requests_total` — requests slower than the configured
+    /// threshold.
+    slow_requests: Arc<Counter>,
     conns: Mutex<Vec<JoinHandle<()>>>,
     cache: Arc<EmbedCache>,
     worker_stats: Arc<WorkerStats>,
     registry: Arc<ModelRegistry>,
     request_timeout: Duration,
+    /// Slow-request threshold; `None` disables detection and logging.
+    slow_threshold: Option<Duration>,
+    /// Slow-request JSONL sink; `None` with a threshold set means stderr.
+    slow_sink: Option<JsonlSink>,
 }
 
 /// The in-process inference server.
@@ -122,14 +142,23 @@ impl Server {
 
         let registry = Arc::new(registry);
         let metrics = Arc::new(MetricsRegistry::new());
+        let slow_threshold =
+            (config.slow_request_ms > 0).then(|| Duration::from_millis(config.slow_request_ms));
+        let slow_sink = match (&slow_threshold, &config.slow_log_path) {
+            (Some(_), Some(path)) => Some(JsonlSink::create(path)?),
+            _ => None,
+        };
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             requests: metrics.counter("serve_requests_total"),
+            slow_requests: metrics.counter("serve_slow_requests_total"),
             conns: Mutex::new(Vec::new()),
             cache: Arc::new(EmbedCache::with_metrics(config.cache_capacity, &metrics)),
             worker_stats: Arc::new(WorkerStats::new(&metrics)),
             registry: registry.clone(),
             request_timeout: Duration::from_millis(config.request_timeout_ms),
+            slow_threshold,
+            slow_sink,
             metrics,
         });
 
@@ -320,26 +349,130 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>, job_tx: Sender<
 
 /// Decodes and fully answers one request frame. Returns `false` when the
 /// connection should close.
+///
+/// A version-2 frame with a trace context opens a request span
+/// (`serve.server.request`); the batcher records queue-wait / coalesce /
+/// cache-lookup / forward-batch child spans into it, and the assembled
+/// summary rides back on the response. The response-write interval can
+/// only be measured *after* the summary is encoded, so it appears in the
+/// slow-request log but never on the wire.
 fn handle_frame(
     body: &[u8],
     stream: &mut TcpStream,
     shared: &Shared,
     job_tx: &Sender<Job>,
 ) -> bool {
-    let request = match decode_request(body) {
-        Ok(req) => req,
+    let started = Instant::now();
+    let (request, trace_ctx) = match decode_request_ext(body) {
+        Ok(pair) => pair,
         Err(err) => {
             let resp = Response::from_error(0, &ServeError::BadRequest(err.to_string()));
             let _ = stream.write_all(&encode_response(&resp));
             return false;
         }
     };
-    let response = answer_request(&request, shared, job_tx);
+    let trace = trace_ctx.map(|ctx| Arc::new(RequestTrace::new(ctx.trace_id)));
+    let response = answer_request(&request, shared, job_tx, trace.as_ref());
     shared.requests.inc();
-    stream.write_all(&encode_response(&response)).is_ok()
+    let summary = trace.as_ref().map(|t| build_summary(t));
+    let wire = match &summary {
+        Some(s) => encode_response_traced(&response, s),
+        None => encode_response(&response),
+    };
+    let write_start = Instant::now();
+    let ok = stream.write_all(&wire).is_ok();
+    log_slow_request(shared, &request, started, write_start, summary.as_ref());
+    ok
 }
 
-fn answer_request(request: &Request, shared: &Shared, job_tx: &Sender<Job>) -> Response {
+/// Assembles the wire summary: the request root span at index 0, then
+/// every child the batcher recorded (all parented to index 0).
+fn build_summary(trace: &RequestTrace) -> SpanSummary {
+    let children = trace.spans.lock().clone();
+    let mut spans = Vec::with_capacity(1 + children.len());
+    spans.push(WireSpan {
+        name: "serve.server.request".into(),
+        parent: WireSpan::ROOT,
+        start_ns: 0,
+        dur_ns: trace.start.elapsed().as_nanos() as u64,
+    });
+    spans.extend(children);
+    SpanSummary {
+        trace_id: trace.trace_id,
+        spans,
+    }
+}
+
+/// Counts and logs the request if it exceeded the slow threshold. The log
+/// record carries the span tree (when the request was traced) plus the
+/// response-write interval measured here.
+fn log_slow_request(
+    shared: &Shared,
+    request: &Request,
+    started: Instant,
+    write_start: Instant,
+    summary: Option<&SpanSummary>,
+) {
+    let Some(threshold) = shared.slow_threshold else {
+        return;
+    };
+    let total = started.elapsed();
+    if total < threshold {
+        return;
+    }
+    shared.slow_requests.inc();
+    let mut tree = String::new();
+    if let Some(summary) = summary {
+        for span in &summary.spans {
+            if !tree.is_empty() {
+                tree.push_str(" | ");
+            }
+            if span.parent != WireSpan::ROOT {
+                tree.push_str("> ");
+            }
+            tree.push_str(&format!(
+                "{} @{:.3}ms {:.3}ms",
+                span.name,
+                span.start_ns as f64 / 1e6,
+                span.dur_ns as f64 / 1e6
+            ));
+        }
+        tree.push_str(&format!(
+            " | > serve.server.write_response @{:.3}ms {:.3}ms",
+            write_start.saturating_duration_since(started).as_nanos() as f64 / 1e6,
+            write_start.elapsed().as_nanos() as f64 / 1e6
+        ));
+    }
+    let kind = match request {
+        Request::Embed { .. } => "embed",
+        Request::Classify { .. } => "classify",
+        Request::Stats { .. } => "stats",
+    };
+    let mut event = Event::new("slow_request")
+        .u64("request_id", request.id())
+        .str("kind", kind)
+        .u64("nodes", request.nodes().len() as u64)
+        .f64("total_ms", total.as_nanos() as f64 / 1e6)
+        .u64("threshold_ms", threshold.as_millis() as u64);
+    if let Some(summary) = summary {
+        event = event
+            .str("trace", &format!("{:016x}", summary.trace_id))
+            .str("spans", &tree);
+    }
+    match &shared.slow_sink {
+        Some(sink) => {
+            let _ = sink.emit(&event);
+        }
+        None => eprintln!("[widen-serve] {}", event.to_json()),
+    }
+}
+
+fn answer_request(
+    request: &Request,
+    shared: &Shared,
+    job_tx: &Sender<Job>,
+    trace: Option<&Arc<RequestTrace>>,
+) -> Response {
     let id = request.id();
     if let Request::Stats { .. } = request {
         return Response::Stats {
@@ -390,6 +523,8 @@ fn answer_request(request: &Request, shared: &Shared, job_tx: &Sender<Job>) -> R
             deadline,
             slot,
             reply: reply_tx.clone(),
+            enqueued_at: Instant::now(),
+            trace: trace.cloned(),
         };
         match job_tx.try_send(job) {
             Ok(()) => enqueued += 1,

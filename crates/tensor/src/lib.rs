@@ -35,6 +35,7 @@ mod init;
 mod op;
 mod optim;
 mod params;
+mod profile;
 mod serialize;
 mod sparse;
 mod tape;
@@ -43,9 +44,10 @@ mod tensor;
 pub mod gradcheck;
 
 pub use init::{he_normal, normal, xavier_uniform, zeros_init};
-pub use op::Op;
+pub use op::{Op, OP_KIND_COUNT};
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
+pub use profile::{OpProfile, ProfileReport};
 pub use serialize::{digest64, load_params, save_params, CheckpointError};
 pub use sparse::CsrMatrix;
 pub use tape::{Tape, Var};

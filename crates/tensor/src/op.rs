@@ -82,7 +82,79 @@ pub enum Op {
     SegmentMeanRows(Var, Arc<[(usize, usize)]>),
 }
 
+/// Number of [`Op`] kinds — the size of per-kind aggregation tables.
+pub const OP_KIND_COUNT: usize = 28;
+
 impl Op {
+    /// Stable display name of this op kind (profiler tables, traces).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::MatMul(..) => "matmul",
+            Op::MatMulNt(..) => "matmul_nt",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::AddRowBroadcast(..) => "add_row_broadcast",
+            Op::Scale(..) => "scale",
+            Op::Relu(..) => "relu",
+            Op::LeakyRelu(..) => "leaky_relu",
+            Op::Tanh(..) => "tanh",
+            Op::SoftmaxRows(..) => "softmax_rows",
+            Op::MaskedSoftmaxRows(..) => "masked_softmax_rows",
+            Op::VStack(..) => "vstack",
+            Op::HStack(..) => "hstack",
+            Op::SelectRows(..) => "select_rows",
+            Op::Sum(..) => "sum",
+            Op::MeanRows(..) => "mean_rows",
+            Op::L2NormalizeRows(..) => "l2_normalize_rows",
+            Op::SoftmaxCrossEntropy(..) => "softmax_cross_entropy",
+            Op::MaxPool2(..) => "maxpool2",
+            Op::Spmm(..) => "spmm",
+            Op::Transpose(..) => "transpose",
+            Op::MulScalarVar(..) => "mul_scalar_var",
+            Op::PaddedSegmentScores(..) => "padded_segment_scores",
+            Op::PaddedSoftmaxRows(..) => "padded_softmax_rows",
+            Op::SegmentWeightedSum(..) => "segment_weighted_sum",
+            Op::SegmentMeanRows(..) => "segment_mean_rows",
+        }
+    }
+
+    /// Dense index of this op kind in `0..OP_KIND_COUNT` (profiler
+    /// aggregation tables).
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Op::Leaf => 0,
+            Op::MatMul(..) => 1,
+            Op::MatMulNt(..) => 2,
+            Op::Add(..) => 3,
+            Op::Sub(..) => 4,
+            Op::Mul(..) => 5,
+            Op::AddRowBroadcast(..) => 6,
+            Op::Scale(..) => 7,
+            Op::Relu(..) => 8,
+            Op::LeakyRelu(..) => 9,
+            Op::Tanh(..) => 10,
+            Op::SoftmaxRows(..) => 11,
+            Op::MaskedSoftmaxRows(..) => 12,
+            Op::VStack(..) => 13,
+            Op::HStack(..) => 14,
+            Op::SelectRows(..) => 15,
+            Op::Sum(..) => 16,
+            Op::MeanRows(..) => 17,
+            Op::L2NormalizeRows(..) => 18,
+            Op::SoftmaxCrossEntropy(..) => 19,
+            Op::MaxPool2(..) => 20,
+            Op::Spmm(..) => 21,
+            Op::Transpose(..) => 22,
+            Op::MulScalarVar(..) => 23,
+            Op::PaddedSegmentScores(..) => 24,
+            Op::PaddedSoftmaxRows(..) => 25,
+            Op::SegmentWeightedSum(..) => 26,
+            Op::SegmentMeanRows(..) => 27,
+        }
+    }
+
     /// Input variables of this op (configuration tensors excluded).
     pub fn inputs(&self) -> Vec<Var> {
         match self {

@@ -1,8 +1,10 @@
 //! Reverse-mode autograd tape.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::op::{backward_step, Op};
+use crate::profile::{ProfileReport, TapeProfiler};
 use crate::sparse::CsrMatrix;
 use crate::tensor::Tensor;
 
@@ -30,11 +32,16 @@ impl Var {
 ///
 /// Ops, values and gradients live in parallel arrays so the backward sweep
 /// can read values while writing gradients without cloning.
+///
+/// An optional per-op profiler ([`Tape::enable_profiling`]) times every
+/// forward and backward op; when off (the default) the only cost is one
+/// null check per recorded op — no clock reads, no allocation.
 #[derive(Default)]
 pub struct Tape {
     ops: Vec<Op>,
     values: Vec<Tensor>,
     grads: Vec<Option<Tensor>>,
+    profiler: Option<Box<TapeProfiler>>,
 }
 
 impl Tape {
@@ -53,12 +60,58 @@ impl Tape {
         self.ops.is_empty()
     }
 
+    /// Turns on per-op profiling for this tape (see [`Tape::take_profile`]).
+    pub fn enable_profiling(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Box::default());
+        }
+    }
+
+    /// Whether per-op profiling is active.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// Extracts the profile recorded so far, leaving profiling enabled with
+    /// fresh counters. `None` if profiling was never enabled.
+    pub fn take_profile(&mut self) -> Option<ProfileReport> {
+        self.profiler.as_mut().map(|p| {
+            let report = p.report();
+            **p = TapeProfiler::default();
+            report
+        })
+    }
+
+    /// Clock read for the profiled path; `None` (a null check, nothing
+    /// else) when profiling is off.
+    #[inline]
+    fn prof_start(&self) -> Option<Instant> {
+        if self.profiler.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
     fn push(&mut self, op: Op, value: Tensor) -> Var {
         debug_assert!(value.all_finite(), "non-finite forward value");
         let id = Var(self.ops.len() as u32);
         self.ops.push(op);
         self.values.push(value);
         id
+    }
+
+    /// [`Tape::push`] plus forward-time accounting against `t0` (the
+    /// [`Tape::prof_start`] taken before the op's compute).
+    #[inline]
+    fn push_prof(&mut self, op: Op, value: Tensor, t0: Option<Instant>) -> Var {
+        if let Some(t0) = t0 {
+            let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if let Some(p) = self.profiler.as_mut() {
+                p.record_forward(&op, &self.values, &value, nanos);
+            }
+        }
+        self.push(op, value)
     }
 
     /// Inserts an input tensor (constant or parameter copy).
@@ -79,36 +132,42 @@ impl Tape {
 
     /// `A · B`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).matmul(self.value(b));
-        self.push(Op::MatMul(a, b), value)
+        self.push_prof(Op::MatMul(a, b), value, t0)
     }
 
     /// `A · Bᵀ`.
     pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).matmul_nt(self.value(b));
-        self.push(Op::MatMulNt(a, b), value)
+        self.push_prof(Op::MatMulNt(a, b), value, t0)
     }
 
     /// Element-wise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).zip_map(self.value(b), |x, y| x + y);
-        self.push(Op::Add(a, b), value)
+        self.push_prof(Op::Add(a, b), value, t0)
     }
 
     /// Element-wise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).zip_map(self.value(b), |x, y| x - y);
-        self.push(Op::Sub(a, b), value)
+        self.push_prof(Op::Sub(a, b), value, t0)
     }
 
     /// Element-wise product (the paper's `⊙`).
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).zip_map(self.value(b), |x, y| x * y);
-        self.push(Op::Mul(a, b), value)
+        self.push_prof(Op::Mul(a, b), value, t0)
     }
 
     /// Adds row vector `b` (`1 × c`) to every row of `a`.
     pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let t0 = self.prof_start();
         let (va, vb) = (self.value(a), self.value(b));
         assert_eq!(vb.rows(), 1, "broadcast operand must be a row vector");
         assert_eq!(va.cols(), vb.cols(), "broadcast width mismatch");
@@ -119,66 +178,75 @@ impl Tape {
                 *x += bv;
             }
         }
-        self.push(Op::AddRowBroadcast(a, b), value)
+        self.push_prof(Op::AddRowBroadcast(a, b), value, t0)
     }
 
     /// Scalar multiple.
     pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).map(|x| x * alpha);
-        self.push(Op::Scale(a, alpha), value)
+        self.push_prof(Op::Scale(a, alpha), value, t0)
     }
 
     /// ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).map(|x| x.max(0.0));
-        self.push(Op::Relu(a), value)
+        self.push_prof(Op::Relu(a), value, t0)
     }
 
     /// Leaky ReLU.
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).map(|x| if x > 0.0 { x } else { x * slope });
-        self.push(Op::LeakyRelu(a, slope), value)
+        self.push_prof(Op::LeakyRelu(a, slope), value, t0)
     }
 
     /// tanh.
     pub fn tanh(&mut self, a: Var) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).map(f32::tanh);
-        self.push(Op::Tanh(a), value)
+        self.push_prof(Op::Tanh(a), value, t0)
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).softmax_rows();
-        self.push(Op::SoftmaxRows(a), value)
+        self.push_prof(Op::SoftmaxRows(a), value, t0)
     }
 
     /// Row-wise softmax of `a + mask`, with `mask` a constant additive
     /// attention mask (entries `0` or `-∞`, Eq. 6).
     pub fn masked_softmax_rows(&mut self, a: Var, mask: Arc<Tensor>) -> Var {
+        let t0 = self.prof_start();
         let va = self.value(a);
         assert_eq!(va.shape(), mask.shape(), "mask shape mismatch");
         let value = va.zip_map(&mask, |x, m| x + m).softmax_rows();
-        self.push(Op::MaskedSoftmaxRows(a, mask), value)
+        self.push_prof(Op::MaskedSoftmaxRows(a, mask), value, t0)
     }
 
     /// Vertical stack.
     pub fn vstack(&mut self, parts: &[Var]) -> Var {
+        let t0 = self.prof_start();
         let tensors: Vec<&Tensor> = parts.iter().map(|p| self.value(*p)).collect();
         let value = Tensor::vstack(&tensors);
-        self.push(Op::VStack(parts.to_vec()), value)
+        self.push_prof(Op::VStack(parts.to_vec()), value, t0)
     }
 
     /// Horizontal concatenation.
     pub fn hstack(&mut self, parts: &[Var]) -> Var {
+        let t0 = self.prof_start();
         let tensors: Vec<&Tensor> = parts.iter().map(|p| self.value(*p)).collect();
         let value = Tensor::hstack(&tensors);
-        self.push(Op::HStack(parts.to_vec()), value)
+        self.push_prof(Op::HStack(parts.to_vec()), value, t0)
     }
 
     /// Gathers rows `indices` of `a`.
     pub fn select_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).select_rows(indices);
-        self.push(Op::SelectRows(a, Arc::from(indices)), value)
+        self.push_prof(Op::SelectRows(a, Arc::from(indices)), value, t0)
     }
 
     /// Batched embedding lookup: gathers rows `indices` of `a` (duplicates
@@ -196,8 +264,9 @@ impl Tape {
     /// are zero and receive no gradient. Spans may overlap (the causal
     /// suffix layout of Eq. 4 relies on this); gradients accumulate.
     pub fn padded_segment_scores(&mut self, q: Var, k: Var, spans: Arc<[(usize, usize)]>) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(q).padded_segment_scores(self.value(k), &spans);
-        self.push(Op::PaddedSegmentScores(q, k, spans), value)
+        self.push_prof(Op::PaddedSegmentScores(q, k, spans), value, t0)
     }
 
     /// Segment/ragged masked softmax: row-wise softmax over the first
@@ -208,51 +277,58 @@ impl Tape {
     /// Panics if `lens.len()` differs from the row count or a length
     /// exceeds the width.
     pub fn padded_softmax_rows(&mut self, a: Var, lens: Arc<[usize]>) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).padded_softmax_rows(&lens);
-        self.push(Op::PaddedSoftmaxRows(a, lens), value)
+        self.push_prof(Op::PaddedSoftmaxRows(a, lens), value, t0)
     }
 
     /// Per-row weighted sum of value segments: treating `a` as padded
     /// attention weights, computes `out_i = Σ_j a[i][j] · v_{start_i + j}`
     /// (the batched `attn · V` reduction).
     pub fn segment_weighted_sum(&mut self, a: Var, v: Var, spans: Arc<[(usize, usize)]>) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).segment_weighted_sum(self.value(v), &spans);
-        self.push(Op::SegmentWeightedSum(a, v, spans), value)
+        self.push_prof(Op::SegmentWeightedSum(a, v, spans), value, t0)
     }
 
     /// Per-span mean over rows of `a` (batched Φ-averaging); zero-length
     /// spans yield zero rows.
     pub fn segment_mean_rows(&mut self, a: Var, spans: Arc<[(usize, usize)]>) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).segment_mean_rows(&spans);
-        self.push(Op::SegmentMeanRows(a, spans), value)
+        self.push_prof(Op::SegmentMeanRows(a, spans), value, t0)
     }
 
     /// Sum of all elements (`1 × 1`).
     pub fn sum(&mut self, a: Var) -> Var {
+        let t0 = self.prof_start();
         let value = Tensor::from_vec(1, 1, vec![self.value(a).sum()]);
-        self.push(Op::Sum(a), value)
+        self.push_prof(Op::Sum(a), value, t0)
     }
 
     /// Column-wise mean over rows (`1 × c`).
     pub fn mean_rows(&mut self, a: Var) -> Var {
+        let t0 = self.prof_start();
         let va = self.value(a);
         let mut out = Tensor::zeros(1, va.cols());
         for r in 0..va.rows() {
             out.add_scaled(1.0, &Tensor::row_vector(va.row(r)));
         }
         out.scale_inplace(1.0 / va.rows() as f32);
-        self.push(Op::MeanRows(a), out)
+        self.push_prof(Op::MeanRows(a), out, t0)
     }
 
     /// Row-wise L2 normalisation.
     pub fn l2_normalize_rows(&mut self, a: Var) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).l2_normalize_rows();
-        self.push(Op::L2NormalizeRows(a), value)
+        self.push_prof(Op::L2NormalizeRows(a), value, t0)
     }
 
     /// Mean softmax cross-entropy of `logits` against integer `labels`
     /// (one label per row). Returns a `1 × 1` loss.
     pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
+        let t0 = self.prof_start();
         let v = self.value(logits);
         assert_eq!(v.rows(), labels.len(), "one label per logits row");
         let mut total = 0.0f64;
@@ -264,34 +340,42 @@ impl Tape {
             total += f64::from(logsum - row[label]);
         }
         let value = Tensor::from_vec(1, 1, vec![(total / labels.len() as f64) as f32]);
-        self.push(Op::SoftmaxCrossEntropy(logits, Arc::from(labels)), value)
+        self.push_prof(
+            Op::SoftmaxCrossEntropy(logits, Arc::from(labels)),
+            value,
+            t0,
+        )
     }
 
     /// Element-wise maximum (Eq. 8's relay-edge maxpool).
     pub fn maxpool2(&mut self, a: Var, b: Var) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).zip_map(self.value(b), f32::max);
-        self.push(Op::MaxPool2(a, b), value)
+        self.push_prof(Op::MaxPool2(a, b), value, t0)
     }
 
     /// `S · B` for a constant sparse matrix `S`.
     pub fn spmm(&mut self, csr: Arc<CsrMatrix>, b: Var) -> Var {
+        let t0 = self.prof_start();
         let value = csr.spmm(self.value(b));
-        self.push(Op::Spmm(csr, b), value)
+        self.push_prof(Op::Spmm(csr, b), value, t0)
     }
 
     /// Transposed copy.
     pub fn transpose(&mut self, a: Var) -> Var {
+        let t0 = self.prof_start();
         let value = self.value(a).transpose();
-        self.push(Op::Transpose(a), value)
+        self.push_prof(Op::Transpose(a), value, t0)
     }
 
     /// `A · s` for a `1 × 1` scalar variable `s`, with gradient flowing to
     /// both operands (GTN's soft edge-type selection weights).
     pub fn mul_scalar_var(&mut self, a: Var, s: Var) -> Var {
+        let t0 = self.prof_start();
         assert_eq!(self.value(s).shape(), (1, 1), "scalar operand must be 1×1");
         let scalar = self.value(s).get(0, 0);
         let value = self.value(a).map(|x| x * scalar);
-        self.push(Op::MulScalarVar(a, s), value)
+        self.push_prof(Op::MulScalarVar(a, s), value, t0)
     }
 
     /// Sums a non-empty list of same-shape variables.
@@ -321,6 +405,7 @@ impl Tape {
             let Some(grad_out) = self.grads[idx].take() else {
                 continue;
             };
+            let t0 = self.prof_start();
             backward_step(
                 &self.ops[idx],
                 &self.values[idx],
@@ -328,6 +413,12 @@ impl Tape {
                 &self.values,
                 &mut self.grads,
             );
+            if let Some(t0) = t0 {
+                let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                if let Some(p) = self.profiler.as_mut() {
+                    p.record_backward(&self.ops[idx], nanos);
+                }
+            }
             self.grads[idx] = Some(grad_out);
         }
     }
@@ -402,5 +493,41 @@ mod tests {
         assert!((v.get(1, 1) - 1.0).abs() < 1e-6);
         // Row 0 attends to both.
         assert!(v.get(0, 0) > 0.0 && v.get(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn profiler_records_forward_and_backward_ops() {
+        let mut tape = Tape::new();
+        tape.enable_profiling();
+        let a = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = tape.leaf(Tensor::eye(2));
+        let c = tape.matmul(a, b);
+        let r = tape.relu(c);
+        let loss = tape.sum(r);
+        tape.backward(loss);
+        let report = tape.take_profile().expect("profiling enabled");
+        let names: Vec<&str> = report.ops.iter().map(|o| o.name).collect();
+        assert!(names.contains(&"matmul"));
+        assert!(names.contains(&"relu"));
+        assert!(names.contains(&"sum"));
+        let mm = report.ops.iter().find(|o| o.name == "matmul").unwrap();
+        assert_eq!(mm.count, 1);
+        // (2×2)·(2×2): 2·2·2·2 = 16 FLOPs.
+        assert_eq!(mm.flops, 16);
+        assert!(mm.bwd_nanos > 0, "backward matmul must be timed");
+        assert_eq!(mm.last_shape, "2×2·2×2→2×2");
+        // take_profile resets counters but keeps profiling on.
+        assert!(tape.profiling_enabled());
+        let empty = tape.take_profile().unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn profiler_off_records_nothing() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::row_vector(&[1.0]));
+        let loss = tape.sum(a);
+        tape.backward(loss);
+        assert!(tape.take_profile().is_none());
     }
 }

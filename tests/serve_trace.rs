@@ -1,0 +1,138 @@
+//! End-to-end trace propagation through the serve path: a traced request
+//! must come back with a structurally sound server-side span summary
+//! (root request span first, children nested inside it), old-style
+//! untraced clients must keep working against the same server, and slow
+//! requests must land in the configured slow-request log.
+
+use widen::core::{WidenConfig, WidenModel};
+use widen::data::{acm_like, Scale};
+use widen::serve::{Client, ModelRegistry, ServeConfig, Server, WireSpan};
+
+fn registry(seed: u64) -> ModelRegistry {
+    let dataset = acm_like(Scale::Smoke, seed);
+    let mut cfg = WidenConfig::small();
+    cfg.d = 8;
+    cfg.n_w = 4;
+    cfg.n_d = 4;
+    cfg.phi = 1;
+    let model = WidenModel::for_graph(&dataset.graph, cfg);
+    ModelRegistry::from_model(dataset.graph, model)
+}
+
+#[test]
+fn traced_request_returns_nested_span_summary() {
+    let handle = Server::bind(registry(11), ServeConfig::default(), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    client.set_tracing(true);
+
+    // Single-node request: its pipeline spans (queue-wait → coalesce →
+    // cache-lookup → forward) are sequential, so they must fit inside the
+    // request span both individually and summed.
+    let rows = client.embed(&[3], 7).expect("traced embed");
+    assert_eq!(rows.len(), 1);
+    let summary = client.last_trace().expect("span summary returned").clone();
+
+    let root = &summary.spans[0];
+    assert_eq!(root.name, "serve.server.request");
+    assert_eq!(root.parent, WireSpan::ROOT);
+    assert_eq!(root.start_ns, 0);
+
+    let children = &summary.spans[1..];
+    let names: Vec<&str> = children.iter().map(|s| s.name.as_str()).collect();
+    assert!(
+        names.contains(&"serve.batcher.queue_wait"),
+        "missing queue-wait span in {names:?}"
+    );
+    assert!(
+        names.contains(&"serve.batcher.forward_batch"),
+        "missing forward span in {names:?}"
+    );
+    for child in children {
+        assert_eq!(child.parent, 0, "children parent to the request root");
+        assert!(
+            child.start_ns + child.dur_ns <= root.dur_ns,
+            "child {} [{}..{}] escapes the request span (dur {})",
+            child.name,
+            child.start_ns,
+            child.start_ns + child.dur_ns,
+            root.dur_ns
+        );
+    }
+    let child_sum: u64 = children.iter().map(|s| s.dur_ns).sum();
+    assert!(
+        child_sum <= root.dur_ns,
+        "sequential children ({child_sum}ns) exceed the request span ({}ns)",
+        root.dur_ns
+    );
+
+    // A second traced call replaces the summary with a fresh trace id.
+    let first_trace = summary.trace_id;
+    client.classify(&[1, 2], 7, 2).expect("traced classify");
+    let second = client.last_trace().expect("second summary");
+    assert_ne!(second.trace_id, first_trace, "fresh trace id per request");
+
+    // Tracing off again: no stale summary lingers.
+    client.set_tracing(false);
+    client.embed(&[3], 7).expect("untraced embed");
+    assert!(client.last_trace().is_none());
+    handle.shutdown();
+}
+
+#[test]
+fn untraced_clients_interoperate_with_a_tracing_server() {
+    let handle = Server::bind(registry(13), ServeConfig::default(), "127.0.0.1:0").expect("bind");
+
+    // Plain version-1 client traffic against the same server, answers
+    // bit-identical to the serial engine regardless of tracing support.
+    let mut plain = Client::connect(handle.local_addr()).expect("connect plain");
+    let rows = plain.embed(&[0, 4], 9).expect("plain embed");
+    assert_eq!(rows.len(), 2);
+    assert!(plain.last_trace().is_none());
+
+    // A traced client on another connection does not disturb plain ones.
+    let mut traced = Client::connect(handle.local_addr()).expect("connect traced");
+    traced.set_tracing(true);
+    let traced_rows = traced.embed(&[0, 4], 9).expect("traced embed");
+    assert_eq!(rows, traced_rows, "tracing never changes answers");
+    assert!(traced.last_trace().is_some());
+
+    let rows_again = plain.embed(&[0, 4], 9).expect("plain embed again");
+    assert_eq!(rows, rows_again);
+    assert!(plain.last_trace().is_none());
+    handle.shutdown();
+}
+
+#[test]
+fn slow_requests_land_in_the_configured_log() {
+    let dir = std::env::temp_dir().join(format!("widen_slow_log_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let log_path = dir.join("slow.jsonl");
+    let config = ServeConfig {
+        slow_request_ms: 1,
+        slow_log_path: Some(log_path.clone()),
+        cache_capacity: 0,
+        // A 10ms coalescing window bounds the request's duration from
+        // below (4 jobs never fill a 32-job batch, so the window runs its
+        // full length), making the 1ms slow threshold deterministic.
+        max_wait_us: 10_000,
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind(registry(17), config, "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    client.set_tracing(true);
+    client.embed(&[0, 1, 2, 3], 5).expect("embed");
+    let stats = handle.shutdown();
+
+    let log = std::fs::read_to_string(&log_path).expect("slow log exists");
+    let lines: Vec<&str> = log.lines().collect();
+    assert!(
+        !lines.is_empty(),
+        "a fresh uncached forward takes >1ms and must be logged"
+    );
+    assert!(lines[0].contains("\"event\":\"slow_request\""));
+    assert!(lines[0].contains("\"kind\":\"embed\""));
+    assert!(lines[0].contains("serve.server.request"));
+    assert!(lines[0].contains("serve.server.write_response"));
+    assert!(stats.requests >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
