@@ -1,0 +1,246 @@
+//! `bench_gate` — CI regression gate over `bench_widen` snapshots.
+//!
+//! Compares a freshly produced `BENCH_widen.json` against the committed
+//! baseline (`results/BENCH_baseline.json`) and fails (exit code 1) when
+//! any headline metric regresses past the tolerance band:
+//!
+//! * `secs_per_epoch` — lower is better, must stay within `1 + tol`;
+//! * `bwd_ms`         — lower is better, must stay within `1 + tol`;
+//! * `requests_per_sec` — higher is better, must stay above `1 - tol`;
+//! * `bwd_ms / fwd_ms` — the backward/forward ratio the backward-pass
+//!   rewrite pins at ≤ 2×, allowed the same relative slack.
+//!
+//! The workspace's vendored `serde_json` is write-only, so the snapshot
+//! is read back with a small hand-rolled scanner: find `"key":`, parse
+//! the number that follows. Keys are unique in the snapshot layout.
+//!
+//! ```text
+//! bench_gate [CANDIDATE] [BASELINE] [--tolerance FRACTION]
+//! ```
+//!
+//! Defaults: `BENCH_widen.json`, `results/BENCH_baseline.json`, `0.25`.
+
+use std::process::ExitCode;
+
+/// Relative tolerance band applied to every gate when `--tolerance` is
+/// not given: ±25% absorbs shared-runner noise while still catching the
+/// step-function regressions the gate exists for.
+const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Hard ceiling on the backward/forward ratio, from the backward-pass
+/// rewrite's acceptance criterion.
+const MAX_BWD_FWD_RATIO: f64 = 2.0;
+
+/// Extracts the first number following `"key":` in a JSON document.
+///
+/// Good enough for the flat, uniquely-keyed `bench_widen` snapshot; not
+/// a general JSON parser. Returns `None` when the key is missing or not
+/// followed by a number.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One gated metric: the measured pair plus the direction of "better".
+#[derive(Debug)]
+struct Gate {
+    name: &'static str,
+    baseline: f64,
+    candidate: f64,
+    lower_is_better: bool,
+}
+
+impl Gate {
+    /// The worst candidate value still allowed under `tol`.
+    fn limit(&self, tol: f64) -> f64 {
+        if self.lower_is_better {
+            self.baseline * (1.0 + tol)
+        } else {
+            self.baseline * (1.0 - tol)
+        }
+    }
+
+    fn passes(&self, tol: f64) -> bool {
+        if self.lower_is_better {
+            self.candidate <= self.limit(tol)
+        } else {
+            self.candidate >= self.limit(tol)
+        }
+    }
+}
+
+/// Builds the gate set from two snapshot documents. Returns an error
+/// naming the first metric that could not be read.
+fn build_gates(candidate: &str, baseline: &str) -> Result<Vec<Gate>, String> {
+    let read = |doc: &str, which: &str, key: &str| {
+        extract_number(doc, key).ok_or_else(|| format!("{which} snapshot is missing `{key}`"))
+    };
+    let mut gates = Vec::new();
+    for (key, lower_is_better) in [
+        ("secs_per_epoch", true),
+        ("bwd_ms", true),
+        ("requests_per_sec", false),
+    ] {
+        gates.push(Gate {
+            name: key,
+            baseline: read(baseline, "baseline", key)?,
+            candidate: read(candidate, "candidate", key)?,
+            lower_is_better,
+        });
+    }
+    // The ratio gate is anchored at the fixed 2× budget rather than the
+    // baseline's own ratio, so it cannot drift looser over time.
+    let fwd = read(candidate, "candidate", "fwd_ms")?;
+    let bwd = read(candidate, "candidate", "bwd_ms")?;
+    gates.push(Gate {
+        name: "bwd_ms / fwd_ms",
+        baseline: MAX_BWD_FWD_RATIO,
+        candidate: bwd / fwd.max(1e-9),
+        lower_is_better: true,
+    });
+    Ok(gates)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut paths = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    while let Some(arg) = args.next() {
+        if arg == "--tolerance" {
+            let v = args.next().expect("--tolerance needs a value");
+            tolerance = v.parse().expect("--tolerance must be a number");
+        } else {
+            paths.push(arg);
+        }
+    }
+    let candidate_path = paths
+        .first()
+        .map(String::as_str)
+        .unwrap_or("BENCH_widen.json");
+    let baseline_path = paths
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("results/BENCH_baseline.json");
+
+    let candidate = match std::fs::read_to_string(candidate_path) {
+        Ok(doc) => doc,
+        Err(err) => {
+            eprintln!("bench_gate: cannot read candidate `{candidate_path}`: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(doc) => doc,
+        Err(err) => {
+            eprintln!("bench_gate: cannot read baseline `{baseline_path}`: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let gates = match build_gates(&candidate, &baseline) {
+        Ok(gates) => gates,
+        Err(err) => {
+            eprintln!("bench_gate: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "== bench_gate: {candidate_path} vs {baseline_path} (tolerance ±{:.0}%) ==\n",
+        tolerance * 100.0
+    );
+    println!(
+        "{:<18} {:>12} {:>12} {:>12}  verdict",
+        "metric", "baseline", "candidate", "limit"
+    );
+    let mut failed = false;
+    for gate in &gates {
+        let ok = gate.passes(tolerance);
+        failed |= !ok;
+        println!(
+            "{:<18} {:>12.4} {:>12.4} {:>12.4}  {}",
+            gate.name,
+            gate.baseline,
+            gate.candidate,
+            gate.limit(tolerance),
+            if ok { "ok" } else { "REGRESSION" }
+        );
+    }
+    if failed {
+        eprintln!("\nbench_gate: regression detected");
+        ExitCode::FAILURE
+    } else {
+        println!("\nbench_gate: all metrics within tolerance");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAPSHOT: &str = r#"{
+      "training": { "secs_per_epoch": 0.5, "epochs": 2 },
+      "engine": { "fwd_ms": 200.0, "bwd_ms": 350.5 },
+      "serving": { "requests_per_sec": 220.25 }
+    }"#;
+
+    #[test]
+    fn extract_number_reads_nested_keys() {
+        assert_eq!(extract_number(SNAPSHOT, "secs_per_epoch"), Some(0.5));
+        assert_eq!(extract_number(SNAPSHOT, "bwd_ms"), Some(350.5));
+        assert_eq!(extract_number(SNAPSHOT, "requests_per_sec"), Some(220.25));
+        assert_eq!(extract_number(SNAPSHOT, "missing"), None);
+    }
+
+    #[test]
+    fn extract_number_handles_exponents_and_negatives() {
+        let doc = r#"{"a": -1.5e-3, "b": 2E4}"#;
+        assert_eq!(extract_number(doc, "a"), Some(-1.5e-3));
+        assert_eq!(extract_number(doc, "b"), Some(2e4));
+    }
+
+    #[test]
+    fn gates_pass_within_tolerance_and_fail_outside() {
+        let slower = SNAPSHOT
+            .replace("\"bwd_ms\": 350.5", "\"bwd_ms\": 500.0")
+            .replace("\"secs_per_epoch\": 0.5", "\"secs_per_epoch\": 0.52");
+        let gates = build_gates(&slower, SNAPSHOT).unwrap();
+        let bwd = gates.iter().find(|g| g.name == "bwd_ms").unwrap();
+        assert!(!bwd.passes(0.25), "43% slower backward must trip the gate");
+        let epoch = gates.iter().find(|g| g.name == "secs_per_epoch").unwrap();
+        assert!(epoch.passes(0.25), "4% slower epoch stays inside the band");
+    }
+
+    #[test]
+    fn throughput_gate_is_higher_is_better() {
+        let slower = SNAPSHOT.replace("220.25", "100.0");
+        let gates = build_gates(&slower, SNAPSHOT).unwrap();
+        let rps = gates.iter().find(|g| g.name == "requests_per_sec").unwrap();
+        assert!(!rps.passes(0.25));
+        let gates = build_gates(SNAPSHOT, SNAPSHOT).unwrap();
+        assert!(gates.iter().all(|g| g.passes(0.25)));
+    }
+
+    #[test]
+    fn ratio_gate_is_anchored_at_two_x() {
+        let heavy = SNAPSHOT.replace("\"bwd_ms\": 350.5", "\"bwd_ms\": 520.0");
+        let gates = build_gates(&heavy, &heavy).unwrap();
+        let ratio = gates.iter().find(|g| g.name == "bwd_ms / fwd_ms").unwrap();
+        assert!(
+            !ratio.passes(0.25),
+            "2.6x backward/forward must fail even against its own baseline"
+        );
+    }
+
+    #[test]
+    fn missing_keys_are_reported_by_name() {
+        let err = build_gates("{}", SNAPSHOT).unwrap_err();
+        assert!(err.contains("candidate") && err.contains("secs_per_epoch"));
+    }
+}

@@ -9,7 +9,7 @@
 //! chunk-ordered reduction, so fixed seeds give bit-stable runs.
 
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -18,7 +18,7 @@ use rustc_hash::FxHashMap;
 use widen_graph::{HeteroGraph, NodeId};
 use widen_obs::{Counter, Event, JsonlSink, Registry, SpanId, Stopwatch, TraceId, Tracer};
 use widen_sampling::hash_seed;
-use widen_tensor::{Adam, Optimizer, ProfileReport, Tape, Tensor};
+use widen_tensor::{Adam, BufferPool, Optimizer, ProfileReport, Tape, Tensor};
 
 use crate::config::Execution;
 use crate::downsample::{decide_with_kl, relay_edge, Decision};
@@ -147,6 +147,9 @@ struct PhaseCounters {
     epochs: Arc<Counter>,
     nonfinite: Arc<Counter>,
     skipped: Arc<Counter>,
+    pool_hits: Arc<Counter>,
+    pool_misses: Arc<Counter>,
+    pool_bytes_reused: Arc<Counter>,
 }
 
 impl PhaseCounters {
@@ -159,6 +162,9 @@ impl PhaseCounters {
             epochs: registry.counter("core_epochs_total"),
             nonfinite: registry.counter("core_nonfinite_batches_total"),
             skipped: registry.counter("core_skipped_steps_total"),
+            pool_hits: registry.counter("core_grad_pool_hits_total"),
+            pool_misses: registry.counter("core_grad_pool_misses_total"),
+            pool_bytes_reused: registry.counter("core_grad_pool_bytes_reused_total"),
         }
     }
 }
@@ -175,6 +181,11 @@ pub struct Trainer<'g> {
     tracer: Option<Tracer>,
     profiling: bool,
     skip_nonfinite_steps: bool,
+    /// Warm gradient-buffer pools, one checked out per in-flight chunk
+    /// (rayon workers run chunks concurrently via `&self`), returned with
+    /// their free lists grown after each chunk. Steady state holds one
+    /// pool per worker and backward passes allocate nothing.
+    grad_pools: Mutex<Vec<BufferPool>>,
 }
 
 impl<'g> Trainer<'g> {
@@ -201,6 +212,7 @@ impl<'g> Trainer<'g> {
             tracer: None,
             profiling: false,
             skip_nonfinite_steps: false,
+            grad_pools: Mutex::new(Vec::new()),
         }
     }
 
@@ -597,6 +609,34 @@ impl<'g> Trainer<'g> {
         (total_loss, outcomes)
     }
 
+    /// Checks a warm gradient-buffer pool out of the shared stash (or
+    /// starts a fresh one) and installs it on `tape`, returning the
+    /// counters at checkout so the chunk's deltas can be harvested.
+    fn checkout_pool(&self, tape: &mut Tape) -> widen_tensor::PoolStats {
+        let pool = self
+            .grad_pools
+            .lock()
+            .expect("grad pool lock")
+            .pop()
+            .unwrap_or_default();
+        let before = pool.stats();
+        tape.install_pool(pool);
+        before
+    }
+
+    /// Harvests the tape's pool: folds the chunk's hit/miss/bytes deltas
+    /// into the obs registry and parks the pool for the next chunk.
+    fn return_pool(&self, tape: &mut Tape, before: widen_tensor::PoolStats) {
+        let pool = tape.take_pool();
+        let after = pool.stats();
+        self.phase.pool_hits.add(after.hits - before.hits);
+        self.phase.pool_misses.add(after.misses - before.misses);
+        self.phase
+            .pool_bytes_reused
+            .add(after.bytes_reused - before.bytes_reused);
+        self.grad_pools.lock().expect("grad pool lock").push(pool);
+    }
+
     /// Forward + backward over one chunk of the batch on its own tape,
     /// dispatched to the engine the config selects.
     fn run_chunk(
@@ -632,6 +672,7 @@ impl<'g> Trainer<'g> {
         if self.profiling {
             tape.enable_profiling();
         }
+        let pool_before = self.checkout_pool(&mut tape);
         let pv = self.model.insert_params(&mut tape);
 
         let states: Vec<&NodeState> = chunk.iter().map(|&node| &self.states[&node]).collect();
@@ -739,6 +780,7 @@ impl<'g> Trainer<'g> {
         sw.record_nanos(&self.phase.downsample);
         drop(span);
 
+        self.return_pool(&mut tape, pool_before);
         ChunkResult {
             loss: f64::from(tape.value(loss).get(0, 0)),
             grads,
@@ -763,6 +805,7 @@ impl<'g> Trainer<'g> {
         if self.profiling {
             tape.enable_profiling();
         }
+        let pool_before = self.checkout_pool(&mut tape);
         let pv = self.model.insert_params(&mut tape);
 
         let mut logit_vars = Vec::with_capacity(chunk.len());
@@ -864,6 +907,7 @@ impl<'g> Trainer<'g> {
         sw.record_nanos(&self.phase.downsample);
         drop(span);
 
+        self.return_pool(&mut tape, pool_before);
         ChunkResult {
             loss: f64::from(tape.value(loss).get(0, 0)),
             grads,

@@ -35,6 +35,7 @@ mod init;
 mod op;
 mod optim;
 mod params;
+mod pool;
 mod profile;
 mod serialize;
 mod sparse;
@@ -47,6 +48,7 @@ pub use init::{he_normal, normal, xavier_uniform, zeros_init};
 pub use op::{Op, OP_KIND_COUNT};
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
+pub use pool::{BufferPool, PoolStats, MAX_BUFFERS_PER_SHAPE};
 pub use profile::{OpProfile, ProfileReport};
 pub use serialize::{digest64, load_params, save_params, CheckpointError};
 pub use sparse::CsrMatrix;

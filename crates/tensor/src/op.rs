@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use crate::pool::BufferPool;
 use crate::sparse::CsrMatrix;
 use crate::tape::Var;
 use crate::tensor::Tensor;
@@ -188,104 +189,173 @@ impl Op {
     }
 }
 
-/// Accumulates `delta` into `grads[var]`, allocating on first touch.
-pub(crate) fn accumulate(grads: &mut [Option<Tensor>], var: Var, delta: &Tensor) {
-    match &mut grads[var.index()] {
-        Some(g) => g.add_scaled(1.0, delta),
-        slot @ None => *slot = Some(delta.clone()),
+/// Returns a mutable reference to `var`'s gradient slot, seeding it with a
+/// zeroed pool buffer on first touch.
+///
+/// Every backward rule accumulates (`+=`) straight into this slot instead
+/// of allocating a per-op delta tensor and adding it in a second sweep.
+/// When an op's two inputs alias the same [`Var`] the rules below touch
+/// the slot in two sequential borrows, so both contributions accumulate
+/// exactly as the old two-`accumulate` path did.
+fn grad_slot<'a>(
+    grads: &'a mut [Option<Tensor>],
+    pool: &mut BufferPool,
+    var: Var,
+    rows: usize,
+    cols: usize,
+) -> &'a mut Tensor {
+    let slot = &mut grads[var.index()];
+    if slot.is_none() {
+        *slot = Some(pool.take_zeroed(rows, cols));
     }
+    let g = slot.as_mut().expect("grad slot just seeded");
+    debug_assert_eq!(g.shape(), (rows, cols), "grad slot shape mismatch");
+    g
 }
 
 /// Propagates `grad_out` (gradient w.r.t. this node's output) to the inputs.
 ///
 /// `values[i]` is the forward value of tape node `i`; `out_value` is this
 /// node's own forward value (several rules reuse it — softmax, tanh, L2).
+/// Gradient buffers and scratch tensors are drawn from `pool`.
 pub(crate) fn backward_step(
     op: &Op,
     out_value: &Tensor,
     grad_out: &Tensor,
     values: &[Tensor],
     grads: &mut [Option<Tensor>],
+    pool: &mut BufferPool,
 ) {
     match op {
         Op::Leaf => {}
         Op::MatMul(a, b) => {
-            let da = grad_out.matmul_nt(&values[b.index()]);
-            let db = values[a.index()].matmul_tn(grad_out);
-            accumulate(grads, *a, &da);
-            accumulate(grads, *b, &db);
+            let (ra, ca) = values[a.index()].shape();
+            let (rb, cb) = values[b.index()].shape();
+            let ga = grad_slot(grads, pool, *a, ra, ca);
+            grad_out.matmul_nt_acc(&values[b.index()], ga);
+            let gb = grad_slot(grads, pool, *b, rb, cb);
+            values[a.index()].matmul_tn_acc(grad_out, gb);
         }
         Op::MatMulNt(a, b) => {
             // C = A·Bᵀ ⇒ dA = G·B, dB = Gᵀ·A.
-            let da = grad_out.matmul(&values[b.index()]);
-            let db = grad_out.matmul_tn(&values[a.index()]);
-            accumulate(grads, *a, &da);
-            accumulate(grads, *b, &db);
+            let (ra, ca) = values[a.index()].shape();
+            let (rb, cb) = values[b.index()].shape();
+            let ga = grad_slot(grads, pool, *a, ra, ca);
+            grad_out.matmul_acc(&values[b.index()], ga);
+            let gb = grad_slot(grads, pool, *b, rb, cb);
+            grad_out.matmul_tn_acc(&values[a.index()], gb);
         }
         Op::Add(a, b) => {
-            accumulate(grads, *a, grad_out);
-            accumulate(grads, *b, grad_out);
+            let (r, c) = grad_out.shape();
+            grad_slot(grads, pool, *a, r, c).add_scaled(1.0, grad_out);
+            grad_slot(grads, pool, *b, r, c).add_scaled(1.0, grad_out);
         }
         Op::Sub(a, b) => {
-            accumulate(grads, *a, grad_out);
-            let neg = grad_out.map(|x| -x);
-            accumulate(grads, *b, &neg);
+            let (r, c) = grad_out.shape();
+            grad_slot(grads, pool, *a, r, c).add_scaled(1.0, grad_out);
+            grad_slot(grads, pool, *b, r, c).add_scaled(-1.0, grad_out);
         }
         Op::Mul(a, b) => {
-            let da = grad_out.zip_map(&values[b.index()], |g, v| g * v);
-            let db = grad_out.zip_map(&values[a.index()], |g, v| g * v);
-            accumulate(grads, *a, &da);
-            accumulate(grads, *b, &db);
+            let (r, c) = grad_out.shape();
+            let ga = grad_slot(grads, pool, *a, r, c);
+            for ((o, &g), &v) in ga
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad_out.as_slice())
+                .zip(values[b.index()].as_slice())
+            {
+                *o += g * v;
+            }
+            let gb = grad_slot(grads, pool, *b, r, c);
+            for ((o, &g), &v) in gb
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad_out.as_slice())
+                .zip(values[a.index()].as_slice())
+            {
+                *o += g * v;
+            }
         }
         Op::AddRowBroadcast(a, b) => {
-            accumulate(grads, *a, grad_out);
-            let mut db = Tensor::zeros(1, grad_out.cols());
-            for r in 0..grad_out.rows() {
-                db.add_scaled(1.0, &Tensor::row_vector(grad_out.row(r)));
+            let (r, c) = grad_out.shape();
+            grad_slot(grads, pool, *a, r, c).add_scaled(1.0, grad_out);
+            let gb = grad_slot(grads, pool, *b, 1, c);
+            for row in 0..r {
+                let g = grad_out.row(row);
+                let dst = gb.row_mut(0);
+                for i in 0..c {
+                    dst[i] += g[i];
+                }
             }
-            accumulate(grads, *b, &db);
         }
         Op::Scale(a, alpha) => {
-            let da = grad_out.map(|g| g * alpha);
-            accumulate(grads, *a, &da);
+            let (r, c) = grad_out.shape();
+            grad_slot(grads, pool, *a, r, c).add_scaled(*alpha, grad_out);
         }
         Op::Relu(a) => {
-            let da = grad_out.zip_map(out_value, |g, y| if y > 0.0 { g } else { 0.0 });
-            accumulate(grads, *a, &da);
+            let (r, c) = grad_out.shape();
+            let ga = grad_slot(grads, pool, *a, r, c);
+            for ((o, &g), &y) in ga
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad_out.as_slice())
+                .zip(out_value.as_slice())
+            {
+                if y > 0.0 {
+                    *o += g;
+                }
+            }
         }
         Op::LeakyRelu(a, slope) => {
-            let input = &values[a.index()];
-            let da = grad_out.zip_map(input, |g, x| if x > 0.0 { g } else { g * slope });
-            accumulate(grads, *a, &da);
+            let (r, c) = grad_out.shape();
+            let ga = grad_slot(grads, pool, *a, r, c);
+            for ((o, &g), &x) in ga
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad_out.as_slice())
+                .zip(values[a.index()].as_slice())
+            {
+                *o += if x > 0.0 { g } else { g * slope };
+            }
         }
         Op::Tanh(a) => {
-            let da = grad_out.zip_map(out_value, |g, y| g * (1.0 - y * y));
-            accumulate(grads, *a, &da);
+            let (r, c) = grad_out.shape();
+            let ga = grad_slot(grads, pool, *a, r, c);
+            for ((o, &g), &y) in ga
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad_out.as_slice())
+                .zip(out_value.as_slice())
+            {
+                *o += g * (1.0 - y * y);
+            }
         }
         Op::SoftmaxRows(a) | Op::MaskedSoftmaxRows(a, _) => {
             // dx = s ⊙ (g − ⟨g, s⟩) per row; additive masks are constant.
-            let mut da = Tensor::zeros(grad_out.rows(), grad_out.cols());
-            for r in 0..grad_out.rows() {
+            let (rows, cols) = grad_out.shape();
+            let ga = grad_slot(grads, pool, *a, rows, cols);
+            for r in 0..rows {
                 let s = out_value.row(r);
                 let g = grad_out.row(r);
                 let inner: f32 = s.iter().zip(g).map(|(&si, &gi)| si * gi).sum();
-                let dr = da.row_mut(r);
+                let dr = ga.row_mut(r);
                 for i in 0..s.len() {
-                    dr[i] = s[i] * (g[i] - inner);
+                    dr[i] += s[i] * (g[i] - inner);
                 }
             }
-            accumulate(grads, *a, &da);
         }
         Op::VStack(parts) => {
             let mut row = 0;
             for p in parts {
-                let part_rows = values[p.index()].rows();
-                let cols = grad_out.cols();
-                let mut dp = Tensor::zeros(part_rows, cols);
+                let (part_rows, cols) = values[p.index()].shape();
+                let gp = grad_slot(grads, pool, *p, part_rows, cols);
                 for r in 0..part_rows {
-                    dp.set_row(r, grad_out.row(row + r));
+                    let src = grad_out.row(row + r);
+                    let dst = gp.row_mut(r);
+                    for c in 0..cols {
+                        dst[c] += src[c];
+                    }
                 }
-                accumulate(grads, *p, &dp);
                 row += part_rows;
             }
         }
@@ -294,51 +364,54 @@ pub(crate) fn backward_step(
             let mut col = 0;
             for p in parts {
                 let part_cols = values[p.index()].cols();
-                let mut dp = Tensor::zeros(rows, part_cols);
+                let gp = grad_slot(grads, pool, *p, rows, part_cols);
                 for r in 0..rows {
                     let src = &grad_out.row(r)[col..col + part_cols];
-                    dp.row_mut(r).copy_from_slice(src);
+                    let dst = gp.row_mut(r);
+                    for c in 0..part_cols {
+                        dst[c] += src[c];
+                    }
                 }
-                accumulate(grads, *p, &dp);
                 col += part_cols;
             }
         }
         Op::SelectRows(a, indices) => {
-            let src = &values[a.index()];
-            let mut da = Tensor::zeros(src.rows(), src.cols());
+            let (rows, cols) = values[a.index()].shape();
+            let ga = grad_slot(grads, pool, *a, rows, cols);
             for (i, &idx) in indices.iter().enumerate() {
-                let dr = da.row_mut(idx);
+                let dr = ga.row_mut(idx);
                 let g = grad_out.row(i);
                 for c in 0..g.len() {
                     dr[c] += g[c];
                 }
             }
-            accumulate(grads, *a, &da);
         }
         Op::Sum(a) => {
             let g = grad_out.get(0, 0);
-            let src = &values[a.index()];
-            let da = Tensor::full(src.rows(), src.cols(), g);
-            accumulate(grads, *a, &da);
+            let (rows, cols) = values[a.index()].shape();
+            let ga = grad_slot(grads, pool, *a, rows, cols);
+            for o in ga.as_mut_slice() {
+                *o += g;
+            }
         }
         Op::MeanRows(a) => {
-            let src = &values[a.index()];
-            let scale = 1.0 / src.rows() as f32;
-            let mut da = Tensor::zeros(src.rows(), src.cols());
-            for r in 0..src.rows() {
-                let dr = da.row_mut(r);
-                let g = grad_out.row(0);
-                for c in 0..g.len() {
-                    dr[c] = g[c] * scale;
+            let (rows, cols) = values[a.index()].shape();
+            let scale = 1.0 / rows as f32;
+            let ga = grad_slot(grads, pool, *a, rows, cols);
+            let g = grad_out.row(0);
+            for r in 0..rows {
+                let dr = ga.row_mut(r);
+                for c in 0..cols {
+                    dr[c] += g[c] * scale;
                 }
             }
-            accumulate(grads, *a, &da);
         }
         Op::L2NormalizeRows(a) => {
             // y = x/‖x‖ ⇒ dx = (g − ⟨g, y⟩·y)/‖x‖; zero rows get zero grad.
             let input = &values[a.index()];
-            let mut da = Tensor::zeros(input.rows(), input.cols());
-            for r in 0..input.rows() {
+            let (rows, cols) = input.shape();
+            let ga = grad_slot(grads, pool, *a, rows, cols);
+            for r in 0..rows {
                 let x = input.row(r);
                 let norm = x.iter().map(|v| v * v).sum::<f32>().sqrt();
                 if norm == 0.0 {
@@ -347,60 +420,100 @@ pub(crate) fn backward_step(
                 let y = out_value.row(r);
                 let g = grad_out.row(r);
                 let inner: f32 = g.iter().zip(y).map(|(&gi, &yi)| gi * yi).sum();
-                let dr = da.row_mut(r);
+                let dr = ga.row_mut(r);
                 for i in 0..x.len() {
-                    dr[i] = (g[i] - inner * y[i]) / norm;
+                    dr[i] += (g[i] - inner * y[i]) / norm;
                 }
             }
-            accumulate(grads, *a, &da);
         }
         Op::SoftmaxCrossEntropy(a, labels) => {
             let logits = &values[a.index()];
-            let g = grad_out.get(0, 0) / logits.rows() as f32;
-            let probs = logits.softmax_rows();
-            let mut da = Tensor::zeros(logits.rows(), logits.cols());
-            for r in 0..logits.rows() {
+            let (rows, cols) = logits.shape();
+            let g = grad_out.get(0, 0) / rows as f32;
+            // Recompute probabilities into a pooled scratch buffer.
+            let mut probs = pool.take_zeroed(rows, cols);
+            probs.as_mut_slice().copy_from_slice(logits.as_slice());
+            for r in 0..rows {
+                crate::tensor::softmax_inplace(probs.row_mut(r));
+            }
+            let ga = grad_slot(grads, pool, *a, rows, cols);
+            for r in 0..rows {
                 let p = probs.row(r);
-                let dr = da.row_mut(r);
-                for c in 0..p.len() {
+                let dr = ga.row_mut(r);
+                for c in 0..cols {
                     let target = if c == labels[r] { 1.0 } else { 0.0 };
-                    dr[c] = (p[c] - target) * g;
+                    dr[c] += (p[c] - target) * g;
                 }
             }
-            accumulate(grads, *a, &da);
+            pool.recycle(probs);
         }
         Op::MaxPool2(a, b) => {
+            // Two separable passes so both slots can borrow sequentially
+            // (covers the a == b aliasing case like the old delta path:
+            // ties route the whole gradient to `a`).
             let va = &values[a.index()];
             let vb = &values[b.index()];
-            let mut da = Tensor::zeros(va.rows(), va.cols());
-            let mut db = Tensor::zeros(vb.rows(), vb.cols());
-            for i in 0..va.len() {
-                let g = grad_out.as_slice()[i];
-                if va.as_slice()[i] >= vb.as_slice()[i] {
-                    da.as_mut_slice()[i] = g;
-                } else {
-                    db.as_mut_slice()[i] = g;
+            let (rows, cols) = va.shape();
+            let ga = grad_slot(grads, pool, *a, rows, cols);
+            for ((o, &g), (&x, &y)) in ga
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad_out.as_slice())
+                .zip(va.as_slice().iter().zip(vb.as_slice()))
+            {
+                if x >= y {
+                    *o += g;
                 }
             }
-            accumulate(grads, *a, &da);
-            accumulate(grads, *b, &db);
+            let gb = grad_slot(grads, pool, *b, vb.rows(), vb.cols());
+            for ((o, &g), (&x, &y)) in gb
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad_out.as_slice())
+                .zip(va.as_slice().iter().zip(vb.as_slice()))
+            {
+                if x < y {
+                    *o += g;
+                }
+            }
         }
         Op::Spmm(csr, b) => {
             // C = S·B ⇒ dB = Sᵀ·G.
-            let db = csr.spmm_transposed(grad_out);
-            accumulate(grads, *b, &db);
+            let (rb, cb) = values[b.index()].shape();
+            let gb = grad_slot(grads, pool, *b, rb, cb);
+            csr.spmm_transposed_acc(grad_out, gb);
         }
         Op::Transpose(a) => {
-            let da = grad_out.transpose();
-            accumulate(grads, *a, &da);
+            let (rows, cols) = values[a.index()].shape();
+            let ga = grad_slot(grads, pool, *a, rows, cols);
+            for r in 0..rows {
+                let dr = ga.row_mut(r);
+                for (c, o) in dr.iter_mut().enumerate() {
+                    *o += grad_out.get(c, r);
+                }
+            }
         }
         Op::PaddedSegmentScores(q, k, spans) => {
             // out[i][j] = ⟨q_i, k_{start+j}⟩ ⇒
             //   dq_i += Σ_j g[i][j]·k_{start+j},  dk_{start+j} += g[i][j]·q_i.
+            // Separable passes: dq reads only K values, dk only Q values.
             let vq = &values[q.index()];
             let vk = &values[k.index()];
-            let mut dq = Tensor::zeros(vq.rows(), vq.cols());
-            let mut dk = Tensor::zeros(vk.rows(), vk.cols());
+            let gq = grad_slot(grads, pool, *q, vq.rows(), vq.cols());
+            for (i, &(start, len)) in spans.iter().enumerate() {
+                let g = grad_out.row(i);
+                for (j, &gij) in g.iter().enumerate().take(len) {
+                    if gij == 0.0 {
+                        continue;
+                    }
+                    let k_row = vk.row(start + j);
+                    let dq_row = gq.row_mut(i);
+                    for c in 0..dq_row.len() {
+                        dq_row[c] += gij * k_row[c];
+                    }
+                }
+            }
+            let gk = grad_slot(grads, pool, *k, vk.rows(), vk.cols());
             for (i, &(start, len)) in spans.iter().enumerate() {
                 let g = grad_out.row(i);
                 let q_row = vq.row(i);
@@ -408,66 +521,64 @@ pub(crate) fn backward_step(
                     if gij == 0.0 {
                         continue;
                     }
-                    let k_row = vk.row(start + j);
-                    let dq_row = dq.row_mut(i);
-                    for c in 0..dq_row.len() {
-                        dq_row[c] += gij * k_row[c];
-                    }
-                    let dk_row = dk.row_mut(start + j);
+                    let dk_row = gk.row_mut(start + j);
                     for c in 0..dk_row.len() {
                         dk_row[c] += gij * q_row[c];
                     }
                 }
             }
-            accumulate(grads, *q, &dq);
-            accumulate(grads, *k, &dk);
         }
         Op::PaddedSoftmaxRows(a, lens) => {
             // Softmax backward restricted to each row's valid prefix;
             // padding columns have zero output and get zero gradient.
-            let mut da = Tensor::zeros(grad_out.rows(), grad_out.cols());
+            let (rows, cols) = grad_out.shape();
+            let ga = grad_slot(grads, pool, *a, rows, cols);
             for (r, &len) in lens.iter().enumerate() {
                 let s = &out_value.row(r)[..len];
                 let g = &grad_out.row(r)[..len];
                 let inner: f32 = s.iter().zip(g).map(|(&si, &gi)| si * gi).sum();
-                let dr = &mut da.row_mut(r)[..len];
+                let dr = &mut ga.row_mut(r)[..len];
                 for i in 0..len {
-                    dr[i] = s[i] * (g[i] - inner);
+                    dr[i] += s[i] * (g[i] - inner);
                 }
             }
-            accumulate(grads, *a, &da);
         }
         Op::SegmentWeightedSum(w, v, spans) => {
             // out_i = Σ_j w[i][j]·v_{start+j} ⇒
             //   dw[i][j] = ⟨g_i, v_{start+j}⟩,  dv_{start+j} += w[i][j]·g_i.
+            // Separable passes: dw reads only V values, dv only W values.
             let vw = &values[w.index()];
             let vv = &values[v.index()];
-            let mut dw = Tensor::zeros(vw.rows(), vw.cols());
-            let mut dv = Tensor::zeros(vv.rows(), vv.cols());
+            let gw = grad_slot(grads, pool, *w, vw.rows(), vw.cols());
             for (i, &(start, len)) in spans.iter().enumerate() {
                 let g = grad_out.row(i);
-                for j in 0..len {
+                let dw_row = &mut gw.row_mut(i)[..len];
+                for (j, dw) in dw_row.iter_mut().enumerate() {
                     let v_row = vv.row(start + j);
                     let mut acc = 0.0f32;
                     for c in 0..g.len() {
                         acc += g[c] * v_row[c];
                     }
-                    dw.set(i, j, acc);
+                    *dw += acc;
+                }
+            }
+            let gv = grad_slot(grads, pool, *v, vv.rows(), vv.cols());
+            for (i, &(start, len)) in spans.iter().enumerate() {
+                let g = grad_out.row(i);
+                for j in 0..len {
                     let wij = vw.get(i, j);
                     if wij != 0.0 {
-                        let dv_row = dv.row_mut(start + j);
+                        let dv_row = gv.row_mut(start + j);
                         for c in 0..g.len() {
                             dv_row[c] += wij * g[c];
                         }
                     }
                 }
             }
-            accumulate(grads, *w, &dw);
-            accumulate(grads, *v, &dv);
         }
         Op::SegmentMeanRows(a, spans) => {
-            let src = &values[a.index()];
-            let mut da = Tensor::zeros(src.rows(), src.cols());
+            let (rows, cols) = values[a.index()].shape();
+            let ga = grad_slot(grads, pool, *a, rows, cols);
             for (i, &(start, len)) in spans.iter().enumerate() {
                 if len == 0 {
                     continue;
@@ -475,25 +586,25 @@ pub(crate) fn backward_step(
                 let scale = 1.0 / len as f32;
                 let g = grad_out.row(i);
                 for r in start..start + len {
-                    let dr = da.row_mut(r);
+                    let dr = ga.row_mut(r);
                     for c in 0..g.len() {
                         dr[c] += g[c] * scale;
                     }
                 }
             }
-            accumulate(grads, *a, &da);
         }
         Op::MulScalarVar(a, s) => {
             let scalar = values[s.index()].get(0, 0);
-            let da = grad_out.map(|g| g * scalar);
+            let (r, c) = grad_out.shape();
+            grad_slot(grads, pool, *a, r, c).add_scaled(scalar, grad_out);
             let ds_val: f32 = grad_out
                 .as_slice()
                 .iter()
                 .zip(values[a.index()].as_slice())
                 .map(|(&g, &v)| g * v)
                 .sum();
-            accumulate(grads, *a, &da);
-            accumulate(grads, *s, &Tensor::from_vec(1, 1, vec![ds_val]));
+            let gs = grad_slot(grads, pool, *s, 1, 1);
+            gs.as_mut_slice()[0] += ds_val;
         }
     }
 }

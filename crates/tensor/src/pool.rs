@@ -1,0 +1,233 @@
+//! Shape-keyed buffer pool for backward-pass gradient tensors.
+//!
+//! Every [`crate::Tape::backward`] sweep needs one gradient buffer per
+//! touched node. Before the pool those buffers were freshly allocated each
+//! backward pass and dropped with the tape — for the training hot loop that
+//! meant thousands of identical-shape heap allocations per epoch. The pool
+//! keeps returned buffers in per-shape free lists so a steady-state
+//! backward pass performs **zero** gradient allocations: every
+//! `take_zeroed` is a pop + memset.
+//!
+//! The pool lives on the tape ([`crate::Tape::take_pool`] /
+//! [`crate::Tape::install_pool`] move it between tapes) so a trainer can
+//! keep one pool per worker across chunks and epochs. Residency is capped
+//! per shape ([`MAX_BUFFERS_PER_SHAPE`]) — recycling beyond the cap drops
+//! the buffer, so a pathological shape mix cannot leak memory.
+
+use rustc_hash::FxHashMap;
+
+use crate::tensor::Tensor;
+
+/// Free-list cap per distinct shape; recycles beyond it are dropped.
+///
+/// One backward pass needs at most one live buffer per tape node of a
+/// given shape, and the WIDEN training graphs reuse a handful of shapes
+/// (d×d weight grads, pack-matrix grads), so a small cap holds the
+/// steady-state working set while bounding worst-case residency.
+pub const MAX_BUFFERS_PER_SHAPE: usize = 64;
+
+/// Monotonic counters describing pool behaviour (snapshot semantics: take
+/// two snapshots and subtract for a per-region delta).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `take_zeroed` calls served from a free list.
+    pub hits: u64,
+    /// `take_zeroed` calls that had to heap-allocate.
+    pub misses: u64,
+    /// Buffers accepted back into a free list.
+    pub recycled: u64,
+    /// Buffers rejected at recycle time (pool disabled or shape cap hit).
+    pub dropped: u64,
+    /// Bytes served from free lists (4 × elements over all hits).
+    pub bytes_reused: u64,
+    /// Buffers currently parked in free lists.
+    pub resident_buffers: u64,
+    /// Bytes currently parked in free lists.
+    pub resident_bytes: u64,
+}
+
+/// A shape-keyed recycler of `f32` buffers for gradient tensors.
+///
+/// Enabled by default on every [`crate::Tape`]; a disabled pool (see
+/// [`BufferPool::disabled`]) degrades to plain allocation — used by the
+/// differential tests that pin pooled gradients to the alloc-per-op path.
+#[derive(Debug)]
+pub struct BufferPool {
+    enabled: bool,
+    free: FxHashMap<(u32, u32), Vec<Vec<f32>>>,
+    hits: u64,
+    misses: u64,
+    recycled: u64,
+    dropped: u64,
+    bytes_reused: u64,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufferPool {
+    /// An empty, enabled pool.
+    pub fn new() -> Self {
+        Self {
+            enabled: true,
+            free: FxHashMap::default(),
+            hits: 0,
+            misses: 0,
+            recycled: 0,
+            dropped: 0,
+            bytes_reused: 0,
+        }
+    }
+
+    /// A pool that never retains buffers: every take allocates, every
+    /// recycle drops. Behaviourally identical to pre-pool code.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::new()
+        }
+    }
+
+    /// Whether this pool retains buffers.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Free-list hits so far (cheap accessor for per-op profiling deltas).
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Allocating takes so far (cheap accessor for per-op profiling deltas).
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// A zero-filled `rows × cols` tensor, reusing a parked buffer of the
+    /// same shape when one is available.
+    pub fn take_zeroed(&mut self, rows: usize, cols: usize) -> Tensor {
+        let key = (rows as u32, cols as u32);
+        if let Some(mut buf) = self.free.get_mut(&key).and_then(Vec::pop) {
+            debug_assert_eq!(buf.len(), rows * cols);
+            buf.fill(0.0);
+            self.hits += 1;
+            self.bytes_reused += (buf.len() * std::mem::size_of::<f32>()) as u64;
+            Tensor::from_vec(rows, cols, buf)
+        } else {
+            self.misses += 1;
+            Tensor::zeros(rows, cols)
+        }
+    }
+
+    /// Returns a tensor's buffer to the free list of its shape. Drops it
+    /// instead when the pool is disabled or the shape's cap is reached.
+    pub fn recycle(&mut self, t: Tensor) {
+        if !self.enabled || t.is_empty() {
+            self.dropped += 1;
+            return;
+        }
+        let key = (t.rows() as u32, t.cols() as u32);
+        let bucket = self.free.entry(key).or_default();
+        if bucket.len() >= MAX_BUFFERS_PER_SHAPE {
+            self.dropped += 1;
+        } else {
+            bucket.push(t.into_vec());
+            self.recycled += 1;
+        }
+    }
+
+    /// Drops every parked buffer, keeping counters.
+    pub fn clear(&mut self) {
+        self.free.clear();
+    }
+
+    /// Current counters plus residency.
+    pub fn stats(&self) -> PoolStats {
+        let mut resident_buffers = 0u64;
+        let mut resident_bytes = 0u64;
+        for (&(r, c), bucket) in &self.free {
+            resident_buffers += bucket.len() as u64;
+            resident_bytes += bucket.len() as u64
+                * u64::from(r)
+                * u64::from(c)
+                * std::mem::size_of::<f32>() as u64;
+        }
+        PoolStats {
+            hits: self.hits,
+            misses: self.misses,
+            recycled: self.recycled,
+            dropped: self.dropped,
+            bytes_reused: self.bytes_reused,
+            resident_buffers,
+            resident_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycle_take_reuses_the_buffer() {
+        let mut pool = BufferPool::new();
+        let a = pool.take_zeroed(3, 4);
+        assert_eq!(pool.stats().misses, 1);
+        pool.recycle(a);
+        let b = pool.take_zeroed(3, 4);
+        assert_eq!(b.shape(), (3, 4));
+        assert!(b.as_slice().iter().all(|&x| x == 0.0));
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.bytes_reused, 48);
+    }
+
+    #[test]
+    fn shape_mismatch_never_crosses_buckets() {
+        let mut pool = BufferPool::new();
+        pool.recycle(Tensor::zeros(2, 2));
+        let t = pool.take_zeroed(4, 1);
+        assert_eq!(t.shape(), (4, 1));
+        // 2×2 stayed parked; 4×1 was a miss.
+        let s = pool.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.resident_buffers, 1);
+    }
+
+    #[test]
+    fn recycled_dirty_buffer_comes_back_zeroed() {
+        let mut pool = BufferPool::new();
+        pool.recycle(Tensor::full(2, 3, 7.5));
+        let t = pool.take_zeroed(2, 3);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn per_shape_cap_bounds_residency() {
+        let mut pool = BufferPool::new();
+        for _ in 0..MAX_BUFFERS_PER_SHAPE + 10 {
+            pool.recycle(Tensor::zeros(1, 8));
+        }
+        let s = pool.stats();
+        assert_eq!(s.resident_buffers, MAX_BUFFERS_PER_SHAPE as u64);
+        assert_eq!(s.dropped, 10);
+    }
+
+    #[test]
+    fn disabled_pool_allocates_and_drops() {
+        let mut pool = BufferPool::disabled();
+        pool.recycle(Tensor::zeros(2, 2));
+        let _ = pool.take_zeroed(2, 2);
+        let s = pool.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.resident_buffers, 0);
+    }
+}

@@ -81,6 +81,8 @@ struct OpAgg {
     fwd_nanos: u64,
     bwd_nanos: u64,
     flops: u64,
+    bwd_pool_hits: u64,
+    bwd_allocs: u64,
     last_in: [(u32, u32); 2],
     n_in: u8,
     last_out: (u32, u32),
@@ -116,8 +118,11 @@ impl TapeProfiler {
         }
     }
 
-    pub(crate) fn record_backward(&mut self, op: &Op, nanos: u64) {
-        self.aggs[op.kind_index()].bwd_nanos += nanos;
+    pub(crate) fn record_backward(&mut self, op: &Op, nanos: u64, pool_hits: u64, allocs: u64) {
+        let agg = &mut self.aggs[op.kind_index()];
+        agg.bwd_nanos += nanos;
+        agg.bwd_pool_hits += pool_hits;
+        agg.bwd_allocs += allocs;
     }
 
     pub(crate) fn report(&self) -> ProfileReport {
@@ -146,6 +151,8 @@ impl TapeProfiler {
                 fwd_nanos: agg.fwd_nanos,
                 bwd_nanos: agg.bwd_nanos,
                 flops: agg.flops,
+                bwd_pool_hits: agg.bwd_pool_hits,
+                bwd_allocs: agg.bwd_allocs,
                 last_shape: shape,
             });
         }
@@ -205,6 +212,10 @@ pub struct OpProfile {
     pub bwd_nanos: u64,
     /// Estimated forward FLOPs (2 per multiply-add).
     pub flops: u64,
+    /// Backward gradient buffers served from the tape's pool free lists.
+    pub bwd_pool_hits: u64,
+    /// Backward gradient buffers that had to heap-allocate.
+    pub bwd_allocs: u64,
     /// Shape of the most recent occurrence, e.g. `64×128·128×64→64×64`.
     pub last_shape: String,
 }
@@ -249,6 +260,8 @@ impl ProfileReport {
                 mine.fwd_nanos += o.fwd_nanos;
                 mine.bwd_nanos += o.bwd_nanos;
                 mine.flops += o.flops;
+                mine.bwd_pool_hits += o.bwd_pool_hits;
+                mine.bwd_allocs += o.bwd_allocs;
                 mine.last_shape.clone_from(&o.last_shape);
             } else {
                 self.ops.push(o.clone());
@@ -273,19 +286,29 @@ impl ProfileReport {
     pub fn render_table(&self, k: usize) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<24} {:>8} {:>12} {:>12} {:>10} {:>14}  {}\n",
-            "op", "count", "fwd_ms", "bwd_ms", "share", "gflops_est", "last_shape"
+            "{:<24} {:>8} {:>12} {:>12} {:>10} {:>14} {:>10} {:>10}  {}\n",
+            "op",
+            "count",
+            "fwd_ms",
+            "bwd_ms",
+            "share",
+            "gflops_est",
+            "pool_hits",
+            "bwd_alloc",
+            "last_shape"
         ));
         let grand = (self.fwd_nanos_total + self.bwd_nanos_total).max(1) as f64;
         for o in self.top_k(k) {
             out.push_str(&format!(
-                "{:<24} {:>8} {:>12.3} {:>12.3} {:>9.1}% {:>14.3}  {}\n",
+                "{:<24} {:>8} {:>12.3} {:>12.3} {:>9.1}% {:>14.3} {:>10} {:>10}  {}\n",
                 o.name,
                 o.count,
                 o.fwd_nanos as f64 / 1e6,
                 o.bwd_nanos as f64 / 1e6,
                 o.total_nanos() as f64 / grand * 100.0,
                 o.flops as f64 / 1e9,
+                o.bwd_pool_hits,
+                o.bwd_allocs,
                 o.last_shape
             ));
         }
@@ -310,8 +333,23 @@ mod tests {
             fwd_nanos: fwd,
             bwd_nanos: bwd,
             flops: 100,
+            bwd_pool_hits: 3,
+            bwd_allocs: 1,
             last_shape: "2×2→2×2".into(),
         }
+    }
+
+    #[test]
+    fn merge_sums_pool_counters() {
+        let mut a = ProfileReport {
+            ops: vec![sample("matmul", 1, 1)],
+            fwd_nanos_total: 1,
+            bwd_nanos_total: 1,
+        };
+        a.merge(&a.clone());
+        let mm = &a.ops[0];
+        assert_eq!(mm.bwd_pool_hits, 6);
+        assert_eq!(mm.bwd_allocs, 2);
     }
 
     #[test]

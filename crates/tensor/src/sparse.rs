@@ -135,9 +135,24 @@ impl CsrMatrix {
     /// Used by the backward pass of [`crate::Tape::spmm`] without
     /// materialising the transposed matrix.
     pub fn spmm_transposed(&self, dense: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, dense.cols());
+        self.spmm_transposed_acc(dense, &mut out);
+        out
+    }
+
+    /// Accumulating transposed product: `out += selfᵀ · dense`.
+    ///
+    /// The backward pass accumulates the sparse-input gradient straight
+    /// into its pooled buffer through this kernel instead of allocating a
+    /// scratch product.
+    pub fn spmm_transposed_acc(&self, dense: &Tensor, out: &mut Tensor) {
         assert_eq!(self.rows, dense.rows(), "spmm_transposed shape mismatch");
         let n = dense.cols();
-        let mut out = Tensor::zeros(self.cols, n);
+        assert_eq!(
+            out.shape(),
+            (self.cols, n),
+            "spmm_transposed_acc output shape mismatch"
+        );
         for r in 0..self.rows {
             let src = dense.row(r);
             for k in self.indptr[r]..self.indptr[r + 1] {
@@ -148,7 +163,6 @@ impl CsrMatrix {
                 }
             }
         }
-        out
     }
 
     /// Sparse product `self · other` (both CSR).

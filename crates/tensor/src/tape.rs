@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::op::{backward_step, Op};
+use crate::pool::{BufferPool, PoolStats};
 use crate::profile::{ProfileReport, TapeProfiler};
 use crate::sparse::CsrMatrix;
 use crate::tensor::Tensor;
@@ -36,12 +37,20 @@ impl Var {
 /// An optional per-op profiler ([`Tape::enable_profiling`]) times every
 /// forward and backward op; when off (the default) the only cost is one
 /// null check per recorded op — no clock reads, no allocation.
+///
+/// Gradient buffers come from a shape-keyed [`BufferPool`] (enabled by
+/// default): [`Tape::backward`] recycles the previous pass's buffers and
+/// serves new ones from the free lists, so steady-state training performs
+/// zero gradient allocations. Move the pool between the short-lived
+/// per-step tapes with [`Tape::take_pool`] / [`Tape::install_pool`] to
+/// carry the warm free lists across steps.
 #[derive(Default)]
 pub struct Tape {
     ops: Vec<Op>,
     values: Vec<Tensor>,
     grads: Vec<Option<Tensor>>,
     profiler: Option<Box<TapeProfiler>>,
+    pool: BufferPool,
 }
 
 impl Tape {
@@ -58,6 +67,47 @@ impl Tape {
     /// Whether the tape has no nodes.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// Clears ops, values and gradients for reuse, recycling every
+    /// gradient buffer into the pool. The pool (with its warm free lists
+    /// and counters) and the profiler survive the reset.
+    pub fn reset(&mut self) {
+        for g in self.grads.drain(..).flatten() {
+            self.pool.recycle(g);
+        }
+        self.ops.clear();
+        self.values.clear();
+    }
+
+    /// Replaces this tape's gradient-buffer pool — pair with
+    /// [`Tape::take_pool`] to thread one pool through a sequence of
+    /// short-lived tapes.
+    pub fn install_pool(&mut self, pool: BufferPool) {
+        self.pool = pool;
+    }
+
+    /// Moves the pool out (an empty enabled pool takes its place),
+    /// first recycling any gradient buffers still parked on the tape so
+    /// the warm working set travels with it.
+    pub fn take_pool(&mut self) -> BufferPool {
+        for g in self.grads.iter_mut() {
+            if let Some(t) = g.take() {
+                self.pool.recycle(t);
+            }
+        }
+        std::mem::take(&mut self.pool)
+    }
+
+    /// Swaps in a pool that never retains buffers, pinning this tape to
+    /// the alloc-per-op gradient path (differential tests).
+    pub fn disable_pool(&mut self) {
+        self.pool = BufferPool::disabled();
+    }
+
+    /// Counters of the tape's gradient-buffer pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Turns on per-op profiling for this tape (see [`Tape::take_profile`]).
@@ -398,25 +448,40 @@ impl Tape {
             (1, 1),
             "backward target must be scalar"
         );
-        self.grads = (0..self.ops.len()).map(|_| None).collect();
-        self.grads[loss.index()] = Some(Tensor::from_vec(1, 1, vec![1.0]));
+        // Recycle the previous pass's buffers and reuse the slot vector:
+        // with a warm pool every gradient of this pass is served from a
+        // free list — zero allocations in steady state.
+        for g in self.grads.iter_mut() {
+            if let Some(t) = g.take() {
+                self.pool.recycle(t);
+            }
+        }
+        self.grads.resize_with(self.ops.len(), || None);
+        let mut seed = self.pool.take_zeroed(1, 1);
+        seed.as_mut_slice()[0] = 1.0;
+        self.grads[loss.index()] = Some(seed);
 
         for idx in (0..self.ops.len()).rev() {
             let Some(grad_out) = self.grads[idx].take() else {
                 continue;
             };
             let t0 = self.prof_start();
+            let pool_before = t0.map(|_| (self.pool.hits(), self.pool.misses()));
             backward_step(
                 &self.ops[idx],
                 &self.values[idx],
                 &grad_out,
                 &self.values,
                 &mut self.grads,
+                &mut self.pool,
             );
             if let Some(t0) = t0 {
                 let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let (h0, m0) = pool_before.unwrap_or_default();
+                let pool_hits = self.pool.hits() - h0;
+                let pool_allocs = self.pool.misses() - m0;
                 if let Some(p) = self.profiler.as_mut() {
-                    p.record_backward(&self.ops[idx], nanos);
+                    p.record_backward(&self.ops[idx], nanos, pool_hits, pool_allocs);
                 }
             }
             self.grads[idx] = Some(grad_out);

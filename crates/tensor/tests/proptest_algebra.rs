@@ -8,6 +8,29 @@ fn small_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
         .prop_map(move |data| Tensor::from_vec(rows, cols, data))
 }
 
+/// Adversarial finite floats for kernel equivalence tests: exact zeros of
+/// both signs, subnormals, huge and tiny magnitudes, plus ordinary values.
+fn hostile_float() -> impl Strategy<Value = f32> {
+    (0usize..14, -3.0f32..3.0).prop_map(|(pick, ordinary)| match pick {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f32::MIN_POSITIVE / 2.0,  // subnormal
+        3 => -f32::MIN_POSITIVE / 4.0, // subnormal
+        4 => f32::MIN_POSITIVE,
+        5 => 1.0e30,
+        6 => -1.0e30,
+        7 => 1.0e-30,
+        8 => 1.0,
+        9 => -1.0,
+        _ => ordinary,
+    })
+}
+
+fn hostile_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(hostile_float(), rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -34,6 +57,44 @@ proptest! {
         let lhs = a.matmul(&b).transpose();
         let rhs = b.transpose().matmul(&a.transpose());
         prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_is_bitwise_transpose_matmul_over_hostile_floats(
+        a in hostile_tensor(6, 4),
+        b in hostile_tensor(6, 5),
+    ) {
+        // The dedicated Aᵀ·B kernel (with its +0.0-only sparsity
+        // short-circuit) must agree bit-for-bit with the explicit
+        // transpose product — including -0.0, subnormal and huge inputs.
+        let direct = a.matmul_tn(&b);
+        let explicit = a.transpose().matmul(&b);
+        let direct_bits: Vec<u32> = direct.as_slice().iter().map(|x| x.to_bits()).collect();
+        let explicit_bits: Vec<u32> = explicit.as_slice().iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(direct_bits, explicit_bits);
+    }
+
+    #[test]
+    fn acc_kernels_match_alloc_kernels_over_hostile_floats(
+        a in hostile_tensor(3, 4),
+        b in hostile_tensor(4, 2),
+    ) {
+        let mut acc = Tensor::zeros(3, 2);
+        a.matmul_acc(&b, &mut acc);
+        let plain = a.matmul(&b);
+        prop_assert_eq!(acc.as_slice(), plain.as_slice());
+
+        let bt = b.transpose();
+        let mut acc_nt = Tensor::zeros(3, 2);
+        a.matmul_nt_acc(&bt, &mut acc_nt);
+        let plain_nt = a.matmul_nt(&bt);
+        prop_assert_eq!(acc_nt.as_slice(), plain_nt.as_slice());
+
+        let mut acc_tn = Tensor::zeros(3, 2);
+        let at = a.transpose();
+        at.matmul_tn_acc(&b, &mut acc_tn);
+        let plain_tn = at.matmul_tn(&b);
+        prop_assert_eq!(acc_tn.as_slice(), plain_tn.as_slice());
     }
 
     #[test]

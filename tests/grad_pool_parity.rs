@@ -1,0 +1,159 @@
+//! Differential tests pinning the gradient-buffer pool: a tape with a warm
+//! pool must produce bit-identical gradients to a pool-disabled tape, reuse
+//! must actually happen across backward passes, and `Tape::reset` must not
+//! leak buffers past the pool's per-shape cap.
+
+use widen::core::{NodeState, WidenConfig, WidenModel};
+use widen::data::{acm_like, Scale};
+use widen::graph::HeteroGraph;
+use widen::tensor::{Tape, Tensor, MAX_BUFFERS_PER_SHAPE};
+
+fn tiny_config() -> WidenConfig {
+    let mut c = WidenConfig::small();
+    c.d = 16;
+    c.n_w = 5;
+    c.n_d = 5;
+    c.phi = 2;
+    c.epochs = 3;
+    c.batch_size = 16;
+    c
+}
+
+fn sample_states(model: &WidenModel, graph: &HeteroGraph, nodes: &[u32]) -> Vec<NodeState> {
+    nodes
+        .iter()
+        .map(|&v| model.sample_state(graph, v, 5))
+        .collect()
+}
+
+/// Runs the batched forward+backward on `tape`, returning per-parameter
+/// gradients in canonical order.
+fn grads_on(
+    tape: &mut Tape,
+    model: &WidenModel,
+    graph: &HeteroGraph,
+    states: &[NodeState],
+    labels: &[usize],
+) -> Vec<Tensor> {
+    let refs: Vec<&NodeState> = states.iter().collect();
+    let pv = model.insert_params(tape);
+    let fw = model.forward_batch(tape, &pv, graph, &refs);
+    let loss = tape.softmax_cross_entropy(fw.logits, labels);
+    tape.backward(loss);
+    pv.pairs(model.ids())
+        .into_iter()
+        .map(|(id, var)| {
+            let shape = model.params.get(id).shape();
+            tape.grad(var)
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(shape.0, shape.1))
+        })
+        .collect()
+}
+
+#[test]
+fn pooled_gradients_match_pool_disabled_path_across_two_passes() {
+    let dataset = acm_like(Scale::Smoke, 21);
+    let nodes: Vec<u32> = dataset.graph.labeled_nodes()[..24].to_vec();
+    let labels: Vec<usize> = nodes
+        .iter()
+        .map(|&v| dataset.graph.label(v).unwrap() as usize)
+        .collect();
+    let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+    let states = sample_states(&model, &dataset.graph, &nodes);
+
+    // Reference: pool pinned off — every gradient heap-allocates.
+    let mut tape_ref = Tape::new();
+    tape_ref.disable_pool();
+    let grads_ref = grads_on(&mut tape_ref, &model, &dataset.graph, &states, &labels);
+    let ref_stats = tape_ref.pool_stats();
+    assert_eq!(ref_stats.hits, 0, "disabled pool must never serve a buffer");
+    assert_eq!(ref_stats.resident_buffers, 0);
+
+    // Pass 1 on a pooled tape fills the free lists (all misses); pass 2 on
+    // a fresh tape inheriting that pool runs warm (dirty buffers zeroed and
+    // reused). Both must be bit-identical to the reference.
+    let mut tape1 = Tape::new();
+    let grads_cold = grads_on(&mut tape1, &model, &dataset.graph, &states, &labels);
+    let pool = tape1.take_pool();
+
+    let mut tape2 = Tape::new();
+    tape2.install_pool(pool);
+    let grads_warm = grads_on(&mut tape2, &model, &dataset.graph, &states, &labels);
+    let warm_stats = tape2.pool_stats();
+    assert!(
+        warm_stats.hits > 0,
+        "second pass on a warm pool must reuse buffers"
+    );
+    assert!(
+        warm_stats.bytes_reused > 0,
+        "reuse must be visible in the byte counter"
+    );
+
+    for ((cold, warm), reference) in grads_cold.iter().zip(&grads_warm).zip(&grads_ref) {
+        assert_eq!(
+            cold.as_slice(),
+            reference.as_slice(),
+            "cold pooled gradients must equal the pool-disabled path"
+        );
+        assert_eq!(
+            warm.as_slice(),
+            reference.as_slice(),
+            "warm pooled gradients must equal the pool-disabled path"
+        );
+    }
+}
+
+#[test]
+fn repeated_backward_on_one_tape_is_allocation_free_and_stable() {
+    let mut tape = Tape::new();
+    let a = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+    let b = tape.leaf(Tensor::from_rows(&[&[0.5, -1.0], &[2.0, 0.25]]));
+    let c = tape.matmul(a, b);
+    let r = tape.relu(c);
+    let loss = tape.sum(r);
+
+    tape.backward(loss);
+    let first = tape.grad(a).unwrap().as_slice().to_vec();
+    let after_first = tape.pool_stats();
+
+    tape.backward(loss);
+    let second = tape.grad(a).unwrap().as_slice().to_vec();
+    let after_second = tape.pool_stats();
+
+    assert_eq!(first, second, "re-running backward must be deterministic");
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "second backward on the same tape must allocate nothing"
+    );
+    assert!(after_second.hits > after_first.hits);
+}
+
+#[test]
+fn reset_recycles_gradients_without_leaking_past_the_cap() {
+    let mut tape = Tape::new();
+    for round in 0..(MAX_BUFFERS_PER_SHAPE + 8) {
+        let a = tape.leaf(Tensor::full(4, 4, round as f32 + 1.0));
+        let loss = tape.sum(a);
+        tape.backward(loss);
+        assert!(tape.grad(a).is_some());
+        tape.reset();
+        assert_eq!(tape.len(), 0, "reset must clear recorded nodes");
+        assert!(tape.grad(a).is_none(), "reset must clear gradients");
+    }
+    let stats = tape.pool_stats();
+    // Steady state: each round checks its 4×4 gradient and 1×1 loss seed
+    // back in at reset and the next round reuses them, so residency stays
+    // O(shapes) — far below the cap — no matter how many rounds ran.
+    assert!(
+        stats.resident_buffers <= 4,
+        "pool must not grow across Tape::reset (resident: {})",
+        stats.resident_buffers
+    );
+    assert!(
+        stats.resident_buffers <= 2 * MAX_BUFFERS_PER_SHAPE as u64,
+        "cap invariant violated"
+    );
+    assert!(stats.hits > 0, "rounds after the first must run warm");
+    assert_eq!(stats.misses, 2, "only the first round may allocate");
+}
