@@ -16,7 +16,7 @@ use widen_bench::parse_args;
 use widen_core::{Trainer, WidenConfig, WidenModel};
 use widen_data::acm_like;
 use widen_serve::{Client, ModelRegistry, ServeConfig, Server};
-use widen_tensor::ProfileReport;
+use widen_tensor::{BackendKind, ProfileReport};
 
 const EPOCHS: usize = 2;
 const CLIENTS: usize = 4;
@@ -29,8 +29,15 @@ fn main() {
     println!("== bench_widen: consolidated performance snapshot ==\n");
 
     // --- training + engine profile on the paper config ------------------
+    // The headline numbers run on the optimized GEMM backend — the
+    // production-default path this snapshot exists to track. Override with
+    // WIDEN_KERNEL_BACKEND=reference to snapshot the scalar oracle.
+    let backend = std::env::var("WIDEN_KERNEL_BACKEND")
+        .ok()
+        .and_then(|v| BackendKind::from_name(&v))
+        .unwrap_or(BackendKind::Optimized);
     let dataset = acm_like(opts.scale.data_scale(), seed);
-    let mut cfg = WidenConfig::paper().with_seed(seed);
+    let mut cfg = WidenConfig::paper().with_seed(seed).with_backend(backend);
     cfg.epochs = EPOCHS;
     let train = &dataset.transductive.train;
     let model = WidenModel::for_graph(&dataset.graph, cfg.clone());
@@ -44,8 +51,10 @@ fn main() {
         profile.merge(p);
     }
     println!(
-        "training: {:.4} s/epoch on the paper config ({} epochs)",
-        secs_per_epoch, EPOCHS
+        "training: {:.4} s/epoch on the paper config ({} epochs, {} backend)",
+        secs_per_epoch,
+        EPOCHS,
+        backend.name()
     );
     println!("{}", profile.render_table(5));
 
@@ -59,7 +68,7 @@ fn main() {
     let num_nodes = dataset.graph.num_nodes() as u32;
     let start = Instant::now();
     let clients: Vec<_> = (0..CLIENTS)
-        .map(|_| {
+        .map(|t| {
             thread::spawn(move || {
                 let mut client = Client::connect(addr).expect("connect");
                 for r in 0..REQUESTS_PER_CLIENT {
@@ -68,6 +77,17 @@ fn main() {
                     let rows = client.embed(&nodes, r as u64).expect("embed");
                     assert_eq!(rows.len(), nodes.len());
                 }
+                // Repeated-key phase: the same request twice in sequence
+                // with a per-client seed, so the second copy cannot be
+                // absorbed by singleflight dedup (which only folds
+                // *concurrent* identical keys) and must come out of the
+                // embedding LRU. This is what keeps `cache_hits` a live
+                // signal in the snapshot.
+                let nodes: Vec<u32> = (0..NODES_PER_REQUEST).collect();
+                let seed = 1_000_000 + t as u64;
+                let first = client.embed(&nodes, seed).expect("embed");
+                let second = client.embed(&nodes, seed).expect("cached embed");
+                assert_eq!(first, second, "cache must serve identical rows");
             })
         })
         .collect();
@@ -76,6 +96,11 @@ fn main() {
     }
     let serve_secs = start.elapsed().as_secs_f64();
     let stats = handle.shutdown();
+    assert!(
+        stats.cache_hits >= (CLIENTS as u64) * u64::from(NODES_PER_REQUEST),
+        "embedding LRU is dead: {} hits from the repeated-key phase",
+        stats.cache_hits
+    );
     let rps = stats.requests as f64 / serve_secs;
     println!(
         "serving: {:.1} req/s ({} requests, mean batch {:.2}, {} cache hits)",
@@ -96,6 +121,7 @@ fn main() {
             "per_epoch_secs": report.epoch_secs,
         },
         "engine": {
+            "backend": backend.name(),
             "fwd_ms": profile.fwd_nanos_total as f64 / 1e6,
             "bwd_ms": profile.bwd_nanos_total as f64 / 1e6,
             "est_gflop": profile.total_flops() as f64 / 1e9,

@@ -59,7 +59,7 @@ fn run_mode(
 
     let start = Instant::now();
     let clients: Vec<_> = (0..CLIENTS)
-        .map(|_t| {
+        .map(|t| {
             thread::spawn(move || {
                 let mut client = Client::connect(addr).expect("connect");
                 for r in 0..REQUESTS_PER_CLIENT {
@@ -82,6 +82,17 @@ fn run_mode(
                         assert_eq!(labels.len(), nodes.len());
                     }
                 }
+                // Repeated-key phase: each client re-issues one identical
+                // embed back to back under a per-client seed. Sequential
+                // repeats dodge singleflight dedup (concurrent-only), so
+                // the second copy exercises the embedding LRU — without
+                // this phase the workload never repeats a (node, seed)
+                // key sequentially and `cache_hits` flatlines at zero.
+                let nodes: Vec<u32> = (0..NODES_PER_REQUEST).collect();
+                let seed = 1_000_000 + t as u64;
+                let first = client.embed(&nodes, seed).expect("embed");
+                let second = client.embed(&nodes, seed).expect("cached embed");
+                assert_eq!(first, second, "cache must serve identical rows");
             })
         })
         .collect();
@@ -90,6 +101,11 @@ fn run_mode(
     }
     let elapsed_secs = start.elapsed().as_secs_f64();
     let stats = handle.shutdown();
+    assert!(
+        stats.cache_hits >= (CLIENTS as u64) * u64::from(NODES_PER_REQUEST),
+        "embedding LRU is dead in {label} mode: {} hits from the repeated-key phase",
+        stats.cache_hits
+    );
 
     ModeResult {
         label,

@@ -1,5 +1,7 @@
 //! Hyperparameter configuration (§4.4).
 
+use widen_tensor::BackendKind;
+
 use crate::ablation::Variant;
 
 /// Which forward-pass engine training and inference run on.
@@ -59,6 +61,10 @@ pub struct WidenConfig {
     pub variant: Variant,
     /// Forward-pass engine (batched by default; per-node as oracle).
     pub execution: Execution,
+    /// Dense GEMM kernel backend every tape this config spawns dispatches
+    /// through (defaults to the process-wide choice, which honours the
+    /// `WIDEN_KERNEL_BACKEND` environment variable).
+    pub backend: BackendKind,
 }
 
 impl WidenConfig {
@@ -80,6 +86,7 @@ impl WidenConfig {
             seed: 0,
             variant: Variant::full(),
             execution: Execution::default(),
+            backend: widen_tensor::default_backend(),
         }
     }
 
@@ -102,6 +109,7 @@ impl WidenConfig {
             seed: 0,
             variant: Variant::full(),
             execution: Execution::default(),
+            backend: widen_tensor::default_backend(),
         }
     }
 
@@ -120,6 +128,12 @@ impl WidenConfig {
     /// Returns `self` with a different forward-pass engine.
     pub fn with_execution(mut self, execution: Execution) -> Self {
         self.execution = execution;
+        self
+    }
+
+    /// Returns `self` with a different dense GEMM kernel backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -173,6 +187,15 @@ mod tests {
         assert_eq!(WidenConfig::small().execution, Execution::Batched);
         let c = WidenConfig::small().with_execution(Execution::PerNode);
         assert_eq!(c.execution, Execution::PerNode);
+        c.validate();
+    }
+
+    #[test]
+    fn backend_knob_chains_and_defaults_to_process_choice() {
+        let c = WidenConfig::small();
+        assert_eq!(c.backend, widen_tensor::default_backend());
+        let c = c.with_backend(BackendKind::Optimized);
+        assert_eq!(c.backend, BackendKind::Optimized);
         c.validate();
     }
 

@@ -341,6 +341,14 @@ impl WidenModel {
         }
     }
 
+    /// A fresh tape pinned to this model's configured kernel backend
+    /// ([`WidenConfig::backend`]). Every forward/backward pass the model or
+    /// trainer runs should obtain its tape here so GEMM dispatch matches
+    /// the config knob rather than the process default.
+    pub fn new_tape(&self) -> Tape {
+        Tape::with_backend(self.config.backend)
+    }
+
     /// Copies the current parameter values onto a tape (once per tape).
     pub fn insert_params(&self, tape: &mut Tape) -> ParamVars {
         let p = &self.params;
@@ -774,7 +782,7 @@ impl WidenModel {
         items: &[(NodeId, u64)],
         output: InferOutput,
     ) -> Vec<Vec<f32>> {
-        let mut tape = Tape::new();
+        let mut tape = self.new_tape();
         let pv = self.insert_params(&mut tape);
         match self.config.execution {
             Execution::Batched => {
@@ -827,7 +835,7 @@ impl WidenModel {
         nodes
             .par_chunks(chunk)
             .flat_map_iter(|chunk_nodes| {
-                let mut tape = Tape::new();
+                let mut tape = self.new_tape();
                 let pv = self.insert_params(&mut tape);
                 match self.config.execution {
                     Execution::Batched => {

@@ -668,7 +668,7 @@ impl<'g> Trainer<'g> {
         let config = &self.model.config;
         let span = self.trace_span(ctx, "core.trainer.forward");
         let sw = Stopwatch::start();
-        let mut tape = Tape::new();
+        let mut tape = self.model.new_tape();
         if self.profiling {
             tape.enable_profiling();
         }
@@ -801,7 +801,7 @@ impl<'g> Trainer<'g> {
         let config = &self.model.config;
         let span = self.trace_span(ctx, "core.trainer.forward");
         let sw = Stopwatch::start();
-        let mut tape = Tape::new();
+        let mut tape = self.model.new_tape();
         if self.profiling {
             tape.enable_profiling();
         }

@@ -18,7 +18,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use widen_graph::{HeteroGraph, NodeId};
 use widen_sampling::{hash_seed, sample_deep};
-use widen_tensor::{Adam, Optimizer, Tape};
+use widen_tensor::{Adam, Optimizer};
 
 use crate::config::Execution;
 use crate::model::{MaskCache, WidenModel};
@@ -75,7 +75,7 @@ pub fn fit_unsupervised(
             if batch.len() < 2 {
                 continue; // InfoNCE needs in-batch negatives.
             }
-            let mut tape = Tape::new();
+            let mut tape = model.new_tape();
             let pv = model.insert_params(&mut tape);
 
             // Sample anchor/positive states first (rng order fixed), then

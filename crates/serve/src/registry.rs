@@ -3,7 +3,7 @@
 
 use widen_core::{WidenConfig, WidenModel};
 use widen_graph::HeteroGraph;
-use widen_tensor::{digest64, CheckpointError};
+use widen_tensor::{digest64, BackendKind, CheckpointError};
 
 /// An immutable, shareable serving model: graph metadata + configuration
 /// + weights restored through the fallible checkpoint path.
@@ -50,6 +50,20 @@ impl ModelRegistry {
             graph,
             checkpoint_hash,
         }
+    }
+
+    /// Pins the dense GEMM kernel backend every forward pass served from
+    /// this registry dispatches through. The choice is per loaded model —
+    /// two registries in one process can serve on different backends —
+    /// and is immutable once the registry goes behind its `Arc`.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.model.config.backend = backend;
+        self
+    }
+
+    /// The kernel backend this registry's forward passes run on.
+    pub fn backend(&self) -> BackendKind {
+        self.model.config.backend
     }
 
     /// The serving model.
@@ -102,6 +116,27 @@ mod tests {
         assert_eq!(a.max_abs_diff(&b), 0.0);
         assert!(registry.contains_node(0));
         assert!(!registry.contains_node(u32::MAX));
+    }
+
+    #[test]
+    fn backend_pin_is_per_registry_and_embeddings_agree() {
+        let dataset = acm_like(Scale::Smoke, 3);
+        let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+        let checkpoint = model.save_weights();
+        let reference =
+            ModelRegistry::from_checkpoint(dataset.graph.clone(), tiny_config(), &checkpoint)
+                .expect("valid checkpoint")
+                .with_backend(BackendKind::Reference);
+        let optimized =
+            ModelRegistry::from_checkpoint(dataset.graph.clone(), tiny_config(), &checkpoint)
+                .expect("valid checkpoint")
+                .with_backend(BackendKind::Optimized);
+        assert_eq!(reference.backend(), BackendKind::Reference);
+        assert_eq!(optimized.backend(), BackendKind::Optimized);
+        let a = reference.model().embed_nodes(reference.graph(), &[0, 1], 5);
+        let b = optimized.model().embed_nodes(optimized.graph(), &[0, 1], 5);
+        let diff = a.max_abs_diff(&b);
+        assert!(diff <= 1e-5, "backend embeddings diverged: {diff}");
     }
 
     #[test]

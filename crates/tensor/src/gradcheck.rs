@@ -5,6 +5,7 @@
 //! limits attainable precision, so the checker uses a combined
 //! absolute/relative tolerance.
 
+use crate::kernels::{default_backend, BackendKind};
 use crate::tape::{Tape, Var};
 use crate::tensor::Tensor;
 
@@ -29,8 +30,20 @@ pub fn check_gradients(
     build: impl Fn(&mut Tape, &[Var]) -> Var,
     eps: f32,
 ) -> GradCheckReport {
+    check_gradients_with_backend(inputs, build, eps, default_backend())
+}
+
+/// [`check_gradients`] with the kernel backend pinned — both the analytic
+/// pass and every finite-difference evaluation run on `backend`, so the
+/// check validates that backend's forward *and* backward GEMM paths.
+pub fn check_gradients_with_backend(
+    inputs: &[Tensor],
+    build: impl Fn(&mut Tape, &[Var]) -> Var,
+    eps: f32,
+    backend: BackendKind,
+) -> GradCheckReport {
     // Analytic pass.
-    let mut tape = Tape::new();
+    let mut tape = Tape::with_backend(backend);
     let vars: Vec<Var> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
     let out = build(&mut tape, &vars);
     tape.backward(out);
@@ -45,7 +58,7 @@ pub fn check_gradients(
         .collect();
 
     let eval = |perturbed: &[Tensor]| -> f32 {
-        let mut tape = Tape::new();
+        let mut tape = Tape::with_backend(backend);
         let vars: Vec<Var> = perturbed.iter().map(|t| tape.leaf(t.clone())).collect();
         let out = build(&mut tape, &vars);
         tape.value(out).get(0, 0)
@@ -81,14 +94,28 @@ pub fn check_gradients(
 /// # Panics
 /// Panics with a located diagnostic on failure.
 pub fn assert_grads_close(inputs: &[Tensor], build: impl Fn(&mut Tape, &[Var]) -> Var, tol: f32) {
-    let report = check_gradients(inputs, build, 1e-2);
+    assert_grads_close_with_backend(inputs, build, tol, default_backend());
+}
+
+/// [`assert_grads_close`] with the kernel backend pinned.
+///
+/// # Panics
+/// Panics with a located diagnostic (including the backend name) on failure.
+pub fn assert_grads_close_with_backend(
+    inputs: &[Tensor],
+    build: impl Fn(&mut Tape, &[Var]) -> Var,
+    tol: f32,
+    backend: BackendKind,
+) {
+    let report = check_gradients_with_backend(inputs, build, 1e-2, backend);
     assert!(
         report.max_violation < tol,
-        "gradient mismatch {:.3e} at input {} element {} (tol {:.1e})",
+        "gradient mismatch {:.3e} at input {} element {} (tol {:.1e}, backend {})",
         report.max_violation,
         report.worst.0,
         report.worst.1,
-        tol
+        tol,
+        backend.name()
     );
 }
 
@@ -119,6 +146,32 @@ mod tests {
             },
             2e-2,
         );
+    }
+
+    #[test]
+    fn matmul_chain_grads_on_every_backend() {
+        // The same forward build must grad-check on each kernel backend —
+        // this exercises every backend's nn/nt/tn paths (forward matmul +
+        // both backward GEMMs) against finite differences.
+        let mut r = rng();
+        let inputs = vec![
+            randn(9, 4, &mut r),
+            randn(4, 6, &mut r),
+            randn(9, 6, &mut r),
+        ];
+        for backend in BackendKind::all() {
+            assert_grads_close_with_backend(
+                &inputs,
+                |t, v| {
+                    let c = t.matmul(v[0], v[1]);
+                    let s = t.matmul_nt(c, v[2]);
+                    let sq = t.mul(s, s);
+                    t.sum(sq)
+                },
+                2e-2,
+                backend,
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,691 @@
+//! Packed, register-tiled forward GEMM backend.
+//!
+//! This is the PR-5 backward playbook applied to the forward pass. The
+//! [`Reference`] `A·B` kernel streams the whole output row through memory
+//! once per inner-dimension step (`n` loads + `n` stores per `p`); the
+//! kernel here instead computes an `MR × NR` output tile in registers —
+//! `MR` query rows share every load of a B panel row, and each of the
+//! `MR·NR` accumulators lives in a register for the full `k` sweep. B is
+//! repacked into contiguous `NR`-wide panels (one cache line per `p`)
+//! through the thread-local scratch arena in `pool.rs`, and the `k` loop
+//! is monomorphised for the paper-config hot inner dimensions
+//! (`d = 128` at paper scale, 64 and 32 for the small configs).
+//!
+//! ## Parity contract
+//!
+//! Per output element the tile kernel accumulates `a[i][p]·b[p][j]` in
+//! the same increasing-`p`, single-accumulator order as [`Reference`] —
+//! the differences are exactly two:
+//!
+//! 1. no `+0.0` skip: terms the reference kernel elides are summed here
+//!    (so where Reference produces NaN/∞, Optimized does too — it sums a
+//!    superset of the reference's terms);
+//! 2. accumulation into a non-zero `out` rounds once at the end
+//!    (`out += Σ terms`) instead of per term.
+//!
+//! Both effects are bounded by the standard GEMM error model — see the
+//! `backend_parity` proptests for the enforced tolerance. `A·Bᵀ`, `Aᵀ·B`
+//! and `dot` replicate the reference arithmetic element for element and
+//! stay bit-identical.
+//!
+//! ## Runtime SIMD dispatch
+//!
+//! The workspace compiles for baseline x86-64 (SSE2), so the wide-vector
+//! inner loops here are explicit intrinsics behind
+//! `is_x86_feature_detected!` probes — AVX-512F first, then AVX2, then a
+//! portable scalar body. Every SIMD variant vectorises **across output
+//! elements** (tile columns, dot lanes, axpy elements) and uses separate
+//! multiply and add — never FMA — so each element sees the identical
+//! correctly-rounded operation sequence: all variants of a kernel are
+//! bit-identical, and the parity contract holds on any host.
+
+use super::{dot, nonzero, KernelBackend, DOT_LANES, PAR_MATMUL_THRESHOLD, TN_BLOCK_BYTES};
+use crate::pool::with_pack_scratch;
+
+/// Packed, register-tiled forward-GEMM backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Optimized;
+
+/// Rows per register tile: each B-panel load is reused across `MR` rows.
+const MR: usize = 4;
+
+/// Columns per register tile / packed-panel width. On the SIMD paths the
+/// `MR × NR` accumulator tile is 4 ZMM (AVX-512) or 8 YMM (AVX2)
+/// registers — well inside the register file, no spills.
+const NR: usize = 16;
+
+/// Pack B only once there are enough output rows to amortise the extra
+/// pass over B (below this, the tile kernel reads B in place).
+const PACK_MIN_M: usize = 2 * MR;
+
+impl KernelBackend for Optimized {
+    fn name(&self) -> &'static str {
+        "optimized"
+    }
+
+    fn gemm_nn_acc(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        if m >= PACK_MIN_M {
+            let panels = n.div_ceil(NR);
+            with_pack_scratch(panels * k * NR, |packed| {
+                pack_b(k, n, b, packed);
+                nn_driver(m, k, n, a, BSource::Packed(packed), out);
+            });
+        } else {
+            nn_driver(m, k, n, a, BSource::Raw(b), out);
+        }
+    }
+
+    fn gemm_nt_acc(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let work = m * k * n;
+        if work >= PAR_MATMUL_THRESHOLD && m > 1 && rayon::current_num_threads() > 1 {
+            use rayon::prelude::*;
+            out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
+                nt_row(k, n, &a[i * k..(i + 1) * k], b, out_row);
+            });
+        } else {
+            for i in 0..m {
+                nt_row(
+                    k,
+                    n,
+                    &a[i * k..(i + 1) * k],
+                    b,
+                    &mut out[i * n..(i + 1) * n],
+                );
+            }
+        }
+    }
+
+    fn gemm_tn_acc(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        // Same algorithm as the reference tn kernel — identical `+0.0`
+        // skip, stripe sizing and increasing-`p` element order — with the
+        // rank-1 update routed through the runtime-SIMD axpy, so weight
+        // gradients stay bit-identical across backends.
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let work = m * k * n;
+        let threads = rayon::current_num_threads();
+        if work >= PAR_MATMUL_THRESHOLD && m > 1 && threads > 1 {
+            let cache_rows = (TN_BLOCK_BYTES / 4 / n.max(1)).max(1);
+            let stripe = m.div_ceil(threads).clamp(1, cache_rows);
+            tn_striped(m, k, n, a, b, out, stripe);
+        } else {
+            for p in 0..k {
+                let a_row = &a[p * m..(p + 1) * m];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (i, &av) in a_row.iter().enumerate() {
+                    if nonzero(av) {
+                        axpy_wide(av, b_row, &mut out[i * n..(i + 1) * n]);
+                    }
+                }
+            }
+        }
+    }
+
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        dot(a, b)
+    }
+}
+
+/// B operand view for the tile kernel: packed panels or the raw matrix.
+#[derive(Clone, Copy)]
+enum BSource<'a> {
+    /// Panel-major repack: panel `j` holds columns `j·NR ..`, element
+    /// `(p, c)` at `j·k·NR + p·NR + c`, short final panel zero-padded.
+    Packed(&'a [f32]),
+    /// Row-major B as handed to the kernel (small-`m` calls).
+    Raw(&'a [f32]),
+}
+
+fn pack_b(k: usize, n: usize, b: &[f32], packed: &mut [f32]) {
+    let panels = n.div_ceil(NR);
+    for panel in 0..panels {
+        let j0 = panel * NR;
+        let w = (n - j0).min(NR);
+        let dst = &mut packed[panel * k * NR..(panel + 1) * k * NR];
+        for p in 0..k {
+            let src = &b[p * n + j0..p * n + j0 + w];
+            let d = &mut dst[p * NR..(p + 1) * NR];
+            d[..w].copy_from_slice(src);
+            d[w..].fill(0.0);
+        }
+    }
+}
+
+fn nn_driver(m: usize, k: usize, n: usize, a: &[f32], b: BSource<'_>, out: &mut [f32]) {
+    let work = m * k * n;
+    let threads = rayon::current_num_threads();
+    if work >= PAR_MATMUL_THRESHOLD && m > MR && threads > 1 {
+        use rayon::prelude::*;
+        // Row bands are independent, so any MR-aligned split is
+        // deterministic and bit-identical to the serial sweep.
+        let rows_per = m.div_ceil(threads).div_ceil(MR) * MR;
+        out.par_chunks_mut(rows_per * n)
+            .enumerate()
+            .for_each(|(ci, out_chunk)| {
+                let i0 = ci * rows_per;
+                let rows_here = out_chunk.len() / n;
+                nn_block(
+                    k,
+                    n,
+                    &a[i0 * k..(i0 + rows_here) * k],
+                    rows_here,
+                    b,
+                    out_chunk,
+                );
+            });
+    } else {
+        nn_block(k, n, a, m, b, out);
+    }
+}
+
+/// Tiles `rows` output rows into `MR`-high bands.
+fn nn_block(
+    k: usize,
+    n: usize,
+    a_block: &[f32],
+    rows: usize,
+    b: BSource<'_>,
+    out_block: &mut [f32],
+) {
+    let mut i = 0;
+    while i < rows {
+        let mra = (rows - i).min(MR);
+        let a_sub = &a_block[i * k..(i + mra) * k];
+        let o_sub = &mut out_block[i * n..(i + mra) * n];
+        match mra {
+            4 => row_band::<4>(k, n, a_sub, b, o_sub),
+            3 => row_band::<3>(k, n, a_sub, b, o_sub),
+            2 => row_band::<2>(k, n, a_sub, b, o_sub),
+            _ => row_band::<1>(k, n, a_sub, b, o_sub),
+        }
+        i += mra;
+    }
+}
+
+/// One `MRA`-row band: sweeps the NR-wide panels of B.
+fn row_band<const MRA: usize>(
+    k: usize,
+    n: usize,
+    a_sub: &[f32],
+    b: BSource<'_>,
+    o_sub: &mut [f32],
+) {
+    match b {
+        BSource::Packed(packed) => {
+            let mut j0 = 0;
+            let mut panel = 0;
+            while j0 < n {
+                let w = (n - j0).min(NR);
+                let bp = &packed[panel * k * NR..(panel + 1) * k * NR];
+                micro::<MRA>(k, a_sub, bp, NR, o_sub, n, j0, w);
+                j0 += NR;
+                panel += 1;
+            }
+        }
+        BSource::Raw(raw) => {
+            let mut j0 = 0;
+            while j0 + NR <= n {
+                micro::<MRA>(k, a_sub, &raw[j0..], n, o_sub, n, j0, NR);
+                j0 += NR;
+            }
+            // Ragged tail columns: plain single-accumulator dots, still
+            // increasing-`p` order.
+            for j in j0..n {
+                for r in 0..MRA {
+                    let a_row = &a_sub[r * k..(r + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (p, &av) in a_row.iter().enumerate() {
+                        acc += av * raw[p * n + j];
+                    }
+                    o_sub[r * n + j] += acc;
+                }
+            }
+        }
+    }
+}
+
+/// `MRA × NR` register tile, dispatching to a fixed-`k` instantiation for
+/// the hot inner dimensions (paper `d = 128`; 64/32 for small configs).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro<const MRA: usize>(
+    k: usize,
+    a_sub: &[f32],
+    b_panel: &[f32],
+    b_stride: usize,
+    o_sub: &mut [f32],
+    n: usize,
+    j0: usize,
+    w: usize,
+) {
+    match k {
+        32 => micro_k::<MRA, 32>(a_sub, b_panel, b_stride, o_sub, n, j0, w),
+        64 => micro_k::<MRA, 64>(a_sub, b_panel, b_stride, o_sub, n, j0, w),
+        128 => micro_k::<MRA, 128>(a_sub, b_panel, b_stride, o_sub, n, j0, w),
+        _ => micro_dyn::<MRA>(k, a_sub, b_panel, b_stride, o_sub, n, j0, w),
+    }
+}
+
+#[inline(always)]
+fn micro_k<const MRA: usize, const K: usize>(
+    a_sub: &[f32],
+    b_panel: &[f32],
+    b_stride: usize,
+    o_sub: &mut [f32],
+    n: usize,
+    j0: usize,
+    w: usize,
+) {
+    micro_dyn::<MRA>(K, a_sub, b_panel, b_stride, o_sub, n, j0, w)
+}
+
+/// The tile body: every output element keeps a single register
+/// accumulator swept over increasing `p` — the reference accumulation
+/// order, minus the `+0.0` skip.
+///
+/// The accumulator fill dispatches at runtime to an AVX-512F or AVX2
+/// variant when the CPU has one (the compile target is baseline x86-64,
+/// so the compiler cannot emit wide vectors on its own). The SIMD
+/// variants vectorise **across the `NR` output columns** and use separate
+/// multiply and add (never FMA), so each output element sees exactly the
+/// scalar sequence `acc += a[i][p] · b[p][j]` in increasing-`p` order —
+/// all three fills are bit-identical, on NaN and subnormal inputs too.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_dyn<const MRA: usize>(
+    k: usize,
+    a_sub: &[f32],
+    b_panel: &[f32],
+    b_stride: usize,
+    o_sub: &mut [f32],
+    n: usize,
+    j0: usize,
+    w: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MRA];
+    fill_tile::<MRA>(k, a_sub, b_panel, b_stride, &mut acc);
+    for (r, lanes) in acc.iter().enumerate() {
+        let o_row = &mut o_sub[r * n + j0..r * n + j0 + w];
+        for (o, &v) in o_row.iter_mut().zip(&lanes[..w]) {
+            *o += v;
+        }
+    }
+}
+
+/// Fills the `MRA × NR` accumulator tile, dispatching on the widest
+/// vector extension the CPU reports (`is_x86_feature_detected!` caches
+/// the CPUID probe in a static, so the steady-state cost is one relaxed
+/// atomic load per tile).
+#[inline(always)]
+fn fill_tile<const MRA: usize>(
+    k: usize,
+    a_sub: &[f32],
+    b_panel: &[f32],
+    b_stride: usize,
+    acc: &mut [[f32; NR]; MRA],
+) {
+    debug_assert!(a_sub.len() >= MRA * k);
+    debug_assert!(k == 0 || b_panel.len() >= (k - 1) * b_stride + NR);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: feature probed above; slice bounds asserted above
+            // (every `p` reads `NR` floats at `p · b_stride`).
+            unsafe { fill_tile_avx512::<MRA>(k, a_sub, b_panel, b_stride, acc) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: as above.
+            unsafe { fill_tile_avx2::<MRA>(k, a_sub, b_panel, b_stride, acc) };
+            return;
+        }
+    }
+    fill_tile_scalar::<MRA>(k, a_sub, b_panel, b_stride, acc);
+}
+
+/// Portable fill: single accumulator per element, increasing `p`.
+#[inline(always)]
+fn fill_tile_scalar<const MRA: usize>(
+    k: usize,
+    a_sub: &[f32],
+    b_panel: &[f32],
+    b_stride: usize,
+    acc: &mut [[f32; NR]; MRA],
+) {
+    for p in 0..k {
+        let bp = &b_panel[p * b_stride..p * b_stride + NR];
+        for r in 0..MRA {
+            let av = a_sub[r * k + p];
+            for l in 0..NR {
+                acc[r][l] += av * bp[l];
+            }
+        }
+    }
+}
+
+/// AVX-512F fill: one ZMM accumulator per tile row (`NR = 16` lanes),
+/// broadcast `a`, separate `mul`/`add` — lane `l` of row `r` performs the
+/// scalar fill's exact operation sequence for element `(r, l)`.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX-512F, `a_sub` holds
+/// `MRA · k` floats and `b_panel` holds `(k-1) · b_stride + NR`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn fill_tile_avx512<const MRA: usize>(
+    k: usize,
+    a_sub: &[f32],
+    b_panel: &[f32],
+    b_stride: usize,
+    acc: &mut [[f32; NR]; MRA],
+) {
+    use std::arch::x86_64::*;
+    let ap = a_sub.as_ptr();
+    let bp = b_panel.as_ptr();
+    let mut va = [_mm512_setzero_ps(); MRA];
+    for p in 0..k {
+        let b = _mm512_loadu_ps(bp.add(p * b_stride));
+        for (r, v) in va.iter_mut().enumerate() {
+            let a = _mm512_set1_ps(*ap.add(r * k + p));
+            *v = _mm512_add_ps(*v, _mm512_mul_ps(a, b));
+        }
+    }
+    for (r, v) in va.iter().enumerate() {
+        _mm512_storeu_ps(acc[r].as_mut_ptr(), *v);
+    }
+}
+
+/// AVX2 fill: two YMM accumulators per tile row, same contract as
+/// [`fill_tile_avx512`].
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2, `a_sub` holds `MRA · k`
+/// floats and `b_panel` holds `(k-1) · b_stride + NR`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fill_tile_avx2<const MRA: usize>(
+    k: usize,
+    a_sub: &[f32],
+    b_panel: &[f32],
+    b_stride: usize,
+    acc: &mut [[f32; NR]; MRA],
+) {
+    use std::arch::x86_64::*;
+    let ap = a_sub.as_ptr();
+    let bp = b_panel.as_ptr();
+    let mut lo = [_mm256_setzero_ps(); MRA];
+    let mut hi = [_mm256_setzero_ps(); MRA];
+    for p in 0..k {
+        let b0 = _mm256_loadu_ps(bp.add(p * b_stride));
+        let b1 = _mm256_loadu_ps(bp.add(p * b_stride + 8));
+        for r in 0..MRA {
+            let a = _mm256_set1_ps(*ap.add(r * k + p));
+            lo[r] = _mm256_add_ps(lo[r], _mm256_mul_ps(a, b0));
+            hi[r] = _mm256_add_ps(hi[r], _mm256_mul_ps(a, b1));
+        }
+    }
+    for r in 0..MRA {
+        _mm256_storeu_ps(acc[r].as_mut_ptr(), lo[r]);
+        _mm256_storeu_ps(acc[r].as_mut_ptr().add(8), hi[r]);
+    }
+}
+
+/// One `A·Bᵀ` output row: 4 key rows at a time share every load of the
+/// query row, each element reproducing the shared [`dot`] arithmetic
+/// bit-for-bit (same lane split, same summation order).
+fn nt_row(k: usize, n: usize, a_row: &[f32], b: &[f32], out_row: &mut [f32]) {
+    if k < DOT_LANES {
+        // Below one lane chunk the shared dot is all tail; the 4-wide
+        // tile would only pay accumulator setup for nothing.
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o += dot(a_row, &b[j * k..(j + 1) * k]);
+        }
+        return;
+    }
+    let mut j = 0;
+    while j + 4 <= n {
+        let d = dot4(
+            a_row,
+            &b[j * k..(j + 1) * k],
+            &b[(j + 1) * k..(j + 2) * k],
+            &b[(j + 2) * k..(j + 3) * k],
+            &b[(j + 3) * k..(j + 4) * k],
+        );
+        for (o, &v) in out_row[j..j + 4].iter_mut().zip(&d) {
+            *o += v;
+        }
+        j += 4;
+    }
+    for jj in j..n {
+        out_row[jj] += dot(a_row, &b[jj * k..(jj + 1) * k]);
+    }
+}
+
+/// Four lane-split dots sharing the `a` loads. Each result is bit-equal
+/// to `dot(a, b_i)`: identical chunking, lane order and tail handling.
+/// Dispatches to a SIMD variant at runtime — the `DOT_LANES = 16` lane
+/// accumulators map onto one ZMM (or two YMM) per key row, and the
+/// sequential lane fold and scalar tail are shared, so all variants
+/// reproduce the scalar [`dot`] bit for bit.
+#[inline]
+fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    let mut acc = [[0.0f32; DOT_LANES]; 4];
+    fill_dot4_lanes(a, [b0, b1, b2, b3], &mut acc);
+    let k = a.len();
+    let tail = k - k % DOT_LANES;
+    let bs = [b0, b1, b2, b3];
+    let mut out = [0.0f32; 4];
+    for (r, o) in out.iter_mut().enumerate() {
+        let mut sum = 0.0f32;
+        for &lane in &acc[r] {
+            sum += lane;
+        }
+        for p in tail..k {
+            sum += a[p] * bs[r][p];
+        }
+        *o = sum;
+    }
+    out
+}
+
+/// Accumulates the full-chunk portion of [`dot4`] into per-row lane
+/// accumulators, picking the widest vector extension available.
+#[inline(always)]
+fn fill_dot4_lanes(a: &[f32], bs: [&[f32]; 4], acc: &mut [[f32; DOT_LANES]; 4]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: feature probed; `nt_row` hands equal-length slices.
+            unsafe { fill_dot4_lanes_avx512(a, bs, acc) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: as above.
+            unsafe { fill_dot4_lanes_avx2(a, bs, acc) };
+            return;
+        }
+    }
+    fill_dot4_lanes_scalar(a, bs, acc);
+}
+
+/// Portable lane fill — the reference [`dot`] chunk arithmetic, four
+/// key rows wide.
+#[inline(always)]
+fn fill_dot4_lanes_scalar(a: &[f32], bs: [&[f32]; 4], acc: &mut [[f32; DOT_LANES]; 4]) {
+    let chunks = a.len() / DOT_LANES;
+    for ci in 0..chunks {
+        let base = ci * DOT_LANES;
+        for l in 0..DOT_LANES {
+            let av = a[base + l];
+            for (r, b) in bs.iter().enumerate() {
+                acc[r][l] += av * b[base + l];
+            }
+        }
+    }
+}
+
+/// AVX-512F lane fill: one ZMM accumulator per key row, separate
+/// `mul`/`add` — lane `l` repeats the scalar fill's operation sequence.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX-512F and every slice in `bs`
+/// is at least as long as `a`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn fill_dot4_lanes_avx512(a: &[f32], bs: [&[f32]; 4], acc: &mut [[f32; DOT_LANES]; 4]) {
+    use std::arch::x86_64::*;
+    let chunks = a.len() / DOT_LANES;
+    let ap = a.as_ptr();
+    let mut va = [_mm512_setzero_ps(); 4];
+    for ci in 0..chunks {
+        let base = ci * DOT_LANES;
+        let av = _mm512_loadu_ps(ap.add(base));
+        for (r, v) in va.iter_mut().enumerate() {
+            let b = _mm512_loadu_ps(bs[r].as_ptr().add(base));
+            *v = _mm512_add_ps(*v, _mm512_mul_ps(av, b));
+        }
+    }
+    for (r, v) in va.iter().enumerate() {
+        _mm512_storeu_ps(acc[r].as_mut_ptr(), *v);
+    }
+}
+
+/// AVX2 lane fill: two YMM accumulators per key row, same contract as
+/// [`fill_dot4_lanes_avx512`].
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and every slice in `bs` is
+/// at least as long as `a`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fill_dot4_lanes_avx2(a: &[f32], bs: [&[f32]; 4], acc: &mut [[f32; DOT_LANES]; 4]) {
+    use std::arch::x86_64::*;
+    let chunks = a.len() / DOT_LANES;
+    let ap = a.as_ptr();
+    let mut lo = [_mm256_setzero_ps(); 4];
+    let mut hi = [_mm256_setzero_ps(); 4];
+    for ci in 0..chunks {
+        let base = ci * DOT_LANES;
+        let a0 = _mm256_loadu_ps(ap.add(base));
+        let a1 = _mm256_loadu_ps(ap.add(base + 8));
+        for r in 0..4 {
+            let b0 = _mm256_loadu_ps(bs[r].as_ptr().add(base));
+            let b1 = _mm256_loadu_ps(bs[r].as_ptr().add(base + 8));
+            lo[r] = _mm256_add_ps(lo[r], _mm256_mul_ps(a0, b0));
+            hi[r] = _mm256_add_ps(hi[r], _mm256_mul_ps(a1, b1));
+        }
+    }
+    for r in 0..4 {
+        _mm256_storeu_ps(acc[r].as_mut_ptr(), lo[r]);
+        _mm256_storeu_ps(acc[r].as_mut_ptr().add(8), hi[r]);
+    }
+}
+
+/// Column-striped tn body — the reference stripe walk with the rank-1
+/// update swapped for [`axpy_wide`]; element order (increasing `p`,
+/// single accumulator in `out`) is unchanged, so results are
+/// bit-identical for any stripe width or thread count.
+fn tn_striped(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32], stripe: usize) {
+    use rayon::prelude::*;
+    out.par_chunks_mut(stripe * n)
+        .enumerate()
+        .for_each(|(chunk_idx, out_block)| {
+            let i0 = chunk_idx * stripe;
+            let rows_here = out_block.len() / n;
+            for p in 0..k {
+                let a_row = &a[p * m..(p + 1) * m];
+                let b_row = &b[p * n..(p + 1) * n];
+                let a_stripe = a_row[i0..i0 + rows_here].iter();
+                for (&av, out_row) in a_stripe.zip(out_block.chunks_mut(n)) {
+                    if nonzero(av) {
+                        axpy_wide(av, b_row, out_row);
+                    }
+                }
+            }
+        });
+}
+
+/// `y += alpha · x` with runtime SIMD dispatch. Every element performs
+/// exactly one `mul` and one `add` in place, so all variants are
+/// bit-identical to the shared scalar [`super::axpy`].
+#[inline(always)]
+fn axpy_wide(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    #[cfg(target_arch = "x86_64")]
+    if x.len() >= 16 {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: feature probed; equal lengths asserted above.
+            unsafe { axpy_avx512(alpha, x, y) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: as above.
+            unsafe { axpy_avx2(alpha, x, y) };
+            return;
+        }
+    }
+    super::axpy(alpha, x, y);
+}
+
+/// AVX-512F rank-1 update body.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX-512F and `x.len() == y.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn axpy_avx512(alpha: f32, x: &[f32], y: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = x.len();
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let av = _mm512_set1_ps(alpha);
+    let mut j = 0;
+    while j + 16 <= n {
+        let yv = _mm512_loadu_ps(yp.add(j));
+        let xv = _mm512_loadu_ps(xp.add(j));
+        _mm512_storeu_ps(yp.add(j), _mm512_add_ps(yv, _mm512_mul_ps(av, xv)));
+        j += 16;
+    }
+    while j < n {
+        *yp.add(j) += alpha * *xp.add(j);
+        j += 1;
+    }
+}
+
+/// AVX2 rank-1 update body.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and `x.len() == y.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(alpha: f32, x: &[f32], y: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = x.len();
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let av = _mm256_set1_ps(alpha);
+    let mut j = 0;
+    while j + 8 <= n {
+        let yv = _mm256_loadu_ps(yp.add(j));
+        let xv = _mm256_loadu_ps(xp.add(j));
+        _mm256_storeu_ps(yp.add(j), _mm256_add_ps(yv, _mm256_mul_ps(av, xv)));
+        j += 8;
+    }
+    while j < n {
+        *yp.add(j) += alpha * *xp.add(j);
+        j += 1;
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use crate::kernels::BackendKind;
 use crate::pool::BufferPool;
 use crate::sparse::CsrMatrix;
 use crate::tape::Var;
@@ -217,7 +218,8 @@ fn grad_slot<'a>(
 ///
 /// `values[i]` is the forward value of tape node `i`; `out_value` is this
 /// node's own forward value (several rules reuse it — softmax, tanh, L2).
-/// Gradient buffers and scratch tensors are drawn from `pool`.
+/// Gradient buffers and scratch tensors are drawn from `pool`; dense GEMM
+/// rules dispatch through the tape's selected kernel `backend`.
 pub(crate) fn backward_step(
     op: &Op,
     out_value: &Tensor,
@@ -225,6 +227,7 @@ pub(crate) fn backward_step(
     values: &[Tensor],
     grads: &mut [Option<Tensor>],
     pool: &mut BufferPool,
+    backend: BackendKind,
 ) {
     match op {
         Op::Leaf => {}
@@ -232,18 +235,18 @@ pub(crate) fn backward_step(
             let (ra, ca) = values[a.index()].shape();
             let (rb, cb) = values[b.index()].shape();
             let ga = grad_slot(grads, pool, *a, ra, ca);
-            grad_out.matmul_nt_acc(&values[b.index()], ga);
+            grad_out.matmul_nt_acc_with(&values[b.index()], ga, backend);
             let gb = grad_slot(grads, pool, *b, rb, cb);
-            values[a.index()].matmul_tn_acc(grad_out, gb);
+            values[a.index()].matmul_tn_acc_with(grad_out, gb, backend);
         }
         Op::MatMulNt(a, b) => {
             // C = A·Bᵀ ⇒ dA = G·B, dB = Gᵀ·A.
             let (ra, ca) = values[a.index()].shape();
             let (rb, cb) = values[b.index()].shape();
             let ga = grad_slot(grads, pool, *a, ra, ca);
-            grad_out.matmul_acc(&values[b.index()], ga);
+            grad_out.matmul_acc_with(&values[b.index()], ga, backend);
             let gb = grad_slot(grads, pool, *b, rb, cb);
-            grad_out.matmul_tn_acc(&values[a.index()], gb);
+            grad_out.matmul_tn_acc_with(&values[a.index()], gb, backend);
         }
         Op::Add(a, b) => {
             let (r, c) = grad_out.shape();

@@ -14,9 +14,41 @@
 //! per shape ([`MAX_BUFFERS_PER_SHAPE`]) — recycling beyond the cap drops
 //! the buffer, so a pathological shape mix cannot leak memory.
 
+use std::cell::RefCell;
+
 use rustc_hash::FxHashMap;
 
 use crate::tensor::Tensor;
+
+thread_local! {
+    /// Per-thread packing scratch for the optimized GEMM backend (see
+    /// [`with_pack_scratch`]). One buffer per thread, grown to the high
+    ///-water mark and reused for the life of the thread.
+    static PACK_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a thread-local `len`-element scratch slice.
+///
+/// This is the kernel backends' side of the buffer-reuse story: gradient
+/// tensors cycle through the shape-keyed [`BufferPool`] on the tape, while
+/// the packed-GEMM B panels — which live only for the duration of one
+/// kernel call and have a per-thread lifetime, not a per-tape one — reuse
+/// this thread-local arena. Together a steady-state training step performs
+/// zero kernel-side allocations.
+///
+/// The slice is **not** zeroed between calls; callers must overwrite every
+/// element they read. Nested calls on one thread would double-borrow and
+/// panic — kernels never recurse into themselves, so this is a programming
+/// error, not a runtime condition.
+pub(crate) fn with_pack_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    PACK_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        f(&mut buf[..len])
+    })
+}
 
 /// Free-list cap per distinct shape; recycles beyond it are dropped.
 ///

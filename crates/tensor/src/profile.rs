@@ -125,7 +125,7 @@ impl TapeProfiler {
         agg.bwd_allocs += allocs;
     }
 
-    pub(crate) fn report(&self) -> ProfileReport {
+    pub(crate) fn report(&self, backend: &'static str) -> ProfileReport {
         let mut ops = Vec::new();
         let (mut fwd_total, mut bwd_total) = (0u64, 0u64);
         for (kind, agg) in self.aggs.iter().enumerate() {
@@ -147,6 +147,7 @@ impl TapeProfiler {
             shape.push_str(&format!("{}×{}", agg.last_out.0, agg.last_out.1));
             ops.push(OpProfile {
                 name: kind_name(kind),
+                backend,
                 count: agg.count,
                 fwd_nanos: agg.fwd_nanos,
                 bwd_nanos: agg.bwd_nanos,
@@ -204,6 +205,10 @@ fn kind_name(kind: usize) -> &'static str {
 pub struct OpProfile {
     /// Op kind name (matches [`Op::name`]).
     pub name: &'static str,
+    /// Kernel backend the producing tape dispatched through
+    /// ([`crate::BackendKind::name`]) — lets merged fig4/profile tables
+    /// attribute forward time to the backend that actually ran it.
+    pub backend: &'static str,
     /// Number of forward executions.
     pub count: u64,
     /// Total forward self-time, nanoseconds.
@@ -249,13 +254,18 @@ impl ProfileReport {
         self.ops.iter().map(|o| o.flops).sum()
     }
 
-    /// Folds another report into this one (kinds matched by name; shapes
-    /// keep the other report's most recent occurrence).
+    /// Folds another report into this one (kinds matched by name **and**
+    /// backend — rows from tapes on different kernel backends stay
+    /// separate; shapes keep the other report's most recent occurrence).
     pub fn merge(&mut self, other: &ProfileReport) {
         self.fwd_nanos_total += other.fwd_nanos_total;
         self.bwd_nanos_total += other.bwd_nanos_total;
         for o in &other.ops {
-            if let Some(mine) = self.ops.iter_mut().find(|m| m.name == o.name) {
+            if let Some(mine) = self
+                .ops
+                .iter_mut()
+                .find(|m| m.name == o.name && m.backend == o.backend)
+            {
                 mine.count += o.count;
                 mine.fwd_nanos += o.fwd_nanos;
                 mine.bwd_nanos += o.bwd_nanos;
@@ -286,8 +296,9 @@ impl ProfileReport {
     pub fn render_table(&self, k: usize) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<24} {:>8} {:>12} {:>12} {:>10} {:>14} {:>10} {:>10}  {}\n",
+            "{:<24} {:<10} {:>8} {:>12} {:>12} {:>10} {:>14} {:>10} {:>10}  {}\n",
             "op",
+            "backend",
             "count",
             "fwd_ms",
             "bwd_ms",
@@ -300,8 +311,9 @@ impl ProfileReport {
         let grand = (self.fwd_nanos_total + self.bwd_nanos_total).max(1) as f64;
         for o in self.top_k(k) {
             out.push_str(&format!(
-                "{:<24} {:>8} {:>12.3} {:>12.3} {:>9.1}% {:>14.3} {:>10} {:>10}  {}\n",
+                "{:<24} {:<10} {:>8} {:>12.3} {:>12.3} {:>9.1}% {:>14.3} {:>10} {:>10}  {}\n",
                 o.name,
+                o.backend,
                 o.count,
                 o.fwd_nanos as f64 / 1e6,
                 o.bwd_nanos as f64 / 1e6,
@@ -329,6 +341,7 @@ mod tests {
     fn sample(name: &'static str, fwd: u64, bwd: u64) -> OpProfile {
         OpProfile {
             name,
+            backend: "reference",
             count: 1,
             fwd_nanos: fwd,
             bwd_nanos: bwd,
@@ -372,6 +385,35 @@ mod tests {
         assert_eq!(mm.count, 2);
         assert_eq!(mm.fwd_nanos, 15);
         assert_eq!(mm.bwd_nanos, 25);
+    }
+
+    #[test]
+    fn merge_keeps_backends_as_separate_rows() {
+        let mut a = ProfileReport {
+            ops: vec![sample("matmul", 10, 20)],
+            fwd_nanos_total: 10,
+            bwd_nanos_total: 20,
+        };
+        let mut opt = sample("matmul", 5, 5);
+        opt.backend = "optimized";
+        let b = ProfileReport {
+            ops: vec![opt],
+            fwd_nanos_total: 5,
+            bwd_nanos_total: 5,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a.ops.len(),
+            2,
+            "same op on different backends must not merge"
+        );
+        let reference = a.ops.iter().find(|o| o.backend == "reference").unwrap();
+        assert_eq!(reference.fwd_nanos, 10);
+        let optimized = a.ops.iter().find(|o| o.backend == "optimized").unwrap();
+        assert_eq!(optimized.fwd_nanos, 5);
+        let table = a.render_table(4);
+        assert!(table.contains("backend"));
+        assert!(table.contains("optimized"));
     }
 
     #[test]

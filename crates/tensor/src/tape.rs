@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::kernels::{default_backend, BackendKind};
 use crate::op::{backward_step, Op};
 use crate::pool::{BufferPool, PoolStats};
 use crate::profile::{ProfileReport, TapeProfiler};
@@ -44,19 +45,56 @@ impl Var {
 /// zero gradient allocations. Move the pool between the short-lived
 /// per-step tapes with [`Tape::take_pool`] / [`Tape::install_pool`] to
 /// carry the warm free lists across steps.
-#[derive(Default)]
+///
+/// Every dense matmul the tape records — forward and backward — runs on
+/// the tape's kernel backend ([`Tape::set_backend`]), which defaults to
+/// the process-wide [`default_backend`]. Set it before recording ops; the
+/// profiler labels a tape's whole report with one backend.
 pub struct Tape {
     ops: Vec<Op>,
     values: Vec<Tensor>,
     grads: Vec<Option<Tensor>>,
     profiler: Option<Box<TapeProfiler>>,
     pool: BufferPool,
+    backend: BackendKind,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self {
+            ops: Vec::new(),
+            values: Vec::new(),
+            grads: Vec::new(),
+            profiler: None,
+            pool: BufferPool::default(),
+            backend: default_backend(),
+        }
+    }
 }
 
 impl Tape {
-    /// An empty tape.
+    /// An empty tape on the process-default kernel backend.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty tape pinned to an explicit kernel backend.
+    pub fn with_backend(backend: BackendKind) -> Self {
+        Self {
+            backend,
+            ..Self::default()
+        }
+    }
+
+    /// Switches the kernel backend used by subsequently recorded ops (and
+    /// by [`Tape::backward`]). Call before building the forward pass.
+    pub fn set_backend(&mut self, backend: BackendKind) {
+        self.backend = backend;
+    }
+
+    /// The kernel backend this tape dispatches dense matmuls to.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     /// Number of recorded nodes.
@@ -125,8 +163,9 @@ impl Tape {
     /// Extracts the profile recorded so far, leaving profiling enabled with
     /// fresh counters. `None` if profiling was never enabled.
     pub fn take_profile(&mut self) -> Option<ProfileReport> {
+        let backend = self.backend.name();
         self.profiler.as_mut().map(|p| {
-            let report = p.report();
+            let report = p.report(backend);
             **p = TapeProfiler::default();
             report
         })
@@ -183,14 +222,14 @@ impl Tape {
     /// `A · B`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let t0 = self.prof_start();
-        let value = self.value(a).matmul(self.value(b));
+        let value = self.value(a).matmul_with(self.value(b), self.backend);
         self.push_prof(Op::MatMul(a, b), value, t0)
     }
 
     /// `A · Bᵀ`.
     pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
         let t0 = self.prof_start();
-        let value = self.value(a).matmul_nt(self.value(b));
+        let value = self.value(a).matmul_nt_with(self.value(b), self.backend);
         self.push_prof(Op::MatMulNt(a, b), value, t0)
     }
 
@@ -474,6 +513,7 @@ impl Tape {
                 &self.values,
                 &mut self.grads,
                 &mut self.pool,
+                self.backend,
             );
             if let Some(t0) = t0 {
                 let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);

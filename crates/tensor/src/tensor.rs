@@ -3,6 +3,8 @@
 use rand::Rng;
 use rand_distr::{Distribution, StandardNormal};
 
+use crate::kernels::{axpy, default_backend, dot, BackendKind};
+
 /// A dense, row-major matrix of `f32`.
 ///
 /// All values in the WIDEN model are 2-D: node embeddings are `1 × d` row
@@ -192,31 +194,37 @@ impl Tensor {
         self.row_mut(r).copy_from_slice(src);
     }
 
-    /// Matrix product `self · other`.
-    ///
-    /// Uses an i-k-j loop order (good cache behaviour for row-major data)
-    /// and parallelises over output rows via rayon once the work is large
-    /// enough to amortise the fork-join overhead.
+    /// Matrix product `self · other` on the process-default backend
+    /// ([`crate::default_backend`]).
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.matmul_with(other, default_backend())
+    }
+
+    /// Matrix product `self · other` on an explicit kernel backend.
+    pub fn matmul_with(&self, other: &Tensor, backend: BackendKind) -> Tensor {
         let mut out = Tensor::zeros(self.rows, other.cols);
-        self.matmul_acc(other, &mut out);
+        self.matmul_acc_with(other, &mut out, backend);
         out
     }
 
-    /// Accumulating matrix product: `out += self · other`.
+    /// Accumulating matrix product: `out += self · other` on the
+    /// process-default backend.
     ///
     /// The kernel behind [`Tensor::matmul`]; calling it directly lets
     /// backward passes accumulate into an existing gradient buffer instead
-    /// of allocating a product and adding it in a second sweep. Per-row
-    /// accumulation order is identical to `matmul` on a zeroed output, so
-    /// results are independent of the thread count.
+    /// of allocating a product and adding it in a second sweep.
     ///
     /// # Panics
     /// Panics on inner-dimension or output-shape mismatch.
     pub fn matmul_acc(&self, other: &Tensor, out: &mut Tensor) {
+        self.matmul_acc_with(other, out, default_backend());
+    }
+
+    /// [`Tensor::matmul_acc`] on an explicit kernel backend.
+    pub fn matmul_acc_with(&self, other: &Tensor, out: &mut Tensor, backend: BackendKind) {
         assert_eq!(
             self.cols,
             other.rows,
@@ -226,31 +234,24 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         assert_eq!(out.shape(), (m, n), "matmul_acc output shape mismatch");
-        let work = m * k * n;
-        if work >= PAR_MATMUL_THRESHOLD && m > 1 && rayon::current_num_threads() > 1 {
-            use rayon::prelude::*;
-            out.data
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(i, out_row)| {
-                    matmul_row(self.row(i), &other.data, n, out_row);
-                });
-        } else {
-            for i in 0..m {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                matmul_row(a_row, &other.data, n, out_row);
-            }
-        }
+        backend
+            .dispatch()
+            .gemm_nn_acc(m, k, n, &self.data, &other.data, &mut out.data);
     }
 
-    /// Matrix product with transposed right operand: `self · otherᵀ`.
+    /// Matrix product with transposed right operand: `self · otherᵀ`, on
+    /// the process-default backend.
     ///
     /// This is the attention-score kernel `Q · Kᵀ`; computing it directly
     /// avoids materialising the transpose.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        self.matmul_nt_with(other, default_backend())
+    }
+
+    /// [`Tensor::matmul_nt`] on an explicit kernel backend.
+    pub fn matmul_nt_with(&self, other: &Tensor, backend: BackendKind) -> Tensor {
         let mut out = Tensor::zeros(self.rows, other.rows);
-        self.matmul_nt_acc(other, &mut out);
+        self.matmul_nt_acc_with(other, &mut out, backend);
         out
     }
 
@@ -261,6 +262,11 @@ impl Tensor {
     /// # Panics
     /// Panics on width or output-shape mismatch.
     pub fn matmul_nt_acc(&self, other: &Tensor, out: &mut Tensor) {
+        self.matmul_nt_acc_with(other, out, default_backend());
+    }
+
+    /// [`Tensor::matmul_nt_acc`] on an explicit kernel backend.
+    pub fn matmul_nt_acc_with(&self, other: &Tensor, out: &mut Tensor, backend: BackendKind) {
         assert_eq!(
             self.cols,
             other.cols,
@@ -270,38 +276,25 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
         assert_eq!(out.shape(), (m, n), "matmul_nt_acc output shape mismatch");
-        let work = m * k * n;
-        if work >= PAR_MATMUL_THRESHOLD && m > 1 && rayon::current_num_threads() > 1 {
-            use rayon::prelude::*;
-            out.data
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(i, out_row)| {
-                    let a_row = self.row(i);
-                    for (j, o) in out_row.iter_mut().enumerate() {
-                        *o += dot(a_row, other.row(j));
-                    }
-                });
-        } else {
-            let a_rows = self.data.chunks_exact(k.max(1));
-            let out_rows = out.data.chunks_exact_mut(n.max(1));
-            for (a_row, out_row) in a_rows.zip(out_rows) {
-                let b_rows = other.data.chunks_exact(k.max(1));
-                for (o, b_row) in out_row.iter_mut().zip(b_rows) {
-                    *o += dot(a_row, b_row);
-                }
-            }
-        }
+        backend
+            .dispatch()
+            .gemm_nt_acc(m, k, n, &self.data, &other.data, &mut out.data);
     }
 
-    /// Matrix product with transposed left operand: `selfᵀ · other`.
+    /// Matrix product with transposed left operand: `selfᵀ · other`, on
+    /// the process-default backend.
     ///
     /// This is the gradient kernel `Aᵀ · G` used throughout backward
     /// passes. Bit-identical to `self.transpose().matmul(other)` for every
     /// thread count — see [`Tensor::matmul_tn_acc`].
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        self.matmul_tn_with(other, default_backend())
+    }
+
+    /// [`Tensor::matmul_tn`] on an explicit kernel backend.
+    pub fn matmul_tn_with(&self, other: &Tensor, backend: BackendKind) -> Tensor {
         let mut out = Tensor::zeros(self.cols, other.cols);
-        self.matmul_tn_acc(other, &mut out);
+        self.matmul_tn_acc_with(other, &mut out, backend);
         out
     }
 
@@ -309,20 +302,21 @@ impl Tensor {
     /// `out += selfᵀ · other` — the weight-gradient kernel of the backward
     /// pass, accumulating straight into the gradient buffer.
     ///
-    /// Parallelises by **column striping**: the output rows (columns of
-    /// `self`) are split into contiguous stripes, one rayon task per
-    /// stripe, and every stripe walks the shared `k` dimension in
-    /// increasing order. Each output element therefore accumulates its
-    /// rank-1 terms in exactly the serial order, so results are
-    /// bit-identical to the single-threaded kernel — and to
-    /// `transpose().matmul(other)`, whose i-k-j loop visits `k` in the
-    /// same order — regardless of thread count. Stripes are additionally
-    /// sized so a stripe's output block stays cache-resident while `self`
-    /// and `other` rows stream through.
+    /// Both backends share one `tn` kernel (see
+    /// `kernels::reference::gemm_tn_acc_striped`): column-striped rayon
+    /// parallelism where every stripe walks the shared `k` dimension in
+    /// increasing order, so results are bit-identical to the
+    /// single-threaded kernel — and to `transpose().matmul(other)` on the
+    /// reference backend — regardless of thread count.
     ///
     /// # Panics
     /// Panics on row-count or output-shape mismatch.
     pub fn matmul_tn_acc(&self, other: &Tensor, out: &mut Tensor) {
+        self.matmul_tn_acc_with(other, out, default_backend());
+    }
+
+    /// [`Tensor::matmul_tn_acc`] on an explicit kernel backend.
+    pub fn matmul_tn_acc_with(&self, other: &Tensor, out: &mut Tensor, backend: BackendKind) {
         assert_eq!(
             self.rows,
             other.rows,
@@ -332,62 +326,9 @@ impl Tensor {
         );
         let (m, k, n) = (self.cols, self.rows, other.cols);
         assert_eq!(out.shape(), (m, n), "matmul_tn_acc output shape mismatch");
-        if m == 0 || n == 0 || k == 0 {
-            return;
-        }
-        let work = m * k * n;
-        let threads = rayon::current_num_threads();
-        // A single worker gains nothing from striping and would pay the
-        // fork-join dispatch on every backward matmul, so fall through to
-        // the serial rank-1 kernel when the pool has one thread.
-        if work >= PAR_MATMUL_THRESHOLD && m > 1 && threads > 1 {
-            // Stripe width: enough stripes to feed every thread, but each
-            // stripe's output block capped near L2 size (bytes below are
-            // f32 counts × 4). Clamped to ≥1 row.
-            let cache_rows = (TN_BLOCK_BYTES / 4 / n.max(1)).max(1);
-            let stripe = m.div_ceil(threads).clamp(1, cache_rows);
-            self.matmul_tn_acc_striped(other, out, stripe);
-        } else {
-            // Serial rank-1 accumulation; row-major friendly for `other`.
-            for p in 0..k {
-                let a_row = self.row(p);
-                let b_row = other.row(p);
-                for (i, &a) in a_row.iter().enumerate() {
-                    if nonzero(a) {
-                        let out_row = &mut out.data[i * n..(i + 1) * n];
-                        axpy(a, b_row, out_row);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Column-striped body of [`Tensor::matmul_tn_acc`]: one rayon task
-    /// per `stripe`-row block of the output, each walking the shared `k`
-    /// dimension in increasing order so every element accumulates its
-    /// rank-1 terms in exactly the serial order (bit-identical results for
-    /// any stripe width or thread count). Factored out so tests can pin
-    /// the stripe width regardless of the host's core count.
-    fn matmul_tn_acc_striped(&self, other: &Tensor, out: &mut Tensor, stripe: usize) {
-        use rayon::prelude::*;
-        let (k, n) = (self.rows, other.cols);
-        out.data
-            .par_chunks_mut(stripe * n)
-            .enumerate()
-            .for_each(|(chunk_idx, out_block)| {
-                let i0 = chunk_idx * stripe;
-                let rows_here = out_block.len() / n;
-                for p in 0..k {
-                    let a_row = self.row(p);
-                    let b_row = other.row(p);
-                    let a_stripe = a_row[i0..i0 + rows_here].iter();
-                    for (&a, out_row) in a_stripe.zip(out_block.chunks_mut(n)) {
-                        if nonzero(a) {
-                            axpy(a, b_row, out_row);
-                        }
-                    }
-                }
-            });
+        backend
+            .dispatch()
+            .gemm_tn_acc(m, k, n, &self.data, &other.data, &mut out.data);
     }
 
     /// Transposed copy.
@@ -690,68 +631,6 @@ impl Tensor {
     }
 }
 
-/// Work threshold (m·k·n) above which matmul parallelises over rows.
-const PAR_MATMUL_THRESHOLD: usize = 64 * 64 * 64;
-
-/// Target byte footprint for one `matmul_tn_acc` output stripe (~half a
-/// typical L2 slice), so the accumulating block stays cache-resident.
-const TN_BLOCK_BYTES: usize = 256 * 1024;
-
-/// Whether `a` participates in a rank-1 update.
-///
-/// Only an exact `+0.0` may be skipped: skipping `-0.0` would be visible if
-/// an accumulator row were negatively signed (and `-0.0` must behave like
-/// any other value under IEEE-754 sign rules), while subnormals carry real
-/// magnitude and must flow through the dense kernel arithmetic.
-#[inline]
-fn nonzero(a: f32) -> bool {
-    a.to_bits() != 0
-}
-
-/// Lane count for [`dot`]'s split accumulators. 16 f32 lanes give the
-/// autovectoriser room for two 256-bit (or four 128-bit) accumulator
-/// registers, breaking the loop-carried dependency of a scalar reduction
-/// — ~5× faster than the naive loop on the `matmul_nt` backward shapes.
-const DOT_LANES: usize = 16;
-
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; DOT_LANES];
-    for (ac, bc) in a.chunks_exact(DOT_LANES).zip(b.chunks_exact(DOT_LANES)) {
-        for l in 0..DOT_LANES {
-            acc[l] += ac[l] * bc[l];
-        }
-    }
-    let mut sum = 0.0f32;
-    for &lane in &acc {
-        sum += lane;
-    }
-    let tail = a.len() - a.len() % DOT_LANES;
-    for (&x, &y) in a[tail..].iter().zip(&b[tail..]) {
-        sum += x * y;
-    }
-    sum
-}
-
-#[inline]
-fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-    debug_assert_eq!(x.len(), y.len());
-    for i in 0..x.len() {
-        y[i] += alpha * x[i];
-    }
-}
-
-#[inline]
-fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
-    for (p, &a) in a_row.iter().enumerate() {
-        if nonzero(a) {
-            let b_row = &b[p * n..(p + 1) * n];
-            axpy(a, b_row, out_row);
-        }
-    }
-}
-
 /// Numerically-stable in-place softmax over a slice.
 pub(crate) fn softmax_inplace(row: &mut [f32]) {
     if row.is_empty() {
@@ -858,11 +737,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let a = Tensor::randn(70, 80, 0.5, &mut rng);
         let b = Tensor::randn(70, 90, 0.5, &mut rng);
-        const { assert!((80 * 70 * 90) >= PAR_MATMUL_THRESHOLD) };
+        const { assert!((80 * 70 * 90) >= crate::kernels::PAR_MATMUL_THRESHOLD) };
         let explicit = a.transpose().matmul(&b);
         for stripe in [1, 7, 32, 80, 100] {
             let mut striped = Tensor::zeros(80, 90);
-            a.matmul_tn_acc_striped(&b, &mut striped, stripe);
+            crate::kernels::reference::gemm_tn_acc_striped(
+                80,
+                70,
+                90,
+                a.as_slice(),
+                b.as_slice(),
+                striped.as_mut_slice(),
+                stripe,
+            );
             assert_eq!(striped.as_slice(), explicit.as_slice(), "stripe {stripe}");
         }
         // And the public entry point, whichever path it picks here.

@@ -1,0 +1,211 @@
+//! Kernel-backend parity properties: `Optimized` against the `Reference`
+//! scalar oracle on hostile floats.
+//!
+//! The parity contract (see `kernels::optimized` and DESIGN.md):
+//!
+//! * `nt` (`A·Bᵀ`) and `tn` (`Aᵀ·B`) are **bitwise** identical across
+//!   backends — NaN, ±0.0, subnormal and huge inputs included — because
+//!   the optimized paths replicate the reference accumulation order
+//!   element for element.
+//! * `nn` (`A·B`) is allowed exactly two deviations: the optimized path
+//!   does not skip `+0.0` multipliers (its sums are a superset of the
+//!   reference terms), and accumulating into a nonzero `out` rounds once
+//!   at the end instead of per term. On finite inputs with a fresh output
+//!   that leaves a tolerance-bounded (in practice zero up to the sign of
+//!   zero) difference; NaNs the reference produces must still propagate.
+
+use proptest::prelude::*;
+use widen_tensor::{BackendKind, KernelBackend, Optimized, Reference, Tensor};
+
+/// Adversarial finite floats: exact zeros of both signs, subnormals, huge
+/// and tiny magnitudes, plus ordinary values.
+fn hostile_float() -> impl Strategy<Value = f32> {
+    (0usize..14, -3.0f32..3.0).prop_map(|(pick, ordinary)| match pick {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f32::MIN_POSITIVE / 2.0,  // subnormal
+        3 => -f32::MIN_POSITIVE / 4.0, // subnormal
+        4 => f32::MIN_POSITIVE,
+        5 => 1.0e30,
+        6 => -1.0e30,
+        7 => 1.0e-30,
+        8 => 1.0,
+        9 => -1.0,
+        _ => ordinary,
+    })
+}
+
+/// [`hostile_float`] plus NaN — for the paths whose contract is bitwise
+/// equality (NaN payloads flow through both backends identically) and for
+/// the NaN-propagation property of `nn`.
+fn hostile_float_with_nan() -> impl Strategy<Value = f32> {
+    (0usize..16, hostile_float()).prop_map(|(pick, base)| if pick == 0 { f32::NAN } else { base })
+}
+
+fn tensor_of(
+    rows: usize,
+    cols: usize,
+    elem: impl Strategy<Value = f32>,
+) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(elem, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Per-element tolerance for the `nn` comparison: a small relative slack
+/// against the magnitude sum of the contributing products (the largest
+/// possible intermediate), plus an absolute floor for subnormal results.
+fn nn_tolerance(a: &Tensor, b: &Tensor, i: usize, j: usize) -> f32 {
+    let k = a.cols();
+    let mut scale = 0.0f32;
+    for p in 0..k {
+        scale += (a.get(i, p) * b.get(p, j)).abs();
+    }
+    1e-5 * scale + 1e-30
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nt_is_bitwise_identical_across_backends(
+        a in tensor_of(7, 5, hostile_float_with_nan()),
+        b in tensor_of(6, 5, hostile_float_with_nan()),
+    ) {
+        let reference = a.matmul_nt_with(&b, BackendKind::Reference);
+        let optimized = a.matmul_nt_with(&b, BackendKind::Optimized);
+        prop_assert_eq!(bits(&reference), bits(&optimized));
+    }
+
+    #[test]
+    fn tn_is_bitwise_identical_across_backends(
+        a in tensor_of(6, 4, hostile_float_with_nan()),
+        b in tensor_of(6, 5, hostile_float_with_nan()),
+    ) {
+        let reference = a.matmul_tn_with(&b, BackendKind::Reference);
+        let optimized = a.matmul_tn_with(&b, BackendKind::Optimized);
+        prop_assert_eq!(bits(&reference), bits(&optimized));
+    }
+
+    #[test]
+    fn dot_is_bitwise_identical_across_backends(
+        a in prop::collection::vec(hostile_float_with_nan(), 37),
+        b in prop::collection::vec(hostile_float_with_nan(), 37),
+    ) {
+        // 37 elements: two full 16-lane chunks plus a ragged tail.
+        let r = Reference.dot(&a, &b);
+        let o = Optimized.dot(&a, &b);
+        prop_assert_eq!(r.to_bits(), o.to_bits());
+    }
+
+    #[test]
+    fn nn_is_tolerance_bounded_on_finite_inputs(
+        // 9 rows crosses the optimized backend's packing threshold (8), so
+        // both the packed and the raw-B drivers are exercised; k = 5 keeps
+        // it off the shape-specialised micro kernels.
+        a in tensor_of(9, 5, hostile_float()),
+        b in tensor_of(5, 17, hostile_float()),
+    ) {
+        let reference = a.matmul_with(&b, BackendKind::Reference);
+        let optimized = a.matmul_with(&b, BackendKind::Optimized);
+        for i in 0..reference.rows() {
+            for j in 0..reference.cols() {
+                let r = reference.get(i, j);
+                let o = optimized.get(i, j);
+                if r.is_nan() || o.is_nan() {
+                    // Finite inputs can still overflow to ±inf and then
+                    // cancel to NaN; both backends must agree when so.
+                    prop_assert!(r.is_nan() && o.is_nan(),
+                        "NaN disagreement at ({i},{j}): reference {r}, optimized {o}");
+                } else if r.is_infinite() || o.is_infinite() {
+                    prop_assert_eq!(r, o);
+                } else {
+                    let tol = nn_tolerance(&a, &b, i, j);
+                    prop_assert!((r - o).abs() <= tol,
+                        "({i},{j}): reference {r}, optimized {o}, tol {tol}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nn_paper_shape_k128_is_tolerance_bounded(
+        a in tensor_of(12, 128, hostile_float()),
+        b in tensor_of(128, 16, hostile_float()),
+    ) {
+        // d = 128 routes through the shape-specialised fast path for the
+        // paper config; it must obey the same bound as the generic kernel.
+        let reference = a.matmul_with(&b, BackendKind::Reference);
+        let optimized = a.matmul_with(&b, BackendKind::Optimized);
+        for i in 0..reference.rows() {
+            for j in 0..reference.cols() {
+                let r = reference.get(i, j);
+                let o = optimized.get(i, j);
+                if r.is_nan() || o.is_nan() {
+                    prop_assert!(r.is_nan() && o.is_nan());
+                } else if r.is_infinite() || o.is_infinite() {
+                    prop_assert_eq!(r, o);
+                } else {
+                    let tol = nn_tolerance(&a, &b, i, j);
+                    prop_assert!((r - o).abs() <= tol);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nn_propagates_every_reference_nan(
+        a in tensor_of(9, 6, hostile_float_with_nan()),
+        b in tensor_of(6, 7, hostile_float_with_nan()),
+    ) {
+        // The optimized kernel's sums include a superset of the reference
+        // terms (it drops the +0.0 skip), so wherever the reference sees a
+        // NaN the optimized result must be NaN too. The converse is
+        // deliberately NOT required: +0.0 · NaN terms the reference skips
+        // may surface as NaN only on the optimized path.
+        let reference = a.matmul_with(&b, BackendKind::Reference);
+        let optimized = a.matmul_with(&b, BackendKind::Optimized);
+        for i in 0..reference.rows() {
+            for j in 0..reference.cols() {
+                if reference.get(i, j).is_nan() {
+                    prop_assert!(optimized.get(i, j).is_nan(),
+                        "reference NaN at ({i},{j}) vanished on the optimized path");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nn_acc_into_nonzero_out_is_tolerance_bounded(
+        a in tensor_of(10, 4, hostile_float()),
+        b in tensor_of(4, 9, hostile_float()),
+        seed in tensor_of(10, 9, hostile_float()),
+    ) {
+        // Accumulating into a nonzero buffer is where the backends'
+        // rounding genuinely differs: reference rounds per term, optimized
+        // rounds once when folding its register tile in.
+        let mut reference = seed.clone();
+        a.matmul_acc_with(&b, &mut reference, BackendKind::Reference);
+        let mut optimized = seed.clone();
+        a.matmul_acc_with(&b, &mut optimized, BackendKind::Optimized);
+        for i in 0..reference.rows() {
+            for j in 0..reference.cols() {
+                let r = reference.get(i, j);
+                let o = optimized.get(i, j);
+                if r.is_nan() || o.is_nan() {
+                    prop_assert!(r.is_nan() && o.is_nan());
+                } else if r.is_infinite() || o.is_infinite() {
+                    prop_assert_eq!(r, o);
+                } else {
+                    let tol = nn_tolerance(&a, &b, i, j)
+                        + seed.get(i, j).abs() * 1e-5;
+                    prop_assert!((r - o).abs() <= tol,
+                        "({i},{j}): reference {r}, optimized {o}, tol {tol}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Ad-hoc kernel timing probe (ignored by default; run with --ignored).
+
+use std::time::Instant;
+use widen_tensor::{KernelBackend, Optimized, Reference};
+
+fn bench(label: &str, reps: usize, mut f: impl FnMut()) {
+    // warmup
+    f();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    println!("{label:40} {ms:9.3} ms");
+}
+
+#[test]
+#[ignore]
+fn kernel_timings() {
+    let mk = |len: usize| -> Vec<f32> { (0..len).map(|i| (i % 17) as f32 * 0.1 - 0.8).collect() };
+
+    // Projection backward shapes: nt m=1217 k=128 n=128; tn m=128 k=1217 n=128
+    let a = mk(1217 * 128);
+    let b = mk(128 * 128);
+    let mut out = vec![0.0f32; 1217 * 128];
+    bench("nt 1217x128 . (128x128)^T ref", 20, || {
+        Reference.gemm_nt_acc(1217, 128, 128, &a, &b, &mut out)
+    });
+    bench("nt 1217x128 . (128x128)^T opt", 20, || {
+        Optimized.gemm_nt_acc(1217, 128, 128, &a, &b, &mut out)
+    });
+
+    let mut out2 = vec![0.0f32; 128 * 128];
+    bench("tn (1217x128)^T . 1217x128 ref", 20, || {
+        Reference.gemm_tn_acc(128, 1217, 128, &a, &a[..1217 * 128], &mut out2)
+    });
+    bench("tn (1217x128)^T . 1217x128 opt", 20, || {
+        Optimized.gemm_tn_acc(128, 1217, 128, &a, &a[..1217 * 128], &mut out2)
+    });
+
+    // nn backward shape (MatMulNt grad): m=1217 k=128 n=128
+    let mut out3 = vec![0.0f32; 1217 * 128];
+    bench("nn 1217x128 . 128x128 ref", 20, || {
+        Reference.gemm_nn_acc(1217, 128, 128, &a, &b, &mut out3)
+    });
+    bench("nn 1217x128 . 128x128 opt", 20, || {
+        Optimized.gemm_nn_acc(1217, 128, 128, &a, &b, &mut out3)
+    });
+
+    // Flat-pack backward shapes: nt m=12600 k=128 n=128; tn m=128 k=12600 n=128
+    let big = mk(12600 * 128);
+    let mut bout = vec![0.0f32; 12600 * 128];
+    bench("nt 12600x128 . (128x128)^T ref", 5, || {
+        Reference.gemm_nt_acc(12600, 128, 128, &big, &b, &mut bout)
+    });
+    bench("nt 12600x128 . (128x128)^T opt", 5, || {
+        Optimized.gemm_nt_acc(12600, 128, 128, &big, &b, &mut bout)
+    });
+    let mut bout2 = vec![0.0f32; 128 * 128];
+    bench("tn (12600x128)^T . 12600x128 ref", 5, || {
+        Reference.gemm_tn_acc(128, 12600, 128, &big, &big, &mut bout2)
+    });
+    bench("tn (12600x128)^T . 12600x128 opt", 5, || {
+        Optimized.gemm_tn_acc(128, 12600, 128, &big, &big, &mut bout2)
+    });
+    bench("nn 12600x128 . 128x128 ref", 5, || {
+        Reference.gemm_nn_acc(12600, 128, 128, &big, &b, &mut bout)
+    });
+    bench("nn 12600x128 . 128x128 opt", 5, || {
+        Optimized.gemm_nn_acc(12600, 128, 128, &big, &b, &mut bout)
+    });
+
+    // Classifier shapes m=60 k=128 n=3
+    let ca = mk(60 * 128);
+    let cb = mk(128 * 3);
+    let mut cout = vec![0.0f32; 60 * 3];
+    bench("nn 60x128 . 128x3 ref", 2000, || {
+        Reference.gemm_nn_acc(60, 128, 3, &ca, &cb, &mut cout)
+    });
+    bench("nn 60x128 . 128x3 opt", 2000, || {
+        Optimized.gemm_nn_acc(60, 128, 3, &ca, &cb, &mut cout)
+    });
+    // Classifier backward: nt m=60 k=3 n=128 ; tn m=128 k=60 n=3
+    let g = mk(60 * 3);
+    let mut gout = vec![0.0f32; 60 * 128];
+    bench("nt 60x3 . (128x3)^T ref", 2000, || {
+        Reference.gemm_nt_acc(60, 3, 128, &g, &cb, &mut gout)
+    });
+    bench("nt 60x3 . (128x3)^T opt", 2000, || {
+        Optimized.gemm_nt_acc(60, 3, 128, &g, &cb, &mut gout)
+    });
+    let mut tout = vec![0.0f32; 128 * 3];
+    bench("tn (60x128)^T . 60x3 ref", 2000, || {
+        Reference.gemm_tn_acc(128, 60, 3, &ca, &g, &mut tout)
+    });
+    bench("tn (60x128)^T . 60x3 opt", 2000, || {
+        Optimized.gemm_tn_acc(128, 60, 3, &ca, &g, &mut tout)
+    });
+}

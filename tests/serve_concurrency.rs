@@ -175,6 +175,52 @@ fn stats_op_reports_live_counters() {
     handle.shutdown();
 }
 
+#[test]
+fn embedding_lru_serves_sequential_repeats_under_concurrency() {
+    // The throughput-bench cache contract: singleflight dedup only folds
+    // *concurrent* identical requests, so a client repeating its own
+    // (nodes, seed) key back to back must be served by the embedding LRU.
+    // Per-client seeds keep the keys disjoint across threads, so the hit
+    // count has a hard floor of one hit per node per client.
+    const THREADS: usize = 4;
+    const NODES: u32 = 6;
+
+    let fx = fixture(63);
+    let checkpoint = fx.model.save_weights();
+    let registry = ModelRegistry::from_checkpoint(fx.graph.clone(), tiny_config(), &checkpoint)
+        .expect("checkpoint loads");
+    let handle = Server::bind(registry, ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let addr = handle.local_addr();
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let nodes: Vec<u32> = (0..NODES).collect();
+                let seed = 9_000 + t as u64;
+                let first = client.embed(&nodes, seed).expect("embed succeeds");
+                let second = client.embed(&nodes, seed).expect("cached embed succeeds");
+                for (a, b) in first.iter().zip(&second) {
+                    let a_bits: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+                    let b_bits: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(a_bits, b_bits, "cached rows must be bit-identical");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread panicked");
+    }
+
+    let stats = handle.shutdown();
+    assert!(
+        stats.cache_hits >= (THREADS as u64) * u64::from(NODES),
+        "LRU must serve every sequential repeat: {} hits, expected at least {}",
+        stats.cache_hits,
+        THREADS * NODES as usize
+    );
+}
+
 /// Distinct, overlapping node sets so concurrent requests share cache and
 /// batch space without being identical.
 fn nodes_for(thread: usize, request: usize) -> Vec<u32> {
