@@ -1,0 +1,18 @@
+//! Temporary review repro: nested rayon + optimized backend pack scratch.
+
+use rayon::prelude::*;
+use widen_tensor::{BackendKind, Tensor};
+
+#[test]
+fn optimized_nn_inside_outer_par_iter() {
+    // Outer parallelism mimicking trainer::train_batch / model::infer_rows:
+    // many outer tasks, each running a large optimized-backend matmul whose
+    // inner kernel also parallelises (work >= 64^3, m > MR).
+    let a = Tensor::from_fn(64, 128, |i, j| ((i * 131 + j * 17) % 97) as f32 * 0.01);
+    let b = Tensor::from_fn(128, 128, |i, j| ((i * 29 + j * 13) % 89) as f32 * 0.01);
+    for _round in 0..50 {
+        (0..64usize).into_par_iter().for_each(|_| {
+            let _c = a.matmul_with(&b, BackendKind::Optimized);
+        });
+    }
+}
