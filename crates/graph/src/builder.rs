@@ -169,36 +169,21 @@ impl GraphBuilder {
                 half.push((b, a, t));
             }
         }
-        half.sort_unstable();
-
-        let mut indptr = vec![0usize; n + 1];
-        for &(a, _, _) in &half {
-            indptr[a as usize + 1] += 1;
-        }
-        for i in 0..n {
-            indptr[i + 1] += indptr[i];
-        }
-        let neighbors: Vec<NodeId> = half.iter().map(|&(_, b, _)| b).collect();
-        let edge_types: Vec<u16> = half.iter().map(|&(_, _, t)| t).collect();
-
         let mut features = Tensor::zeros(n, d0);
         for (i, row) in self.feature_rows.iter().enumerate() {
             features.set_row(i, row);
         }
 
-        let graph = HeteroGraph {
-            node_types: self.node_types,
-            node_type_names: self.node_type_names,
-            edge_type_names: self.edge_type_names,
-            indptr,
-            neighbors,
-            edge_types,
+        HeteroGraph::from_parts(
+            self.node_types,
+            self.node_type_names,
+            self.edge_type_names,
+            half,
             features,
-            labels: self.labels,
-            num_classes: self.num_classes,
-        };
-        graph.validate();
-        graph
+            self.labels,
+            self.num_classes,
+            self.undirected,
+        )
     }
 }
 

@@ -20,6 +20,6 @@ pub mod partition;
 mod subgraph;
 
 pub use builder::{BuilderError, GraphBuilder};
-pub use graph::{EdgeTypeId, HeteroGraph, NodeId, NodeTypeId};
+pub use graph::{EdgeTypeId, HeteroGraph, MutationError, NodeId, NodeTypeId};
 pub use io::{read_tsv, write_tsv, GraphIoError};
 pub use subgraph::{InducedSubgraph, NodeMapping};

@@ -39,7 +39,9 @@ pub struct InducedSubgraph {
 impl HeteroGraph {
     /// The subgraph induced by `keep` (order-preserving: the i-th distinct
     /// kept id becomes node `i`). Edges with either endpoint outside `keep`
-    /// are dropped.
+    /// are dropped; surviving runs are re-sorted by remapped
+    /// `(neighbor, edge_type)` — the canonical invariant every
+    /// `HeteroGraph` carries.
     ///
     /// # Panics
     /// Panics if `keep` is empty or contains out-of-range / duplicate ids.
@@ -57,19 +59,14 @@ impl HeteroGraph {
         }
 
         let n_new = keep.len();
-        let mut indptr = Vec::with_capacity(n_new + 1);
-        let mut neighbors = Vec::new();
-        let mut edge_types = Vec::new();
-        indptr.push(0usize);
-        for &old in keep {
+        let mut half = Vec::new();
+        for (new, &old) in keep.iter().enumerate() {
             let types = self.edge_types_of(old);
             for (k, &u) in self.neighbors(old).iter().enumerate() {
                 if let Some(new_u) = old_to_new[u as usize] {
-                    neighbors.push(new_u);
-                    edge_types.push(types[k]);
+                    half.push((new as NodeId, new_u, types[k]));
                 }
             }
-            indptr.push(neighbors.len());
         }
 
         let mut features = Tensor::zeros(n_new, self.feature_dim());
@@ -81,18 +78,16 @@ impl HeteroGraph {
             labels.push(self.labels[old as usize]);
         }
 
-        let graph = HeteroGraph {
+        let graph = HeteroGraph::from_parts(
             node_types,
-            node_type_names: self.node_type_names.clone(),
-            edge_type_names: self.edge_type_names.clone(),
-            indptr,
-            neighbors,
-            edge_types,
+            self.node_type_names.clone(),
+            self.edge_type_names.clone(),
+            half,
             features,
             labels,
-            num_classes: self.num_classes,
-        };
-        graph.validate();
+            self.num_classes,
+            self.undirected,
+        );
         InducedSubgraph {
             graph,
             mapping: NodeMapping {

@@ -1,0 +1,311 @@
+//! Incrementally-maintained weighted sampling for streaming graphs.
+//!
+//! [`AliasTable`](crate::AliasTable) is O(1) per draw but its internal
+//! layout depends on the *global* order the small/large worklists drain
+//! in, so a single weight delta cannot be repaired in place without
+//! recomputing the whole table — and a repaired table would not even be
+//! bit-identical to a rebuilt one. [`StreamingAlias`] trades the O(1)
+//! draw for an O(log n) one over an implicit segment tree of weight sums,
+//! which buys the property the streaming subsystem is pinned on:
+//!
+//! > Every internal node is *defined* as `left + right`, so a per-delta
+//! > path update recomputes exactly the expressions a rebuild-from-scratch
+//! > evaluates. Incremental and rebuilt trees are **bitwise identical**,
+//! > and therefore draw **identical sample streams** under the same RNG
+//! > seed — not merely the same distribution.
+//!
+//! The wide/deep walk structures need no analogue: they sample directly
+//! off the graph's adjacency slices, so their incremental maintenance is
+//! inherited from `HeteroGraph`'s span-arena mutation API (see the
+//! "Streaming graphs" section of DESIGN.md) and pinned by the
+//! mutated-vs-scratch parity tests.
+
+use rand::Rng;
+
+/// A dynamic discrete distribution over `0..len` supporting O(log n)
+/// draws, O(log n) weight updates and amortised O(log n) appends, with
+/// the incremental-equals-rebuilt bitwise guarantee described in the
+/// module docs.
+#[derive(Clone, Debug)]
+pub struct StreamingAlias {
+    /// Live leaf weights, as the f64 the tree sums.
+    weights: Vec<f64>,
+    /// Implicit binary tree: root at 1, leaf `i` at `cap + i`,
+    /// `tree[k] == tree[2k] + tree[2k + 1]` for internal `k`.
+    tree: Vec<f64>,
+    /// Power-of-two leaf capacity (`weights.len().next_power_of_two()`).
+    cap: usize,
+    /// Weight deltas (updates + appends) applied since the last rebuild.
+    deltas: usize,
+}
+
+impl StreamingAlias {
+    /// Builds the sampler from non-negative finite weights. An all-zero
+    /// (or empty) distribution is representable — only [`Self::sample`]
+    /// requires a positive total, so weights may pass through zero while
+    /// streaming.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative, infinite or NaN.
+    pub fn new(weights: &[f32]) -> Self {
+        let weights: Vec<f64> = weights.iter().map(|&w| Self::check(w)).collect();
+        let mut s = Self {
+            cap: weights.len().next_power_of_two().max(1),
+            weights,
+            tree: Vec::new(),
+            deltas: 0,
+        };
+        s.rebuild();
+        s
+    }
+
+    fn check(w: f32) -> f64 {
+        assert!(w >= 0.0 && w.is_finite(), "weights must be finite and ≥ 0");
+        f64::from(w)
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether there are no categories.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Current weight of category `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Sum of all weights (the tree root).
+    pub fn total(&self) -> f64 {
+        if self.weights.is_empty() {
+            0.0
+        } else {
+            self.tree[1]
+        }
+    }
+
+    /// Weight deltas absorbed since the last [`Self::rebuild`] — the
+    /// counter the rebuild-fallback threshold is checked against.
+    pub fn deltas_since_rebuild(&self) -> usize {
+        self.deltas
+    }
+
+    /// Updates the weight of category `i`, recomputing the O(log n) root
+    /// path. Bitwise equivalent to rebuilding from scratch.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range or `w` is negative/non-finite.
+    pub fn set_weight(&mut self, i: usize, w: f32) {
+        assert!(i < self.weights.len(), "category out of range");
+        let w = Self::check(w);
+        self.weights[i] = w;
+        self.tree[self.cap + i] = w;
+        self.repair_path(self.cap + i);
+        self.deltas += 1;
+    }
+
+    /// Appends a new category with weight `w`, returning its index.
+    /// Within capacity this is an O(log n) path repair; crossing a
+    /// power-of-two boundary doubles the tree exactly as a from-scratch
+    /// build over the longer weight vector would lay it out.
+    ///
+    /// # Panics
+    /// Panics if `w` is negative or non-finite.
+    pub fn push(&mut self, w: f32) -> usize {
+        let w = Self::check(w);
+        let i = self.weights.len();
+        self.weights.push(w);
+        if self.weights.len() > self.cap {
+            // Crossing a power-of-two boundary rebuilds the tree, which
+            // absorbs this append — the delta counter resets to zero.
+            self.cap = self.weights.len().next_power_of_two();
+            self.rebuild();
+        } else {
+            self.tree[self.cap + i] = w;
+            self.repair_path(self.cap + i);
+            self.deltas += 1;
+        }
+        i
+    }
+
+    /// Recomputes the whole tree from the leaf weights and resets the
+    /// delta counter. Because path updates already evaluate the same
+    /// sum expressions, this never changes any stored value — it exists
+    /// as the safety fallback the streaming contract promises (and the
+    /// differential tests assert the no-op).
+    pub fn rebuild(&mut self) {
+        self.tree = vec![0.0; 2 * self.cap];
+        for (i, &w) in self.weights.iter().enumerate() {
+            self.tree[self.cap + i] = w;
+        }
+        for k in (1..self.cap).rev() {
+            self.tree[k] = self.tree[2 * k] + self.tree[2 * k + 1];
+        }
+        self.deltas = 0;
+    }
+
+    /// Rebuilds when the delta counter has reached `threshold`; returns
+    /// whether a rebuild ran.
+    pub fn maybe_rebuild(&mut self, threshold: usize) -> bool {
+        if self.deltas >= threshold {
+            self.rebuild();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn repair_path(&mut self, mut k: usize) {
+        while k > 1 {
+            k /= 2;
+            self.tree[k] = self.tree[2 * k] + self.tree[2 * k + 1];
+        }
+    }
+
+    /// Draws one category with probability proportional to its weight by
+    /// descending the sum tree. Zero-weight categories are unreachable:
+    /// the descent uses a strict `u < left` comparison, and the rare
+    /// rounding edge where `u` lands past the last positive leaf falls
+    /// back to a deterministic scan for the final positive weight.
+    ///
+    /// # Panics
+    /// Panics if the total weight is zero (or the sampler is empty).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = self.total();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut u = rng.gen::<f64>() * total;
+        let mut k = 1usize;
+        while k < self.cap {
+            let left = self.tree[2 * k];
+            if u < left {
+                k *= 2;
+            } else {
+                u -= left;
+                k = 2 * k + 1;
+            }
+        }
+        let leaf = k - self.cap;
+        if leaf < self.weights.len() && self.weights[leaf] > 0.0 {
+            leaf
+        } else {
+            // Rounding pushed u to (or past) the cumulative total; both
+            // the incremental and the rebuilt tree take this same branch,
+            // so stream parity survives the fallback.
+            self.weights
+                .iter()
+                .rposition(|&w| w > 0.0)
+                .expect("total > 0 implies a positive weight")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [1.0f32, 3.0, 6.0];
+        let s = StreamingAlias::new(&weights);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        let total: f32 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = counts[i] as f32 / n as f32;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "category {i}: expected {expected}, observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_drawn() {
+        let s = StreamingAlias::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert_eq!(s.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_category_always_drawn() {
+        let s = StreamingAlias::new(&[42.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(s.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn updates_shift_the_distribution() {
+        let mut s = StreamingAlias::new(&[1.0, 1.0]);
+        s.set_weight(0, 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert_eq!(s.sample(&mut rng), 1);
+        }
+        s.set_weight(0, 5.0);
+        s.set_weight(1, 0.0);
+        for _ in 0..1000 {
+            assert_eq!(s.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn push_grows_across_capacity_boundaries() {
+        let mut s = StreamingAlias::new(&[1.0]);
+        for i in 1..40 {
+            assert_eq!(s.push(i as f32), i);
+        }
+        assert_eq!(s.len(), 40);
+        let expected: f64 = (0..40).map(|i| f64::from(1.0f32.max(i as f32))).sum();
+        assert_eq!(s.total(), expected);
+    }
+
+    #[test]
+    fn all_zero_total_is_representable_but_not_sampleable() {
+        let mut s = StreamingAlias::new(&[0.0, 0.0]);
+        assert_eq!(s.total(), 0.0);
+        s.set_weight(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(s.sample(&mut rng), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn sampling_zero_total_panics() {
+        let s = StreamingAlias::new(&[0.0]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = s.sample(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weights_rejected() {
+        let _ = StreamingAlias::new(&[1.0, -1.0]);
+    }
+
+    #[test]
+    fn maybe_rebuild_honours_threshold() {
+        let mut s = StreamingAlias::new(&[1.0, 2.0, 0.5]); // cap 4
+        s.set_weight(0, 3.0);
+        assert_eq!(s.deltas_since_rebuild(), 1);
+        assert!(!s.maybe_rebuild(2));
+        s.push(4.0); // len 4 fits cap — counted as a delta
+        assert!(s.maybe_rebuild(2));
+        assert_eq!(s.deltas_since_rebuild(), 0);
+        // A capacity-crossing push rebuilds internally and resets.
+        s.push(1.0);
+        assert_eq!(s.deltas_since_rebuild(), 0);
+    }
+}

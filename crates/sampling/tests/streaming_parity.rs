@@ -1,0 +1,220 @@
+//! Differential parity tests for the streaming sampling structures.
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. [`StreamingAlias`] maintained per-delta is **bitwise** identical to
+//!    one rebuilt from scratch over the final weights — same totals, and
+//!    the *same sample stream* under the same RNG seed, across hostile
+//!    weight schedules (zeros, duplicates, single-entry tables, growth
+//!    over capacity boundaries).
+//! 2. The wide/deep walk samplers draw identical streams from a mutated
+//!    `HeteroGraph` and a scratch-built one — their "incremental
+//!    structure" is the graph's span-arena adjacency itself, so graph
+//!    mutation parity must carry through to sampled sets.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use widen_graph::{EdgeTypeId, GraphBuilder, NodeTypeId};
+use widen_sampling::{hash_seed, sample_deep, sample_wide, AliasTable, StreamingAlias};
+
+/// Hostile weight values: exact zeros, duplicates of 1.0, subnormal-ish
+/// tiny values, large magnitudes.
+fn hostile_weight() -> impl Strategy<Value = f32> {
+    (0usize..6, 0.0f32..4.0).prop_map(|(pick, ordinary)| match pick {
+        0 => 0.0,
+        1 => 1.0, // deliberate duplicate mass
+        2 => 1.0e-20,
+        3 => 1.0e20,
+        4 => 0.5,
+        _ => ordinary,
+    })
+}
+
+/// One streaming op against the sampler.
+#[derive(Clone, Debug)]
+enum Op {
+    Set(usize, f32),
+    Push(f32),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    (0usize..2, 0usize..64, hostile_weight()).prop_map(|(kind, idx, w)| match kind {
+        0 => Op::Set(idx, w),
+        _ => Op::Push(w),
+    })
+}
+
+/// Drains `n` samples; panics inside `sample` are the caller's concern.
+fn stream(s: &StreamingAlias, seed: u64, n: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| s.sample(&mut rng)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn incremental_alias_matches_rebuilt_exactly(
+        init in prop::collection::vec(hostile_weight(), 1..24),
+        ops in prop::collection::vec(op(), 0..40),
+        seed in 0u64..1000,
+    ) {
+        let mut inc = StreamingAlias::new(&init);
+        let mut final_weights: Vec<f32> = init.clone();
+        for o in &ops {
+            match *o {
+                Op::Set(idx, w) => {
+                    let idx = idx % final_weights.len();
+                    inc.set_weight(idx, w);
+                    final_weights[idx] = w;
+                }
+                Op::Push(w) => {
+                    inc.push(w);
+                    final_weights.push(w);
+                }
+            }
+        }
+        let rebuilt = StreamingAlias::new(&final_weights);
+
+        // Bitwise-identical totals and per-category weights.
+        prop_assert_eq!(inc.len(), rebuilt.len());
+        prop_assert_eq!(inc.total().to_bits(), rebuilt.total().to_bits());
+        for i in 0..inc.len() {
+            prop_assert_eq!(inc.weight(i).to_bits(), rebuilt.weight(i).to_bits());
+        }
+
+        if inc.total() > 0.0 {
+            // Same seed, same stream — the differential guarantee.
+            prop_assert_eq!(stream(&inc, seed, 64), stream(&rebuilt, seed, 64));
+            // Zero-weight categories are unreachable.
+            for &i in &stream(&inc, seed.wrapping_add(1), 64) {
+                prop_assert!(inc.weight(i) > 0.0, "drew zero-weight category {i}");
+            }
+        }
+
+        // The explicit rebuild fallback is a value-level no-op.
+        let mut rebuilt_again = inc.clone();
+        rebuilt_again.rebuild();
+        prop_assert_eq!(rebuilt_again.total().to_bits(), inc.total().to_bits());
+        if inc.total() > 0.0 {
+            prop_assert_eq!(stream(&rebuilt_again, seed, 64), stream(&inc, seed, 64));
+        }
+    }
+
+    #[test]
+    fn streaming_alias_agrees_with_walker_alias_distribution(
+        weights in prop::collection::vec(1.0f32..8.0, 1..12),
+    ) {
+        // Distribution-level (not stream-level: the two samplers consume
+        // RNG differently by design) agreement with the O(1) table.
+        let walker = AliasTable::new(&weights);
+        let tree = StreamingAlias::new(&weights);
+        let n = 40_000usize;
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(12);
+        let mut counts_a = vec![0usize; weights.len()];
+        let mut counts_b = vec![0usize; weights.len()];
+        for _ in 0..n {
+            counts_a[walker.sample(&mut rng_a)] += 1;
+            counts_b[tree.sample(&mut rng_b)] += 1;
+        }
+        for i in 0..weights.len() {
+            let fa = counts_a[i] as f64 / n as f64;
+            let fb = counts_b[i] as f64 / n as f64;
+            prop_assert!(
+                (fa - fb).abs() < 0.02,
+                "category {i}: walker {fa:.4} vs tree {fb:.4}"
+            );
+        }
+    }
+}
+
+/// Builds a small three-type graph, returning (scratch, mutated): the
+/// scratch graph gets every node and edge through the builder, the
+/// mutated one starts from the first `split` nodes and streams the rest
+/// through the mutation API.
+fn build_pair(split: usize) -> (widen_graph::HeteroGraph, widen_graph::HeteroGraph) {
+    let nodes: Vec<u16> = (0..30).map(|i| (i % 3) as u16).collect();
+    let edges: Vec<(u32, u32, u16)> = (0..nodes.len() as u32)
+        .flat_map(|i| {
+            (0..i)
+                .filter(move |j| (i + j) % 3 != 0 || j + 1 == i)
+                .map(move |j| (i, j, ((i * 7 + j) % 2) as u16))
+        })
+        .collect();
+
+    let build = |n: usize, es: &[(u32, u32, u16)]| {
+        let mut b = GraphBuilder::new(&["a", "b", "c"], &["e0", "e1"]).with_classes(2);
+        for &t in &nodes[..n] {
+            b.add_node(NodeTypeId(t), vec![t as f32], None);
+        }
+        for &(x, y, t) in es {
+            b.add_edge(x, y, EdgeTypeId(t));
+        }
+        b.build()
+    };
+
+    let scratch = build(nodes.len(), &edges);
+
+    let prefix: Vec<_> = edges
+        .iter()
+        .copied()
+        .filter(|&(x, y, _)| (x as usize) < split && (y as usize) < split)
+        .collect();
+    let mut mutated = build(split, &prefix);
+    for i in split..nodes.len() {
+        let attached: Vec<(u32, EdgeTypeId)> = edges
+            .iter()
+            .filter(|&&(x, y, _)| x as usize == i && (y as usize) < i)
+            .map(|&(_, y, t)| (y, EdgeTypeId(t)))
+            .collect();
+        mutated
+            .add_node_with_edges(NodeTypeId(nodes[i]), vec![nodes[i] as f32], None, &attached)
+            .expect("valid ingest");
+    }
+    (scratch, mutated)
+}
+
+#[test]
+fn wide_and_deep_streams_survive_graph_mutation() {
+    let (scratch, mutated) = build_pair(9);
+    scratch.validate();
+    mutated.validate();
+    assert_eq!(scratch.num_directed_edges(), mutated.num_directed_edges());
+    for v in 0..scratch.num_nodes() as u32 {
+        for stream_id in 0..4u64 {
+            let seed = hash_seed(97, &[u64::from(v), stream_id]);
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            assert_eq!(
+                sample_wide(&scratch, v, 6, &mut rng_a),
+                sample_wide(&mutated, v, 6, &mut rng_b),
+                "wide stream diverged at node {v}, stream {stream_id}"
+            );
+            let mut rng_a = StdRng::seed_from_u64(seed ^ 0xDEAD);
+            let mut rng_b = StdRng::seed_from_u64(seed ^ 0xDEAD);
+            assert_eq!(
+                sample_deep(&scratch, v, 8, &mut rng_a),
+                sample_deep(&mutated, v, 8, &mut rng_b),
+                "deep stream diverged at node {v}, stream {stream_id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wide_and_deep_streams_survive_compaction() {
+    let (_, mut mutated) = build_pair(5);
+    let before: Vec<_> = (0..mutated.num_nodes() as u32)
+        .map(|v| {
+            let mut rng = StdRng::seed_from_u64(hash_seed(7, &[u64::from(v)]));
+            sample_wide(&mutated, v, 5, &mut rng)
+        })
+        .collect();
+    mutated.compact();
+    for (v, want) in before.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(hash_seed(7, &[v as u64]));
+        assert_eq!(&sample_wide(&mutated, v as u32, 5, &mut rng), want);
+    }
+}

@@ -193,6 +193,15 @@ pub(crate) fn run_worker(
 /// Answers every job in `jobs`: expired ones with an error, embed jobs
 /// from the cache when possible, the rest through one fused model call
 /// per distinct [`JobKind`].
+///
+/// The whole batch runs under **one** registry read guard, so the digest
+/// used for cache keys, the weights the forward pass reads, and the graph
+/// it samples from are a single consistent generation — a concurrent
+/// ingest or hot-swap lands entirely before or entirely after this batch.
+/// The guard must stay alive across the cache inserts too: the ingest
+/// path invalidates stale peer rows *after* releasing its write guard,
+/// which is only race-free because rows computed on the pre-mutation
+/// graph are inserted before that write guard can be granted.
 fn process_batch(
     registry: &ModelRegistry,
     cache: &EmbedCache,
@@ -203,7 +212,8 @@ fn process_batch(
     stats.jobs.add(jobs.len() as u64);
     stats.batch_size.observe(jobs.len() as f64);
     let now = Instant::now();
-    let ckpt = registry.checkpoint_hash();
+    let st = registry.read();
+    let ckpt = st.checkpoint_hash();
 
     // (kind → pending jobs) grouping. Kinds in a window are few; a Vec
     // scan beats hashing.
@@ -259,7 +269,7 @@ fn process_batch(
         let forward_start = Instant::now();
         match kind {
             JobKind::Embed => {
-                let rows = registry.model().embed_requests(registry.graph(), &items);
+                let rows = st.model().embed_requests(st.graph(), &items);
                 let forward_end = Instant::now();
                 for job in &group {
                     if let Some(trace) = &job.trace {
@@ -280,10 +290,9 @@ fn process_batch(
                 }
             }
             JobKind::Classify { rounds } => {
-                let logits =
-                    registry
-                        .model()
-                        .ensemble_logits(registry.graph(), &items, rounds as usize);
+                let logits = st
+                    .model()
+                    .ensemble_logits(st.graph(), &items, rounds as usize);
                 let forward_end = Instant::now();
                 for job in &group {
                     if let Some(trace) = &job.trace {
@@ -388,14 +397,13 @@ mod tests {
         let mut results: Vec<_> = (0..3).map(|_| rx.recv().unwrap()).collect();
         results.sort_by_key(|(slot, _)| *slot);
 
-        let want_emb0 = registry.model().embed_requests(registry.graph(), &[(0, 7)]);
+        let st = registry.read();
+        let want_emb0 = st.model().embed_requests(st.graph(), &[(0, 7)]);
         match &results[0].1 {
             Ok(JobOutput::Embedding(row)) => assert_eq!(row.as_slice(), want_emb0.row(0)),
             other => panic!("unexpected {other:?}"),
         }
-        let want_label = registry
-            .model()
-            .predict_ensemble(registry.graph(), &[1], 7, 2)[0] as u32;
+        let want_label = st.model().predict_ensemble(st.graph(), &[1], 7, 2)[0] as u32;
         match &results[1].1 {
             Ok(JobOutput::Label(l)) => assert_eq!(*l, want_label),
             other => panic!("unexpected {other:?}"),
@@ -446,15 +454,12 @@ mod tests {
         let mut results: Vec<_> = (0..5).map(|_| rx.recv().unwrap()).collect();
         results.sort_by_key(|(slot, _)| *slot);
 
-        let want_label = registry
-            .model()
-            .predict_ensemble(registry.graph(), &[4], 13, 2)[0] as u32;
+        let st = registry.read();
+        let want_label = st.model().predict_ensemble(st.graph(), &[4], 13, 2)[0] as u32;
         for (_, r) in &results[..3] {
             assert_eq!(r, &Ok(JobOutput::Label(want_label)));
         }
-        let want_row = registry
-            .model()
-            .embed_requests(registry.graph(), &[(6, 13)]);
+        let want_row = st.model().embed_requests(st.graph(), &[(6, 13)]);
         for (_, r) in &results[3..] {
             match r {
                 Ok(JobOutput::Embedding(row)) => assert_eq!(row.as_slice(), want_row.row(0)),

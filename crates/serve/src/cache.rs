@@ -137,6 +137,23 @@ impl<K: Hash + Eq + Clone, V> Lru<K, V> {
         self.map.insert(key, idx);
         self.push_front(idx);
     }
+
+    /// Removes `key`, returning whether it was present. The slab slot is
+    /// recycled on the next insert (the value lingers until then — fine
+    /// for a bounded cache, the slot count never grows past capacity).
+    pub fn remove(&mut self, key: &K) -> bool {
+        let Some(idx) = self.map.remove(key) else {
+            return false;
+        };
+        self.unlink(idx);
+        self.free.push(idx);
+        true
+    }
+
+    /// Iterates the live keys in no particular order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.map.keys()
+    }
 }
 
 /// Cache key: the complete identity of a served embedding.
@@ -210,6 +227,35 @@ impl EmbedCache {
         self.inner.lock().0.insert(key, value);
     }
 
+    /// Drops every cached embedding, keeping capacity and hit/miss
+    /// counters. Called on checkpoint hot-swap: digest-keyed entries from
+    /// the old generation would already be unreachable, but flushing
+    /// eagerly returns their memory and guarantees a stale-digest row can
+    /// never be served, even by a future key collision.
+    pub fn clear(&self) {
+        let mut guard = self.inner.lock();
+        let cap = guard.0.capacity();
+        guard.0 = Lru::new(cap);
+    }
+
+    /// Drops every cached row for the given nodes, across all seeds and
+    /// generations. Called when a graph mutation attaches edges to
+    /// existing nodes: their neighbourhoods — and therefore their
+    /// embeddings under any seed — have changed, so cached rows would
+    /// violate the "identical to a fresh forward pass" contract.
+    pub fn invalidate_nodes(&self, nodes: &[u32]) {
+        let mut guard = self.inner.lock();
+        let stale: Vec<EmbedKey> = guard
+            .0
+            .keys()
+            .filter(|k| nodes.contains(&k.node))
+            .copied()
+            .collect();
+        for key in &stale {
+            guard.0.remove(key);
+        }
+    }
+
     /// Snapshot of the hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         self.inner.lock().1
@@ -272,6 +318,55 @@ mod tests {
         for i in 97..100 {
             assert_eq!(lru.get(&i), Some(&(i * 2)));
         }
+    }
+
+    #[test]
+    fn invalidate_nodes_drops_all_seeds_for_those_nodes_only() {
+        let cache = EmbedCache::new(16);
+        for (node, seed) in [(1u32, 1u64), (1, 2), (2, 1), (3, 9)] {
+            cache.insert(
+                EmbedKey {
+                    node,
+                    checkpoint_hash: 0xA,
+                    seed,
+                },
+                vec![node as f32, seed as f32],
+            );
+        }
+        cache.invalidate_nodes(&[1, 3]);
+        assert_eq!(cache.len(), 1);
+        for (node, seed, want_hit) in [
+            (1u32, 1u64, false),
+            (1, 2, false),
+            (3, 9, false),
+            (2, 1, true),
+        ] {
+            let got = cache.get(&EmbedKey {
+                node,
+                checkpoint_hash: 0xA,
+                seed,
+            });
+            assert_eq!(got.is_some(), want_hit, "node {node} seed {seed}");
+        }
+    }
+
+    #[test]
+    fn clear_flushes_entries_but_keeps_capacity_and_counters() {
+        let cache = EmbedCache::new(4);
+        let key = EmbedKey {
+            node: 1,
+            checkpoint_hash: 1,
+            seed: 1,
+        };
+        cache.insert(key, vec![1.0]);
+        assert!(cache.get(&key).is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.get(&key).is_none());
+        cache.insert(key, vec![2.0]);
+        assert_eq!(cache.get(&key), Some(vec![2.0]));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
     }
 
     #[test]

@@ -169,6 +169,56 @@ impl Client {
         }
     }
 
+    /// Streams one never-seen node into the served graph: node type,
+    /// feature row, optional label, and typed edges `(peer, edge_type)`
+    /// to existing nodes. Returns the assigned node id and the node's
+    /// embedding sampled with `seed` — bit-identical to what
+    /// [`Client::embed`] for that id would return afterwards under the
+    /// same seed and model generation, in one round trip.
+    ///
+    /// # Errors
+    /// Returns a [`ClientError`] on transport failure or a server-reported
+    /// error (invalid node/edge type, feature-dimension mismatch,
+    /// out-of-range peer, shutdown).
+    pub fn ingest(
+        &mut self,
+        node_type: u16,
+        features: &[f32],
+        label: Option<u16>,
+        edges: &[(u32, u16)],
+        seed: u64,
+    ) -> Result<(u32, Vec<f32>), ClientError> {
+        let id = self.fresh_id();
+        let response = self.call(&Request::Ingest {
+            id,
+            seed,
+            node_type,
+            label,
+            features: features.to_vec(),
+            edges: edges.to_vec(),
+        })?;
+        match response {
+            Response::Ingested {
+                id: rid,
+                node,
+                dim,
+                values,
+            } => {
+                if rid != id {
+                    return Err(ClientError::Mismatch("response id"));
+                }
+                if dim == 0 || values.len() != dim as usize {
+                    return Err(ClientError::Mismatch("embedding shape"));
+                }
+                Ok((node, values))
+            }
+            Response::Error { code, message, .. } => {
+                Err(ClientError::Server(ServeError::from_code(code, message)))
+            }
+            _ => Err(ClientError::Mismatch("expected ingested")),
+        }
+    }
+
     /// Requests the server's live metrics snapshot: a JSON object with a
     /// `server` section (request/job/batch/cache counters, batch-size and
     /// wait histograms) and a `process` section (ambient sampling and

@@ -21,6 +21,15 @@
 //! | 5 | Error            | `code u8, msg_len u32, msg utf-8` |
 //! | 6 | Stats request    | (header only) |
 //! | 7 | Stats            | `msg_len u32, JSON snapshot utf-8` |
+//! | 8 | Ingest request   | `seed u64, node_type u16, label_flag u8 [, label u16], feat_count u32, feat_count × f32, edge_count u32, edge_count × (peer u32, edge_type u16)` |
+//! | 9 | Ingested         | `node u32, dim u32, dim × f32` |
+//!
+//! `Ingest` (type 8) is the streaming-graph op: the client ships a
+//! never-seen node — type, optional label, dense features and typed edges
+//! to existing nodes — and receives `Ingested` (type 9) with the node's
+//! assigned id plus its embedding, computed on the mutated graph in the
+//! same round trip. `label_flag` is 0 (unlabelled, no label bytes follow)
+//! or 1; any other value is malformed.
 //!
 //! Decoding is fully defensive: declared lengths are validated against the
 //! remaining bytes *before* any allocation, oversized frames are rejected
@@ -70,6 +79,8 @@ pub const MAX_FRAME_LEN: usize = 1 << 22;
 /// Upper bound on node ids per request — keeps one request from occupying
 /// a whole batch window forever.
 pub const MAX_NODES_PER_REQUEST: usize = 4096;
+/// Upper bound on feature scalars in one `Ingest` request.
+pub const MAX_FEATURES_PER_INGEST: usize = 65536;
 
 const TYPE_EMBED: u8 = 1;
 const TYPE_CLASSIFY: u8 = 2;
@@ -78,6 +89,8 @@ const TYPE_CLASSES: u8 = 4;
 const TYPE_ERROR: u8 = 5;
 const TYPE_STATS: u8 = 6;
 const TYPE_STATS_TEXT: u8 = 7;
+const TYPE_INGEST: u8 = 8;
+const TYPE_INGESTED: u8 = 9;
 
 /// Wire-level decode failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,21 +156,41 @@ pub enum Request {
         /// Client-chosen id, echoed in the response.
         id: u64,
     },
+    /// Ship a never-seen node (type, features, optional label, typed edges
+    /// to existing nodes) and get its embedding back in one round trip.
+    Ingest {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+        /// Sampling seed for the returned embedding.
+        seed: u64,
+        /// The new node's type id.
+        node_type: u16,
+        /// Optional class label.
+        label: Option<u16>,
+        /// Dense feature row (must match the served graph's `d₀`).
+        features: Vec<f32>,
+        /// Typed edges `(existing peer, edge type)` to wire the node up.
+        edges: Vec<(u32, u16)>,
+    },
 }
 
 impl Request {
     /// The request id.
     pub fn id(&self) -> u64 {
         match self {
-            Request::Embed { id, .. } | Request::Classify { id, .. } | Request::Stats { id } => *id,
+            Request::Embed { id, .. }
+            | Request::Classify { id, .. }
+            | Request::Stats { id }
+            | Request::Ingest { id, .. } => *id,
         }
     }
 
-    /// The nodes the request touches (empty for `Stats`).
+    /// The nodes the request touches (empty for `Stats`; `Ingest` peers
+    /// are validated by the graph mutation itself, not here).
     pub fn nodes(&self) -> &[u32] {
         match self {
             Request::Embed { nodes, .. } | Request::Classify { nodes, .. } => nodes,
-            Request::Stats { .. } => &[],
+            Request::Stats { .. } | Request::Ingest { .. } => &[],
         }
     }
 }
@@ -196,6 +229,18 @@ pub enum Response {
         id: u64,
         /// JSON text (see `widen_obs::Snapshot::to_json`).
         text: String,
+    },
+    /// Acknowledges an `Ingest`: the assigned node id plus the new node's
+    /// embedding on the mutated graph.
+    Ingested {
+        /// Echoed request id.
+        id: u64,
+        /// The node id the server assigned.
+        node: u32,
+        /// Embedding dimensionality.
+        dim: u32,
+        /// The embedding row.
+        values: Vec<f32>,
     },
 }
 
@@ -289,6 +334,36 @@ fn request_body(req: &Request, version: u16) -> BytesMut {
             b
         }
         Request::Stats { id } => body_header(version, TYPE_STATS, *id, 0),
+        Request::Ingest {
+            id,
+            seed,
+            node_type,
+            label,
+            features,
+            edges,
+        } => {
+            let hint = 8 + 3 + 2 + 4 + features.len() * 4 + 4 + edges.len() * 6;
+            let mut b = body_header(version, TYPE_INGEST, *id, hint);
+            b.put_u64_le(*seed);
+            b.put_u16_le(*node_type);
+            match label {
+                Some(l) => {
+                    b.put_slice(&[1]);
+                    b.put_u16_le(*l);
+                }
+                None => b.put_slice(&[0]),
+            }
+            b.put_u32_le(features.len() as u32);
+            for &f in features {
+                b.put_f32_le(f);
+            }
+            b.put_u32_le(edges.len() as u32);
+            for &(peer, t) in edges {
+                b.put_u32_le(peer);
+                b.put_u16_le(t);
+            }
+            b
+        }
     }
 }
 
@@ -395,6 +470,20 @@ fn response_body(resp: &Response, version: u16) -> BytesMut {
             let mut b = body_header(version, TYPE_STATS_TEXT, *id, 4 + text.len());
             b.put_u32_le(text.len() as u32);
             b.put_slice(text.as_bytes());
+            b
+        }
+        Response::Ingested {
+            id,
+            node,
+            dim,
+            values,
+        } => {
+            let mut b = body_header(version, TYPE_INGESTED, *id, 8 + values.len() * 4);
+            b.put_u32_le(*node);
+            b.put_u32_le(*dim);
+            for &v in values {
+                b.put_f32_le(v);
+            }
             b
         }
     }
@@ -524,6 +613,47 @@ pub fn decode_request_ext(body: &[u8]) -> Result<(Request, Option<TraceContext>)
             }
         }
         TYPE_STATS => Request::Stats { id },
+        TYPE_INGEST => {
+            let seed = r.u64("seed")?;
+            let node_type = r.u16("node type")?;
+            let label = match r.u8("label flag")? {
+                0 => None,
+                1 => Some(r.u16("label")?),
+                _ => return Err(WireError::Malformed("bad label flag")),
+            };
+            let feat_count = r.u32("feature count")? as usize;
+            if feat_count > MAX_FEATURES_PER_INGEST {
+                return Err(WireError::Malformed("too many features in one ingest"));
+            }
+            let raw = r.take(
+                feat_count
+                    .checked_mul(4)
+                    .ok_or(WireError::Malformed("feature size"))?,
+                "feature values",
+            )?;
+            let features = raw
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let edge_count = r.u32("edge count")? as usize;
+            if edge_count > MAX_NODES_PER_REQUEST {
+                return Err(WireError::Malformed("too many edges in one ingest"));
+            }
+            let mut edges = Vec::with_capacity(edge_count);
+            for _ in 0..edge_count {
+                let peer = r.u32("edge peer")?;
+                let t = r.u16("edge type")?;
+                edges.push((peer, t));
+            }
+            Request::Ingest {
+                id,
+                seed,
+                node_type,
+                label,
+                features,
+                edges,
+            }
+        }
         other => return Err(WireError::BadType(other)),
     };
     let trace = if ext_flags(version, &mut r)? {
@@ -603,6 +733,27 @@ pub fn decode_response_ext(body: &[u8]) -> Result<(Response, Option<SpanSummary>
                 .map_err(|_| WireError::Malformed("non-utf8 stats text"))?
                 .to_string();
             Response::Stats { id, text }
+        }
+        TYPE_INGESTED => {
+            let node = r.u32("node id")?;
+            let dim = r.u32("dim")? as usize;
+            if dim > MAX_FEATURES_PER_INGEST {
+                return Err(WireError::Malformed("oversized embedding dim"));
+            }
+            let raw = r.take(
+                dim.checked_mul(4).ok_or(WireError::Malformed("size"))?,
+                "embedding values",
+            )?;
+            let values = raw
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            Response::Ingested {
+                id,
+                node,
+                dim: dim as u32,
+                values,
+            }
         }
         other => return Err(WireError::BadType(other)),
     };
@@ -759,6 +910,99 @@ mod tests {
             let body = fr.next_frame().unwrap().unwrap();
             assert_eq!(&decode_response(&body).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn ingest_frames_round_trip() {
+        let reqs = [
+            Request::Ingest {
+                id: 10,
+                seed: 99,
+                node_type: 2,
+                label: Some(1),
+                features: vec![0.25, -1.5, 0.0],
+                edges: vec![(3, 0), (7, 1)],
+            },
+            Request::Ingest {
+                id: 11,
+                seed: 0,
+                node_type: 0,
+                label: None,
+                features: vec![],
+                edges: vec![],
+            },
+        ];
+        for req in &reqs {
+            let wire = encode_request(req);
+            let mut fr = FrameReader::new();
+            fr.push(&wire);
+            let body = fr.next_frame().unwrap().expect("complete frame");
+            assert_eq!(&decode_request(&body).unwrap(), req);
+        }
+        let resp = Response::Ingested {
+            id: 10,
+            node: 400,
+            dim: 2,
+            values: vec![1.5, -0.5],
+        };
+        let wire = encode_response(&resp);
+        let mut fr = FrameReader::new();
+        fr.push(&wire);
+        let body = fr.next_frame().unwrap().unwrap();
+        assert_eq!(decode_response(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn ingest_malformations_rejected() {
+        let req = Request::Ingest {
+            id: 1,
+            seed: 2,
+            node_type: 0,
+            label: Some(0),
+            features: vec![1.0],
+            edges: vec![(0, 0)],
+        };
+        let wire = encode_request(&req);
+        let body = &wire[4..];
+        // Truncations at every prefix error out rather than panic.
+        for cut in 0..body.len() {
+            assert!(decode_request(&body[..cut]).is_err(), "cut {cut}");
+        }
+        // A label flag other than 0/1 is malformed.
+        let mut bad_flag = body.to_vec();
+        let flag_off = 4 + 2 + 1 + 8 + 8 + 2;
+        assert_eq!(bad_flag[flag_off], 1);
+        bad_flag[flag_off] = 2;
+        assert_eq!(
+            decode_request(&bad_flag),
+            Err(WireError::Malformed("bad label flag"))
+        );
+        // Declared feature count beyond the cap.
+        let mut bad_count = body.to_vec();
+        let count_off = flag_off + 1 + 2;
+        bad_count[count_off..count_off + 4]
+            .copy_from_slice(&(MAX_FEATURES_PER_INGEST as u32 + 1).to_le_bytes());
+        assert_eq!(
+            decode_request(&bad_count),
+            Err(WireError::Malformed("too many features in one ingest"))
+        );
+    }
+
+    #[test]
+    fn traced_ingest_carries_the_extension() {
+        let req = Request::Ingest {
+            id: 21,
+            seed: 5,
+            node_type: 1,
+            label: None,
+            features: vec![2.0],
+            edges: vec![(1, 0)],
+        };
+        let trace = TraceContext { trace_id: 77 };
+        let wire = encode_request_traced(&req, &trace);
+        let (back, ctx) = decode_request_ext(&wire[4..]).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(ctx, Some(trace));
     }
 
     #[test]

@@ -1,19 +1,62 @@
-//! Checkpoint-backed model registry: the immutable bundle of graph,
-//! configuration and restored weights every worker thread reads from.
+//! Checkpoint-backed model registry: the bundle of graph, configuration
+//! and restored weights every worker thread reads from.
+//!
+//! Since the streaming-graph work the registry is no longer immutable: the
+//! `Ingest` wire op grows the served graph online, and
+//! [`ModelRegistry::hot_swap`] replaces the weights with a new checkpoint
+//! without restarting the server. Both go through one `RwLock` over the
+//! whole [`ServingState`], so a batch that takes a single read guard sees
+//! a consistent `(model, graph, digest)` snapshot — a swap can never land
+//! between reading the digest and running the forward pass.
 
+use parking_lot::{RwLock, RwLockReadGuard};
 use widen_core::{WidenConfig, WidenModel};
-use widen_graph::HeteroGraph;
+use widen_graph::{EdgeTypeId, HeteroGraph, MutationError, NodeTypeId};
 use widen_tensor::{digest64, BackendKind, CheckpointError};
 
-/// An immutable, shareable serving model: graph metadata + configuration
-/// + weights restored through the fallible checkpoint path.
-///
-/// The registry is constructed once and only ever read afterwards, so it
-/// can sit behind a plain `Arc` with no locking on the hot path.
-pub struct ModelRegistry {
+/// The consistent snapshot a read guard exposes: model, graph, and the
+/// checkpoint digest identifying the model generation.
+pub struct ServingState {
     model: WidenModel,
     graph: HeteroGraph,
     checkpoint_hash: u64,
+}
+
+impl ServingState {
+    /// The serving model.
+    pub fn model(&self) -> &WidenModel {
+        &self.model
+    }
+
+    /// The graph requests resolve node ids against.
+    pub fn graph(&self) -> &HeteroGraph {
+        &self.graph
+    }
+
+    /// FNV-1a digest of the checkpoint bytes — the cache-key generation id.
+    pub fn checkpoint_hash(&self) -> u64 {
+        self.checkpoint_hash
+    }
+}
+
+/// What a successful [`ModelRegistry::ingest`] hands back: the assigned
+/// node id, its embedding under the requested seed, and the generation
+/// the embedding was computed under (for cache insertion).
+#[derive(Debug, Clone)]
+pub struct IngestOutcome {
+    /// Id of the freshly added node.
+    pub node: u32,
+    /// The node's embedding, computed on the post-mutation graph.
+    pub embedding: Vec<f32>,
+    /// Checkpoint digest of the model that produced the embedding.
+    pub checkpoint_hash: u64,
+}
+
+/// A shareable serving bundle: graph + configuration + weights restored
+/// through the fallible checkpoint path, behind one `RwLock` so the graph
+/// can grow and the weights can be hot-swapped while requests are served.
+pub struct ModelRegistry {
+    state: RwLock<ServingState>,
 }
 
 impl ModelRegistry {
@@ -33,9 +76,11 @@ impl ModelRegistry {
         let mut model = WidenModel::for_graph(&graph, config);
         model.try_load_weights(checkpoint)?;
         Ok(Self {
-            checkpoint_hash: digest64(checkpoint),
-            model,
-            graph,
+            state: RwLock::new(ServingState {
+                checkpoint_hash: digest64(checkpoint),
+                model,
+                graph,
+            }),
         })
     }
 
@@ -46,44 +91,95 @@ impl ModelRegistry {
     pub fn from_model(graph: HeteroGraph, model: WidenModel) -> Self {
         let checkpoint_hash = digest64(&model.save_weights());
         Self {
-            model,
-            graph,
-            checkpoint_hash,
+            state: RwLock::new(ServingState {
+                model,
+                graph,
+                checkpoint_hash,
+            }),
         }
     }
 
     /// Pins the dense GEMM kernel backend every forward pass served from
     /// this registry dispatches through. The choice is per loaded model —
-    /// two registries in one process can serve on different backends —
-    /// and is immutable once the registry goes behind its `Arc`.
-    pub fn with_backend(mut self, backend: BackendKind) -> Self {
-        self.model.config.backend = backend;
-        self
+    /// two registries in one process can serve on different backends.
+    pub fn with_backend(self, backend: BackendKind) -> Self {
+        let mut state = self.state.into_inner();
+        state.model.config.backend = backend;
+        Self {
+            state: RwLock::new(state),
+        }
     }
 
     /// The kernel backend this registry's forward passes run on.
     pub fn backend(&self) -> BackendKind {
-        self.model.config.backend
+        self.state.read().model.config.backend
     }
 
-    /// The serving model.
-    pub fn model(&self) -> &WidenModel {
-        &self.model
+    /// A consistent `(model, graph, digest)` snapshot. Workers take one
+    /// guard per batch: everything computed under it belongs to a single
+    /// model generation and graph version.
+    pub fn read(&self) -> RwLockReadGuard<'_, ServingState> {
+        self.state.read()
     }
 
-    /// The graph requests resolve node ids against.
-    pub fn graph(&self) -> &HeteroGraph {
-        &self.graph
-    }
-
-    /// FNV-1a digest of the checkpoint bytes — the cache-key generation id.
+    /// FNV-1a digest of the current checkpoint bytes.
     pub fn checkpoint_hash(&self) -> u64 {
-        self.checkpoint_hash
+        self.state.read().checkpoint_hash
     }
 
     /// Whether `node` exists in the served graph.
     pub fn contains_node(&self, node: u32) -> bool {
-        (node as usize) < self.graph.num_nodes()
+        (node as usize) < self.state.read().graph.num_nodes()
+    }
+
+    /// Streams one never-seen node into the served graph and embeds it in
+    /// the same critical section: the node, its typed edges, and the
+    /// returned embedding all belong to one graph version, and the
+    /// embedding is bit-identical to what an `Embed` request for the new
+    /// id would compute afterwards (same graph, same weights, same seed).
+    ///
+    /// # Errors
+    /// Returns the graph's typed [`MutationError`] (bad node/edge type,
+    /// feature-dimension mismatch, out-of-range peer, …); the graph is
+    /// untouched on error.
+    pub fn ingest(
+        &self,
+        node_type: NodeTypeId,
+        features: Vec<f32>,
+        label: Option<u16>,
+        edges: &[(u32, EdgeTypeId)],
+        seed: u64,
+    ) -> Result<IngestOutcome, MutationError> {
+        let mut st = self.state.write();
+        let node = st
+            .graph
+            .add_node_with_edges(node_type, features, label, edges)?;
+        let rows = st.model.embed_requests(&st.graph, &[(node, seed)]);
+        Ok(IngestOutcome {
+            node,
+            embedding: rows.row(0).to_vec(),
+            checkpoint_hash: st.checkpoint_hash,
+        })
+    }
+
+    /// Replaces the serving weights with `checkpoint`, keyed by its
+    /// digest, without restarting the server. The new model is built and
+    /// validated against the *current* graph before the old one is
+    /// dropped; in-flight batches holding a read guard finish on the old
+    /// generation, later batches see the new one. Returns the new digest
+    /// so the caller can flush caches keyed by generation.
+    ///
+    /// # Errors
+    /// Returns the [`CheckpointError`] and leaves the registry serving the
+    /// old weights when the checkpoint is corrupt or mismatched.
+    pub fn hot_swap(&self, checkpoint: &[u8]) -> Result<u64, CheckpointError> {
+        let mut st = self.state.write();
+        let config = st.model.config.clone();
+        let mut model = WidenModel::for_graph(&st.graph, config);
+        model.try_load_weights(checkpoint)?;
+        st.model = model;
+        st.checkpoint_hash = digest64(checkpoint);
+        Ok(st.checkpoint_hash)
     }
 }
 
@@ -112,8 +208,10 @@ mod tests {
         assert_eq!(registry.checkpoint_hash(), digest64(&checkpoint));
         // Weights actually restored: embeddings agree bit-for-bit.
         let a = model.embed_nodes(&dataset.graph, &[0, 1], 5);
-        let b = registry.model().embed_nodes(registry.graph(), &[0, 1], 5);
+        let st = registry.read();
+        let b = st.model().embed_nodes(st.graph(), &[0, 1], 5);
         assert_eq!(a.max_abs_diff(&b), 0.0);
+        drop(st);
         assert!(registry.contains_node(0));
         assert!(!registry.contains_node(u32::MAX));
     }
@@ -133,8 +231,9 @@ mod tests {
                 .with_backend(BackendKind::Optimized);
         assert_eq!(reference.backend(), BackendKind::Reference);
         assert_eq!(optimized.backend(), BackendKind::Optimized);
-        let a = reference.model().embed_nodes(reference.graph(), &[0, 1], 5);
-        let b = optimized.model().embed_nodes(optimized.graph(), &[0, 1], 5);
+        let (ra, rb) = (reference.read(), optimized.read());
+        let a = ra.model().embed_nodes(ra.graph(), &[0, 1], 5);
+        let b = rb.model().embed_nodes(rb.graph(), &[0, 1], 5);
         let diff = a.max_abs_diff(&b);
         assert!(diff <= 1e-5, "backend embeddings diverged: {diff}");
     }
@@ -158,5 +257,90 @@ mod tests {
         let via_ckpt =
             ModelRegistry::from_checkpoint(dataset.graph, tiny_config(), &checkpoint).unwrap();
         assert_eq!(via_model.checkpoint_hash(), via_ckpt.checkpoint_hash());
+    }
+
+    #[test]
+    fn ingest_grows_graph_and_matches_post_hoc_embed() {
+        let dataset = acm_like(Scale::Smoke, 3);
+        let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+        let registry = ModelRegistry::from_model(dataset.graph.clone(), model);
+        let before = dataset.graph.num_nodes() as u32;
+        let peers: Vec<(u32, EdgeTypeId)> = vec![(0, EdgeTypeId(0)), (1, EdgeTypeId(0))];
+        let out = registry
+            .ingest(
+                NodeTypeId(0),
+                vec![0.25; dataset.graph.feature_dim()],
+                None,
+                &peers,
+                42,
+            )
+            .expect("valid ingest");
+        assert_eq!(out.node, before);
+        assert!(registry.contains_node(before));
+        // Bit-identical to embedding the node again on the mutated graph.
+        let st = registry.read();
+        let again = st.model().embed_requests(st.graph(), &[(out.node, 42)]);
+        assert_eq!(out.embedding.as_slice(), again.row(0));
+        assert_eq!(out.checkpoint_hash, st.checkpoint_hash());
+    }
+
+    #[test]
+    fn ingest_rejects_bad_input_without_mutating() {
+        let dataset = acm_like(Scale::Smoke, 3);
+        let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+        let registry = ModelRegistry::from_model(dataset.graph.clone(), model);
+        let n = dataset.graph.num_nodes();
+        let err = registry
+            .ingest(
+                NodeTypeId(0),
+                vec![0.0; dataset.graph.feature_dim()],
+                None,
+                &[(u32::MAX, EdgeTypeId(0))],
+                1,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MutationError::EndpointOutOfRange { .. }));
+        assert_eq!(registry.read().graph().num_nodes(), n);
+    }
+
+    #[test]
+    fn hot_swap_changes_generation_and_weights() {
+        let dataset = acm_like(Scale::Smoke, 3);
+        let mut cfg_b = tiny_config();
+        cfg_b.seed = 999; // different init → different weights
+        let model_a = WidenModel::for_graph(&dataset.graph, tiny_config());
+        let model_b = WidenModel::for_graph(&dataset.graph, cfg_b);
+        let ckpt_b = model_b.save_weights();
+        let registry = ModelRegistry::from_model(dataset.graph.clone(), model_a);
+        let gen_a = registry.checkpoint_hash();
+        let embed_a = {
+            let st = registry.read();
+            st.model().embed_requests(st.graph(), &[(0, 7)])
+        };
+        let gen_b = registry.hot_swap(&ckpt_b).expect("valid checkpoint");
+        assert_ne!(gen_a, gen_b);
+        assert_eq!(registry.checkpoint_hash(), gen_b);
+        let st = registry.read();
+        let embed_b = st.model().embed_requests(st.graph(), &[(0, 7)]);
+        assert!(
+            embed_a.max_abs_diff(&embed_b) > 0.0,
+            "swap must change output"
+        );
+        // The swapped generation serves exactly model_b's answers.
+        let want = model_b.embed_requests(st.graph(), &[(0, 7)]);
+        assert_eq!(embed_b.max_abs_diff(&want), 0.0);
+    }
+
+    #[test]
+    fn hot_swap_rejects_bad_checkpoint_and_keeps_serving() {
+        let dataset = acm_like(Scale::Smoke, 3);
+        let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+        let good = model.save_weights();
+        let registry = ModelRegistry::from_model(dataset.graph, model);
+        let generation = registry.checkpoint_hash();
+        let mut bad = good.to_vec();
+        bad[16] ^= 0xFF;
+        assert!(registry.hot_swap(&bad).is_err());
+        assert_eq!(registry.checkpoint_hash(), generation);
     }
 }

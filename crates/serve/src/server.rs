@@ -27,8 +27,10 @@ use crossbeam_channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use widen_obs::{Counter, Event, JsonlSink, Registry as MetricsRegistry};
 
+use widen_graph::{EdgeTypeId, NodeTypeId};
+
 use crate::batcher::{run_worker, BatchPolicy, Job, JobKind, JobOutput, RequestTrace, WorkerStats};
-use crate::cache::EmbedCache;
+use crate::cache::{EmbedCache, EmbedKey};
 use crate::error::ServeError;
 use crate::protocol::{
     decode_request_ext, encode_response, encode_response_traced, FrameReader, Request, Response,
@@ -97,6 +99,9 @@ pub struct ServeStats {
     pub cache_hits: u64,
     /// Embedding-cache misses.
     pub cache_misses: u64,
+    /// Nodes streamed into the served graph over the wire (`Ingest` ops
+    /// that succeeded).
+    pub ingests: u64,
 }
 
 struct Shared {
@@ -109,6 +114,8 @@ struct Shared {
     /// `serve_slow_requests_total` — requests slower than the configured
     /// threshold.
     slow_requests: Arc<Counter>,
+    /// `serve_ingests_total` — successful `Ingest` ops (graph mutations).
+    ingests: Arc<Counter>,
     conns: Mutex<Vec<JoinHandle<()>>>,
     cache: Arc<EmbedCache>,
     worker_stats: Arc<WorkerStats>,
@@ -152,6 +159,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             requests: metrics.counter("serve_requests_total"),
             slow_requests: metrics.counter("serve_slow_requests_total"),
+            ingests: metrics.counter("serve_ingests_total"),
             conns: Mutex::new(Vec::new()),
             cache: Arc::new(EmbedCache::with_metrics(config.cache_capacity, &metrics)),
             worker_stats: Arc::new(WorkerStats::new(&metrics)),
@@ -226,7 +234,24 @@ impl ServerHandle {
             dedup_hits: self.shared.worker_stats.dedup_hits.get(),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
+            ingests: self.shared.ingests.get(),
         }
+    }
+
+    /// Replaces the serving weights with `checkpoint` without restarting:
+    /// validates and swaps the model generation in the registry, then
+    /// flushes the embedding cache so no row keyed by the old digest can
+    /// ever be served again. In-flight batches finish on the generation
+    /// they started under. Returns the new checkpoint digest.
+    ///
+    /// # Errors
+    /// Returns the [`CheckpointError`](widen_tensor::CheckpointError) and
+    /// keeps serving the old weights (cache untouched) when the checkpoint
+    /// is corrupt or mismatched.
+    pub fn hot_swap(&self, checkpoint: &[u8]) -> Result<u64, widen_tensor::CheckpointError> {
+        let digest = self.shared.registry.hot_swap(checkpoint)?;
+        self.shared.cache.clear();
+        Ok(digest)
     }
 
     /// The server's metric registry — every `serve_*` instrument,
@@ -447,6 +472,7 @@ fn log_slow_request(
         Request::Embed { .. } => "embed",
         Request::Classify { .. } => "classify",
         Request::Stats { .. } => "stats",
+        Request::Ingest { .. } => "ingest",
     };
     let mut event = Event::new("slow_request")
         .u64("request_id", request.id())
@@ -480,6 +506,61 @@ fn answer_request(
             text: stats_text(shared),
         };
     }
+    // Ingest mutates the graph and embeds inside one registry critical
+    // section, so it is answered on the handler thread rather than queued:
+    // batching cannot help a write, and the embedding must come from the
+    // exact graph version the mutation produced.
+    if let Request::Ingest {
+        seed,
+        node_type,
+        label,
+        features,
+        edges,
+        ..
+    } = request
+    {
+        let typed: Vec<(u32, EdgeTypeId)> = edges
+            .iter()
+            .map(|&(peer, et)| (peer, EdgeTypeId(et)))
+            .collect();
+        return match shared.registry.ingest(
+            NodeTypeId(*node_type),
+            features.clone(),
+            *label,
+            &typed,
+            *seed,
+        ) {
+            Ok(outcome) => {
+                // Attaching edges changed the peers' neighbourhoods, so
+                // any cached row for them (any seed, any generation) is
+                // stale. This is race-free against the batchers: a worker
+                // holds its registry read guard across its cache inserts,
+                // so any row computed on the pre-mutation graph was
+                // inserted before our write guard was granted — i.e.
+                // strictly before this invalidation.
+                let peers: Vec<u32> = edges.iter().map(|&(peer, _)| peer).collect();
+                shared.cache.invalidate_nodes(&peers);
+                // Warm the cache: a follow-up Embed for (node, seed) under
+                // the same generation is answered without a forward pass.
+                shared.cache.insert(
+                    EmbedKey {
+                        node: outcome.node,
+                        checkpoint_hash: outcome.checkpoint_hash,
+                        seed: *seed,
+                    },
+                    outcome.embedding.clone(),
+                );
+                shared.ingests.inc();
+                Response::Ingested {
+                    id,
+                    node: outcome.node,
+                    dim: outcome.embedding.len() as u32,
+                    values: outcome.embedding,
+                }
+            }
+            Err(err) => Response::from_error(id, &ServeError::BadRequest(err.to_string())),
+        };
+    }
     if let Some(&bad) = request
         .nodes()
         .iter()
@@ -490,7 +571,7 @@ fn answer_request(
             &ServeError::BadRequest(format!("node {bad} outside the served graph")),
         );
     }
-    let d = shared.registry.model().config.d as u32;
+    let d = shared.registry.read().model().config.d as u32;
     if request.nodes().is_empty() {
         return match request {
             Request::Embed { .. } => Response::Embeddings {
@@ -502,14 +583,16 @@ fn answer_request(
                 id,
                 labels: Vec::new(),
             },
-            Request::Stats { .. } => unreachable!("stats answered above"),
+            Request::Stats { .. } | Request::Ingest { .. } => {
+                unreachable!("answered above")
+            }
         };
     }
 
     let (kind, seed) = match request {
         Request::Embed { seed, .. } => (JobKind::Embed, *seed),
         Request::Classify { seed, rounds, .. } => (JobKind::Classify { rounds: *rounds }, *seed),
-        Request::Stats { .. } => unreachable!("stats answered above"),
+        Request::Stats { .. } | Request::Ingest { .. } => unreachable!("answered above"),
     };
     let deadline = Instant::now() + shared.request_timeout;
     let (reply_tx, reply_rx) = mpsc::channel();
@@ -595,7 +678,7 @@ fn answer_request(
             }
             Response::Classes { id, labels }
         }
-        Request::Stats { .. } => unreachable!("stats answered above"),
+        Request::Stats { .. } | Request::Ingest { .. } => unreachable!("answered above"),
     }
 }
 

@@ -194,6 +194,18 @@ impl Tensor {
         self.row_mut(r).copy_from_slice(src);
     }
 
+    /// Appends `src` as a new last row (amortised O(cols) — backing
+    /// storage grows geometrically, so streaming node ingestion does not
+    /// reallocate the whole matrix per row).
+    ///
+    /// # Panics
+    /// Panics if `src.len() != self.cols()`.
+    pub fn push_row(&mut self, src: &[f32]) {
+        assert_eq!(src.len(), self.cols, "row length mismatch");
+        self.data.extend_from_slice(src);
+        self.rows += 1;
+    }
+
     /// Matrix product `self · other` on the process-default backend
     /// ([`crate::default_backend`]).
     ///

@@ -13,6 +13,10 @@
 //!   at the end instead of per term. On finite inputs with a fresh output
 //!   that leaves a tolerance-bounded (in practice zero up to the sign of
 //!   zero) difference; NaNs the reference produces must still propagate.
+//! * the bounds hold under *nested* rayon parallelism too: outer
+//!   `par_iter` tasks each running an internally-parallel GEMM must not
+//!   corrupt one another's pack scratch
+//!   (`nn_inside_outer_par_iter_matches_reference`).
 
 use proptest::prelude::*;
 use widen_tensor::{BackendKind, KernelBackend, Optimized, Reference, Tensor};
@@ -175,6 +179,57 @@ proptest! {
                         "reference NaN at ({i},{j}) vanished on the optimized path");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn nn_inside_outer_par_iter_matches_reference(
+        rounds in 1usize..3,
+    ) {
+        // Regression for a work-stealing hazard: an outer rayon par_iter
+        // (mimicking trainer::train_batch / model::infer_rows) whose tasks
+        // each run a large optimized matmul that parallelises internally
+        // (work ≥ 64³, m > MR). A task stolen onto a pool thread mid-GEMM
+        // must not corrupt another task's pack scratch — every concurrent
+        // result must equal the single-threaded reference answer.
+        use rayon::prelude::*;
+        let grid = |rows: usize, cols: usize, f: fn(usize, usize) -> f32| {
+            let data = (0..rows)
+                .flat_map(|i| (0..cols).map(move |j| f(i, j)))
+                .collect();
+            Tensor::from_vec(rows, cols, data)
+        };
+        let a = grid(64, 128, |i, j| ((i * 131 + j * 17) % 97) as f32 * 0.01);
+        let b = grid(128, 128, |i, j| ((i * 29 + j * 13) % 89) as f32 * 0.01);
+        let reference = a.matmul_with(&b, BackendKind::Reference);
+        // Tolerances depend only on the inputs; compute them once, not per
+        // concurrent task.
+        let tol: Vec<f32> = (0..reference.rows())
+            .flat_map(|i| (0..reference.cols()).map(move |j| (i, j)))
+            .map(|(i, j)| nn_tolerance(&a, &b, i, j))
+            .collect();
+        let tasks: Vec<usize> = (0..64).collect();
+        for _round in 0..rounds {
+            let failures: Vec<String> = tasks
+                .par_iter()
+                .filter_map(|&task| {
+                    let c = a.matmul_with(&b, BackendKind::Optimized);
+                    for i in 0..reference.rows() {
+                        for j in 0..reference.cols() {
+                            let r = reference.get(i, j);
+                            let o = c.get(i, j);
+                            let t = tol[i * reference.cols() + j];
+                            if !((r - o).abs() <= t) {
+                                return Some(format!(
+                                    "task {task} ({i},{j}): reference {r}, optimized {o}, tol {t}"
+                                ));
+                            }
+                        }
+                    }
+                    None
+                })
+                .collect();
+            prop_assert!(failures.is_empty(), "{}", failures.join("; "));
         }
     }
 

@@ -71,9 +71,8 @@ fn registry_load_matches_direct_load() {
     let probe: Vec<u32> = dataset.transductive.test[..8].to_vec();
     let items: Vec<(u32, u64)> = probe.iter().map(|&v| (v, 5)).collect();
     let logits_a = trained.ensemble_logits(&dataset.graph, &items, 2);
-    let logits_b = registry
-        .model()
-        .ensemble_logits(registry.graph(), &items, 2);
+    let st = registry.read();
+    let logits_b = st.model().ensemble_logits(st.graph(), &items, 2);
     assert_eq!(logits_a.max_abs_diff(&logits_b), 0.0);
 }
 

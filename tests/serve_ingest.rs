@@ -1,0 +1,188 @@
+//! Integration: the streaming-serve loop. A client ships a node the model
+//! has never seen — features, label, typed edges — over the wire and gets
+//! its embedding back in one round trip, bit-identical to an offline
+//! forward pass on a locally mutated graph. Checkpoint hot-swap flips the
+//! serving generation in place and flushes the embedding cache, so a row
+//! computed under the old digest is never served again.
+
+use widen::core::{WidenConfig, WidenModel};
+use widen::data::{acm_like, Scale};
+use widen::graph::{EdgeTypeId, NodeTypeId};
+use widen::serve::{Client, ClientError, ModelRegistry, ServeConfig, Server};
+
+fn tiny_config() -> WidenConfig {
+    let mut c = WidenConfig::small();
+    c.d = 8;
+    c.n_w = 4;
+    c.n_d = 4;
+    c.phi = 1;
+    c
+}
+
+fn bits(row: &[f32]) -> Vec<u32> {
+    row.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn wire_ingest_matches_offline_forward_bit_for_bit() {
+    let dataset = acm_like(Scale::Smoke, 70);
+    let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+    let checkpoint = model.save_weights();
+    let registry =
+        ModelRegistry::from_checkpoint(dataset.graph.clone(), tiny_config(), &checkpoint)
+            .expect("checkpoint loads");
+
+    // Offline oracle: the same two-node arrival applied to a local clone
+    // of the graph, embedded with the same frozen weights and seeds. The
+    // second arrival attaches to the first — a node that itself did not
+    // exist when the server started — which changes the first node's
+    // neighbourhood, so its embedding is captured both at ingest time and
+    // after the graph grew further.
+    let feat_dim = dataset.graph.feature_dim();
+    let first_edges = [(0u32, 0u16), (1, 0)];
+    let mut oracle_graph = dataset.graph.clone();
+    let first_typed: Vec<(u32, EdgeTypeId)> = first_edges
+        .iter()
+        .map(|&(p, t)| (p, EdgeTypeId(t)))
+        .collect();
+    let first_id = oracle_graph
+        .add_node_with_edges(NodeTypeId(0), vec![0.25; feat_dim], Some(1), &first_typed)
+        .expect("valid node");
+    let want_first_at_ingest = model.embed_requests(&oracle_graph, &[(first_id, 41)]);
+    let second_edges = [(first_id, 0u16), (2, 0)];
+    let second_typed: Vec<(u32, EdgeTypeId)> = second_edges
+        .iter()
+        .map(|&(p, t)| (p, EdgeTypeId(t)))
+        .collect();
+    let second_id = oracle_graph
+        .add_node_with_edges(NodeTypeId(1), vec![-0.5; feat_dim], None, &second_typed)
+        .expect("valid node");
+    let want_first_final = model.embed_requests(&oracle_graph, &[(first_id, 41)]);
+    let want_second = model.embed_requests(&oracle_graph, &[(second_id, 42)]);
+
+    let handle = Server::bind(registry, ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Embedding a node that does not exist yet is a BadRequest…
+    match client.embed(&[first_id], 41) {
+        Err(ClientError::Server(_)) => {}
+        other => panic!("embedding an absent node must fail, got {other:?}"),
+    }
+
+    // …until it arrives over the wire: one round trip returns both the
+    // assigned id and the embedding.
+    let (got_first, row_first) = client
+        .ingest(0, &vec![0.25; feat_dim], Some(1), &first_edges, 41)
+        .expect("ingest succeeds");
+    assert_eq!(got_first, first_id);
+    assert_eq!(bits(&row_first), bits(want_first_at_ingest.row(0)));
+
+    let (got_second, row_second) = client
+        .ingest(1, &vec![-0.5; feat_dim], None, &second_edges, 42)
+        .expect("chained ingest succeeds");
+    assert_eq!(got_second, second_id);
+    assert_eq!(bits(&row_second), bits(want_second.row(0)));
+
+    // The second ingest attached to the first node, invalidating its
+    // cached row: a follow-up Embed recomputes on the *current* graph and
+    // must match the post-growth oracle, not the at-ingest snapshot.
+    let rows = client.embed(&[first_id], 41).expect("embed now succeeds");
+    assert_eq!(bits(&rows[0]), bits(want_first_final.row(0)));
+
+    // The second node's neighbourhood is untouched since its ingest, so
+    // its warmed cache row is served as-is and stays bit-identical.
+    let rows = client.embed(&[second_id], 42).expect("embed succeeds");
+    assert_eq!(bits(&rows[0]), bits(want_second.row(0)));
+
+    // Bad ingests are typed errors and do not grow the graph.
+    match client.ingest(0, &vec![0.0; feat_dim], None, &[(u32::MAX, 0)], 1) {
+        Err(ClientError::Server(_)) => {}
+        other => panic!("out-of-range peer must fail, got {other:?}"),
+    }
+    match client.ingest(0, &[0.0], None, &[], 1) {
+        Err(ClientError::Server(_)) => {}
+        other => panic!("feature-dim mismatch must fail, got {other:?}"),
+    }
+    match client.embed(&[second_id + 1], 1) {
+        Err(ClientError::Server(_)) => {}
+        other => panic!("failed ingests must not assign ids, got {other:?}"),
+    }
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.ingests, 2, "only successful ingests are counted");
+    assert!(
+        stats.cache_hits >= 1,
+        "ingest must warm the embedding cache"
+    );
+}
+
+#[test]
+fn hot_swap_invalidates_cache_and_serves_the_new_generation() {
+    let dataset = acm_like(Scale::Smoke, 71);
+    let model_a = WidenModel::for_graph(&dataset.graph, tiny_config());
+    let ckpt_a = model_a.save_weights();
+    let mut cfg_b = tiny_config();
+    cfg_b.seed = 4242; // different init → genuinely different weights
+    let model_b = WidenModel::for_graph(&dataset.graph, cfg_b);
+    let ckpt_b = model_b.save_weights();
+
+    let registry = ModelRegistry::from_checkpoint(dataset.graph.clone(), tiny_config(), &ckpt_a)
+        .expect("checkpoint loads");
+    let handle = Server::bind(registry, ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let nodes: Vec<u32> = (0..4).collect();
+    let seed = 9;
+    let before = client.embed(&nodes, seed).expect("embed succeeds");
+    // Repeat to populate + hit the cache under generation A.
+    let again = client.embed(&nodes, seed).expect("cached embed succeeds");
+    for (a, b) in before.iter().zip(&again) {
+        assert_eq!(bits(a), bits(b));
+    }
+    let hits_before_swap = handle.stats().cache_hits;
+    assert!(hits_before_swap >= nodes.len() as u64);
+
+    // A corrupt checkpoint is rejected and generation A keeps serving.
+    let mut bad = ckpt_b.to_vec();
+    bad[12] ^= 0xFF;
+    assert!(handle.hot_swap(&bad).is_err());
+    let still = client.embed(&nodes, seed).expect("embed succeeds");
+    for (a, b) in before.iter().zip(&still) {
+        assert_eq!(bits(a), bits(b), "failed swap must not change serving");
+    }
+
+    // The real swap: new digest, flushed cache, and the very same
+    // (nodes, seed) request now answers with generation B's rows — never
+    // the stale cached generation-A rows.
+    let digest = handle.hot_swap(&ckpt_b).expect("valid checkpoint");
+    assert_eq!(digest, widen::tensor::digest64(&ckpt_b));
+    let after = client.embed(&nodes, seed).expect("embed succeeds");
+    let want: Vec<Vec<f32>> = {
+        let emb = model_b.embed_nodes(&dataset.graph, &nodes, seed);
+        (0..nodes.len()).map(|i| emb.row(i).to_vec()).collect()
+    };
+    for ((got, want), old) in after.iter().zip(&want).zip(&before) {
+        assert_eq!(bits(got), bits(want), "post-swap rows must be generation B");
+        assert_ne!(bits(got), bits(old), "stale generation-A row was served");
+    }
+
+    // Ingest after the swap embeds under generation B as well.
+    let feat_dim = dataset.graph.feature_dim();
+    let (node, row) = client
+        .ingest(0, &vec![0.125; feat_dim], None, &[(0, 0), (1, 0)], 77)
+        .expect("ingest succeeds");
+    let mut mutated = dataset.graph.clone();
+    let oracle_id = mutated
+        .add_node_with_edges(
+            NodeTypeId(0),
+            vec![0.125; feat_dim],
+            None,
+            &[(0, EdgeTypeId(0)), (1, EdgeTypeId(0))],
+        )
+        .expect("valid node");
+    assert_eq!(node, oracle_id);
+    let want_row = model_b.embed_requests(&mutated, &[(node, 77)]);
+    assert_eq!(bits(&row), bits(want_row.row(0)));
+
+    handle.shutdown();
+}
