@@ -195,13 +195,14 @@ pub(crate) fn run_worker(
 /// per distinct [`JobKind`].
 ///
 /// The whole batch runs under **one** registry read guard, so the digest
-/// used for cache keys, the weights the forward pass reads, and the graph
-/// it samples from are a single consistent generation — a concurrent
-/// ingest or hot-swap lands entirely before or entirely after this batch.
-/// The guard must stay alive across the cache inserts too: the ingest
-/// path invalidates stale peer rows *after* releasing its write guard,
-/// which is only race-free because rows computed on the pre-mutation
-/// graph are inserted before that write guard can be granted.
+/// and graph version used for cache keys, the weights the forward pass
+/// reads, and the graph it samples from are a single consistent
+/// generation — a concurrent ingest or hot-swap lands entirely before or
+/// entirely after this batch. Staleness needs no further ordering
+/// argument: every row is keyed by the `(checkpoint_hash, graph_version)`
+/// it was computed under, and any mutation bumps the version, so a row
+/// from an older graph can never answer a lookup issued under a newer
+/// one, no matter when it was inserted.
 fn process_batch(
     registry: &ModelRegistry,
     cache: &EmbedCache,
@@ -214,6 +215,7 @@ fn process_batch(
     let now = Instant::now();
     let st = registry.read();
     let ckpt = st.checkpoint_hash();
+    let graph_version = st.graph_version();
 
     // (kind → pending jobs) grouping. Kinds in a window are few; a Vec
     // scan beats hashing.
@@ -228,6 +230,7 @@ fn process_batch(
             let key = EmbedKey {
                 node: job.node,
                 checkpoint_hash: ckpt,
+                graph_version,
                 seed: job.seed,
             };
             let lookup_start = job.trace.as_ref().map(|_| Instant::now());
@@ -282,6 +285,7 @@ fn process_batch(
                         EmbedKey {
                             node: job.node,
                             checkpoint_hash: ckpt,
+                            graph_version,
                             seed: job.seed,
                         },
                         row.clone(),

@@ -1,10 +1,16 @@
 //! Bounded LRU cache for served embeddings.
 //!
-//! Keyed by `(node, checkpoint_hash, seed)` — the full determinism
-//! contract of an embedding request. The checkpoint hash (FNV-1a over the
-//! exact checkpoint bytes, see [`widen_tensor::digest64`]) makes entries
-//! from a previous model generation unreachable without an explicit flush:
-//! swap the registry, and every old key simply stops being asked for.
+//! Keyed by `(node, checkpoint_hash, graph_version, seed)` — the full
+//! determinism contract of an embedding request. The checkpoint hash
+//! (FNV-1a over the exact checkpoint bytes, see
+//! [`widen_tensor::digest64`]) makes entries from a previous model
+//! generation unreachable without an explicit flush, and the graph
+//! version (the registry's mutation counter) does the same for entries
+//! computed on an older graph: embeddings come from deep walks, so a
+//! mutation can change the sampling stream of any node within the walk
+//! radius of the touched endpoints, not just the endpoints themselves.
+//! Rather than computing receptive fields, every mutation bumps the
+//! version and every pre-mutation key simply stops being asked for.
 
 use std::hash::Hash;
 use std::sync::Arc;
@@ -137,23 +143,6 @@ impl<K: Hash + Eq + Clone, V> Lru<K, V> {
         self.map.insert(key, idx);
         self.push_front(idx);
     }
-
-    /// Removes `key`, returning whether it was present. The slab slot is
-    /// recycled on the next insert (the value lingers until then — fine
-    /// for a bounded cache, the slot count never grows past capacity).
-    pub fn remove(&mut self, key: &K) -> bool {
-        let Some(idx) = self.map.remove(key) else {
-            return false;
-        };
-        self.unlink(idx);
-        self.free.push(idx);
-        true
-    }
-
-    /// Iterates the live keys in no particular order.
-    pub fn keys(&self) -> impl Iterator<Item = &K> {
-        self.map.keys()
-    }
 }
 
 /// Cache key: the complete identity of a served embedding.
@@ -163,6 +152,11 @@ pub struct EmbedKey {
     pub node: u32,
     /// [`widen_tensor::digest64`] of the model's checkpoint bytes.
     pub checkpoint_hash: u64,
+    /// The registry's graph mutation counter at compute time. Any graph
+    /// mutation bumps it, so rows computed on an older graph — whose
+    /// sampling streams the mutation may have changed anywhere within the
+    /// walk radius — become unreachable.
+    pub graph_version: u64,
     /// Neighbourhood sampling seed.
     pub seed: u64,
 }
@@ -228,32 +222,16 @@ impl EmbedCache {
     }
 
     /// Drops every cached embedding, keeping capacity and hit/miss
-    /// counters. Called on checkpoint hot-swap: digest-keyed entries from
-    /// the old generation would already be unreachable, but flushing
-    /// eagerly returns their memory and guarantees a stale-digest row can
-    /// never be served, even by a future key collision.
+    /// counters. Called on checkpoint hot-swap and graph mutation: the
+    /// digest- and version-keyed entries from the old generation would
+    /// already be unreachable, but flushing eagerly returns their memory
+    /// (an O(1) slab replacement, cheap enough to run per ingest) and
+    /// guarantees a stale row can never be served, even by a future key
+    /// collision.
     pub fn clear(&self) {
         let mut guard = self.inner.lock();
         let cap = guard.0.capacity();
         guard.0 = Lru::new(cap);
-    }
-
-    /// Drops every cached row for the given nodes, across all seeds and
-    /// generations. Called when a graph mutation attaches edges to
-    /// existing nodes: their neighbourhoods — and therefore their
-    /// embeddings under any seed — have changed, so cached rows would
-    /// violate the "identical to a fresh forward pass" contract.
-    pub fn invalidate_nodes(&self, nodes: &[u32]) {
-        let mut guard = self.inner.lock();
-        let stale: Vec<EmbedKey> = guard
-            .0
-            .keys()
-            .filter(|k| nodes.contains(&k.node))
-            .copied()
-            .collect();
-        for key in &stale {
-            guard.0.remove(key);
-        }
     }
 
     /// Snapshot of the hit/miss counters.
@@ -321,33 +299,25 @@ mod tests {
     }
 
     #[test]
-    fn invalidate_nodes_drops_all_seeds_for_those_nodes_only() {
+    fn graph_version_is_part_of_the_key() {
         let cache = EmbedCache::new(16);
-        for (node, seed) in [(1u32, 1u64), (1, 2), (2, 1), (3, 9)] {
-            cache.insert(
-                EmbedKey {
-                    node,
-                    checkpoint_hash: 0xA,
-                    seed,
-                },
-                vec![node as f32, seed as f32],
-            );
-        }
-        cache.invalidate_nodes(&[1, 3]);
-        assert_eq!(cache.len(), 1);
-        for (node, seed, want_hit) in [
-            (1u32, 1u64, false),
-            (1, 2, false),
-            (3, 9, false),
-            (2, 1, true),
-        ] {
-            let got = cache.get(&EmbedKey {
-                node,
-                checkpoint_hash: 0xA,
-                seed,
-            });
-            assert_eq!(got.is_some(), want_hit, "node {node} seed {seed}");
-        }
+        let key = EmbedKey {
+            node: 1,
+            checkpoint_hash: 0xA,
+            graph_version: 0,
+            seed: 7,
+        };
+        cache.insert(key, vec![1.0]);
+        assert!(cache.get(&key).is_some());
+        // A graph mutation bumps the version: the old row is unreachable
+        // under the new version, for the same node, digest and seed.
+        let bumped = EmbedKey {
+            graph_version: 1,
+            ..key
+        };
+        assert!(cache.get(&bumped).is_none());
+        // …and the old key still answers for readers of the old version.
+        assert!(cache.get(&key).is_some());
     }
 
     #[test]
@@ -356,6 +326,7 @@ mod tests {
         let key = EmbedKey {
             node: 1,
             checkpoint_hash: 1,
+            graph_version: 0,
             seed: 1,
         };
         cache.insert(key, vec![1.0]);
@@ -375,6 +346,7 @@ mod tests {
         let key = EmbedKey {
             node: 1,
             checkpoint_hash: 0xAB,
+            graph_version: 0,
             seed: 7,
         };
         assert!(cache.get(&key).is_none());

@@ -21,7 +21,8 @@
 //! * [`protocol`] — a length-prefixed binary wire protocol (magic,
 //!   version, request id, node ids, seed) with a defensive incremental
 //!   [`protocol::FrameReader`].
-//! * [`EmbedCache`] — bounded LRU keyed `(node, checkpoint_hash, seed)`.
+//! * [`EmbedCache`] — bounded LRU keyed
+//!   `(node, checkpoint_hash, graph_version, seed)`.
 //! * [`Server`] / [`Client`] — std-TCP threads; bounded-queue
 //!   backpressure (`Overloaded`), per-request deadlines
 //!   (`DeadlineExceeded`), and graceful drain-on-shutdown (every accepted

@@ -9,17 +9,21 @@
 //! a consistent `(model, graph, digest)` snapshot — a swap can never land
 //! between reading the digest and running the forward pass.
 
-use parking_lot::{RwLock, RwLockReadGuard};
+use std::time::Duration;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use widen_core::{WidenConfig, WidenModel};
 use widen_graph::{EdgeTypeId, HeteroGraph, MutationError, NodeTypeId};
 use widen_tensor::{digest64, BackendKind, CheckpointError};
 
-/// The consistent snapshot a read guard exposes: model, graph, and the
-/// checkpoint digest identifying the model generation.
+/// The consistent snapshot a read guard exposes: model, graph, the
+/// checkpoint digest identifying the model generation, and the graph
+/// version identifying the mutation generation.
 pub struct ServingState {
     model: WidenModel,
     graph: HeteroGraph,
     checkpoint_hash: u64,
+    graph_version: u64,
 }
 
 impl ServingState {
@@ -37,6 +41,16 @@ impl ServingState {
     pub fn checkpoint_hash(&self) -> u64 {
         self.checkpoint_hash
     }
+
+    /// Monotone mutation counter, bumped by every successful graph
+    /// mutation (never by a weight swap). Part of the embedding cache key:
+    /// a mutation anywhere in the graph can change the sampling stream of
+    /// any node within the walk radius, so rows computed on an older graph
+    /// version must never be served — versioning the key makes them
+    /// unreachable without computing receptive fields.
+    pub fn graph_version(&self) -> u64 {
+        self.graph_version
+    }
 }
 
 /// What a successful [`ModelRegistry::ingest`] hands back: the assigned
@@ -50,6 +64,8 @@ pub struct IngestOutcome {
     pub embedding: Vec<f32>,
     /// Checkpoint digest of the model that produced the embedding.
     pub checkpoint_hash: u64,
+    /// Graph version the embedding was computed under (post-mutation).
+    pub graph_version: u64,
 }
 
 /// A shareable serving bundle: graph + configuration + weights restored
@@ -80,6 +96,7 @@ impl ModelRegistry {
                 checkpoint_hash: digest64(checkpoint),
                 model,
                 graph,
+                graph_version: 0,
             }),
         })
     }
@@ -95,6 +112,7 @@ impl ModelRegistry {
                 model,
                 graph,
                 checkpoint_hash,
+                graph_version: 0,
             }),
         }
     }
@@ -127,6 +145,12 @@ impl ModelRegistry {
         self.state.read().checkpoint_hash
     }
 
+    /// Current graph mutation counter (see
+    /// [`ServingState::graph_version`]).
+    pub fn graph_version(&self) -> u64 {
+        self.state.read().graph_version
+    }
+
     /// Whether `node` exists in the served graph.
     pub fn contains_node(&self, node: u32) -> bool {
         (node as usize) < self.state.read().graph.num_nodes()
@@ -150,15 +174,60 @@ impl ModelRegistry {
         edges: &[(u32, EdgeTypeId)],
         seed: u64,
     ) -> Result<IngestOutcome, MutationError> {
-        let mut st = self.state.write();
+        Self::ingest_locked(
+            &mut self.state.write(),
+            node_type,
+            features,
+            label,
+            edges,
+            seed,
+        )
+    }
+
+    /// Like [`ModelRegistry::ingest`], but gives up after waiting
+    /// `timeout` for the write lock (e.g. behind long read-guarded
+    /// batches) instead of blocking indefinitely. `None` means the lock
+    /// was never acquired and the graph is untouched — the serve path maps
+    /// it to `DeadlineExceeded`.
+    ///
+    /// # Errors
+    /// `Some(Err(_))` carries the same [`MutationError`]s as
+    /// [`ModelRegistry::ingest`].
+    pub fn try_ingest_for(
+        &self,
+        node_type: NodeTypeId,
+        features: Vec<f32>,
+        label: Option<u16>,
+        edges: &[(u32, EdgeTypeId)],
+        seed: u64,
+        timeout: Duration,
+    ) -> Option<Result<IngestOutcome, MutationError>> {
+        let mut st = self.state.try_write_for(timeout)?;
+        Some(Self::ingest_locked(
+            &mut st, node_type, features, label, edges, seed,
+        ))
+    }
+
+    fn ingest_locked(
+        st: &mut RwLockWriteGuard<'_, ServingState>,
+        node_type: NodeTypeId,
+        features: Vec<f32>,
+        label: Option<u16>,
+        edges: &[(u32, EdgeTypeId)],
+        seed: u64,
+    ) -> Result<IngestOutcome, MutationError> {
         let node = st
             .graph
             .add_node_with_edges(node_type, features, label, edges)?;
+        // Bump before embedding so the outcome's version is exactly the
+        // version the embedding was computed under.
+        st.graph_version += 1;
         let rows = st.model.embed_requests(&st.graph, &[(node, seed)]);
         Ok(IngestOutcome {
             node,
             embedding: rows.row(0).to_vec(),
             checkpoint_hash: st.checkpoint_hash,
+            graph_version: st.graph_version,
         })
     }
 
@@ -282,6 +351,66 @@ mod tests {
         let again = st.model().embed_requests(st.graph(), &[(out.node, 42)]);
         assert_eq!(out.embedding.as_slice(), again.row(0));
         assert_eq!(out.checkpoint_hash, st.checkpoint_hash());
+        assert_eq!(out.graph_version, st.graph_version());
+    }
+
+    #[test]
+    fn ingest_bumps_graph_version_only_on_success() {
+        let dataset = acm_like(Scale::Smoke, 3);
+        let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+        let registry = ModelRegistry::from_model(dataset.graph.clone(), model);
+        assert_eq!(registry.graph_version(), 0);
+        let feat = vec![0.1; dataset.graph.feature_dim()];
+        let out = registry
+            .ingest(NodeTypeId(0), feat.clone(), None, &[(0, EdgeTypeId(0))], 1)
+            .expect("valid ingest");
+        assert_eq!(out.graph_version, 1);
+        assert_eq!(registry.graph_version(), 1);
+        // A rejected mutation leaves the version (and the graph) untouched.
+        registry
+            .ingest(NodeTypeId(0), feat, None, &[(u32::MAX, EdgeTypeId(0))], 1)
+            .unwrap_err();
+        assert_eq!(registry.graph_version(), 1);
+        // A weight swap changes the digest, not the graph version.
+        let ckpt = registry.read().model().save_weights();
+        registry.hot_swap(&ckpt).expect("valid checkpoint");
+        assert_eq!(registry.graph_version(), 1);
+    }
+
+    #[test]
+    fn try_ingest_times_out_behind_a_held_guard_without_mutating() {
+        let dataset = acm_like(Scale::Smoke, 3);
+        let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+        let registry = ModelRegistry::from_model(dataset.graph.clone(), model);
+        let n = dataset.graph.num_nodes();
+        let feat = vec![0.1; dataset.graph.feature_dim()];
+        let guard = registry.read();
+        let attempt = registry.try_ingest_for(
+            NodeTypeId(0),
+            feat.clone(),
+            None,
+            &[(0, EdgeTypeId(0))],
+            1,
+            std::time::Duration::from_millis(10),
+        );
+        assert!(attempt.is_none(), "write lock must not be granted");
+        drop(guard);
+        assert_eq!(registry.read().graph().num_nodes(), n);
+        assert_eq!(registry.graph_version(), 0);
+        // With the guard gone the same call succeeds within the deadline.
+        let out = registry
+            .try_ingest_for(
+                NodeTypeId(0),
+                feat,
+                None,
+                &[(0, EdgeTypeId(0))],
+                1,
+                std::time::Duration::from_millis(500),
+            )
+            .expect("lock acquired")
+            .expect("valid ingest");
+        assert_eq!(out.node, n as u32);
+        assert_eq!(out.graph_version, 1);
     }
 
     #[test]

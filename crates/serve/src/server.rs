@@ -509,7 +509,10 @@ fn answer_request(
     // Ingest mutates the graph and embeds inside one registry critical
     // section, so it is answered on the handler thread rather than queued:
     // batching cannot help a write, and the embedding must come from the
-    // exact graph version the mutation produced.
+    // exact graph version the mutation produced. The write lock is taken
+    // with the same deadline the batcher enforces on queued jobs — an
+    // ingest stuck behind long read-guarded batches answers
+    // `DeadlineExceeded` instead of hanging the connection.
     if let Request::Ingest {
         seed,
         node_type,
@@ -523,29 +526,36 @@ fn answer_request(
             .iter()
             .map(|&(peer, et)| (peer, EdgeTypeId(et)))
             .collect();
-        return match shared.registry.ingest(
+        let attempt = shared.registry.try_ingest_for(
             NodeTypeId(*node_type),
             features.clone(),
             *label,
             &typed,
             *seed,
-        ) {
-            Ok(outcome) => {
-                // Attaching edges changed the peers' neighbourhoods, so
-                // any cached row for them (any seed, any generation) is
-                // stale. This is race-free against the batchers: a worker
-                // holds its registry read guard across its cache inserts,
-                // so any row computed on the pre-mutation graph was
-                // inserted before our write guard was granted — i.e.
-                // strictly before this invalidation.
-                let peers: Vec<u32> = edges.iter().map(|&(peer, _)| peer).collect();
-                shared.cache.invalidate_nodes(&peers);
+            shared.request_timeout,
+        );
+        return match attempt {
+            None => Response::from_error(id, &ServeError::DeadlineExceeded),
+            Some(Ok(outcome)) => {
+                // The mutation bumped the registry's graph version, which
+                // is part of every cache key: all rows computed on the
+                // pre-mutation graph — anywhere in the walk radius of the
+                // touched peers, not just the peers themselves — are
+                // already unreachable. Flush them eagerly so dead rows
+                // don't occupy LRU capacity until eviction.
+                shared.cache.clear();
                 // Warm the cache: a follow-up Embed for (node, seed) under
                 // the same generation is answered without a forward pass.
+                // The row is keyed by the graph version it was computed
+                // under, so even if another ingest lands between our write
+                // guard's release and this insert, the row can never
+                // answer a lookup under the newer version — it is merely a
+                // dead entry, not a stale serve.
                 shared.cache.insert(
                     EmbedKey {
                         node: outcome.node,
                         checkpoint_hash: outcome.checkpoint_hash,
+                        graph_version: outcome.graph_version,
                         seed: *seed,
                     },
                     outcome.embedding.clone(),
@@ -558,7 +568,7 @@ fn answer_request(
                     values: outcome.embedding,
                 }
             }
-            Err(err) => Response::from_error(id, &ServeError::BadRequest(err.to_string())),
+            Some(Err(err)) => Response::from_error(id, &ServeError::BadRequest(err.to_string())),
         };
     }
     if let Some(&bad) = request

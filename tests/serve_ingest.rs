@@ -83,9 +83,9 @@ fn wire_ingest_matches_offline_forward_bit_for_bit() {
     assert_eq!(got_second, second_id);
     assert_eq!(bits(&row_second), bits(want_second.row(0)));
 
-    // The second ingest attached to the first node, invalidating its
-    // cached row: a follow-up Embed recomputes on the *current* graph and
-    // must match the post-growth oracle, not the at-ingest snapshot.
+    // The second ingest bumped the graph version, so the first node's
+    // cached at-ingest row is unreachable: a follow-up Embed recomputes
+    // on the *current* graph and must match the post-growth oracle.
     let rows = client.embed(&[first_id], 41).expect("embed now succeeds");
     assert_eq!(bits(&rows[0]), bits(want_first_final.row(0)));
 
@@ -114,6 +114,74 @@ fn wire_ingest_matches_offline_forward_bit_for_bit() {
         stats.cache_hits >= 1,
         "ingest must warm the embedding cache"
     );
+}
+
+#[test]
+fn ingest_recomputes_cached_rows_beyond_the_direct_peers() {
+    // The deep-walk receptive field: attaching edges to peer `p` changes
+    // the sampling stream of any node whose walks can traverse `p` — not
+    // just `p` itself. A row cached for such a second-hop node before the
+    // ingest must never be served afterwards (this is exactly what
+    // graph-version cache keys guarantee; per-peer invalidation would
+    // miss it).
+    let dataset = acm_like(Scale::Smoke, 72);
+    let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+    let checkpoint = model.save_weights();
+    let registry =
+        ModelRegistry::from_checkpoint(dataset.graph.clone(), tiny_config(), &checkpoint)
+            .expect("checkpoint loads");
+
+    let feat_dim = dataset.graph.feature_dim();
+    let peer = 0u32;
+    let mut mutated = dataset.graph.clone();
+    mutated
+        .add_node_with_edges(
+            NodeTypeId(0),
+            vec![0.5; feat_dim],
+            None,
+            &[(peer, EdgeTypeId(0))],
+        )
+        .expect("valid node");
+
+    // Pick a neighbour of the peer (two hops from the new node, so never
+    // an edge endpoint of the ingest) and a seed where the mutation
+    // really changes its embedding — skipping vacuous combinations.
+    let mut target = None;
+    'search: for &t in dataset.graph.neighbors(peer) {
+        if t == peer {
+            continue;
+        }
+        for seed in 0..32u64 {
+            let before = model.embed_requests(&dataset.graph, &[(t, seed)]);
+            let after = model.embed_requests(&mutated, &[(t, seed)]);
+            if before.row(0) != after.row(0) {
+                target = Some((t, seed, after.row(0).to_vec()));
+                break 'search;
+            }
+        }
+    }
+    let (t, seed, want) = target.expect("some second-hop node must feel the mutation");
+
+    let handle = Server::bind(registry, ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Cache the pre-mutation row…
+    let pre = client.embed(&[t], seed).expect("embed succeeds");
+    // …mutate the graph through a node attached only to `peer`…
+    client
+        .ingest(0, &vec![0.5; feat_dim], None, &[(peer, 0)], 7)
+        .expect("ingest succeeds");
+    // …and the follow-up embed must recompute on the mutated graph, never
+    // serve the cached pre-mutation row.
+    let post = client.embed(&[t], seed).expect("embed succeeds");
+    assert_ne!(
+        bits(&pre[0]),
+        bits(&post[0]),
+        "stale pre-mutation row was served for a non-peer node"
+    );
+    assert_eq!(bits(&post[0]), bits(&want));
+
+    handle.shutdown();
 }
 
 #[test]

@@ -10,6 +10,7 @@
 #![deny(missing_docs)]
 
 use std::sync;
+use std::time::{Duration, Instant};
 
 /// A mutual-exclusion lock; [`Mutex::lock`] never returns a poison error.
 #[derive(Default, Debug)]
@@ -82,6 +83,37 @@ impl<T> RwLock<T> {
         self.inner.write().unwrap_or_else(|p| p.into_inner())
     }
 
+    /// Acquires exclusive write access only if the lock is free right now.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Acquires exclusive write access, giving up after `timeout`.
+    ///
+    /// Divergence from upstream: implemented by polling [`RwLock::try_write`]
+    /// with short sleeps rather than a parking queue, so acquisition under
+    /// contention can lag by up to one poll interval (100 µs) and no
+    /// fairness is provided — acceptable for the workspace's use (bounding
+    /// how long a writer waits before reporting a deadline error).
+    pub fn try_write_for(&self, timeout: Duration) -> Option<RwLockWriteGuard<'_, T>> {
+        const POLL: Duration = Duration::from_micros(100);
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(guard) = self.try_write() {
+                return Some(guard);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            std::thread::sleep(POLL.min(deadline - now));
+        }
+    }
+
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
         self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
@@ -117,5 +149,35 @@ mod tests {
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
         assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_write_respects_readers() {
+        let l = RwLock::new(0);
+        let r = l.read();
+        assert!(l.try_write().is_none());
+        assert!(l.try_write_for(Duration::from_millis(5)).is_none());
+        drop(r);
+        assert!(l.try_write().is_some());
+        *l.try_write_for(Duration::from_millis(5)).unwrap() += 1;
+        assert_eq!(*l.read(), 1);
+    }
+
+    #[test]
+    fn try_write_for_acquires_once_the_holder_leaves() {
+        let l = std::sync::Arc::new(RwLock::new(0u32));
+        let held = l.read();
+        let waiter = {
+            let l = l.clone();
+            std::thread::spawn(move || {
+                l.try_write_for(Duration::from_secs(5)).map(|mut g| {
+                    *g += 1;
+                    *g
+                })
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        drop(held);
+        assert_eq!(waiter.join().unwrap(), Some(1));
     }
 }
