@@ -8,6 +8,9 @@
 //! * `fwd_ms`         — lower is better, must stay within `1 + tol`;
 //! * `bwd_ms`         — lower is better, must stay within `1 + tol`;
 //! * `requests_per_sec` — higher is better, must stay above `1 - tol`;
+//! * `requests_per_sec_c64` — serving throughput at 64 concurrent
+//!   pipelining connections (the event-driven front end's headline
+//!   axis); higher is better, must stay above `1 - tol`;
 //! * `bwd_ms / fwd_ms` — a fixed-ceiling sanity backstop, allowed the
 //!   same relative slack.
 //!
@@ -92,6 +95,7 @@ fn build_gates(candidate: &str, baseline: &str) -> Result<Vec<Gate>, String> {
         ("fwd_ms", true),
         ("bwd_ms", true),
         ("requests_per_sec", false),
+        ("requests_per_sec_c64", false),
     ] {
         gates.push(Gate {
             name: key,
@@ -194,7 +198,11 @@ mod tests {
     const SNAPSHOT: &str = r#"{
       "training": { "secs_per_epoch": 0.5, "epochs": 2 },
       "engine": { "fwd_ms": 200.0, "bwd_ms": 350.5 },
-      "serving": { "requests_per_sec": 220.25 }
+      "serving": {
+        "requests_per_sec": 220.25,
+        "requests_per_sec_c64": 480.0,
+        "concurrency_sweep": [ { "connections": 4, "rps": 220.25 } ]
+      }
     }"#;
 
     #[test]
@@ -226,12 +234,31 @@ mod tests {
 
     #[test]
     fn throughput_gate_is_higher_is_better() {
-        let slower = SNAPSHOT.replace("220.25", "100.0");
+        let slower = SNAPSHOT.replace(
+            "\"requests_per_sec\": 220.25",
+            "\"requests_per_sec\": 100.0",
+        );
         let gates = build_gates(&slower, SNAPSHOT).unwrap();
         let rps = gates.iter().find(|g| g.name == "requests_per_sec").unwrap();
         assert!(!rps.passes(0.25));
         let gates = build_gates(SNAPSHOT, SNAPSHOT).unwrap();
         assert!(gates.iter().all(|g| g.passes(0.25)));
+    }
+
+    #[test]
+    fn high_concurrency_throughput_gate_reads_its_own_key() {
+        // The c64 key must gate independently of the 4-client headline —
+        // and the sweep array's `rps` entries must not shadow either.
+        let collapsed = SNAPSHOT.replace("480.0", "120.0");
+        let gates = build_gates(&collapsed, SNAPSHOT).unwrap();
+        let c64 = gates
+            .iter()
+            .find(|g| g.name == "requests_per_sec_c64")
+            .unwrap();
+        assert!(!c64.passes(0.25), "collapsed c64 throughput must trip");
+        let rps = gates.iter().find(|g| g.name == "requests_per_sec").unwrap();
+        assert_eq!(rps.candidate, 220.25, "headline key must stay untouched");
+        assert!(rps.passes(0.25));
     }
 
     #[test]

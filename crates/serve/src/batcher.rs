@@ -20,7 +20,8 @@ use parking_lot::Mutex;
 
 use crate::cache::{EmbedCache, EmbedKey};
 use crate::error::ServeError;
-use crate::protocol::WireSpan;
+use crate::poll::WakePipe;
+use crate::protocol::{Response, WireSpan};
 use crate::registry::ModelRegistry;
 
 /// Per-request tracing state, shared between the connection handler (which
@@ -82,6 +83,55 @@ pub(crate) enum JobOutput {
     Label(u32),
 }
 
+/// What flows back to the reactor over the single completion channel.
+/// The `req` correlation key (the reactor's internal request sequence
+/// number, not the client-chosen wire id) routes each completion to its
+/// pending request regardless of the order batches finish in — that is
+/// what makes pipelined requests on one socket safe to answer out of
+/// order.
+#[derive(Debug)]
+pub(crate) enum Completion {
+    /// One per-node job of a queued request finished.
+    Job {
+        /// Reactor-internal request key.
+        req: u64,
+        /// Slot within the originating request's node list.
+        slot: usize,
+        /// The job's outcome.
+        result: Result<JobOutput, ServeError>,
+    },
+    /// A directly-executed request (ingest) finished with a complete
+    /// response.
+    Direct {
+        /// Reactor-internal request key.
+        req: u64,
+        /// The fully-assembled response.
+        response: Response,
+    },
+}
+
+/// Sending half of the completion channel, bundled with the reactor's
+/// wake token: every completion delivery also rings the self-pipe so the
+/// event loop leaves `poll` and writes the response. `wake: None` keeps
+/// unit tests (which read the channel directly) pipe-free.
+#[derive(Clone)]
+pub(crate) struct ReplySink {
+    pub tx: mpsc::Sender<Completion>,
+    pub wake: Option<Arc<WakePipe>>,
+}
+
+impl ReplySink {
+    pub fn send(&self, completion: Completion) {
+        // A dead reactor (server torn down) just means nobody is
+        // listening; the send failing is fine.
+        if self.tx.send(completion).is_ok() {
+            if let Some(wake) = &self.wake {
+                wake.wake();
+            }
+        }
+    }
+}
+
 /// One node of one request, queued for a batcher worker.
 pub(crate) struct Job {
     pub kind: JobKind,
@@ -90,10 +140,12 @@ pub(crate) struct Job {
     /// Absolute deadline; expired jobs are answered with
     /// [`ServeError::DeadlineExceeded`] instead of being computed.
     pub deadline: Instant,
+    /// Reactor-internal key of the originating request.
+    pub req: u64,
     /// Position within the originating request.
     pub slot: usize,
-    /// Per-request reply channel.
-    pub reply: mpsc::Sender<(usize, Result<JobOutput, ServeError>)>,
+    /// Completion channel back to the reactor.
+    pub reply: ReplySink,
     /// When the job entered the queue (queue-wait span start).
     pub enqueued_at: Instant,
     /// Tracing state of the originating request, if the client asked for
@@ -313,9 +365,11 @@ fn process_batch(
 }
 
 fn reply(job: &Job, result: Result<JobOutput, ServeError>) {
-    // A dead handler (client gone) just means nobody is listening; the
-    // send failing is fine.
-    let _ = job.reply.send((job.slot, result));
+    job.reply.send(Completion::Job {
+        req: job.req,
+        slot: job.slot,
+        result,
+    });
 }
 
 /// Index of the largest entry, ties toward the first — matches
@@ -345,22 +399,28 @@ mod tests {
         Arc::new(ModelRegistry::from_model(dataset.graph, model))
     }
 
-    fn job(
-        kind: JobKind,
-        node: u32,
-        seed: u64,
-        slot: usize,
-        tx: &mpsc::Sender<(usize, Result<JobOutput, ServeError>)>,
-    ) -> Job {
+    fn job(kind: JobKind, node: u32, seed: u64, slot: usize, tx: &mpsc::Sender<Completion>) -> Job {
         Job {
             kind,
             node,
             seed,
             deadline: Instant::now() + Duration::from_secs(5),
+            req: 0,
             slot,
-            reply: tx.clone(),
+            reply: ReplySink {
+                tx: tx.clone(),
+                wake: None,
+            },
             enqueued_at: Instant::now(),
             trace: None,
+        }
+    }
+
+    /// Unwraps the next per-job completion into `(slot, result)`.
+    fn take(rx: &mpsc::Receiver<Completion>) -> (usize, Result<JobOutput, ServeError>) {
+        match rx.recv().unwrap() {
+            Completion::Job { slot, result, .. } => (slot, result),
+            Completion::Direct { .. } => panic!("batcher never sends Direct completions"),
         }
     }
 
@@ -374,7 +434,7 @@ mod tests {
         let mut traced = job(JobKind::Embed, 0, 7, 0, &tx);
         traced.trace = Some(trace.clone());
         process_batch(&registry, &cache, vec![traced], &stats);
-        rx.recv().unwrap().1.unwrap();
+        take(&rx).1.unwrap();
         let spans = trace.spans.lock();
         let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
@@ -398,7 +458,7 @@ mod tests {
             job(JobKind::Embed, 2, 9, 2, &tx),
         ];
         process_batch(&registry, &cache, jobs, &stats);
-        let mut results: Vec<_> = (0..3).map(|_| rx.recv().unwrap()).collect();
+        let mut results: Vec<_> = (0..3).map(|_| take(&rx)).collect();
         results.sort_by_key(|(slot, _)| *slot);
 
         let st = registry.read();
@@ -428,14 +488,14 @@ mod tests {
             vec![job(JobKind::Embed, 3, 11, 0, &tx)],
             &stats,
         );
-        let first = rx.recv().unwrap().1.unwrap();
+        let first = take(&rx).1.unwrap();
         process_batch(
             &registry,
             &cache,
             vec![job(JobKind::Embed, 3, 11, 0, &tx)],
             &stats,
         );
-        let second = rx.recv().unwrap().1.unwrap();
+        let second = take(&rx).1.unwrap();
         assert_eq!(first, second);
         assert_eq!(cache.stats().hits, 1);
     }
@@ -455,7 +515,7 @@ mod tests {
             job(JobKind::Embed, 6, 13, 4, &tx),
         ];
         process_batch(&registry, &cache, jobs, &stats);
-        let mut results: Vec<_> = (0..5).map(|_| rx.recv().unwrap()).collect();
+        let mut results: Vec<_> = (0..5).map(|_| take(&rx)).collect();
         results.sort_by_key(|(slot, _)| *slot);
 
         let st = registry.read();
@@ -483,7 +543,7 @@ mod tests {
         let mut expired = job(JobKind::Embed, 0, 1, 0, &tx);
         expired.deadline = Instant::now() - Duration::from_millis(1);
         process_batch(&registry, &cache, vec![expired], &stats);
-        assert_eq!(rx.recv().unwrap().1, Err(ServeError::DeadlineExceeded));
+        assert_eq!(take(&rx).1, Err(ServeError::DeadlineExceeded));
         assert_eq!(stats.deadline_drops.get(), 1);
     }
 }

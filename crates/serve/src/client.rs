@@ -1,5 +1,12 @@
-//! Blocking client for the WIDEN serving protocol.
+//! Blocking client for the WIDEN serving protocol, with an optional
+//! pipelined mode: `send_embed`/`send_classify` put multiple requests in
+//! flight on one socket and `recv_embed(id)`/`recv_classify(id)` collect
+//! them in any order — responses that arrive for a different id are
+//! stashed until their own `recv_*` call asks for them. The server may
+//! complete pipelined requests out of order (batches finish when they
+//! finish); correlation by request id makes that invisible here.
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -57,6 +64,11 @@ pub struct Client {
     /// client-side, it only mints ids.
     tracer: Tracer,
     last_trace: Option<SpanSummary>,
+    /// Responses received while waiting for a different id (pipelining).
+    stash: Vec<(Response, Option<SpanSummary>)>,
+    /// Node counts of in-flight pipelined requests, for shape validation
+    /// at `recv_*` time.
+    expected_nodes: HashMap<u64, usize>,
 }
 
 impl Client {
@@ -76,6 +88,8 @@ impl Client {
             tracing: false,
             tracer: Tracer::disabled(0x5EED_7ACE),
             last_trace: None,
+            stash: Vec::new(),
+            expected_nodes: HashMap::new(),
         })
     }
 
@@ -102,24 +116,44 @@ impl Client {
     /// Returns a [`ClientError`] on transport failure or a server-reported
     /// error (overload, deadline, bad request, shutdown).
     pub fn embed(&mut self, nodes: &[u32], seed: u64) -> Result<Vec<Vec<f32>>, ClientError> {
+        let id = self.send_embed(nodes, seed)?;
+        self.recv_embed(id)
+    }
+
+    /// Puts an embed request in flight without waiting for its answer;
+    /// returns the request id for [`Client::recv_embed`]. Any number of
+    /// requests may be pipelined on the connection, and they may be
+    /// received in any order.
+    ///
+    /// # Errors
+    /// Returns a [`ClientError`] on transport failure.
+    pub fn send_embed(&mut self, nodes: &[u32], seed: u64) -> Result<u64, ClientError> {
         let id = self.fresh_id();
-        let response = self.call(&Request::Embed {
+        self.send_request(&Request::Embed {
             id,
             seed,
             nodes: nodes.to_vec(),
         })?;
-        match response {
-            Response::Embeddings {
-                id: rid,
-                dim,
-                values,
-            } => {
-                if rid != id {
-                    return Err(ClientError::Mismatch("response id"));
-                }
+        self.expected_nodes.insert(id, nodes.len());
+        Ok(id)
+    }
+
+    /// Collects the answer to a pipelined [`Client::send_embed`]. Order
+    /// is free: responses for other in-flight ids encountered on the way
+    /// are stashed and handed to their own `recv_*` calls later.
+    ///
+    /// # Errors
+    /// Returns a [`ClientError`] on transport failure, a server-reported
+    /// error, or an `id` that was never sent (or already received).
+    pub fn recv_embed(&mut self, id: u64) -> Result<Vec<Vec<f32>>, ClientError> {
+        let Some(node_count) = self.expected_nodes.remove(&id) else {
+            return Err(ClientError::Mismatch("unknown request id"));
+        };
+        match self.recv_for(id)? {
+            Response::Embeddings { dim, values, .. } => {
                 let dim = dim as usize;
-                if dim == 0 || values.len() != nodes.len() * dim {
-                    if nodes.is_empty() && values.is_empty() {
+                if dim == 0 || values.len() != node_count * dim {
+                    if node_count == 0 && values.is_empty() {
                         return Ok(Vec::new());
                     }
                     return Err(ClientError::Mismatch("embedding shape"));
@@ -145,19 +179,45 @@ impl Client {
         seed: u64,
         rounds: u32,
     ) -> Result<Vec<u32>, ClientError> {
+        let id = self.send_classify(nodes, seed, rounds)?;
+        self.recv_classify(id)
+    }
+
+    /// Puts a classify request in flight without waiting for its answer;
+    /// returns the request id for [`Client::recv_classify`].
+    ///
+    /// # Errors
+    /// Returns a [`ClientError`] on transport failure.
+    pub fn send_classify(
+        &mut self,
+        nodes: &[u32],
+        seed: u64,
+        rounds: u32,
+    ) -> Result<u64, ClientError> {
         let id = self.fresh_id();
-        let response = self.call(&Request::Classify {
+        self.send_request(&Request::Classify {
             id,
             seed,
             rounds,
             nodes: nodes.to_vec(),
         })?;
-        match response {
-            Response::Classes { id: rid, labels } => {
-                if rid != id {
-                    return Err(ClientError::Mismatch("response id"));
-                }
-                if labels.len() != nodes.len() {
+        self.expected_nodes.insert(id, nodes.len());
+        Ok(id)
+    }
+
+    /// Collects the answer to a pipelined [`Client::send_classify`], in
+    /// any order relative to other in-flight requests.
+    ///
+    /// # Errors
+    /// Returns a [`ClientError`] on transport failure, a server-reported
+    /// error, or an `id` that was never sent (or already received).
+    pub fn recv_classify(&mut self, id: u64) -> Result<Vec<u32>, ClientError> {
+        let Some(node_count) = self.expected_nodes.remove(&id) else {
+            return Err(ClientError::Mismatch("unknown request id"));
+        };
+        match self.recv_for(id)? {
+            Response::Classes { labels, .. } => {
+                if labels.len() != node_count {
                     return Err(ClientError::Mismatch("label count"));
                 }
                 Ok(labels)
@@ -189,7 +249,7 @@ impl Client {
         seed: u64,
     ) -> Result<(u32, Vec<f32>), ClientError> {
         let id = self.fresh_id();
-        let response = self.call(&Request::Ingest {
+        self.send_request(&Request::Ingest {
             id,
             seed,
             node_type,
@@ -197,7 +257,7 @@ impl Client {
             features: features.to_vec(),
             edges: edges.to_vec(),
         })?;
-        match response {
+        match self.recv_for(id)? {
             Response::Ingested {
                 id: rid,
                 node,
@@ -229,8 +289,8 @@ impl Client {
     /// error.
     pub fn stats(&mut self) -> Result<String, ClientError> {
         let id = self.fresh_id();
-        let response = self.call(&Request::Stats { id })?;
-        match response {
+        self.send_request(&Request::Stats { id })?;
+        match self.recv_for(id)? {
             Response::Stats { id: rid, text } => {
                 if rid != id {
                     return Err(ClientError::Mismatch("response id"));
@@ -250,7 +310,8 @@ impl Client {
         id
     }
 
-    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+    /// Encodes and writes one request frame (traced when tracing is on).
+    fn send_request(&mut self, request: &Request) -> Result<(), ClientError> {
         let wire = if self.tracing {
             let trace = TraceContext {
                 trace_id: self.tracer.start_trace().0,
@@ -260,14 +321,39 @@ impl Client {
             encode_request(request)
         };
         self.stream.write_all(&wire)?;
+        Ok(())
+    }
+
+    /// Blocks until the response for `id` arrives. Responses for other
+    /// in-flight ids are stashed for their own `recv_*` calls. An error
+    /// frame with id 0 — the server could not attribute it to a request
+    /// (malformed frame, admission rejection before any request was
+    /// read) — is delivered to whoever is currently waiting.
+    fn recv_for(&mut self, id: u64) -> Result<Response, ClientError> {
+        if let Some(i) = self
+            .stash
+            .iter()
+            .position(|(r, _)| r.id() == id || (r.id() == 0 && matches!(r, Response::Error { .. })))
+        {
+            let (response, summary) = self.stash.remove(i);
+            if self.tracing {
+                self.last_trace = summary;
+            }
+            return Ok(response);
+        }
         let mut buf = [0u8; 16 * 1024];
         loop {
             if let Some(body) = self.reader.next_frame().map_err(ClientError::Wire)? {
                 let (response, summary) = decode_response_ext(&body).map_err(ClientError::Wire)?;
-                if self.tracing {
-                    self.last_trace = summary;
+                let rid = response.id();
+                if rid == id || (rid == 0 && matches!(response, Response::Error { .. })) {
+                    if self.tracing {
+                        self.last_trace = summary;
+                    }
+                    return Ok(response);
                 }
-                return Ok(response);
+                self.stash.push((response, summary));
+                continue;
             }
             let n = self.stream.read(&mut buf)?;
             if n == 0 {

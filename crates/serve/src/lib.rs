@@ -23,10 +23,16 @@
 //!   [`protocol::FrameReader`].
 //! * [`EmbedCache`] — bounded LRU keyed
 //!   `(node, checkpoint_hash, graph_version, seed)`.
-//! * [`Server`] / [`Client`] — std-TCP threads; bounded-queue
-//!   backpressure (`Overloaded`), per-request deadlines
-//!   (`DeadlineExceeded`), and graceful drain-on-shutdown (every accepted
-//!   request is answered before threads exit).
+//! * [`Server`] / [`Client`] — an event-driven front end: one reactor
+//!   thread owns every client socket nonblocking in a `poll(2)` set, so
+//!   an idle connection costs a registered fd, not an OS thread. Requests
+//!   pipelined on one socket are correlated by id and may complete out of
+//!   order server-side; admission control caps open connections
+//!   ([`ServeConfig::max_connections`]) and queue-depth shedding answers
+//!   `Overloaded` before enqueue. Per-request deadlines
+//!   (`DeadlineExceeded`) and graceful drain-on-shutdown (every accepted
+//!   request is answered before threads exit) are preserved from the
+//!   thread-per-connection front end this replaced.
 //! * trace-context extension — version-2 frames carry a client trace id
 //!   ([`Client::set_tracing`]); the server opens a request span, records
 //!   queue-wait / coalesce / cache-lookup / forward-batch child spans,
@@ -59,7 +65,9 @@ mod batcher;
 pub mod cache;
 pub mod client;
 pub mod error;
+mod poll;
 pub mod protocol;
+mod reactor;
 pub mod registry;
 pub mod server;
 

@@ -245,6 +245,19 @@ pub enum Response {
 }
 
 impl Response {
+    /// The echoed request id — the correlation key that lets a pipelined
+    /// client match responses to in-flight requests regardless of
+    /// completion order. `0` on errors whose request id never decoded.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Embeddings { id, .. }
+            | Response::Classes { id, .. }
+            | Response::Error { id, .. }
+            | Response::Stats { id, .. }
+            | Response::Ingested { id, .. } => *id,
+        }
+    }
+
     /// Builds an error response from a [`ServeError`].
     pub fn from_error(id: u64, err: &ServeError) -> Self {
         Response::Error {

@@ -1,0 +1,1061 @@
+//! The event-driven serve front end: one thread, one `poll(2)` set, every
+//! client socket nonblocking.
+//!
+//! The reactor owns the listener and all client connections. Each
+//! connection is a [`FrameReader`] state machine plus a write buffer; the
+//! reactor reads whatever bytes are available, decodes complete frames
+//! into requests, fans their per-node jobs onto the shared batcher queue,
+//! and — when the last job of a request completes — assembles the
+//! response and flushes it back. Requests are correlated by a
+//! reactor-internal sequence number (`req`), *not* connection identity or
+//! arrival order, so a client may pipeline many requests on one socket
+//! and batches may complete out of order: every response still reaches
+//! the right request slot, and the wire id echoes the client's choice.
+//!
+//! Cost per idle connection is one `pollfd` entry — no thread, no stack.
+//! That is what lets the soak test hold thousands of open connections
+//! with a thread count that does not move.
+//!
+//! ## Admission control and load shedding
+//!
+//! Two gates, both answered with a typed `Overloaded` error frame rather
+//! than a silent drop or an accept backlog:
+//!
+//! * **Connection cap** ([`ServeConfig::max_connections`]): connections
+//!   beyond the cap are accepted, told `Overloaded` (wire id 0 — no
+//!   request was read), and closed. Accept-then-reject keeps the kernel
+//!   backlog from silently queueing peers that would never be served.
+//!   Counted in `serve_conns_rejected_total`.
+//! * **Queue shedding**: before enqueueing *any* of a request's jobs the
+//!   reactor checks that the whole request fits in the remaining queue
+//!   budget; if not it sheds the request immediately — no partial
+//!   enqueue, no waiting for the deadline to expire. Counted in
+//!   `serve_shed_total`.
+//!
+//! Accept errors (`EMFILE` under fd exhaustion being the canonical one)
+//! neither panic nor busy-spin: the listener's poll interest is simply
+//! suppressed for a short backoff window ([`ACCEPT_ERROR_BACKOFF`]) while
+//! established connections keep being served, and each error bumps
+//! `serve_accept_errors_total`.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{Sender, TrySendError};
+use rustc_hash::FxHashMap;
+use widen_obs::Event;
+
+use crate::batcher::{Completion, Job, JobKind, JobOutput, ReplySink, RequestTrace};
+use crate::error::ServeError;
+use crate::poll::{poll_fds, pollfd, WakePipe, POLL_ERR, POLL_HUP, POLL_IN, POLL_NVAL, POLL_OUT};
+use crate::protocol::{
+    decode_request_ext, encode_response, encode_response_traced, FrameReader, Request, Response,
+    SpanSummary, WireSpan,
+};
+use crate::server::Shared;
+
+/// How long accept stays suppressed after an accept error. Long enough to
+/// stop an `EMFILE` spin from pegging a core, short enough that recovery
+/// (fds released) is picked up promptly.
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Grace period past a request's deadline before the reactor reaps it
+/// unanswered (matches the old handler-side reap margin): the batcher
+/// normally answers expired jobs with `DeadlineExceeded` itself; the reap
+/// is the backstop for jobs that never come back at all.
+const REAP_GRACE: Duration = Duration::from_millis(250);
+
+/// Per-connection read budget per poll round. A connection with an
+/// endless stream of buffered bytes gets at most this much before the
+/// reactor moves on to its neighbours — fairness against firehoses, and
+/// the reason a slow-loris peer dribbling partial frames cannot starve
+/// anyone (it just parks bytes in its own `FrameReader`).
+const READ_CHUNK: usize = 16 * 1024;
+const READ_CHUNKS_PER_ROUND: usize = 4;
+
+/// An ingest handed off to the dedicated ingest executor thread. Graph
+/// mutation can block on the registry write lock for up to the request
+/// timeout, which must never stall the event loop — so the reactor ships
+/// the work out and the result comes back as a [`Completion::Direct`].
+pub(crate) struct IngestWork {
+    /// Reactor-internal request key.
+    pub req: u64,
+    /// Client-chosen wire id.
+    pub id: u64,
+    /// Sampling seed for the returned embedding.
+    pub seed: u64,
+    /// The new node's type id.
+    pub node_type: u16,
+    /// Optional class label.
+    pub label: Option<u16>,
+    /// Dense feature row.
+    pub features: Vec<f32>,
+    /// Typed edges to existing nodes.
+    pub edges: Vec<(u32, u16)>,
+    /// Absolute deadline — bounds the write-lock wait.
+    pub deadline: Instant,
+}
+
+/// One open client connection: frame assembly in, buffered bytes out.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Encoded-but-unflushed response bytes.
+    out: Vec<u8>,
+    /// Flushed prefix of `out`.
+    out_pos: usize,
+    /// Requests from this connection still pending.
+    inflight: usize,
+    /// Stop reading and close once `out` flushes (protocol errors).
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            reader: FrameReader::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            inflight: 0,
+            close_after_flush: false,
+        }
+    }
+
+    fn has_output(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+}
+
+/// What a pending request assembles into once its last completion lands.
+enum PendingKind {
+    /// Concatenate embedding rows in slot order.
+    Embed,
+    /// Collect labels in slot order.
+    Classify,
+    /// The completion carries a ready-made response (ingest).
+    Direct,
+}
+
+/// One decoded request waiting on its completions.
+struct Pending {
+    /// Owning connection key.
+    conn: u64,
+    kind: PendingKind,
+    /// Client-chosen wire id, echoed in the response.
+    id: u64,
+    /// Per-slot job outputs (empty for `Direct`).
+    results: Vec<Option<JobOutput>>,
+    /// Completions still outstanding.
+    remaining: usize,
+    /// First error seen (job failure or partial-enqueue failure); wins
+    /// over any successful slots.
+    failure: Option<ServeError>,
+    /// Backstop reap time (`deadline + REAP_GRACE`).
+    reap_at: Instant,
+    /// When the frame was decoded — slow-request accounting origin.
+    started: Instant,
+    trace: Option<Arc<RequestTrace>>,
+    /// Request kind label for the slow log.
+    kind_name: &'static str,
+    /// Node count for the slow log.
+    nodes: u64,
+    /// Embedding dimensionality (embed responses).
+    dim: u32,
+}
+
+/// What a poll-set entry refers back to.
+enum Token {
+    Wake,
+    Listener,
+    Conn(u64),
+}
+
+pub(crate) struct Reactor {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    job_tx: Sender<Job>,
+    ingest_tx: mpsc::Sender<IngestWork>,
+    completion_rx: mpsc::Receiver<Completion>,
+    /// Cloned into every job so workers can deliver-and-wake.
+    sink: ReplySink,
+    wake: Arc<WakePipe>,
+    max_connections: usize,
+    queue_depth: usize,
+    conns: FxHashMap<u64, Conn>,
+    pending: FxHashMap<u64, Pending>,
+    next_conn: u64,
+    next_req: u64,
+    /// Listener interest suppressed until here after an accept error.
+    accept_backoff_until: Option<Instant>,
+    /// Set once the shutdown flag is observed; no more reads or accepts.
+    draining: bool,
+    /// Hard exit time once draining (covers unflushable peers).
+    drain_deadline: Option<Instant>,
+}
+
+impl Reactor {
+    /// Builds the reactor. `sink` must be the sending half of
+    /// `completion_rx`, with `wake` attached.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        listener: TcpListener,
+        shared: Arc<Shared>,
+        job_tx: Sender<Job>,
+        ingest_tx: mpsc::Sender<IngestWork>,
+        completion_rx: mpsc::Receiver<Completion>,
+        sink: ReplySink,
+        wake: Arc<WakePipe>,
+        max_connections: usize,
+        queue_depth: usize,
+    ) -> Self {
+        Self {
+            listener,
+            shared,
+            job_tx,
+            ingest_tx,
+            completion_rx,
+            sink,
+            wake,
+            max_connections,
+            queue_depth,
+            conns: FxHashMap::default(),
+            pending: FxHashMap::default(),
+            next_conn: 1,
+            next_req: 1,
+            accept_backoff_until: None,
+            draining: false,
+            drain_deadline: None,
+        }
+    }
+
+    /// Runs the event loop until shutdown completes: flag observed, every
+    /// pending request answered, every answer flushed (or the drain
+    /// deadline passed).
+    pub fn run(mut self) {
+        loop {
+            self.drain_completions();
+            self.observe_shutdown();
+            if self.draining && self.pending.is_empty() && self.all_flushed() {
+                return;
+            }
+            if let Some(deadline) = self.drain_deadline {
+                if Instant::now() >= deadline {
+                    return;
+                }
+            }
+
+            let (mut fds, tokens) = self.build_poll_set();
+            let timeout = self.poll_timeout();
+            let n = match poll_fds(&mut fds, timeout) {
+                Ok(n) => n,
+                Err(_) => {
+                    // A broken poll set would spin; rebuild after a beat.
+                    std::thread::sleep(Duration::from_millis(10));
+                    0
+                }
+            };
+            if n > 0 {
+                let mut dead: Vec<u64> = Vec::new();
+                for (fd, token) in fds.iter().zip(&tokens) {
+                    if fd.revents == 0 {
+                        continue;
+                    }
+                    match token {
+                        Token::Wake => self.wake.drain(),
+                        Token::Listener => self.accept_ready(),
+                        Token::Conn(key) => {
+                            if fd.revents & POLL_NVAL != 0 {
+                                dead.push(*key);
+                                continue;
+                            }
+                            if !self.handle_conn_event(*key, fd.revents) {
+                                dead.push(*key);
+                            }
+                        }
+                    }
+                }
+                for key in dead {
+                    self.close_conn(key);
+                }
+            }
+            self.reap_expired();
+        }
+    }
+
+    fn all_flushed(&self) -> bool {
+        self.conns.values().all(|c| !c.has_output())
+    }
+
+    /// Notices the shutdown flag: stop accepting, take one last read pass
+    /// over every connection (bytes that raced the flag still get
+    /// answered), then drain what is pending.
+    fn observe_shutdown(&mut self) {
+        if self.draining || !self.shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        self.draining = true;
+        self.drain_deadline =
+            Some(Instant::now() + self.shared.request_timeout + Duration::from_secs(1));
+        let keys: Vec<u64> = self.conns.keys().copied().collect();
+        let mut dead = Vec::new();
+        for key in keys {
+            if !self.read_conn(key) {
+                dead.push(key);
+            }
+        }
+        for key in dead {
+            self.close_conn(key);
+        }
+    }
+
+    fn build_poll_set(&self) -> (Vec<pollfd>, Vec<Token>) {
+        let mut fds = Vec::with_capacity(2 + self.conns.len());
+        let mut tokens = Vec::with_capacity(2 + self.conns.len());
+        fds.push(pollfd {
+            fd: self.wake.read_fd(),
+            events: POLL_IN,
+            revents: 0,
+        });
+        tokens.push(Token::Wake);
+        if !self.draining && !self.in_accept_backoff() {
+            fds.push(pollfd {
+                fd: self.listener.as_raw_fd(),
+                events: POLL_IN,
+                revents: 0,
+            });
+            tokens.push(Token::Listener);
+        }
+        for (&key, conn) in &self.conns {
+            // A connection with no interest bits is still registered:
+            // POLLHUP / POLLERR are reported regardless of the mask, so
+            // hangups on write-only or draining connections surface.
+            let mut events = 0i16;
+            if !self.draining && !conn.close_after_flush {
+                events |= POLL_IN;
+            }
+            if conn.has_output() {
+                events |= POLL_OUT;
+            }
+            fds.push(pollfd {
+                fd: conn.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+            tokens.push(Token::Conn(key));
+        }
+        (fds, tokens)
+    }
+
+    fn in_accept_backoff(&self) -> bool {
+        self.accept_backoff_until
+            .is_some_and(|until| Instant::now() < until)
+    }
+
+    /// Milliseconds until the nearest timed obligation: a pending reap,
+    /// the accept backoff expiring, or the drain deadline. `-1` (block
+    /// forever) when none exist — every other transition arrives as an fd
+    /// event or a wake.
+    fn poll_timeout(&self) -> i32 {
+        let mut next: Option<Instant> = None;
+        let mut consider = |t: Instant| match next {
+            Some(cur) if cur <= t => {}
+            _ => next = Some(t),
+        };
+        for p in self.pending.values() {
+            consider(p.reap_at);
+        }
+        if let Some(until) = self.accept_backoff_until {
+            if Instant::now() < until {
+                consider(until);
+            }
+        }
+        if let Some(deadline) = self.drain_deadline {
+            consider(deadline);
+        }
+        match next {
+            None => -1,
+            Some(t) => {
+                let ms = t.saturating_duration_since(Instant::now()).as_millis();
+                // +1 rounds up so we never wake a hair early and re-loop.
+                (ms.min(i32::MAX as u128 - 1) as i32) + 1
+            }
+        }
+    }
+
+    /// Accepts until the backlog is empty. Over-cap connections are told
+    /// `Overloaded` and closed; accept errors start the backoff window.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.shared.connections_total.inc();
+                    if self.conns.len() >= self.max_connections {
+                        self.shared.conns_rejected.inc();
+                        self.reject_connection(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let key = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns.insert(key, Conn::new(stream));
+                    self.shared.open_connections.set(self.conns.len() as i64);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    // EMFILE and friends: count it, suppress accept for a
+                    // beat, keep serving everyone already connected. The
+                    // old front end spun on `continue` here at 100% CPU.
+                    self.shared.accept_errors.inc();
+                    self.accept_backoff_until = Some(Instant::now() + ACCEPT_ERROR_BACKOFF);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Best-effort `Overloaded` frame to a rejected connection. The frame
+    /// is a few dozen bytes — far below any socket send buffer — so the
+    /// blocking write cannot wedge the reactor.
+    fn reject_connection(&self, mut stream: TcpStream) {
+        let resp = Response::from_error(0, &ServeError::Overloaded);
+        let _ = stream.write_all(&encode_response(&resp));
+    }
+
+    /// Dispatches one connection's poll events. Returns `false` when the
+    /// connection is finished and should be closed.
+    fn handle_conn_event(&mut self, key: u64, revents: i16) -> bool {
+        if revents & POLL_OUT != 0 && !self.flush_conn(key) {
+            return false;
+        }
+        if revents & (POLL_IN | POLL_HUP | POLL_ERR) != 0 {
+            let may_read = self
+                .conns
+                .get(&key)
+                .is_some_and(|c| !self.draining && !c.close_after_flush);
+            if may_read {
+                if !self.read_conn(key) {
+                    return false;
+                }
+            } else if revents & (POLL_HUP | POLL_ERR) != 0 {
+                // Not reading anymore and the peer is gone: if nothing is
+                // left to flush, close now instead of polling a corpse.
+                if let Some(conn) = self.conns.get(&key) {
+                    if !conn.has_output() {
+                        return false;
+                    }
+                }
+            }
+        }
+        // A close-after-flush connection with an empty buffer is done.
+        if let Some(conn) = self.conns.get(&key) {
+            if conn.close_after_flush && !conn.has_output() && conn.inflight == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Reads up to the per-round budget and processes every complete
+    /// frame. Returns `false` on EOF or a fatal transport error.
+    fn read_conn(&mut self, key: u64) -> bool {
+        let mut buf = [0u8; READ_CHUNK];
+        for _ in 0..READ_CHUNKS_PER_ROUND {
+            let Some(conn) = self.conns.get_mut(&key) else {
+                return true;
+            };
+            match conn.stream.read(&mut buf) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    conn.reader.push(&buf[..n]);
+                    if !self.process_frames(key) {
+                        return false;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Decodes and dispatches every complete frame buffered on `key`.
+    fn process_frames(&mut self, key: u64) -> bool {
+        loop {
+            let frame = {
+                let Some(conn) = self.conns.get_mut(&key) else {
+                    return true;
+                };
+                if conn.close_after_flush {
+                    return true;
+                }
+                match conn.reader.next_frame() {
+                    Ok(Some(body)) => body,
+                    Ok(None) => return true,
+                    Err(err) => {
+                        // Framing is untrustworthy: answer once, flush,
+                        // close.
+                        let resp =
+                            Response::from_error(0, &ServeError::BadRequest(err.to_string()));
+                        let wire = encode_response(&resp);
+                        conn.out.extend_from_slice(&wire);
+                        conn.close_after_flush = true;
+                        return self.flush_conn(key);
+                    }
+                }
+            };
+            if !self.handle_request_frame(key, &frame) {
+                return false;
+            }
+        }
+    }
+
+    /// Decodes one request body and either answers it inline (stats,
+    /// validation errors, shed) or registers a [`Pending`] and dispatches
+    /// its work. Returns `false` when the connection should close.
+    fn handle_request_frame(&mut self, key: u64, body: &[u8]) -> bool {
+        let started = Instant::now();
+        let (request, trace_ctx) = match decode_request_ext(body) {
+            Ok(pair) => pair,
+            Err(err) => {
+                let resp = Response::from_error(0, &ServeError::BadRequest(err.to_string()));
+                let wire = encode_response(&resp);
+                if let Some(conn) = self.conns.get_mut(&key) {
+                    conn.out.extend_from_slice(&wire);
+                    conn.close_after_flush = true;
+                }
+                return self.flush_conn(key);
+            }
+        };
+        let trace = trace_ctx.map(|ctx| Arc::new(RequestTrace::new(ctx.trace_id)));
+        let id = request.id();
+        let deadline = started + self.shared.request_timeout;
+
+        match request {
+            // Stats is answered inline: a metrics snapshot allocates a
+            // string but never blocks.
+            Request::Stats { .. } => {
+                let response = Response::Stats {
+                    id,
+                    text: stats_text(&self.shared),
+                };
+                self.respond(key, &response, started, trace.as_ref(), "stats", 0)
+            }
+            Request::Ingest {
+                seed,
+                node_type,
+                label,
+                features,
+                edges,
+                ..
+            } => {
+                let req = self.fresh_req();
+                let work = IngestWork {
+                    req,
+                    id,
+                    seed,
+                    node_type,
+                    label,
+                    features,
+                    edges,
+                    deadline,
+                };
+                if self.ingest_tx.send(work).is_err() {
+                    let resp = Response::from_error(id, &ServeError::ShuttingDown);
+                    return self.respond(key, &resp, started, trace.as_ref(), "ingest", 0);
+                }
+                self.pending.insert(
+                    req,
+                    Pending {
+                        conn: key,
+                        kind: PendingKind::Direct,
+                        id,
+                        results: Vec::new(),
+                        remaining: 1,
+                        failure: None,
+                        reap_at: deadline + REAP_GRACE,
+                        started,
+                        trace,
+                        kind_name: "ingest",
+                        nodes: 0,
+                        dim: 0,
+                    },
+                );
+                if let Some(conn) = self.conns.get_mut(&key) {
+                    conn.inflight += 1;
+                }
+                true
+            }
+            Request::Embed { seed, nodes, .. } => self.dispatch_jobs(
+                key,
+                id,
+                JobKind::Embed,
+                seed,
+                nodes,
+                deadline,
+                started,
+                trace,
+                "embed",
+            ),
+            Request::Classify {
+                seed,
+                rounds,
+                nodes,
+                ..
+            } => self.dispatch_jobs(
+                key,
+                id,
+                JobKind::Classify { rounds },
+                seed,
+                nodes,
+                deadline,
+                started,
+                trace,
+                "classify",
+            ),
+        }
+    }
+
+    /// Validates an embed/classify request, then either answers it inline
+    /// (bad node, empty, shed) or enqueues its per-node jobs and registers
+    /// the pending entry. Returns `false` when the connection should
+    /// close.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_jobs(
+        &mut self,
+        key: u64,
+        id: u64,
+        kind: JobKind,
+        seed: u64,
+        nodes: Vec<u32>,
+        deadline: Instant,
+        started: Instant,
+        trace: Option<Arc<RequestTrace>>,
+        kind_name: &'static str,
+    ) -> bool {
+        if let Some(&bad) = nodes
+            .iter()
+            .find(|&&n| !self.shared.registry.contains_node(n))
+        {
+            let resp = Response::from_error(
+                id,
+                &ServeError::BadRequest(format!("node {bad} outside the served graph")),
+            );
+            return self.respond(
+                key,
+                &resp,
+                started,
+                trace.as_ref(),
+                kind_name,
+                nodes.len() as u64,
+            );
+        }
+        let d = self.shared.registry.read().model().config.d as u32;
+        if nodes.is_empty() {
+            let resp = match kind {
+                JobKind::Embed => Response::Embeddings {
+                    id,
+                    dim: d,
+                    values: Vec::new(),
+                },
+                JobKind::Classify { .. } => Response::Classes {
+                    id,
+                    labels: Vec::new(),
+                },
+            };
+            return self.respond(key, &resp, started, trace.as_ref(), kind_name, 0);
+        }
+
+        // Shed before enqueue: either the whole request fits in the queue
+        // budget right now or none of it goes in. The reactor is the only
+        // enqueuer, so a passed check cannot race into a partial enqueue.
+        if self.job_tx.len() + nodes.len() > self.queue_depth {
+            self.shared.shed.inc();
+            let resp = Response::from_error(id, &ServeError::Overloaded);
+            return self.respond(
+                key,
+                &resp,
+                started,
+                trace.as_ref(),
+                kind_name,
+                nodes.len() as u64,
+            );
+        }
+
+        let req = self.fresh_req();
+        let mut enqueued = 0usize;
+        let mut failure: Option<ServeError> = None;
+        for (slot, &node) in nodes.iter().enumerate() {
+            let job = Job {
+                kind,
+                node,
+                seed,
+                deadline,
+                req,
+                slot,
+                reply: self.sink.clone(),
+                enqueued_at: Instant::now(),
+                trace: trace.clone(),
+            };
+            match self.job_tx.try_send(job) {
+                Ok(()) => enqueued += 1,
+                Err(TrySendError::Full(_)) => {
+                    self.shared.shed.inc();
+                    failure = Some(ServeError::Overloaded);
+                    break;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    failure = Some(ServeError::ShuttingDown);
+                    break;
+                }
+            }
+        }
+        if enqueued == 0 {
+            let err = failure.unwrap_or(ServeError::Internal("no jobs enqueued".into()));
+            let resp = Response::from_error(id, &err);
+            return self.respond(
+                key,
+                &resp,
+                started,
+                trace.as_ref(),
+                kind_name,
+                nodes.len() as u64,
+            );
+        }
+        self.pending.insert(
+            req,
+            Pending {
+                conn: key,
+                kind: match kind {
+                    JobKind::Embed => PendingKind::Embed,
+                    JobKind::Classify { .. } => PendingKind::Classify,
+                },
+                id,
+                results: vec![None; nodes.len()],
+                remaining: enqueued,
+                failure,
+                reap_at: deadline + REAP_GRACE,
+                started,
+                trace,
+                kind_name,
+                nodes: nodes.len() as u64,
+                dim: d,
+            },
+        );
+        if let Some(conn) = self.conns.get_mut(&key) {
+            conn.inflight += 1;
+        }
+        true
+    }
+
+    fn fresh_req(&mut self) -> u64 {
+        let req = self.next_req;
+        self.next_req += 1;
+        req
+    }
+
+    /// Applies every queued completion. Late completions whose request
+    /// was already reaped (or whose connection died) have no pending
+    /// entry and are dropped silently.
+    fn drain_completions(&mut self) {
+        while let Ok(completion) = self.completion_rx.try_recv() {
+            match completion {
+                Completion::Job { req, slot, result } => {
+                    let Some(p) = self.pending.get_mut(&req) else {
+                        continue;
+                    };
+                    match result {
+                        Ok(output) => {
+                            if let Some(cell) = p.results.get_mut(slot) {
+                                *cell = Some(output);
+                            }
+                        }
+                        Err(err) => {
+                            if p.failure.is_none() {
+                                p.failure = Some(err);
+                            }
+                        }
+                    }
+                    p.remaining = p.remaining.saturating_sub(1);
+                    if p.remaining == 0 {
+                        let p = self.pending.remove(&req).expect("present");
+                        let response = assemble(&p);
+                        self.finish_pending(p, response);
+                    }
+                }
+                Completion::Direct { req, response } => {
+                    let Some(p) = self.pending.remove(&req) else {
+                        continue;
+                    };
+                    self.finish_pending(p, response);
+                }
+            }
+        }
+    }
+
+    /// Writes a completed request's response onto its connection and
+    /// closes the accounting.
+    fn finish_pending(&mut self, p: Pending, response: Response) {
+        let summary = p.trace.as_ref().map(|t| build_summary(t));
+        self.shared.requests.inc();
+        let wire = match &summary {
+            Some(s) => encode_response_traced(&response, s),
+            None => encode_response(&response),
+        };
+        let write_start = Instant::now();
+        if let Some(conn) = self.conns.get_mut(&p.conn) {
+            conn.out.extend_from_slice(&wire);
+            conn.inflight = conn.inflight.saturating_sub(1);
+            let _ = self.flush_conn(p.conn);
+        }
+        log_slow_request(
+            &self.shared,
+            p.kind_name,
+            p.id,
+            p.nodes,
+            p.started,
+            write_start,
+            summary.as_ref(),
+        );
+    }
+
+    /// Answers one request inline (no pending entry): encode, buffer,
+    /// count, flush. Returns `false` when the connection should close.
+    fn respond(
+        &mut self,
+        key: u64,
+        response: &Response,
+        started: Instant,
+        trace: Option<&Arc<RequestTrace>>,
+        kind_name: &'static str,
+        nodes: u64,
+    ) -> bool {
+        let summary = trace.map(|t| build_summary(t));
+        self.shared.requests.inc();
+        let wire = match &summary {
+            Some(s) => encode_response_traced(response, s),
+            None => encode_response(response),
+        };
+        let write_start = Instant::now();
+        let alive = match self.conns.get_mut(&key) {
+            Some(conn) => {
+                conn.out.extend_from_slice(&wire);
+                self.flush_conn(key)
+            }
+            None => false,
+        };
+        log_slow_request(
+            &self.shared,
+            kind_name,
+            response.id(),
+            nodes,
+            started,
+            write_start,
+            summary.as_ref(),
+        );
+        alive
+    }
+
+    /// Writes as much buffered output as the socket will take. Returns
+    /// `false` on a fatal write error (connection should close).
+    fn flush_conn(&mut self, key: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return false;
+        };
+        while conn.out_pos < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if conn.out_pos == conn.out.len() {
+            conn.out.clear();
+            conn.out_pos = 0;
+        }
+        true
+    }
+
+    /// Reaps pending requests whose backstop time passed: answers
+    /// `DeadlineExceeded` and forgets the request — any completion that
+    /// still arrives finds no entry and is dropped.
+    fn reap_expired(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.reap_at <= now)
+            .map(|(&req, _)| req)
+            .collect();
+        for req in expired {
+            let p = self.pending.remove(&req).expect("present");
+            let response = Response::from_error(p.id, &ServeError::DeadlineExceeded);
+            self.finish_pending(p, response);
+        }
+    }
+
+    /// Removes a connection and every pending request it owns (their
+    /// in-queue jobs still compute; the completions will be dropped).
+    fn close_conn(&mut self, key: u64) {
+        if self.conns.remove(&key).is_some() {
+            self.shared.open_connections.set(self.conns.len() as i64);
+        }
+        let orphaned: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.conn == key)
+            .map(|(&req, _)| req)
+            .collect();
+        for req in orphaned {
+            self.pending.remove(&req);
+        }
+    }
+}
+
+/// Concatenates a finished request's slot results into its response, or
+/// its recorded failure into an error.
+fn assemble(p: &Pending) -> Response {
+    if let Some(err) = &p.failure {
+        return Response::from_error(p.id, err);
+    }
+    match p.kind {
+        PendingKind::Embed => {
+            let mut values = Vec::with_capacity(p.results.len() * p.dim as usize);
+            for r in &p.results {
+                match r {
+                    Some(JobOutput::Embedding(row)) => values.extend_from_slice(row),
+                    _ => {
+                        return Response::from_error(
+                            p.id,
+                            &ServeError::Internal("job answered with wrong output kind".into()),
+                        )
+                    }
+                }
+            }
+            Response::Embeddings {
+                id: p.id,
+                dim: p.dim,
+                values,
+            }
+        }
+        PendingKind::Classify => {
+            let mut labels = Vec::with_capacity(p.results.len());
+            for r in &p.results {
+                match r {
+                    Some(JobOutput::Label(label)) => labels.push(*label),
+                    _ => {
+                        return Response::from_error(
+                            p.id,
+                            &ServeError::Internal("job answered with wrong output kind".into()),
+                        )
+                    }
+                }
+            }
+            Response::Classes { id: p.id, labels }
+        }
+        PendingKind::Direct => Response::from_error(
+            p.id,
+            &ServeError::Internal("direct request assembled from slots".into()),
+        ),
+    }
+}
+
+/// Assembles the wire summary: the request root span at index 0, then
+/// every child the batcher recorded (all parented to index 0).
+fn build_summary(trace: &RequestTrace) -> SpanSummary {
+    let children = trace.spans.lock().clone();
+    let mut spans = Vec::with_capacity(1 + children.len());
+    spans.push(WireSpan {
+        name: "serve.server.request".into(),
+        parent: WireSpan::ROOT,
+        start_ns: 0,
+        dur_ns: trace.start.elapsed().as_nanos() as u64,
+    });
+    spans.extend(children);
+    SpanSummary {
+        trace_id: trace.trace_id,
+        spans,
+    }
+}
+
+/// Counts and logs the request if it exceeded the slow threshold. The log
+/// record carries the span tree (when the request was traced) plus the
+/// response-write interval measured by the caller.
+pub(crate) fn log_slow_request(
+    shared: &Shared,
+    kind: &'static str,
+    id: u64,
+    nodes: u64,
+    started: Instant,
+    write_start: Instant,
+    summary: Option<&SpanSummary>,
+) {
+    let Some(threshold) = shared.slow_threshold else {
+        return;
+    };
+    let total = started.elapsed();
+    if total < threshold {
+        return;
+    }
+    shared.slow_requests.inc();
+    let mut tree = String::new();
+    if let Some(summary) = summary {
+        for span in &summary.spans {
+            if !tree.is_empty() {
+                tree.push_str(" | ");
+            }
+            if span.parent != WireSpan::ROOT {
+                tree.push_str("> ");
+            }
+            tree.push_str(&format!(
+                "{} @{:.3}ms {:.3}ms",
+                span.name,
+                span.start_ns as f64 / 1e6,
+                span.dur_ns as f64 / 1e6
+            ));
+        }
+        tree.push_str(&format!(
+            " | > serve.server.write_response @{:.3}ms {:.3}ms",
+            write_start.saturating_duration_since(started).as_nanos() as f64 / 1e6,
+            write_start.elapsed().as_nanos() as f64 / 1e6
+        ));
+    }
+    let mut event = Event::new("slow_request")
+        .u64("request_id", id)
+        .str("kind", kind)
+        .u64("nodes", nodes)
+        .f64("total_ms", total.as_nanos() as f64 / 1e6)
+        .u64("threshold_ms", threshold.as_millis() as u64);
+    if let Some(summary) = summary {
+        event = event
+            .str("trace", &format!("{:016x}", summary.trace_id))
+            .str("spans", &tree);
+    }
+    match &shared.slow_sink {
+        Some(sink) => {
+            let _ = sink.emit(&event);
+        }
+        None => eprintln!("[widen-serve] {}", event.to_json()),
+    }
+}
+
+/// Renders the `Stats` payload: the server's own registry plus the
+/// process-global ambient registry (sampling, packaging) as one JSON
+/// object — `{"server":...,"process":...}`.
+pub(crate) fn stats_text(shared: &Shared) -> String {
+    format!(
+        "{{\"server\":{},\"process\":{}}}",
+        shared.metrics.snapshot().to_json(),
+        widen_obs::Registry::global().snapshot().to_json()
+    )
+}

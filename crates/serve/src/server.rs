@@ -1,41 +1,50 @@
-//! The TCP front-end: accepts connections, decodes request frames, fans
-//! each request out into per-node jobs on the shared micro-batch queue,
-//! and writes back one response frame per request.
+//! Server lifecycle: bind, spawn, observe, shut down.
 //!
-//! Threading model (all std threads, no async runtime):
+//! Threading model (all std threads, no async runtime, no thread per
+//! connection):
 //!
 //! ```text
-//! acceptor ──spawns──▶ one handler per connection ──jobs──▶ bounded MPMC queue
-//!                                                              │
-//!                      handler ◀─── per-request mpsc ─── batcher workers (×W)
+//!                  ┌────────────────────────────────────────────┐
+//!   clients ──TCP──▶ reactor (one thread, poll(2) over all fds) │
+//!                  └───────┬──────────────────────────▲─────────┘
+//!                    jobs  │                          │ completions
+//!                          ▼                          │ (+ self-pipe wake)
+//!                   bounded MPMC queue ──▶ batcher workers (×W)
+//!                          │                          ▲
+//!                          └── ingest ──▶ ingest executor (×1)
 //! ```
 //!
-//! Shutdown is graceful by construction: the acceptor stops first, handlers
-//! finish the request they are on and answer anything still buffered, and
-//! the workers keep draining the job queue until it is empty before
-//! exiting — an accepted request is never dropped without a response.
+//! The reactor (see [`crate::reactor`]) owns every client socket in
+//! nonblocking mode; batcher workers and the ingest executor send results
+//! back over one completion channel and ring the reactor's self-pipe.
+//! Thread count is `2 + workers` regardless of how many connections are
+//! open.
+//!
+//! Shutdown is graceful by construction and never depends on connecting
+//! to the server's own address: the flag is set, the self-pipe is rung,
+//! the reactor answers and flushes everything pending and exits; dropping
+//! its job sender lets the workers drain the queue and exit, and dropping
+//! its ingest sender stops the ingest executor. An accepted request is
+//! never dropped without a response.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{bounded, Sender, TrySendError};
-use parking_lot::Mutex;
-use widen_obs::{Counter, Event, JsonlSink, Registry as MetricsRegistry};
+use crossbeam_channel::bounded;
+use widen_obs::{Counter, Gauge, JsonlSink, Registry as MetricsRegistry};
 
 use widen_graph::{EdgeTypeId, NodeTypeId};
 
-use crate::batcher::{run_worker, BatchPolicy, Job, JobKind, JobOutput, RequestTrace, WorkerStats};
+use crate::batcher::{run_worker, BatchPolicy, Completion, Job, ReplySink, WorkerStats};
 use crate::cache::{EmbedCache, EmbedKey};
 use crate::error::ServeError;
-use crate::protocol::{
-    decode_request_ext, encode_response, encode_response_traced, FrameReader, Request, Response,
-    SpanSummary, WireSpan,
-};
+use crate::poll::WakePipe;
+use crate::protocol::Response;
+use crate::reactor::{IngestWork, Reactor};
 use crate::registry::ModelRegistry;
 
 /// Tunables for one server instance.
@@ -48,8 +57,9 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// How long the first job in a window waits for company, in µs.
     pub max_wait_us: u64,
-    /// Bounded job-queue depth; a full queue answers `Overloaded`
-    /// (backpressure) instead of buffering without limit.
+    /// Bounded job-queue depth; a request that does not fit in the
+    /// remaining budget is shed with `Overloaded` before any of its jobs
+    /// enqueue (backpressure) instead of buffering without limit.
     pub queue_depth: usize,
     /// Per-request deadline in ms; jobs not answered in time get
     /// `DeadlineExceeded`.
@@ -63,6 +73,11 @@ pub struct ServeConfig {
     /// Where slow-request records go as JSONL; `None` falls back to
     /// stderr. Ignored while `slow_request_ms` is 0.
     pub slow_log_path: Option<PathBuf>,
+    /// Admission-control cap on concurrently open connections.
+    /// Connections beyond the cap are accepted, answered with a typed
+    /// `Overloaded` error frame, and closed — never silently parked in
+    /// the kernel backlog. Counted in `serve_conns_rejected_total`.
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +91,7 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             slow_request_ms: 0,
             slow_log_path: None,
+            max_connections: 8192,
         }
     }
 }
@@ -102,29 +118,48 @@ pub struct ServeStats {
     /// Nodes streamed into the served graph over the wire (`Ingest` ops
     /// that succeeded).
     pub ingests: u64,
+    /// Requests shed with `Overloaded` before any of their jobs enqueued
+    /// (queue-depth load shedding).
+    pub shed: u64,
+    /// Connections rejected by the `max_connections` admission cap.
+    pub conns_rejected: u64,
+    /// `accept(2)` failures (e.g. `EMFILE` under fd exhaustion) — each
+    /// one also starts a short accept backoff instead of a busy spin.
+    pub accept_errors: u64,
 }
 
-struct Shared {
-    shutdown: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) shutdown: AtomicBool,
     /// This server's own metric registry (isolated per instance, see the
     /// scoping convention in `widen-obs`); the `Stats` wire op renders it.
-    metrics: Arc<MetricsRegistry>,
+    pub(crate) metrics: Arc<MetricsRegistry>,
     /// `serve_requests_total` — requests fully answered, success or error.
-    requests: Arc<Counter>,
+    pub(crate) requests: Arc<Counter>,
     /// `serve_slow_requests_total` — requests slower than the configured
     /// threshold.
-    slow_requests: Arc<Counter>,
+    pub(crate) slow_requests: Arc<Counter>,
     /// `serve_ingests_total` — successful `Ingest` ops (graph mutations).
-    ingests: Arc<Counter>,
-    conns: Mutex<Vec<JoinHandle<()>>>,
-    cache: Arc<EmbedCache>,
-    worker_stats: Arc<WorkerStats>,
-    registry: Arc<ModelRegistry>,
-    request_timeout: Duration,
+    pub(crate) ingests: Arc<Counter>,
+    /// `serve_shed_total` — requests shed before enqueue.
+    pub(crate) shed: Arc<Counter>,
+    /// `serve_accept_errors_total` — accept failures (each starts a
+    /// backoff window rather than a spin).
+    pub(crate) accept_errors: Arc<Counter>,
+    /// `serve_conns_rejected_total` — admission-cap rejections.
+    pub(crate) conns_rejected: Arc<Counter>,
+    /// `serve_connections_total` — connections ever accepted (including
+    /// rejected ones).
+    pub(crate) connections_total: Arc<Counter>,
+    /// `serve_open_connections` — currently registered connections.
+    pub(crate) open_connections: Arc<Gauge>,
+    pub(crate) cache: Arc<EmbedCache>,
+    pub(crate) worker_stats: Arc<WorkerStats>,
+    pub(crate) registry: Arc<ModelRegistry>,
+    pub(crate) request_timeout: Duration,
     /// Slow-request threshold; `None` disables detection and logging.
-    slow_threshold: Option<Duration>,
+    pub(crate) slow_threshold: Option<Duration>,
     /// Slow-request JSONL sink; `None` with a threshold set means stderr.
-    slow_sink: Option<JsonlSink>,
+    pub(crate) slow_sink: Option<JsonlSink>,
 }
 
 /// The in-process inference server.
@@ -132,11 +167,12 @@ pub struct Server;
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port), spawns the
-    /// acceptor and `config.workers` batcher threads, and returns a handle
-    /// for stats and shutdown.
+    /// reactor, the ingest executor, and `config.workers` batcher
+    /// threads, and returns a handle for stats and shutdown.
     ///
     /// # Errors
-    /// Propagates socket-binding failures.
+    /// Propagates socket-binding failures (and self-pipe creation under
+    /// fd exhaustion).
     pub fn bind(
         registry: ModelRegistry,
         config: ServeConfig,
@@ -144,8 +180,11 @@ impl Server {
     ) -> std::io::Result<ServerHandle> {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.max_batch >= 1, "max_batch must be ≥ 1");
+        assert!(config.max_connections >= 1, "max_connections must be ≥ 1");
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let wake = Arc::new(WakePipe::new()?);
 
         let registry = Arc::new(registry);
         let metrics = Arc::new(MetricsRegistry::new());
@@ -160,7 +199,11 @@ impl Server {
             requests: metrics.counter("serve_requests_total"),
             slow_requests: metrics.counter("serve_slow_requests_total"),
             ingests: metrics.counter("serve_ingests_total"),
-            conns: Mutex::new(Vec::new()),
+            shed: metrics.counter("serve_shed_total"),
+            accept_errors: metrics.counter("serve_accept_errors_total"),
+            conns_rejected: metrics.counter("serve_conns_rejected_total"),
+            connections_total: metrics.counter("serve_connections_total"),
+            open_connections: metrics.gauge("serve_open_connections"),
             cache: Arc::new(EmbedCache::with_metrics(config.cache_capacity, &metrics)),
             worker_stats: Arc::new(WorkerStats::new(&metrics)),
             registry: registry.clone(),
@@ -189,21 +232,60 @@ impl Server {
             .collect();
         drop(job_rx);
 
-        let acceptor = {
+        // One completion channel back from every producer (batcher
+        // workers, ingest executor); each delivery rings the self-pipe so
+        // the reactor leaves poll and writes the response.
+        let (completion_tx, completion_rx) = mpsc::channel::<Completion>();
+        let sink = ReplySink {
+            tx: completion_tx,
+            wake: Some(wake.clone()),
+        };
+
+        // Ingest mutates the graph under the registry write lock, which
+        // can wait up to the request timeout — far too long for the event
+        // loop. A dedicated executor runs those and completes them like
+        // any other job.
+        let (ingest_tx, ingest_rx) = mpsc::channel::<IngestWork>();
+        let ingest_worker = {
             let shared = shared.clone();
-            let job_tx = job_tx.clone();
+            let sink = sink.clone();
             std::thread::Builder::new()
-                .name("widen-acceptor".into())
-                .spawn(move || accept_loop(listener, shared, job_tx))
-                .expect("spawn acceptor")
+                .name("widen-ingest".into())
+                .spawn(move || run_ingest_executor(ingest_rx, shared, sink))
+                .expect("spawn ingest executor")
+        };
+
+        let reactor = {
+            let shared = shared.clone();
+            let wake = wake.clone();
+            let max_connections = config.max_connections;
+            let queue_depth = config.queue_depth;
+            std::thread::Builder::new()
+                .name("widen-reactor".into())
+                .spawn(move || {
+                    Reactor::new(
+                        listener,
+                        shared,
+                        job_tx,
+                        ingest_tx,
+                        completion_rx,
+                        sink,
+                        wake,
+                        max_connections,
+                        queue_depth,
+                    )
+                    .run()
+                })
+                .expect("spawn reactor")
         };
 
         Ok(ServerHandle {
             addr: local_addr,
             shared,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
+            ingest_worker: Some(ingest_worker),
             workers,
-            job_tx: Some(job_tx),
+            wake,
         })
     }
 }
@@ -212,9 +294,10 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
+    ingest_worker: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    job_tx: Option<Sender<Job>>,
+    wake: Arc<WakePipe>,
 }
 
 impl ServerHandle {
@@ -223,7 +306,7 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Snapshot of the throughput and cache counters.
+    /// Snapshot of the throughput, cache, and admission counters.
     pub fn stats(&self) -> ServeStats {
         let cache = self.shared.cache.stats();
         ServeStats {
@@ -235,6 +318,9 @@ impl ServerHandle {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             ingests: self.shared.ingests.get(),
+            shed: self.shared.shed.get(),
+            conns_rejected: self.shared.conns_rejected.get(),
+            accept_errors: self.shared.accept_errors.get(),
         }
     }
 
@@ -268,23 +354,23 @@ impl ServerHandle {
     }
 
     fn shutdown_in_place(&mut self) {
-        let Some(acceptor) = self.acceptor.take() else {
+        let Some(reactor) = self.reactor.take() else {
             return;
         };
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        let _ = acceptor.join();
-        // No new handlers can appear now; join the existing ones. They
-        // finish whatever requests they have outstanding first (workers
-        // are still running and draining).
-        let conns: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.conns.lock());
-        for conn in conns {
-            let _ = conn.join();
+        self.shared
+            .shutdown
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        // Ring the self-pipe: pops the reactor out of poll without
+        // opening any socket — immune to fd exhaustion, unlike the old
+        // connect-to-self wake.
+        self.wake.wake();
+        let _ = reactor.join();
+        // The reactor dropped its job sender on exit; workers drain
+        // whatever is queued, answer it, then see the disconnect and
+        // exit. Same for the ingest executor via its work channel.
+        if let Some(ingest) = self.ingest_worker.take() {
+            let _ = ingest.join();
         }
-        // All handler-side senders are gone; dropping ours disconnects the
-        // queue. Workers drain what is left, answer it, then exit.
-        drop(self.job_tx.take());
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -297,408 +383,71 @@ impl Drop for ServerHandle {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>, job_tx: Sender<Job>) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                continue;
-            }
-        };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let handler = {
-            let shared = shared.clone();
-            let job_tx = job_tx.clone();
-            std::thread::Builder::new()
-                .name("widen-conn".into())
-                .spawn(move || handle_connection(stream, shared, job_tx))
-                .expect("spawn handler")
-        };
-        shared.conns.lock().push(handler);
+/// Runs ingest requests off the reactor thread: graph mutation + embed
+/// inside one registry critical section, bounded by the request deadline,
+/// completed back to the reactor like any batcher job.
+fn run_ingest_executor(rx: mpsc::Receiver<IngestWork>, shared: Arc<Shared>, sink: ReplySink) {
+    while let Ok(work) = rx.recv() {
+        let response = execute_ingest(&shared, &work);
+        sink.send(Completion::Direct {
+            req: work.req,
+            response,
+        });
     }
 }
 
-/// Reads frames off one connection until EOF, error, or drain-complete
-/// shutdown. Every fully received request is answered, shutdown or not.
-fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>, job_tx: Sender<Job>) {
-    let _ = stream.set_nodelay(true);
-    // Short read timeout so the loop can notice the shutdown flag.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
-    let mut reader = FrameReader::new();
-    let mut buf = [0u8; 16 * 1024];
-    let mut draining = false;
-    loop {
-        // Answer everything already buffered before reading more.
-        loop {
-            match reader.next_frame() {
-                Ok(Some(body)) => {
-                    if !handle_frame(&body, &mut stream, &shared, &job_tx) {
-                        return;
-                    }
-                }
-                Ok(None) => break,
-                Err(err) => {
-                    // Framing is no longer trustworthy: best-effort error
-                    // reply, then drop the connection.
-                    let resp = Response::from_error(0, &ServeError::BadRequest(err.to_string()));
-                    let _ = stream.write_all(&encode_response(&resp));
-                    return;
-                }
-            }
-        }
-        match stream.read(&mut buf) {
-            Ok(0) => return, // client hung up
-            Ok(n) => reader.push(&buf[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    if draining {
-                        return;
-                    }
-                    // One more read pass to catch bytes that raced the
-                    // shutdown flag, then exit on the next quiet timeout.
-                    draining = true;
-                }
-            }
-            Err(_) => return,
-        }
+fn execute_ingest(shared: &Shared, work: &IngestWork) -> Response {
+    let budget = work.deadline.saturating_duration_since(Instant::now());
+    if budget.is_zero() {
+        return Response::from_error(work.id, &ServeError::DeadlineExceeded);
     }
-}
-
-/// Decodes and fully answers one request frame. Returns `false` when the
-/// connection should close.
-///
-/// A version-2 frame with a trace context opens a request span
-/// (`serve.server.request`); the batcher records queue-wait / coalesce /
-/// cache-lookup / forward-batch child spans into it, and the assembled
-/// summary rides back on the response. The response-write interval can
-/// only be measured *after* the summary is encoded, so it appears in the
-/// slow-request log but never on the wire.
-fn handle_frame(
-    body: &[u8],
-    stream: &mut TcpStream,
-    shared: &Shared,
-    job_tx: &Sender<Job>,
-) -> bool {
-    let started = Instant::now();
-    let (request, trace_ctx) = match decode_request_ext(body) {
-        Ok(pair) => pair,
-        Err(err) => {
-            let resp = Response::from_error(0, &ServeError::BadRequest(err.to_string()));
-            let _ = stream.write_all(&encode_response(&resp));
-            return false;
-        }
-    };
-    let trace = trace_ctx.map(|ctx| Arc::new(RequestTrace::new(ctx.trace_id)));
-    let response = answer_request(&request, shared, job_tx, trace.as_ref());
-    shared.requests.inc();
-    let summary = trace.as_ref().map(|t| build_summary(t));
-    let wire = match &summary {
-        Some(s) => encode_response_traced(&response, s),
-        None => encode_response(&response),
-    };
-    let write_start = Instant::now();
-    let ok = stream.write_all(&wire).is_ok();
-    log_slow_request(shared, &request, started, write_start, summary.as_ref());
-    ok
-}
-
-/// Assembles the wire summary: the request root span at index 0, then
-/// every child the batcher recorded (all parented to index 0).
-fn build_summary(trace: &RequestTrace) -> SpanSummary {
-    let children = trace.spans.lock().clone();
-    let mut spans = Vec::with_capacity(1 + children.len());
-    spans.push(WireSpan {
-        name: "serve.server.request".into(),
-        parent: WireSpan::ROOT,
-        start_ns: 0,
-        dur_ns: trace.start.elapsed().as_nanos() as u64,
-    });
-    spans.extend(children);
-    SpanSummary {
-        trace_id: trace.trace_id,
-        spans,
-    }
-}
-
-/// Counts and logs the request if it exceeded the slow threshold. The log
-/// record carries the span tree (when the request was traced) plus the
-/// response-write interval measured here.
-fn log_slow_request(
-    shared: &Shared,
-    request: &Request,
-    started: Instant,
-    write_start: Instant,
-    summary: Option<&SpanSummary>,
-) {
-    let Some(threshold) = shared.slow_threshold else {
-        return;
-    };
-    let total = started.elapsed();
-    if total < threshold {
-        return;
-    }
-    shared.slow_requests.inc();
-    let mut tree = String::new();
-    if let Some(summary) = summary {
-        for span in &summary.spans {
-            if !tree.is_empty() {
-                tree.push_str(" | ");
-            }
-            if span.parent != WireSpan::ROOT {
-                tree.push_str("> ");
-            }
-            tree.push_str(&format!(
-                "{} @{:.3}ms {:.3}ms",
-                span.name,
-                span.start_ns as f64 / 1e6,
-                span.dur_ns as f64 / 1e6
-            ));
-        }
-        tree.push_str(&format!(
-            " | > serve.server.write_response @{:.3}ms {:.3}ms",
-            write_start.saturating_duration_since(started).as_nanos() as f64 / 1e6,
-            write_start.elapsed().as_nanos() as f64 / 1e6
-        ));
-    }
-    let kind = match request {
-        Request::Embed { .. } => "embed",
-        Request::Classify { .. } => "classify",
-        Request::Stats { .. } => "stats",
-        Request::Ingest { .. } => "ingest",
-    };
-    let mut event = Event::new("slow_request")
-        .u64("request_id", request.id())
-        .str("kind", kind)
-        .u64("nodes", request.nodes().len() as u64)
-        .f64("total_ms", total.as_nanos() as f64 / 1e6)
-        .u64("threshold_ms", threshold.as_millis() as u64);
-    if let Some(summary) = summary {
-        event = event
-            .str("trace", &format!("{:016x}", summary.trace_id))
-            .str("spans", &tree);
-    }
-    match &shared.slow_sink {
-        Some(sink) => {
-            let _ = sink.emit(&event);
-        }
-        None => eprintln!("[widen-serve] {}", event.to_json()),
-    }
-}
-
-fn answer_request(
-    request: &Request,
-    shared: &Shared,
-    job_tx: &Sender<Job>,
-    trace: Option<&Arc<RequestTrace>>,
-) -> Response {
-    let id = request.id();
-    if let Request::Stats { .. } = request {
-        return Response::Stats {
-            id,
-            text: stats_text(shared),
-        };
-    }
-    // Ingest mutates the graph and embeds inside one registry critical
-    // section, so it is answered on the handler thread rather than queued:
-    // batching cannot help a write, and the embedding must come from the
-    // exact graph version the mutation produced. The write lock is taken
-    // with the same deadline the batcher enforces on queued jobs — an
-    // ingest stuck behind long read-guarded batches answers
-    // `DeadlineExceeded` instead of hanging the connection.
-    if let Request::Ingest {
-        seed,
-        node_type,
-        label,
-        features,
-        edges,
-        ..
-    } = request
-    {
-        let typed: Vec<(u32, EdgeTypeId)> = edges
-            .iter()
-            .map(|&(peer, et)| (peer, EdgeTypeId(et)))
-            .collect();
-        let attempt = shared.registry.try_ingest_for(
-            NodeTypeId(*node_type),
-            features.clone(),
-            *label,
-            &typed,
-            *seed,
-            shared.request_timeout,
-        );
-        return match attempt {
-            None => Response::from_error(id, &ServeError::DeadlineExceeded),
-            Some(Ok(outcome)) => {
-                // The mutation bumped the registry's graph version, which
-                // is part of every cache key: all rows computed on the
-                // pre-mutation graph — anywhere in the walk radius of the
-                // touched peers, not just the peers themselves — are
-                // already unreachable. Flush them eagerly so dead rows
-                // don't occupy LRU capacity until eviction.
-                shared.cache.clear();
-                // Warm the cache: a follow-up Embed for (node, seed) under
-                // the same generation is answered without a forward pass.
-                // The row is keyed by the graph version it was computed
-                // under, so even if another ingest lands between our write
-                // guard's release and this insert, the row can never
-                // answer a lookup under the newer version — it is merely a
-                // dead entry, not a stale serve.
-                shared.cache.insert(
-                    EmbedKey {
-                        node: outcome.node,
-                        checkpoint_hash: outcome.checkpoint_hash,
-                        graph_version: outcome.graph_version,
-                        seed: *seed,
-                    },
-                    outcome.embedding.clone(),
-                );
-                shared.ingests.inc();
-                Response::Ingested {
-                    id,
+    let typed: Vec<(u32, EdgeTypeId)> = work
+        .edges
+        .iter()
+        .map(|&(peer, et)| (peer, EdgeTypeId(et)))
+        .collect();
+    let attempt = shared.registry.try_ingest_for(
+        NodeTypeId(work.node_type),
+        work.features.clone(),
+        work.label,
+        &typed,
+        work.seed,
+        budget,
+    );
+    match attempt {
+        None => Response::from_error(work.id, &ServeError::DeadlineExceeded),
+        Some(Ok(outcome)) => {
+            // The mutation bumped the registry's graph version, which is
+            // part of every cache key: all rows computed on the
+            // pre-mutation graph — anywhere in the walk radius of the
+            // touched peers, not just the peers themselves — are already
+            // unreachable. Flush them eagerly so dead rows don't occupy
+            // LRU capacity until eviction.
+            shared.cache.clear();
+            // Warm the cache: a follow-up Embed for (node, seed) under
+            // the same generation is answered without a forward pass. The
+            // row is keyed by the graph version it was computed under, so
+            // even if another ingest lands between our write guard's
+            // release and this insert, the row can never answer a lookup
+            // under the newer version — it is merely a dead entry, not a
+            // stale serve.
+            shared.cache.insert(
+                EmbedKey {
                     node: outcome.node,
-                    dim: outcome.embedding.len() as u32,
-                    values: outcome.embedding,
-                }
-            }
-            Some(Err(err)) => Response::from_error(id, &ServeError::BadRequest(err.to_string())),
-        };
-    }
-    if let Some(&bad) = request
-        .nodes()
-        .iter()
-        .find(|&&n| !shared.registry.contains_node(n))
-    {
-        return Response::from_error(
-            id,
-            &ServeError::BadRequest(format!("node {bad} outside the served graph")),
-        );
-    }
-    let d = shared.registry.read().model().config.d as u32;
-    if request.nodes().is_empty() {
-        return match request {
-            Request::Embed { .. } => Response::Embeddings {
-                id,
-                dim: d,
-                values: Vec::new(),
-            },
-            Request::Classify { .. } => Response::Classes {
-                id,
-                labels: Vec::new(),
-            },
-            Request::Stats { .. } | Request::Ingest { .. } => {
-                unreachable!("answered above")
-            }
-        };
-    }
-
-    let (kind, seed) = match request {
-        Request::Embed { seed, .. } => (JobKind::Embed, *seed),
-        Request::Classify { seed, rounds, .. } => (JobKind::Classify { rounds: *rounds }, *seed),
-        Request::Stats { .. } | Request::Ingest { .. } => unreachable!("answered above"),
-    };
-    let deadline = Instant::now() + shared.request_timeout;
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let mut enqueued = 0usize;
-    let mut enqueue_failure: Option<ServeError> = None;
-    for (slot, &node) in request.nodes().iter().enumerate() {
-        let job = Job {
-            kind,
-            node,
-            seed,
-            deadline,
-            slot,
-            reply: reply_tx.clone(),
-            enqueued_at: Instant::now(),
-            trace: trace.cloned(),
-        };
-        match job_tx.try_send(job) {
-            Ok(()) => enqueued += 1,
-            Err(TrySendError::Full(_)) => {
-                enqueue_failure = Some(ServeError::Overloaded);
-                break;
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                enqueue_failure = Some(ServeError::ShuttingDown);
-                break;
+                    checkpoint_hash: outcome.checkpoint_hash,
+                    graph_version: outcome.graph_version,
+                    seed: work.seed,
+                },
+                outcome.embedding.clone(),
+            );
+            shared.ingests.inc();
+            Response::Ingested {
+                id: work.id,
+                node: outcome.node,
+                dim: outcome.embedding.len() as u32,
+                values: outcome.embedding,
             }
         }
+        Some(Err(err)) => Response::from_error(work.id, &ServeError::BadRequest(err.to_string())),
     }
-    drop(reply_tx);
-
-    // Collect every enqueued job's answer — even when part of the request
-    // failed to enqueue, the queued jobs still compute and must be reaped.
-    let mut results: Vec<Option<Result<JobOutput, ServeError>>> = vec![None; request.nodes().len()];
-    let reap_deadline = deadline + Duration::from_millis(250);
-    for _ in 0..enqueued {
-        let remaining = reap_deadline.saturating_duration_since(Instant::now());
-        match reply_rx.recv_timeout(remaining) {
-            Ok((slot, result)) => results[slot] = Some(result),
-            Err(_) => {
-                return Response::from_error(id, &ServeError::DeadlineExceeded);
-            }
-        }
-    }
-    if let Some(err) = enqueue_failure {
-        return Response::from_error(id, &err);
-    }
-    if let Some(err) = results
-        .iter()
-        .filter_map(|r| r.as_ref().and_then(|r| r.as_ref().err()))
-        .next()
-    {
-        return Response::from_error(id, err);
-    }
-
-    match request {
-        Request::Embed { .. } => {
-            let mut values = Vec::with_capacity(request.nodes().len() * d as usize);
-            for result in results {
-                match result {
-                    Some(Ok(JobOutput::Embedding(row))) => values.extend_from_slice(&row),
-                    _ => {
-                        return Response::from_error(
-                            id,
-                            &ServeError::Internal("job answered with wrong output kind".into()),
-                        )
-                    }
-                }
-            }
-            Response::Embeddings { id, dim: d, values }
-        }
-        Request::Classify { .. } => {
-            let mut labels = Vec::with_capacity(request.nodes().len());
-            for result in results {
-                match result {
-                    Some(Ok(JobOutput::Label(label))) => labels.push(label),
-                    _ => {
-                        return Response::from_error(
-                            id,
-                            &ServeError::Internal("job answered with wrong output kind".into()),
-                        )
-                    }
-                }
-            }
-            Response::Classes { id, labels }
-        }
-        Request::Stats { .. } | Request::Ingest { .. } => unreachable!("answered above"),
-    }
-}
-
-/// Renders the `Stats` payload: the server's own registry plus the
-/// process-global ambient registry (sampling, packaging) as one JSON
-/// object — `{"server":{...},"process":{...}}`.
-fn stats_text(shared: &Shared) -> String {
-    format!(
-        "{{\"server\":{},\"process\":{}}}",
-        shared.metrics.snapshot().to_json(),
-        MetricsRegistry::global().snapshot().to_json()
-    )
 }

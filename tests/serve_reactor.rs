@@ -1,0 +1,339 @@
+//! Contracts of the event-driven serve front end: pipelined out-of-order
+//! completion is bit-identical to sequential calls, admission control and
+//! queue shedding answer typed `Overloaded` frames, idle connections cost
+//! a poll entry rather than a thread (the soak), a slow-loris peer cannot
+//! starve its neighbours, and shutdown never depends on connecting to the
+//! server's own address.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use widen::core::{WidenConfig, WidenModel};
+use widen::data::{acm_like, Scale};
+use widen::serve::protocol::{decode_response, encode_request, FrameReader, Request, Response};
+use widen::serve::{Client, ClientError, ModelRegistry, ServeConfig, ServeError, Server};
+
+fn tiny_config() -> WidenConfig {
+    let mut c = WidenConfig::small();
+    c.d = 8;
+    c.n_w = 4;
+    c.n_d = 4;
+    c.phi = 1;
+    c
+}
+
+struct Fixture {
+    model: WidenModel,
+    graph: widen::graph::HeteroGraph,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let dataset = acm_like(Scale::Smoke, seed);
+    let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+    Fixture {
+        model,
+        graph: dataset.graph,
+    }
+}
+
+fn registry_for(fx: &Fixture) -> ModelRegistry {
+    let checkpoint = fx.model.save_weights();
+    ModelRegistry::from_checkpoint(fx.graph.clone(), tiny_config(), &checkpoint)
+        .expect("checkpoint loads")
+}
+
+/// Current thread count of this process, from /proc/self/status.
+fn process_threads() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("proc status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+#[test]
+fn pipelined_out_of_order_receive_is_bit_identical_to_sequential() {
+    const REQUESTS: usize = 6;
+    const ROUNDS: u32 = 2;
+
+    let fx = fixture(80);
+    let handle = Server::bind(
+        registry_for(&fx),
+        ServeConfig {
+            workers: 1,
+            max_batch: 16,
+            max_wait_us: 2_000,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+
+    // Oracle: the serial model answers for every request.
+    let mut want_rows = Vec::new();
+    let mut want_labels = Vec::new();
+    for r in 0..REQUESTS {
+        let nodes: Vec<u32> = (r as u32 * 3..r as u32 * 3 + 5).collect();
+        let seed = 500 + r as u64;
+        let emb = fx.model.embed_nodes(&fx.graph, &nodes, seed);
+        want_rows.push(
+            (0..nodes.len())
+                .map(|i| emb.row(i).to_vec())
+                .collect::<Vec<_>>(),
+        );
+        want_labels.push(
+            fx.model
+                .predict_ensemble(&fx.graph, &nodes, seed, ROUNDS as usize)
+                .into_iter()
+                .map(|l| l as u32)
+                .collect::<Vec<u32>>(),
+        );
+    }
+
+    // Pipeline everything on one socket, then receive in *reverse* order:
+    // every response must still land on its own request, bit-identical to
+    // the oracle, no matter in which order the server's batches finished.
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let mut embed_ids = Vec::new();
+    let mut classify_ids = Vec::new();
+    for r in 0..REQUESTS {
+        let nodes: Vec<u32> = (r as u32 * 3..r as u32 * 3 + 5).collect();
+        let seed = 500 + r as u64;
+        embed_ids.push(client.send_embed(&nodes, seed).expect("send embed"));
+        classify_ids.push(
+            client
+                .send_classify(&nodes, seed, ROUNDS)
+                .expect("send classify"),
+        );
+    }
+    for r in (0..REQUESTS).rev() {
+        let labels = client
+            .recv_classify(classify_ids[r])
+            .expect("recv classify");
+        assert_eq!(labels, want_labels[r], "request {r}: labels diverged");
+        let rows = client.recv_embed(embed_ids[r]).expect("recv embed");
+        for (got, want) in rows.iter().zip(&want_rows[r]) {
+            let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, want_bits, "request {r}: rows not bit-identical");
+        }
+    }
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.requests, (REQUESTS * 2) as u64);
+    assert_eq!(stats.shed, 0);
+}
+
+#[test]
+fn admission_cap_rejects_extra_connections_with_overloaded() {
+    let fx = fixture(81);
+    let handle = Server::bind(
+        registry_for(&fx),
+        ServeConfig {
+            max_connections: 1,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+
+    // First connection is admitted and served.
+    let mut admitted = Client::connect(handle.local_addr()).expect("connect");
+    admitted.embed(&[0, 1], 7).expect("admitted client served");
+
+    // Second connection is over the cap: accepted, told Overloaded (wire
+    // id 0 — no request was ever read), closed.
+    let mut rejected = Client::connect(handle.local_addr()).expect("connect");
+    match rejected.embed(&[0, 1], 7) {
+        Err(ClientError::Server(ServeError::Overloaded)) => {}
+        other => panic!("expected Overloaded rejection, got {other:?}"),
+    }
+
+    // The admitted connection keeps working afterwards.
+    admitted.embed(&[2, 3], 7).expect("still served");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.conns_rejected, 1, "exactly one admission rejection");
+    assert_eq!(stats.shed, 0, "admission is not queue shedding");
+}
+
+#[test]
+fn queue_overflow_sheds_before_enqueue_with_typed_overloaded() {
+    let fx = fixture(82);
+    let handle = Server::bind(
+        registry_for(&fx),
+        ServeConfig {
+            workers: 1,
+            queue_depth: 8,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // 64 jobs can never fit an 8-deep queue: shed deterministically,
+    // before any job enqueues (no partial work, no deadline wait).
+    let nodes: Vec<u32> = (0..8).cycle().take(64).collect();
+    let started = Instant::now();
+    match client.embed(&nodes, 3) {
+        Err(ClientError::Server(ServeError::Overloaded)) => {}
+        other => panic!("expected shed, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "shedding must answer immediately, not ride out the deadline"
+    );
+
+    // A request that fits is served on the same connection right after.
+    client.embed(&[0, 1, 2], 3).expect("small request served");
+
+    let stats = handle.shutdown();
+    assert!(stats.shed >= 1, "shed counter must record the rejection");
+    assert_eq!(
+        stats.jobs, 3,
+        "no job of the shed request may reach a worker"
+    );
+}
+
+#[test]
+fn soak_1024_idle_connections_leave_thread_count_flat() {
+    const CONNS: usize = 1024;
+
+    let fx = fixture(83);
+    let handle = Server::bind(registry_for(&fx), ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let addr = handle.local_addr();
+
+    // Warm up one real request, then measure the thread baseline.
+    let mut probe = Client::connect(addr).expect("connect");
+    probe.embed(&[0, 1], 9).expect("probe served");
+    let threads_before = process_threads();
+
+    // Open the fleet. Chunked, syncing on the server's own connection
+    // gauge, so the kernel backlog never overflows.
+    let mut fleet: Vec<TcpStream> = Vec::with_capacity(CONNS);
+    for chunk in 0..(CONNS / 64) {
+        for _ in 0..64 {
+            fleet.push(TcpStream::connect(addr).expect("connect"));
+        }
+        let want = ((chunk + 1) * 64 + 1) as i64; // +1 for the probe
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let open = handle
+                .metrics()
+                .snapshot()
+                .gauge("serve_open_connections")
+                .unwrap_or(0);
+            if open >= want {
+                break;
+            }
+            assert!(Instant::now() < deadline, "server stopped accepting");
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    let threads_after = process_threads();
+    assert_eq!(
+        threads_after, threads_before,
+        "thread count must be independent of connection count \
+         ({CONNS} idle connections held open)"
+    );
+
+    // The server still serves real work while all of them sit open.
+    probe.embed(&[4, 5, 6], 9).expect("served under soak");
+
+    drop(fleet);
+    let stats = handle.shutdown();
+    assert_eq!(stats.conns_rejected, 0);
+    assert!(stats.requests >= 2);
+}
+
+#[test]
+fn slow_loris_partial_frames_do_not_starve_other_connections() {
+    let fx = fixture(84);
+    let handle = Server::bind(
+        registry_for(&fx),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // The loris: a valid embed frame dribbled a few bytes at a time with
+    // long pauses. It holds its connection mid-frame the whole time.
+    let frame = encode_request(&Request::Embed {
+        id: 77,
+        seed: 5,
+        nodes: vec![1, 2, 3],
+    });
+    let mut loris = TcpStream::connect(addr).expect("connect");
+    loris.write_all(&frame[..7]).expect("partial write");
+
+    // While the loris stalls, a well-behaved client gets prompt answers.
+    let mut client = Client::connect(addr).expect("connect");
+    let want = fx.model.embed_nodes(&fx.graph, &[10, 11], 6);
+    for _ in 0..5 {
+        let started = Instant::now();
+        let rows = client.embed(&[10, 11], 6).expect("served despite loris");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "victim request stalled behind a slow-loris peer"
+        );
+        assert_eq!(
+            rows[0].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.row(0).iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    // The loris eventually completes its frame and is served too — a slow
+    // peer is deprioritised, never disconnected or corrupted.
+    loris.write_all(&frame[7..]).expect("rest of frame");
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 4096];
+    let body = loop {
+        if let Some(body) = reader.next_frame().expect("clean frame") {
+            break body;
+        }
+        let n = loris.read(&mut buf).expect("read response");
+        assert!(n > 0, "server closed the loris before answering");
+        reader.push(&buf[..n]);
+    };
+    match decode_response(&body).expect("decodes") {
+        Response::Embeddings { id, .. } => assert_eq!(id, 77),
+        other => panic!("expected embeddings, got {other:?}"),
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_with_idle_connections_is_prompt_and_needs_no_self_connect() {
+    let fx = fixture(85);
+    let handle = Server::bind(registry_for(&fx), ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let addr = handle.local_addr();
+
+    // A mix of idle raw connections and one that completed a request.
+    let idle: Vec<TcpStream> = (0..16)
+        .map(|_| TcpStream::connect(addr).expect("connect"))
+        .collect();
+    let mut client = Client::connect(addr).expect("connect");
+    client.embed(&[0], 4).expect("served");
+
+    // Shutdown is driven by the self-pipe wake token, not by connecting
+    // to our own listening address, so it must complete promptly even
+    // with nothing else touching the socket.
+    let started = Instant::now();
+    let stats = handle.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "shutdown must not hang waiting for a wake"
+    );
+    assert_eq!(stats.requests, 1);
+    drop(idle);
+}
