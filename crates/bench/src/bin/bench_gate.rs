@@ -11,6 +11,9 @@
 //! * `requests_per_sec_c64` — serving throughput at 64 concurrent
 //!   pipelining connections (the event-driven front end's headline
 //!   axis); higher is better, must stay above `1 - tol`;
+//! * `latency_ms_p99` — interpolated 99th-percentile request latency of
+//!   the headline serving phase; lower is better, must stay within
+//!   `1 + tol`;
 //! * `bwd_ms / fwd_ms` — a fixed-ceiling sanity backstop, allowed the
 //!   same relative slack.
 //!
@@ -96,6 +99,7 @@ fn build_gates(candidate: &str, baseline: &str) -> Result<Vec<Gate>, String> {
         ("bwd_ms", true),
         ("requests_per_sec", false),
         ("requests_per_sec_c64", false),
+        ("latency_ms_p99", true),
     ] {
         gates.push(Gate {
             name: key,
@@ -201,6 +205,9 @@ mod tests {
       "serving": {
         "requests_per_sec": 220.25,
         "requests_per_sec_c64": 480.0,
+        "cache_hit_ratio": 0.22,
+        "latency_ms_p50": 4.0,
+        "latency_ms_p99": 40.0,
         "concurrency_sweep": [ { "connections": 4, "rps": 220.25 } ]
       }
     }"#;
@@ -259,6 +266,25 @@ mod tests {
         let rps = gates.iter().find(|g| g.name == "requests_per_sec").unwrap();
         assert_eq!(rps.candidate, 220.25, "headline key must stay untouched");
         assert!(rps.passes(0.25));
+    }
+
+    #[test]
+    fn p99_latency_gate_is_lower_is_better_and_reads_its_own_key() {
+        // The `latency_ms_p99` needle must not be satisfied by the p50
+        // key, and a blown-out tail must trip even when throughput holds.
+        let tail_blowout = SNAPSHOT.replace("\"latency_ms_p99\": 40.0", "\"latency_ms_p99\": 80.0");
+        let gates = build_gates(&tail_blowout, SNAPSHOT).unwrap();
+        let p99 = gates.iter().find(|g| g.name == "latency_ms_p99").unwrap();
+        assert_eq!(p99.baseline, 40.0);
+        assert_eq!(p99.candidate, 80.0);
+        assert!(!p99.passes(0.25), "2x p99 must trip the gate");
+        let rps = gates.iter().find(|g| g.name == "requests_per_sec").unwrap();
+        assert!(rps.passes(0.25), "throughput keys stay untouched");
+
+        let faster_tail = SNAPSHOT.replace("\"latency_ms_p99\": 40.0", "\"latency_ms_p99\": 10.0");
+        let gates = build_gates(&faster_tail, SNAPSHOT).unwrap();
+        let p99 = gates.iter().find(|g| g.name == "latency_ms_p99").unwrap();
+        assert!(p99.passes(0.25), "a faster tail is never a regression");
     }
 
     #[test]

@@ -102,6 +102,14 @@ fn main() {
         c.join().expect("bench client panicked");
     }
     let serve_secs = start.elapsed().as_secs_f64();
+    // Percentile-grade latency from the reactor's request histogram,
+    // snapshotted before shutdown tears the registry's owner down.
+    let latency_snapshot = handle.metrics().snapshot();
+    let latency = latency_snapshot
+        .histogram("serve_request_latency_us")
+        .expect("serve_request_latency_us histogram");
+    let latency_ms_p50 = latency.quantile(0.5).unwrap_or(0.0) / 1_000.0;
+    let latency_ms_p99 = latency.quantile(0.99).unwrap_or(0.0) / 1_000.0;
     let stats = handle.shutdown();
     assert!(
         stats.cache_hits >= (CLIENTS as u64) * u64::from(NODES_PER_REQUEST),
@@ -109,12 +117,16 @@ fn main() {
         stats.cache_hits
     );
     let rps = stats.requests as f64 / serve_secs;
+    let cache_hit_ratio =
+        stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses).max(1) as f64;
     println!(
-        "serving: {:.1} req/s ({} requests, mean batch {:.2}, {} cache hits)",
+        "serving: {:.1} req/s ({} requests, mean batch {:.2}, cache hit ratio {:.3}, p50 {:.3} ms, p99 {:.3} ms)",
         rps,
         stats.requests,
         stats.jobs as f64 / stats.batches.max(1) as f64,
-        stats.cache_hits
+        cache_hit_ratio,
+        latency_ms_p50,
+        latency_ms_p99
     );
 
     // --- concurrent-connections sweep -----------------------------------
@@ -218,6 +230,9 @@ fn main() {
             "mean_batch_size": stats.jobs as f64 / stats.batches.max(1) as f64,
             "dedup_hits": stats.dedup_hits,
             "cache_hits": stats.cache_hits,
+            "cache_hit_ratio": cache_hit_ratio,
+            "latency_ms_p50": latency_ms_p50,
+            "latency_ms_p99": latency_ms_p99,
             "requests_per_sec_c64": rps_c64,
             // Entry keys deliberately avoid the substring
             // `"requests_per_sec"`: bench_gate reads the snapshot with a

@@ -1,0 +1,117 @@
+//! CI smoke check for the telemetry and flight-recorder surface: starts an
+//! in-process serving instance with an aggressive slow-request threshold
+//! and a shallow queue, drives one healthy, one deliberately shed, and one
+//! deliberately slow request through a real TCP client, then asserts that
+//! the `Telemetry` op returns percentile-grade SLO reports and that the
+//! anomalies froze a non-empty flight-recorder dump that parses as JSONL.
+
+use widen_core::{WidenConfig, WidenModel};
+use widen_data::{acm_like, Scale};
+use widen_serve::{Client, ClientError, ModelRegistry, ServeConfig, ServeError, Server};
+
+/// Line-by-line JSONL validation without a JSON parser (the vendored
+/// serde_json stub is write-only): object shape, required fields,
+/// balanced braces and quotes.
+fn assert_parses_as_jsonl(dump: &str) {
+    assert!(!dump.is_empty(), "flight-recorder dump must not be empty");
+    for line in dump.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+        for field in [
+            "\"seq\":",
+            "\"kind\":",
+            "\"outcome\":",
+            "\"total_us\":",
+            "\"phases\":[",
+        ] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "unbalanced braces: {line}"
+        );
+        assert_eq!(
+            line.matches('"').count() % 2,
+            0,
+            "unbalanced quotes: {line}"
+        );
+    }
+}
+
+fn main() {
+    let dataset = acm_like(Scale::Smoke, 11);
+    let mut cfg = WidenConfig::small();
+    cfg.d = 8;
+    cfg.n_w = 4;
+    cfg.n_d = 4;
+    cfg.phi = 1;
+    let model = WidenModel::for_graph(&dataset.graph, cfg);
+    let registry = ModelRegistry::from_model(dataset.graph, model);
+    let handle = Server::bind(
+        registry,
+        ServeConfig {
+            // Shallow queue: a 3-node request cannot fit and is shed.
+            queue_depth: 2,
+            // Every answered request breaches this threshold, so the last
+            // one always leaves a "slow" anomaly dump behind.
+            slow_request_ms: 1,
+            max_wait_us: 2_000,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // One healthy (if slow-flagged) request, then one deliberate shed.
+    client.embed(&[0, 1], 1).expect("embed");
+    let err = client.embed(&[0, 1, 2], 2).expect_err("must shed");
+    assert!(
+        matches!(err, ClientError::Server(ServeError::Overloaded)),
+        "expected Overloaded, got {err:?}"
+    );
+
+    // The telemetry op returns the merged SLO view.
+    let text = client.telemetry().expect("telemetry");
+    println!("{text}");
+    for key in [
+        "\"slo\":",
+        "\"serve_request_latency_us\":",
+        "\"serve_reactor_tick_us\":",
+        "\"serve_queue_wait_us\":",
+        "\"p50\":",
+        "\"p99\":",
+        "\"serve_shed_total\":1",
+    ] {
+        assert!(text.contains(key), "telemetry missing `{key}`");
+    }
+
+    // Both anomalies (shed, slow) trigger dumps; the stored dump must be
+    // non-empty, parse as JSONL, and contain the shed request's timeline.
+    let dump = handle
+        .postmortem_dump()
+        .expect("anomalies must leave a post-mortem dump");
+    print!("{dump}");
+    assert_parses_as_jsonl(&dump);
+    assert!(
+        dump.lines()
+            .any(|l| l.contains("\"outcome\":\"overloaded\"")),
+        "dump must contain the shed request's timeline"
+    );
+    let snap = handle.metrics().snapshot();
+    let dumps = snap.counter("serve_postmortem_dumps_total").unwrap_or(0);
+    assert!(dumps >= 1, "dump counter must be live");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.shed, 1);
+    println!(
+        "telemetry smoke: OK ({} requests, {} shed, {} post-mortem dumps, {} recorded lines)",
+        stats.requests,
+        stats.shed,
+        dumps,
+        dump.lines().count()
+    );
+}

@@ -18,6 +18,13 @@
 //! * [`Tracer`] / [`Span`] — hierarchical span tracing with RAII guards,
 //!   parent links, and JSONL / Chrome `trace_event` exporters (open the
 //!   latter in Perfetto); zero-cost when disabled.
+//! * [`SloReport`] / [`TelemetrySnapshot`] — percentile-grade summaries:
+//!   interpolated histogram quantiles (p50/p90/p99/max) and a process-wide
+//!   merge of multiple registries into one JSON view (the serving
+//!   protocol's `Telemetry` op).
+//! * [`FlightRecorder`] — always-on lock-sharded ring of recent request
+//!   timelines ([`FlightRecord`]s), dumped as a JSONL post-mortem when an
+//!   anomaly (shed, deadline drop, slow request) fires.
 //!
 //! Two registry scopes exist by convention: subsystems with a clear owner
 //! (one server, one trainer) hold their **own** [`Registry`] so concurrent
@@ -35,14 +42,18 @@
 
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod registry;
 pub mod sink;
+pub mod telemetry;
 pub mod timer;
 pub mod trace;
 
-pub use metrics::{buckets, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use metrics::{buckets, Counter, Gauge, Histogram, HistogramSnapshot, SloReport};
+pub use recorder::{FlightRecord, FlightRecorder, PhaseStamp};
 pub use registry::{Registry, Snapshot};
 pub use sink::{Event, JsonlSink, Value};
+pub use telemetry::TelemetrySnapshot;
 pub use timer::{ScopedTimer, Stopwatch, Unit};
 pub use trace::{
     chrome_trace_json, render_tree, span_tree, validate_chrome_trace, write_chrome_trace, Span,

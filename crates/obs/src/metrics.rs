@@ -77,6 +77,7 @@ pub struct Histogram {
     overflow: AtomicU64,
     count: AtomicU64,
     sum_bits: AtomicU64,
+    max_bits: AtomicU64,
 }
 
 /// Point-in-time copy of a histogram's state.
@@ -92,16 +93,119 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all observed values.
     pub sum: f64,
+    /// Largest finite value observed (0 when nothing finite was recorded).
+    pub max: f64,
 }
 
 impl HistogramSnapshot {
-    /// Mean observed value (0 when empty).
+    /// Mean observed value. NaN-safe: returns 0 when empty and ignores a
+    /// corrupted (non-finite) sum rather than propagating it.
     pub fn mean(&self) -> f64 {
-        if self.count == 0 {
+        if self.count == 0 || !self.sum.is_finite() {
             0.0
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Estimated `q`-quantile (`0 ≤ q ≤ 1`), interpolated within buckets in
+    /// the Prometheus `histogram_quantile` style.
+    ///
+    /// Returns `None` when the histogram is empty. `q` is clamped to
+    /// `[0, 1]` (and NaN is treated as 0). The target rank `q · count` is
+    /// located by walking cumulative bucket counts; within the containing
+    /// bucket the value is linearly interpolated between the bucket's lower
+    /// and upper bound (the first bucket's lower bound is taken as 0 when
+    /// its upper bound is positive, else as the bound itself). Ranks that
+    /// land in the overflow bucket return the maximum observed value, the
+    /// only upper edge we know above the last bound. Because the exact max
+    /// is tracked alongside the buckets, every estimate is additionally
+    /// capped at it — a quantile never reports a value no observation
+    /// reached.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, (&upper, &n)) in self.bounds.iter().zip(&self.buckets).enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if rank <= next as f64 {
+                let lower = if i == 0 {
+                    if upper > 0.0 {
+                        0.0
+                    } else {
+                        upper
+                    }
+                } else {
+                    self.bounds[i - 1]
+                };
+                let frac = ((rank - cum as f64) / n as f64).clamp(0.0, 1.0);
+                return Some((lower + (upper - lower) * frac).min(self.max));
+            }
+            cum = next;
+        }
+        // Rank fell past every bounded bucket: the overflow region. Its only
+        // known edge is the observed max.
+        Some(self.max)
+    }
+
+    /// Condensed latency-SLO view: p50/p90/p99 plus max and count.
+    pub fn slo_report(&self) -> SloReport {
+        SloReport {
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p90: self.quantile(0.90).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+            max: self.max,
+            count: self.count,
+        }
+    }
+}
+
+/// Percentile summary of one histogram, the unit of an SLO dashboard row.
+///
+/// Produced by [`HistogramSnapshot::slo_report`]; all quantiles are bucket
+/// interpolations (see [`HistogramSnapshot::quantile`]), `max` is exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloReport {
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// Largest finite observation (exact, not interpolated).
+    pub max: f64,
+    /// Total observations backing the estimates.
+    pub count: u64,
+}
+
+impl SloReport {
+    /// Appends the report as one JSON object
+    /// (`{"p50":…,"p90":…,"p99":…,"max":…,"count":…}`) to `out`.
+    pub fn push_json(&self, out: &mut String) {
+        out.push_str("{\"p50\":");
+        crate::json::push_f64(out, self.p50);
+        out.push_str(",\"p90\":");
+        crate::json::push_f64(out, self.p90);
+        out.push_str(",\"p99\":");
+        crate::json::push_f64(out, self.p99);
+        out.push_str(",\"max\":");
+        crate::json::push_f64(out, self.max);
+        out.push_str(",\"count\":");
+        out.push_str(&self.count.to_string());
+        out.push('}');
+    }
+
+    /// The report as a standalone JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        self.push_json(&mut out);
+        out
     }
 }
 
@@ -128,6 +232,7 @@ impl Histogram {
             overflow: AtomicU64::new(0),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0f64.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
         }
     }
 
@@ -157,6 +262,18 @@ impl Histogram {
                     Err(actual) => current = actual,
                 }
             }
+            let mut current = self.max_bits.load(Ordering::Relaxed);
+            while v > f64::from_bits(current) {
+                match self.max_bits.compare_exchange_weak(
+                    current,
+                    v.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => current = actual,
+                }
+            }
         }
     }
 
@@ -177,6 +294,14 @@ impl Histogram {
             overflow: self.overflow.load(Ordering::Relaxed),
             count: self.count.load(Ordering::Relaxed),
             sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            max: {
+                let m = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+                if m.is_finite() {
+                    m
+                } else {
+                    0.0
+                }
+            },
         }
     }
 }
@@ -191,6 +316,40 @@ pub mod buckets {
     ];
     /// Second-scale durations: epoch phases, end-to-end runs.
     pub const DURATION_SECS: &[f64] = &[0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0];
+    /// Fine-grained microsecond latencies with ~2–2.5× steps: event-loop
+    /// ticks and request lifecycle phases, where interpolated p99s need
+    /// tighter buckets than [`LATENCY_US`] offers.
+    pub const LATENCY_US_FINE: &[f64] = &[
+        1.0,
+        2.0,
+        5.0,
+        10.0,
+        25.0,
+        50.0,
+        100.0,
+        250.0,
+        500.0,
+        1_000.0,
+        2_500.0,
+        5_000.0,
+        10_000.0,
+        25_000.0,
+        50_000.0,
+        100_000.0,
+        250_000.0,
+        1_000_000.0,
+    ];
+    /// Byte sizes: write-buffer high-water marks, frame payloads.
+    pub const BYTES: &[f64] = &[
+        256.0,
+        1_024.0,
+        4_096.0,
+        16_384.0,
+        65_536.0,
+        262_144.0,
+        1_048_576.0,
+        4_194_304.0,
+    ];
 }
 
 #[cfg(test)]
@@ -296,5 +455,174 @@ mod tests {
         h.observe(2.0);
         h.observe(4.0);
         assert!((h.snapshot().mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_is_nan_safe_on_zero_observations_and_corrupt_sums() {
+        let empty = Histogram::new(&[1.0]).snapshot();
+        assert_eq!(empty.mean(), 0.0);
+        assert!(!empty.mean().is_nan());
+        // A snapshot whose sum was poisoned must not propagate NaN.
+        let mut poisoned = empty;
+        poisoned.count = 3;
+        poisoned.sum = f64::NAN;
+        assert_eq!(poisoned.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let s = Histogram::new(&[1.0, 2.0]).snapshot();
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.quantile(0.0), None);
+        assert_eq!(s.quantile(1.0), None);
+    }
+
+    #[test]
+    fn quantile_single_bucket_interpolates_from_zero() {
+        let h = Histogram::new(&[100.0]);
+        for _ in 0..10 {
+            h.observe(50.0);
+        }
+        let s = h.snapshot();
+        // All mass in one bucket spanning (0, 100]: the q-quantile is the
+        // linear interpolation q·100, capped at the exact observed max —
+        // q = 1 reports 50, not the bucket edge no observation reached.
+        assert!((s.quantile(0.5).unwrap() - 50.0).abs() < 1e-9);
+        assert!((s.quantile(1.0).unwrap() - 50.0).abs() < 1e-9);
+        assert_eq!(s.quantile(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_between_bucket_bounds() {
+        let h = Histogram::new(&[10.0, 20.0, 40.0]);
+        // 4 obs ≤ 10, 4 obs in (10, 20], 2 obs in (20, 40].
+        for v in [1.0, 2.0, 3.0, 4.0, 11.0, 12.0, 13.0, 14.0, 25.0, 30.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // rank(0.5) = 5 → 1 into the 4-wide (10,20] bucket → 10 + 10·(1/4).
+        assert!((s.quantile(0.5).unwrap() - 12.5).abs() < 1e-9);
+        // rank(0.9) = 9 → 1 into the 2-wide (20,40] bucket → 20 + 20·(1/2).
+        assert!((s.quantile(0.9).unwrap() - 30.0).abs() < 1e-9);
+        // rank(0.4) = 4 → exactly the top of the first bucket.
+        assert!((s.quantile(0.4).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_in_overflow_bucket_returns_observed_max() {
+        let h = Histogram::new(&[10.0]);
+        h.observe(5.0);
+        h.observe(1_000.0);
+        h.observe(2_000.0);
+        let s = h.snapshot();
+        assert_eq!(s.max, 2_000.0);
+        // p99 rank lands past the bounded buckets → exact max, not a guess.
+        assert_eq!(s.quantile(0.99).unwrap(), 2_000.0);
+        assert_eq!(s.quantile(1.0).unwrap(), 2_000.0);
+        // p-low still resolves inside the bounded region.
+        assert!(s.quantile(0.2).unwrap() <= 10.0);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_q_and_nan() {
+        let h = Histogram::new(&[10.0]);
+        h.observe(5.0);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(-3.0), s.quantile(0.0));
+        assert_eq!(s.quantile(7.0), s.quantile(1.0));
+        assert_eq!(s.quantile(f64::NAN), s.quantile(0.0));
+    }
+
+    #[test]
+    fn max_tracks_largest_finite_observation() {
+        let h = Histogram::new(&[10.0]);
+        assert_eq!(h.snapshot().max, 0.0);
+        h.observe(3.0);
+        h.observe(f64::INFINITY); // excluded: not a finite observation
+        h.observe(7.5);
+        h.observe(2.0);
+        assert_eq!(h.snapshot().max, 7.5);
+    }
+
+    #[test]
+    fn slo_report_summarises_and_renders_json() {
+        let h = Histogram::new(buckets::LATENCY_US_FINE);
+        for i in 0..100 {
+            h.observe(f64::from(i) * 10.0);
+        }
+        let r = h.snapshot().slo_report();
+        assert_eq!(r.count, 100);
+        assert_eq!(r.max, 990.0);
+        assert!(r.p50 <= r.p90 && r.p90 <= r.p99 && r.p99 <= r.max);
+        let json = r.to_json();
+        assert!(json.starts_with("{\"p50\":"));
+        assert!(json.contains("\"count\":100"));
+        assert!(json.ends_with('}'));
+
+        let empty = Histogram::new(&[1.0]).snapshot().slo_report();
+        assert_eq!(
+            (empty.p50, empty.p90, empty.p99, empty.max, empty.count),
+            (0.0, 0.0, 0.0, 0.0, 0)
+        );
+    }
+}
+
+#[cfg(test)]
+mod quantile_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Exact nearest-rank quantile of a sorted sample (rank ⌈q·n⌉).
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let n = sorted.len();
+        let rank = (q * n as f64).ceil().max(1.0) as usize;
+        sorted[rank.min(n) - 1]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The interpolated quantile never strays outside the bucket that
+        /// contains the exact sorted-sample quantile: the estimate is
+        /// bounded by that bucket's lower and upper edges.
+        #[test]
+        fn quantile_agrees_with_exact_sample_quantile_to_bucket_width(
+            seed in 0u64..10_000,
+            n in 1usize..400,
+            qi in 0usize..5,
+        ) {
+            let q = [0.1, 0.5, 0.9, 0.99, 1.0][qi];
+            let bounds = buckets::LATENCY_US_FINE;
+            let h = Histogram::new(bounds);
+            // Deterministic splitmix-style values in [0, ~1.28M): covers
+            // every bucket including overflow.
+            let mut samples = Vec::with_capacity(n);
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            for _ in 0..n {
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+                x ^= x >> 27;
+                let v = (x % 1_280_000) as f64;
+                h.observe(v);
+                samples.push(v);
+            }
+            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let snap = h.snapshot();
+            let got = snap.quantile(q).unwrap();
+            let exact = exact_quantile(&samples, q);
+            // Bucket containing the exact value → [lower, upper] envelope.
+            let idx = bounds.iter().position(|&b| exact <= b);
+            let (lower, upper) = match idx {
+                Some(0) => (0.0, bounds[0]),
+                Some(i) => (bounds[i - 1], bounds[i]),
+                // Overflow bucket: quantile() reports the observed max.
+                None => (bounds[bounds.len() - 1], snap.max),
+            };
+            prop_assert!(
+                got >= lower - 1e-9 && got <= upper + 1e-9,
+                "q={} got={} exact={} bucket=[{}, {}]",
+                q, got, exact, lower, upper
+            );
+        }
     }
 }

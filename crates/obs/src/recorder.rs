@@ -1,0 +1,327 @@
+//! Always-on flight recorder: a fixed-size, lock-sharded ring of recent
+//! request timelines.
+//!
+//! The recorder answers the question tracing cannot: *what was happening
+//! just before the anomaly* — without anyone having asked for a trace in
+//! advance. Every request writes one [`FlightRecord`] (a `Copy` struct,
+//! no allocation) into a sharded ring buffer; steady-state cost is one
+//! short shard-mutex hold and a slot store. When an anomaly fires (a shed,
+//! a deadline drop, a slow request) the owner calls [`FlightRecorder::dump_jsonl`]
+//! to freeze the window as a JSONL post-mortem.
+//!
+//! Sharding keeps concurrent writers (reactor thread, worker threads) off
+//! a single lock; records carry a global sequence number so a dump can be
+//! re-ordered into arrival order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Maximum lifecycle phases one record can carry.
+pub const MAX_PHASES: usize = 8;
+
+/// One named span within a request's lifetime, in microseconds relative to
+/// the request's start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseStamp {
+    /// Phase name (`"queue_wait"`, `"coalesce"`, `"forward"`, …).
+    pub name: &'static str,
+    /// Offset of the phase start from the request's first stamp.
+    pub start_us: u64,
+    /// Phase duration.
+    pub dur_us: u64,
+}
+
+/// One request's condensed timeline: identity, lifecycle stamps, outcome.
+///
+/// `Copy` and allocation-free by construction so recording never touches
+/// the allocator on the serve hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Wire-protocol request id (client-chosen; 0 for connection-level
+    /// events that never carried a request).
+    pub id: u64,
+    /// Recorder-assigned global sequence number (arrival order).
+    pub seq: u64,
+    /// Request kind (`"embed"`, `"classify"`, `"ingest"`, `"conn"`, …).
+    pub kind: &'static str,
+    /// Node count carried by the request (0 when not applicable).
+    pub nodes: u32,
+    /// Outcome tag (`"ok"`, `"shed"`, `"rejected"`, `"deadline"`,
+    /// `"error"`, `"slow"`).
+    pub outcome: &'static str,
+    /// End-to-end latency in microseconds.
+    pub total_us: u64,
+    /// Lifecycle phases; only the first `phase_count` entries are valid.
+    pub phases: [PhaseStamp; MAX_PHASES],
+    /// Number of valid entries in `phases`.
+    pub phase_count: u8,
+}
+
+impl FlightRecord {
+    /// A record with no phases yet; `seq` is assigned by the recorder.
+    pub fn new(id: u64, kind: &'static str) -> Self {
+        Self {
+            id,
+            seq: 0,
+            kind,
+            nodes: 0,
+            outcome: "ok",
+            total_us: 0,
+            phases: [PhaseStamp::default(); MAX_PHASES],
+            phase_count: 0,
+        }
+    }
+
+    /// Appends a phase; silently drops past [`MAX_PHASES`] (a record is a
+    /// summary, not a trace).
+    pub fn push_phase(&mut self, name: &'static str, start_us: u64, dur_us: u64) {
+        if (self.phase_count as usize) < MAX_PHASES {
+            self.phases[self.phase_count as usize] = PhaseStamp {
+                name,
+                start_us,
+                dur_us,
+            };
+            self.phase_count += 1;
+        }
+    }
+
+    /// The valid phases.
+    pub fn phases(&self) -> &[PhaseStamp] {
+        &self.phases[..self.phase_count as usize]
+    }
+
+    /// Appends the record as one JSON object (no trailing newline).
+    pub fn push_json(&self, out: &mut String) {
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"id\":");
+        out.push_str(&self.id.to_string());
+        out.push_str(",\"kind\":");
+        crate::json::push_string(out, self.kind);
+        out.push_str(",\"nodes\":");
+        out.push_str(&self.nodes.to_string());
+        out.push_str(",\"outcome\":");
+        crate::json::push_string(out, self.outcome);
+        out.push_str(",\"total_us\":");
+        out.push_str(&self.total_us.to_string());
+        out.push_str(",\"phases\":[");
+        for (i, p) in self.phases().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            crate::json::push_string(out, p.name);
+            out.push_str(",\"start_us\":");
+            out.push_str(&p.start_us.to_string());
+            out.push_str(",\"dur_us\":");
+            out.push_str(&p.dur_us.to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+}
+
+struct Shard {
+    slots: Vec<Option<FlightRecord>>,
+    next: usize,
+}
+
+/// Lock-sharded ring buffer of the most recent [`FlightRecord`]s.
+///
+/// Capacity is split across a fixed number of shards; writers pick a shard
+/// from their sequence number, so contention only occurs between writers
+/// landing on the same shard in the same instant. A recorder with
+/// capacity 0 is disabled: recording is a no-op and dumps are empty.
+pub struct FlightRecorder {
+    shards: Vec<Mutex<Shard>>,
+    seq: AtomicU64,
+}
+
+const SHARDS: usize = 8;
+
+impl FlightRecorder {
+    /// A recorder keeping roughly the `capacity` most recent records
+    /// (rounded up to a multiple of the shard count; 0 disables).
+    pub fn new(capacity: usize) -> Self {
+        let shards = if capacity == 0 {
+            Vec::new()
+        } else {
+            let per_shard = capacity.div_ceil(SHARDS);
+            (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        slots: vec![None; per_shard],
+                        next: 0,
+                    })
+                })
+                .collect()
+        };
+        Self {
+            shards,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether recording is a no-op.
+    pub fn is_disabled(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.shards.len()
+            * self
+                .shards
+                .first()
+                .map_or(0, |s| s.lock().unwrap().slots.len())
+    }
+
+    /// Records one timeline, assigning its sequence number. Steady-state
+    /// cost: one atomic increment, one shard mutex, one slot store.
+    pub fn record(&self, mut rec: FlightRecord) {
+        if self.shards.is_empty() {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        rec.seq = seq;
+        let mut shard = self.shards[(seq as usize) % self.shards.len()]
+            .lock()
+            .expect("recorder shard poisoned");
+        let next = shard.next;
+        shard.slots[next] = Some(rec);
+        shard.next = (next + 1) % shard.slots.len();
+    }
+
+    /// Copies the live window out, oldest first (by sequence number).
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        let mut records: Vec<FlightRecord> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("recorder shard poisoned")
+                    .slots
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        records.sort_by_key(|r| r.seq);
+        records
+    }
+
+    /// Renders the live window as JSONL (one record per line, oldest
+    /// first). Empty string when nothing was recorded.
+    pub fn dump_jsonl(&self) -> String {
+        let records = self.snapshot();
+        let mut out = String::with_capacity(records.len() * 160);
+        for rec in &records {
+            rec.push_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn rec(id: u64, outcome: &'static str) -> FlightRecord {
+        let mut r = FlightRecord::new(id, "embed");
+        r.outcome = outcome;
+        r.nodes = 3;
+        r.total_us = 100 + id;
+        r.push_phase("queue_wait", 1, 10);
+        r.push_phase("forward", 11, 80);
+        r
+    }
+
+    #[test]
+    fn records_come_back_in_sequence_order() {
+        let fr = FlightRecorder::new(64);
+        for i in 0..10 {
+            fr.record(rec(i, "ok"));
+        }
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), 10);
+        let ids: Vec<u64> = snap.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn ring_keeps_only_the_most_recent_window() {
+        let fr = FlightRecorder::new(16);
+        let cap = fr.capacity();
+        for i in 0..200 {
+            fr.record(rec(i, "ok"));
+        }
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), cap);
+        // Everything surviving is from the tail of the stream.
+        assert!(snap.iter().all(|r| r.id >= 200 - cap as u64));
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let fr = FlightRecorder::new(0);
+        assert!(fr.is_disabled());
+        fr.record(rec(1, "ok"));
+        assert!(fr.snapshot().is_empty());
+        assert_eq!(fr.dump_jsonl(), "");
+    }
+
+    #[test]
+    fn phase_overflow_is_dropped_not_panicked() {
+        let mut r = FlightRecord::new(1, "embed");
+        for i in 0..(MAX_PHASES + 4) {
+            r.push_phase("p", i as u64, 1);
+        }
+        assert_eq!(r.phases().len(), MAX_PHASES);
+    }
+
+    #[test]
+    fn dump_is_one_json_object_per_line() {
+        let fr = FlightRecorder::new(8);
+        fr.record(rec(7, "shed"));
+        fr.record(rec(8, "ok"));
+        let dump = fr.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"seq\":"));
+            assert!(line.contains("\"phases\":["));
+        }
+        assert!(lines[0].contains("\"outcome\":\"shed\""));
+        assert!(lines[0].contains("\"id\":7"));
+        assert!(lines[0].contains("\"name\":\"queue_wait\""));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe_and_loses_nothing_under_capacity() {
+        let fr = Arc::new(FlightRecorder::new(4096));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let fr = fr.clone();
+                std::thread::spawn(move || {
+                    for i in 0..256u64 {
+                        fr.record(rec(t * 1_000 + i, "ok"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), 8 * 256);
+        // Sequence numbers are unique.
+        let mut seqs: Vec<u64> = snap.iter().map(|r| r.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 8 * 256);
+    }
+}

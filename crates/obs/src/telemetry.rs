@@ -1,0 +1,213 @@
+//! Process-wide telemetry: merging per-subsystem registry snapshots into
+//! one SLO-grade view.
+//!
+//! The workspace's registry convention (DESIGN.md) splits metrics between
+//! owned registries (one per server / trainer) and the ambient
+//! [`crate::Registry::global`]. A [`TelemetrySnapshot`] folds any number of
+//! [`Snapshot`]s back together: counters and gauges merge by summing
+//! same-named entries, histograms merge bucket-wise (when their bucket
+//! ladders agree) and are then condensed to [`SloReport`]s — the form a
+//! dashboard or the serving protocol's `Telemetry` op actually wants.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{HistogramSnapshot, SloReport};
+use crate::registry::Snapshot;
+
+/// Merged, name-sorted view over one or more registry snapshots.
+///
+/// Counters and gauges with the same name are summed. Histograms with the
+/// same name and identical bucket bounds are merged bucket-wise before
+/// their [`SloReport`] is computed; on a bounds mismatch (a programmer
+/// error — same name, different ladder) the snapshot with more
+/// observations wins and the other is dropped.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// `(name, value)` per merged counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per merged gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, report)` per merged histogram.
+    pub slos: Vec<(String, SloReport)>,
+}
+
+/// Bucket-wise merge of two same-shape histogram snapshots.
+///
+/// Returns `None` when the bucket bounds differ (the states are not
+/// addable). `max` takes the larger of the two; everything else sums.
+pub fn merge_histograms(a: &HistogramSnapshot, b: &HistogramSnapshot) -> Option<HistogramSnapshot> {
+    if a.bounds != b.bounds {
+        return None;
+    }
+    Some(HistogramSnapshot {
+        bounds: a.bounds.clone(),
+        buckets: a
+            .buckets
+            .iter()
+            .zip(&b.buckets)
+            .map(|(&x, &y)| x + y)
+            .collect(),
+        overflow: a.overflow + b.overflow,
+        count: a.count + b.count,
+        sum: a.sum + b.sum,
+        max: a.max.max(b.max),
+    })
+}
+
+impl TelemetrySnapshot {
+    /// Merges `snapshots` (owned registries first, then the global one, by
+    /// convention — order only matters for mismatched-bounds tie-breaks).
+    pub fn merge(snapshots: &[Snapshot]) -> Self {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, i64> = BTreeMap::new();
+        let mut histograms: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+        for snap in snapshots {
+            for (name, v) in &snap.counters {
+                *counters.entry(name.clone()).or_insert(0) += v;
+            }
+            for (name, v) in &snap.gauges {
+                *gauges.entry(name.clone()).or_insert(0) += v;
+            }
+            for (name, h) in &snap.histograms {
+                match histograms.get_mut(name) {
+                    None => {
+                        histograms.insert(name.clone(), h.clone());
+                    }
+                    Some(existing) => match merge_histograms(existing, h) {
+                        Some(merged) => *existing = merged,
+                        None if h.count > existing.count => *existing = h.clone(),
+                        None => {}
+                    },
+                }
+            }
+        }
+        Self {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            slos: histograms
+                .into_iter()
+                .map(|(name, h)| (name, h.slo_report()))
+                .collect(),
+        }
+    }
+
+    /// Value of a merged counter by name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of a merged gauge by name, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// SLO report of a merged histogram by name, if present.
+    pub fn slo(&self, name: &str) -> Option<&SloReport> {
+        self.slos.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    }
+
+    /// Renders the snapshot as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"slo":{"name":{"p50":…},…}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::push_string(&mut out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::push_string(&mut out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"slo\":{");
+        for (i, (name, r)) in self.slos.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::push_string(&mut out, name);
+            out.push(':');
+            r.push_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn merge_sums_counters_and_gauges_across_registries() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("requests_total").add(3);
+        b.counter("requests_total").add(4);
+        a.gauge("depth").set(2);
+        b.gauge("depth").set(5);
+        b.counter("only_b_total").add(1);
+        let t = TelemetrySnapshot::merge(&[a.snapshot(), b.snapshot()]);
+        assert_eq!(t.counter("requests_total"), Some(7));
+        assert_eq!(t.gauge("depth"), Some(7));
+        assert_eq!(t.counter("only_b_total"), Some(1));
+        assert_eq!(t.counter("absent"), None);
+    }
+
+    #[test]
+    fn merge_adds_histograms_bucket_wise_and_reports_slo() {
+        let a = Registry::new();
+        let b = Registry::new();
+        let bounds = [10.0, 100.0];
+        for v in [5.0, 50.0] {
+            a.histogram("lat_us", &bounds).observe(v);
+        }
+        for v in [7.0, 90.0, 95.0] {
+            b.histogram("lat_us", &bounds).observe(v);
+        }
+        let t = TelemetrySnapshot::merge(&[a.snapshot(), b.snapshot()]);
+        let r = t.slo("lat_us").expect("merged slo");
+        assert_eq!(r.count, 5);
+        assert_eq!(r.max, 95.0);
+        assert!(r.p50 <= r.p99);
+    }
+
+    #[test]
+    fn mismatched_bucket_bounds_keep_the_larger_count() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.histogram("h", &[1.0]).observe(0.5);
+        let bh = b.histogram("h", &[1.0, 2.0]);
+        bh.observe(0.5);
+        bh.observe(1.5);
+        let t = TelemetrySnapshot::merge(&[a.snapshot(), b.snapshot()]);
+        assert_eq!(t.slo("h").unwrap().count, 2, "larger-count snapshot wins");
+    }
+
+    #[test]
+    fn json_shape_is_stable_and_empty_safe() {
+        assert_eq!(
+            TelemetrySnapshot::merge(&[]).to_json(),
+            "{\"counters\":{},\"gauges\":{},\"slo\":{}}"
+        );
+        let reg = Registry::new();
+        reg.counter("a_total").inc();
+        reg.histogram("h_us", &[10.0]).observe(2.0);
+        let json = TelemetrySnapshot::merge(&[reg.snapshot()]).to_json();
+        assert!(json.contains("\"a_total\":1"));
+        assert!(json.contains("\"h_us\":{\"p50\":"));
+        assert!(json.contains("\"count\":1}"));
+    }
+}

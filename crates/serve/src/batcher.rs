@@ -83,6 +83,38 @@ pub(crate) enum JobOutput {
     Label(u32),
 }
 
+/// Monotonic lifecycle instants a job carries back to the reactor on its
+/// completion — the always-on raw material for the request-lifecycle
+/// histograms and the flight recorder. `Copy`, so the hot path moves a
+/// few instants, never allocates.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JobStamps {
+    /// When the job entered the shared queue.
+    pub enqueued: Instant,
+    /// When a worker pulled it off the queue.
+    pub pulled: Instant,
+    /// When its coalescing window closed (batch processing began).
+    pub batch_start: Instant,
+    /// When its fused forward pass started (== `batch_start` for cache
+    /// hits and deadline drops, which never reach the model).
+    pub forward_start: Instant,
+    /// When its fused forward pass finished.
+    pub forward_end: Instant,
+}
+
+impl JobStamps {
+    /// Stamps for a job answered at `batch_start` without a forward pass.
+    fn short_circuit(enqueued: Instant, pulled: Instant, batch_start: Instant) -> Self {
+        Self {
+            enqueued,
+            pulled,
+            batch_start,
+            forward_start: batch_start,
+            forward_end: batch_start,
+        }
+    }
+}
+
 /// What flows back to the reactor over the single completion channel.
 /// The `req` correlation key (the reactor's internal request sequence
 /// number, not the client-chosen wire id) routes each completion to its
@@ -99,6 +131,8 @@ pub(crate) enum Completion {
         slot: usize,
         /// The job's outcome.
         result: Result<JobOutput, ServeError>,
+        /// Lifecycle instants for telemetry and the flight recorder.
+        stamps: JobStamps,
     },
     /// A directly-executed request (ingest) finished with a complete
     /// response.
@@ -148,6 +182,9 @@ pub(crate) struct Job {
     pub reply: ReplySink,
     /// When the job entered the queue (queue-wait span start).
     pub enqueued_at: Instant,
+    /// When a worker pulled the job off the queue; initialised to
+    /// `enqueued_at` and overwritten by `run_worker` at pull time.
+    pub pulled_at: Instant,
     /// Tracing state of the originating request, if the client asked for
     /// a span summary. `None` keeps the fast path span-free.
     pub trace: Option<Arc<RequestTrace>>,
@@ -175,6 +212,12 @@ pub(crate) struct WorkerStats {
     pub batch_wait_us: Arc<Histogram>,
     /// Job-queue depth sampled as each coalescing window opens.
     pub queue_depth: Arc<Gauge>,
+    /// Always-on lifecycle: enqueue → worker pull, per job, in µs.
+    pub queue_wait_us: Arc<Histogram>,
+    /// Always-on lifecycle: worker pull → window close, per job, in µs.
+    pub coalesce_us: Arc<Histogram>,
+    /// Always-on lifecycle: fused forward pass, per batch group, in µs.
+    pub forward_us: Arc<Histogram>,
 }
 
 impl WorkerStats {
@@ -188,6 +231,9 @@ impl WorkerStats {
             batch_size: metrics.histogram("serve_batch_size", buckets::SMALL_COUNTS),
             batch_wait_us: metrics.histogram("serve_batch_wait_us", buckets::LATENCY_US),
             queue_depth: metrics.gauge("serve_queue_depth"),
+            queue_wait_us: metrics.histogram("serve_queue_wait_us", buckets::LATENCY_US_FINE),
+            coalesce_us: metrics.histogram("serve_coalesce_us", buckets::LATENCY_US_FINE),
+            forward_us: metrics.histogram("serve_forward_us", buckets::LATENCY_US_FINE),
         }
     }
 }
@@ -204,21 +250,21 @@ pub(crate) fn run_worker(
     stats: Arc<WorkerStats>,
 ) {
     loop {
-        let first = match rx.recv() {
+        let mut first = match rx.recv() {
             Ok(job) => job,
             Err(_) => return, // disconnected and fully drained
         };
         stats.queue_depth.set(rx.len() as i64);
         let window_start = Instant::now();
+        first.pulled_at = window_start;
         let mut jobs = vec![first];
-        let mut pulled_at = vec![window_start];
         if policy.max_batch > 1 {
             let window_end = window_start + policy.max_wait;
             while jobs.len() < policy.max_batch {
                 match rx.recv_deadline(window_end) {
-                    Ok(job) => {
+                    Ok(mut job) => {
+                        job.pulled_at = Instant::now();
                         jobs.push(job);
-                        pulled_at.push(Instant::now());
                     }
                     Err(RecvTimeoutError::Timeout) => break,
                     Err(RecvTimeoutError::Disconnected) => break,
@@ -229,10 +275,10 @@ pub(crate) fn run_worker(
         // Per traced job: queue-wait (enqueue → pull), then coalesce
         // (pull → window close) — sequential by construction, so a
         // request's child spans never overlap.
-        for (job, &pulled) in jobs.iter().zip(&pulled_at) {
+        for job in &jobs {
             if let Some(trace) = &job.trace {
-                trace.record("serve.batcher.queue_wait", job.enqueued_at, pulled);
-                trace.record("serve.batcher.coalesce", pulled, window_close);
+                trace.record("serve.batcher.queue_wait", job.enqueued_at, job.pulled_at);
+                trace.record("serve.batcher.coalesce", job.pulled_at, window_close);
             }
         }
         stats
@@ -273,9 +319,21 @@ fn process_batch(
     // scan beats hashing.
     let mut groups: Vec<(JobKind, Vec<Job>)> = Vec::new();
     for job in jobs {
+        stats.queue_wait_us.observe(
+            job.pulled_at
+                .saturating_duration_since(job.enqueued_at)
+                .as_micros() as f64,
+        );
+        stats
+            .coalesce_us
+            .observe(now.saturating_duration_since(job.pulled_at).as_micros() as f64);
         if job.deadline < now {
             stats.deadline_drops.inc();
-            reply(&job, Err(ServeError::DeadlineExceeded));
+            reply(
+                &job,
+                Err(ServeError::DeadlineExceeded),
+                JobStamps::short_circuit(job.enqueued_at, job.pulled_at, now),
+            );
             continue;
         }
         if job.kind == JobKind::Embed {
@@ -291,7 +349,11 @@ fn process_batch(
                 trace.record("serve.batcher.cache_lookup", t0, Instant::now());
             }
             if let Some(row) = hit {
-                reply(&job, Ok(JobOutput::Embedding(row)));
+                reply(
+                    &job,
+                    Ok(JobOutput::Embedding(row)),
+                    JobStamps::short_circuit(job.enqueued_at, job.pulled_at, now),
+                );
                 continue;
             }
         }
@@ -326,6 +388,11 @@ fn process_batch(
             JobKind::Embed => {
                 let rows = st.model().embed_requests(st.graph(), &items);
                 let forward_end = Instant::now();
+                stats.forward_us.observe(
+                    forward_end
+                        .saturating_duration_since(forward_start)
+                        .as_micros() as f64,
+                );
                 for job in &group {
                     if let Some(trace) = &job.trace {
                         trace.record("serve.batcher.forward_batch", forward_start, forward_end);
@@ -342,7 +409,17 @@ fn process_batch(
                         },
                         row.clone(),
                     );
-                    reply(job, Ok(JobOutput::Embedding(row)));
+                    reply(
+                        job,
+                        Ok(JobOutput::Embedding(row)),
+                        JobStamps {
+                            enqueued: job.enqueued_at,
+                            pulled: job.pulled_at,
+                            batch_start: now,
+                            forward_start,
+                            forward_end,
+                        },
+                    );
                 }
             }
             JobKind::Classify { rounds } => {
@@ -350,6 +427,11 @@ fn process_batch(
                     .model()
                     .ensemble_logits(st.graph(), &items, rounds as usize);
                 let forward_end = Instant::now();
+                stats.forward_us.observe(
+                    forward_end
+                        .saturating_duration_since(forward_start)
+                        .as_micros() as f64,
+                );
                 for job in &group {
                     if let Some(trace) = &job.trace {
                         trace.record("serve.batcher.forward_batch", forward_start, forward_end);
@@ -357,18 +439,29 @@ fn process_batch(
                 }
                 for (job, &i) in group.iter().zip(&row_of) {
                     let label = argmax(logits.row(i)) as u32;
-                    reply(job, Ok(JobOutput::Label(label)));
+                    reply(
+                        job,
+                        Ok(JobOutput::Label(label)),
+                        JobStamps {
+                            enqueued: job.enqueued_at,
+                            pulled: job.pulled_at,
+                            batch_start: now,
+                            forward_start,
+                            forward_end,
+                        },
+                    );
                 }
             }
         }
     }
 }
 
-fn reply(job: &Job, result: Result<JobOutput, ServeError>) {
+fn reply(job: &Job, result: Result<JobOutput, ServeError>, stamps: JobStamps) {
     job.reply.send(Completion::Job {
         req: job.req,
         slot: job.slot,
         result,
+        stamps,
     });
 }
 
@@ -400,6 +493,7 @@ mod tests {
     }
 
     fn job(kind: JobKind, node: u32, seed: u64, slot: usize, tx: &mpsc::Sender<Completion>) -> Job {
+        let enqueued_at = Instant::now();
         Job {
             kind,
             node,
@@ -411,7 +505,8 @@ mod tests {
                 tx: tx.clone(),
                 wake: None,
             },
-            enqueued_at: Instant::now(),
+            enqueued_at,
+            pulled_at: enqueued_at,
             trace: None,
         }
     }
@@ -422,6 +517,32 @@ mod tests {
             Completion::Job { slot, result, .. } => (slot, result),
             Completion::Direct { .. } => panic!("batcher never sends Direct completions"),
         }
+    }
+
+    #[test]
+    fn completions_carry_ordered_lifecycle_stamps() {
+        let registry = tiny_registry();
+        let cache = Arc::new(EmbedCache::new(16));
+        let stats = WorkerStats::new(&Registry::new());
+        let (tx, rx) = mpsc::channel();
+        process_batch(
+            &registry,
+            &cache,
+            vec![job(JobKind::Embed, 0, 7, 0, &tx)],
+            &stats,
+        );
+        let stamps = match rx.recv().unwrap() {
+            Completion::Job { stamps, .. } => stamps,
+            Completion::Direct { .. } => panic!("unexpected direct completion"),
+        };
+        assert!(stamps.enqueued <= stamps.pulled);
+        assert!(stamps.pulled <= stamps.batch_start);
+        assert!(stamps.batch_start <= stamps.forward_start);
+        assert!(stamps.forward_start <= stamps.forward_end);
+        // The always-on lifecycle histograms saw the job too.
+        assert_eq!(stats.queue_wait_us.snapshot().count, 1);
+        assert_eq!(stats.coalesce_us.snapshot().count, 1);
+        assert_eq!(stats.forward_us.snapshot().count, 1);
     }
 
     #[test]

@@ -304,6 +304,32 @@ impl Client {
         }
     }
 
+    /// Requests the merged process-wide telemetry view: counters and
+    /// gauges summed across the server's own registry and the ambient
+    /// global one, plus a per-histogram SLO report (`p50`/`p90`/`p99`/
+    /// `max`/`count`) under the `slo` key — the percentile-grade
+    /// counterpart to [`Client::stats`].
+    ///
+    /// # Errors
+    /// Returns a [`ClientError`] on transport failure or a server-reported
+    /// error.
+    pub fn telemetry(&mut self) -> Result<String, ClientError> {
+        let id = self.fresh_id();
+        self.send_request(&Request::Telemetry { id })?;
+        match self.recv_for(id)? {
+            Response::Telemetry { id: rid, text } => {
+                if rid != id {
+                    return Err(ClientError::Mismatch("response id"));
+                }
+                Ok(text)
+            }
+            Response::Error { code, message, .. } => {
+                Err(ClientError::Server(ServeError::from_code(code, message)))
+            }
+            _ => Err(ClientError::Mismatch("expected telemetry")),
+        }
+    }
+
     fn fresh_id(&mut self) -> u64 {
         let id = self.next_id;
         self.next_id += 1;

@@ -23,6 +23,8 @@
 //! | 7 | Stats            | `msg_len u32, JSON snapshot utf-8` |
 //! | 8 | Ingest request   | `seed u64, node_type u16, label_flag u8 [, label u16], feat_count u32, feat_count × f32, edge_count u32, edge_count × (peer u32, edge_type u16)` |
 //! | 9 | Ingested         | `node u32, dim u32, dim × f32` |
+//! | 10 | Telemetry request | (header only) |
+//! | 11 | Telemetry        | `msg_len u32, JSON telemetry utf-8` |
 //!
 //! `Ingest` (type 8) is the streaming-graph op: the client ships a
 //! never-seen node — type, optional label, dense features and typed edges
@@ -91,6 +93,8 @@ const TYPE_STATS: u8 = 6;
 const TYPE_STATS_TEXT: u8 = 7;
 const TYPE_INGEST: u8 = 8;
 const TYPE_INGESTED: u8 = 9;
+const TYPE_TELEMETRY: u8 = 10;
+const TYPE_TELEMETRY_TEXT: u8 = 11;
 
 /// Wire-level decode failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -156,6 +160,12 @@ pub enum Request {
         /// Client-chosen id, echoed in the response.
         id: u64,
     },
+    /// Fetch the merged process-wide telemetry view (counters, gauges and
+    /// per-histogram SLO reports across the server and global registries).
+    Telemetry {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+    },
     /// Ship a never-seen node (type, features, optional label, typed edges
     /// to existing nodes) and get its embedding back in one round trip.
     Ingest {
@@ -181,16 +191,18 @@ impl Request {
             Request::Embed { id, .. }
             | Request::Classify { id, .. }
             | Request::Stats { id }
+            | Request::Telemetry { id }
             | Request::Ingest { id, .. } => *id,
         }
     }
 
-    /// The nodes the request touches (empty for `Stats`; `Ingest` peers
-    /// are validated by the graph mutation itself, not here).
+    /// The nodes the request touches (empty for `Stats` and `Telemetry`;
+    /// `Ingest` peers are validated by the graph mutation itself, not
+    /// here).
     pub fn nodes(&self) -> &[u32] {
         match self {
             Request::Embed { nodes, .. } | Request::Classify { nodes, .. } => nodes,
-            Request::Stats { .. } | Request::Ingest { .. } => &[],
+            Request::Stats { .. } | Request::Telemetry { .. } | Request::Ingest { .. } => &[],
         }
     }
 }
@@ -230,6 +242,13 @@ pub enum Response {
         /// JSON text (see `widen_obs::Snapshot::to_json`).
         text: String,
     },
+    /// Merged telemetry view with per-histogram SLO reports.
+    Telemetry {
+        /// Echoed request id.
+        id: u64,
+        /// JSON text (see `widen_obs::TelemetrySnapshot::to_json`).
+        text: String,
+    },
     /// Acknowledges an `Ingest`: the assigned node id plus the new node's
     /// embedding on the mutated graph.
     Ingested {
@@ -254,6 +273,7 @@ impl Response {
             | Response::Classes { id, .. }
             | Response::Error { id, .. }
             | Response::Stats { id, .. }
+            | Response::Telemetry { id, .. }
             | Response::Ingested { id, .. } => *id,
         }
     }
@@ -347,6 +367,7 @@ fn request_body(req: &Request, version: u16) -> BytesMut {
             b
         }
         Request::Stats { id } => body_header(version, TYPE_STATS, *id, 0),
+        Request::Telemetry { id } => body_header(version, TYPE_TELEMETRY, *id, 0),
         Request::Ingest {
             id,
             seed,
@@ -467,24 +488,8 @@ fn response_body(resp: &Response, version: u16) -> BytesMut {
             b.put_slice(message.as_bytes());
             b
         }
-        Response::Stats { id, text } => {
-            // Snapshots are bounded by the (small, fixed) metric population,
-            // but the frame cap is the wire contract — truncate at a char
-            // boundary rather than emit an unsendable frame.
-            let budget = MAX_FRAME_LEN - 19 - 4;
-            let mut text = text.as_str();
-            if text.len() > budget {
-                let mut cut = budget;
-                while !text.is_char_boundary(cut) {
-                    cut -= 1;
-                }
-                text = &text[..cut];
-            }
-            let mut b = body_header(version, TYPE_STATS_TEXT, *id, 4 + text.len());
-            b.put_u32_le(text.len() as u32);
-            b.put_slice(text.as_bytes());
-            b
-        }
+        Response::Stats { id, text } => text_body(version, TYPE_STATS_TEXT, *id, text),
+        Response::Telemetry { id, text } => text_body(version, TYPE_TELEMETRY_TEXT, *id, text),
         Response::Ingested {
             id,
             node,
@@ -500,6 +505,26 @@ fn response_body(resp: &Response, version: u16) -> BytesMut {
             b
         }
     }
+}
+
+/// Length-prefixed UTF-8 text payload (`Stats` and `Telemetry` share the
+/// shape). Snapshots are bounded by the (small, fixed) metric population,
+/// but the frame cap is the wire contract — truncate at a char boundary
+/// rather than emit an unsendable frame.
+fn text_body(version: u16, msg_type: u8, id: u64, text: &str) -> BytesMut {
+    let budget = MAX_FRAME_LEN - 19 - 4;
+    let mut text = text;
+    if text.len() > budget {
+        let mut cut = budget;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        text = &text[..cut];
+    }
+    let mut b = body_header(version, msg_type, id, 4 + text.len());
+    b.put_u32_le(text.len() as u32);
+    b.put_slice(text.as_bytes());
+    b
 }
 
 /// Bounds-checked sequential reader over a frame body.
@@ -626,6 +651,7 @@ pub fn decode_request_ext(body: &[u8]) -> Result<(Request, Option<TraceContext>)
             }
         }
         TYPE_STATS => Request::Stats { id },
+        TYPE_TELEMETRY => Request::Telemetry { id },
         TYPE_INGEST => {
             let seed = r.u64("seed")?;
             let node_type = r.u16("node type")?;
@@ -746,6 +772,17 @@ pub fn decode_response_ext(body: &[u8]) -> Result<(Response, Option<SpanSummary>
                 .map_err(|_| WireError::Malformed("non-utf8 stats text"))?
                 .to_string();
             Response::Stats { id, text }
+        }
+        TYPE_TELEMETRY_TEXT => {
+            let msg_len = r.u32("telemetry length")? as usize;
+            if msg_len > MAX_FRAME_LEN {
+                return Err(WireError::Malformed("oversized telemetry text"));
+            }
+            let raw = r.take(msg_len, "telemetry text")?;
+            let text = std::str::from_utf8(raw)
+                .map_err(|_| WireError::Malformed("non-utf8 telemetry text"))?
+                .to_string();
+            Response::Telemetry { id, text }
         }
         TYPE_INGESTED => {
             let node = r.u32("node id")?;
@@ -1090,6 +1127,93 @@ mod tests {
         assert!(matches!(
             decode_response(&body).unwrap(),
             Response::Stats { id: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn telemetry_frames_round_trip() {
+        let req = Request::Telemetry { id: 99 };
+        let wire = encode_request(&req);
+        // Telemetry rides the plain version-1 framing like every other op.
+        assert_eq!(&wire[4..][4..6], &VERSION.to_le_bytes());
+        let mut fr = FrameReader::new();
+        fr.push(&wire);
+        let body = fr.next_frame().unwrap().expect("complete frame");
+        assert_eq!(decode_request(&body).unwrap(), req);
+
+        let resp = Response::Telemetry {
+            id: 99,
+            text: "{\"counters\":{},\"gauges\":{},\"slo\":{\"serve_request_latency_us\":{\"p50\":1.0,\"p90\":2.0,\"p99\":3.0,\"max\":4.0,\"count\":5}}}".into(),
+        };
+        let wire = encode_response(&resp);
+        let mut fr = FrameReader::new();
+        fr.push(&wire);
+        let body = fr.next_frame().unwrap().unwrap();
+        assert_eq!(decode_response(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn telemetry_request_rejects_payload_bytes() {
+        let wire = encode_request(&Request::Telemetry { id: 5 });
+        let mut body = wire[4..].to_vec();
+        body.push(0); // a Telemetry request is header-only
+        assert_eq!(
+            decode_request(&body),
+            Err(WireError::Malformed("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn oversized_telemetry_text_is_truncated_at_a_char_boundary() {
+        // Multi-byte content: truncation must land between characters.
+        let resp = Response::Telemetry {
+            id: 1,
+            text: "λ".repeat(MAX_FRAME_LEN),
+        };
+        let wire = encode_response(&resp);
+        let declared = u32::from_le_bytes(wire[..4].try_into().unwrap()) as usize;
+        assert!(declared <= MAX_FRAME_LEN);
+        let mut fr = FrameReader::new();
+        fr.push(&wire);
+        let body = fr.next_frame().unwrap().expect("frame fits the cap");
+        match decode_response(&body).unwrap() {
+            Response::Telemetry { id: 1, text } => {
+                assert!(!text.is_empty());
+                assert!(text.chars().all(|c| c == 'λ'));
+            }
+            other => panic!("expected telemetry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_truncations_error_not_panic() {
+        let wire = encode_response(&Response::Telemetry {
+            id: 3,
+            text: "{\"counters\":{}}".into(),
+        });
+        let body = &wire[4..];
+        for cut in 0..body.len() {
+            assert!(decode_response(&body[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_message_types_still_rejected() {
+        // The two telemetry type codes are the newest; the next code up
+        // must keep erroring out as unknown on both decode paths.
+        let wire = encode_request(&Request::Stats { id: 1 });
+        let mut body = wire[4..].to_vec();
+        body[6] = 12;
+        assert_eq!(decode_request(&body), Err(WireError::BadType(12)));
+        let wire = encode_response(&Response::Stats {
+            id: 1,
+            text: "{}".into(),
+        });
+        let mut body = wire[4..].to_vec();
+        body[6] = 12;
+        assert!(matches!(
+            decode_response(&body),
+            Err(WireError::BadType(12))
         ));
     }
 

@@ -47,9 +47,9 @@ use std::time::{Duration, Instant};
 
 use crossbeam_channel::{Sender, TrySendError};
 use rustc_hash::FxHashMap;
-use widen_obs::Event;
+use widen_obs::{buckets, Event, FlightRecord, Gauge, Histogram, TelemetrySnapshot};
 
-use crate::batcher::{Completion, Job, JobKind, JobOutput, ReplySink, RequestTrace};
+use crate::batcher::{Completion, Job, JobKind, JobOutput, JobStamps, ReplySink, RequestTrace};
 use crate::error::ServeError;
 use crate::poll::{poll_fds, pollfd, WakePipe, POLL_ERR, POLL_HUP, POLL_IN, POLL_NVAL, POLL_OUT};
 use crate::protocol::{
@@ -166,6 +166,9 @@ struct Pending {
     nodes: u64,
     /// Embedding dimensionality (embed responses).
     dim: u32,
+    /// Lifecycle stamps from the batcher (last completion wins); inline
+    /// answers and direct completions never carry any.
+    stamps: Option<JobStamps>,
 }
 
 /// What a poll-set entry refers back to.
@@ -173,6 +176,48 @@ enum Token {
     Wake,
     Listener,
     Conn(u64),
+}
+
+/// The reactor's own instrument handles, resolved once at construction so
+/// the hot path never takes the registry lock.
+struct ReactorMetrics {
+    /// `serve_reactor_tick_us` — event-loop work per tick, poll wait
+    /// excluded (drain + dispatch + reap).
+    tick_us: Arc<Histogram>,
+    /// `serve_reactor_ready_fds` — descriptors ready per non-empty poll
+    /// return.
+    ready_fds: Arc<Histogram>,
+    /// `serve_reactor_dispatch_us` — time spent dispatching one tick's
+    /// ready events.
+    dispatch_us: Arc<Histogram>,
+    /// `serve_request_decode_us` — frame-complete → request decoded.
+    decode_us: Arc<Histogram>,
+    /// `serve_request_latency_us` — frame decoded → response buffered and
+    /// flush attempted, for every request (inline or batched).
+    request_latency_us: Arc<Histogram>,
+    /// `serve_write_flush_us` — one non-empty socket flush pass.
+    write_flush_us: Arc<Histogram>,
+    /// `serve_inflight_requests` — decoded requests awaiting completions.
+    inflight: Arc<Gauge>,
+    /// `serve_write_buffer_hwm_bytes` — largest unflushed write buffer
+    /// ever observed on any connection (monotone high-water mark).
+    write_buffer_hwm: Arc<Gauge>,
+}
+
+impl ReactorMetrics {
+    fn new(registry: &widen_obs::Registry) -> Self {
+        Self {
+            tick_us: registry.histogram("serve_reactor_tick_us", buckets::LATENCY_US_FINE),
+            ready_fds: registry.histogram("serve_reactor_ready_fds", buckets::SMALL_COUNTS),
+            dispatch_us: registry.histogram("serve_reactor_dispatch_us", buckets::LATENCY_US_FINE),
+            decode_us: registry.histogram("serve_request_decode_us", buckets::LATENCY_US_FINE),
+            request_latency_us: registry
+                .histogram("serve_request_latency_us", buckets::LATENCY_US_FINE),
+            write_flush_us: registry.histogram("serve_write_flush_us", buckets::LATENCY_US_FINE),
+            inflight: registry.gauge("serve_inflight_requests"),
+            write_buffer_hwm: registry.gauge("serve_write_buffer_hwm_bytes"),
+        }
+    }
 }
 
 pub(crate) struct Reactor {
@@ -196,6 +241,11 @@ pub(crate) struct Reactor {
     draining: bool,
     /// Hard exit time once draining (covers unflushable peers).
     drain_deadline: Option<Instant>,
+    /// Pre-resolved instrument handles (see [`ReactorMetrics`]).
+    m: ReactorMetrics,
+    /// Local shadow of the write-buffer high-water gauge, so the hot path
+    /// compares against a plain integer instead of an atomic.
+    write_hwm: usize,
 }
 
 impl Reactor {
@@ -213,6 +263,7 @@ impl Reactor {
         max_connections: usize,
         queue_depth: usize,
     ) -> Self {
+        let m = ReactorMetrics::new(&shared.metrics);
         Self {
             listener,
             shared,
@@ -230,6 +281,8 @@ impl Reactor {
             accept_backoff_until: None,
             draining: false,
             drain_deadline: None,
+            m,
+            write_hwm: 0,
         }
     }
 
@@ -238,6 +291,7 @@ impl Reactor {
     /// deadline passed).
     pub fn run(mut self) {
         loop {
+            let tick_start = Instant::now();
             self.drain_completions();
             self.observe_shutdown();
             if self.draining && self.pending.is_empty() && self.all_flushed() {
@@ -251,6 +305,9 @@ impl Reactor {
 
             let (mut fds, tokens) = self.build_poll_set();
             let timeout = self.poll_timeout();
+            // The blocking poll wait is excluded from the tick histogram:
+            // the metric is event-loop *work* per tick, not idle time.
+            let pre_poll_us = tick_start.elapsed().as_micros() as u64;
             let n = match poll_fds(&mut fds, timeout) {
                 Ok(n) => n,
                 Err(_) => {
@@ -259,7 +316,9 @@ impl Reactor {
                     0
                 }
             };
+            let dispatch_start = Instant::now();
             if n > 0 {
+                self.m.ready_fds.observe(n as f64);
                 let mut dead: Vec<u64> = Vec::new();
                 for (fd, token) in fds.iter().zip(&tokens) {
                     if fd.revents == 0 {
@@ -284,6 +343,9 @@ impl Reactor {
                 }
             }
             self.reap_expired();
+            let dispatch_us = dispatch_start.elapsed().as_micros() as u64;
+            self.m.dispatch_us.observe(dispatch_us as f64);
+            self.m.tick_us.observe((pre_poll_us + dispatch_us) as f64);
         }
     }
 
@@ -427,6 +489,12 @@ impl Reactor {
     fn reject_connection(&self, mut stream: TcpStream) {
         let resp = Response::from_error(0, &ServeError::Overloaded);
         let _ = stream.write_all(&encode_response(&resp));
+        if !self.shared.recorder.is_disabled() {
+            let mut rec = FlightRecord::new(0, "conn");
+            rec.outcome = "rejected";
+            self.shared.recorder.record(rec);
+            self.shared.anomaly_dump();
+        }
     }
 
     /// Dispatches one connection's poll events. Returns `false` when the
@@ -536,18 +604,28 @@ impl Reactor {
             }
         };
         let trace = trace_ctx.map(|ctx| Arc::new(RequestTrace::new(ctx.trace_id)));
+        self.m
+            .decode_us
+            .observe(started.elapsed().as_micros() as f64);
         let id = request.id();
         let deadline = started + self.shared.request_timeout;
 
         match request {
-            // Stats is answered inline: a metrics snapshot allocates a
-            // string but never blocks.
+            // Stats and Telemetry are answered inline: a metrics snapshot
+            // allocates a string but never blocks.
             Request::Stats { .. } => {
                 let response = Response::Stats {
                     id,
                     text: stats_text(&self.shared),
                 };
                 self.respond(key, &response, started, trace.as_ref(), "stats", 0)
+            }
+            Request::Telemetry { .. } => {
+                let response = Response::Telemetry {
+                    id,
+                    text: telemetry_text(&self.shared),
+                };
+                self.respond(key, &response, started, trace.as_ref(), "telemetry", 0)
             }
             Request::Ingest {
                 seed,
@@ -587,8 +665,10 @@ impl Reactor {
                         kind_name: "ingest",
                         nodes: 0,
                         dim: 0,
+                        stamps: None,
                     },
                 );
+                self.m.inflight.set(self.pending.len() as i64);
                 if let Some(conn) = self.conns.get_mut(&key) {
                     conn.inflight += 1;
                 }
@@ -703,6 +783,7 @@ impl Reactor {
                 slot,
                 reply: self.sink.clone(),
                 enqueued_at: Instant::now(),
+                pulled_at: Instant::now(),
                 trace: trace.clone(),
             };
             match self.job_tx.try_send(job) {
@@ -748,8 +829,10 @@ impl Reactor {
                 kind_name,
                 nodes: nodes.len() as u64,
                 dim: d,
+                stamps: None,
             },
         );
+        self.m.inflight.set(self.pending.len() as i64);
         if let Some(conn) = self.conns.get_mut(&key) {
             conn.inflight += 1;
         }
@@ -768,10 +851,18 @@ impl Reactor {
     fn drain_completions(&mut self) {
         while let Ok(completion) = self.completion_rx.try_recv() {
             match completion {
-                Completion::Job { req, slot, result } => {
+                Completion::Job {
+                    req,
+                    slot,
+                    result,
+                    stamps,
+                } => {
                     let Some(p) = self.pending.get_mut(&req) else {
                         continue;
                     };
+                    // Last completion wins: the request's recorded
+                    // timeline is the slot that finished it.
+                    p.stamps = Some(stamps);
                     match result {
                         Ok(output) => {
                             if let Some(cell) = p.results.get_mut(slot) {
@@ -787,6 +878,7 @@ impl Reactor {
                     p.remaining = p.remaining.saturating_sub(1);
                     if p.remaining == 0 {
                         let p = self.pending.remove(&req).expect("present");
+                        self.m.inflight.set(self.pending.len() as i64);
                         let response = assemble(&p);
                         self.finish_pending(p, response);
                     }
@@ -795,6 +887,7 @@ impl Reactor {
                     let Some(p) = self.pending.remove(&req) else {
                         continue;
                     };
+                    self.m.inflight.set(self.pending.len() as i64);
                     self.finish_pending(p, response);
                 }
             }
@@ -802,7 +895,8 @@ impl Reactor {
     }
 
     /// Writes a completed request's response onto its connection and
-    /// closes the accounting.
+    /// closes the accounting: latency histogram, flight record, anomaly
+    /// dump when the outcome warrants one.
     fn finish_pending(&mut self, p: Pending, response: Response) {
         let summary = p.trace.as_ref().map(|t| build_summary(t));
         self.shared.requests.inc();
@@ -816,6 +910,18 @@ impl Reactor {
             conn.inflight = conn.inflight.saturating_sub(1);
             let _ = self.flush_conn(p.conn);
         }
+        let total = p.started.elapsed();
+        self.m.request_latency_us.observe(total.as_micros() as f64);
+        self.record_request(
+            p.id,
+            p.kind_name,
+            p.nodes,
+            &response,
+            p.started,
+            total,
+            p.stamps.as_ref(),
+            write_start,
+        );
         log_slow_request(
             &self.shared,
             p.kind_name,
@@ -825,6 +931,59 @@ impl Reactor {
             write_start,
             summary.as_ref(),
         );
+    }
+
+    /// Writes one request timeline into the flight recorder and fires the
+    /// anomaly dump on a bad outcome (shed/overload, deadline drop) or a
+    /// slow-threshold breach. Steady-state cost is one ring write.
+    #[allow(clippy::too_many_arguments)]
+    fn record_request(
+        &self,
+        id: u64,
+        kind: &'static str,
+        nodes: u64,
+        response: &Response,
+        started: Instant,
+        total: Duration,
+        stamps: Option<&JobStamps>,
+        write_start: Instant,
+    ) {
+        if self.shared.recorder.is_disabled() {
+            return;
+        }
+        let slow = self
+            .shared
+            .slow_threshold
+            .is_some_and(|threshold| total >= threshold);
+        let outcome = match outcome_of(response) {
+            "ok" if slow => "slow",
+            other => other,
+        };
+        let mut rec = FlightRecord::new(id, kind);
+        rec.nodes = nodes.min(u32::MAX as u64) as u32;
+        rec.outcome = outcome;
+        rec.total_us = total.as_micros() as u64;
+        if let Some(s) = stamps {
+            let off = |t: Instant| t.saturating_duration_since(started).as_micros() as u64;
+            let span = |a: Instant, b: Instant| b.saturating_duration_since(a).as_micros() as u64;
+            rec.push_phase("queue_wait", off(s.enqueued), span(s.enqueued, s.pulled));
+            rec.push_phase("coalesce", off(s.pulled), span(s.pulled, s.batch_start));
+            rec.push_phase(
+                "forward",
+                off(s.forward_start),
+                span(s.forward_start, s.forward_end),
+            );
+        }
+        rec.push_phase(
+            "write",
+            write_start.saturating_duration_since(started).as_micros() as u64,
+            write_start.elapsed().as_micros() as u64,
+        );
+        self.shared.recorder.record(rec);
+        let anomalous = slow || matches!(outcome, "overloaded" | "deadline");
+        if anomalous {
+            self.shared.anomaly_dump();
+        }
     }
 
     /// Answers one request inline (no pending entry): encode, buffer,
@@ -852,6 +1011,18 @@ impl Reactor {
             }
             None => false,
         };
+        let total = started.elapsed();
+        self.m.request_latency_us.observe(total.as_micros() as f64);
+        self.record_request(
+            response.id(),
+            kind_name,
+            nodes,
+            response,
+            started,
+            total,
+            None,
+            write_start,
+        );
         log_slow_request(
             &self.shared,
             kind_name,
@@ -870,6 +1041,15 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(&key) else {
             return false;
         };
+        let backlog = conn.out.len() - conn.out_pos;
+        if backlog == 0 {
+            return true;
+        }
+        if backlog > self.write_hwm {
+            self.write_hwm = backlog;
+            self.m.write_buffer_hwm.set(backlog as i64);
+        }
+        let flush_start = Instant::now();
         while conn.out_pos < conn.out.len() {
             match conn.stream.write(&conn.out[conn.out_pos..]) {
                 Ok(0) => return false,
@@ -883,6 +1063,9 @@ impl Reactor {
             conn.out.clear();
             conn.out_pos = 0;
         }
+        self.m
+            .write_flush_us
+            .observe(flush_start.elapsed().as_micros() as f64);
         true
     }
 
@@ -899,6 +1082,7 @@ impl Reactor {
             .collect();
         for req in expired {
             let p = self.pending.remove(&req).expect("present");
+            self.m.inflight.set(self.pending.len() as i64);
             let response = Response::from_error(p.id, &ServeError::DeadlineExceeded);
             self.finish_pending(p, response);
         }
@@ -919,6 +1103,22 @@ impl Reactor {
         for req in orphaned {
             self.pending.remove(&req);
         }
+        self.m.inflight.set(self.pending.len() as i64);
+    }
+}
+
+/// The flight-record outcome tag for a finished response, derived from
+/// the stable [`ServeError`] code.
+fn outcome_of(response: &Response) -> &'static str {
+    match response {
+        Response::Error { code, .. } => match *code {
+            1 => "overloaded",
+            2 => "deadline",
+            3 => "shutdown",
+            4 => "bad_request",
+            _ => "error",
+        },
+        _ => "ok",
     }
 }
 
@@ -1058,4 +1258,16 @@ pub(crate) fn stats_text(shared: &Shared) -> String {
         shared.metrics.snapshot().to_json(),
         widen_obs::Registry::global().snapshot().to_json()
     )
+}
+
+/// Renders the `Telemetry` payload: the server's own registry merged with
+/// the process-global ambient registry into one [`TelemetrySnapshot`] —
+/// counters and gauges summed, every histogram summarised as an SLO
+/// report (p50/p90/p99/max).
+pub(crate) fn telemetry_text(shared: &Shared) -> String {
+    TelemetrySnapshot::merge(&[
+        shared.metrics.snapshot(),
+        widen_obs::Registry::global().snapshot(),
+    ])
+    .to_json()
 }

@@ -35,7 +35,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::bounded;
-use widen_obs::{Counter, Gauge, JsonlSink, Registry as MetricsRegistry};
+use parking_lot::Mutex;
+use widen_obs::{Counter, FlightRecorder, Gauge, JsonlSink, Registry as MetricsRegistry};
 
 use widen_graph::{EdgeTypeId, NodeTypeId};
 
@@ -78,6 +79,15 @@ pub struct ServeConfig {
     /// `Overloaded` error frame, and closed — never silently parked in
     /// the kernel backlog. Counted in `serve_conns_rejected_total`.
     pub max_connections: usize,
+    /// Flight-recorder window: how many recent request timelines the
+    /// always-on ring buffer keeps for anomaly post-mortems. `0` disables
+    /// the recorder entirely (no ring writes, no dumps).
+    pub flight_recorder_capacity: usize,
+    /// Where anomaly post-mortem dumps (JSONL, one request timeline per
+    /// line) are written; `None` keeps the latest dump in memory only
+    /// (readable via [`ServerHandle::postmortem_dump`]). Each new anomaly
+    /// overwrites the previous dump — the latest window wins.
+    pub postmortem_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +102,8 @@ impl Default for ServeConfig {
             slow_request_ms: 0,
             slow_log_path: None,
             max_connections: 8192,
+            flight_recorder_capacity: 256,
+            postmortem_path: None,
         }
     }
 }
@@ -160,6 +172,36 @@ pub(crate) struct Shared {
     pub(crate) slow_threshold: Option<Duration>,
     /// Slow-request JSONL sink; `None` with a threshold set means stderr.
     pub(crate) slow_sink: Option<JsonlSink>,
+    /// Always-on ring of recent request timelines.
+    pub(crate) recorder: FlightRecorder,
+    /// `serve_postmortem_dumps_total` — anomaly-triggered dumps taken.
+    pub(crate) postmortem_dumps: Arc<Counter>,
+    /// Latest anomaly dump (JSONL); each new anomaly overwrites it.
+    pub(crate) postmortem: Mutex<Option<String>>,
+    /// Optional on-disk destination for anomaly dumps.
+    pub(crate) postmortem_path: Option<PathBuf>,
+}
+
+impl Shared {
+    /// Freezes the flight-recorder window as a JSONL post-mortem: stores
+    /// it for [`ServerHandle::postmortem_dump`], writes it to the
+    /// configured path (best-effort), and counts the dump. Called on
+    /// anomaly triggers — shed, admission reject, deadline drop, slow
+    /// request. No-op while the recorder is disabled.
+    pub(crate) fn anomaly_dump(&self) {
+        if self.recorder.is_disabled() {
+            return;
+        }
+        let dump = self.recorder.dump_jsonl();
+        if dump.is_empty() {
+            return;
+        }
+        if let Some(path) = &self.postmortem_path {
+            let _ = std::fs::write(path, &dump);
+        }
+        *self.postmortem.lock() = Some(dump);
+        self.postmortem_dumps.inc();
+    }
 }
 
 /// The in-process inference server.
@@ -210,6 +252,10 @@ impl Server {
             request_timeout: Duration::from_millis(config.request_timeout_ms),
             slow_threshold,
             slow_sink,
+            recorder: FlightRecorder::new(config.flight_recorder_capacity),
+            postmortem_dumps: metrics.counter("serve_postmortem_dumps_total"),
+            postmortem: Mutex::new(None),
+            postmortem_path: config.postmortem_path.clone(),
             metrics,
         });
 
@@ -344,6 +390,14 @@ impl ServerHandle {
     /// including the histograms the scalar [`ServeStats`] cannot carry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.shared.metrics
+    }
+
+    /// The latest anomaly post-mortem: the flight-recorder window frozen
+    /// as JSONL (one request timeline per line) when a shed, admission
+    /// reject, deadline drop, or slow request last fired. `None` until
+    /// the first anomaly, or while the recorder is disabled.
+    pub fn postmortem_dump(&self) -> Option<String> {
+        self.shared.postmortem.lock().clone()
     }
 
     /// Stops accepting, drains every in-flight request to a response, and
