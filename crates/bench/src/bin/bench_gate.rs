@@ -15,7 +15,13 @@
 //!   the headline serving phase; lower is better, must stay within
 //!   `1 + tol`;
 //! * `bwd_ms / fwd_ms` — a fixed-ceiling sanity backstop, allowed the
-//!   same relative slack.
+//!   same relative slack;
+//! * `secs_per_epoch_s1` — the shard sweep's 1-shard epoch time from
+//!   `bench_shards`; lower is better, must stay within `1 + tol`;
+//! * `speedup_4x` — the modelled 4-shard parallel speedup; **strict**:
+//!   must stay at or above the fixed 2.5× floor regardless of tolerance,
+//!   so a scaling-linearity regression can never hide inside the noise
+//!   band.
 //!
 //! The workspace's vendored `serde_json` is write-only, so the snapshot
 //! is read back with a small hand-rolled scanner: find `"key":`, parse
@@ -43,6 +49,15 @@ const DEFAULT_TOLERANCE: f64 = 0.25;
 /// work it mirrors.
 const MAX_BWD_FWD_RATIO: f64 = 3.0;
 
+/// Floor on the modelled 4-shard training speedup from `bench_shards`.
+/// The sweep's ideal is bounded by the train-node balance (~3.6× at the
+/// smoke scale after weighted partitioning) and the floor-of-reps
+/// estimator holds the measurement near its noise floor, so 2.5× leaves
+/// real headroom while still catching any change that serialises shard
+/// work or unbalances the partition. This gate is *strict*: `--tolerance`
+/// does not loosen it.
+const MIN_SHARD_SPEEDUP_4X: f64 = 2.5;
+
 /// Extracts the first number following `"key":` in a JSON document.
 ///
 /// Good enough for the flat, uniquely-keyed `bench_widen` snapshot; not
@@ -59,17 +74,21 @@ fn extract_number(json: &str, key: &str) -> Option<f64> {
 }
 
 /// One gated metric: the measured pair plus the direction of "better".
+/// A `strict` gate treats its baseline as an absolute bound — the
+/// tolerance band does not apply.
 #[derive(Debug)]
 struct Gate {
     name: &'static str,
     baseline: f64,
     candidate: f64,
     lower_is_better: bool,
+    strict: bool,
 }
 
 impl Gate {
     /// The worst candidate value still allowed under `tol`.
     fn limit(&self, tol: f64) -> f64 {
+        let tol = if self.strict { 0.0 } else { tol };
         if self.lower_is_better {
             self.baseline * (1.0 + tol)
         } else {
@@ -100,12 +119,14 @@ fn build_gates(candidate: &str, baseline: &str) -> Result<Vec<Gate>, String> {
         ("requests_per_sec", false),
         ("requests_per_sec_c64", false),
         ("latency_ms_p99", true),
+        ("secs_per_epoch_s1", true),
     ] {
         gates.push(Gate {
             name: key,
             baseline: read(baseline, "baseline", key)?,
             candidate: read(candidate, "candidate", key)?,
             lower_is_better,
+            strict: false,
         });
     }
     // The ratio gate is anchored at the fixed 2× budget rather than the
@@ -117,6 +138,17 @@ fn build_gates(candidate: &str, baseline: &str) -> Result<Vec<Gate>, String> {
         baseline: MAX_BWD_FWD_RATIO,
         candidate: bwd / fwd.max(1e-9),
         lower_is_better: true,
+        strict: false,
+    });
+    // Scaling linearity: anchored at the fixed speedup floor, never at
+    // the baseline's own (possibly superlinear) figure, and exempt from
+    // the tolerance band.
+    gates.push(Gate {
+        name: "speedup_4x",
+        baseline: MIN_SHARD_SPEEDUP_4X,
+        candidate: read(candidate, "candidate", "speedup_4x")?,
+        lower_is_better: false,
+        strict: true,
     });
     Ok(gates)
 }
@@ -209,6 +241,14 @@ mod tests {
         "latency_ms_p50": 4.0,
         "latency_ms_p99": 40.0,
         "concurrency_sweep": [ { "connections": 4, "rps": 220.25 } ]
+      },
+      "scaling": {
+        "secs_per_epoch_s1": 0.60,
+        "secs_per_epoch_s2": 0.32,
+        "secs_per_epoch_s4": 0.19,
+        "secs_per_epoch_s8": 0.11,
+        "speedup_4x": 3.15,
+        "parallel_efficiency_4x": 0.79
       }
     }"#;
 
@@ -320,5 +360,52 @@ mod tests {
     fn missing_keys_are_reported_by_name() {
         let err = build_gates("{}", SNAPSHOT).unwrap_err();
         assert!(err.contains("candidate") && err.contains("secs_per_epoch"));
+    }
+
+    #[test]
+    fn speedup_gate_is_strict_and_anchored_at_the_floor() {
+        // 2.49x is a hair under the floor: no tolerance may rescue it —
+        // even one generous enough to pass every relative band.
+        let flat = SNAPSHOT.replace("\"speedup_4x\": 3.15", "\"speedup_4x\": 2.49");
+        let gates = build_gates(&flat, SNAPSHOT).unwrap();
+        let speedup = gates.iter().find(|g| g.name == "speedup_4x").unwrap();
+        assert_eq!(speedup.baseline, MIN_SHARD_SPEEDUP_4X);
+        assert!(!speedup.passes(0.25), "sub-floor speedup must trip");
+        assert!(!speedup.passes(10.0), "strict gates ignore tolerance");
+        assert_eq!(speedup.limit(0.25), MIN_SHARD_SPEEDUP_4X);
+
+        // At the floor exactly it passes, and the baseline's own higher
+        // figure never tightens the bound.
+        let at_floor = SNAPSHOT.replace("\"speedup_4x\": 3.15", "\"speedup_4x\": 2.5");
+        let gates = build_gates(&at_floor, SNAPSHOT).unwrap();
+        assert!(gates
+            .iter()
+            .find(|g| g.name == "speedup_4x")
+            .unwrap()
+            .passes(0.25));
+    }
+
+    #[test]
+    fn one_shard_epoch_gate_reads_the_scaling_key() {
+        // `secs_per_epoch_s1` must not be satisfied by `secs_per_epoch`:
+        // a 2x-slower 1-shard sweep trips while training time holds.
+        let slower = SNAPSHOT.replace("\"secs_per_epoch_s1\": 0.60", "\"secs_per_epoch_s1\": 1.20");
+        let gates = build_gates(&slower, SNAPSHOT).unwrap();
+        let s1 = gates
+            .iter()
+            .find(|g| g.name == "secs_per_epoch_s1")
+            .unwrap();
+        assert_eq!(s1.baseline, 0.60);
+        assert_eq!(s1.candidate, 1.20);
+        assert!(!s1.passes(0.25), "2x slower 1-shard epoch must trip");
+        let epoch = gates.iter().find(|g| g.name == "secs_per_epoch").unwrap();
+        assert_eq!(epoch.candidate, 0.5, "training key must stay untouched");
+    }
+
+    #[test]
+    fn identical_snapshots_pass_every_gate_including_scaling() {
+        let gates = build_gates(SNAPSHOT, SNAPSHOT).unwrap();
+        assert_eq!(gates.len(), 9);
+        assert!(gates.iter().all(|g| g.passes(0.25)));
     }
 }

@@ -31,8 +31,10 @@
 pub mod ablation;
 pub mod config;
 pub mod downsample;
+mod engine;
 pub mod model;
 pub mod packaging;
+pub mod sharded;
 pub mod state;
 pub mod trainer;
 pub mod unsupervised;
@@ -40,6 +42,7 @@ pub mod unsupervised;
 pub use ablation::{DownsampleStrategy, Variant};
 pub use config::{Execution, WidenConfig};
 pub use model::WidenModel;
+pub use sharded::{ShardParallelism, ShardedTrainReport, ShardedTrainer};
 pub use state::{DeepState, NodeState};
 pub use trainer::{EpochStats, TrainReport, Trainer};
 pub use unsupervised::{fit_unsupervised, UnsupervisedConfig};

@@ -669,7 +669,23 @@ impl WidenModel {
     /// downsampling) — this is what makes WIDEN inductive: unseen nodes are
     /// embedded purely from their sampled context and the trained weights.
     pub fn sample_state(&self, graph: &HeteroGraph, node: NodeId, seed: u64) -> NodeState {
-        let mut rng = StdRng::seed_from_u64(hash_seed(seed, &[u64::from(node)]));
+        self.sample_state_as(graph, node, node, seed)
+    }
+
+    /// Like [`WidenModel::sample_state`], but keys the per-node rng stream
+    /// by `ident` instead of `node`. Used when `node` is a shard-local
+    /// index: keeping the stream keyed by the node's *global* identity
+    /// makes sampling on a halo-expanded shard subgraph reproduce the
+    /// full-graph stream bit-for-bit (the subgraph preserves relative
+    /// neighbour order and every draw is index-based).
+    pub fn sample_state_as(
+        &self,
+        graph: &HeteroGraph,
+        node: NodeId,
+        ident: NodeId,
+        seed: u64,
+    ) -> NodeState {
+        let mut rng = StdRng::seed_from_u64(hash_seed(seed, &[u64::from(ident)]));
         let wide = sample_wide(graph, node, self.config.n_w, &mut rng);
         let deeps = sample_deep_multi(graph, node, self.config.n_d, self.config.phi, &mut rng);
         NodeState::new(wide, deeps)
@@ -733,6 +749,29 @@ impl WidenModel {
     /// Panics if `items` is empty.
     pub fn embed_requests(&self, graph: &HeteroGraph, items: &[(NodeId, u64)]) -> Tensor {
         assert!(!items.is_empty(), "embed_requests needs at least one item");
+        let keyed: Vec<(NodeId, NodeId, u64)> = items
+            .iter()
+            .map(|&(node, seed)| (node, node, seed))
+            .collect();
+        self.embed_requests_keyed(graph, &keyed)
+    }
+
+    /// Like [`WidenModel::embed_requests`], but each `(node, ident, seed)`
+    /// item keys its sampling stream by `ident` rather than `node` (see
+    /// [`WidenModel::sample_state_as`]). This is the shard-routed serving
+    /// path: `node` is the owning shard's local index, `ident` the global
+    /// id, and the returned row is bit-identical to what
+    /// `embed_requests(full_graph, &[(ident, seed)])` computes — provided
+    /// the shard subgraph carries a halo of at least the walk radius.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty.
+    pub fn embed_requests_keyed(
+        &self,
+        graph: &HeteroGraph,
+        items: &[(NodeId, NodeId, u64)],
+    ) -> Tensor {
+        assert!(!items.is_empty(), "embed_requests needs at least one item");
         let rows = self.request_rows(graph, items, InferOutput::Embedding);
         let mut out = Tensor::zeros(items.len(), self.config.d);
         for (i, row) in rows.into_iter().enumerate() {
@@ -755,13 +794,32 @@ impl WidenModel {
         items: &[(NodeId, u64)],
         rounds: usize,
     ) -> Tensor {
+        let keyed: Vec<(NodeId, NodeId, u64)> = items
+            .iter()
+            .map(|&(node, seed)| (node, node, seed))
+            .collect();
+        self.ensemble_logits_keyed(graph, &keyed, rounds)
+    }
+
+    /// Ensemble logits with per-item stream identities — the classify
+    /// counterpart of [`WidenModel::embed_requests_keyed`]: `node` indexes
+    /// `graph`, `ident` keys each round's sampling stream.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty or `rounds` is zero.
+    pub fn ensemble_logits_keyed(
+        &self,
+        graph: &HeteroGraph,
+        items: &[(NodeId, NodeId, u64)],
+        rounds: usize,
+    ) -> Tensor {
         assert!(!items.is_empty(), "ensemble_logits needs at least one item");
         assert!(rounds >= 1, "need at least one round");
         let mut sums = Tensor::zeros(items.len(), self.num_classes);
         for r in 0..rounds as u64 {
-            let round_items: Vec<(NodeId, u64)> = items
+            let round_items: Vec<(NodeId, NodeId, u64)> = items
                 .iter()
-                .map(|&(node, seed)| (node, hash_seed(seed, &[40, r])))
+                .map(|&(node, ident, seed)| (node, ident, hash_seed(seed, &[40, r])))
                 .collect();
             let rows = self.request_rows(graph, &round_items, InferOutput::Logits);
             for (i, row) in rows.iter().enumerate() {
@@ -773,13 +831,13 @@ impl WidenModel {
         sums
     }
 
-    /// One forward pass over `(node, seed)` items on the configured engine,
-    /// returning one output row per item. Runs as a single chunk — request
-    /// batches are already server-sized.
+    /// One forward pass over `(node, ident, seed)` items on the configured
+    /// engine, returning one output row per item. Runs as a single chunk —
+    /// request batches are already server-sized.
     fn request_rows(
         &self,
         graph: &HeteroGraph,
-        items: &[(NodeId, u64)],
+        items: &[(NodeId, NodeId, u64)],
         output: InferOutput,
     ) -> Vec<Vec<f32>> {
         let mut tape = self.new_tape();
@@ -788,7 +846,7 @@ impl WidenModel {
             Execution::Batched => {
                 let states: Vec<NodeState> = items
                     .iter()
-                    .map(|&(node, seed)| self.sample_state(graph, node, seed))
+                    .map(|&(node, ident, seed)| self.sample_state_as(graph, node, ident, seed))
                     .collect();
                 let refs: Vec<&NodeState> = states.iter().collect();
                 let fw = self.forward_batch(&mut tape, &pv, graph, &refs);
@@ -803,8 +861,8 @@ impl WidenModel {
                 let masks = MaskCache::new();
                 items
                     .iter()
-                    .map(|&(node, seed)| {
-                        let state = self.sample_state(graph, node, seed);
+                    .map(|&(node, ident, seed)| {
+                        let state = self.sample_state_as(graph, node, ident, seed);
                         let fw = self.forward_node(&mut tape, &pv, graph, &state, &masks);
                         let var = match output {
                             InferOutput::Embedding => fw.embedding,

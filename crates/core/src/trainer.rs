@@ -18,11 +18,10 @@ use rustc_hash::FxHashMap;
 use widen_graph::{HeteroGraph, NodeId};
 use widen_obs::{Counter, Event, JsonlSink, Registry, SpanId, Stopwatch, TraceId, Tracer};
 use widen_sampling::hash_seed;
-use widen_tensor::{Adam, BufferPool, Optimizer, ProfileReport, Tape, Tensor};
+use widen_tensor::{Adam, BufferPool, Optimizer, ProfileReport, Tensor};
 
-use crate::config::Execution;
-use crate::downsample::{decide_with_kl, relay_edge, Decision};
-use crate::model::{MaskCache, ParamVars, WidenModel};
+use crate::engine::{self, NodeOutcome};
+use crate::model::{MaskCache, WidenModel};
 use crate::state::NodeState;
 
 /// Per-epoch training telemetry.
@@ -80,7 +79,7 @@ pub struct EpochStats {
 }
 
 impl EpochStats {
-    fn observe_kl(&mut self, kl: Option<f64>) {
+    pub(crate) fn observe_kl(&mut self, kl: Option<f64>) {
         if let Some(kl) = kl {
             self.kl_count += 1;
             let mean = self.kl_mean.get_or_insert(0.0);
@@ -91,7 +90,7 @@ impl EpochStats {
         }
     }
 
-    fn observe_grads(&mut self, norm: f64, max_abs: f64, max_param: Option<&str>) {
+    pub(crate) fn observe_grads(&mut self, norm: f64, max_abs: f64, max_param: Option<&str>) {
         self.grad_batches += 1;
         let mean = self.grad_norm_mean.get_or_insert(0.0);
         *mean += (norm - *mean) / self.grad_batches as f64;
@@ -114,26 +113,6 @@ impl TrainReport {
     pub fn total_secs(&self) -> f64 {
         self.epoch_secs.iter().sum()
     }
-}
-
-/// Outcome of one node's epoch visit, produced inside parallel chunks and
-/// applied to the persistent state sequentially.
-struct NodeOutcome {
-    node: NodeId,
-    wide_attention: Option<Vec<f32>>,
-    wide_decision: Decision,
-    /// Eq. 9 value evaluated for the wide set, when the trigger ran.
-    wide_kl: Option<f64>,
-    deep: Vec<DeepOutcome>,
-}
-
-struct DeepOutcome {
-    attention: Vec<f32>,
-    decision: Decision,
-    /// Eq. 9 value evaluated for this walk, when the trigger ran.
-    kl: Option<f64>,
-    /// `(position, relay vector)` to install before pruning.
-    relay: Option<(usize, Vec<f32>)>,
 }
 
 /// Phase-timing counters, one set per trainer (on its own registry).
@@ -520,31 +499,55 @@ impl<'g> Trainer<'g> {
             .max(1);
         let batch_len = batch.len();
 
-        let chunk_results: Vec<ChunkResult> = batch
+        let trace = match (&self.tracer, ctx) {
+            (Some(t), Some((trace, parent))) => Some((t, trace, parent)),
+            _ => None,
+        };
+        let chunk_ctx = engine::ChunkCtx {
+            model: &self.model,
+            graph: self.graph,
+            states: &self.states,
+            masks,
+            profiling: self.profiling,
+            trace,
+        };
+        let chunk_results: Vec<engine::ChunkResult> = batch
             .par_chunks(chunk_size)
-            .map(|chunk| self.run_chunk(chunk, epoch, batch_len, masks, ctx))
+            .map(|chunk| {
+                // The warm pool round trip stays inside the worker closure
+                // so a chunk's pool is parked (free lists grown) before the
+                // next chunk on the same worker checks one out.
+                let pool = self
+                    .grad_pools
+                    .lock()
+                    .expect("grad pool lock")
+                    .pop()
+                    .unwrap_or_default();
+                let before = pool.stats();
+                let (result, pool) =
+                    engine::run_chunk(&chunk_ctx, chunk, chunk, epoch, batch_len, pool);
+                let after = pool.stats();
+                self.phase.pool_hits.add(after.hits - before.hits);
+                self.phase.pool_misses.add(after.misses - before.misses);
+                self.phase
+                    .pool_bytes_reused
+                    .add(after.bytes_reused - before.bytes_reused);
+                self.grad_pools.lock().expect("grad pool lock").push(pool);
+                self.phase.forward.add(result.timings.forward_nanos);
+                self.phase.backward.add(result.timings.backward_nanos);
+                self.phase.downsample.add(result.timings.downsample_nanos);
+                result
+            })
             .collect();
 
-        // Deterministic reduction in chunk order. Every chunk extracts its
-        // gradients from the same `ParamVars::pairs` order, which the
-        // positional zip below silently relies on — assert it in debug.
+        // Deterministic reduction in chunk order; the engine asserts the
+        // shared canonical `ParamVars::pairs` order in debug builds.
         let mut total_loss = 0.0f64;
         let mut grads: Vec<(widen_tensor::ParamId, Tensor)> = Vec::new();
         let mut outcomes = Vec::with_capacity(batch.len());
         for chunk in chunk_results {
             total_loss += chunk.loss;
-            if grads.is_empty() {
-                grads = chunk.grads;
-            } else {
-                debug_assert_eq!(grads.len(), chunk.grads.len());
-                for ((acc_id, acc), (g_id, g)) in grads.iter_mut().zip(&chunk.grads) {
-                    debug_assert_eq!(
-                        acc_id, g_id,
-                        "gradient reduction requires identical ParamId order across chunks"
-                    );
-                    acc.add_scaled(1.0, g);
-                }
-            }
+            engine::accumulate_grads(&mut grads, chunk.grads);
             if let Some(profile) = chunk.profile {
                 match epoch_profile {
                     Some(acc) => acc.merge(&profile),
@@ -556,33 +559,13 @@ impl<'g> Trainer<'g> {
 
         // Gradient health: one pass over the reduced gradients — same
         // order of work as the optimizer step it guards.
-        let mut sq_sum = 0.0f64;
-        let mut max_abs = 0.0f32;
-        let mut max_param: Option<widen_tensor::ParamId> = None;
-        let mut finite = true;
-        for (id, g) in &grads {
-            let mut local_max = 0.0f32;
-            for &v in g.as_slice() {
-                if !v.is_finite() {
-                    finite = false;
-                }
-                let a = v.abs();
-                if a > local_max {
-                    local_max = a;
-                }
-                sq_sum += f64::from(v) * f64::from(v);
-            }
-            if local_max > max_abs {
-                max_abs = local_max;
-                max_param = Some(*id);
-            }
-        }
-        let skip = !finite && self.skip_nonfinite_steps;
-        if finite {
+        let health = engine::grad_health(&grads);
+        let skip = !health.finite && self.skip_nonfinite_steps;
+        if health.finite {
             stats.observe_grads(
-                sq_sum.sqrt(),
-                f64::from(max_abs),
-                max_param.map(|id| self.model.params.name(id)),
+                health.norm,
+                f64::from(health.max_abs),
+                health.max_param.map(|id| self.model.params.name(id)),
             );
         } else {
             stats.nonfinite_batches += 1;
@@ -609,383 +592,18 @@ impl<'g> Trainer<'g> {
         (total_loss, outcomes)
     }
 
-    /// Checks a warm gradient-buffer pool out of the shared stash (or
-    /// starts a fresh one) and installs it on `tape`, returning the
-    /// counters at checkout so the chunk's deltas can be harvested.
-    fn checkout_pool(&self, tape: &mut Tape) -> widen_tensor::PoolStats {
-        let pool = self
-            .grad_pools
-            .lock()
-            .expect("grad pool lock")
-            .pop()
-            .unwrap_or_default();
-        let before = pool.stats();
-        tape.install_pool(pool);
-        before
-    }
-
-    /// Harvests the tape's pool: folds the chunk's hit/miss/bytes deltas
-    /// into the obs registry and parks the pool for the next chunk.
-    fn return_pool(&self, tape: &mut Tape, before: widen_tensor::PoolStats) {
-        let pool = tape.take_pool();
-        let after = pool.stats();
-        self.phase.pool_hits.add(after.hits - before.hits);
-        self.phase.pool_misses.add(after.misses - before.misses);
-        self.phase
-            .pool_bytes_reused
-            .add(after.bytes_reused - before.bytes_reused);
-        self.grad_pools.lock().expect("grad pool lock").push(pool);
-    }
-
-    /// Forward + backward over one chunk of the batch on its own tape,
-    /// dispatched to the engine the config selects.
-    fn run_chunk(
-        &self,
-        chunk: &[NodeId],
-        epoch: usize,
-        batch_len: usize,
-        masks: &MaskCache,
-        ctx: Option<(TraceId, SpanId)>,
-    ) -> ChunkResult {
-        match self.model.config.execution {
-            Execution::Batched => self.run_chunk_batched(chunk, epoch, batch_len, ctx),
-            Execution::PerNode => self.run_chunk_per_node(chunk, epoch, batch_len, masks, ctx),
-        }
-    }
-
-    /// Batched engine: one fused [`WidenModel::forward_batch`] for the whole
-    /// chunk. Downsampling still sees exactly the per-node artefacts it
-    /// needs — attention rows come out of the padded matrices via the
-    /// node→row-range maps, and relay packs/edges (Eq. 8) are read from the
-    /// flat `M▷`/`E▷` through each walk's span.
-    fn run_chunk_batched(
-        &self,
-        chunk: &[NodeId],
-        epoch: usize,
-        batch_len: usize,
-        ctx: Option<(TraceId, SpanId)>,
-    ) -> ChunkResult {
-        let config = &self.model.config;
-        let span = self.trace_span(ctx, "core.trainer.forward");
-        let sw = Stopwatch::start();
-        let mut tape = self.model.new_tape();
-        if self.profiling {
-            tape.enable_profiling();
-        }
-        let pool_before = self.checkout_pool(&mut tape);
-        let pv = self.model.insert_params(&mut tape);
-
-        let states: Vec<&NodeState> = chunk.iter().map(|&node| &self.states[&node]).collect();
-        let labels: Vec<usize> = chunk
-            .iter()
-            .map(|&node| self.graph.label(node).expect("labelled") as usize)
-            .collect();
-        let fw = self
-            .model
-            .forward_batch(&mut tape, &pv, self.graph, &states);
-
-        let ce = tape.softmax_cross_entropy(fw.logits, &labels);
-        // Scale so that summing chunk losses yields the batch mean.
-        let weight = chunk.len() as f32 / batch_len as f32;
-        let loss = tape.scale(ce, weight);
-        sw.record_nanos(&self.phase.forward);
-        drop(span);
-
-        let span = self.trace_span(ctx, "core.trainer.backward");
-        let sw = Stopwatch::start();
-        tape.backward(loss);
-        let grads = self.extract_grads(&tape, &pv);
-        sw.record_nanos(&self.phase.backward);
-        drop(span);
-
-        // Downsampling decisions (Algorithm 3 lines 9–14), computed here so
-        // the pack/edge values needed for relay edges are still on the tape.
-        let span = self.trace_span(ctx, "core.trainer.downsample");
-        let sw = Stopwatch::start();
-        let mut outcomes = Vec::with_capacity(chunk.len());
-        for (i, &node) in chunk.iter().enumerate() {
-            let state = states[i];
-            let mut rng =
-                StdRng::seed_from_u64(hash_seed(config.seed, &[3, epoch as u64, u64::from(node)]));
-
-            let (wide_attention, wide_decision, wide_kl) = match &fw.wide {
-                Some(wb) => {
-                    let attn = tape.value(wb.attention).row(i)[..wb.lens[i]].to_vec();
-                    let (decision, kl) = decide_with_kl(
-                        config.variant.wide_downsampling,
-                        &attn,
-                        state.prev_wide_attention.as_deref(),
-                        state.wide.len(),
-                        config.k_wide,
-                        config.r_wide,
-                        epoch,
-                        &mut rng,
-                    );
-                    (Some(attn), decision, kl)
-                }
-                None => (None, Decision::Keep, None),
-            };
-
-            let mut deep = Vec::new();
-            if let Some(db) = &fw.deep {
-                let (first_walk, walk_count) = db.node_walks[i];
-                deep.reserve(walk_count);
-                for phi in 0..walk_count {
-                    let walk = first_walk + phi;
-                    let (wstart, wlen) = db.walk_spans[walk];
-                    let deep_state = &state.deeps[phi];
-                    let attn = tape.value(db.attention).row(walk)[..wlen].to_vec();
-                    let (decision, kl) = decide_with_kl(
-                        config.variant.deep_downsampling,
-                        &attn,
-                        deep_state.prev_attention.as_deref(),
-                        deep_state.len(),
-                        config.k_deep,
-                        config.r_deep,
-                        epoch,
-                        &mut rng,
-                    );
-                    let relay = match decision {
-                        Decision::Drop(s)
-                            if config.variant.relay_edges && s + 1 < deep_state.len() =>
-                        {
-                            // Eq. 8: maxpool(e_{s'+1,s'}, m_{s'}); within the
-                            // walk, pack row s+1 and edge row s+2 (row 0 is
-                            // the target's self loop) — offset by the walk's
-                            // start row in the flat matrices.
-                            let packs = tape.value(db.packs);
-                            let edges = tape.value(db.edges);
-                            let relay_vec =
-                                relay_edge(edges.row(wstart + s + 2), packs.row(wstart + s + 1));
-                            Some((s + 1, relay_vec))
-                        }
-                        _ => None,
-                    };
-                    deep.push(DeepOutcome {
-                        attention: attn,
-                        decision,
-                        kl,
-                        relay,
-                    });
-                }
-            }
-            outcomes.push(NodeOutcome {
-                node,
-                wide_attention,
-                wide_decision,
-                wide_kl,
-                deep,
-            });
-        }
-        sw.record_nanos(&self.phase.downsample);
-        drop(span);
-
-        self.return_pool(&mut tape, pool_before);
-        ChunkResult {
-            loss: f64::from(tape.value(loss).get(0, 0)),
-            grads,
-            outcomes,
-            profile: tape.take_profile(),
-        }
-    }
-
-    /// Per-node oracle engine: the original one-subgraph-at-a-time path.
-    fn run_chunk_per_node(
-        &self,
-        chunk: &[NodeId],
-        epoch: usize,
-        batch_len: usize,
-        masks: &MaskCache,
-        ctx: Option<(TraceId, SpanId)>,
-    ) -> ChunkResult {
-        let config = &self.model.config;
-        let span = self.trace_span(ctx, "core.trainer.forward");
-        let sw = Stopwatch::start();
-        let mut tape = self.model.new_tape();
-        if self.profiling {
-            tape.enable_profiling();
-        }
-        let pool_before = self.checkout_pool(&mut tape);
-        let pv = self.model.insert_params(&mut tape);
-
-        let mut logit_vars = Vec::with_capacity(chunk.len());
-        let mut labels = Vec::with_capacity(chunk.len());
-        let mut forwards = Vec::with_capacity(chunk.len());
-        for &node in chunk {
-            let state = &self.states[&node];
-            let fw = self
-                .model
-                .forward_node(&mut tape, &pv, self.graph, state, masks);
-            logit_vars.push(fw.logits);
-            labels.push(self.graph.label(node).expect("labelled") as usize);
-            forwards.push((node, fw));
-        }
-
-        let stacked = tape.vstack(&logit_vars);
-        let ce = tape.softmax_cross_entropy(stacked, &labels);
-        // Scale so that summing chunk losses yields the batch mean.
-        let weight = chunk.len() as f32 / batch_len as f32;
-        let loss = tape.scale(ce, weight);
-        sw.record_nanos(&self.phase.forward);
-        drop(span);
-
-        let span = self.trace_span(ctx, "core.trainer.backward");
-        let sw = Stopwatch::start();
-        tape.backward(loss);
-        let grads = self.extract_grads(&tape, &pv);
-        sw.record_nanos(&self.phase.backward);
-        drop(span);
-
-        // Downsampling decisions (Algorithm 3 lines 9–14), computed here so
-        // the pack/edge values needed for relay edges are still on the tape.
-        let span = self.trace_span(ctx, "core.trainer.downsample");
-        let sw = Stopwatch::start();
-        let mut outcomes = Vec::with_capacity(chunk.len());
-        for (node, fw) in forwards {
-            let state = &self.states[&node];
-            let mut rng =
-                StdRng::seed_from_u64(hash_seed(config.seed, &[3, epoch as u64, u64::from(node)]));
-
-            let (wide_attention, wide_decision, wide_kl) = match fw.wide_attention {
-                Some(attn_var) => {
-                    let attn = tape.value(attn_var).row(0).to_vec();
-                    let (decision, kl) = decide_with_kl(
-                        config.variant.wide_downsampling,
-                        &attn,
-                        state.prev_wide_attention.as_deref(),
-                        state.wide.len(),
-                        config.k_wide,
-                        config.r_wide,
-                        epoch,
-                        &mut rng,
-                    );
-                    (Some(attn), decision, kl)
-                }
-                None => (None, Decision::Keep, None),
-            };
-
-            let mut deep = Vec::with_capacity(fw.deep.len());
-            for (phi, dfw) in fw.deep.iter().enumerate() {
-                let deep_state = &state.deeps[phi];
-                let attn = tape.value(dfw.attention).row(0).to_vec();
-                let (decision, kl) = decide_with_kl(
-                    config.variant.deep_downsampling,
-                    &attn,
-                    deep_state.prev_attention.as_deref(),
-                    deep_state.len(),
-                    config.k_deep,
-                    config.r_deep,
-                    epoch,
-                    &mut rng,
-                );
-                let relay = match decision {
-                    Decision::Drop(s) if config.variant.relay_edges && s + 1 < deep_state.len() => {
-                        // Eq. 8: maxpool(e_{s'+1,s'}, m_{s'}); pack row s+1,
-                        // edge row s+2 (row 0 is the target's self loop).
-                        let packs = tape.value(dfw.packs);
-                        let edges = tape.value(dfw.edges);
-                        let relay_vec = relay_edge(edges.row(s + 2), packs.row(s + 1));
-                        Some((s + 1, relay_vec))
-                    }
-                    _ => None,
-                };
-                deep.push(DeepOutcome {
-                    attention: attn,
-                    decision,
-                    kl,
-                    relay,
-                });
-            }
-            outcomes.push(NodeOutcome {
-                node,
-                wide_attention,
-                wide_decision,
-                wide_kl,
-                deep,
-            });
-        }
-        sw.record_nanos(&self.phase.downsample);
-        drop(span);
-
-        self.return_pool(&mut tape, pool_before);
-        ChunkResult {
-            loss: f64::from(tape.value(loss).get(0, 0)),
-            grads,
-            outcomes,
-            profile: tape.take_profile(),
-        }
-    }
-
-    /// Pulls every parameter gradient off the tape in the canonical
-    /// [`ParamVars::pairs`] order (zero tensors where a parameter was
-    /// unused, e.g. ablated branches).
-    fn extract_grads(&self, tape: &Tape, pv: &ParamVars) -> Vec<(widen_tensor::ParamId, Tensor)> {
-        pv.pairs(self.model.ids())
-            .into_iter()
-            .map(|(id, var)| {
-                let shape = self.model.params.get(id).shape();
-                let g = tape
-                    .grad(var)
-                    .cloned()
-                    .unwrap_or_else(|| Tensor::zeros(shape.0, shape.1));
-                (id, g)
-            })
-            .collect()
-    }
-
     /// Applies downsampling outcomes to the persistent per-node states,
     /// folding each decision (and any evaluated Eq. 9 value) into the
-    /// epoch's telemetry.
+    /// epoch's telemetry. Delegates to the shared engine so sharded
+    /// training applies identical state transitions.
     fn apply_outcomes(
         &mut self,
         outcomes: Vec<NodeOutcome>,
         report: &mut TrainReport,
         stats: &mut EpochStats,
     ) {
-        for outcome in outcomes {
-            let state = self.states.get_mut(&outcome.node).expect("state exists");
-            stats.observe_kl(outcome.wide_kl);
-            match outcome.wide_decision {
-                Decision::Drop(n) => {
-                    state.prune_wide(n);
-                    report.wide_drops += 1;
-                    stats.wide_drops += 1;
-                }
-                Decision::Keep => {
-                    state.prev_wide_attention = outcome.wide_attention;
-                    stats.wide_keeps += 1;
-                }
-            }
-            for (phi, deep_outcome) in outcome.deep.into_iter().enumerate() {
-                let deep_state = &mut state.deeps[phi];
-                stats.observe_kl(deep_outcome.kl);
-                match deep_outcome.decision {
-                    Decision::Drop(s) => {
-                        if let Some((pos, relay)) = deep_outcome.relay {
-                            deep_state.edge_override[pos] = Some(relay);
-                            report.relay_edges += 1;
-                            stats.relay_edges += 1;
-                        }
-                        deep_state.prune(s);
-                        report.deep_drops += 1;
-                        stats.deep_drops += 1;
-                    }
-                    Decision::Keep => {
-                        deep_state.prev_attention = Some(deep_outcome.attention);
-                        stats.deep_keeps += 1;
-                    }
-                }
-            }
-        }
+        engine::apply_outcomes(&mut self.states, outcomes, report, stats);
     }
-}
-
-struct ChunkResult {
-    loss: f64,
-    grads: Vec<(widen_tensor::ParamId, Tensor)>,
-    outcomes: Vec<NodeOutcome>,
-    /// Per-chunk op profile when [`Trainer::set_profiling`] is on.
-    profile: Option<ProfileReport>,
 }
 
 #[cfg(test)]

@@ -22,4 +22,5 @@ mod subgraph;
 pub use builder::{BuilderError, GraphBuilder};
 pub use graph::{EdgeTypeId, HeteroGraph, MutationError, NodeId, NodeTypeId};
 pub use io::{read_tsv, write_tsv, GraphIoError};
+pub use partition::{edge_cut, greedy_bfs, greedy_bfs_weighted, Partition};
 pub use subgraph::{InducedSubgraph, NodeMapping};

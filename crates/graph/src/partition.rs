@@ -1,4 +1,6 @@
-//! Greedy BFS edge-cut partitioning — the Metis stand-in.
+//! Greedy BFS edge-cut partitioning — the Metis stand-in — plus the halo
+//! expansion that turns a part into a self-contained training/serving
+//! shard.
 //!
 //! The paper uses Metis only to let full-graph baselines (GCN, GAT, HAN, …)
 //! iterate over subgraphs of the million-scale Yelp graph (§4.4). Any
@@ -6,36 +8,98 @@
 //! implement the classic two-phase heuristic: BFS growth into balanced parts
 //! followed by boundary refinement that moves nodes to the neighbouring part
 //! holding the majority of their edges when balance permits.
+//!
+//! Sharded training and serving build on [`Partition::halo`]: the part's
+//! core members plus every node within `radius` hops. Because
+//! [`HeteroGraph::induced_subgraph`] is order-preserving over a sorted keep
+//! list and all sampling draws are index-based, a halo at radius `N_d`
+//! (the deep-walk length) reproduces the full graph's wide/deep sampling
+//! streams for every core node *exactly* — walks of length `N_d` cannot
+//! leave the halo, and every node they transition from keeps its complete,
+//! identically-ordered adjacency.
 
 use crate::graph::{HeteroGraph, NodeId};
 
-/// A `k`-way node partition.
+/// A `k`-way node partition with per-part member lists.
 #[derive(Clone, Debug)]
 pub struct Partition {
     /// `assignment[v]` = part id of node `v`.
     pub assignment: Vec<u32>,
     /// Number of parts.
     pub k: usize,
+    /// `members[p]` = node ids of part `p`, ascending. Built once at
+    /// construction so [`Partition::part`] is O(1) instead of an O(n)
+    /// scan per call.
+    members: Vec<Vec<NodeId>>,
 }
 
 impl Partition {
-    /// Node ids of part `p`, ascending.
-    pub fn part(&self, p: u32) -> Vec<NodeId> {
-        self.assignment
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| a == p)
-            .map(|(v, _)| v as NodeId)
-            .collect()
+    /// Builds a partition from an assignment vector, materialising the
+    /// per-part member lists.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or any assignment is `>= k`.
+    pub fn new(assignment: Vec<u32>, k: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        let mut members = vec![Vec::new(); k];
+        for (v, &a) in assignment.iter().enumerate() {
+            assert!((a as usize) < k, "assignment {a} out of range for k = {k}");
+            members[a as usize].push(v as NodeId);
+        }
+        Self {
+            assignment,
+            k,
+            members,
+        }
+    }
+
+    /// Node ids of part `p`, ascending. Backed by a member list built at
+    /// construction — no per-call scan.
+    pub fn part(&self, p: u32) -> &[NodeId] {
+        &self.members[p as usize]
     }
 
     /// Sizes of all parts.
     pub fn sizes(&self) -> Vec<usize> {
-        let mut sizes = vec![0usize; self.k];
-        for &a in &self.assignment {
-            sizes[a as usize] += 1;
+        self.members.iter().map(Vec::len).collect()
+    }
+
+    /// The part's core members plus every node reachable within `radius`
+    /// hops — the keep list for a halo-expanded shard subgraph, ascending.
+    ///
+    /// `radius == 0` returns the core members alone. At `radius == N_d`
+    /// (the deep-walk length, which also covers the wide set's 1-hop
+    /// neighbourhood) the induced subgraph reproduces full-graph sampling
+    /// streams for core nodes exactly: every node a walk can transition
+    /// from lies within `radius - 1` hops and therefore keeps its complete
+    /// adjacency, and the sorted keep list preserves relative neighbour
+    /// order, so index-based draws pick the same neighbours.
+    pub fn halo(&self, graph: &HeteroGraph, p: u32, radius: usize) -> Vec<NodeId> {
+        let core = self.part(p);
+        let mut seen = vec![false; graph.num_nodes()];
+        let mut keep: Vec<NodeId> = core.to_vec();
+        for &v in core {
+            seen[v as usize] = true;
         }
-        sizes
+        let mut frontier: Vec<NodeId> = core.to_vec();
+        for _ in 0..radius {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &u in graph.neighbors(v) {
+                    if !seen[u as usize] {
+                        seen[u as usize] = true;
+                        keep.push(u);
+                        next.push(u);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        keep.sort_unstable();
+        keep
     }
 }
 
@@ -62,13 +126,37 @@ pub fn edge_cut(graph: &HeteroGraph, partition: &Partition) -> usize {
 /// # Panics
 /// Panics if `k == 0` or `k > |V|`.
 pub fn greedy_bfs(graph: &HeteroGraph, k: usize, refinement_passes: usize) -> Partition {
+    greedy_bfs_weighted(graph, k, refinement_passes, &vec![1; graph.num_nodes()])
+}
+
+/// [`greedy_bfs`] with per-node balance weights: parts are grown and
+/// refined against a cap of `⌈Σw/k⌉` *weight* units instead of node
+/// counts. With unit weights this is exactly `greedy_bfs`.
+///
+/// Sharded training uses this to balance the *training* nodes across
+/// shards — the per-step critical path is driven by how many sub-batch
+/// nodes the heaviest shard owns, not by its total node count — by giving
+/// training nodes a weight large enough to dominate the objective while
+/// plain nodes still break ties toward even subgraph sizes.
+///
+/// # Panics
+/// Panics if `k == 0`, `k > |V|`, or `weights.len() != |V|`.
+pub fn greedy_bfs_weighted(
+    graph: &HeteroGraph,
+    k: usize,
+    refinement_passes: usize,
+    weights: &[u64],
+) -> Partition {
     let n = graph.num_nodes();
     assert!(k >= 1, "k must be positive");
     assert!(k <= n, "more parts than nodes");
-    let cap = n.div_ceil(k);
+    assert_eq!(weights.len(), n, "one weight per node");
+    let total: u64 = weights.iter().sum();
+    let cap = total.div_ceil(k as u64).max(1);
 
     let mut assignment: Vec<u32> = vec![u32::MAX; n];
-    let mut part_sizes = vec![0usize; k];
+    let mut part_weight = vec![0u64; k];
+    let mut part_count = vec![0usize; k];
     let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
     let mut next_seed: NodeId = 0;
     let mut current: u32 = 0;
@@ -81,7 +169,7 @@ pub fn greedy_bfs(graph: &HeteroGraph, k: usize, refinement_passes: usize) -> Pa
             while (next_seed as usize) < n && assignment[next_seed as usize] != u32::MAX {
                 next_seed += 1;
             }
-            if part_sizes[current as usize] >= cap && (current as usize) < k - 1 {
+            if part_weight[current as usize] >= cap && (current as usize) < k - 1 {
                 current += 1;
             }
             queue.push_back(next_seed);
@@ -90,14 +178,15 @@ pub fn greedy_bfs(graph: &HeteroGraph, k: usize, refinement_passes: usize) -> Pa
         if assignment[v as usize] != u32::MAX {
             continue;
         }
-        if part_sizes[current as usize] >= cap && (current as usize) < k - 1 {
+        if part_weight[current as usize] >= cap && (current as usize) < k - 1 {
             current += 1;
             queue.clear();
             queue.push_back(v);
             continue;
         }
         assignment[v as usize] = current;
-        part_sizes[current as usize] += 1;
+        part_weight[current as usize] += weights[v as usize];
+        part_count[current as usize] += 1;
         assigned += 1;
         for &u in graph.neighbors(v) {
             if assignment[u as usize] == u32::MAX {
@@ -113,7 +202,7 @@ pub fn greedy_bfs(graph: &HeteroGraph, k: usize, refinement_passes: usize) -> Pa
         let mut moved = false;
         for v in 0..n {
             let home = assignment[v] as usize;
-            if part_sizes[home] <= 1 {
+            if part_count[home] <= 1 {
                 continue;
             }
             gains.iter_mut().for_each(|g| *g = 0);
@@ -125,10 +214,12 @@ pub fn greedy_bfs(graph: &HeteroGraph, k: usize, refinement_passes: usize) -> Pa
                 .enumerate()
                 .max_by_key(|&(_, g)| *g)
                 .expect("k >= 1");
-            if best != home && best_gain > gains[home] && part_sizes[best] < slack {
+            if best != home && best_gain > gains[home] && part_weight[best] + weights[v] <= slack {
                 assignment[v] = best as u32;
-                part_sizes[home] -= 1;
-                part_sizes[best] += 1;
+                part_weight[home] -= weights[v];
+                part_weight[best] += weights[v];
+                part_count[home] -= 1;
+                part_count[best] += 1;
                 moved = true;
             }
         }
@@ -137,7 +228,7 @@ pub fn greedy_bfs(graph: &HeteroGraph, k: usize, refinement_passes: usize) -> Pa
         }
     }
 
-    Partition { assignment, k }
+    Partition::new(assignment, k)
 }
 
 #[cfg(test)]
@@ -159,6 +250,18 @@ mod tests {
             }
         }
         b.add_edge(ids[0], ids[size], e);
+        b.build()
+    }
+
+    /// 0-1-2-…-(n-1) path.
+    fn path(n: usize) -> HeteroGraph {
+        let mut b = GraphBuilder::new(&["x"], &["e"]);
+        let x = b.node_type("x").unwrap();
+        let e = b.edge_type("e").unwrap();
+        let ids: Vec<_> = (0..n).map(|_| b.add_node(x, vec![], None)).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], e);
+        }
         b.build()
     }
 
@@ -204,8 +307,104 @@ mod tests {
         let g = two_cliques(5);
         let p = greedy_bfs(&g, 2, 2);
         for part_id in 0..2u32 {
-            for v in p.part(part_id) {
+            for &v in p.part(part_id) {
                 assert_eq!(p.assignment[v as usize], part_id);
+            }
+        }
+    }
+
+    #[test]
+    fn member_lists_are_ascending_and_complete() {
+        let g = two_cliques(7);
+        let p = greedy_bfs(&g, 3, 2);
+        let mut total = 0;
+        for part_id in 0..3u32 {
+            let members = p.part(part_id);
+            assert!(members.windows(2).all(|w| w[0] < w[1]), "ascending");
+            total += members.len();
+        }
+        assert_eq!(total, g.num_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_assignment_rejected() {
+        let _ = Partition::new(vec![0, 2, 1], 2);
+    }
+
+    #[test]
+    fn halo_radius_zero_is_the_core() {
+        // Path 0-1-2-3-4-5 split by hand: {0,1,2} vs {3,4,5}.
+        let g = path(6);
+        let p = Partition::new(vec![0, 0, 0, 1, 1, 1], 2);
+        assert_eq!(p.halo(&g, 0, 0), vec![0, 1, 2]);
+        assert_eq!(p.halo(&g, 1, 0), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn halo_radius_one_adds_boundary_neighbors() {
+        let g = path(6);
+        let p = Partition::new(vec![0, 0, 0, 1, 1, 1], 2);
+        // Part 0's only boundary neighbour is node 3 (adjacent to 2).
+        assert_eq!(p.halo(&g, 0, 1), vec![0, 1, 2, 3]);
+        assert_eq!(p.halo(&g, 1, 1), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn halo_radius_two_walks_further_out() {
+        let g = path(6);
+        let p = Partition::new(vec![0, 0, 0, 1, 1, 1], 2);
+        assert_eq!(p.halo(&g, 0, 2), vec![0, 1, 2, 3, 4]);
+        assert_eq!(p.halo(&g, 1, 2), vec![1, 2, 3, 4, 5]);
+        // Saturates at the full node set.
+        assert_eq!(p.halo(&g, 0, 10), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn unit_weights_reproduce_the_unweighted_partition() {
+        let g = two_cliques(9);
+        let a = greedy_bfs(&g, 3, 2);
+        let b = greedy_bfs_weighted(&g, 3, 2, &vec![1; g.num_nodes()]);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn heavy_nodes_are_spread_by_weight_not_count() {
+        // Path of 12 nodes where the first four carry all the weight: an
+        // unweighted 2-way split puts all four in part 0, a weighted split
+        // must break them apart to stay under the weighted cap.
+        let g = path(12);
+        let mut weights = vec![1u64; 12];
+        for w in weights.iter_mut().take(4) {
+            *w = 100;
+        }
+        let p = greedy_bfs_weighted(&g, 2, 0, &weights);
+        let heavy_in_0 = (0..4).filter(|&v| p.assignment[v] == 0).count();
+        assert!(
+            (1..4).contains(&heavy_in_0),
+            "heavy nodes must split across parts, got {heavy_in_0} in part 0 (sizes {:?})",
+            p.sizes()
+        );
+        // Weighted sizes respect the cap up to one node's overshoot.
+        let cap = (weights.iter().sum::<u64>()).div_ceil(2);
+        let w0: u64 = (0..12)
+            .filter(|&v| p.assignment[v] == 0)
+            .map(|v| weights[v])
+            .sum();
+        assert!(w0 < cap + 100, "part 0 weight {w0} blew past cap {cap}");
+    }
+
+    #[test]
+    fn halo_is_monotone_in_radius() {
+        let g = two_cliques(6);
+        let p = greedy_bfs(&g, 3, 2);
+        for part_id in 0..3u32 {
+            let mut prev = p.halo(&g, part_id, 0);
+            for radius in 1..4 {
+                let next = p.halo(&g, part_id, radius);
+                assert!(next.len() >= prev.len());
+                assert!(prev.iter().all(|v| next.binary_search(v).is_ok()));
+                prev = next;
             }
         }
     }

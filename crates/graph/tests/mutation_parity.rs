@@ -124,8 +124,7 @@ fn run_differential(
     // arriving node go through add_node_with_edges (even index) or a later
     // add_edge (odd index); incoming edges (peer → new, which matters for
     // directed graphs) always go through add_edge once the node exists.
-    for i in split..nodes.len() {
-        let (t, l, f) = nodes[i];
+    for (i, &(t, l, f)) in nodes.iter().enumerate().skip(split) {
         let attached: Vec<(u32, EdgeTypeId)> = edges
             .iter()
             .enumerate()

@@ -1,0 +1,107 @@
+//! Property tests for the two contracts sharding rests on: `greedy_bfs`
+//! keeps shard sizes inside the refinement balance bound, and a halo at
+//! walk radius `r` reproduces the full graph's index-based walks from
+//! every core node — the structural half of the claim that shard-local
+//! sampling is bitwise full-graph sampling.
+
+use proptest::prelude::*;
+use widen_graph::{greedy_bfs, GraphBuilder, HeteroGraph};
+
+/// Builds a single-type graph on `n` nodes from generated edge pairs.
+fn build(n: usize, pairs: &[(usize, usize)]) -> HeteroGraph {
+    let mut b = GraphBuilder::new(&["x"], &["e"]);
+    let x = b.node_type("x").unwrap();
+    let e = b.edge_type("e").unwrap();
+    let ids: Vec<_> = (0..n).map(|_| b.add_node(x, vec![], None)).collect();
+    for &(a, c) in pairs {
+        let u = ids[a % n];
+        let v = ids[c % n];
+        if u != v {
+            b.add_edge(u, v, e);
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn refinement_keeps_shard_sizes_within_the_balance_bound(
+        pairs in prop::collection::vec((0usize..24, 0usize..24), 10..120),
+        k in 1usize..6,
+        passes in 0usize..4,
+    ) {
+        let g = build(24, &pairs);
+        prop_assume!(k <= g.num_nodes());
+        let p = greedy_bfs(&g, k, passes);
+        let n = g.num_nodes();
+        let cap = n.div_ceil(k);
+        // Phase 1 caps parts at ⌈n/k⌉; refinement moves within 10% slack.
+        let slack = cap + cap / 10 + 1;
+        let sizes = p.sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        prop_assert!(
+            max <= slack,
+            "max shard size {} exceeds balance bound {} (sizes {:?})",
+            max, slack, sizes
+        );
+        // The min bound the max bound implies: the others can't hoard
+        // more than slack each.
+        prop_assert!(min >= n.saturating_sub(slack * (k - 1)));
+        // Member lists agree with the assignment vector.
+        for part in 0..k as u32 {
+            for &v in p.part(part) {
+                prop_assert_eq!(p.assignment[v as usize], part);
+            }
+        }
+    }
+
+    #[test]
+    fn halo_at_walk_radius_reproduces_index_based_walks_from_core_nodes(
+        pairs in prop::collection::vec((0usize..20, 0usize..20), 10..80),
+        k in 1usize..4,
+        radius in 1usize..4,
+        picks in prop::collection::vec(any::<u64>(), 4),
+    ) {
+        let g = build(20, &pairs);
+        prop_assume!(k <= g.num_nodes());
+        let p = greedy_bfs(&g, k, 2);
+        for part in 0..k as u32 {
+            let keep = p.halo(&g, part, radius);
+            let sub = g.induced_subgraph(&keep);
+            for (ci, &start) in p.part(part).iter().enumerate() {
+                // Drive the same index-based walk of length `radius` on
+                // both graphs. Every transition leaves a node within
+                // `radius - 1` hops of the core, which the halo keeps with
+                // complete, identically-ordered adjacency — so degrees
+                // match and the i-th neighbour is the same node.
+                let mut v = start;
+                let mut lv = sub.mapping.to_new(start).expect("core node kept");
+                for (step, &x) in picks.iter().take(radius).enumerate() {
+                    let deg = g.degree(v);
+                    if deg == 0 {
+                        break;
+                    }
+                    prop_assert!(
+                        deg == sub.graph.degree(lv),
+                        "adjacency truncated at hop {} from core node {}",
+                        step, start
+                    );
+                    let i = (x as usize).wrapping_add(ci + step) % deg;
+                    let next = g.neighbors(v)[i];
+                    let lnext = sub.graph.neighbors(lv)[i];
+                    prop_assert!(
+                        sub.mapping.to_old(lnext) == next,
+                        "walk diverged at hop {} from core node {}",
+                        step, start
+                    );
+                    v = next;
+                    lv = lnext;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-shard alias tables: one O(1) weighted node sampler per graph shard.
+//!
+//! Shard-parallel benchmarking and serving probes need to draw
+//! representative nodes *from a specific shard* — e.g. `bench_shards`
+//! exercising each shard's embed path, or the smoke binary picking round
+//! trip targets. A single global alias table cannot honour shard
+//! membership, so this builds one degree-weighted table per shard over the
+//! partition assignment (degree + 1 smoothing keeps isolated nodes
+//! reachable and every per-shard weight vector non-degenerate).
+
+use rand::Rng;
+use widen_graph::{HeteroGraph, NodeId};
+
+use crate::alias::AliasTable;
+
+/// One degree-weighted [`AliasTable`] per shard of a partitioned graph.
+#[derive(Clone, Debug)]
+pub struct ShardAliasTables {
+    /// Shard `p`'s members, parallel to its alias table's index space.
+    members: Vec<Vec<NodeId>>,
+    /// `tables[p]` draws an index into `members[p]`; `None` for an empty
+    /// shard.
+    tables: Vec<Option<AliasTable>>,
+}
+
+impl ShardAliasTables {
+    /// Builds the tables from a partition `assignment` (node id → shard),
+    /// weighting each node by `degree + 1`.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero, `assignment` is shorter than the node count,
+    /// or an assignment is out of range.
+    pub fn degree_weighted(graph: &HeteroGraph, assignment: &[u32], k: usize) -> Self {
+        assert!(k >= 1, "shard count must be positive");
+        assert!(
+            assignment.len() >= graph.num_nodes(),
+            "assignment covers {} of {} nodes",
+            assignment.len(),
+            graph.num_nodes()
+        );
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        let mut weights: Vec<Vec<f32>> = vec![Vec::new(); k];
+        for v in 0..graph.num_nodes() as NodeId {
+            let p = assignment[v as usize] as usize;
+            assert!(p < k, "node {v} assigned to shard {p} but k = {k}");
+            members[p].push(v);
+            // +1 smoothing: isolated nodes stay sampleable and no shard's
+            // weight vector can sum to zero.
+            weights[p].push(graph.degree(v) as f32 + 1.0);
+        }
+        let tables = weights
+            .iter()
+            .map(|w| {
+                if w.is_empty() {
+                    None
+                } else {
+                    Some(AliasTable::new(w))
+                }
+            })
+            .collect();
+        Self { members, tables }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Shard `p`'s member nodes in ascending id order.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range.
+    pub fn members(&self, p: usize) -> &[NodeId] {
+        &self.members[p]
+    }
+
+    /// Draws a degree-biased node from shard `p`, or `None` if the shard
+    /// is empty.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range.
+    pub fn sample<R: Rng + ?Sized>(&self, p: usize, rng: &mut R) -> Option<NodeId> {
+        let table = self.tables[p].as_ref()?;
+        Some(self.members[p][table.sample(rng)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use widen_graph::{EdgeTypeId, GraphBuilder, NodeTypeId};
+
+    /// A hub node 0 connected to nodes 1..=n, all one type.
+    fn star(n: usize) -> HeteroGraph {
+        let mut b = GraphBuilder::new(&["x"], &["e"]);
+        for _ in 0..=n {
+            b.add_node(NodeTypeId(0), vec![1.0], None);
+        }
+        for v in 1..=n as NodeId {
+            b.add_edge(0, v, EdgeTypeId(0));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn membership_partitions_all_nodes() {
+        let g = star(9);
+        let assignment: Vec<u32> = (0..10).map(|v| (v % 3) as u32).collect();
+        let tables = ShardAliasTables::degree_weighted(&g, &assignment, 3);
+        assert_eq!(tables.num_shards(), 3);
+        let total: usize = (0..3).map(|p| tables.members(p).len()).sum();
+        assert_eq!(total, 10);
+        for p in 0..3 {
+            for &v in tables.members(p) {
+                assert_eq!(assignment[v as usize] as usize, p);
+            }
+        }
+    }
+
+    #[test]
+    fn draws_stay_inside_the_shard_and_favour_degree() {
+        let g = star(9);
+        // Shard 0 holds the hub (degree 9) and node 1 (degree 1).
+        let mut assignment = vec![1u32; 10];
+        assignment[0] = 0;
+        assignment[1] = 0;
+        let tables = ShardAliasTables::degree_weighted(&g, &assignment, 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hub_draws = 0usize;
+        for _ in 0..1000 {
+            let v = tables.sample(0, &mut rng).unwrap();
+            assert!(v == 0 || v == 1, "drew {v} from the wrong shard");
+            if v == 0 {
+                hub_draws += 1;
+            }
+        }
+        // Hub weight 10 vs leaf weight 2 ⇒ ~83% hub draws.
+        assert!(hub_draws > 700, "hub only drawn {hub_draws}/1000 times");
+    }
+
+    #[test]
+    fn empty_shard_yields_none() {
+        let g = star(3);
+        let assignment = vec![0u32; 4];
+        let tables = ShardAliasTables::degree_weighted(&g, &assignment, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(tables.sample(1, &mut rng).is_none());
+        assert!(tables.members(1).is_empty());
+        assert!(tables.sample(0, &mut rng).is_some());
+    }
+}

@@ -163,14 +163,14 @@ fn build_pair(split: usize) -> (widen_graph::HeteroGraph, widen_graph::HeteroGra
         .filter(|&(x, y, _)| (x as usize) < split && (y as usize) < split)
         .collect();
     let mut mutated = build(split, &prefix);
-    for i in split..nodes.len() {
+    for (i, &ty) in nodes.iter().enumerate().skip(split) {
         let attached: Vec<(u32, EdgeTypeId)> = edges
             .iter()
             .filter(|&&(x, y, _)| x as usize == i && (y as usize) < i)
             .map(|&(_, y, t)| (y, EdgeTypeId(t)))
             .collect();
         mutated
-            .add_node_with_edges(NodeTypeId(nodes[i]), vec![nodes[i] as f32], None, &attached)
+            .add_node_with_edges(NodeTypeId(ty), vec![ty as f32], None, &attached)
             .expect("valid ingest");
     }
     (scratch, mutated)

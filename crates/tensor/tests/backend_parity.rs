@@ -219,7 +219,9 @@ proptest! {
                             let r = reference.get(i, j);
                             let o = c.get(i, j);
                             let t = tol[i * reference.cols() + j];
-                            if !((r - o).abs() <= t) {
+                            // NaN-safe: a NaN difference must also report.
+                            let d = (r - o).abs();
+                            if d.is_nan() || d > t {
                                 return Some(format!(
                                     "task {task} ({i},{j}): reference {r}, optimized {o}, tol {t}"
                                 ));

@@ -1,0 +1,148 @@
+//! Integration: shard-routed serving. A registry built with
+//! `with_shards(k)` answers every wire request from the owning shard's
+//! halo-expanded snapshot — and because the halo radius is the deep-walk
+//! length and sampling streams are keyed by global node ids, the routed
+//! answers are bit-identical to unsharded full-graph serving. Ingest
+//! routes new nodes by their edge endpoints' ownership and stays
+//! self-consistent over the wire.
+
+use widen::core::{WidenConfig, WidenModel};
+use widen::data::{acm_like, Scale};
+use widen::graph::{EdgeTypeId, NodeTypeId};
+use widen::serve::{Client, ModelRegistry, ServeConfig, Server};
+
+fn tiny_config() -> WidenConfig {
+    let mut c = WidenConfig::small();
+    c.d = 8;
+    c.n_w = 4;
+    c.n_d = 4;
+    c.phi = 1;
+    c
+}
+
+fn bits(row: &[f32]) -> Vec<u32> {
+    row.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn sharded_server_matches_full_graph_answers_bitwise() {
+    let dataset = acm_like(Scale::Smoke, 80);
+    let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+
+    // Offline full-graph oracle with the same frozen weights.
+    let nodes: Vec<u32> = (0..dataset.graph.num_nodes() as u32).step_by(13).collect();
+    let seed = 17;
+    let want_rows = model.embed_nodes(&dataset.graph, &nodes, seed);
+    let want_labels: Vec<u32> = model
+        .predict_ensemble(&dataset.graph, &nodes, seed, 3)
+        .iter()
+        .map(|&l| l as u32)
+        .collect();
+
+    let registry = ModelRegistry::from_model(dataset.graph.clone(), model).with_shards(3);
+    assert_eq!(registry.num_shards(), 3);
+    let handle = Server::bind(registry, ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let rows = client.embed(&nodes, seed).expect("embed succeeds");
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            bits(row),
+            bits(want_rows.row(i)),
+            "shard-routed embedding diverged at node {}",
+            nodes[i]
+        );
+    }
+    let labels = client.classify(&nodes, seed, 3).expect("classify succeeds");
+    assert_eq!(labels, want_labels, "shard-routed labels diverged");
+
+    // Every partition-time node ran on its owning shard, never a fallback.
+    let routed = handle.metrics().counter("serve_shard_routed_jobs_total");
+    let fallback = handle.metrics().counter("serve_shard_fallback_jobs_total");
+    assert!(routed.get() >= nodes.len() as u64, "jobs were not routed");
+    assert_eq!(fallback.get(), 0, "no core node should need a fallback");
+    handle.shutdown();
+}
+
+#[test]
+fn sharded_wire_ingest_routes_and_stays_consistent() {
+    let dataset = acm_like(Scale::Smoke, 81);
+    let feat_dim = dataset.graph.feature_dim();
+    let model = WidenModel::for_graph(&dataset.graph, tiny_config());
+
+    let registry = ModelRegistry::from_model(dataset.graph.clone(), model).with_shards(2);
+    // Find one node per shard to build single-owner and spanning edges.
+    let (assign_a, assign_b) = {
+        let st = registry.read();
+        let map = st.shards().expect("sharded registry");
+        let home = map.home();
+        let n = dataset.graph.num_nodes() as u32;
+        let a = (0..n).find(|&v| map.owner(v) != Some(home)).unwrap();
+        let b = (0..n).find(|&v| map.owner(v) == Some(home)).unwrap();
+        (a, b)
+    };
+
+    // Oracle for the single-owner ingest: all endpoints live in one shard,
+    // so the snapshot holds the new node's entire receptive field and the
+    // routed embedding must equal the full-graph forward bit-for-bit.
+    let model = {
+        let st = registry.read();
+        let mut oracle = dataset.graph.clone();
+        let id = oracle
+            .add_node_with_edges(
+                NodeTypeId(0),
+                vec![0.25; feat_dim],
+                None,
+                &[(assign_a, EdgeTypeId(0))],
+            )
+            .expect("valid node");
+        let want = st.model().embed_requests(&oracle, &[(id, 41)]);
+        (id, want.row(0).to_vec())
+    };
+    let (oracle_id, oracle_row) = model;
+
+    let handle = Server::bind(registry, ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Single-owner ingest: routed to the endpoint's shard, oracle-exact.
+    let (first, row_first) = client
+        .ingest(0, &vec![0.25; feat_dim], None, &[(assign_a, 0)], 41)
+        .expect("ingest succeeds");
+    assert_eq!(first, oracle_id);
+    assert_eq!(
+        bits(&row_first),
+        bits(&oracle_row),
+        "single-owner ingest must equal the full-graph forward"
+    );
+    // A follow-up wire embed routes to the same shard and agrees.
+    let rows = client.embed(&[first], 41).expect("embed succeeds");
+    assert_eq!(bits(&rows[0]), bits(&row_first));
+
+    // Spanning ingest: endpoints in both shards fall back to the home
+    // shard. The warm embedding stays self-consistent with later embeds
+    // even though cross-shard snapshot edges may be dropped.
+    let (second, row_second) = client
+        .ingest(
+            0,
+            &vec![-0.5; feat_dim],
+            None,
+            &[(assign_a, 0), (assign_b, 0)],
+            42,
+        )
+        .expect("spanning ingest succeeds");
+    let rows = client.embed(&[second], 42).expect("embed succeeds");
+    assert_eq!(
+        bits(&rows[0]),
+        bits(&row_second),
+        "spanning ingest must stay self-consistent over the wire"
+    );
+
+    // And the ingested nodes classify without error on their shards.
+    let labels = client
+        .classify(&[first, second], 7, 2)
+        .expect("classify succeeds");
+    assert_eq!(labels.len(), 2);
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.ingests, 2);
+}
